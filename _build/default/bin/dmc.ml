@@ -1,0 +1,438 @@
+(* dmc — data-movement complexity toolkit.
+
+   Subcommands:
+     dmc gen <family> ...       emit a CDAG in the text format (or DOT)
+     dmc bounds ...             run every bound engine on a CDAG
+     dmc game ...               play a scheduling strategy and validate it
+     dmc machines               print the Table-1 machine list
+     dmc experiment [name ...]  run the paper's evaluation experiments *)
+
+open Cmdliner
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+(* Run a command body, turning expected exceptions into clean error
+   messages and a non-zero exit. *)
+let guarded f =
+  try f () with
+  | Failure msg | Invalid_argument msg ->
+      Format.eprintf "dmc: %s@." msg;
+      exit 1
+  | Dmc_core.Optimal.Too_large msg ->
+      Format.eprintf "dmc: %s@." msg;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Shared CDAG source: either a named generator or a file.            *)
+
+let generator_doc =
+  "Named generator: chain:N, tree:N, diamond:R,C, fft:K, bitonic:K, pyramid:H, \
+   binomial:K, matmul:N, lu:N, cholesky:N, outer:N, dot:N, composite:N, jacobi1d:N,T, \
+   jacobi2d:N,T, jacobi3d:N,T, spmv:N,D, thomas:N, multigrid:N,L,C, cg:N,D,T, \
+   gmres:N,D,M, layered:SEED,L,W"
+
+let parse_ints s = List.map int_of_string (String.split_on_char ',' s)
+
+let build_generator name args =
+  match (name, args) with
+  | "chain", [ n ] -> Dmc_gen.Shapes.chain n
+  | "tree", [ n ] -> Dmc_gen.Shapes.reduction_tree n
+  | "diamond", [ r; c ] -> Dmc_gen.Shapes.diamond ~rows:r ~cols:c
+  | "fft", [ k ] -> Dmc_gen.Fft.butterfly k
+  | "bitonic", [ k ] -> Dmc_gen.Fft.bitonic_sort k
+  | "pyramid", [ h ] -> Dmc_gen.Shapes.pyramid h
+  | "binomial", [ k ] -> Dmc_gen.Shapes.binomial k
+  | "matmul", [ n ] -> Dmc_gen.Linalg.matmul n
+  | "lu", [ n ] -> (Dmc_gen.Linalg.lu_factor n).lu_graph
+  | "cholesky", [ n ] -> Dmc_gen.Linalg.cholesky n
+  | "outer", [ n ] -> Dmc_gen.Linalg.outer_product n
+  | "dot", [ n ] -> Dmc_gen.Linalg.dot_product n
+  | "composite", [ n ] -> (Dmc_gen.Linalg.composite n).graph
+  | "jacobi1d", [ n; t ] -> (Dmc_gen.Stencil.jacobi_1d ~n ~steps:t).graph
+  | "jacobi2d", [ n; t ] -> (Dmc_gen.Stencil.jacobi_2d ~n ~steps:t ()).graph
+  | "jacobi3d", [ n; t ] -> (Dmc_gen.Stencil.jacobi_3d ~n ~steps:t).graph
+  | "spmv", [ n; d ] -> Dmc_gen.Solver.spmv ~dims:(List.init d (fun _ -> n))
+  | "thomas", [ n ] -> (Dmc_gen.Solver.thomas ~n).th_graph
+  | "multigrid", [ n; levels; cycles ] ->
+      (Dmc_gen.Multigrid.v_cycle ~dims:[ n ] ~levels ~cycles ()).graph
+  | "cg", [ n; d; t ] ->
+      (Dmc_gen.Solver.cg ~dims:(List.init d (fun _ -> n)) ~iters:t).graph
+  | "gmres", [ n; d; m ] ->
+      (Dmc_gen.Solver.gmres ~dims:(List.init d (fun _ -> n)) ~iters:m).graph
+  | "layered", [ seed; l; w ] ->
+      Dmc_gen.Random_dag.layered (Dmc_util.Rng.create seed) ~layers:l ~width:w
+        ~edge_prob:0.4
+  | _ -> failwith ("unknown generator or bad arity: " ^ name)
+
+let parse_spec spec =
+  match String.index_opt spec ':' with
+  | None -> build_generator spec []
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let args = parse_ints (String.sub spec (i + 1) (String.length spec - i - 1)) in
+      build_generator name args
+
+let load_cdag ~spec ~file =
+  match (spec, file) with
+  | Some spec, None -> parse_spec spec
+  | None, Some path -> (
+      match Dmc_cdag.Serialize.of_file path with
+      | Ok g -> g
+      | Error msg -> failwith ("cannot parse " ^ path ^ ": " ^ msg))
+  | _ -> failwith "give exactly one of --gen or --file"
+
+let spec_arg =
+  Arg.(value & opt (some string) None & info [ "g"; "gen" ] ~docv:"SPEC" ~doc:generator_doc)
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"PATH"
+         ~doc:"Read the CDAG from a text-format file (see Dmc_cdag.Serialize).")
+
+let s_arg =
+  Arg.(value & opt int 8 & info [ "s" ] ~docv:"S" ~doc:"Fast-memory capacity in words.")
+
+(* ------------------------------------------------------------------ *)
+(* dmc gen                                                            *)
+
+let gen_cmd =
+  let run spec file output dot =
+    setup_logs ();
+    guarded @@ fun () ->
+    let g = load_cdag ~spec ~file in
+    let text = if dot then Dmc_cdag.Dot.to_string g else Dmc_cdag.Serialize.to_string g in
+    (match output with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text));
+    Format.printf "%a@." Dmc_cdag.Cdag.pp_stats g
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Write to a file instead of stdout.")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of the text format.") in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a workload CDAG")
+    Term.(const run $ spec_arg $ file_arg $ output $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* dmc bounds                                                         *)
+
+let bounds_cmd =
+  let run spec file s optimal certify json =
+    setup_logs ();
+    guarded @@ fun () ->
+    let g = load_cdag ~spec ~file in
+    let report =
+      Dmc_core.Bounds.analyze ~optimal_limit:(if optimal then 20 else 0) g ~s
+    in
+    if json then
+      print_endline (Dmc_util.Json.to_string (Dmc_core.Bounds.report_to_json report))
+    else Format.printf "%a@." Dmc_core.Bounds.pp_report report;
+    if certify then
+      Format.printf "wavefront certificate verifies: %b@."
+        (Dmc_core.Bounds.certify_wavefront g ~s)
+  in
+  let optimal =
+    Arg.(value & flag & info [ "optimal" ]
+           ~doc:"Also run the exhaustive optimal-game search (<= 20 vertices).")
+  in
+  let certify =
+    Arg.(value & flag & info [ "certify" ]
+           ~doc:"Extract and verify a Menger witness for the wavefront bound.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.") in
+  Cmd.v (Cmd.info "bounds" ~doc:"Lower/upper-bound analysis of a CDAG")
+    Term.(const run $ spec_arg $ file_arg $ s_arg $ optimal $ certify $ json)
+
+(* ------------------------------------------------------------------ *)
+(* dmc game                                                           *)
+
+let game_cmd =
+  let run spec file s policy trace =
+    setup_logs ();
+    guarded @@ fun () ->
+    let g = load_cdag ~spec ~file in
+    let policy =
+      match policy with
+      | "lru" -> Dmc_core.Strategy.Lru
+      | "belady" -> Dmc_core.Strategy.Belady
+      | p -> failwith ("unknown policy: " ^ p)
+    in
+    let moves = Dmc_core.Strategy.schedule ~policy g ~s in
+    (match Dmc_core.Rbw_game.run g ~s moves with
+    | Ok stats ->
+        Format.printf
+          "valid RBW game: io=%d (loads=%d stores=%d), computes=%d, peak red=%d@."
+          stats.io stats.loads stats.stores stats.computes stats.max_red;
+        Format.printf "%a@." Dmc_core.Trace.pp_summary (Dmc_core.Trace.summarize moves);
+        let phases = Dmc_core.Trace.phase_io ~s moves in
+        Format.printf "Theorem-1 phases (<= S I/Os each): %d@." (List.length phases)
+    | Error e -> Format.printf "INVALID at step %d: %s@." e.step e.reason);
+    if trace then begin
+      print_string (Dmc_core.Trace.render_timeline moves);
+      print_string (Dmc_core.Trace.to_string ~limit:200 moves)
+    end
+  in
+  let policy =
+    Arg.(value & opt string "belady" & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Eviction policy: belady or lru.")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the move sequence.") in
+  Cmd.v (Cmd.info "game" ~doc:"Play a scheduling strategy as a checked RBW pebble game")
+    Term.(const run $ spec_arg $ file_arg $ s_arg $ policy $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* dmc replay                                                         *)
+
+let replay_cmd =
+  let run spec file s moves_path =
+    setup_logs ();
+    guarded @@ fun () ->
+    let g = load_cdag ~spec ~file in
+    let text =
+      let ic = open_in moves_path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Dmc_core.Trace.parse text with
+    | Error msg -> failwith ("cannot parse moves: " ^ msg)
+    | Ok moves -> (
+        match Dmc_core.Rbw_game.run g ~s moves with
+        | Ok stats ->
+            Format.printf "VALID: io=%d (loads=%d stores=%d), computes=%d, peak red=%d@."
+              stats.io stats.loads stats.stores stats.computes stats.max_red
+        | Error e ->
+            Format.printf "INVALID at step %d: %s@." e.step e.reason;
+            exit 1)
+  in
+  let moves_path =
+    Arg.(required & opt (some string) None & info [ "moves" ] ~docv:"PATH"
+           ~doc:"File of moves, one per line (load/store/compute/delete N).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Validate an externally produced move sequence against the RBW rules")
+    Term.(const run $ spec_arg $ file_arg $ s_arg $ moves_path)
+
+(* ------------------------------------------------------------------ *)
+(* dmc hier                                                           *)
+
+let hier_cmd =
+  let run spec file s1 s2 =
+    setup_logs ();
+    guarded @@ fun () ->
+    let g = load_cdag ~spec ~file in
+    let moves = Dmc_core.Strategy.hierarchical g ~s1 ~s2 in
+    let hier = Dmc_core.Strategy.hierarchical_hierarchy ~s1 ~s2 in
+    match Dmc_core.Prbw_game.run hier g moves with
+    | Ok stats ->
+        Format.printf
+          "valid P-RBW game on 1 core, %d-word registers, %d-word cache:@." s1 s2;
+        Format.printf "%a" Dmc_machine.Hierarchy.pp_tree hier;
+        Format.printf "  registers<->cache: %d words@."
+          (Dmc_core.Prbw_game.boundary_traffic stats ~level:2);
+        Format.printf "  cache<->memory:    %d words@."
+          (Dmc_core.Prbw_game.boundary_traffic stats ~level:3);
+        Format.printf "  inputs read: %d, outputs written: %d@." stats.loads stats.stores;
+        Format.printf "  sequential lower bounds: LB(S=%d) = %d, LB(S=%d) = %d@." s1
+          (Dmc_core.Wavefront.lower_bound g ~s:s1)
+          s2
+          (Dmc_core.Wavefront.lower_bound g ~s:s2)
+    | Error e -> Format.printf "INVALID at step %d: %s@." e.step e.reason
+  in
+  let s1 =
+    Arg.(value & opt int 8 & info [ "s1" ] ~docv:"S1" ~doc:"Register-file capacity in words.")
+  in
+  let s2 =
+    Arg.(value & opt int 64 & info [ "s2" ] ~docv:"S2" ~doc:"Cache capacity in words.")
+  in
+  Cmd.v
+    (Cmd.info "hier"
+       ~doc:"Run a CDAG through the three-level hierarchy and report per-boundary traffic")
+    Term.(const run $ spec_arg $ file_arg $ s1 $ s2)
+
+(* ------------------------------------------------------------------ *)
+(* dmc witness                                                        *)
+
+let witness_cmd =
+  let run spec file vertex =
+    setup_logs ();
+    guarded @@ fun () ->
+    let g = load_cdag ~spec ~file in
+    let v =
+      match vertex with
+      | Some v -> v
+      | None ->
+          (* pick the vertex with the largest wavefront *)
+          let best = ref 0 and best_w = ref (-1) in
+          Dmc_cdag.Cdag.iter_vertices g (fun x ->
+              let w = Dmc_core.Wavefront.min_wavefront g x in
+              if w > !best_w then begin
+                best_w := w;
+                best := x
+              end);
+          !best
+    in
+    let w = Dmc_core.Wavefront.witness g v in
+    Format.printf "vertex %d (%s): min wavefront = %d@." v
+      (Dmc_cdag.Cdag.label g v)
+      (max 1 (List.length w.Dmc_core.Wavefront.paths));
+    Format.printf "witness verifies: %b@." (Dmc_core.Wavefront.verify_witness g w);
+    List.iteri
+      (fun i path ->
+        Format.printf "  path %d: %s@." i
+          (String.concat " -> " (List.map string_of_int path)))
+      w.Dmc_core.Wavefront.paths
+  in
+  let vertex =
+    Arg.(value & opt (some int) None & info [ "vertex" ] ~docv:"V"
+           ~doc:"Vertex to certify (default: the wavefront maximizer).")
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:"Extract and verify a Menger path witness for a wavefront bound")
+    Term.(const run $ spec_arg $ file_arg $ vertex)
+
+(* ------------------------------------------------------------------ *)
+(* dmc horizontal                                                     *)
+
+let horizontal_cmd =
+  let run spec file procs =
+    setup_logs ();
+    guarded @@ fun () ->
+    let g = load_cdag ~spec ~file in
+    let cost, assign = Dmc_core.Optimal.min_balanced_horizontal g ~procs in
+    Format.printf
+      "balanced-assignment horizontal optimum on %d nodes: %d words@." procs cost;
+    let loads = Array.make procs 0 in
+    Dmc_cdag.Cdag.iter_vertices g (fun v ->
+        if not (Dmc_cdag.Cdag.is_input g v) then
+          loads.(assign.(v)) <- loads.(assign.(v)) + 1);
+    Array.iteri (fun p w -> Format.printf "  node %d fires %d vertices@." p w) loads
+  in
+  let procs =
+    Arg.(value & opt int 2 & info [ "procs" ] ~docv:"P" ~doc:"Number of nodes.")
+  in
+  Cmd.v
+    (Cmd.info "horizontal"
+       ~doc:"Exact minimum inter-node traffic over balanced work assignments (small CDAGs)")
+    Term.(const run $ spec_arg $ file_arg $ procs)
+
+(* ------------------------------------------------------------------ *)
+(* dmc formula                                                        *)
+
+let formula_cmd =
+  let run name bindings raw =
+    setup_logs ();
+    guarded @@ fun () ->
+    let env =
+      List.map
+        (fun b ->
+          match String.index_opt b '=' with
+          | Some i ->
+              let key = String.sub b 0 i in
+              let v = String.sub b (i + 1) (String.length b - i - 1) in
+              (key, float_of_string v)
+          | None -> failwith ("binding must look like name=value: " ^ b))
+        bindings
+    in
+    let show label e =
+      let e = Dmc_symbolic.Expr.simplify e in
+      Format.printf "%s = %s@." label (Dmc_symbolic.Expr.to_string e);
+      let free = Dmc_symbolic.Expr.vars e in
+      let missing = List.filter (fun v -> not (List.mem_assoc v env)) free in
+      if missing = [] then
+        Format.printf "  value: %g@." (Dmc_symbolic.Expr.eval ~env e)
+      else
+        Format.printf "  free variables: %s@." (String.concat ", " missing)
+    in
+    match (name, raw) with
+    | Some name, None -> (
+        match Dmc_symbolic.Formulas.find name with
+        | Some e -> show name e
+        | None ->
+            failwith
+              (Printf.sprintf "unknown formula %s (known: %s)" name
+                 (String.concat ", " (List.map fst Dmc_symbolic.Formulas.all))))
+    | None, Some text -> (
+        match Dmc_symbolic.Expr.parse text with
+        | Ok e -> show "expr" e
+        | Error msg -> failwith ("parse error: " ^ msg))
+    | None, None ->
+        List.iter
+          (fun (n, e) ->
+            Format.printf "%-24s %s@." n
+              (Dmc_symbolic.Expr.to_string (Dmc_symbolic.Expr.simplify e)))
+          Dmc_symbolic.Formulas.all
+    | Some _, Some _ -> failwith "give either a formula name or --expr, not both"
+  in
+  let fname =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Formula name (omit to list all).")
+  in
+  let bindings =
+    Arg.(value & opt_all string [] & info [ "set" ] ~docv:"VAR=VALUE"
+           ~doc:"Bind a variable for evaluation (repeatable).")
+  in
+  let raw =
+    Arg.(value & opt (some string) None & info [ "expr" ] ~docv:"EXPR"
+           ~doc:"Evaluate an ad-hoc expression instead of a named formula.")
+  in
+  Cmd.v (Cmd.info "formula" ~doc:"Print and evaluate the paper's bounds symbolically")
+    Term.(const run $ fname $ bindings $ raw)
+
+(* ------------------------------------------------------------------ *)
+(* dmc machines                                                       *)
+
+let machines_cmd =
+  let run () =
+    setup_logs ();
+    guarded @@ fun () ->
+    Dmc_util.Table.print (Dmc_analysis.Table1.table ())
+  in
+  Cmd.v (Cmd.info "machines" ~doc:"Print the Table-1 machine specifications")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* dmc experiment                                                     *)
+
+let experiment_cmd =
+  let run names =
+    setup_logs ();
+    guarded @@ fun () ->
+    let registry = Dmc_analysis.Report.names in
+    let selected =
+      match names with
+      | [] -> registry
+      | names ->
+          List.map
+            (fun n ->
+              match List.assoc_opt n registry with
+              | Some f -> (n, f)
+              | None ->
+                  failwith
+                    (Printf.sprintf "unknown experiment %s (known: %s)" n
+                       (String.concat ", " (List.map fst registry))))
+            names
+    in
+    let ok = List.fold_left (fun acc (_, f) -> f () && acc) true selected in
+    Printf.printf "\nOVERALL: %s\n" (if ok then "ALL CHECKS PASSED" else "SOME CHECKS FAILED");
+    if not ok then exit 1
+  in
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME"
+           ~doc:"Experiments to run (default: all). Known: table1 sec3 cg gmres jacobi validate sim.")
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Run the paper's evaluation experiments")
+    Term.(const run $ names)
+
+let () =
+  let info =
+    Cmd.info "dmc" ~version:"1.0.0"
+      ~doc:"Data-movement complexity of computational DAGs (Elango et al., SPAA 2014)"
+  in
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; bounds_cmd; game_cmd; replay_cmd; hier_cmd; horizontal_cmd; witness_cmd; formula_cmd; machines_cmd; experiment_cmd ]))

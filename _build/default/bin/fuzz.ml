@@ -1,0 +1,142 @@
+(* dmc-fuzz: randomized cross-validation soak tool.
+
+   Generates random CDAGs across several families and, for each,
+   cross-checks every engine against every other:
+
+     1. every lower bound <= the exhaustive RBW optimum (small graphs);
+     2. the optimum <= every strategy's measured I/O;
+     3. RB optimum <= RBW optimum;
+     4. every schedule (Belady, LRU, DFS order) replays cleanly;
+     5. the Theorem-1 partition of each game validates with
+        q >= S(h-1);
+     6. the LRU simulator's traffic dominates the certified bound;
+     7. serialization round-trips;
+     8. the three-level hierarchical game validates with both
+        boundaries above their sequential bounds.
+
+   Usage:  dune exec bin/fuzz.exe -- [cases] [seed]
+   Exit status 1 on the first violation (with a reproducer seed). *)
+
+module Cdag = Dmc_cdag.Cdag
+module Rng = Dmc_util.Rng
+module Strategy = Dmc_core.Strategy
+
+let max_indeg g =
+  Cdag.fold_vertices g (fun acc v -> max acc (Cdag.in_degree g v)) 0
+
+let families =
+  [|
+    (fun rng -> Dmc_gen.Random_dag.layered rng ~layers:4 ~width:4 ~edge_prob:0.4);
+    (fun rng -> Dmc_gen.Random_dag.layered rng ~layers:3 ~width:5 ~edge_prob:0.6);
+    (fun rng -> Dmc_gen.Random_dag.gnp rng ~n:(7 + Rng.int rng 6) ~edge_prob:0.3);
+    (fun rng -> Dmc_gen.Random_dag.connected_dag rng ~n:(6 + Rng.int rng 8)
+                  ~extra_edges:(Rng.int rng 8));
+    (fun rng ->
+      let n = 3 + Rng.int rng 4 in
+      (Dmc_gen.Stencil.jacobi_1d ~n ~steps:(1 + Rng.int rng 3)).graph);
+  |]
+
+exception Violation of string
+
+let require label ok = if not ok then raise (Violation label)
+
+let one_case rng =
+  let g = families.(Rng.int rng (Array.length families)) rng in
+  let s = max_indeg g + 1 + Rng.int rng 4 in
+  let n = Cdag.n_vertices g in
+
+  (* 7: serialization round-trip *)
+  (match Dmc_cdag.Serialize.of_string (Dmc_cdag.Serialize.to_string g) with
+  | Ok g2 -> require "serialize" (Dmc_cdag.Serialize.equal_structure g g2)
+  | Error m -> raise (Violation ("serialize: " ^ m)));
+
+  (* 4: schedules replay *)
+  let check_schedule label order policy =
+    match Dmc_core.Rbw_game.run g ~s (Strategy.schedule ~policy ?order g ~s) with
+    | Ok stats -> stats.Dmc_core.Rbw_game.io
+    | Error e -> raise (Violation (Printf.sprintf "%s: %s" label e.reason))
+  in
+  let belady = check_schedule "belady" None Strategy.Belady in
+  let lru = check_schedule "lru" None Strategy.Lru in
+  let dfs = check_schedule "dfs" (Some (Strategy.dfs_order g)) Strategy.Belady in
+
+  (* 1-3: bound soundness against the optimum *)
+  let report = Dmc_core.Bounds.analyze g ~s in
+  (* Inputs nobody consumes still cost one load in a complete RBW game
+     (the white-pebble rule), but they never cross an inner hierarchy
+     boundary and the LRU simulator never touches them: correct the
+     dominance checks by their count. *)
+  let unused_inputs =
+    List.length
+      (List.filter (fun v -> Cdag.out_degree g v = 0) (Cdag.inputs g))
+  in
+  require "floor <= wavefront consistency" (report.best_lb >= report.io_floor);
+  (if n <= 14 then
+     match Dmc_core.Optimal.rbw_io g ~s with
+     | opt ->
+         require "lb <= optimal" (report.best_lb <= opt);
+         require "optimal <= belady" (opt <= belady);
+         require "optimal <= lru" (opt <= lru);
+         require "optimal <= dfs" (opt <= dfs);
+         if n <= 12 && Dmc_cdag.Validate.is_hong_kung g then
+           require "rb <= rbw" (Dmc_core.Optimal.rb_io g ~s <= opt)
+     | exception Dmc_core.Optimal.Too_large _ -> ());
+
+  (* 5: Theorem-1 partition of the Belady game *)
+  let moves = Strategy.schedule g ~s in
+  let io = Dmc_core.Rbw_game.io_of g ~s moves in
+  let color = Dmc_core.Spartition.of_game g ~s moves in
+  let h = 1 + Array.fold_left max (-1) color in
+  (match Dmc_core.Spartition.check g ~s:(2 * s) ~color with
+  | Ok _ -> ()
+  | Error m -> raise (Violation ("theorem1 partition: " ^ m)));
+  require "theorem1 arithmetic" (io >= s * (h - 1));
+
+  (* 6: simulator dominance *)
+  let sim =
+    Dmc_sim.Exec.run g
+      ~order:(Strategy.default_order g)
+      (Dmc_sim.Exec.sequential ~capacities:[| s; 8 * n |])
+  in
+  require "simulator dominates lb"
+    (sim.vertical.(0).(0) + unused_inputs >= report.best_lb);
+
+  (* 8: hierarchical game *)
+  let s2 = s + 2 + Rng.int rng 8 in
+  let hier_moves = Strategy.hierarchical g ~s1:s ~s2 in
+  let hier = Strategy.hierarchical_hierarchy ~s1:s ~s2 in
+  (match Dmc_core.Prbw_game.run hier g hier_moves with
+  | Ok stats ->
+      require "hier regs boundary"
+        (Dmc_core.Prbw_game.boundary_traffic stats ~level:2 + unused_inputs
+        >= Dmc_core.Wavefront.lower_bound g ~s);
+      require "hier mem boundary"
+        (Dmc_core.Prbw_game.boundary_traffic stats ~level:3 + unused_inputs
+        >= Dmc_core.Wavefront.lower_bound g ~s:s2)
+  | Error e -> raise (Violation ("hierarchical: " ^ e.reason)));
+  n
+
+let () =
+  let cases =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+  in
+  let seed = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 20140418 in
+  let master = Rng.create seed in
+  let total_vertices = ref 0 in
+  let failures = ref 0 in
+  for i = 1 to cases do
+    let case_seed = Rng.next master in
+    let rng = Rng.create case_seed in
+    match one_case rng with
+    | n -> total_vertices := !total_vertices + n
+    | exception Violation msg ->
+        incr failures;
+        Printf.printf "VIOLATION in case %d (seed %d): %s\n%!" i case_seed msg
+    | exception e ->
+        incr failures;
+        Printf.printf "EXCEPTION in case %d (seed %d): %s\n%!" i case_seed
+          (Printexc.to_string e)
+  done;
+  Printf.printf "fuzz: %d cases, %d vertices total, %d violation(s)\n" cases
+    !total_vertices !failures;
+  if Stdlib.( > ) !failures 0 then exit 1

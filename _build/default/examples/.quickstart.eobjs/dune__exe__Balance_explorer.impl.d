@@ -1,0 +1,1 @@
+examples/balance_explorer.ml: Dmc_analysis Dmc_core Dmc_machine Dmc_symbolic Dmc_util List Printf

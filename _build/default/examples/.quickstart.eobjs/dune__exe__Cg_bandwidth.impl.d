@@ -1,0 +1,1 @@
+examples/cg_bandwidth.ml: Array Dmc_analysis Dmc_cdag Dmc_core Dmc_gen Dmc_sim Dmc_util Printf

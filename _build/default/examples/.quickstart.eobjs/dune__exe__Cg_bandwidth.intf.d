@@ -1,0 +1,1 @@
+examples/cg_bandwidth.mli:

@@ -1,0 +1,1 @@
+examples/gmres_krylov_sweep.ml: Array Dmc_analysis Dmc_cdag Dmc_core Dmc_gen Dmc_machine Dmc_util List Printf

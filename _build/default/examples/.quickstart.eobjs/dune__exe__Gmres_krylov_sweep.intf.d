@@ -1,0 +1,1 @@
+examples/gmres_krylov_sweep.mli:

@@ -1,0 +1,1 @@
+examples/jacobi_tiling.ml: Array Dmc_cdag Dmc_core Dmc_gen Dmc_sim Dmc_util List Printf

@@ -1,0 +1,1 @@
+examples/multigrid_vcycle.ml: Array Dmc_analysis Dmc_cdag Dmc_core Dmc_gen Dmc_util List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dmc_cdag Dmc_core Format List

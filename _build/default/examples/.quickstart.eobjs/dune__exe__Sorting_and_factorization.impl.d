@@ -1,0 +1,1 @@
+examples/sorting_and_factorization.ml: Array Dmc_cdag Dmc_core Dmc_gen Dmc_util List Printf

@@ -1,0 +1,87 @@
+(* Co-designing a machine against the bounds — the paper's closing
+   argument turned into a tool.
+
+   Given a hypothetical machine (peak FLOP/s per core, memory and
+   network bandwidths), this example asks each algorithm's lower bound
+   whether the machine can ever run it at full tilt, how fast the
+   cache must grow to save a stencil, and where the time actually goes
+   (Equations 4-6).  Formulas are manipulated symbolically so the
+   reader can see what is being evaluated.
+
+   Run with:  dune exec examples/balance_explorer.exe *)
+
+module Expr = Dmc_symbolic.Expr
+module Formulas = Dmc_symbolic.Formulas
+module Machines = Dmc_machine.Machines
+module Table = Dmc_util.Table
+
+let () =
+  (* A hypothetical 2030 node: 128 cores at 16 GFLOP/s, 4 TB/s of
+     memory bandwidth, 100 GB/s injection. *)
+  let cores = 128 and flops = 16.0e9 in
+  let peak = float_of_int cores *. flops in
+  let mem_bw_words = 4.0e12 /. 8.0 and net_bw_words = 100.0e9 /. 8.0 in
+  let v_balance = mem_bw_words /. peak in
+  let h_balance = net_bw_words /. peak in
+  Printf.printf
+    "hypothetical node: %d cores x %.0f GFLOP/s, %.1f TB/s HBM, 100 GB/s NIC\n\
+     vertical balance %.4f words/FLOP, horizontal %.6f words/FLOP\n\n"
+    cores (flops /. 1.0e9) 4.0 v_balance h_balance;
+
+  (* What does each algorithm demand?  Straight from the symbolic
+     formulas. *)
+  Printf.printf "per-algorithm floors (words/FLOP) vs this machine:\n\n";
+  let t = Table.create ~headers:[ "algorithm"; "formula"; "floor"; "verdict" ] in
+  let verdict floor =
+    Dmc_machine.Balance.verdict_to_string
+      (Dmc_machine.Balance.classify_lower ~lb_per_flop:floor ~balance:v_balance)
+  in
+  let add name formula env =
+    let floor = Expr.eval ~env formula in
+    Table.add_row t
+      [ name; Expr.to_string (Expr.simplify formula);
+        Printf.sprintf "%.2e" floor; verdict floor ]
+  in
+  add "CG" Formulas.cg_vertical_per_flop [];
+  add "GMRES m=32" Formulas.gmres_vertical_per_flop [ ("m", 32.0) ];
+  add "GMRES m=512" Formulas.gmres_vertical_per_flop [ ("m", 512.0) ];
+  let cache_words = 8.0 *. 1024.0 *. 1024.0 in
+  add "Jacobi 3D" Formulas.jacobi_threshold [ ("d", 3.0); ("S", cache_words) ];
+  Table.print t;
+
+  (* How big must the cache be before a d-dimensional stencil is
+     safe?  Invert the threshold symbolically-ish: sweep S. *)
+  Printf.printf
+    "\nJacobi floor vs cache size (the knob an architect can turn):\n\n";
+  let t2 = Table.create ~headers:[ "cache (MWords)"; "3D floor"; "5D floor" ] in
+  List.iter
+    (fun mw ->
+      let s = mw *. 1024.0 *. 1024.0 in
+      let f d = Expr.eval ~env:[ ("d", d); ("S", s) ] Formulas.jacobi_threshold in
+      Table.add_row t2
+        [ Printf.sprintf "%.2f" mw; Printf.sprintf "%.2e" (f 3.0);
+          Printf.sprintf "%.2e" (f 5.0) ])
+    [ 0.25; 1.0; 4.0; 16.0 ];
+  Table.print t2;
+
+  (* And where does the time go for CG on the real Table-1 machines,
+     versus this hypothetical one? *)
+  Printf.printf "\nCG time model (n = 1000, T = 100):\n\n";
+  Table.print (Dmc_analysis.Time_model.table ~flops_per_core:8.0e9 ~n:1000 ~steps:100);
+  let p =
+    Dmc_analysis.Time_model.predict ~flops_per_core:flops ~cores ~nodes:1024
+      ~vertical_bw:mem_bw_words ~horizontal_bw:net_bw_words
+      ~work:(Dmc_core.Analytic.cg_flops ~d:3 ~n:1000 ~steps:100)
+      ~vertical_words_per_node:
+        (Dmc_core.Analytic.cg_vertical_lb ~d:3 ~n:1000 ~steps:100
+           ~p:(1024 * cores)
+        *. float_of_int cores)
+      ~horizontal_words_per_node:
+        (Dmc_core.Analytic.cg_horizontal_ub ~d:3 ~block:100 ~steps:100)
+  in
+  Printf.printf
+    "\nhypothetical node: T_comp %.2e s vs T_mem %.2e s -> efficiency cap %.0f%%\n\
+     (CG stays memory-bound even on a 4 TB/s node: 0.3 words/FLOP is a\n\
+     property of the algorithm, not of any machine)\n"
+    p.Dmc_analysis.Time_model.t_comp p.Dmc_analysis.Time_model.t_vertical
+    (100.0 *. p.Dmc_analysis.Time_model.efficiency_cap)

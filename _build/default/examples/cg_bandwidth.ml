@@ -1,0 +1,70 @@
+(* Is Conjugate Gradient doomed to be memory-bound?  (Section 5.2)
+
+   This example reproduces the paper's headline CG result end to end:
+   1. the machine-balance argument — CG moves at least 0.3 words per
+      FLOP through the memory/L2 link, more than any Table-1 machine
+      can stream, so no amount of tuning makes it compute-bound;
+   2. the wavefront machinery behind that number, run mechanically on a
+      real CG CDAG: min-cut wavefronts at the two dot-product scalars
+      of every iteration, composed by decomposition;
+   3. the horizontal side: ghost-cell traffic measured on a
+      block-partitioned run through the cluster simulator, matching the
+      (B+2)^d - B^d formula — orders of magnitude under the network
+      balance.
+
+   Run with:  dune exec examples/cg_bandwidth.exe *)
+
+let () =
+  (* 1. Balance analysis at the paper's scale (d = 3, n = 1000). *)
+  Dmc_util.Table.print (Dmc_analysis.Cg_analysis.table ());
+  Printf.printf
+    "\nCG's vertical lower bound per FLOP is 6/20 = %.2f words/FLOP;\n\
+     both machines sit far below it, so CG is bandwidth-bound vertically.\n\n"
+    (Dmc_core.Analytic.cg_vertical_per_flop ());
+
+  (* 2. The Theorem-8 machinery on a real (small) CG CDAG. *)
+  let dims = [ 4; 4; 4 ] and iters = 3 and s = 24 in
+  let cg = Dmc_gen.Solver.cg ~dims ~iters in
+  let npts = Dmc_gen.Grid.size cg.grid in
+  Printf.printf "CG CDAG on a %d-point grid, %d iterations: %d vertices\n" npts
+    iters (Dmc_cdag.Cdag.n_vertices cg.graph);
+  Array.iteri
+    (fun t (it : Dmc_gen.Solver.cg_iteration) ->
+      let wa = Dmc_core.Wavefront.min_wavefront cg.graph it.a_scalar in
+      let wg = Dmc_core.Wavefront.min_wavefront cg.graph it.g_scalar in
+      Printf.printf
+        "  iteration %d: |Wmin(a)| = %3d (>= 2 n^d = %3d)   |Wmin(g)| = %3d (>= n^d = %3d)\n"
+        t wa (2 * npts) wg npts)
+    cg.iterations;
+  let s_check = Dmc_analysis.Cg_analysis.structure ~dims ~iters ~s () in
+  Printf.printf
+    "decomposed lower bound (Theorems 2+8): %d words;  a measured Belady execution: %d words\n\n"
+    s_check.decomposed_lb s_check.belady_ub;
+
+  (* 3. Horizontal: block-partitioned SpMV ghost cells via the
+     simulator. *)
+  let grid_n = 12 and blocks = [ 2; 2 ] and steps = 3 in
+  let st =
+    Dmc_gen.Stencil.jacobi ~shape:Dmc_gen.Stencil.Star ~dims:[ grid_n; grid_n ]
+      ~steps ()
+  in
+  let owner_pt = Dmc_sim.Partitioner.block_owner ~dims:[ grid_n; grid_n ] ~blocks in
+  let npts2 = grid_n * grid_n in
+  let owner v = owner_pt (Dmc_gen.Grid.coord st.grid (v mod npts2)) in
+  let result =
+    Dmc_sim.Exec.run st.graph
+      ~order:(Dmc_gen.Stencil.natural_order st)
+      { Dmc_sim.Exec.capacities = [| 64; 8 * npts2 |]; nodes = 4; owner }
+  in
+  let predicted =
+    Dmc_sim.Partitioner.ghost_words ~dims:[ grid_n; grid_n ] ~blocks ~star:true
+    * steps
+  in
+  Printf.printf
+    "horizontal traffic on a %dx%d grid over %d SpMV-like sweeps across 4 nodes:\n\
+    \  measured %d words, ghost-cell formula %d words\n"
+    grid_n grid_n steps result.horizontal_total predicted;
+  Printf.printf
+    "per-FLOP that is ~%.1e words — versus a network balance of ~0.05: the\n\
+     interconnect is never CG's bottleneck; the memory wall is.\n"
+    (Dmc_core.Analytic.cg_horizontal_per_flop ~d:3 ~n:1000 ~nodes:2048)

@@ -1,0 +1,67 @@
+(* Multigrid under the data-movement microscope — an extension of the
+   paper's solver family.
+
+   A V-cycle does geometrically less work on each coarser grid, so its
+   arithmetic is dominated by the finest-level smoothing.  What about
+   its data movement?  This example
+
+   1. builds full V-cycle CDAGs (smooth / restrict / recurse / prolong
+      / smooth) and shows their structure;
+   2. locates the dominant wavefront: it sits at the restriction
+      funnel, where the entire fine grid is pinned live while the
+      coarse correction is computed — multigrid's version of CG's
+      dot-product bottleneck;
+   3. runs the per-cycle decomposition (the Theorem-2/8 pattern): the
+      composed bound grows linearly with the cycle count while a
+      whole-graph wavefront bound saturates;
+   4. sandwiches everything against measured Belady executions.
+
+   Run with:  dune exec examples/multigrid_vcycle.exe *)
+
+module Multigrid = Dmc_gen.Multigrid
+module Cdag = Dmc_cdag.Cdag
+
+let () =
+  let dims = [ 33 ] and levels = 3 in
+  let mg = Multigrid.v_cycle ~dims ~levels ~cycles:1 () in
+  Printf.printf "V-cycle on a %d-point grid, %d levels: %d vertices, %d edges\n"
+    (Multigrid.finest_points mg) levels
+    (Cdag.n_vertices mg.Multigrid.graph)
+    (Cdag.n_edges mg.Multigrid.graph);
+  Array.iteri
+    (fun l grid ->
+      Printf.printf "  level %d: %d points\n" l (Dmc_gen.Grid.size grid))
+    mg.Multigrid.grids;
+
+  (* Where is the data-movement bottleneck?  Compare wavefronts at a
+     smoothing point, at a restriction point, and at a corrected
+     point. *)
+  let g = mg.Multigrid.graph in
+  let fine = mg.Multigrid.cycles.(0).(0) in
+  let mid = Multigrid.finest_points mg / 2 in
+  let probe label v =
+    Printf.printf "  |Wmin| at %-28s = %d\n" label
+      (Dmc_core.Wavefront.min_wavefront g v)
+  in
+  print_newline ();
+  probe "fine smoothing (sweep 2, mid)" fine.Multigrid.pre_smooth.(1).(mid);
+  probe "restriction (coarse mid)"
+    fine.Multigrid.restricted.(Array.length fine.Multigrid.restricted / 2);
+  probe "prolongated correction (mid)" fine.Multigrid.corrected.(mid);
+  let wit =
+    Dmc_core.Wavefront.witness g
+      fine.Multigrid.restricted.(Array.length fine.Multigrid.restricted / 2)
+  in
+  Printf.printf
+    "  the restriction wavefront comes with a %d-path Menger witness (verified: %b)\n"
+    (List.length wit.Dmc_core.Wavefront.paths)
+    (Dmc_core.Wavefront.verify_witness g wit);
+
+  (* The decomposition story, as in the CG/GMRES experiments. *)
+  print_newline ();
+  let rows = Dmc_analysis.Multigrid_analysis.sweep ~cycle_counts:[ 1; 2; 4; 8 ] () in
+  Dmc_util.Table.print (Dmc_analysis.Multigrid_analysis.table rows);
+  Printf.printf
+    "\nThe per-cycle decomposed bound grows with the cycle count while the\n\
+     whole-graph wavefront saturates -- every V-cycle must re-stream the fine\n\
+     grid, exactly like every CG iteration must (Theorem 8).\n"

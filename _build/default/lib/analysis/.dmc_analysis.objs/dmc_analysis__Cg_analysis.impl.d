@@ -1,0 +1,1 @@
+lib/analysis/cg_analysis.ml: Array Dmc_cdag Dmc_core Dmc_gen Dmc_machine Dmc_util List Printf

@@ -1,0 +1,1 @@
+lib/analysis/cg_analysis.mli: Dmc_machine Dmc_util

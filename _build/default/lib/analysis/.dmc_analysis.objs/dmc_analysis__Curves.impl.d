@@ -1,0 +1,1 @@
+lib/analysis/curves.ml: Dmc_core Dmc_gen Dmc_util Float List Printf

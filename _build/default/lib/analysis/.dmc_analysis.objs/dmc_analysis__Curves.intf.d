@@ -1,0 +1,1 @@
+lib/analysis/curves.mli: Dmc_util

@@ -1,0 +1,1 @@
+lib/analysis/fft_analysis.ml: Dmc_core Dmc_flow Dmc_gen Dmc_util Float List Printf

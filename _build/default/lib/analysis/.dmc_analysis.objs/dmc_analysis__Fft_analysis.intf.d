@@ -1,0 +1,1 @@
+lib/analysis/fft_analysis.mli: Dmc_util

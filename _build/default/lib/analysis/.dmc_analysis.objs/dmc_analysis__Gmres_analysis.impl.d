@@ -1,0 +1,1 @@
+lib/analysis/gmres_analysis.ml: Array Dmc_core Dmc_gen Dmc_machine Dmc_util List Printf

@@ -1,0 +1,1 @@
+lib/analysis/gmres_analysis.mli: Dmc_machine Dmc_util

@@ -1,0 +1,1 @@
+lib/analysis/jacobi_analysis.ml: Dmc_core Dmc_gen Dmc_machine Dmc_sim Dmc_util List Printf

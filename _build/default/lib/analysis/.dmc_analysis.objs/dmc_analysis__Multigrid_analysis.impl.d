@@ -1,0 +1,1 @@
+lib/analysis/multigrid_analysis.ml: Array Dmc_cdag Dmc_core Dmc_gen Dmc_util List Printf

@@ -1,0 +1,1 @@
+lib/analysis/multigrid_analysis.mli: Dmc_util

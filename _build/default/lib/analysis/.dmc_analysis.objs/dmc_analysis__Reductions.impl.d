@@ -1,0 +1,1 @@
+lib/analysis/reductions.ml: Array Dmc_cdag Dmc_core Dmc_gen Printf

@@ -1,0 +1,1 @@
+lib/analysis/scaling.ml: Dmc_core Dmc_machine Dmc_util List Printf String

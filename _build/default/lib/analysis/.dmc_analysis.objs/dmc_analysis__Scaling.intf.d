@@ -1,0 +1,1 @@
+lib/analysis/scaling.mli: Dmc_util

@@ -1,0 +1,1 @@
+lib/analysis/sec3.ml: Dmc_core Dmc_gen Dmc_util List Option Printf

@@ -1,0 +1,1 @@
+lib/analysis/sec3.mli: Dmc_util

@@ -1,0 +1,1 @@
+lib/analysis/summary.ml: Dmc_machine Dmc_symbolic Dmc_util List Printf

@@ -1,0 +1,1 @@
+lib/analysis/table1.ml: Dmc_machine Dmc_util List Printf

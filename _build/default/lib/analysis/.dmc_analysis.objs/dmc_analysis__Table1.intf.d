@@ -1,0 +1,1 @@
+lib/analysis/table1.mli: Dmc_util

@@ -1,0 +1,1 @@
+lib/analysis/time_model.ml: Dmc_core Dmc_machine Dmc_util Float List Printf

@@ -1,0 +1,1 @@
+lib/analysis/time_model.mli: Dmc_machine Dmc_util

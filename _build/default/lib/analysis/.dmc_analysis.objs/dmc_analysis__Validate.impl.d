@@ -1,0 +1,1 @@
+lib/analysis/validate.ml: Array Dmc_cdag Dmc_core Dmc_gen Dmc_sim Dmc_util List Printf

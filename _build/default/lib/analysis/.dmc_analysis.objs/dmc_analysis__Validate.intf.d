@@ -1,0 +1,1 @@
+lib/analysis/validate.mli: Dmc_util

@@ -1,0 +1,111 @@
+module Table = Dmc_util.Table
+module Machines = Dmc_machine.Machines
+module Balance = Dmc_machine.Balance
+module Analytic = Dmc_core.Analytic
+module Cdag = Dmc_cdag.Cdag
+
+type row = {
+  machine : Machines.t;
+  vertical_per_flop : float;
+  vertical_verdict : Balance.verdict;
+  horizontal_per_flop : float;
+  horizontal_verdict : Balance.verdict;
+}
+
+let analyze ?(d = 3) ?(n = 1000) () =
+  List.map
+    (fun (m : Machines.t) ->
+      let vertical_per_flop = Analytic.cg_vertical_per_flop () in
+      let horizontal_per_flop =
+        Analytic.cg_horizontal_per_flop ~d ~n ~nodes:m.nodes
+      in
+      {
+        machine = m;
+        vertical_per_flop;
+        vertical_verdict =
+          Balance.classify_lower ~lb_per_flop:vertical_per_flop
+            ~balance:m.vertical_balance;
+        horizontal_per_flop;
+        horizontal_verdict =
+          Balance.classify_upper ~ub_per_flop:horizontal_per_flop
+            ~balance:m.horizontal_balance;
+      })
+    Machines.table1
+
+let table ?d ?n () =
+  let t =
+    Table.create
+      ~headers:
+        [
+          "Machine";
+          "LB_vert/FLOP";
+          "balance_vert";
+          "vertical verdict";
+          "UB_horiz/FLOP";
+          "balance_horiz";
+          "horizontal verdict";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.machine.Machines.name;
+          Printf.sprintf "%.3f" r.vertical_per_flop;
+          Printf.sprintf "%.4f" r.machine.Machines.vertical_balance;
+          Balance.verdict_to_string r.vertical_verdict;
+          Printf.sprintf "%.2e" r.horizontal_per_flop;
+          Printf.sprintf "%.4f" r.machine.Machines.horizontal_balance;
+          Balance.verdict_to_string r.horizontal_verdict;
+        ])
+    (analyze ?d ?n ());
+  t
+
+type structure_check = {
+  grid_points : int;
+  iters : int;
+  a_wavefront : int;
+  g_wavefront : int;
+  decomposed_lb : int;
+  belady_ub : int;
+  s : int;
+}
+
+(* Slice the CG CDAG so that piece [t] holds the direction vector
+   carried into iteration [t] together with iteration [t]'s SpMV, dot
+   products, scalar [a] and vector updates — the shape in which both
+   the p-paths and the v-paths to υ_x survive, giving the 2 n^d
+   wavefront inside a purely disjoint (Theorem 2) decomposition. *)
+let slices (cg : Dmc_gen.Solver.cg) =
+  let iters = Array.length cg.iterations in
+  let bound t =
+    let r = cg.iterations.(t).r_next in
+    r.(Array.length r - 1)
+  in
+  fun v ->
+    let rec find t = if t >= iters then iters - 1 else if v <= bound t then t else find (t + 1) in
+    find 0
+
+let structure ?(dims = [ 4; 4; 4 ]) ?(iters = 2) ?(s = 16) () =
+  let cg = Dmc_gen.Solver.cg ~dims ~iters in
+  let g = cg.graph in
+  let slice_of = slices cg in
+  let parts =
+    Dmc_core.Decompose.iteration_slices g ~slice_of ~n_slices:iters
+  in
+  let pieces =
+    Array.mapi
+      (fun t part -> (part, [ cg.iterations.(t).a_scalar ]))
+      parts
+  in
+  let decomposed_lb = Dmc_core.Decompose.wavefront_sum g ~pieces ~s in
+  let last = cg.iterations.(iters - 1) in
+  {
+    grid_points = Dmc_gen.Grid.size cg.grid;
+    iters;
+    a_wavefront = Dmc_core.Wavefront.min_wavefront g last.a_scalar;
+    g_wavefront = Dmc_core.Wavefront.min_wavefront g last.g_scalar;
+    decomposed_lb;
+    belady_ub = Dmc_core.Strategy.io g ~s;
+    s;
+  }

@@ -1,0 +1,37 @@
+(** The Conjugate Gradient analysis of Section 5.2.
+
+    Vertical: Theorem 8 gives [6 n^d T / P] words through the busiest
+    memory–cache link, i.e. [6/20 = 0.3] words per FLOP — above every
+    Table-1 balance, so CG is memory-bandwidth bound on all of them.
+    Horizontal: the ghost-cell upper bound gives
+    [6 N_nodes^{1/3} / (20 n)] words per FLOP — far below the
+    balances, so the interconnect is never the bottleneck. *)
+
+type row = {
+  machine : Dmc_machine.Machines.t;
+  vertical_per_flop : float;     (** 0.3, machine-independent *)
+  vertical_verdict : Dmc_machine.Balance.verdict;
+  horizontal_per_flop : float;
+  horizontal_verdict : Dmc_machine.Balance.verdict;
+}
+
+val analyze : ?d:int -> ?n:int -> unit -> row list
+(** Defaults [d = 3], [n = 1000] — the paper's setting. *)
+
+val table : ?d:int -> ?n:int -> unit -> Dmc_util.Table.t
+
+type structure_check = {
+  grid_points : int;
+  iters : int;
+  a_wavefront : int;   (** measured [|Wmin(υ_x)|]; paper claims >= 2 n^d *)
+  g_wavefront : int;   (** measured [|Wmin(υ_y)|]; paper claims >= n^d *)
+  decomposed_lb : int; (** the Theorem-8 pipeline run on the real CDAG *)
+  belady_ub : int;     (** a measured valid execution with the same S *)
+  s : int;
+}
+
+val structure : ?dims:int list -> ?iters:int -> ?s:int -> unit -> structure_check
+(** Run the actual Theorem-8 machinery (iteration slicing + per-slice
+    wavefront min-cuts + decomposition) on a concrete small CG CDAG and
+    sandwich it against a valid execution.  Defaults: a 3D [4^3] grid,
+    2 iterations, [s = 16]. *)

@@ -1,0 +1,114 @@
+module Table = Dmc_util.Table
+
+type point = { s : int; lb : float; ub : int }
+
+type curve = {
+  workload : string;
+  shape : string;
+  points : point list;
+}
+
+let matmul_curve ?(n = 12) ~ss () =
+  let mm = Dmc_gen.Linalg.matmul_indexed n in
+  {
+    workload = Printf.sprintf "matmul %dx%d" n n;
+    shape = "~ n^3 / sqrt S";
+    points =
+      List.map
+        (fun s ->
+          let block = max 1 (int_of_float (sqrt (float_of_int s /. 3.0))) in
+          let order = Dmc_gen.Linalg.blocked_matmul_order mm ~block in
+          {
+            s;
+            lb = Dmc_core.Analytic.matmul_lb ~n ~s;
+            ub = Dmc_core.Strategy.io ~order mm.Dmc_gen.Linalg.mm_graph ~s;
+          })
+        ss;
+  }
+
+let jacobi_curve ?(n = 96) ?(steps = 24) ~ss () =
+  let st = Dmc_gen.Stencil.jacobi_1d ~n ~steps in
+  {
+    workload = Printf.sprintf "jacobi1d %dx%d" n steps;
+    shape = "~ n T / S";
+    points =
+      List.map
+        (fun s ->
+          let tile = max 2 (s / 3) in
+          let order = Dmc_gen.Stencil.skewed_order st ~tile in
+          {
+            s;
+            lb = Dmc_core.Analytic.jacobi_lb ~d:1 ~n ~steps ~s ~p:1;
+            ub = Dmc_core.Strategy.io ~order st.Dmc_gen.Stencil.graph ~s;
+          })
+        ss;
+  }
+
+let fft_curve ?(k = 8) ~ss () =
+  let g = Dmc_gen.Fft.butterfly k in
+  {
+    workload = Printf.sprintf "fft %d" (1 lsl k);
+    shape = "~ n log n / log S";
+    points =
+      List.map
+        (fun s ->
+          let group_bits =
+            max 1 (int_of_float (log (float_of_int s /. 2.0) /. log 2.0))
+          in
+          let order = Dmc_gen.Fft.blocked_order ~k ~group_bits in
+          {
+            s;
+            lb = Dmc_core.Analytic.fft_lb ~n:(1 lsl k) ~s;
+            ub = Dmc_core.Strategy.io ~order g ~s;
+          })
+        ss;
+  }
+
+let table c =
+  let t = Table.create ~headers:[ "S"; "analytic LB"; "measured UB"; "UB/LB" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.s;
+          Printf.sprintf "%.0f" p.lb;
+          string_of_int p.ub;
+          Printf.sprintf "%.1fx" (float_of_int p.ub /. p.lb);
+        ])
+    c.points;
+  t
+
+let run () =
+  Printf.printf "\n== I/O vs fast-memory capacity: the roofline curves ==\n";
+  let curves =
+    [
+      matmul_curve ~ss:[ 12; 27; 48; 75; 108 ] ();
+      jacobi_curve ~ss:[ 9; 18; 36; 72 ] ();
+      fft_curve ~ss:[ 10; 18; 34; 66 ] ();
+    ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun c ->
+      Printf.printf "\n%s   (%s)\n\n" c.workload c.shape;
+      Table.print (table c);
+      (* pointwise sandwich *)
+      if not (List.for_all (fun p -> p.lb <= float_of_int p.ub) c.points) then
+        ok := false;
+      (* both series decay with S (allowing 10%% measurement wiggle) *)
+      let rec decays = function
+        | a :: (b :: _ as rest) ->
+            float_of_int b.ub <= 1.1 *. float_of_int a.ub && b.lb <= a.lb
+            && decays rest
+        | _ -> true
+      in
+      if not (decays c.points) then ok := false;
+      (* the ratio stays bounded: the schedule tracks the bound's shape *)
+      let ratios = List.map (fun p -> float_of_int p.ub /. p.lb) c.points in
+      let rmin = List.fold_left Float.min (List.hd ratios) ratios in
+      let rmax = List.fold_left Float.max (List.hd ratios) ratios in
+      if rmax /. rmin > 3.0 then ok := false)
+    curves;
+  Printf.printf "\n  [%s] LB <= UB pointwise, both decay with S, ratio bounded (shape match)\n"
+    (if !ok then "ok" else "FAIL");
+  !ok

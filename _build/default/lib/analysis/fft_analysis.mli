@@ -1,0 +1,31 @@
+(** FFT butterfly analysis — the flagship workload of the
+    no-recomputation literature the paper builds on (Hong–Kung,
+    Savage, Ranjan et al., Section 6).
+
+    The sequential bound is [Θ(n log n / log S)]; the pass-structured
+    blocked schedule ({!Dmc_gen.Fft.blocked_order}) attains that shape.
+    This experiment measures both and also demonstrates the butterfly's
+    defining structural property (unique input/output paths, [n]
+    disjoint lines) with the max-flow machinery. *)
+
+type row = {
+  k : int;                (** [n = 2^k] *)
+  s : int;
+  group_bits : int;
+  analytic_lb : float;    (** [n log2 n / (2 log2 S)] *)
+  blocked_ub : int;       (** measured I/O of the pass-blocked schedule *)
+  natural_ub : int;       (** measured I/O of the rank-major order *)
+  ratio : float;          (** [blocked_ub / analytic_lb] *)
+}
+
+val sweep : configs:(int * int * int) list -> row list
+(** Each config is [(k, group_bits, s)]. *)
+
+val table : row list -> Dmc_util.Table.t
+
+val run : unit -> bool
+(** Print the sweep plus the structural checks (unique paths, n
+    disjoint lines) and assert: bounds below measurements, the blocked
+    ratio stable (Θ-shape), blocked beats natural by a growing factor,
+    and every certified wavefront bound stays below the exhaustive
+    optimum on a tiny butterfly. *)

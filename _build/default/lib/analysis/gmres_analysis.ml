@@ -1,0 +1,96 @@
+module Table = Dmc_util.Table
+module Machines = Dmc_machine.Machines
+module Balance = Dmc_machine.Balance
+module Analytic = Dmc_core.Analytic
+
+type sweep_point = {
+  m : int;
+  vertical_per_flop : float;
+  horizontal_per_flop : float;
+  verdicts : (string * Balance.verdict) list;
+}
+
+let sweep ?(d = 3) ?(n = 1000) ~ms () =
+  List.map
+    (fun m ->
+      let vertical_per_flop = Analytic.gmres_vertical_per_flop ~m in
+      {
+        m;
+        vertical_per_flop;
+        horizontal_per_flop =
+          Analytic.gmres_horizontal_per_flop ~d ~n ~m
+            ~nodes:(List.hd Machines.table1).Machines.nodes;
+        verdicts =
+          List.map
+            (fun (mc : Machines.t) ->
+              ( mc.name,
+                Balance.classify_lower ~lb_per_flop:vertical_per_flop
+                  ~balance:mc.vertical_balance ))
+            Machines.table1;
+      })
+    ms
+
+let crossover_m ~balance =
+  if balance <= 0.0 then invalid_arg "Gmres_analysis.crossover_m";
+  (6.0 /. balance) -. 20.0
+
+let table ?d ?n ~ms () =
+  let machine_names = List.map (fun (m : Machines.t) -> m.Machines.name) Machines.table1 in
+  let t =
+    Table.create
+      ~headers:
+        ([ "m"; "LB_vert/FLOP"; "UB_horiz/FLOP" ]
+        @ List.map (fun n -> n ^ " verdict") machine_names)
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        ([
+           string_of_int p.m;
+           Printf.sprintf "%.4f" p.vertical_per_flop;
+           Printf.sprintf "%.2e" p.horizontal_per_flop;
+         ]
+        @ List.map (fun (_, v) -> Balance.verdict_to_string v) p.verdicts))
+    (sweep ?d ?n ~ms ());
+  t
+
+type structure_check = {
+  grid_points : int;
+  iters : int;
+  h_wavefront : int;
+  norm_wavefront : int;
+  decomposed_lb : int;
+  belady_ub : int;
+  s : int;
+}
+
+(* Piece [i] holds basis vector [v_i] (produced at the end of outer
+   iteration [i-1]) plus iteration [i]'s SpMV, dot products,
+   orthogonalization chain and norm — so both the w-paths and the
+   v_i-paths to [h_{i,i}] survive a disjoint decomposition. *)
+let slices (gm : Dmc_gen.Solver.gmres) =
+  let iters = Array.length gm.iterations in
+  let bound t = gm.iterations.(t).norm in
+  fun v ->
+    let rec find t = if t >= iters then iters - 1 else if v <= bound t then t else find (t + 1) in
+    find 0
+
+let structure ?(dims = [ 5; 5 ]) ?(iters = 3) ?(s = 16) () =
+  let gm = Dmc_gen.Solver.gmres ~dims ~iters in
+  let g = gm.graph in
+  let parts =
+    Dmc_core.Decompose.iteration_slices g ~slice_of:(slices gm) ~n_slices:iters
+  in
+  let pieces =
+    Array.mapi (fun t part -> (part, [ gm.iterations.(t).h_diag ])) parts
+  in
+  let last = gm.iterations.(iters - 1) in
+  {
+    grid_points = Dmc_gen.Grid.size gm.grid;
+    iters;
+    h_wavefront = Dmc_core.Wavefront.min_wavefront g last.h_diag;
+    norm_wavefront = Dmc_core.Wavefront.min_wavefront g last.norm;
+    decomposed_lb = Dmc_core.Decompose.wavefront_sum g ~pieces ~s;
+    belady_ub = Dmc_core.Strategy.io g ~s;
+    s;
+  }

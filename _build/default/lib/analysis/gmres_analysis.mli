@@ -1,0 +1,36 @@
+(** The GMRES analysis of Section 5.3.
+
+    Vertical: Theorem 9 gives [6 n^d m / P] words, i.e. [6 / (m + 20)]
+    words per FLOP — bandwidth-bound for small Krylov dimensions [m],
+    compute-bound once [m] grows past the crossover
+    [m* = 6/balance - 20].  Horizontal: [6 N^{1/d} / (n m)] words per
+    FLOP, orders of magnitude below every balance. *)
+
+type sweep_point = {
+  m : int;
+  vertical_per_flop : float;        (** [6 / (m + 20)] *)
+  horizontal_per_flop : float;
+  verdicts : (string * Dmc_machine.Balance.verdict) list;
+      (** vertical verdict per Table-1 machine *)
+}
+
+val sweep : ?d:int -> ?n:int -> ms:int list -> unit -> sweep_point list
+
+val crossover_m : balance:float -> float
+(** The [m] beyond which [6/(m+20)] drops below the given balance. *)
+
+val table : ?d:int -> ?n:int -> ms:int list -> unit -> Dmc_util.Table.t
+
+type structure_check = {
+  grid_points : int;
+  iters : int;
+  h_wavefront : int;    (** measured [|Wmin(h_{i,i})|]; paper: >= 2 n^d *)
+  norm_wavefront : int; (** measured [|Wmin(h_{i+1,i})|]; paper: >= n^d *)
+  decomposed_lb : int;
+  belady_ub : int;
+  s : int;
+}
+
+val structure : ?dims:int list -> ?iters:int -> ?s:int -> unit -> structure_check
+(** The Theorem-9 machinery run on a concrete small GMRES CDAG;
+    defaults: a 2D [5^2] grid, 3 outer iterations, [s = 16]. *)

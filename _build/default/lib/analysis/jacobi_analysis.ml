@@ -1,0 +1,153 @@
+module Table = Dmc_util.Table
+module Machines = Dmc_machine.Machines
+module Balance = Dmc_machine.Balance
+module Analytic = Dmc_core.Analytic
+
+type threshold_row = {
+  label : string;
+  cache_words : int;
+  balance : float;
+  max_dim : float;
+  bound_at : int -> Balance.verdict;
+}
+
+let make_row ~label ~cache_words ~balance =
+  {
+    label;
+    cache_words;
+    balance;
+    max_dim = Analytic.jacobi_max_dim ~s:cache_words ~balance;
+    bound_at =
+      (fun d ->
+        Balance.classify_lower
+          ~lb_per_flop:(Analytic.jacobi_balance_threshold ~d ~s:cache_words)
+          ~balance);
+  }
+
+let bgq_dram_l2 =
+  make_row ~label:"IBM BG/Q DRAM->L2"
+    ~cache_words:(Machines.cache_words Machines.bgq)
+    ~balance:Machines.bgq.Machines.vertical_balance
+
+(* The L2->L1 boundary of BG/Q: 16 KB L1 data cache (2048 words) and a
+   2 words/FLOP L1 balance — the parameters that reproduce the paper's
+   reported d <= 96. *)
+let bgq_l2_l1 = make_row ~label:"IBM BG/Q L2->L1" ~cache_words:2048 ~balance:2.0
+
+let thresholds () =
+  bgq_dram_l2 :: bgq_l2_l1
+  :: List.filter_map
+       (fun (m : Machines.t) ->
+         if m.name = Machines.bgq.Machines.name then None
+         else
+           Some
+             (make_row
+                ~label:(m.name ^ " DRAM->L2")
+                ~cache_words:(Machines.cache_words m)
+                ~balance:m.vertical_balance))
+       Machines.table1
+
+let table () =
+  let t =
+    Table.create
+      ~headers:[ "Boundary"; "S (words)"; "balance"; "max dim"; "d=2"; "d=3"; "d=5" ]
+  in
+  List.iter
+    (fun r ->
+      let verdict d = Balance.verdict_to_string (r.bound_at d) in
+      Table.add_row t
+        [
+          r.label;
+          Table.fmt_int r.cache_words;
+          Printf.sprintf "%.4f" r.balance;
+          Printf.sprintf "%.2f" r.max_dim;
+          verdict 2;
+          verdict 3;
+          verdict 5;
+        ])
+    (thresholds ());
+  t
+
+type tightness = {
+  d : int;
+  n : int;
+  steps : int;
+  s : int;
+  analytic_lb : float;
+  skewed_ub : int;
+  natural_ub : int;
+  ratio : float;
+}
+
+let tightness ?(d = 1) ?(n = 64) ?(steps = 16) ?(s = 18) () =
+  let dims = List.init d (fun _ -> n) in
+  let st = Dmc_gen.Stencil.jacobi ~shape:Dmc_gen.Stencil.Star ~dims ~steps () in
+  let tile =
+    (* S must hold two tile-wide planes plus halo slack, so size the
+       tile at a third of the per-dimension budget. *)
+    max 2 (int_of_float (float_of_int (s / 3) ** (1.0 /. float_of_int d)))
+  in
+  let skewed = Dmc_gen.Stencil.skewed_order st ~tile in
+  let natural = Dmc_gen.Stencil.natural_order st in
+  let io order = Dmc_core.Strategy.io ~order st.graph ~s in
+  let analytic_lb = Analytic.jacobi_lb ~d ~n ~steps ~s ~p:1 in
+  let skewed_ub = io skewed in
+  {
+    d;
+    n;
+    steps;
+    s;
+    analytic_lb;
+    skewed_ub;
+    natural_ub = io natural;
+    ratio = float_of_int skewed_ub /. analytic_lb;
+  }
+
+type horizontal_check = {
+  dims : int list;
+  blocks : int list;
+  steps : int;
+  measured_ghosts : int;
+  predicted_ghosts : int;
+}
+
+let horizontal ?(dims = [ 12; 12 ]) ?(blocks = [ 2; 2 ]) ?(steps = 3) () =
+  let st = Dmc_gen.Stencil.jacobi ~shape:Dmc_gen.Stencil.Star ~dims ~steps () in
+  let grid = st.grid in
+  let nodes = List.fold_left ( * ) 1 blocks in
+  let owner_of_point = Dmc_sim.Partitioner.block_owner ~dims ~blocks in
+  let npts = Dmc_gen.Grid.size grid in
+  let owner v = owner_of_point (Dmc_gen.Grid.coord grid (v mod npts)) in
+  let config =
+    { Dmc_sim.Exec.capacities = [| 64; npts * (steps + 1) |]; nodes; owner }
+  in
+  let result =
+    Dmc_sim.Exec.run st.graph ~order:(Dmc_gen.Stencil.natural_order st) config
+  in
+  {
+    dims;
+    blocks;
+    steps;
+    measured_ghosts = result.horizontal_total;
+    predicted_ghosts = Dmc_sim.Partitioner.ghost_words ~dims ~blocks ~star:true * steps;
+  }
+
+let surface_to_volume_table ?(d = 3) ~blocks () =
+  let t =
+    Table.create
+      ~headers:[ "block side B"; "ghost words"; "volume B^d"; "ghost/volume"; "~2d/B" ]
+  in
+  List.iter
+    (fun b ->
+      let ghost = Analytic.ghost_cells ~d ~block:b in
+      let volume = float_of_int b ** float_of_int d in
+      Table.add_row t
+        [
+          string_of_int b;
+          Printf.sprintf "%.0f" ghost;
+          Printf.sprintf "%.0f" volume;
+          Printf.sprintf "%.4f" (ghost /. volume);
+          Printf.sprintf "%.4f" (2.0 *. float_of_int d /. float_of_int b);
+        ])
+    blocks;
+  t

@@ -1,0 +1,37 @@
+(** Experiment drivers: each function prints one of the paper's
+    evaluation artifacts (see the experiment index in DESIGN.md) to
+    stdout and returns [true] when every internal consistency check
+    passed. *)
+
+val table1 : unit -> bool
+(** T1: the machine-specification table. *)
+
+val sec3 : unit -> bool
+(** E-SEC3: the composite-example separation sweep. *)
+
+val cg : unit -> bool
+(** E-CGV / E-CGH: the CG balance analysis plus the Theorem-8 machinery
+    on a concrete CDAG.  Checks: CG is bandwidth-bound vertically and
+    unbound horizontally on every Table-1 machine; measured wavefronts
+    reach the paper's [2 n^d] / [n^d]; the decomposed LB is below the
+    measured execution. *)
+
+val gmres : unit -> bool
+(** E-GMV / E-GMH: the GMRES sweep over the Krylov dimension [m] and
+    the Theorem-9 machinery. *)
+
+val jacobi : unit -> bool
+(** E-JAC: the dimension-threshold table, the Theorem-10 tightness
+    measurement, and the ghost-cell horizontal check. *)
+
+val validate : unit -> bool
+(** E-VAL1/E-VAL2: the soundness fleet and the Theorem-1 checks. *)
+
+val sim : unit -> bool
+(** E-SIM: cache-simulator traffic versus certified bounds. *)
+
+val all : unit -> bool
+(** Run every experiment in order; [true] iff all passed. *)
+
+val names : (string * (unit -> bool)) list
+(** The experiment registry, for the CLI and the bench harness. *)

@@ -1,0 +1,137 @@
+module Table = Dmc_util.Table
+module Machines = Dmc_machine.Machines
+module Analytic = Dmc_core.Analytic
+
+type cg_node_point = {
+  nodes : int;
+  horizontal_per_flop : float;
+  network_bound_on : string list;
+}
+
+let cg_node_sweep ?(d = 3) ?(n = 1000) ~node_counts () =
+  List.map
+    (fun nodes ->
+      let horizontal_per_flop = Analytic.cg_horizontal_per_flop ~d ~n ~nodes in
+      {
+        nodes;
+        horizontal_per_flop;
+        network_bound_on =
+          List.filter_map
+            (fun (m : Machines.t) ->
+              if horizontal_per_flop > m.horizontal_balance then Some m.name
+              else None)
+            Machines.table1;
+      })
+    node_counts
+
+let cg_network_bound_at ?(d = 3) ?(n = 1000) ~balance () =
+  if balance <= 0.0 then invalid_arg "Scaling.cg_network_bound_at";
+  (balance *. 20.0 *. float_of_int n /. 6.0) ** float_of_int d
+
+type cache_point = {
+  cache_mwords : float;
+  max_dim_paper : float;
+  threshold_2d : float;
+  threshold_3d : float;
+}
+
+let jacobi_cache_sweep ?(balance = Machines.bgq.Machines.vertical_balance)
+    ~cache_mwords () =
+  List.map
+    (fun mw ->
+      let s = int_of_float (mw *. 1024.0 *. 1024.0) in
+      {
+        cache_mwords = mw;
+        max_dim_paper = Analytic.jacobi_max_dim ~s ~balance;
+        threshold_2d = Analytic.jacobi_balance_threshold ~d:2 ~s;
+        threshold_3d = Analytic.jacobi_balance_threshold ~d:3 ~s;
+      })
+    cache_mwords
+
+let min_balance_table () =
+  let t = Table.create ~headers:[ "algorithm"; "min balance (words/FLOP)"; "note" ] in
+  Table.add_row t
+    [ "CG (any d)"; Printf.sprintf "%.3f" (Analytic.cg_vertical_per_flop ());
+      "node-count independent" ];
+  List.iter
+    (fun m ->
+      Table.add_row t
+        [
+          Printf.sprintf "GMRES m=%d" m;
+          Printf.sprintf "%.4f" (Analytic.gmres_vertical_per_flop ~m);
+          "drops as Krylov work grows";
+        ])
+    [ 8; 32; 128 ];
+  let s = Machines.cache_words Machines.bgq in
+  List.iter
+    (fun d ->
+      Table.add_row t
+        [
+          Printf.sprintf "Jacobi %dD" d;
+          Printf.sprintf "%.2e" (Analytic.jacobi_balance_threshold ~d ~s);
+          "at the BG/Q 4 MWord cache";
+        ])
+    [ 2; 3; 5 ];
+  t
+
+let balance_trend_table () =
+  let t =
+    Table.create
+      ~headers:
+        [ "year"; "system"; "v-balance"; "h-balance"; "CG verdict"; "GMRES m=32" ]
+  in
+  let cg = Analytic.cg_vertical_per_flop () in
+  let gm = Analytic.gmres_vertical_per_flop ~m:32 in
+  List.iter
+    (fun (year, (m : Machines.t)) ->
+      let verdict lb =
+        Dmc_machine.Balance.verdict_to_string
+          (Dmc_machine.Balance.classify_lower ~lb_per_flop:lb
+             ~balance:m.vertical_balance)
+      in
+      Table.add_row t
+        [
+          string_of_int year;
+          m.name;
+          Printf.sprintf "%.4f" m.vertical_balance;
+          Printf.sprintf "%.6f" m.horizontal_balance;
+          verdict cg;
+          verdict gm;
+        ])
+    (List.sort compare Machines.extended);
+  t
+
+let tables () =
+  let t1 =
+    let t = Table.create ~headers:[ "nodes"; "UB_horiz/FLOP"; "network-bound on" ] in
+    List.iter
+      (fun p ->
+        Table.add_row t
+          [
+            Table.fmt_int p.nodes;
+            Printf.sprintf "%.2e" p.horizontal_per_flop;
+            (if p.network_bound_on = [] then "-" else String.concat ", " p.network_bound_on);
+          ])
+      (cg_node_sweep
+         ~node_counts:[ 1024; 16384; 262144; 4194304; 67108864 ]
+         ());
+    t
+  in
+  let t2 =
+    let t =
+      Table.create
+        ~headers:[ "cache (MWords)"; "paper max dim"; "2D floor"; "3D floor" ]
+    in
+    List.iter
+      (fun p ->
+        Table.add_row t
+          [
+            Printf.sprintf "%.2f" p.cache_mwords;
+            Printf.sprintf "%.2f" p.max_dim_paper;
+            Printf.sprintf "%.2e" p.threshold_2d;
+            Printf.sprintf "%.2e" p.threshold_3d;
+          ])
+      (jacobi_cache_sweep ~cache_mwords:[ 0.125; 0.5; 2.0; 4.0; 16.0; 64.0 ] ());
+    t
+  in
+  [ t1; t2; min_balance_table () ]

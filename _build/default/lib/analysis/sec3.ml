@@ -1,0 +1,75 @@
+module Table = Dmc_util.Table
+module Analytic = Dmc_core.Analytic
+
+type row = {
+  n : int;
+  s : int;
+  matmul_step_lb : float;
+  naive_sum_lb : float;
+  composite_upper_rb : float;
+  separation : float;
+  rbw_measured_ub : int option;
+  rbw_lb : int option;
+}
+
+let sweep ?(ns = [ 4; 8; 16; 32; 64 ]) ?(measure_limit = 8) () =
+  List.map
+    (fun n ->
+      let s = (4 * n) + 4 in
+      let matmul_step_lb = Analytic.matmul_lb ~n ~s in
+      let outer = Analytic.outer_product_io ~n in
+      let reduce = (float_of_int n *. float_of_int n) +. 1.0 in
+      let naive_sum_lb = (2.0 *. outer) +. matmul_step_lb +. reduce in
+      let composite_upper_rb = Analytic.composite_io_upper ~n in
+      let measured =
+        if n <= measure_limit then begin
+          let c = Dmc_gen.Linalg.composite n in
+          Some
+            ( Dmc_core.Strategy.io c.graph ~s,
+              Dmc_core.Wavefront.lower_bound c.graph ~s )
+        end
+        else None
+      in
+      {
+        n;
+        s;
+        matmul_step_lb;
+        naive_sum_lb;
+        composite_upper_rb;
+        separation = naive_sum_lb /. composite_upper_rb;
+        rbw_measured_ub = Option.map fst measured;
+        rbw_lb = Option.map snd measured;
+      })
+    ns
+
+let table ?ns ?measure_limit () =
+  let t =
+    Table.create
+      ~headers:
+        [
+          "n";
+          "S=4n+4";
+          "matmul step LB";
+          "naive sum of LBs";
+          "composite UB (RB)";
+          "separation";
+          "RBW measured UB";
+          "RBW certified LB";
+        ]
+  in
+  let opt = function None -> "-" | Some x -> string_of_int x in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.n;
+          string_of_int r.s;
+          Printf.sprintf "%.1f" r.matmul_step_lb;
+          Printf.sprintf "%.1f" r.naive_sum_lb;
+          Printf.sprintf "%.0f" r.composite_upper_rb;
+          Printf.sprintf "%.1fx" r.separation;
+          opt r.rbw_measured_ub;
+          opt r.rbw_lb;
+        ])
+    (sweep ?ns ?measure_limit ());
+  t

@@ -1,0 +1,66 @@
+module Table = Dmc_util.Table
+module Machines = Dmc_machine.Machines
+module Balance = Dmc_machine.Balance
+module Expr = Dmc_symbolic.Expr
+module Formulas = Dmc_symbolic.Formulas
+
+let rows () =
+  let cache = float_of_int (Machines.cache_words Machines.bgq) in
+  [
+    ("CG (any d)", Formulas.cg_vertical_per_flop, []);
+    ("GMRES m=8", Formulas.gmres_vertical_per_flop, [ ("m", 8.0) ]);
+    ("GMRES m=128", Formulas.gmres_vertical_per_flop, [ ("m", 128.0) ]);
+    ("Jacobi 2D", Formulas.jacobi_threshold, [ ("d", 2.0); ("S", cache) ]);
+    ("Jacobi 3D", Formulas.jacobi_threshold, [ ("d", 3.0); ("S", cache) ]);
+    ("Jacobi 5D", Formulas.jacobi_threshold, [ ("d", 5.0); ("S", cache) ]);
+  ]
+
+let table () =
+  let t =
+    Table.create
+      ~headers:
+        ([ "algorithm"; "vertical floor (words/FLOP)"; "value" ]
+        @ List.map (fun (m : Machines.t) -> m.name) Machines.table1)
+  in
+  List.iter
+    (fun (name, formula, env) ->
+      let floor = Expr.eval ~env formula in
+      Table.add_row t
+        ([
+           name;
+           Expr.to_string (Expr.simplify formula);
+           Printf.sprintf "%.2e" floor;
+         ]
+        @ List.map
+            (fun (m : Machines.t) ->
+              Balance.verdict_to_string
+                (Balance.classify_lower ~lb_per_flop:floor ~balance:m.vertical_balance))
+            Machines.table1))
+    (rows ());
+  t
+
+let run () =
+  Printf.printf
+    "\n== Summary: every algorithm's memory floor vs the Table-1 machines ==\n\n";
+  Table.print (table ());
+  Printf.printf
+    "\n  The pattern the paper establishes: iterative solvers with O(1)\n\
+    \  arithmetic intensity (CG, small-m GMRES) are doomed by the memory wall;\n\
+    \  stencils and multigrid live far below it thanks to temporal tiling;\n\
+    \  GMRES escapes as its Krylov work grows quadratically.\n";
+  let verdict name =
+    let _, formula, env = List.find (fun (n, _, _) -> n = name) (rows ()) in
+    Balance.classify_lower
+      ~lb_per_flop:(Expr.eval ~env formula)
+      ~balance:Machines.bgq.Machines.vertical_balance
+  in
+  let check label ok =
+    Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAIL") label;
+    ok
+  in
+  check "CG bandwidth-bound" (verdict "CG (any d)" = Balance.Bandwidth_bound)
+  && check "GMRES m=8 bandwidth-bound" (verdict "GMRES m=8" = Balance.Bandwidth_bound)
+  && check "GMRES m=128 escapes" (verdict "GMRES m=128" = Balance.Indeterminate)
+  && check "Jacobi 2D/3D unbound"
+       (verdict "Jacobi 2D" = Balance.Indeterminate
+       && verdict "Jacobi 3D" = Balance.Indeterminate)

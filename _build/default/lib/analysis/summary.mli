@@ -1,0 +1,9 @@
+(** The one-page digest: every algorithm the repository analyzes, its
+    bound as a formula, its per-FLOP floor, and the verdicts on the
+    Table-1 machines — the takeaway table of the whole reproduction. *)
+
+val table : unit -> Dmc_util.Table.t
+
+val run : unit -> bool
+(** Print the digest; checks the headline verdict pattern (CG always
+    bound, Jacobi 2D/3D never, GMRES crossing over). *)

@@ -1,0 +1,32 @@
+module Table = Dmc_util.Table
+module Machines = Dmc_machine.Machines
+
+let table () =
+  let t =
+    Table.create
+      ~headers:
+        [
+          "Machine";
+          "Nnodes";
+          "Mem (GB)";
+          "L2/L3 cache (MB)";
+          "Vertical balance (words/FLOP)";
+          "Horiz. balance (words/FLOP)";
+        ]
+  in
+  Table.set_align t [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ];
+  List.iter
+    (fun (m : Machines.t) ->
+      Table.add_row t
+        [
+          m.name;
+          string_of_int m.nodes;
+          Printf.sprintf "%.0f" m.memory_gb_per_node;
+          Printf.sprintf "%.0f" m.cache_mb;
+          Printf.sprintf "%.4f" m.vertical_balance;
+          Printf.sprintf "%.4f" m.horizontal_balance;
+        ])
+    Machines.table1;
+  t
+
+let render () = Table.render (table ())

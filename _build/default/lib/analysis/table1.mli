@@ -1,0 +1,8 @@
+(** Reproduction of Table 1: specifications of the computing systems
+    used throughout Section 5. *)
+
+val table : unit -> Dmc_util.Table.t
+(** The machine-specification table (name, nodes, memory, cache,
+    vertical and horizontal balance). *)
+
+val render : unit -> string

@@ -1,0 +1,81 @@
+module Machines = Dmc_machine.Machines
+module Analytic = Dmc_core.Analytic
+module Table = Dmc_util.Table
+
+type prediction = {
+  t_comp : float;
+  t_vertical : float;
+  t_horizontal : float;
+  t_bound : float;
+  dominant : [ `Compute | `Vertical | `Horizontal ];
+  efficiency_cap : float;
+}
+
+let predict ~flops_per_core ~cores ~nodes ~vertical_bw ~horizontal_bw ~work
+    ~vertical_words_per_node ~horizontal_words_per_node =
+  if flops_per_core <= 0.0 || vertical_bw <= 0.0 || horizontal_bw <= 0.0 then
+    invalid_arg "Time_model.predict: non-positive rate";
+  if cores <= 0 || nodes <= 0 then invalid_arg "Time_model.predict: bad counts";
+  let t_comp = work /. (float_of_int (cores * nodes) *. flops_per_core) in
+  let t_vertical = vertical_words_per_node /. vertical_bw in
+  let t_horizontal = horizontal_words_per_node /. horizontal_bw in
+  let t_bound = Float.max t_comp (Float.max t_vertical t_horizontal) in
+  let dominant =
+    if t_bound = t_comp then `Compute
+    else if t_bound = t_vertical then `Vertical
+    else `Horizontal
+  in
+  {
+    t_comp;
+    t_vertical;
+    t_horizontal;
+    t_bound;
+    dominant;
+    efficiency_cap = t_comp /. t_bound;
+  }
+
+let cg ~machine ~flops_per_core ~n ~steps =
+  let m : Machines.t = machine in
+  let d = 3 in
+  let cores = m.cores_per_node and nodes = m.nodes in
+  let peak_node = float_of_int cores *. flops_per_core in
+  (* balance = bandwidth(words/s) / peak(FLOP/s) per node *)
+  let vertical_bw = m.vertical_balance *. peak_node in
+  let horizontal_bw = m.horizontal_balance *. peak_node in
+  let work = Analytic.cg_flops ~d ~n ~steps in
+  let vertical_words_per_node =
+    Analytic.cg_vertical_lb ~d ~n ~steps ~p:(cores * nodes)
+    *. float_of_int cores
+  in
+  let block =
+    max 1 (int_of_float (float_of_int n /. (float_of_int nodes ** (1.0 /. 3.0))))
+  in
+  let horizontal_words_per_node = Analytic.cg_horizontal_ub ~d ~block ~steps in
+  predict ~flops_per_core ~cores ~nodes ~vertical_bw ~horizontal_bw ~work
+    ~vertical_words_per_node ~horizontal_words_per_node
+
+let dominant_to_string = function
+  | `Compute -> "compute"
+  | `Vertical -> "memory"
+  | `Horizontal -> "network"
+
+let table ~flops_per_core ~n ~steps =
+  let t =
+    Table.create
+      ~headers:
+        [ "machine"; "T_comp (s)"; "T_mem (s)"; "T_net (s)"; "bound by"; "max efficiency" ]
+  in
+  List.iter
+    (fun (m : Machines.t) ->
+      let p = cg ~machine:m ~flops_per_core ~n ~steps in
+      Table.add_row t
+        [
+          m.name;
+          Printf.sprintf "%.2e" p.t_comp;
+          Printf.sprintf "%.2e" p.t_vertical;
+          Printf.sprintf "%.2e" p.t_horizontal;
+          dominant_to_string p.dominant;
+          Printf.sprintf "%.0f%%" (100.0 *. p.efficiency_cap);
+        ])
+    Machines.table1;
+  t

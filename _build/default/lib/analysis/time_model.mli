@@ -1,0 +1,44 @@
+(** The execution-time model of Equations 4–6: the runtime of a CDAG on
+    a machine is bounded below by the larger of its computation time and
+    each memory unit's communication time,
+
+    {v  T >= max(T_comp, max_l T^i_l)   with
+        T_comp >= |V| / (P F),   T^i_l = IO^i_l / B^i_l  v}
+
+    Instantiated for the two links the paper analyzes (DRAM↔cache per
+    node, and the interconnect), this predicts which resource bounds an
+    algorithm's time and by how much — the quantitative version of the
+    balance verdicts. *)
+
+type prediction = {
+  t_comp : float;      (** seconds: [work / (P * flops_per_core)] *)
+  t_vertical : float;  (** seconds: per-node vertical words / per-node bandwidth *)
+  t_horizontal : float;
+  t_bound : float;     (** [max] of the three: a valid runtime lower bound *)
+  dominant : [ `Compute | `Vertical | `Horizontal ];
+  efficiency_cap : float;
+      (** [t_comp / t_bound]: the highest fraction of peak FLOP/s any
+          implementation can reach (1.0 when compute-bound) *)
+}
+
+val predict :
+  flops_per_core:float ->
+  cores:int ->
+  nodes:int ->
+  vertical_bw:float ->
+  horizontal_bw:float ->
+  work:float ->
+  vertical_words_per_node:float ->
+  horizontal_words_per_node:float ->
+  prediction
+(** Bandwidths in words/second ({e per node}); [work] in FLOPs;
+    [cores] per node.  Raises [Invalid_argument] on non-positive rates. *)
+
+val cg : machine:Dmc_machine.Machines.t -> flops_per_core:float -> n:int -> steps:int -> prediction
+(** The CG instance of Section 5.2 (d = 3): plugs Theorem 8's vertical
+    bound and the ghost-cell horizontal bound into the model.  The
+    machine's bandwidths are reconstructed from its balance values and
+    the given peak. *)
+
+val table : flops_per_core:float -> n:int -> steps:int -> Dmc_util.Table.t
+(** CG time predictions across the Table-1 machines. *)

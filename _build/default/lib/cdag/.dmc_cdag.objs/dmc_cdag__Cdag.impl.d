@@ -1,0 +1,1 @@
+lib/cdag/cdag.ml: Array Dmc_util Format List Queue

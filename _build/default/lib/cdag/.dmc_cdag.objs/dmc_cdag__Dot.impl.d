@@ -1,0 +1,1 @@
+lib/cdag/dot.ml: Buffer Cdag Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/cdag/reach.ml: Array Cdag Dmc_util Stack Topo

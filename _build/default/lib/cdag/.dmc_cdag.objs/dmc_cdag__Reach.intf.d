@@ -1,0 +1,1 @@
+lib/cdag/reach.mli: Cdag Dmc_util

@@ -1,0 +1,1 @@
+lib/cdag/serialize.ml: Array Buffer Cdag Fun List Printf String

@@ -1,0 +1,1 @@
+lib/cdag/serialize.mli: Cdag

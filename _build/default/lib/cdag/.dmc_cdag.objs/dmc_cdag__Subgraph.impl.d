@@ -1,0 +1,1 @@
+lib/cdag/subgraph.ml: Array Cdag Dmc_util List

@@ -1,0 +1,1 @@
+lib/cdag/subgraph.mli: Cdag Dmc_util

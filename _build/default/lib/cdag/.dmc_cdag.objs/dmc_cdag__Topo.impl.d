@@ -1,0 +1,1 @@
+lib/cdag/topo.ml: Array Cdag Dmc_util

@@ -1,0 +1,1 @@
+lib/cdag/topo.mli: Cdag

@@ -1,0 +1,1 @@
+lib/cdag/transform.ml: Cdag List

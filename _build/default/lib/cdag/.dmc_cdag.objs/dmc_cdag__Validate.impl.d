@@ -1,0 +1,1 @@
+lib/cdag/validate.ml: Cdag Format List

@@ -1,0 +1,1 @@
+lib/cdag/validate.mli: Cdag Format

@@ -1,0 +1,36 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(name = "cdag") ?(highlight = []) g =
+  let hl = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace hl v ()) highlight;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontsize=10];\n";
+  Cdag.iter_vertices g (fun v ->
+      let shape =
+        if Cdag.is_input g v then "box"
+        else if Cdag.is_output g v then "doublecircle"
+        else "ellipse"
+      in
+      let style =
+        if Hashtbl.mem hl v then ", style=filled, fillcolor=lightblue" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s%s];\n" v
+           (escape (Cdag.label g v)) shape style));
+  Cdag.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?name ?highlight path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name ?highlight g))

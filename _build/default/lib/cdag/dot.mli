@@ -1,0 +1,10 @@
+(** Graphviz export of CDAGs for visual inspection of the generated
+    workloads and of partitions/wavefronts computed by the bound
+    engines. *)
+
+val to_string : ?name:string -> ?highlight:Cdag.vertex list -> Cdag.t -> string
+(** DOT source.  Inputs are drawn as boxes, outputs as double circles,
+    vertices in [highlight] are filled. *)
+
+val to_file : ?name:string -> ?highlight:Cdag.vertex list -> string -> Cdag.t -> unit
+(** Write {!to_string} to the given path. *)

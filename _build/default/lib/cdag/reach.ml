@@ -1,0 +1,74 @@
+module Bitset = Dmc_util.Bitset
+
+let closure step g start_set =
+  let n = Cdag.n_vertices g in
+  let seen = Bitset.copy start_set in
+  let stack = Stack.create () in
+  Bitset.iter (fun v -> Stack.push v stack) start_set;
+  ignore n;
+  while not (Stack.is_empty stack) do
+    let u = Stack.pop stack in
+    step g u (fun v ->
+        if not (Bitset.mem seen v) then begin
+          Bitset.add seen v;
+          Stack.push v stack
+        end)
+  done;
+  seen
+
+let forward_closure g s = closure Cdag.iter_succ g s
+let backward_closure g s = closure Cdag.iter_pred g s
+
+let descendants g x =
+  let s = Bitset.create (Cdag.n_vertices g) in
+  Bitset.add s x;
+  let d = forward_closure g s in
+  Bitset.remove d x;
+  d
+
+let ancestors g x =
+  let s = Bitset.create (Cdag.n_vertices g) in
+  Bitset.add s x;
+  let a = backward_closure g s in
+  Bitset.remove a x;
+  a
+
+let reaches g u v =
+  u = v
+  ||
+  let s = Bitset.create (Cdag.n_vertices g) in
+  Bitset.add s u;
+  Bitset.mem (forward_closure g s) v
+
+let is_convex g set =
+  (* In a topological scan, a vertex outside [set] that has an ancestor
+     in [set] must not have a descendant in [set].  We propagate a
+     "tainted" flag: outside-vertices reachable from the set. *)
+  let n = Cdag.n_vertices g in
+  let tainted = Bitset.create n in
+  let ok = ref true in
+  Array.iter
+    (fun v ->
+      let from_set = ref false and from_tainted = ref false in
+      Cdag.iter_pred g v (fun u ->
+          if Bitset.mem set u then from_set := true;
+          if Bitset.mem tainted u then from_tainted := true);
+      if Bitset.mem set v then begin
+        if !from_tainted then ok := false
+      end
+      else if !from_set || !from_tainted then Bitset.add tainted v)
+    (Topo.order g);
+  !ok
+
+let transitive_closure g =
+  let n = Cdag.n_vertices g in
+  let closure = Array.init n (fun _ -> Bitset.create n) in
+  let ord = Topo.order g in
+  for i = n - 1 downto 0 do
+    let v = ord.(i) in
+    Bitset.add closure.(v) v;
+    Cdag.iter_succ g v (fun w ->
+        let merged = Bitset.union closure.(v) closure.(w) in
+        closure.(v) <- merged)
+  done;
+  closure

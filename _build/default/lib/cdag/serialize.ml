@@ -1,0 +1,120 @@
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "cdag %d\n" (Cdag.n_vertices g));
+  let dump_tags key vs =
+    if vs <> [] then begin
+      Buffer.add_string buf key;
+      List.iter (fun v -> Buffer.add_string buf (" " ^ string_of_int v)) vs;
+      Buffer.add_char buf '\n'
+    end
+  in
+  dump_tags "i" (Cdag.inputs g);
+  dump_tags "o" (Cdag.outputs g);
+  Cdag.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v));
+  Cdag.iter_vertices g (fun v ->
+      let l = Cdag.label g v in
+      if l <> "v" ^ string_of_int v then
+        Buffer.add_string buf (Printf.sprintf "l %d %s\n" v l));
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let exception Bad of string in
+  try
+    let builder = ref None in
+    let inputs = ref [] and outputs = ref [] in
+    let labels = ref [] in
+    let edges = ref [] in
+    let n_declared = ref (-1) in
+    List.iteri
+      (fun lineno0 line ->
+        let lineno = lineno0 + 1 in
+        let fail msg = raise (Bad (Printf.sprintf "line %d: %s" lineno msg)) in
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else
+          let words =
+            String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+          in
+          let int_of w =
+            match int_of_string_opt w with
+            | Some i -> i
+            | None -> fail ("not an integer: " ^ w)
+          in
+          match words with
+          | "cdag" :: [ n ] ->
+              if !builder <> None then fail "duplicate cdag header";
+              let n = int_of n in
+              if n < 0 then fail "negative vertex count";
+              n_declared := n;
+              let b = Cdag.Builder.create ~hint:n () in
+              for _ = 1 to n do
+                ignore (Cdag.Builder.add_vertex b)
+              done;
+              builder := Some b
+          | "i" :: vs -> inputs := !inputs @ List.map int_of vs
+          | "o" :: vs -> outputs := !outputs @ List.map int_of vs
+          | [ "e"; u; v ] -> edges := (int_of u, int_of v) :: !edges
+          | "l" :: v :: rest ->
+              labels := (int_of v, String.concat " " rest) :: !labels
+          | _ -> fail ("unrecognized directive: " ^ line))
+      lines;
+    match !builder with
+    | None -> Error "missing cdag header"
+    | Some b ->
+        let n = !n_declared in
+        let check v =
+          if v < 0 || v >= n then raise (Bad (Printf.sprintf "vertex %d out of range" v))
+        in
+        List.iter (fun (u, v) -> check u; check v; Cdag.Builder.add_edge b u v)
+          (List.rev !edges);
+        List.iter check !inputs;
+        List.iter check !outputs;
+        (* Labels are not supported after the fact by the builder; rebuild
+           with labels if any were given. *)
+        let g =
+          if !labels = [] then
+            Cdag.Builder.freeze ~inputs:!inputs ~outputs:!outputs b
+          else begin
+            let label_of = Array.make n "" in
+            List.iter (fun (v, l) -> check v; label_of.(v) <- l) !labels;
+            let b2 = Cdag.Builder.create ~hint:n () in
+            for v = 0 to n - 1 do
+              ignore (Cdag.Builder.add_vertex ~label:label_of.(v) b2)
+            done;
+            List.iter (fun (u, v) -> Cdag.Builder.add_edge b2 u v) (List.rev !edges);
+            Cdag.Builder.freeze ~inputs:!inputs ~outputs:!outputs b2
+          end
+        in
+        Ok g
+  with
+  | Bad msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let to_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          let text = really_input_string ic len in
+          of_string text)
+
+let equal_structure a b =
+  Cdag.n_vertices a = Cdag.n_vertices b
+  && Cdag.n_edges a = Cdag.n_edges b
+  && Cdag.inputs a = Cdag.inputs b
+  && Cdag.outputs a = Cdag.outputs b
+  &&
+  let ok = ref true in
+  Cdag.iter_edges a (fun u v -> if not (Cdag.has_edge b u v) then ok := false);
+  !ok

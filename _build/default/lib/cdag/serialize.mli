@@ -1,0 +1,25 @@
+(** A small line-oriented text format for CDAGs, so that workloads can
+    be saved, diffed and re-loaded by the CLI:
+
+    {v
+    cdag <n_vertices>
+    i <v> ...        # input tags
+    o <v> ...        # output tags
+    e <u> <v>        # one edge per line
+    l <v> <label>    # optional labels
+    v}
+
+    Lines starting with [#] and blank lines are ignored. *)
+
+val to_string : Cdag.t -> string
+
+val of_string : string -> (Cdag.t, string) result
+(** Parse; [Error] carries a message with the offending line number. *)
+
+val to_file : string -> Cdag.t -> unit
+
+val of_file : string -> (Cdag.t, string) result
+
+val equal_structure : Cdag.t -> Cdag.t -> bool
+(** Same vertex count, edges and tags (labels ignored) — used by the
+    round-trip tests. *)

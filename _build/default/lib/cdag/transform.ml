@@ -1,0 +1,65 @@
+let transpose g =
+  let n = Cdag.n_vertices g in
+  let b = Cdag.Builder.create ~hint:n () in
+  for v = 0 to n - 1 do
+    ignore (Cdag.Builder.add_vertex ~label:(Cdag.label g v) b)
+  done;
+  Cdag.iter_edges g (fun u v -> Cdag.Builder.add_edge b v u);
+  Cdag.Builder.freeze ~inputs:(Cdag.outputs g) ~outputs:(Cdag.inputs g) b
+
+type union = {
+  graph : Cdag.t;
+  left : Cdag.vertex -> Cdag.vertex;
+  right : Cdag.vertex -> Cdag.vertex;
+}
+
+let disjoint_union a b_graph =
+  let na = Cdag.n_vertices a and nb = Cdag.n_vertices b_graph in
+  let b = Cdag.Builder.create ~hint:(na + nb) () in
+  for v = 0 to na - 1 do
+    ignore (Cdag.Builder.add_vertex ~label:(Cdag.label a v) b)
+  done;
+  for v = 0 to nb - 1 do
+    ignore (Cdag.Builder.add_vertex ~label:(Cdag.label b_graph v) b)
+  done;
+  Cdag.iter_edges a (fun u v -> Cdag.Builder.add_edge b u v);
+  Cdag.iter_edges b_graph (fun u v -> Cdag.Builder.add_edge b (u + na) (v + na));
+  let shift = List.map (fun v -> v + na) in
+  let graph =
+    Cdag.Builder.freeze
+      ~inputs:(Cdag.inputs a @ shift (Cdag.inputs b_graph))
+      ~outputs:(Cdag.outputs a @ shift (Cdag.outputs b_graph))
+      b
+  in
+  let check n what v =
+    if v < 0 || v >= n then invalid_arg ("Transform.disjoint_union: " ^ what)
+  in
+  {
+    graph;
+    left = (fun v -> check na "left vertex" v; v);
+    right = (fun v -> check nb "right vertex" v; v + na);
+  }
+
+let series a b_graph ~wire =
+  let u = disjoint_union a b_graph in
+  List.iter
+    (fun (src, dst) ->
+      if not (Cdag.is_output a src) then
+        invalid_arg "Transform.series: wire source is not an output of the first CDAG";
+      if not (Cdag.is_input b_graph dst) then
+        invalid_arg "Transform.series: wire target is not an input of the second CDAG")
+    wire;
+  (* Rebuild with the wire edges and the adjusted tagging. *)
+  let na = Cdag.n_vertices a in
+  let g = u.graph in
+  let b = Cdag.Builder.create ~hint:(Cdag.n_vertices g) () in
+  for v = 0 to Cdag.n_vertices g - 1 do
+    ignore (Cdag.Builder.add_vertex ~label:(Cdag.label g v) b)
+  done;
+  Cdag.iter_edges g (fun x y -> Cdag.Builder.add_edge b x y);
+  List.iter (fun (src, dst) -> Cdag.Builder.add_edge b src (dst + na)) wire;
+  let wired_inputs = List.map (fun (_, dst) -> dst + na) wire in
+  let inputs =
+    List.filter (fun v -> not (List.mem v wired_inputs)) (Cdag.inputs g)
+  in
+  Cdag.Builder.freeze ~inputs ~outputs:(Cdag.outputs g) b

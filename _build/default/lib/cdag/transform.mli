@@ -1,0 +1,38 @@
+(** Structural CDAG transformations and the classic identities that go
+    with them.
+
+    - {!transpose} reverses every edge and swaps the input/output
+      tagging.  Note that the Hong–Kung I/O complexity is {e not}
+      invariant under transposition at fixed [S]: the folklore
+      game-reversal argument breaks because the reverse of a deletion
+      would have to conjure a red pebble without its (reversed)
+      predecessors being red.  The test suite pins an 8-vertex
+      counterexample where the optima differ by one I/O.
+    - {!disjoint_union} places two CDAGs side by side; optimal I/O is
+      additive across disconnected components (a special case of the
+      decomposition theorem, with equality).
+    - {!series} feeds every output of the first CDAG into the
+      corresponding input of the second, modelling pipeline
+      composition. *)
+
+val transpose : Cdag.t -> Cdag.t
+(** Same vertex ids; every edge reversed; inputs and outputs swap
+    roles.  Involutive up to structural equality. *)
+
+type union = {
+  graph : Cdag.t;
+  left : Cdag.vertex -> Cdag.vertex;   (** id in the union of a left vertex *)
+  right : Cdag.vertex -> Cdag.vertex;
+}
+
+val disjoint_union : Cdag.t -> Cdag.t -> union
+(** Left vertices keep their ids; right vertices are shifted by the
+    left vertex count.  Tags are the unions of the originals'. *)
+
+val series : Cdag.t -> Cdag.t -> wire:(Cdag.vertex * Cdag.vertex) list -> Cdag.t
+(** [series a b ~wire] is the disjoint union plus an edge from (left)
+    [u] to (right) [v] for each [(u, v)] in [wire]; each wired [v]
+    loses its input tag (it is now computed from upstream), each wired
+    [u] keeps its output tag only if it still had one.  Raises
+    [Invalid_argument] if a wire's [v] is not a tagged input of [b] or
+    [u] is not a tagged output of [a]. *)

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Dmc_cdag Dmc_util Format Fun List Optimal Span Spartition Strategy Wavefront

@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Dmc_cdag List Wavefront

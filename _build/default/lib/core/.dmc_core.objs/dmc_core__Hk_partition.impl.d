@@ -1,0 +1,1 @@
+lib/core/hk_partition.ml: Array Dmc_cdag Dmc_flow Dmc_util Hashtbl List Printf Rb_game

@@ -1,0 +1,1 @@
+lib/core/hk_partition.mli: Dmc_cdag Dmc_util Rb_game

@@ -1,0 +1,1 @@
+lib/core/lines.ml: Dmc_cdag Dmc_flow List

@@ -1,0 +1,1 @@
+lib/core/lines.mli: Dmc_cdag

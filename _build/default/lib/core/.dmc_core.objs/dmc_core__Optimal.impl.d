@@ -1,0 +1,1 @@
+lib/core/optimal.ml: Array Dmc_cdag Dmc_util Hashtbl List

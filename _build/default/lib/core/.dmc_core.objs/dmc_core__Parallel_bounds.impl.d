@@ -1,0 +1,1 @@
+lib/core/parallel_bounds.ml: Dmc_machine Float

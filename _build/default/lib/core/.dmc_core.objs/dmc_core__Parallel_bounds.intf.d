@@ -1,0 +1,1 @@
+lib/core/parallel_bounds.mli: Dmc_machine

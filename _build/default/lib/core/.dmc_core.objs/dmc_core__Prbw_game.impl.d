@@ -1,0 +1,1 @@
+lib/core/prbw_game.ml: Array Dmc_cdag Dmc_machine Dmc_util Format List Rb_game Rbw_game

@@ -1,0 +1,1 @@
+lib/core/prbw_game.mli: Dmc_cdag Dmc_machine Format Rbw_game

@@ -1,0 +1,1 @@
+lib/core/rb_game.ml: Dmc_cdag Dmc_util Format List

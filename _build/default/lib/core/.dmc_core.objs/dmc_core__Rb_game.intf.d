@@ -1,0 +1,1 @@
+lib/core/rb_game.mli: Dmc_cdag Format

@@ -1,0 +1,1 @@
+lib/core/rbw_game.ml: Dmc_cdag Dmc_util Format List Printf Rb_game

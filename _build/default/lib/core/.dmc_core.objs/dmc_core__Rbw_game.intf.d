@@ -1,0 +1,1 @@
+lib/core/rbw_game.mli: Dmc_cdag Rb_game

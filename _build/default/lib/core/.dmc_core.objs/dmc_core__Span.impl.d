@@ -1,0 +1,1 @@
+lib/core/span.ml: Array Dmc_cdag Hashtbl List Optimal

@@ -1,0 +1,1 @@
+lib/core/span.mli: Dmc_cdag

@@ -1,0 +1,1 @@
+lib/core/spartition.ml: Array Dmc_cdag Dmc_util Hashtbl List Optimal Printf Rb_game Rbw_game

@@ -1,0 +1,1 @@
+lib/core/spartition.mli: Dmc_cdag Dmc_util Rbw_game

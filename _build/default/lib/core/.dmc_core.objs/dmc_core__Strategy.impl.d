@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Dmc_cdag Dmc_machine Dmc_util List Prbw_game Rb_game

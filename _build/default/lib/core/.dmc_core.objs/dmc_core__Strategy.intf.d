@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Dmc_cdag Dmc_machine Prbw_game Rbw_game

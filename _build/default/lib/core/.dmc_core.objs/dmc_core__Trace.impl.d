@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Buffer Dmc_cdag Format Hashtbl List Printf Rb_game Rbw_game String

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Dmc_cdag Format Rbw_game

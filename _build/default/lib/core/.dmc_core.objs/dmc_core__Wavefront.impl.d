@@ -1,0 +1,1 @@
+lib/core/wavefront.ml: Dmc_cdag Dmc_flow Dmc_util Domain List

@@ -1,0 +1,1 @@
+lib/core/wavefront.mli: Dmc_cdag Dmc_util

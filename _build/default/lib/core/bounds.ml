@@ -1,0 +1,144 @@
+module Cdag = Dmc_cdag.Cdag
+
+type report = {
+  s : int;
+  n_vertices : int;
+  n_edges : int;
+  io_floor : int;
+  wavefront_lb : int;
+  partition_lb : int option;
+  partition_u_lb : int option;
+  span_lb : int option;
+  best_lb : int;
+  belady_ub : int;
+  lru_ub : int;
+  trivial_ub : int;
+  optimal_io : int option;
+}
+
+let io_floor g =
+  let stored_outputs =
+    List.length (List.filter (fun v -> not (Cdag.is_input g v)) (Cdag.outputs g))
+  in
+  Cdag.n_inputs g + stored_outputs
+
+let analyze ?(exact_partition_limit = 9) ?(optimal_limit = 0) g ~s =
+  let floor = io_floor g in
+  let wavefront_lb = Wavefront.lower_bound g ~s in
+  let small_enough = Cdag.n_compute g <= exact_partition_limit in
+  let partition_lb =
+    if small_enough then
+      match Spartition.lower_bound_exact g ~s with
+      | lb -> Some lb
+      | exception Optimal.Too_large _ -> None
+    else None
+  in
+  let partition_u_lb =
+    if Cdag.n_compute g <= 22 && Cdag.n_vertices g <= 62 then
+      match Spartition.lower_bound_u g ~s with
+      | lb -> Some lb
+      | exception Optimal.Too_large _ -> None
+    else None
+  in
+  let span_lb =
+    if Cdag.n_vertices g <= 16 then
+      match Span.lower_bound g ~s with
+      | lb -> Some lb
+      | exception Optimal.Too_large _ -> None
+    else None
+  in
+  let optimal_io =
+    if optimal_limit > 0 && Cdag.n_vertices g <= min optimal_limit 20 then
+      match Optimal.rbw_io g ~s with
+      | io -> Some io
+      | exception Optimal.Too_large _ -> None
+    else None
+  in
+  let candidates =
+    floor :: wavefront_lb
+    :: List.filter_map Fun.id [ partition_lb; partition_u_lb; span_lb ]
+  in
+  {
+    s;
+    n_vertices = Cdag.n_vertices g;
+    n_edges = Cdag.n_edges g;
+    io_floor = floor;
+    wavefront_lb;
+    partition_lb;
+    partition_u_lb;
+    span_lb;
+    best_lb = List.fold_left max 0 candidates;
+    belady_ub = Strategy.io ~policy:Strategy.Belady g ~s;
+    lru_ub = Strategy.io ~policy:Strategy.Lru g ~s;
+    trivial_ub = Strategy.trivial_io g;
+    optimal_io;
+  }
+
+let pp_report ppf r =
+  let pp_opt ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some x -> Format.pp_print_int ppf x
+  in
+  Format.fprintf ppf
+    "@[<v>CDAG: %d vertices, %d edges, S = %d@,\
+     lower bounds: floor = %d, wavefront = %d, partition-H = %a, partition-U = %a, span = %a -> best = %d@,\
+     upper bounds: belady = %d, lru = %d, trivial = %d@,\
+     optimal: %a@]"
+    r.n_vertices r.n_edges r.s r.io_floor r.wavefront_lb pp_opt r.partition_lb
+    pp_opt r.partition_u_lb pp_opt r.span_lb r.best_lb r.belady_ub r.lru_ub
+    r.trivial_ub pp_opt r.optimal_io
+
+let report_to_json r =
+  let module J = Dmc_util.Json in
+  J.Obj
+    [
+      ("s", J.Int r.s);
+      ("n_vertices", J.Int r.n_vertices);
+      ("n_edges", J.Int r.n_edges);
+      ( "lower_bounds",
+        J.Obj
+          [
+            ("io_floor", J.Int r.io_floor);
+            ("wavefront", J.Int r.wavefront_lb);
+            ("partition_h", J.opt (fun x -> J.Int x) r.partition_lb);
+            ("partition_u", J.opt (fun x -> J.Int x) r.partition_u_lb);
+            ("span", J.opt (fun x -> J.Int x) r.span_lb);
+            ("best", J.Int r.best_lb);
+          ] );
+      ( "upper_bounds",
+        J.Obj
+          [
+            ("belady", J.Int r.belady_ub);
+            ("lru", J.Int r.lru_ub);
+            ("trivial", J.Int r.trivial_ub);
+          ] );
+      ("optimal_io", J.opt (fun x -> J.Int x) r.optimal_io);
+    ]
+
+let certify_wavefront ?(samples = 64) g ~s =
+  ignore s;
+  let part, _ = Dmc_cdag.Subgraph.drop_inputs g in
+  let stripped = part.Dmc_cdag.Subgraph.graph in
+  let n = Cdag.n_vertices stripped in
+  if n = 0 then true
+  else begin
+    let candidates =
+      if n <= Wavefront.exact_threshold then List.init n Fun.id
+      else begin
+        let rng = Dmc_util.Rng.create 0x5eed in
+        List.init samples (fun _ -> Dmc_util.Rng.int rng n)
+      end
+    in
+    let best = ref 0 and best_w = ref (-1) in
+    List.iter
+      (fun x ->
+        let w = Wavefront.min_wavefront stripped x in
+        if w > !best_w then begin
+          best_w := w;
+          best := x
+        end)
+      candidates;
+    let witness = Wavefront.witness stripped !best in
+    Wavefront.verify_witness stripped witness
+    && (witness.Wavefront.paths = [] || List.length witness.Wavefront.paths = !best_w)
+  end

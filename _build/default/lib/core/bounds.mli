@@ -1,0 +1,57 @@
+module Cdag := Dmc_cdag.Cdag
+
+(** One-stop lower/upper-bound analysis of a concrete CDAG, combining
+    every engine in this library.  This is what the CLI and the
+    validation experiments call. *)
+
+type report = {
+  s : int;
+  n_vertices : int;
+  n_edges : int;
+  io_floor : int;
+      (** the tagging floor: every input must be loaded once (white
+          pebbles) and every non-input output stored once *)
+  wavefront_lb : int;   (** {!Wavefront.lower_bound} *)
+  partition_lb : int option;
+      (** {!Spartition.lower_bound_exact} when the graph is small
+          enough for the exhaustive search, else [None] *)
+  partition_u_lb : int option;
+      (** {!Spartition.lower_bound_u} when feasible *)
+  span_lb : int option;
+      (** {!Span.lower_bound} (Savage's S-span) when the graph is small
+          enough for the exhaustive span search *)
+  best_lb : int;        (** max of the above *)
+  belady_ub : int;      (** measured I/O of the Belady schedule *)
+  lru_ub : int;         (** measured I/O of the LRU schedule *)
+  trivial_ub : int;     (** {!Strategy.trivial_io} *)
+  optimal_io : int option;
+      (** exhaustive optimum when the graph has at most
+          [optimal_limit] vertices *)
+}
+
+val io_floor : Cdag.t -> int
+
+val analyze :
+  ?exact_partition_limit:int ->
+  ?optimal_limit:int ->
+  Cdag.t ->
+  s:int ->
+  report
+(** Run every applicable engine.  [exact_partition_limit] (default 9)
+    caps the compute-vertex count for the exhaustive partition search;
+    [optimal_limit] (default 0, i.e. disabled) caps the vertex count
+    for the exhaustive optimal game. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> Dmc_util.Json.t
+(** The report as JSON, for the CLI's [--json] output. *)
+
+val certify_wavefront : ?samples:int -> Cdag.t -> s:int -> bool
+(** Re-derive the wavefront component of {!analyze}'s bound with a
+    Menger witness and verify it from first principles
+    ({!Wavefront.verify_witness}): find the maximizing vertex of the
+    input-stripped graph (exactly below {!Wavefront.exact_threshold}
+    vertices, else over [samples] draws), extract its disjoint-path
+    witness, and check both the paths and that their count equals the
+    min-cut value.  [true] means the certificate checks out. *)

@@ -1,0 +1,60 @@
+module Cdag := Dmc_cdag.Cdag
+module Subgraph := Dmc_cdag.Subgraph
+
+(** The decomposition calculus of Section 3.2: how per-piece lower
+    bounds compose into a bound for the whole CDAG.
+
+    - Theorem 2 (disjoint decomposition): for {e any} disjoint vertex
+      partition, the sum of the induced sub-CDAGs' I/O lower bounds
+      bounds the whole.
+    - Corollary 2 (input/output deletion): deleting the tagged I/O
+      vertices costs exactly [|dI| + |dO|] I/Os, which can be added
+      back.
+    - Theorem 3 (tagging / untagging): adding tags can only increase
+      I/O, and a bound computed with extra tags transfers back after
+      subtracting [|dI| + |dO|].
+    - Theorem 4 (non-disjoint decomposition): pieces may share boundary
+      vertices — e.g. consecutive outer-loop iterations sharing a
+      carried vector — when the shared vertices are re-tagged as inputs
+      of the later piece; the per-piece wavefront bounds still add up.
+      This is what Theorems 8 and 9 use on CG and GMRES. *)
+
+val sum_disjoint :
+  Cdag.t -> color:int array -> bound:(Cdag.t -> int) -> int
+(** Theorem 2: split by the (arbitrary) color array — every vertex
+    needs a color in [0 .. k-1] — and sum [bound] over the induced
+    parts.  The result is a valid lower bound for the whole CDAG
+    whenever [bound] is a valid lower-bound procedure. *)
+
+val parts : Cdag.t -> color:int array -> Subgraph.part array
+(** The induced parts, exposed for custom per-part analyses. *)
+
+val untag_adjust : bound_tagged:int -> d_inputs:int -> d_outputs:int -> int
+(** Theorem 3, Equation 2: a bound obtained on a more-tagged variant of
+    the same DAG, minus the number of added tags; clamped at 0. *)
+
+val io_deletion_adjust : bound_inner:int -> d_inputs:int -> d_outputs:int -> int
+(** Corollary 2, Equation 1: a bound on the graph with I/O vertices
+    removed, plus one I/O per removed vertex. *)
+
+val iteration_slices :
+  Cdag.t -> slice_of:(Cdag.vertex -> int) -> n_slices:int -> Subgraph.part array
+(** Convenience for time-iterated CDAGs (CG, GMRES, Jacobi): place each
+    vertex in the slice [slice_of v] (0-based; values outside
+    [0 .. n_slices-1] are clamped), inducing one sub-CDAG per outer
+    iteration as Theorem 4's proofs do. *)
+
+val wavefront_sum :
+  Cdag.t ->
+  pieces:(Subgraph.part * Cdag.vertex list) array ->
+  s:int ->
+  int
+(** The Theorem-4 pattern used by Theorems 8/9: for each (induced
+    piece, distinguished vertices) pair, strip the piece's tagged I/O
+    vertices (Corollary 2 adds [|dI| + |dO|] back), take the best
+    Lemma-2 bound [2 (Wmin(x) - S)] over the piece's distinguished
+    vertices (given by {e original} vertex ids, mapped through both
+    inductions), and sum across pieces (Theorem 2).  To accumulate
+    several wavefronts of one outer iteration — e.g. CG's [υ_x] and
+    [υ_y] — pass them in {e separate} pieces, as the paper's proofs do
+    by sub-dividing each iteration. *)

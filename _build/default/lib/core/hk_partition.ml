@@ -1,0 +1,128 @@
+module Bitset = Dmc_util.Bitset
+module Cdag = Dmc_cdag.Cdag
+module Vertex_cut = Dmc_flow.Vertex_cut
+
+let minimum_set g vi =
+  let out = Bitset.create (Cdag.n_vertices g) in
+  Bitset.iter
+    (fun v ->
+      let all_outside =
+        Cdag.fold_succ g v (fun acc w -> acc && not (Bitset.mem vi w)) true
+      in
+      if all_outside then Bitset.add out v)
+    vi;
+  out
+
+let min_dominator g vi =
+  let inputs = Cdag.inputs g in
+  if inputs = [] || Bitset.is_empty vi then (0, [])
+  else begin
+    (* Inputs inside the subset are 0-length paths: they must be in
+       every dominator.  The rest is a vertex min-cut from the
+       remaining inputs to the remaining subset members. *)
+    let shared = List.filter (Bitset.mem vi) inputs in
+    let outside_inputs = List.filter (fun v -> not (Bitset.mem vi v)) inputs in
+    let members = List.filter (fun v -> not (Cdag.is_input g v)) (Bitset.elements vi) in
+    if outside_inputs = [] || members = [] then
+      (List.length shared, shared)
+    else begin
+      let r =
+        Vertex_cut.min_vertex_cut g ~from_set:outside_inputs ~to_set:members ()
+      in
+      (* Paths ending inside the subset may be cut at the member itself
+         (members are cuttable), so the cut is a true dominator of the
+         non-input members; add the shared inputs back. *)
+      (List.length shared + r.Vertex_cut.size,
+       List.sort compare (shared @ r.Vertex_cut.cut))
+    end
+  end
+
+let check g ~s ~color =
+  let n = Cdag.n_vertices g in
+  if Array.length color <> n then Error "color array has wrong length"
+  else begin
+    let h = 1 + Array.fold_left max (-1) color in
+    let bad = ref None in
+    Array.iteri
+      (fun v c ->
+        if c < 0 && !bad = None then
+          bad := Some (Printf.sprintf "vertex %d is uncolored" v))
+      color;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+        let blocks = Array.init (max h 0) (fun _ -> Bitset.create n) in
+        Array.iteri (fun v c -> Bitset.add blocks.(c) v) color;
+        (* P2: no two-subset circuit *)
+        let adj = Array.make_matrix (max h 1) (max h 1) false in
+        Cdag.iter_edges g (fun u v ->
+            if color.(u) <> color.(v) then adj.(color.(u)).(color.(v)) <- true);
+        let circuit = ref None in
+        for i = 0 to h - 1 do
+          for j = i + 1 to h - 1 do
+            if adj.(i).(j) && adj.(j).(i) && !circuit = None then circuit := Some (i, j)
+          done
+        done;
+        (match !circuit with
+        | Some (i, j) -> Error (Printf.sprintf "circuit between subsets %d and %d" i j)
+        | None ->
+            let nonempty =
+              Array.to_list blocks |> List.filter (fun b -> not (Bitset.is_empty b))
+            in
+            let violation =
+              List.find_map
+                (fun b ->
+                  let dom, _ = min_dominator g b in
+                  if dom > s then Some "subset with minimum dominator > S"
+                  else if Bitset.cardinal (minimum_set g b) > s then
+                    Some "subset with |Min| > S"
+                  else None)
+                nonempty
+            in
+            (match violation with
+            | Some msg -> Error msg
+            | None -> Ok (List.length nonempty)))
+  end
+
+let of_rb_game g ~s moves =
+  (match Rb_game.validate g ~s moves with
+  | Some e ->
+      failwith
+        (Printf.sprintf "Hk_partition.of_rb_game: invalid game at step %d: %s"
+           e.Rb_game.step e.Rb_game.reason)
+  | None -> ());
+  let n = Cdag.n_vertices g in
+  let color = Array.make n (-1) in
+  let phase = ref 0 and io_in_phase = ref 0 in
+  let first_pebble v = if color.(v) < 0 then color.(v) <- !phase in
+  let io_tick () =
+    if !io_in_phase = s then begin
+      incr phase;
+      io_in_phase := 0
+    end;
+    incr io_in_phase
+  in
+  List.iter
+    (fun (m : Rb_game.move) ->
+      match m with
+      | Rb_game.Load v ->
+          io_tick ();
+          first_pebble v
+      | Rb_game.Store _ -> io_tick ()
+      | Rb_game.Compute v -> first_pebble v
+      | Rb_game.Delete _ -> ())
+    moves;
+  (* Unpebbled vertices (never needed by the game) join phase 0. *)
+  Array.iteri (fun v c -> if c < 0 then color.(v) <- 0) color;
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.map
+    (fun c ->
+      match Hashtbl.find_opt remap c with
+      | Some c' -> c'
+      | None ->
+          let c' = !next in
+          incr next;
+          Hashtbl.replace remap c c';
+          c')
+    color

@@ -1,0 +1,44 @@
+module Cdag := Dmc_cdag.Cdag
+module Bitset := Dmc_util.Bitset
+
+(** The {e original} Hong–Kung S-partition machinery (Definition 3),
+    which Definition 5 specializes for the RBW game.
+
+    A Hong–Kung S-partition splits {e all} vertices [V] (inputs
+    included) into subsets such that
+    - P2: no two-subset circuit;
+    - P3: some {e dominator set} of [V_i] — a vertex set intercepting
+      every path from the inputs [I] to a vertex of [V_i] — has at most
+      [S] vertices;
+    - P4: the {e minimum set} of [V_i] — its members whose successors
+      all lie outside [V_i] (including members with no successors) —
+      has at most [S] vertices.
+
+    Dominators are where the original model differs from the RBW
+    [In]/[Out] boundaries: a dominator may sit far from the subset and
+    be much smaller than [In(V_i)].  Minimum dominator sets are vertex
+    min-cuts and are computed here by max-flow. *)
+
+val minimum_set : Cdag.t -> Bitset.t -> Bitset.t
+(** [Min(V_i)]: members of the set all of whose successors lie outside
+    it (members without successors qualify). *)
+
+val min_dominator : Cdag.t -> Bitset.t -> int * Cdag.vertex list
+(** The size and one witness of a minimum dominator set of the given
+    subset: the smallest vertex set meeting every path from a tagged
+    input to a subset member.  Members of [I ∩ V_i] dominate only
+    themselves, so they are always part of the cut.  Returns [(0, [])]
+    when no input reaches the subset. *)
+
+val check : Cdag.t -> s:int -> color:int array -> (int, string) result
+(** Validate a color array (over {e all} vertices, each in
+    [0 .. h-1]) as a Hong–Kung S-partition; [Ok h] is the number of
+    non-empty subsets. *)
+
+val of_rb_game : Cdag.t -> s:int -> Rb_game.move list -> int array
+(** The Theorem-1 construction for the original red-blue game: split
+    the (valid) game into consecutive phases of at most [s] I/O moves
+    and color every vertex by the phase in which it {e first} receives
+    a red pebble (by load or compute).  Vertices the game never pebbles
+    (possible when they do not feed any output) are placed in phase 0.
+    Colors are compacted.  Raises [Failure] on an invalid game. *)

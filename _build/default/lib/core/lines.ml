@@ -1,0 +1,40 @@
+module Cdag = Dmc_cdag.Cdag
+module Maxflow = Dmc_flow.Maxflow
+
+let bound ~line_vertices ~f_inverse_2s =
+  if line_vertices <= 0 || f_inverse_2s < 0 then invalid_arg "Lines.bound";
+  float_of_int line_vertices /. (2.0 *. float_of_int (f_inverse_2s + 1))
+
+let jacobi_f_inverse ~d ~s =
+  if d <= 0 || s <= 0 then invalid_arg "Lines.jacobi_f_inverse";
+  (2.0 *. ((2.0 *. float_of_int s) ** (1.0 /. float_of_int d))) -. 1.0
+
+let jacobi_bound ~d ~n ~steps ~s =
+  if n <= 0 || steps <= 0 then invalid_arg "Lines.jacobi_bound";
+  let l = (float_of_int n ** float_of_int d) *. float_of_int steps in
+  let f_inv = jacobi_f_inverse ~d ~s in
+  l /. (2.0 *. (f_inv +. 1.0))
+
+let max_disjoint_lines g =
+  let inputs = Cdag.inputs g and outputs = Cdag.outputs g in
+  if inputs = [] || outputs = [] then 0
+  else begin
+    (* Unit vertex capacities everywhere, endpoints included: lines may
+       not share any vertex at all. *)
+    let n = Cdag.n_vertices g in
+    let v_in v = 2 * v and v_out v = (2 * v) + 1 in
+    let net = Maxflow.create ((2 * n) + 2) in
+    let src = 2 * n and dst = (2 * n) + 1 in
+    for v = 0 to n - 1 do
+      ignore (Maxflow.add_edge net ~src:(v_in v) ~dst:(v_out v) ~cap:1)
+    done;
+    Cdag.iter_edges g (fun u v ->
+        ignore (Maxflow.add_edge net ~src:(v_out u) ~dst:(v_in v) ~cap:Maxflow.infinite));
+    List.iter
+      (fun v -> ignore (Maxflow.add_edge net ~src ~dst:(v_in v) ~cap:1))
+      inputs;
+    List.iter
+      (fun v -> ignore (Maxflow.add_edge net ~src:(v_out v) ~dst ~cap:1))
+      outputs;
+    Maxflow.max_flow net ~src ~dst
+  end

@@ -1,0 +1,37 @@
+module Cdag := Dmc_cdag.Cdag
+
+(** The Hong–Kung "lines" lower-bound technique that Theorem 10's proof
+    invokes (Hong & Kung, Theorem 5.1).
+
+    For a CDAG in which all inputs reach all outputs through
+    vertex-disjoint paths ({e lines}), let [F(d)] bound the number of
+    distinct lines touched by any set of vertices that sit on a common
+    line at distance [>= d] from each other; then the sequential I/O
+    satisfies
+
+    {v  Q >= L / (2 (F^{-1}(2S) + 1))  v}
+
+    where [L] is the number of vertices lying on lines.  For the
+    d-dimensional Jacobi CDAG the paper instantiates
+    [F^{-1}(2S) = 2 (2S)^{1/d} - 1] (shown for [d = 2] as
+    [2 sqrt(2S) - 1]), yielding Theorem 10. *)
+
+val bound : line_vertices:int -> f_inverse_2s:int -> float
+(** [L / (2 (F^{-1}(2S) + 1))].  Requires positive arguments. *)
+
+val jacobi_f_inverse : d:int -> s:int -> float
+(** [2 (2S)^{1/d} - 1]. *)
+
+val jacobi_bound : d:int -> n:int -> steps:int -> s:int -> float
+(** Theorem 10 (sequential, [P = 1]) derived through the lines
+    machinery with [L = n^d T]: evaluates to
+    [n^d T / (4 (2S)^{1/d})], the same closed form as
+    {!Analytic.jacobi_lb}. *)
+
+val max_disjoint_lines : Cdag.t -> int
+(** The hypothesis checker: the maximum number of vertex-disjoint
+    directed paths from the tagged inputs to the tagged outputs
+    (a max-flow with unit vertex capacities, endpoints included).
+    For a [d]-dimensional Jacobi CDAG of [n^d] points this equals
+    [n^d] — every grid point carries its own line.  Returns 0 when the
+    graph has no inputs or no outputs. *)

@@ -1,0 +1,222 @@
+module Cdag = Dmc_cdag.Cdag
+module Heap = Dmc_util.Heap
+
+exception Too_large of string
+
+let popcount =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  fun x -> go x 0
+
+let pred_masks g =
+  Array.init (Cdag.n_vertices g) (fun v ->
+      Cdag.fold_pred g v (fun m u -> m lor (1 lsl u)) 0)
+
+let mask_of_list vs = List.fold_left (fun m v -> m lor (1 lsl v)) 0 vs
+
+(* Generic Dijkstra over integer-encoded states. *)
+let dijkstra ~max_states ~start ~is_goal ~successors =
+  let dist = Hashtbl.create 4096 in
+  let heap = Heap.create () in
+  Hashtbl.replace dist start 0;
+  Heap.push heap ~prio:0 ~value:start;
+  let answer = ref None in
+  while !answer = None && not (Heap.is_empty heap) do
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (cost, state) ->
+        let best = try Hashtbl.find dist state with Not_found -> max_int in
+        if cost <= best then
+          if is_goal state then answer := Some cost
+          else
+            successors state (fun cost' state' ->
+                let cost' = cost + cost' in
+                let known =
+                  try Hashtbl.find dist state' with Not_found -> max_int
+                in
+                if cost' < known then begin
+                  if Hashtbl.length dist >= max_states then
+                    raise (Too_large "Optimal: state budget exhausted");
+                  Hashtbl.replace dist state' cost';
+                  Heap.push heap ~prio:cost' ~value:state'
+                end)
+  done;
+  match !answer with
+  | Some c -> c
+  | None -> raise (Too_large "Optimal: no complete game found (exhausted states)")
+
+let rbw_io ?(max_states = 2_000_000) g ~s =
+  if s <= 0 then invalid_arg "Optimal.rbw_io: s must be positive";
+  let n = Cdag.n_vertices g in
+  if n > 20 then raise (Too_large "Optimal.rbw_io: more than 20 vertices");
+  if not (Dmc_cdag.Validate.is_rbw g) then
+    invalid_arg "Optimal.rbw_io: graph violates the RBW convention";
+  let preds = pred_masks g in
+  let input_mask = mask_of_list (Cdag.inputs g) in
+  let output_mask = mask_of_list (Cdag.outputs g) in
+  let all_mask = (1 lsl n) - 1 in
+  (* State layout: white | red | blue, n bits each. *)
+  let encode ~white ~red ~blue = (white lsl (2 * n)) lor (red lsl n) lor blue in
+  let white_of st = st lsr (2 * n) in
+  let red_of st = (st lsr n) land all_mask in
+  let blue_of st = st land all_mask in
+  let start = encode ~white:0 ~red:0 ~blue:input_mask in
+  let is_goal st =
+    white_of st = all_mask && output_mask land lnot (blue_of st) = 0
+  in
+  let successors st push =
+    let white = white_of st and red = red_of st and blue = blue_of st in
+    let full = popcount red >= s in
+    (* Place a red (+ white) pebble on [v]; when full, branch over the
+       victim to delete first.  A compute's victim must not be one of
+       its predecessors — they have to stay red through the firing. *)
+    let place ?(protect = 0) cost v =
+      let bit = 1 lsl v in
+      if not full then
+        push cost (encode ~white:(white lor bit) ~red:(red lor bit) ~blue)
+      else
+        for r = 0 to n - 1 do
+          if red land (1 lsl r) <> 0 && protect land (1 lsl r) = 0 then
+            push cost
+              (encode ~white:(white lor bit)
+                 ~red:((red land lnot (1 lsl r)) lor bit)
+                 ~blue)
+        done
+    in
+    for v = 0 to n - 1 do
+      let bit = 1 lsl v in
+      if red land bit = 0 then begin
+        (* R1: load *)
+        if blue land bit <> 0 then place 1 v;
+        (* R3: compute *)
+        if
+          white land bit = 0
+          && input_mask land bit = 0
+          && preds.(v) land lnot red = 0
+        then place ~protect:preds.(v) 0 v
+      end
+      else if blue land bit = 0 then
+        (* R2: store *)
+        push 1 (encode ~white ~red ~blue:(blue lor bit))
+    done
+  in
+  dijkstra ~max_states ~start ~is_goal ~successors
+
+let rb_io ?(max_states = 2_000_000) g ~s =
+  if s <= 0 then invalid_arg "Optimal.rb_io: s must be positive";
+  let n = Cdag.n_vertices g in
+  if n > 31 then raise (Too_large "Optimal.rb_io: more than 31 vertices");
+  if not (Dmc_cdag.Validate.is_hong_kung g) then
+    invalid_arg "Optimal.rb_io: graph violates the Hong-Kung convention";
+  let preds = pred_masks g in
+  let input_mask = mask_of_list (Cdag.inputs g) in
+  let output_mask = mask_of_list (Cdag.outputs g) in
+  let encode ~red ~blue = (red lsl n) lor blue in
+  let red_of st = st lsr n in
+  let blue_of st = st land ((1 lsl n) - 1) in
+  let start = encode ~red:0 ~blue:input_mask in
+  let is_goal st = output_mask land lnot (blue_of st) = 0 in
+  let successors st push =
+    let red = red_of st and blue = blue_of st in
+    let full = popcount red >= s in
+    let place ?(protect = 0) cost v =
+      let bit = 1 lsl v in
+      if not full then push cost (encode ~red:(red lor bit) ~blue)
+      else
+        for r = 0 to n - 1 do
+          if red land (1 lsl r) <> 0 && protect land (1 lsl r) = 0 then
+            push cost (encode ~red:((red land lnot (1 lsl r)) lor bit) ~blue)
+        done
+    in
+    for v = 0 to n - 1 do
+      let bit = 1 lsl v in
+      if red land bit = 0 then begin
+        if blue land bit <> 0 then place 1 v;
+        if input_mask land bit = 0 && preds.(v) land lnot red = 0 then
+          place ~protect:preds.(v) 0 v
+      end
+      else if blue land bit = 0 then push 1 (encode ~red ~blue:(blue lor bit))
+    done
+  in
+  dijkstra ~max_states ~start ~is_goal ~successors
+
+let min_balanced_horizontal ?(slack = 0) g ~procs =
+  if procs < 1 then invalid_arg "Optimal.min_balanced_horizontal";
+  let compute =
+    Cdag.fold_vertices g
+      (fun acc v -> if Cdag.is_input g v then acc else v :: acc)
+      []
+    |> List.rev |> Array.of_list
+  in
+  let n' = Array.length compute in
+  if n' > 14 then
+    raise (Too_large "Optimal.min_balanced_horizontal: more than 14 compute vertices");
+  let cap = ((n' + procs - 1) / procs) + slack in
+  let assign = Array.make n' 0 in
+  let load = Array.make procs 0 in
+  let best_cost = ref max_int in
+  let best_assign = ref (Array.make n' 0) in
+  (* cost of a complete assignment: every computed value is fetched
+     once into each foreign node that consumes it; inputs are free
+     (they can be Input-ed anywhere straight from blue) *)
+  let cost () =
+    let proc_of = Hashtbl.create 32 in
+    Array.iteri (fun i v -> Hashtbl.replace proc_of v assign.(i)) compute;
+    let total = ref 0 in
+    Array.iteri
+      (fun i v ->
+        let home = assign.(i) in
+        let consumers = Hashtbl.create 4 in
+        Cdag.iter_succ g v (fun w ->
+            match Hashtbl.find_opt proc_of w with
+            | Some q when q <> home -> Hashtbl.replace consumers q ()
+            | _ -> ());
+        total := !total + Hashtbl.length consumers)
+      compute;
+    !total
+  in
+  let rec go i =
+    if i = n' then begin
+      let c = cost () in
+      if c < !best_cost then begin
+        best_cost := c;
+        best_assign := Array.copy assign
+      end
+    end
+    else
+      (* canonical symmetry breaking: vertex i may only open processor
+         max-used-so-far + 1 *)
+      let max_used = ref (-1) in
+      for j = 0 to i - 1 do
+        if assign.(j) > !max_used then max_used := assign.(j)
+      done;
+      for p = 0 to min (procs - 1) (!max_used + 1) do
+        if load.(p) < cap then begin
+          assign.(i) <- p;
+          load.(p) <- load.(p) + 1;
+          go (i + 1);
+          load.(p) <- load.(p) - 1
+        end
+      done
+  in
+  if n' = 0 then (0, Array.make (Cdag.n_vertices g) 0)
+  else begin
+    go 0;
+    (* full per-vertex assignment: inputs placed with a consumer *)
+    let proc_of = Hashtbl.create 32 in
+    Array.iteri (fun i v -> Hashtbl.replace proc_of v !best_assign.(i)) compute;
+    let out = Array.make (Cdag.n_vertices g) 0 in
+    Cdag.iter_vertices g (fun v ->
+        out.(v) <-
+          (match Hashtbl.find_opt proc_of v with
+          | Some p -> p
+          | None ->
+              (* an input: home it at its first consumer *)
+              Cdag.fold_succ g v
+                (fun acc w ->
+                  match Hashtbl.find_opt proc_of w with
+                  | Some p when acc < 0 -> p
+                  | _ -> acc)
+                (-1)
+              |> max 0));
+    (!best_cost, out)
+  end

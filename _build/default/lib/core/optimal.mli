@@ -1,0 +1,60 @@
+module Cdag := Dmc_cdag.Cdag
+
+(** Provably optimal pebble games on small CDAGs by explicit
+    shortest-path search over game states.
+
+    These engines establish the ground truth the validation experiments
+    compare the lower-bound machinery against: for every tiny CDAG,
+    [lower bound <= rbw_io <= any strategy's I/O] must hold, and
+    [rb_io <= rbw_io] (forbidding recomputation can only increase
+    I/O).
+
+    The search is Dijkstra over game states with loads/stores of
+    cost 1 and computes/deletes of cost 0.  Deletions are normalized to
+    happen only when a placement finds the fast memory full — a
+    standard no-loss transformation, since capacity only binds at
+    placements — which keeps the state space finite and small.  State
+    encoding packs the white/red/blue vertex sets into one [int], so
+    {!rbw_io} accepts up to 20 vertices and {!rb_io} up to 31;
+    [max_states] guards against blow-up. *)
+
+exception Too_large of string
+(** Raised when the graph exceeds the encodable size or the search
+    visits more than [max_states] distinct states. *)
+
+val rbw_io : ?max_states:int -> Cdag.t -> s:int -> int
+(** Minimum I/O of any complete red-blue-white game (Definition 4).
+    [max_states] defaults to 2,000,000. *)
+
+val rb_io : ?max_states:int -> Cdag.t -> s:int -> int
+(** Minimum I/O of any complete Hong–Kung red-blue game (Definition 2),
+    recomputation allowed.  The graph must satisfy the Hong–Kung
+    convention ({!Dmc_cdag.Validate.is_hong_kung}); raises
+    [Invalid_argument] otherwise. *)
+
+val min_balanced_horizontal :
+  ?slack:int -> Cdag.t -> procs:int -> int * int array
+(** The minimum number of inter-node word transfers of any P-RBW game
+    on [procs] nodes with private unbounded memories, sufficient
+    registers and a {e balanced} work assignment (no processor fires
+    more than [ceil(compute / procs) + slack] vertices; [slack]
+    defaults to 0).
+
+    With free vertical moves, the game collapses to choosing which
+    processor fires each compute vertex: a value computed at [p] must
+    reach every other node that consumes it at least once, while
+    tagged inputs can be [Input]-ed into any memory directly from blue
+    and cost nothing horizontally.  Convention: a computed value that a
+    game round-trips through the blue storage ([Output] at [p],
+    [Input] at [q]) still counts as one transfer into [q] — Definition
+    6's blue level models the job's outside storage, not a second
+    communication fabric, and any such route moves at least as many
+    words.  The returned assignment array maps each vertex to its
+    processor (inputs are placed greedily at a consumer).  Exhaustive
+    over the [procs^compute] balanced assignments — at most 14 compute
+    vertices.  Raises {!Too_large} beyond that, [Invalid_argument] for
+    [procs < 1].
+
+    Under that convention this is the exact optimum Theorem 7's
+    horizontal bound must sit below; the tests check measured SPMD
+    executions against it. *)

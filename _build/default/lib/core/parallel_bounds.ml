@@ -1,0 +1,36 @@
+module Hierarchy = Dmc_machine.Hierarchy
+
+let fi = float_of_int
+
+let check_level hierarchy level =
+  if level < 2 || level > Hierarchy.n_levels hierarchy then
+    invalid_arg "Parallel_bounds: level must be in [2, L]"
+
+let vertical_from_sequential ~hierarchy ~level ~seq_lb =
+  check_level hierarchy level;
+  let s_below =
+    Hierarchy.capacity hierarchy ~level:(level - 1)
+    * Hierarchy.count hierarchy ~level:(level - 1)
+  in
+  seq_lb ~s:s_below /. fi (Hierarchy.count hierarchy ~level)
+
+let vertical_from_u ~hierarchy ~level ~work ~u =
+  check_level hierarchy level;
+  if u <= 0.0 then invalid_arg "Parallel_bounds.vertical_from_u: u";
+  if work < 0.0 then invalid_arg "Parallel_bounds.vertical_from_u: work";
+  let nl = fi (Hierarchy.count hierarchy ~level) in
+  let nl_below = fi (Hierarchy.count hierarchy ~level:(level - 1)) in
+  let s_below = fi (Hierarchy.capacity hierarchy ~level:(level - 1)) in
+  Float.max 0.0 (((work /. (u *. nl)) -. (nl_below /. nl)) *. s_below)
+
+let horizontal_from_u ~hierarchy ~work ~u =
+  if u <= 0.0 then invalid_arg "Parallel_bounds.horizontal_from_u: u";
+  if work < 0.0 then invalid_arg "Parallel_bounds.horizontal_from_u: work";
+  let levels = Hierarchy.n_levels hierarchy in
+  let n_top = Hierarchy.count hierarchy ~level:levels in
+  let group = fi (Hierarchy.processors hierarchy) /. fi n_top in
+  let s_top = fi (Hierarchy.capacity hierarchy ~level:levels) in
+  Float.max 0.0 (((work /. (u *. group)) -. 1.0) *. s_top)
+
+let per_processor_work ~hierarchy ~work =
+  work /. fi (Hierarchy.processors hierarchy)

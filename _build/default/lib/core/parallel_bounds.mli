@@ -1,0 +1,27 @@
+module Hierarchy := Dmc_machine.Hierarchy
+
+(** The parallel lower bounds of Section 4: Theorems 5–7 lift a
+    sequential (single-processor) bound or a [U(2S)] estimate to the
+    vertical and horizontal data movement of any valid P-RBW game. *)
+
+val vertical_from_sequential :
+  hierarchy:Hierarchy.t -> level:int -> seq_lb:(s:int -> float) -> float
+(** Theorem 5: the level-[l] unit with the most write-back traffic
+    receives at least [IO_1(C, S_{l-1} N_{l-1}) / N_l] words, where
+    [IO_1(C, S)] is the sequential I/O lower bound with [S] words of
+    fast memory, supplied as [seq_lb].  Requires [2 <= level <= L]. *)
+
+val vertical_from_u :
+  hierarchy:Hierarchy.t -> level:int -> work:float -> u:float -> float
+(** Theorem 6: with [U = U(C, 2 S_{l-1})] the largest 2S-partition
+    subset, the busiest level-[l] unit moves at least
+    [(|V| / (U N_l) - N_{l-1} / N_l) * S_{l-1}] words; clamped at 0. *)
+
+val horizontal_from_u :
+  hierarchy:Hierarchy.t -> work:float -> u:float -> float
+(** Theorem 7: the level-[L] unit whose processor group computes the
+    most fires at least [(|V| / (U P_i) - 1) * S_L] remote-get words,
+    with [P_i = P / N_L] the group size; clamped at 0. *)
+
+val per_processor_work : hierarchy:Hierarchy.t -> work:float -> float
+(** [|V| / P]: the work of the busiest processor is at least this. *)

@@ -1,0 +1,93 @@
+module Bitset = Dmc_util.Bitset
+module Cdag = Dmc_cdag.Cdag
+
+type move =
+  | Load of Cdag.vertex
+  | Store of Cdag.vertex
+  | Compute of Cdag.vertex
+  | Delete of Cdag.vertex
+
+let pp_move ppf = function
+  | Load v -> Format.fprintf ppf "load %d" v
+  | Store v -> Format.fprintf ppf "store %d" v
+  | Compute v -> Format.fprintf ppf "compute %d" v
+  | Delete v -> Format.fprintf ppf "delete %d" v
+
+type stats = {
+  loads : int;
+  stores : int;
+  io : int;
+  computes : int;
+  max_red : int;
+}
+
+type error = { step : int; reason : string }
+
+let run g ~s moves =
+  if s <= 0 then invalid_arg "Rb_game.run: s must be positive";
+  let n = Cdag.n_vertices g in
+  let red = Bitset.create n and blue = Bitset.create n in
+  List.iter (Bitset.add blue) (Cdag.inputs g);
+  let loads = ref 0 and stores = ref 0 and computes = ref 0 and max_red = ref 0 in
+  let exception Fail of error in
+  let fail step fmt = Format.kasprintf (fun reason -> raise (Fail { step; reason })) fmt in
+  let place step v =
+    if not (Bitset.mem red v) then begin
+      if Bitset.cardinal red >= s then fail step "no free red pebble (S = %d)" s;
+      Bitset.add red v;
+      if Bitset.cardinal red > !max_red then max_red := Bitset.cardinal red
+    end
+  in
+  let check_vertex step v =
+    if v < 0 || v >= n then fail step "vertex %d out of range" v
+  in
+  try
+    List.iteri
+      (fun step move ->
+        match move with
+        | Load v ->
+            check_vertex step v;
+            if not (Bitset.mem blue v) then fail step "load %d: no blue pebble" v;
+            place step v;
+            incr loads
+        | Store v ->
+            check_vertex step v;
+            if not (Bitset.mem red v) then fail step "store %d: no red pebble" v;
+            Bitset.add blue v;
+            incr stores
+        | Compute v ->
+            check_vertex step v;
+            if Cdag.is_input g v then fail step "compute %d: inputs cannot fire" v;
+            let missing =
+              Cdag.fold_pred g v
+                (fun acc u -> if Bitset.mem red u then acc else u :: acc)
+                []
+            in
+            (match missing with
+            | u :: _ -> fail step "compute %d: predecessor %d not red" v u
+            | [] ->
+                place step v;
+                incr computes)
+        | Delete v ->
+            check_vertex step v;
+            if not (Bitset.mem red v) then fail step "delete %d: no red pebble" v;
+            Bitset.remove red v)
+      moves;
+    let finish = List.length moves in
+    List.iter
+      (fun v ->
+        if not (Bitset.mem blue v) then
+          fail finish "output %d has no blue pebble at the end" v)
+      (Cdag.outputs g);
+    Ok
+      {
+        loads = !loads;
+        stores = !stores;
+        io = !loads + !stores;
+        computes = !computes;
+        max_red = !max_red;
+      }
+  with Fail e -> Error e
+
+let validate g ~s moves =
+  match run g ~s moves with Ok _ -> None | Error e -> Some e

@@ -1,0 +1,47 @@
+module Cdag := Dmc_cdag.Cdag
+
+(** The original Hong–Kung red-blue pebble game (Definition 2).
+
+    [S] red pebbles model the fast memory, unboundedly many blue
+    pebbles the slow memory.  Recomputation {e is} allowed: a vertex
+    may fire with rule R3 any number of times.  The I/O cost of a game
+    is the number of R1 (load) plus R2 (store) moves.
+
+    The engine replays a proposed move sequence, rejecting the first
+    illegal move, and checks the completion condition (a blue pebble on
+    every output).  It is the ground truth against which both the
+    strategies (upper bounds) and the bound engines (lower bounds) are
+    validated. *)
+
+type move =
+  | Load of Cdag.vertex     (** R1: blue -> red *)
+  | Store of Cdag.vertex    (** R2: red -> blue *)
+  | Compute of Cdag.vertex  (** R3: all predecessors red -> red *)
+  | Delete of Cdag.vertex   (** R4: remove a red pebble *)
+
+val pp_move : Format.formatter -> move -> unit
+
+type stats = {
+  loads : int;
+  stores : int;
+  io : int;            (** [loads + stores] *)
+  computes : int;
+  max_red : int;       (** peak number of red pebbles in use *)
+}
+
+type error = {
+  step : int;          (** 0-based index of the offending move, or the
+                           move-list length for a completion failure *)
+  reason : string;
+}
+
+val run : Cdag.t -> s:int -> move list -> (stats, error) result
+(** Play a complete game.  The initial state has a blue pebble on each
+    tagged input.  Rules enforced: loads need a blue pebble, stores a
+    red one, computes need every predecessor red (and the vertex must
+    be a non-input), the red-pebble count never exceeds [S], and at the
+    end every output holds a blue pebble.  Raises [Invalid_argument]
+    when [s <= 0]. *)
+
+val validate : Cdag.t -> s:int -> move list -> error option
+(** [None] when {!run} succeeds. *)

@@ -1,0 +1,29 @@
+module Cdag := Dmc_cdag.Cdag
+
+(** Savage's S-span lower-bound technique (Section 6's related work;
+    Savage 1995/1998), implemented as a third independent bound engine.
+
+    The {e S-span} [ρ(S, G)] is the largest number of compute vertices
+    that can fire, using only computes and deletes (no I/O), starting
+    from the most favourable placement of [S] red pebbles.  Any
+    complete no-recomputation game splits into phases of [S] I/Os, and
+    a phase that starts with at most [S] pebbles can fire at most
+    [ρ(2S, G)] vertices — the [S] resident values plus the [S] values
+    moved during the phase act as the starting pebbles.  Hence
+
+    {v  Q >= S * (|V - I| / ρ(2S, G) - 1)  v}
+
+    mirroring Corollary 1 with [ρ(2S)] in place of [U(2S)]. *)
+
+val s_span : ?max_nodes:int -> Cdag.t -> s:int -> int
+(** [ρ(S, G)] by exhaustive search: branch over which vertex to fire
+    next from the current pebble multiset (with the standard
+    delete-only-when-full normalization), over all starting placements
+    — implemented as a DFS over (fired-set, pebble-set) states with
+    memoization.  Inputs carry no white pebbles here: a starting pebble
+    may sit on {e any} vertex.  Practical for graphs of at most 20
+    vertices; raises {!Optimal.Too_large} beyond [max_nodes] states
+    (default 2,000,000). *)
+
+val lower_bound : ?max_nodes:int -> Cdag.t -> s:int -> int
+(** [S * ceil(|V - I| / ρ(2S) - 1)], clamped at 0. *)

@@ -1,0 +1,576 @@
+module Bitset = Dmc_util.Bitset
+module Cdag = Dmc_cdag.Cdag
+module Topo = Dmc_cdag.Topo
+module Hierarchy = Dmc_machine.Hierarchy
+
+type policy = Lru | Belady
+
+let default_order g =
+  Topo.order g |> Array.to_list
+  |> List.filter (fun v -> not (Cdag.is_input g v))
+  |> Array.of_list
+
+let dfs_order g =
+  let n = Cdag.n_vertices g in
+  let visited = Bitset.create n in
+  let order = Dmc_util.Intvec.create ~initial_capacity:n () in
+  let rec visit v =
+    if not (Bitset.mem visited v) then begin
+      Bitset.add visited v;
+      Cdag.iter_pred g v visit;
+      if not (Cdag.is_input g v) then Dmc_util.Intvec.push order v
+    end
+  in
+  List.iter visit (Cdag.outputs g);
+  Cdag.iter_vertices g (fun v -> if not (Cdag.is_input g v) then visit v);
+  Dmc_util.Intvec.to_array order
+
+let check_order g order =
+  let n = Cdag.n_vertices g in
+  let pos = Array.make n (-1) in
+  if Array.length order <> Cdag.n_compute g then
+    invalid_arg "Strategy: order must cover exactly the non-input vertices";
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n || Cdag.is_input g v then
+        invalid_arg "Strategy: order contains an input or bad vertex";
+      if pos.(v) >= 0 then invalid_arg "Strategy: duplicate vertex in order";
+      pos.(v) <- i)
+    order;
+  Cdag.iter_edges g (fun u v ->
+      if pos.(u) >= 0 && pos.(v) >= 0 && pos.(u) >= pos.(v) then
+        invalid_arg "Strategy: order is not topological");
+  pos
+
+(* Positions (ascending) at which each vertex is consumed as an
+   operand. *)
+let use_positions g order =
+  let n = Cdag.n_vertices g in
+  let uses = Array.make n [] in
+  Array.iteri
+    (fun i v -> Cdag.iter_pred g v (fun p -> uses.(p) <- i :: uses.(p)))
+    order;
+  Array.map (fun l -> Array.of_list (List.rev l)) uses
+
+let no_use = max_int
+
+let schedule ?(policy = Belady) ?order g ~s =
+  if s <= 0 then invalid_arg "Strategy.schedule: s must be positive";
+  let order = match order with Some o -> o | None -> default_order g in
+  ignore (check_order g order);
+  let n = Cdag.n_vertices g in
+  let uses = use_positions g order in
+  let cursor = Array.make n 0 in
+  let next_use v =
+    let u = uses.(v) in
+    if cursor.(v) < Array.length u then u.(cursor.(v)) else no_use
+  in
+  let red = Bitset.create n and blue = Bitset.create n in
+  List.iter (Bitset.add blue) (Cdag.inputs g);
+  let loaded = Bitset.create n in
+  let pinned = Bitset.create n in
+  let last_use = Array.make n 0 in
+  let clock = ref 0 in
+  let moves = ref [] in
+  let emit m = moves := m :: !moves in
+  let store_if_needed v ~future =
+    if (future || Cdag.is_output g v) && not (Bitset.mem blue v) then begin
+      emit (Rb_game.Store v);
+      Bitset.add blue v
+    end
+  in
+  let evict_one () =
+    let best = ref (-1) and best_score = ref min_int in
+    Bitset.iter
+      (fun v ->
+        if not (Bitset.mem pinned v) then begin
+          let score =
+            match policy with
+            | Belady ->
+                let nu = next_use v in
+                (* Prefer furthest next use; among dead values prefer
+                   those that do not need a store. *)
+                if nu = no_use then
+                  if Bitset.mem blue v || not (Cdag.is_output g v) then max_int
+                  else max_int - 1
+                else nu
+            | Lru -> - last_use.(v)
+          in
+          if score > !best_score then begin
+            best_score := score;
+            best := v
+          end
+        end)
+      red;
+    if !best < 0 then failwith "Strategy.schedule: S too small for the operand set";
+    let v = !best in
+    store_if_needed v ~future:(next_use v <> no_use);
+    emit (Rb_game.Delete v);
+    Bitset.remove red v
+  in
+  let make_room () = while Bitset.cardinal red >= s do evict_one () done in
+  let bring_in v =
+    if not (Bitset.mem red v) then begin
+      make_room ();
+      if not (Bitset.mem blue v) then
+        failwith "Strategy.schedule: internal error: operand lost";
+      emit (Rb_game.Load v);
+      Bitset.add red v;
+      Bitset.add loaded v
+    end;
+    incr clock;
+    last_use.(v) <- !clock
+  in
+  let release v =
+    (* Drop a value as soon as its last consumer has fired. *)
+    if Bitset.mem red v && next_use v = no_use then begin
+      store_if_needed v ~future:false;
+      emit (Rb_game.Delete v);
+      Bitset.remove red v
+    end
+  in
+  Array.iteri
+    (fun i v ->
+      let preds = Cdag.pred_list g v in
+      (* Pin operands already resident, then fault the rest in. *)
+      List.iter (fun p -> if Bitset.mem red p then Bitset.add pinned p) preds;
+      List.iter
+        (fun p ->
+          bring_in p;
+          Bitset.add pinned p)
+        preds;
+      make_room ();
+      emit (Rb_game.Compute v);
+      Bitset.add red v;
+      incr clock;
+      last_use.(v) <- !clock;
+      List.iter (fun p -> Bitset.remove pinned p) preds;
+      (* Advance the use cursors past position [i]. *)
+      List.iter
+        (fun p ->
+          let u = uses.(p) in
+          while cursor.(p) < Array.length u && u.(cursor.(p)) <= i do
+            cursor.(p) <- cursor.(p) + 1
+          done)
+        preds;
+      List.iter release preds;
+      release v)
+    order;
+  (* Outputs still resident must reach slow memory; untouched inputs
+     must still be whitened by one load each. *)
+  List.iter
+    (fun v -> if Bitset.mem red v && not (Bitset.mem blue v) then begin
+         emit (Rb_game.Store v);
+         Bitset.add blue v
+       end)
+    (Cdag.outputs g);
+  List.iter
+    (fun v ->
+      if not (Bitset.mem loaded v) && not (Bitset.mem red v) then begin
+        make_room ();
+        emit (Rb_game.Load v);
+        Bitset.add red v;
+        emit (Rb_game.Delete v);
+        Bitset.remove red v
+      end)
+    (Cdag.inputs g);
+  List.rev !moves
+
+let io ?policy ?order g ~s =
+  List.fold_left
+    (fun acc m ->
+      match (m : Rb_game.move) with
+      | Rb_game.Load _ | Rb_game.Store _ -> acc + 1
+      | Rb_game.Compute _ | Rb_game.Delete _ -> acc)
+    0
+    (schedule ?policy ?order g ~s)
+
+let trivial g =
+  let moves = ref [] in
+  let emit m = moves := m :: !moves in
+  let used_input = Bitset.create (Cdag.n_vertices g) in
+  Array.iter
+    (fun v ->
+      if not (Cdag.is_input g v) then begin
+        let preds = Cdag.pred_list g v in
+        List.iter
+          (fun p ->
+            emit (Rb_game.Load p);
+            if Cdag.is_input g p then Bitset.add used_input p)
+          preds;
+        emit (Rb_game.Compute v);
+        emit (Rb_game.Store v);
+        List.iter (fun p -> emit (Rb_game.Delete p)) preds;
+        emit (Rb_game.Delete v)
+      end)
+    (Topo.order g);
+  List.iter
+    (fun v ->
+      if not (Bitset.mem used_input v) then begin
+        emit (Rb_game.Load v);
+        emit (Rb_game.Delete v)
+      end)
+    (Cdag.inputs g);
+  List.rev !moves
+
+let trivial_io g =
+  let unused_inputs =
+    List.length (List.filter (fun v -> Cdag.out_degree g v = 0) (Cdag.inputs g))
+  in
+  Cdag.fold_vertices g
+    (fun acc v -> if Cdag.is_input g v then acc else acc + Cdag.in_degree g v + 1)
+    unused_inputs
+
+let hierarchical_hierarchy ~s1 ~s2 =
+  Hierarchy.create
+    [
+      { Hierarchy.count = 1; capacity = s1 };
+      { Hierarchy.count = 1; capacity = s2 };
+      { Hierarchy.count = 1; capacity = max_int / 2 };
+    ]
+
+let hierarchical ?(policy = Belady) ?order g ~s1 ~s2 =
+  if s1 <= 0 || s2 <= 0 then invalid_arg "Strategy.hierarchical";
+  let order = match order with Some o -> o | None -> default_order g in
+  ignore (check_order g order);
+  let n = Cdag.n_vertices g in
+  let uses = use_positions g order in
+  let cursor = Array.make n 0 in
+  let next_use v =
+    let u = uses.(v) in
+    if cursor.(v) < Array.length u then u.(cursor.(v)) else no_use
+  in
+  let regs = Bitset.create n and cache = Bitset.create n in
+  let in_memory = Bitset.create n in   (* present at level 3 *)
+  let input_read = Bitset.create n in
+  let pinned = Bitset.create n in
+  let last_use = Array.make n 0 in
+  let clock = ref 0 in
+  let moves = ref [] in
+  let emit m = moves := m :: !moves in
+  let score v =
+    match policy with
+    | Belady -> if next_use v = no_use then max_int else next_use v
+    | Lru -> -last_use.(v)
+  in
+  let pick_victim set =
+    let best = ref (-1) and best_score = ref min_int in
+    Bitset.iter
+      (fun v ->
+        if not (Bitset.mem pinned v) then begin
+          let sc = score v in
+          if sc > !best_score then begin
+            best_score := sc;
+            best := v
+          end
+        end)
+      set;
+    if !best < 0 then failwith "Strategy.hierarchical: capacities too small";
+    !best
+  in
+  (* Evict one cache entry; live values retreat to memory. *)
+  let evict_cache () =
+    let v = pick_victim cache in
+    if (next_use v <> no_use || Cdag.is_output g v) && not (Bitset.mem in_memory v)
+    then begin
+      emit (Prbw_game.Move_down { level = 3; unit_id = 0; v });
+      Bitset.add in_memory v
+    end;
+    emit (Prbw_game.Delete { level = 2; unit_id = 0; v });
+    Bitset.remove cache v
+  in
+  let cache_room () = while Bitset.cardinal cache >= s2 do evict_cache () done in
+  (* Evict one register; live values retreat to the cache. *)
+  let evict_regs () =
+    let v = pick_victim regs in
+    if (next_use v <> no_use || Cdag.is_output g v) && not (Bitset.mem cache v)
+       && not (Bitset.mem in_memory v)
+    then begin
+      cache_room ();
+      emit (Prbw_game.Move_down { level = 2; unit_id = 0; v });
+      Bitset.add cache v
+    end;
+    emit (Prbw_game.Delete { level = 1; unit_id = 0; v });
+    Bitset.remove regs v
+  in
+  let regs_room () = while Bitset.cardinal regs >= s1 do evict_regs () done in
+  let touch v =
+    incr clock;
+    last_use.(v) <- !clock
+  in
+  (* Bring an operand into the registers, staging through the cache. *)
+  let bring_in v =
+    if not (Bitset.mem regs v) then begin
+      if not (Bitset.mem cache v) then begin
+        if Cdag.is_input g v && not (Bitset.mem input_read v) then begin
+          emit (Prbw_game.Input { unit_id = 0; v });
+          Bitset.add in_memory v;
+          Bitset.add input_read v
+        end;
+        if not (Bitset.mem in_memory v) then
+          failwith "Strategy.hierarchical: internal error: operand lost";
+        cache_room ();
+        emit (Prbw_game.Move_up { level = 2; unit_id = 0; v });
+        Bitset.add cache v
+      end;
+      Bitset.add pinned v;
+      regs_room ();
+      emit (Prbw_game.Move_up { level = 1; unit_id = 0; v });
+      Bitset.add regs v
+    end;
+    Bitset.add pinned v;
+    touch v
+  in
+  let release ~level set v =
+    if Bitset.mem set v && next_use v = no_use && not (Cdag.is_output g v) then begin
+      emit (Prbw_game.Delete { level; unit_id = 0; v });
+      Bitset.remove set v
+    end
+  in
+  Array.iteri
+    (fun i v ->
+      let preds = Cdag.pred_list g v in
+      List.iter (fun p -> if Bitset.mem regs p then Bitset.add pinned p) preds;
+      List.iter bring_in preds;
+      regs_room ();
+      emit (Prbw_game.Compute { proc = 0; v });
+      Bitset.add regs v;
+      touch v;
+      List.iter (fun p -> Bitset.remove pinned p) preds;
+      List.iter
+        (fun p ->
+          let u = uses.(p) in
+          while cursor.(p) < Array.length u && u.(cursor.(p)) <= i do
+            cursor.(p) <- cursor.(p) + 1
+          done)
+        preds;
+      List.iter (release ~level:1 regs) preds;
+      List.iter (release ~level:2 cache) preds;
+      release ~level:1 regs v)
+    order;
+  (* Outputs must reach the memory level and receive blue pebbles;
+     tagged inputs are born blue and need neither. *)
+  List.iter
+    (fun v ->
+      if not (Cdag.is_input g v) then begin
+        if not (Bitset.mem in_memory v) then begin
+          if not (Bitset.mem cache v) then begin
+            if not (Bitset.mem regs v) then
+              failwith "Strategy.hierarchical: internal error: output lost";
+            cache_room ();
+            emit (Prbw_game.Move_down { level = 2; unit_id = 0; v });
+            Bitset.add cache v
+          end;
+          emit (Prbw_game.Move_down { level = 3; unit_id = 0; v });
+          Bitset.add in_memory v
+        end;
+        emit (Prbw_game.Output { unit_id = 0; v })
+      end)
+    (Cdag.outputs g);
+  (* Whiten untouched inputs. *)
+  List.iter
+    (fun v ->
+      if not (Bitset.mem input_read v) then begin
+        emit (Prbw_game.Input { unit_id = 0; v });
+        Bitset.add input_read v
+      end)
+    (Cdag.inputs g);
+  List.rev !moves
+
+let smp_hierarchy ~cores ~s1 ~s2 =
+  Hierarchy.create
+    [
+      { Hierarchy.count = cores; capacity = s1 };
+      { Hierarchy.count = 1; capacity = s2 };
+      { Hierarchy.count = 1; capacity = max_int / 2 };
+    ]
+
+let smp_shared ?(policy = Belady) ?order g ~cores ~s1 ~s2 =
+  if cores <= 0 || s1 <= 0 || s2 <= 0 then invalid_arg "Strategy.smp_shared";
+  let order = match order with Some o -> o | None -> default_order g in
+  ignore (check_order g order);
+  let n = Cdag.n_vertices g in
+  let uses = use_positions g order in
+  let cursor = Array.make n 0 in
+  let next_use v =
+    let u = uses.(v) in
+    if cursor.(v) < Array.length u then u.(cursor.(v)) else no_use
+  in
+  let cache = Bitset.create n and in_memory = Bitset.create n in
+  let input_read = Bitset.create n in
+  let pinned = Bitset.create n in
+  let last_use = Array.make n 0 in
+  let clock = ref 0 in
+  let moves = ref [] in
+  let emit m = moves := m :: !moves in
+  let evict_cache () =
+    let best = ref (-1) and best_score = ref min_int in
+    Bitset.iter
+      (fun v ->
+        if not (Bitset.mem pinned v) then begin
+          let sc =
+            match policy with
+            | Belady -> if next_use v = no_use then max_int else next_use v
+            | Lru -> -last_use.(v)
+          in
+          if sc > !best_score then begin
+            best_score := sc;
+            best := v
+          end
+        end)
+      cache;
+    if !best < 0 then failwith "Strategy.smp_shared: cache too small";
+    let v = !best in
+    if (next_use v <> no_use || Cdag.is_output g v) && not (Bitset.mem in_memory v)
+    then begin
+      emit (Prbw_game.Move_down { level = 3; unit_id = 0; v });
+      Bitset.add in_memory v
+    end;
+    emit (Prbw_game.Delete { level = 2; unit_id = 0; v });
+    Bitset.remove cache v
+  in
+  let cache_room () = while Bitset.cardinal cache >= s2 do evict_cache () done in
+  let ensure_in_cache v =
+    if not (Bitset.mem cache v) then begin
+      if Cdag.is_input g v && not (Bitset.mem input_read v) then begin
+        emit (Prbw_game.Input { unit_id = 0; v });
+        Bitset.add in_memory v;
+        Bitset.add input_read v
+      end;
+      if not (Bitset.mem in_memory v) then
+        failwith "Strategy.smp_shared: internal error: operand lost";
+      cache_room ();
+      emit (Prbw_game.Move_up { level = 2; unit_id = 0; v });
+      Bitset.add cache v
+    end;
+    Bitset.add pinned v;
+    incr clock;
+    last_use.(v) <- !clock
+  in
+  Array.iteri
+    (fun i v ->
+      let proc = i mod cores in
+      let preds = Cdag.pred_list g v in
+      if List.length preds >= s1 then
+        failwith "Strategy.smp_shared: register file too small for the operand set";
+      (* stage all operands into the shared cache first (pinned), then
+         into this core's registers *)
+      List.iter ensure_in_cache preds;
+      List.iter
+        (fun u -> emit (Prbw_game.Move_up { level = 1; unit_id = proc; v = u }))
+        preds;
+      emit (Prbw_game.Compute { proc; v });
+      (* result goes to the shared cache; registers are cleared *)
+      cache_room ();
+      emit (Prbw_game.Move_down { level = 2; unit_id = 0; v });
+      Bitset.add cache v;
+      incr clock;
+      last_use.(v) <- !clock;
+      List.iter
+        (fun u -> emit (Prbw_game.Delete { level = 1; unit_id = proc; v = u }))
+        preds;
+      emit (Prbw_game.Delete { level = 1; unit_id = proc; v });
+      List.iter (fun u -> Bitset.remove pinned u) preds;
+      List.iter
+        (fun u ->
+          let us = uses.(u) in
+          while cursor.(u) < Array.length us && us.(cursor.(u)) <= i do
+            cursor.(u) <- cursor.(u) + 1
+          done)
+        preds;
+      (* eagerly drop dead non-outputs from the cache *)
+      List.iter
+        (fun u ->
+          if Bitset.mem cache u && next_use u = no_use && not (Cdag.is_output g u)
+          then begin
+            emit (Prbw_game.Delete { level = 2; unit_id = 0; v = u });
+            Bitset.remove cache u
+          end)
+        preds)
+    order;
+  (* outputs to memory + blue pebbles; whiten unread inputs *)
+  List.iter
+    (fun v ->
+      if not (Cdag.is_input g v) then begin
+        if not (Bitset.mem in_memory v) then begin
+          if not (Bitset.mem cache v) then
+            failwith "Strategy.smp_shared: internal error: output lost";
+          emit (Prbw_game.Move_down { level = 3; unit_id = 0; v });
+          Bitset.add in_memory v
+        end;
+        emit (Prbw_game.Output { unit_id = 0; v })
+      end)
+    (Cdag.outputs g);
+  List.iter
+    (fun v ->
+      if not (Bitset.mem input_read v) then begin
+        emit (Prbw_game.Input { unit_id = 0; v });
+        Bitset.add input_read v
+      end)
+    (Cdag.inputs g);
+  List.rev !moves
+
+let spmd g hier ~owner ?order () =
+  if Hierarchy.n_levels hier <> 2 then
+    invalid_arg "Strategy.spmd: hierarchy must have exactly two levels";
+  let procs = Hierarchy.processors hier in
+  if Hierarchy.count hier ~level:2 <> procs then
+    invalid_arg "Strategy.spmd: need one level-2 memory per processor";
+  let order = match order with Some o -> o | None -> default_order g in
+  ignore (check_order g order);
+  let n = Cdag.n_vertices g in
+  let owner_of v =
+    let p = owner v in
+    if p < 0 || p >= procs then invalid_arg "Strategy.spmd: owner out of range";
+    p
+  in
+  (* Which level-2 memories currently hold each vertex. *)
+  let in_memory = Array.init procs (fun _ -> Bitset.create n) in
+  let input_read = Bitset.create n in
+  let moves = ref [] in
+  let emit m = moves := m :: !moves in
+  (* Make [v] present in memory [p]: read it from blue if it is an
+     unread input, else fetch it from its owner's memory. *)
+  let ensure_in_memory p v =
+    if not (Bitset.mem in_memory.(p) v) then begin
+      let home = owner_of v in
+      if Cdag.is_input g v && not (Bitset.mem input_read v) then begin
+        emit (Prbw_game.Input { unit_id = home; v });
+        Bitset.add in_memory.(home) v;
+        Bitset.add input_read v
+      end;
+      if not (Bitset.mem in_memory.(p) v) then begin
+        if not (Bitset.mem in_memory.(home) v) then
+          failwith "Strategy.spmd: internal error: operand not at its home";
+        emit (Prbw_game.Remote_get { src = home; dst = p; v });
+        Bitset.add in_memory.(p) v
+      end
+    end
+  in
+  Array.iter
+    (fun v ->
+      let p = owner_of v in
+      let preds = Cdag.pred_list g v in
+      List.iter
+        (fun u ->
+          ensure_in_memory p u;
+          emit (Prbw_game.Move_up { level = 1; unit_id = p; v = u }))
+        preds;
+      emit (Prbw_game.Compute { proc = p; v });
+      emit (Prbw_game.Move_down { level = 2; unit_id = p; v });
+      Bitset.add in_memory.(p) v;
+      if Cdag.is_output g v then emit (Prbw_game.Output { unit_id = p; v });
+      List.iter
+        (fun u -> emit (Prbw_game.Delete { level = 1; unit_id = p; v = u }))
+        preds;
+      emit (Prbw_game.Delete { level = 1; unit_id = p; v }))
+    order;
+  (* Whiten inputs nobody consumed. *)
+  List.iter
+    (fun v ->
+      if not (Bitset.mem input_read v) then begin
+        emit (Prbw_game.Input { unit_id = owner_of v; v });
+        Bitset.add input_read v
+      end)
+    (Cdag.inputs g);
+  List.rev !moves

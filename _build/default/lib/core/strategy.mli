@@ -1,0 +1,120 @@
+module Cdag := Dmc_cdag.Cdag
+module Hierarchy := Dmc_machine.Hierarchy
+
+(** Schedulers that emit {e valid} RBW / P-RBW games, giving measured
+    upper bounds on I/O.
+
+    The lower-bound engines are only half of the paper's story: to show
+    a bound is informative one needs an execution whose cost approaches
+    it.  Each function here produces a move list that the corresponding
+    game engine accepts (the tests replay every schedule through
+    {!Rbw_game.run} / {!Prbw_game.run}), so the reported I/O counts are
+    certified upper bounds on the optimum. *)
+
+val default_order : Cdag.t -> Cdag.vertex array
+(** The deterministic topological order of the non-input vertices
+    (smallest-id-first Kahn), the default compute order everywhere. *)
+
+val dfs_order : Cdag.t -> Cdag.vertex array
+(** A depth-first post-order of the non-input vertices, rooted at the
+    outputs (remaining vertices appended in the same style).  On trees
+    and other fan-in-dominated CDAGs this keeps the live set small —
+    it reaches the exhaustive optimum on reduction trees where the
+    breadth-first {!default_order} spills. *)
+
+type policy =
+  | Lru     (** evict the least-recently-used value — models real caches *)
+  | Belady  (** evict the value with the furthest next use — the optimal
+                offline policy for a fixed compute order, hence the
+                tighter upper bound *)
+
+val schedule :
+  ?policy:policy ->
+  ?order:Cdag.vertex array ->
+  Cdag.t ->
+  s:int ->
+  Rbw_game.move list
+(** Execute the compute vertices in [order] (default: the deterministic
+    topological order of {!Dmc_cdag.Topo.order}, restricted to non-input
+    vertices) with [s] red pebbles and the given eviction policy.
+    Operands are loaded on demand; victims still live (or tagged
+    outputs not yet in slow memory) are stored before eviction; dead
+    values are deleted eagerly; never-used inputs are loaded once at the
+    end so the white-pebble completion condition holds.
+
+    Raises [Failure] when some vertex needs more than [s - 1] operands,
+    or [Invalid_argument] when [order] is not a permutation of the
+    non-input vertices or not topological. *)
+
+val io : ?policy:policy -> ?order:Cdag.vertex array -> Cdag.t -> s:int -> int
+(** I/O cost of {!schedule}. *)
+
+val trivial : Cdag.t -> Rbw_game.move list
+(** The no-reuse baseline: every operand is loaded just before each
+    use and every result stored immediately — cost
+    [Σ_v (indeg v + 1) + #unused inputs].  Valid whenever
+    [s >= max indegree + 1]. *)
+
+val trivial_io : Cdag.t -> int
+(** I/O cost of {!trivial} without materializing the moves. *)
+
+val hierarchical :
+  ?policy:policy ->
+  ?order:Cdag.vertex array ->
+  Cdag.t ->
+  s1:int ->
+  s2:int ->
+  Prbw_game.move list
+(** A single-processor execution through the paper's three-level shape
+    (registers of [s1] words, a cache of [s2] words, one unbounded
+    memory; see {!Dmc_machine.Hierarchy.cluster} with one node and one
+    core): operands are staged memory→cache→registers with
+    policy-driven eviction at both levels; values evicted from the
+    registers that are still live are written back into the cache, and
+    from the cache into memory, so every emitted game is valid.  The
+    resulting {!Prbw_game.stats} expose the per-boundary traffic that
+    Theorems 5 and 6 bound.  Requires [s2 >= 2] spare cache slots
+    beyond the register working set; raises [Failure] when a vertex's
+    operand set cannot fit. *)
+
+val hierarchical_hierarchy : s1:int -> s2:int -> Hierarchy.t
+(** The hierarchy {!hierarchical} games are valid against. *)
+
+val smp_shared :
+  ?policy:policy ->
+  ?order:Cdag.vertex array ->
+  Cdag.t ->
+  cores:int ->
+  s1:int ->
+  s2:int ->
+  Prbw_game.move list
+(** A multi-core, shared-cache execution (the within-node half of
+    Fig. 1): [cores] processors with [s1]-word register files under one
+    [s2]-word cache and one memory.  Compute vertices are assigned
+    round-robin over the cores in [order]; operands are staged
+    memory→cache→the owning core's registers, results written back to
+    the cache, registers cleared after each fire.  Produces a valid
+    P-RBW game against {!smp_hierarchy}; its cache↔memory boundary
+    traffic is what Theorem 5 bounds with the {e shared} capacity
+    [S_2].  Requires [s1 >= max indegree + 1]. *)
+
+val smp_hierarchy : cores:int -> s1:int -> s2:int -> Hierarchy.t
+(** [cores x s1] register files over one [s2]-word cache over one
+    unbounded memory. *)
+
+val spmd :
+  Cdag.t ->
+  Hierarchy.t ->
+  owner:(Cdag.vertex -> int) ->
+  ?order:Cdag.vertex array ->
+  unit ->
+  Prbw_game.move list
+(** A bulk-synchronous parallel execution for a two-level hierarchy
+    with one level-[L] memory per processor ([L = 2], [N_2 = N_1]):
+    vertices are fired in [order] by their owning processor; operands
+    owned remotely are fetched with [Remote_get] (counted as horizontal
+    traffic) the first time the local memory needs them; every result
+    is written back to the owner's memory.  Registers hold only the
+    operands of the vertex in flight, so [S_1 >= max indegree + 1]
+    suffices.  Raises [Invalid_argument] on an unsupported hierarchy
+    shape or a bad owner index. *)

@@ -1,0 +1,132 @@
+module Bitset = Dmc_util.Bitset
+module Rng = Dmc_util.Rng
+module Cdag = Dmc_cdag.Cdag
+module Reach = Dmc_cdag.Reach
+module Subgraph = Dmc_cdag.Subgraph
+module Vertex_cut = Dmc_flow.Vertex_cut
+
+let min_wavefront_cut g x =
+  let desc = Reach.descendants g x in
+  if Bitset.is_empty desc then (1, [ x ])
+  else begin
+    let anc = Reach.ancestors g x in
+    let from_set = x :: Bitset.elements anc in
+    let to_set = Bitset.elements desc in
+    let r =
+      Vertex_cut.min_vertex_cut g ~from_set ~to_set ~uncuttable:to_set ()
+    in
+    (r.size, r.cut)
+  end
+
+let min_wavefront g x = fst (min_wavefront_cut g x)
+
+let wmax_exact g =
+  Cdag.fold_vertices g (fun acc x -> max acc (min_wavefront g x)) 0
+
+let wmax_exact_par ?domains g =
+  let n = Cdag.n_vertices g in
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if domains <= 1 || n < 64 then wmax_exact g
+  else begin
+    let chunks = min domains n in
+    let worker c () =
+      let best = ref 0 in
+      let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+      for x = lo to hi - 1 do
+        best := max !best (min_wavefront g x)
+      done;
+      !best
+    in
+    let handles = List.init chunks (fun c -> Domain.spawn (worker c)) in
+    List.fold_left (fun acc h -> max acc (Domain.join h)) 0 handles
+  end
+
+let wmax_sampled rng g ~samples =
+  let n = Cdag.n_vertices g in
+  if n = 0 then 0
+  else begin
+    let best = ref 0 in
+    for _ = 1 to samples do
+      let x = Rng.int rng n in
+      best := max !best (min_wavefront g x)
+    done;
+    !best
+  end
+
+let lemma2_bound ~wavefront ~s = max 0 (2 * (wavefront - s))
+
+type witness = {
+  x : Cdag.vertex;
+  paths : Cdag.vertex list list;
+}
+
+let witness g x =
+  let desc = Reach.descendants g x in
+  if Bitset.is_empty desc then { x; paths = [] }
+  else begin
+    let anc = Reach.ancestors g x in
+    let from_set = x :: Bitset.elements anc in
+    let to_set = Bitset.elements desc in
+    let paths =
+      Vertex_cut.path_witness g ~from_set ~to_set ~uncuttable:to_set ()
+    in
+    { x; paths }
+  end
+
+let verify_witness g w =
+  let n = Cdag.n_vertices g in
+  let desc = Reach.descendants g w.x in
+  let anc = Reach.ancestors g w.x in
+  let seen_outside = Bitset.create n in
+  let path_ok path =
+    match path with
+    | [] -> false
+    | first :: _ ->
+        (* starts at x or one of its ancestors *)
+        (first = w.x || Bitset.mem anc first)
+        (* consecutive vertices are edges *)
+        && (let rec edges_ok = function
+              | a :: (b :: _ as rest) -> Cdag.has_edge g a b && edges_ok rest
+              | [ _ ] | [] -> true
+            in
+            edges_ok path)
+        (* ends inside Desc(x) *)
+        && Bitset.mem desc (List.nth path (List.length path - 1))
+        (* vertices outside Desc(x) belong to this path alone *)
+        && List.for_all
+             (fun v ->
+               Bitset.mem desc v
+               ||
+               if Bitset.mem seen_outside v then false
+               else begin
+                 Bitset.add seen_outside v;
+                 true
+               end)
+             path
+  in
+  List.for_all path_ok w.paths
+
+let exact_threshold = 512
+
+let lower_bound ?(samples = 64) ?rng g ~s =
+  let wmax stripped =
+    if Cdag.n_vertices stripped = 0 then 0
+    else if Cdag.n_vertices stripped <= exact_threshold then wmax_exact stripped
+    else
+      let rng = match rng with Some r -> r | None -> Rng.create 0x5eed in
+      wmax_sampled rng stripped ~samples
+  in
+  (* Two sound variants: drop only the inputs (outputs keep their
+     wavefront paths), or drop both and bank |dO| as forced stores.
+     Take the better. *)
+  let part_i, di = Subgraph.drop_inputs g in
+  let via_inputs = lemma2_bound ~wavefront:(wmax part_i.Subgraph.graph) ~s + di in
+  let part_io, di', d_o = Subgraph.drop_io g in
+  let via_both =
+    lemma2_bound ~wavefront:(wmax part_io.Subgraph.graph) ~s + di' + d_o
+  in
+  max via_inputs via_both

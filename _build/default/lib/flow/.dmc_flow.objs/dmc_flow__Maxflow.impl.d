@@ -1,0 +1,1 @@
+lib/flow/maxflow.ml: Array Dmc_util Queue Stack

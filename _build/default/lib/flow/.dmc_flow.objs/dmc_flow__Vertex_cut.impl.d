@@ -1,0 +1,1 @@
+lib/flow/vertex_cut.ml: Array Dmc_cdag Dmc_util Hashtbl List Maxflow

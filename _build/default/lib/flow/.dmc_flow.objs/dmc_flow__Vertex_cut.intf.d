@@ -1,0 +1,1 @@
+lib/flow/vertex_cut.mli: Dmc_cdag Dmc_util

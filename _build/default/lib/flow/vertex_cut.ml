@@ -1,0 +1,123 @@
+module Bitset = Dmc_util.Bitset
+module Cdag = Dmc_cdag.Cdag
+
+type result = {
+  size : int;
+  cut : Cdag.vertex list;
+  source_side : Bitset.t;
+}
+
+(* Node numbering in the split network: v_in = 2v, v_out = 2v+1,
+   super-source = 2n, super-sink = 2n+1. *)
+let v_in v = 2 * v
+let v_out v = (2 * v) + 1
+
+let min_vertex_cut g ~from_set ~to_set ?(uncuttable = []) () =
+  if from_set = [] || to_set = [] then
+    invalid_arg "Vertex_cut.min_vertex_cut: empty terminal set";
+  let n = Cdag.n_vertices g in
+  let in_from = Bitset.of_list n from_set and in_to = Bitset.of_list n to_set in
+  if not (Bitset.is_empty (Bitset.inter in_from in_to)) then
+    invalid_arg "Vertex_cut.min_vertex_cut: terminal sets intersect";
+  let hard = Bitset.of_list n uncuttable in
+  let net = Maxflow.create ((2 * n) + 2) in
+  let src = 2 * n and dst = (2 * n) + 1 in
+  let split_edge = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let cap = if Bitset.mem hard v then Maxflow.infinite else 1 in
+    split_edge.(v) <- Maxflow.add_edge net ~src:(v_in v) ~dst:(v_out v) ~cap
+  done;
+  Cdag.iter_edges g (fun u v ->
+      ignore (Maxflow.add_edge net ~src:(v_out u) ~dst:(v_in v) ~cap:Maxflow.infinite));
+  List.iter
+    (fun v -> ignore (Maxflow.add_edge net ~src ~dst:(v_in v) ~cap:Maxflow.infinite))
+    from_set;
+  List.iter
+    (fun v -> ignore (Maxflow.add_edge net ~src:(v_out v) ~dst ~cap:Maxflow.infinite))
+    to_set;
+  let size = Maxflow.max_flow net ~src ~dst in
+  let residual_side = Maxflow.min_cut_source_side net ~src in
+  (* A vertex is in the cut when its split edge crosses the residual
+     boundary: v_in reachable, v_out not. *)
+  let cut = ref [] in
+  for v = n - 1 downto 0 do
+    if Bitset.mem residual_side (v_in v) && not (Bitset.mem residual_side (v_out v))
+    then cut := v :: !cut
+  done;
+  let source_side = Bitset.create n in
+  for v = 0 to n - 1 do
+    if Bitset.mem residual_side (v_in v) then Bitset.add source_side v
+  done;
+  { size; cut = !cut; source_side }
+
+let path_witness g ~from_set ~to_set ?(uncuttable = []) () =
+  if from_set = [] || to_set = [] then
+    invalid_arg "Vertex_cut.path_witness: empty terminal set";
+  let n = Cdag.n_vertices g in
+  let in_from = Bitset.of_list n from_set and in_to = Bitset.of_list n to_set in
+  if not (Bitset.is_empty (Bitset.inter in_from in_to)) then
+    invalid_arg "Vertex_cut.path_witness: terminal sets intersect";
+  let hard = Bitset.of_list n uncuttable in
+  let net = Maxflow.create ((2 * n) + 2) in
+  let src = 2 * n and dst = (2 * n) + 1 in
+  for v = 0 to n - 1 do
+    let cap = if Bitset.mem hard v then Maxflow.infinite else 1 in
+    ignore (Maxflow.add_edge net ~src:(v_in v) ~dst:(v_out v) ~cap)
+  done;
+  Cdag.iter_edges g (fun u v ->
+      ignore (Maxflow.add_edge net ~src:(v_out u) ~dst:(v_in v) ~cap:Maxflow.infinite));
+  List.iter
+    (fun v -> ignore (Maxflow.add_edge net ~src ~dst:(v_in v) ~cap:1))
+    from_set;
+  List.iter
+    (fun v -> ignore (Maxflow.add_edge net ~src:(v_out v) ~dst ~cap:Maxflow.infinite))
+    to_set;
+  let size = Maxflow.max_flow net ~src ~dst in
+  (* Decompose the flow into unit paths: walk from the super-source
+     along edges with unconsumed flow, consuming one unit per step. *)
+  let consumed = Hashtbl.create 64 in
+  let remaining id =
+    Maxflow.flow_on net id
+    - (match Hashtbl.find_opt consumed id with Some c -> c | None -> 0)
+  in
+  let consume id =
+    Hashtbl.replace consumed id
+      (1 + match Hashtbl.find_opt consumed id with Some c -> c | None -> 0)
+  in
+  let next_hop node =
+    let found = ref None in
+    Maxflow.iter_out net ~node (fun ~id ~dst ->
+        if !found = None && remaining id > 0 then found := Some (id, dst));
+    !found
+  in
+  let extract () =
+    let rec walk node acc =
+      if node = dst then List.rev acc
+      else
+        match next_hop node with
+        | None -> failwith "Vertex_cut.path_witness: flow decomposition stuck"
+        | Some (id, next) ->
+            consume id;
+            (* record the CDAG vertex when crossing a split edge *)
+            let acc =
+              if node land 1 = 0 && node < 2 * n && next = node + 1 then
+                (node / 2) :: acc
+              else acc
+            in
+            walk next acc
+    in
+    walk src []
+  in
+  List.init size (fun _ -> extract ())
+
+let disjoint_paths g ~src ~dst =
+  if src = dst then invalid_arg "Vertex_cut.disjoint_paths: src = dst";
+  let n = Cdag.n_vertices g in
+  let net = Maxflow.create (2 * n) in
+  for v = 0 to n - 1 do
+    let cap = if v = src || v = dst then Maxflow.infinite else 1 in
+    ignore (Maxflow.add_edge net ~src:(v_in v) ~dst:(v_out v) ~cap)
+  done;
+  Cdag.iter_edges g (fun u v ->
+      ignore (Maxflow.add_edge net ~src:(v_out u) ~dst:(v_in v) ~cap:Maxflow.infinite));
+  Maxflow.max_flow net ~src:(v_out src) ~dst:(v_in dst)

@@ -1,0 +1,1 @@
+lib/gen/fft.ml: Array Dmc_cdag Dmc_util List Printf

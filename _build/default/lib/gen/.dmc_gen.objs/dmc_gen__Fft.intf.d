@@ -1,0 +1,1 @@
+lib/gen/fft.mli: Dmc_cdag

@@ -1,0 +1,1 @@
+lib/gen/linalg.ml: Array Dmc_cdag Dmc_util Hashtbl List Printf

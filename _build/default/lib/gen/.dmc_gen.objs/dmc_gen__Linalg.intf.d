@@ -1,0 +1,1 @@
+lib/gen/linalg.mli: Dmc_cdag

@@ -1,0 +1,1 @@
+lib/gen/multigrid.ml: Array Dmc_cdag Grid List Printf

@@ -1,0 +1,1 @@
+lib/gen/multigrid.mli: Dmc_cdag Grid

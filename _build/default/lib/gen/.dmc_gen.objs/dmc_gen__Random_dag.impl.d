@@ -1,0 +1,1 @@
+lib/gen/random_dag.ml: Array Dmc_cdag Dmc_util Printf

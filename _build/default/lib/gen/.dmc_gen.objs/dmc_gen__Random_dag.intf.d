@@ -1,0 +1,1 @@
+lib/gen/random_dag.mli: Dmc_cdag Dmc_util

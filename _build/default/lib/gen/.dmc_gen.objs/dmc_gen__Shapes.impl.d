@@ -1,0 +1,1 @@
+lib/gen/shapes.ml: Array Dmc_cdag List Printf

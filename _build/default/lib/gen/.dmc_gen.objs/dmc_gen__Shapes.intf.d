@@ -1,0 +1,1 @@
+lib/gen/shapes.mli: Dmc_cdag

@@ -1,0 +1,1 @@
+lib/gen/solver.ml: Array Dmc_cdag Grid List Printf

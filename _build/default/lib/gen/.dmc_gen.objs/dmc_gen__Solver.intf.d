@@ -1,0 +1,1 @@
+lib/gen/solver.mli: Dmc_cdag Grid

@@ -1,0 +1,1 @@
+lib/gen/stencil.ml: Array Dmc_cdag Dmc_util Grid List Printf

@@ -1,0 +1,1 @@
+lib/gen/stencil.mli: Dmc_cdag Grid

@@ -1,0 +1,65 @@
+type t = { dims : int array; strides : int array; size : int }
+
+let create dims_list =
+  let dims = Array.of_list dims_list in
+  if Array.length dims = 0 then invalid_arg "Grid.create: no dimensions";
+  Array.iter (fun n -> if n <= 0 then invalid_arg "Grid.create: non-positive dim") dims;
+  let d = Array.length dims in
+  let strides = Array.make d 1 in
+  for k = d - 2 downto 0 do
+    strides.(k) <- strides.(k + 1) * dims.(k + 1)
+  done;
+  { dims; strides; size = Array.fold_left ( * ) 1 dims }
+
+let dims g = Array.to_list g.dims
+let rank g = Array.length g.dims
+let size g = g.size
+
+let in_range g coords =
+  List.length coords = rank g
+  && List.for_all2 (fun c n -> c >= 0 && c < n) coords (dims g)
+
+let index g coords =
+  if not (in_range g coords) then invalid_arg "Grid.index: out of range";
+  List.fold_left ( + ) 0 (List.mapi (fun k c -> c * g.strides.(k)) coords)
+
+let coord g i =
+  if i < 0 || i >= g.size then invalid_arg "Grid.coord: out of range";
+  Array.to_list (Array.mapi (fun k s -> i / s mod g.dims.(k)) g.strides)
+
+let star_neighbors g i =
+  let c = Array.of_list (coord g i) in
+  let out = ref [] in
+  for k = rank g - 1 downto 0 do
+    List.iter
+      (fun delta ->
+        let ck = c.(k) + delta in
+        if ck >= 0 && ck < g.dims.(k) then out := (i + (delta * g.strides.(k))) :: !out)
+      [ -1; 1 ]
+  done;
+  List.sort compare !out
+
+let box_neighbors g i =
+  let d = rank g in
+  let c = Array.of_list (coord g i) in
+  let out = ref [] in
+  (* Enumerate offsets in {-1,0,1}^d via a base-3 counter. *)
+  let n_offsets = int_of_float (3.0 ** float_of_int d) in
+  for code = 0 to n_offsets - 1 do
+    let rest = ref code and ok = ref true and idx = ref 0 and nonzero = ref false in
+    for k = d - 1 downto 0 do
+      let delta = (!rest mod 3) - 1 in
+      rest := !rest / 3;
+      if delta <> 0 then nonzero := true;
+      let ck = c.(k) + delta in
+      if ck < 0 || ck >= g.dims.(k) then ok := false
+      else idx := !idx + (delta * g.strides.(k))
+    done;
+    if !ok && !nonzero then out := (i + !idx) :: !out
+  done;
+  List.sort compare !out
+
+let iter g f =
+  for i = 0 to g.size - 1 do
+    f i
+  done

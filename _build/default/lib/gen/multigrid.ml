@@ -1,0 +1,183 @@
+module Cdag = Dmc_cdag.Cdag
+module B = Cdag.Builder
+
+type level_trace = {
+  level : int;
+  pre_smooth : Cdag.vertex array array;
+  post_smooth : Cdag.vertex array array;
+  restricted : Cdag.vertex array;
+  corrected : Cdag.vertex array;
+}
+
+type t = {
+  graph : Cdag.t;
+  grids : Grid.t array;
+  cycles : level_trace array array;
+}
+
+let halve dims = List.map (fun n -> (n + 1) / 2) dims
+
+(* Coarse points whose doubled coordinate is within one of the fine
+   point's — the stencil of linear interpolation. *)
+let coarse_parents fine coarse i =
+  let fc = Grid.coord fine i in
+  let per_dim =
+    List.map2
+      (fun x cn ->
+        List.sort_uniq compare
+          (List.filter_map
+             (fun c -> if c >= 0 && c < cn then Some c else None)
+             [ (x - 1) / 2; x / 2; (x + 1) / 2 ]))
+      fc (Grid.dims coarse)
+  in
+  (* cartesian product of the per-dimension candidates *)
+  let rec product = function
+    | [] -> [ [] ]
+    | choices :: rest ->
+        let tails = product rest in
+        List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+  in
+  product per_dim
+  |> List.filter_map (fun coords ->
+         (* keep only coarse points within interpolation distance 1 *)
+         let ok =
+           List.for_all2 (fun x c -> abs (x - (2 * c)) <= 1) fc coords
+         in
+         if ok then Some (Grid.index coarse coords) else None)
+  |> List.sort_uniq compare
+
+let v_cycle ?(pre = 2) ?(post = 2) ?(coarse_sweeps = 4) ~dims ~levels ~cycles () =
+  if pre < 1 || post < 1 || coarse_sweeps < 1 then invalid_arg "Multigrid.v_cycle";
+  if levels < 1 || cycles < 1 then invalid_arg "Multigrid.v_cycle";
+  let grids =
+    Array.init levels (fun l ->
+        let rec h d k = if k = 0 then d else h (halve d) (k - 1) in
+        let d = h dims l in
+        if List.exists (fun n -> n <= 0) d then
+          invalid_arg "Multigrid.v_cycle: too many levels for the grid";
+        Grid.create d)
+  in
+  let b = B.create ~hint:(4 * Grid.size grids.(0) * cycles) () in
+  let add_point name l i = B.add_vertex ~label:(Printf.sprintf "%s%d[%d]" name l i) b in
+  (* One Jacobi sweep: u'(i) <- f(u on {i} ∪ star(i), rhs(i)); when
+     [u] is absent the iterate is implicitly zero (first coarse sweep)
+     and only the right-hand side feeds the point. *)
+  let smooth name l grid u rhs =
+    Array.init (Grid.size grid) (fun i ->
+        let v = add_point name l i in
+        (match u with
+        | Some u ->
+            B.add_edge b u.(i) v;
+            List.iter (fun j -> B.add_edge b u.(j) v) (Grid.star_neighbors grid i)
+        | None -> ());
+        B.add_edge b rhs.(i) v;
+        v)
+  in
+  let inputs = ref [] in
+  let fresh_vec name grid =
+    Array.init (Grid.size grid) (fun i ->
+        let v = B.add_vertex ~label:(Printf.sprintf "%s[%d]" name i) b in
+        inputs := v :: !inputs;
+        v)
+  in
+  let u0 = fresh_vec "u0" grids.(0) in
+  let b0 = fresh_vec "b" grids.(0) in
+  let cycle_traces = ref [] in
+  let u_fine = ref u0 in
+  for _c = 1 to cycles do
+    let traces = Array.make levels None in
+    (* Descend with the current iterate (None means zero initial guess),
+       returning the final iterate at this level. *)
+    let rec descend level u rhs =
+      let grid = grids.(level) in
+      if level = levels - 1 then begin
+        (* coarsest: smoothing sweeps stand in for the direct solve *)
+        let sweeps = ref [] in
+        let u = ref u in
+        for k = 1 to coarse_sweeps do
+          let u' = smooth (Printf.sprintf "cs%d_" k) level grid !u rhs in
+          sweeps := u' :: !sweeps;
+          u := Some u'
+        done;
+        traces.(level) <-
+          Some
+            {
+              level;
+              pre_smooth = Array.of_list (List.rev !sweeps);
+              post_smooth = [||];
+              restricted = [||];
+              corrected = [||];
+            };
+        match !u with Some u -> u | None -> assert false
+      end
+      else begin
+        let pre_sweeps = ref [] in
+        let u = ref u in
+        for k = 1 to pre do
+          let u' = smooth (Printf.sprintf "pre%d_" k) level grid !u rhs in
+          pre_sweeps := u' :: !pre_sweeps;
+          u := Some u'
+        done;
+        let u_pre = match !u with Some u -> u | None -> assert false in
+        (* restrict the residual: coarse rhs point j reads the fine
+           neighborhood of its center 2j plus the fine rhs there *)
+        let coarse = grids.(level + 1) in
+        let restricted =
+          Array.init (Grid.size coarse) (fun j ->
+              let v = add_point "r" (level + 1) j in
+              let center =
+                Grid.index grid
+                  (List.map2
+                     (fun c n -> min (2 * c) (n - 1))
+                     (Grid.coord coarse j) (Grid.dims grid))
+              in
+              B.add_edge b u_pre.(center) v;
+              List.iter
+                (fun jn -> B.add_edge b u_pre.(jn) v)
+                (Grid.star_neighbors grid center);
+              B.add_edge b rhs.(center) v;
+              v)
+        in
+        let coarse_solution = descend (level + 1) None restricted in
+        (* prolong and correct *)
+        let corrected =
+          Array.init (Grid.size grid) (fun i ->
+              let v = add_point "c" level i in
+              B.add_edge b u_pre.(i) v;
+              List.iter
+                (fun j -> B.add_edge b coarse_solution.(j) v)
+                (coarse_parents grid coarse i);
+              v)
+        in
+        let post_sweeps = ref [] in
+        let u = ref (Some corrected) in
+        for k = 1 to post do
+          let u' = smooth (Printf.sprintf "post%d_" k) level grid !u rhs in
+          post_sweeps := u' :: !post_sweeps;
+          u := Some u'
+        done;
+        traces.(level) <-
+          Some
+            {
+              level;
+              pre_smooth = Array.of_list (List.rev !pre_sweeps);
+              post_smooth = Array.of_list (List.rev !post_sweeps);
+              restricted;
+              corrected;
+            };
+        match !u with Some u -> u | None -> assert false
+      end
+    in
+    u_fine := descend 0 (Some !u_fine) b0;
+    cycle_traces :=
+      Array.map (function Some t -> t | None -> assert false) traces
+      :: !cycle_traces
+  done;
+  let graph =
+    B.freeze ~inputs:(List.rev !inputs) ~outputs:(Array.to_list !u_fine) b
+  in
+  { graph; grids; cycles = Array.of_list (List.rev !cycle_traces) }
+
+let work t = Cdag.n_compute t.graph
+
+let finest_points t = Grid.size t.grids.(0)

@@ -1,0 +1,48 @@
+module Cdag := Dmc_cdag.Cdag
+
+(** Geometric multigrid V-cycles — the natural extension of the paper's
+    solver family (Jacobi smoothing is its inner loop, CG its
+    competitor).  The CDAG captures the full cycle structure:
+
+    - [pre] Jacobi smoothing sweeps on each level going down,
+    - full-weighting restriction to the next coarser grid,
+    - a coarsest-level solve modelled as extra smoothing sweeps,
+    - linear-interpolation prolongation plus correction going up,
+    - [post] smoothing sweeps after each correction,
+
+    iterated for a number of V-cycles.  Grids coarsen by 2 per level
+    along each dimension.  All vertices are per-(grid point, stage), so
+    the data-movement analyses (wavefronts, decomposition by cycle,
+    measured schedules) apply exactly as for the paper's solvers. *)
+
+type level_trace = {
+  level : int;                     (** 0 = finest *)
+  pre_smooth : Cdag.vertex array array;
+      (** [pre_smooth.(k).(i)]: point [i] after the [k]-th pre-smoothing
+          sweep at this level, within the current cycle *)
+  post_smooth : Cdag.vertex array array;
+  restricted : Cdag.vertex array;  (** the coarse-grid values sent down *)
+  corrected : Cdag.vertex array;   (** the fine values after prolongation *)
+}
+
+type t = {
+  graph : Cdag.t;
+  grids : Grid.t array;            (** per level, finest first *)
+  cycles : level_trace array array;
+      (** [cycles.(c).(l)]: the trace of level [l] within cycle [c] *)
+}
+
+val v_cycle :
+  ?pre:int -> ?post:int -> ?coarse_sweeps:int ->
+  dims:int list -> levels:int -> cycles:int -> unit -> t
+(** Defaults: [pre = 2], [post = 2], [coarse_sweeps = 4].  [levels >= 1]
+    ([levels = 1] degenerates to plain smoothing); every grid dimension
+    must stay positive after [levels - 1] halvings.  The initial guess
+    and right-hand side are the inputs; the final fine-grid iterate is
+    the output. *)
+
+val work : t -> int
+(** Number of compute vertices — the multigrid work per the usual
+    geometric-series accounting. *)
+
+val finest_points : t -> int

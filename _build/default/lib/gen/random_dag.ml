@@ -1,0 +1,62 @@
+module Cdag = Dmc_cdag.Cdag
+module B = Cdag.Builder
+module Rng = Dmc_util.Rng
+
+let layered rng ~layers ~width ~edge_prob =
+  if layers <= 0 || width <= 0 then invalid_arg "Random_dag.layered";
+  if edge_prob < 0.0 || edge_prob > 1.0 then
+    invalid_arg "Random_dag.layered: probability out of range";
+  let b = B.create ~hint:(layers * width) () in
+  let rows =
+    Array.init layers (fun l ->
+        let w = 1 + Rng.int rng width in
+        Array.init w (fun i ->
+            B.add_vertex ~label:(Printf.sprintf "r%d_%d" l i) b))
+  in
+  for l = 0 to layers - 2 do
+    Array.iter
+      (fun dst ->
+        let connected = ref false in
+        Array.iter
+          (fun src ->
+            if Rng.float rng 1.0 < edge_prob then begin
+              B.add_edge b src dst;
+              connected := true
+            end)
+          rows.(l);
+        if not !connected then B.add_edge b (Rng.pick rng rows.(l)) dst)
+      rows.(l + 1)
+  done;
+  B.freeze b
+
+let gnp rng ~n ~edge_prob =
+  if n <= 0 then invalid_arg "Random_dag.gnp";
+  let b = B.create ~hint:n () in
+  let vs = Array.init n (fun i -> B.add_vertex ~label:(Printf.sprintf "g%d" i) b) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.float rng 1.0 < edge_prob then B.add_edge b vs.(i) vs.(j)
+    done
+  done;
+  B.freeze b
+
+let connected_dag rng ~n ~extra_edges =
+  if n <= 0 then invalid_arg "Random_dag.connected_dag";
+  let b = B.create ~hint:n () in
+  let vs = Array.init n (fun i -> B.add_vertex ~label:(Printf.sprintf "t%d" i) b) in
+  for j = 1 to n - 1 do
+    B.add_edge b vs.(Rng.int rng j) vs.(j)
+  done;
+  let added = ref 0 and attempts = ref 0 in
+  while !added < extra_edges && !attempts < 20 * (extra_edges + 1) do
+    incr attempts;
+    if n >= 2 then begin
+      let i = Rng.int rng (n - 1) in
+      let j = i + 1 + Rng.int rng (n - 1 - i) in
+      if not (Cdag.Builder.n_vertices b = 0) then begin
+        B.add_edge b vs.(i) vs.(j);
+        incr added
+      end
+    end
+  done;
+  B.freeze b

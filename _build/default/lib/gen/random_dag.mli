@@ -1,0 +1,22 @@
+module Cdag := Dmc_cdag.Cdag
+module Rng := Dmc_util.Rng
+
+(** Random CDAGs for property-based testing and for the validation
+    experiments that compare the lower-bound engines against the
+    exhaustively optimal pebble game. *)
+
+val layered :
+  Rng.t -> layers:int -> width:int -> edge_prob:float -> Cdag.t
+(** A DAG of [layers] rows of up to [width] vertices; each vertex at
+    layer [l+1] gets an edge from each layer-[l] vertex independently
+    with probability [edge_prob], plus one forced edge so no compute
+    vertex is an accidental source.  Hong–Kung tagging (sources are
+    inputs, sinks outputs). *)
+
+val gnp : Rng.t -> n:int -> edge_prob:float -> Cdag.t
+(** A DAG over [n] vertices where each forward pair [(i, j)], [i < j],
+    is an edge independently with probability [edge_prob]. *)
+
+val connected_dag : Rng.t -> n:int -> extra_edges:int -> Cdag.t
+(** A random arborescence over [n] vertices (so the DAG is connected as
+    an undirected graph) plus [extra_edges] random forward edges. *)

@@ -1,0 +1,257 @@
+module Cdag = Dmc_cdag.Cdag
+module B = Cdag.Builder
+
+let add_vec b name n =
+  Array.init n (fun i -> B.add_vertex ~label:(Printf.sprintf "%s[%d]" name i) b)
+
+(* Binary reduction tree; returns the root (the single leaf when n=1). *)
+let reduce b name leaves =
+  let rec go vs =
+    match Array.length vs with
+    | 0 -> invalid_arg "Solver.reduce: empty"
+    | 1 -> vs.(0)
+    | n ->
+        go
+          (Array.init ((n + 1) / 2) (fun i ->
+               if (2 * i) + 1 < n then begin
+                 let v = B.add_vertex ~label:(name ^ "+") b in
+                 B.add_edge b vs.(2 * i) v;
+                 B.add_edge b vs.((2 * i) + 1) v;
+                 v
+               end
+               else vs.(2 * i)))
+  in
+  go leaves
+
+(* Dot product <x, y> as mults + reduction; x and y may alias (norm). *)
+let dot b name x y =
+  let n = Array.length x in
+  let mults =
+    Array.init n (fun i ->
+        let m = B.add_vertex ~label:(Printf.sprintf "%s*%d" name i) b in
+        B.add_edge b x.(i) m;
+        if y.(i) <> x.(i) then B.add_edge b y.(i) m;
+        m)
+  in
+  reduce b name mults
+
+(* Grid-Laplacian SpMV: out[i] <- preds {i} ∪ star(i) of [x]. *)
+let spmv_into b name grid x =
+  Array.init (Grid.size grid) (fun i ->
+      let v = B.add_vertex ~label:(Printf.sprintf "%s[%d]" name i) b in
+      B.add_edge b x.(i) v;
+      List.iter (fun j -> B.add_edge b x.(j) v) (Grid.star_neighbors grid i);
+      v)
+
+let spmv ~dims =
+  let grid = Grid.create dims in
+  let b = B.create ~hint:(2 * Grid.size grid) () in
+  let x = add_vec b "x" (Grid.size grid) in
+  let y = spmv_into b "y" grid x in
+  B.freeze ~inputs:(Array.to_list x) ~outputs:(Array.to_list y) b
+
+(* Elementwise ternary update out[i] <- f(u[i], scalar, w[i]). *)
+let axpy_like b name u scalar w =
+  Array.init (Array.length u) (fun i ->
+      let v = B.add_vertex ~label:(Printf.sprintf "%s[%d]" name i) b in
+      B.add_edge b u.(i) v;
+      B.add_edge b scalar v;
+      B.add_edge b w.(i) v;
+      v)
+
+type thomas = {
+  th_graph : Cdag.t;
+  forward : Cdag.vertex array;
+  solution : Cdag.vertex array;
+}
+
+let thomas ~n =
+  if n <= 0 then invalid_arg "Solver.thomas";
+  let b = B.create ~hint:(3 * n) () in
+  let d = add_vec b "d" n in
+  let forward =
+    Array.init n (fun i ->
+        let e = B.add_vertex ~label:(Printf.sprintf "e[%d]" i) b in
+        B.add_edge b d.(i) e;
+        e)
+  in
+  for i = 1 to n - 1 do
+    B.add_edge b forward.(i - 1) forward.(i)
+  done;
+  let solution = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let x = B.add_vertex ~label:(Printf.sprintf "x[%d]" i) b in
+    B.add_edge b forward.(i) x;
+    if i < n - 1 then B.add_edge b solution.(i + 1) x;
+    solution.(i) <- x
+  done;
+  let th_graph =
+    B.freeze ~inputs:(Array.to_list d) ~outputs:(Array.to_list solution) b
+  in
+  { th_graph; forward; solution }
+
+type cg_iteration = {
+  a_scalar : Cdag.vertex;
+  g_scalar : Cdag.vertex;
+  p_next : Cdag.vertex array;
+  x_next : Cdag.vertex array;
+  r_next : Cdag.vertex array;
+  v_spmv : Cdag.vertex array;
+}
+
+type cg = {
+  graph : Cdag.t;
+  grid : Grid.t;
+  iterations : cg_iteration array;
+}
+
+let cg ~dims ~iters =
+  if iters < 1 then invalid_arg "Solver.cg: iters must be >= 1";
+  let grid = Grid.create dims in
+  let n = Grid.size grid in
+  let b = B.create ~hint:(8 * n * iters) () in
+  let x0 = add_vec b "x0" n and r0 = add_vec b "r0" n and p0 = add_vec b "p0" n in
+  let x = ref x0 and r = ref r0 and p = ref p0 in
+  let prev_rr = ref None in
+  let iterations =
+    Array.init iters (fun t ->
+        let tag s = Printf.sprintf "%s.%d" s t in
+        let v_spmv = spmv_into b (tag "v") grid !p in
+        (* a <- <r,r> / <p,v> *)
+        let rr =
+          match !prev_rr with
+          | Some rr -> rr   (* <r,r> = <rnew,rnew> of the previous step *)
+          | None -> dot b (tag "rr") !r !r
+        in
+        let pv = dot b (tag "pv") !p v_spmv in
+        let a_scalar = B.add_vertex ~label:(tag "a") b in
+        B.add_edge b rr a_scalar;
+        B.add_edge b pv a_scalar;
+        (* x <- x + a p;  rnew <- r - a v *)
+        let x_next = axpy_like b (tag "x") !x a_scalar !p in
+        let r_next = axpy_like b (tag "rnew") !r a_scalar v_spmv in
+        (* g <- <rnew,rnew> / <r,r> *)
+        let rnew2 = dot b (tag "rnew2") r_next r_next in
+        let g_scalar = B.add_vertex ~label:(tag "g") b in
+        B.add_edge b rnew2 g_scalar;
+        B.add_edge b rr g_scalar;
+        (* p <- rnew + g p *)
+        let p_next = axpy_like b (tag "p") r_next g_scalar !p in
+        x := x_next;
+        r := r_next;
+        p := p_next;
+        prev_rr := Some rnew2;
+        { a_scalar; g_scalar; p_next; x_next; r_next; v_spmv })
+  in
+  let inputs =
+    Array.to_list x0 @ Array.to_list r0 @ Array.to_list p0
+  in
+  let final_rr = match !prev_rr with Some v -> v | None -> assert false in
+  let outputs = Array.to_list !x @ [ final_rr ] in
+  let graph = B.freeze ~inputs ~outputs b in
+  { graph; grid; iterations }
+
+type chebyshev_iteration = {
+  ch_spmv : Cdag.vertex array;
+  residual : Cdag.vertex array;
+  ch_x_next : Cdag.vertex array;
+}
+
+type chebyshev = {
+  ch_graph : Cdag.t;
+  ch_grid : Grid.t;
+  ch_iterations : chebyshev_iteration array;
+}
+
+let chebyshev ~dims ~iters =
+  if iters < 1 then invalid_arg "Solver.chebyshev: iters must be >= 1";
+  let grid = Grid.create dims in
+  let n = Grid.size grid in
+  let b = B.create ~hint:(4 * n * iters) () in
+  let x0 = add_vec b "x0" n and rhs = add_vec b "b" n in
+  let x = ref x0 in
+  let ch_iterations =
+    Array.init iters (fun t ->
+        let tag s = Printf.sprintf "%s.%d" s t in
+        let ch_spmv = spmv_into b (tag "v") grid !x in
+        let residual =
+          Array.init n (fun i ->
+              let v = B.add_vertex ~label:(Printf.sprintf "r.%d[%d]" t i) b in
+              B.add_edge b rhs.(i) v;
+              B.add_edge b ch_spmv.(i) v;
+              v)
+        in
+        let ch_x_next =
+          Array.init n (fun i ->
+              let v = B.add_vertex ~label:(Printf.sprintf "x.%d[%d]" t i) b in
+              B.add_edge b !x.(i) v;
+              B.add_edge b residual.(i) v;
+              v)
+        in
+        x := ch_x_next;
+        { ch_spmv; residual; ch_x_next })
+  in
+  let ch_graph =
+    B.freeze
+      ~inputs:(Array.to_list x0 @ Array.to_list rhs)
+      ~outputs:(Array.to_list !x) b
+  in
+  { ch_graph; ch_grid = grid; ch_iterations }
+
+type gmres_iteration = {
+  h_diag : Cdag.vertex;
+  norm : Cdag.vertex;
+  basis_next : Cdag.vertex array;
+  w_spmv : Cdag.vertex array;
+}
+
+type gmres = {
+  graph : Cdag.t;
+  grid : Grid.t;
+  iterations : gmres_iteration array;
+}
+
+let gmres ~dims ~iters =
+  if iters < 1 then invalid_arg "Solver.gmres: iters must be >= 1";
+  let grid = Grid.create dims in
+  let n = Grid.size grid in
+  let b = B.create ~hint:(8 * n * iters) () in
+  let v0 = add_vec b "v0" n in
+  let basis = ref [ v0 ] in (* most recent first *)
+  let h_scalars = ref [] in
+  let iterations =
+    Array.init iters (fun i ->
+        let tag s = Printf.sprintf "%s.%d" s i in
+        let vi = List.hd !basis in
+        let w_spmv = spmv_into b (tag "w") grid vi in
+        (* h_{j,i} = <w, v_j> for every previous basis vector; the j = i
+           dot is the wavefront-bearing one. *)
+        let hs =
+          List.rev_map (fun vj -> dot b (tag "h") w_spmv vj) (List.rev !basis)
+        in
+        let h_diag = List.hd hs in
+        h_scalars := hs @ !h_scalars;
+        (* v' = w - Σ_j h_{j,i} v_j as a chain of axpy stages *)
+        let vprime =
+          List.fold_left2
+            (fun acc h vj -> axpy_like b (tag "v'") acc h vj)
+            w_spmv (List.rev hs)
+            (List.rev !basis)
+        in
+        (* h_{i+1,i} = ||v'|| *)
+        let norm = dot b (tag "nrm") vprime vprime in
+        h_scalars := norm :: !h_scalars;
+        (* v_{i+1} = v' / h_{i+1,i} *)
+        let basis_next =
+          Array.init n (fun e ->
+              let v = B.add_vertex ~label:(Printf.sprintf "v%d[%d]" (i + 1) e) b in
+              B.add_edge b vprime.(e) v;
+              B.add_edge b norm v;
+              v)
+        in
+        basis := basis_next :: !basis;
+        { h_diag; norm; basis_next; w_spmv })
+  in
+  let outputs = Array.to_list (List.hd !basis) @ !h_scalars in
+  let graph = B.freeze ~inputs:(Array.to_list v0) ~outputs b in
+  { graph; grid; iterations }

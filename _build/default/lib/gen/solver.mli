@@ -1,0 +1,115 @@
+module Cdag := Dmc_cdag.Cdag
+
+(** CDAGs of the iterative linear solvers analyzed in Section 5: sparse
+    matrix–vector products on grid Laplacians, Conjugate Gradient
+    (Fig. 3) and GMRES (Fig. 4).
+
+    The matrices are never materialized — exactly as the paper assumes
+    ("the elements of the matrix are not explicitly stored"): an SpMV
+    output point depends directly on the star neighborhood of the input
+    vector.  Scalar reductions (dot products, norms) are modeled as
+    binary reduction trees.  Each generator returns the distinguished
+    scalar vertices that the wavefront arguments of Theorems 8 and 9
+    target. *)
+
+val spmv : dims:int list -> Cdag.t
+(** One grid-Laplacian SpMV: inputs the vector, outputs [A x];
+    output point [i] depends on input points [{i} ∪ star(i)]. *)
+
+(** {1 Tridiagonal direct solve (Thomas algorithm)} *)
+
+type thomas = {
+  th_graph : Cdag.t;
+  forward : Cdag.vertex array;
+      (** the forward-elimination values [e_i]; [e_i] depends on
+          [e_{i-1}] and the input [d_i] *)
+  solution : Cdag.vertex array;
+      (** the back-substituted unknowns [x_i]; [x_i] depends on [e_i]
+          and [x_{i+1}] *)
+}
+
+val thomas : n:int -> thomas
+(** The direct solver for the tridiagonal system of Section 5.1
+    (Equation 11), with the matrix coefficients folded into the
+    operations as the paper assumes.  The right-hand side is the input
+    vector, the unknowns are the outputs.  [3n] vertices.  Structurally
+    the CDAG is a forward chain meeting a backward chain, so every
+    forward value is live when the backward sweep starts: the minimum
+    wavefront at [e_n] is [n], forcing [2(n - S)] I/Os — the classic
+    working-set behaviour of direct solvers. *)
+
+(** {1 Conjugate Gradient} *)
+
+type cg_iteration = {
+  a_scalar : Cdag.vertex;
+      (** the vertex of scalar [a] (line 7 of Fig. 3) — the paper's
+          [υ_x], whose minimum wavefront is [2 n^d] *)
+  g_scalar : Cdag.vertex;
+      (** the vertex of scalar [g] (line 10) — the paper's [υ_y],
+          wavefront [n^d] *)
+  p_next : Cdag.vertex array;   (** vertices of the updated direction [p] *)
+  x_next : Cdag.vertex array;   (** vertices of the updated solution [x] *)
+  r_next : Cdag.vertex array;   (** vertices of [r_new] *)
+  v_spmv : Cdag.vertex array;   (** vertices of [v = A p] *)
+}
+
+type cg = {
+  graph : Cdag.t;
+  grid : Grid.t;
+  iterations : cg_iteration array;
+}
+
+val cg : dims:int list -> iters:int -> cg
+(** [cg ~dims ~iters] builds [iters] CG iterations over a grid of the
+    given dimensions.  Inputs are the initial [x], [r] and [p] vectors;
+    outputs are the final [x] and the last residual reduction. *)
+
+(** {1 Chebyshev iteration} *)
+
+type chebyshev_iteration = {
+  ch_spmv : Cdag.vertex array;    (** [v = A x] *)
+  residual : Cdag.vertex array;   (** [r = b - v], elementwise *)
+  ch_x_next : Cdag.vertex array;  (** [x' = x + α r], α a precomputed constant *)
+}
+
+type chebyshev = {
+  ch_graph : Cdag.t;
+  ch_grid : Grid.t;
+  ch_iterations : chebyshev_iteration array;
+}
+
+val chebyshev : dims:int list -> iters:int -> chebyshev
+(** The Chebyshev (stationary second-kind) iteration: the same SpMV
+    and vector updates as CG but with {e precomputed} scalar
+    coefficients — no dot products, hence no global reductions.  Its
+    per-iteration wavefronts are stencil-local instead of CG's
+    [2 n^d]-wide dot-product pinch, which is exactly the
+    communication-avoiding-Krylov argument: CG's memory wall comes
+    from its reductions, not its SpMV.  Inputs are [x_0] and [b];
+    outputs the final iterate. *)
+
+(** {1 GMRES} *)
+
+type gmres_iteration = {
+  h_diag : Cdag.vertex;
+      (** the dot product [h_{i,i} = <w, v_i>] — the paper's [υ_x],
+          wavefront [2 n^d] *)
+  norm : Cdag.vertex;
+      (** [h_{i+1,i} = ||v'||] — the paper's [υ_y], wavefront [n^d] *)
+  basis_next : Cdag.vertex array;  (** vertices of [v_{i+1}] *)
+  w_spmv : Cdag.vertex array;      (** vertices of [w = A v_i] *)
+}
+
+type gmres = {
+  graph : Cdag.t;
+  grid : Grid.t;
+  iterations : gmres_iteration array;
+}
+
+val gmres : dims:int list -> iters:int -> gmres
+(** [gmres ~dims ~iters] builds the modified-Gram-Schmidt GMRES CDAG of
+    Fig. 4 with [iters] outer iterations: per iteration one SpMV,
+    [i + 1] dot products against all previous basis vectors, the
+    orthogonalization chain, the norm, and the normalization.  Inputs
+    are the initial basis vector [v_0]; outputs are the final basis
+    vector and the Hessenberg scalars. *)

@@ -1,0 +1,1 @@
+lib/machine/balance.mli: Format

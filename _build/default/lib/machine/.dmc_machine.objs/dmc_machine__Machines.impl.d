@@ -1,0 +1,1 @@
+lib/machine/machines.ml: Format Hierarchy List String

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Dmc_cdag Dmc_util Hier_sim

@@ -1,0 +1,1 @@
+lib/sim/hier_sim.mli:

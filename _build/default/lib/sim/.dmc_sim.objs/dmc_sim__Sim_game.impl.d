@@ -1,0 +1,1 @@
+lib/sim/sim_game.ml: Array Cache Dmc_cdag Dmc_core Dmc_util List

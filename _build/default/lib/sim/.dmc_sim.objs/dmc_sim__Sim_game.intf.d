@@ -1,0 +1,1 @@
+lib/sim/sim_game.mli: Dmc_cdag Dmc_core

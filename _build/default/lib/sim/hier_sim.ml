@@ -1,0 +1,99 @@
+type policy = Inclusive | Exclusive
+
+type t = {
+  levels : Cache.t array;       (* innermost first *)
+  traffic : int array;          (* boundary l-1: between level l and l+1 *)
+  policy : policy;
+}
+
+let create ?(policy = Inclusive) ~capacities () =
+  if Array.length capacities = 0 then invalid_arg "Hier_sim.create: no levels";
+  {
+    levels = Array.map (fun c -> Cache.create ~capacity:c) capacities;
+    traffic = Array.make (Array.length capacities) 0;
+    policy;
+  }
+
+let n_levels t = Array.length t.levels
+
+(* Evicting from level [l] (0-based): under the inclusive policy only a
+   dirty victim is written one level out; under the exclusive policy
+   the line itself migrates out (victim caching).  Either may cascade. *)
+let rec handle_eviction t l (ev : Cache.eviction option) =
+  match ev with
+  | None -> ()
+  | Some { key; dirty } ->
+      (* clean lines migrate between cache levels under Exclusive but
+         are simply dropped at the memory boundary *)
+      let inner = l + 1 < Array.length t.levels in
+      let migrate = dirty || (t.policy = Exclusive && inner) in
+      if migrate then begin
+        t.traffic.(l) <- t.traffic.(l) + 1;
+        if l + 1 < Array.length t.levels then
+          let ev' = Cache.insert t.levels.(l + 1) ~dirty key in
+          handle_eviction t (l + 1) ev'
+        (* beyond the outermost level lies the unbounded backing store *)
+      end
+
+let fill_to t ~from_level key ~dirty =
+  (* Bring [key] inward; each fill crosses the boundary just outside
+     that level.  Under Exclusive only the innermost level keeps a
+     copy (the line traverses intermediate levels without residing). *)
+  for l = from_level - 1 downto 0 do
+    t.traffic.(l) <- t.traffic.(l) + 1;
+    if l = 0 || t.policy = Inclusive then begin
+      let ev = Cache.insert t.levels.(l) ~dirty:(dirty && l = 0) key in
+      handle_eviction t l ev
+    end
+  done
+
+let read t key =
+  let n = Array.length t.levels in
+  let rec probe l =
+    if l >= n then (n, false)
+    else if l = 0 then if Cache.touch t.levels.(0) key then (0, false) else probe 1
+    else begin
+      match t.policy with
+      | Inclusive -> if Cache.touch t.levels.(l) key then (l, false) else probe (l + 1)
+      | Exclusive ->
+          (* an inner fill removes the outer copy; carry its dirty bit *)
+          if Cache.mem t.levels.(l) key then begin
+            match Cache.remove t.levels.(l) key with
+            | Some { Cache.dirty; _ } -> (l, dirty)
+            | None -> assert false
+          end
+          else probe (l + 1)
+    end
+  in
+  let hit, dirty = probe 0 in
+  fill_to t ~from_level:hit key ~dirty
+
+let write t key =
+  (match t.policy with
+  | Inclusive -> ()
+  | Exclusive ->
+      (* the line must not linger at an outer level *)
+      for l = 1 to Array.length t.levels - 1 do
+        ignore (Cache.remove t.levels.(l) key)
+      done);
+  let ev = Cache.insert t.levels.(0) ~dirty:true key in
+  handle_eviction t 0 ev
+
+let flush t =
+  Array.iteri
+    (fun l cache ->
+      let victims = ref [] in
+      Cache.iter (fun key ~dirty -> victims := (key, dirty) :: !victims) cache;
+      List.iter
+        (fun (key, dirty) ->
+          ignore (Cache.remove cache key);
+          handle_eviction t l (Some { Cache.key; dirty }))
+        !victims)
+    t.levels
+
+let traffic t = Array.copy t.traffic
+
+let contains t ~level key =
+  if level < 1 || level > Array.length t.levels then
+    invalid_arg "Hier_sim.contains: level out of range";
+  Cache.mem t.levels.(level - 1) key

@@ -1,0 +1,49 @@
+(** A multi-level LRU cache-hierarchy simulator for one node.
+
+    Levels are indexed from 1 (innermost, e.g. registers or L1) to [L];
+    behind level [L] sits an unbounded backing store.  A read probes
+    inward-out; the fill path brings the word into every level inside
+    the hit level, counting one word of traffic on every boundary it
+    crosses.  Dirty evictions write back one word to the next level
+    out.  Boundary [l] (for [1 <= l <= L]) is the link between level
+    [l] and level [l+1] (or the backing store when [l = L]) — the
+    quantity the paper's vertical bounds constrain. *)
+
+type t
+
+type policy =
+  | Inclusive
+      (** copies remain at outer levels when a line moves inward; only
+          dirty victims travel outward (the default, and what the
+          paper's Theorem 5 derivation assumes) *)
+  | Exclusive
+      (** a line lives at exactly one level: an inner hit removes the
+          outer copy, and {e every} eviction migrates the line one
+          level out (victim caching), so the aggregate capacity is the
+          sum of the levels — Section 4.1's other option *)
+
+val create : ?policy:policy -> capacities:int array -> unit -> t
+(** [capacities] ordered innermost first; all positive.  At least one
+    level.  [policy] defaults to [Inclusive]. *)
+
+val n_levels : t -> int
+
+val read : t -> int -> unit
+(** Read a word (by key).  Words never read or written before are
+    assumed resident in the backing store (a cold miss pays traffic on
+    every boundary). *)
+
+val write : t -> int -> unit
+(** Produce a word: it is installed dirty at level 1 {e without}
+    fetching it first (no write-allocate read traffic). *)
+
+val flush : t -> unit
+(** Evict everything, propagating dirty write-backs outward — call at
+    the end of a run so produced data reaches the backing store. *)
+
+val traffic : t -> int array
+(** [traffic t].(l-1) is the number of words that crossed boundary [l]
+    so far (fills plus write-backs). *)
+
+val contains : t -> level:int -> int -> bool
+(** Whether a word currently sits at the given level (1-based). *)

@@ -1,0 +1,90 @@
+module Grid = struct
+  (* A tiny local copy of row-major indexing to avoid a dependency on
+     the generator library (which depends the other way for tests). *)
+  let strides dims =
+    let d = Array.length dims in
+    let s = Array.make d 1 in
+    for k = d - 2 downto 0 do
+      s.(k) <- s.(k + 1) * dims.(k + 1)
+    done;
+    s
+end
+
+let block_owner ~dims ~blocks =
+  let dims = Array.of_list dims and blocks = Array.of_list blocks in
+  if Array.length dims <> Array.length blocks then
+    invalid_arg "Partitioner.block_owner: rank mismatch";
+  Array.iteri
+    (fun j b ->
+      if b <= 0 || b > dims.(j) then
+        invalid_arg "Partitioner.block_owner: bad block count")
+    blocks;
+  let block_of j x =
+    (* Near-equal contiguous chunks: the first [r] chunks have size
+       [q+1], the rest [q]. *)
+    let n = dims.(j) and b = blocks.(j) in
+    let q = n / b and r = n mod b in
+    if x < (q + 1) * r then x / (q + 1) else r + ((x - ((q + 1) * r)) / q)
+  in
+  fun coords ->
+    let coords = Array.of_list coords in
+    if Array.length coords <> Array.length dims then
+      invalid_arg "Partitioner.block_owner: coordinate rank mismatch";
+    let rank = ref 0 in
+    Array.iteri
+      (fun j x ->
+        if x < 0 || x >= dims.(j) then
+          invalid_arg "Partitioner.block_owner: coordinate out of range";
+        rank := (!rank * blocks.(j)) + block_of j x)
+      coords;
+    !rank
+
+let neighbors ~dims ~star coords =
+  let d = Array.length dims in
+  let out = ref [] in
+  if star then
+    for j = 0 to d - 1 do
+      List.iter
+        (fun delta ->
+          let c = Array.copy coords in
+          c.(j) <- c.(j) + delta;
+          if c.(j) >= 0 && c.(j) < dims.(j) then out := c :: !out)
+        [ -1; 1 ]
+    done
+  else begin
+    let n_offsets = int_of_float (3.0 ** float_of_int d) in
+    for code = 0 to n_offsets - 1 do
+      let rest = ref code and ok = ref true and nonzero = ref false in
+      let c = Array.copy coords in
+      for j = d - 1 downto 0 do
+        let delta = (!rest mod 3) - 1 in
+        rest := !rest / 3;
+        if delta <> 0 then nonzero := true;
+        c.(j) <- c.(j) + delta;
+        if c.(j) < 0 || c.(j) >= dims.(j) then ok := false
+      done;
+      if !ok && !nonzero then out := c :: !out
+    done
+  end;
+  !out
+
+let ghost_words ~dims ~blocks ~star =
+  let owner = block_owner ~dims ~blocks in
+  let dims_a = Array.of_list dims in
+  let d = Array.length dims_a in
+  let total = Array.fold_left ( * ) 1 dims_a in
+  let strides = Grid.strides dims_a in
+  let count = ref 0 in
+  for i = 0 to total - 1 do
+    let coords = Array.init d (fun k -> i / strides.(k) mod dims_a.(k)) in
+    let me = owner (Array.to_list coords) in
+    (* Distinct neighbor owners that consume this point. *)
+    let consumers =
+      neighbors ~dims:dims_a ~star coords
+      |> List.map (fun c -> owner (Array.to_list c))
+      |> List.filter (fun o -> o <> me)
+      |> List.sort_uniq compare
+    in
+    count := !count + List.length consumers
+  done;
+  !count

@@ -1,0 +1,18 @@
+(** Block partitioning of grid-structured CDAGs across nodes, with the
+    ghost-cell accounting of Sections 5.2.2 and 5.4.2. *)
+
+val block_owner :
+  dims:int list -> blocks:int list -> (int list -> int)
+(** [block_owner ~dims ~blocks] maps a grid coordinate to the rank of
+    the block that owns it, splitting each dimension [dims_j] into
+    [blocks_j] near-equal contiguous chunks (ranks are row-major over
+    the block grid).  Raises [Invalid_argument] on rank mismatch or a
+    non-positive block count. *)
+
+val ghost_words :
+  dims:int list -> blocks:int list -> star:bool -> int
+(** The number of (point, owner) pairs where a stencil neighbor of the
+    point belongs to a different owner — i.e. the words one full
+    exchange phase moves.  [star] selects the von Neumann neighborhood,
+    otherwise Moore.  Counted exactly on the discrete grid (boundary
+    blocks have fewer neighbors), matching what {!Exec.run} measures. *)

@@ -1,0 +1,78 @@
+module Cdag = Dmc_cdag.Cdag
+module Bitset = Dmc_util.Bitset
+
+type result = {
+  moves : Dmc_core.Rbw_game.move list;
+  io : int;
+}
+
+let of_execution g ~order ~s =
+  let n = Cdag.n_vertices g in
+  let cache = Cache.create ~capacity:s in
+  let blue = Bitset.create n in
+  List.iter (Bitset.add blue) (Cdag.inputs g);
+  let touched_input = Bitset.create n in
+  let moves = ref [] in
+  let io = ref 0 in
+  let emit m = moves := m :: !moves in
+  (* A dirty victim is written back (Store) before its pebble goes
+     away; a clean one is just deleted. *)
+  let handle_eviction = function
+    | None -> ()
+    | Some { Cache.key; dirty } ->
+        if dirty then begin
+          emit (Dmc_core.Rbw_game.Store key);
+          incr io;
+          Bitset.add blue key
+        end;
+        emit (Dmc_core.Rbw_game.Delete key)
+  in
+  let read v =
+    if not (Cache.touch cache v) then begin
+      (* miss: the value must be recoverable from slow memory *)
+      if not (Bitset.mem blue v) then
+        failwith "Sim_game.of_execution: operand lost (s too small)";
+      handle_eviction (Cache.insert cache v);
+      emit (Dmc_core.Rbw_game.Load v);
+      incr io;
+      if Cdag.is_input g v then Bitset.add touched_input v
+    end
+  in
+  Array.iter
+    (fun v ->
+      Cdag.iter_pred g v (fun u -> read u);
+      (* all operands are now the most recently used entries, so the
+         LRU victim of the result's insertion cannot be one of them
+         unless the capacity is below in-degree + 1 *)
+      let victim = Cache.insert cache ~dirty:true v in
+      (match victim with
+      | Some { Cache.key; _ } when Cdag.has_edge g key v ->
+          failwith "Sim_game.of_execution: operand evicted before the fire (s too small)"
+      | _ -> ());
+      handle_eviction victim;
+      emit (Dmc_core.Rbw_game.Compute v))
+    order;
+  (* flush: write every dirty resident back; outputs must reach slow
+     memory *)
+  let residents = ref [] in
+  Cache.iter (fun k ~dirty -> residents := (k, dirty) :: !residents) cache;
+  List.iter
+    (fun (k, dirty) ->
+      if dirty then begin
+        emit (Dmc_core.Rbw_game.Store k);
+        incr io;
+        Bitset.add blue k
+      end;
+      emit (Dmc_core.Rbw_game.Delete k);
+      ignore (Cache.remove cache k))
+    !residents;
+  (* whiten inputs nobody read *)
+  List.iter
+    (fun v ->
+      if not (Bitset.mem touched_input v) then begin
+        emit (Dmc_core.Rbw_game.Load v);
+        incr io;
+        emit (Dmc_core.Rbw_game.Delete v)
+      end)
+    (Cdag.inputs g);
+  { moves = List.rev !moves; io = !io }

@@ -1,0 +1,27 @@
+module Cdag := Dmc_cdag.Cdag
+
+(** From cache simulation to pebble game, mechanically.
+
+    The claim "an LRU cache execution is just one particular way to
+    play the RBW game, so its traffic dominates every lower bound" is
+    made precise here: {!of_execution} replays a compute order through
+    a single-level LRU cache of capacity [s] and emits the
+    corresponding explicit move sequence — fills become loads, dirty
+    write-backs become stores, evictions become deletes.  The output
+    replays cleanly through {!Dmc_core.Rbw_game.run} (the tests check
+    this on every workload), and its I/O equals the traffic
+    {!Exec.run} reports for the same configuration, words for words. *)
+
+type result = {
+  moves : Dmc_core.Rbw_game.move list;
+  io : int;            (** loads + stores in [moves] *)
+}
+
+val of_execution : Cdag.t -> order:Cdag.vertex array -> s:int -> result
+(** [order] as in {!Exec.run}: a topological order of the non-input
+    vertices.  [s] must be at least the largest in-degree plus one
+    (the LRU working set of a fire), or the generated compute would
+    find an operand evicted: raises [Failure] in that case.  Unused
+    inputs are loaded once at the end (the white-pebble completion
+    rule), so the game I/O can exceed the raw simulator traffic by
+    exactly their count. *)

@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Buffer Float Format List Printf Stdlib String

@@ -1,0 +1,327 @@
+type t =
+  | Const of float
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Pow of t * t
+  | Neg of t
+  | Sqrt of t
+  | Log2 of t
+  | Min of t * t
+  | Max of t * t
+
+let const x = Const x
+let int n = Const (float_of_int n)
+let var s = Var s
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+let ( ** ) a b = Pow (a, b)
+
+exception Unbound_variable of string
+
+let rec eval ~env e =
+  let ev x = eval ~env x in
+  match e with
+  | Const x -> x
+  | Var s -> (
+      match List.assoc_opt s env with
+      | Some x -> x
+      | None -> raise (Unbound_variable s))
+  | Add (a, b) -> ev a +. ev b
+  | Sub (a, b) -> ev a -. ev b
+  | Mul (a, b) -> ev a *. ev b
+  | Div (a, b) ->
+      let d = ev b in
+      if d = 0.0 then raise Division_by_zero else ev a /. d
+  | Pow (a, b) -> Float.pow (ev a) (ev b)
+  | Neg a -> -.ev a
+  | Sqrt a -> sqrt (ev a)
+  | Log2 a -> log (ev a) /. log 2.0
+  | Min (a, b) -> Float.min (ev a) (ev b)
+  | Max (a, b) -> Float.max (ev a) (ev b)
+
+let vars e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Var s -> s :: acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Pow (a, b)
+    | Min (a, b) | Max (a, b) ->
+        go (go acc a) b
+    | Neg a | Sqrt a | Log2 a -> go acc a
+  in
+  List.sort_uniq compare (go [] e)
+
+let rec subst ~env e =
+  let s x = subst ~env x in
+  match e with
+  | Const _ -> e
+  | Var name -> ( match List.assoc_opt name env with Some x -> x | None -> e)
+  | Add (a, b) -> Add (s a, s b)
+  | Sub (a, b) -> Sub (s a, s b)
+  | Mul (a, b) -> Mul (s a, s b)
+  | Div (a, b) -> Div (s a, s b)
+  | Pow (a, b) -> Pow (s a, s b)
+  | Neg a -> Neg (s a)
+  | Sqrt a -> Sqrt (s a)
+  | Log2 a -> Log2 (s a)
+  | Min (a, b) -> Min (s a, s b)
+  | Max (a, b) -> Max (s a, s b)
+
+let rec simplify e =
+  let e =
+    match e with
+    | Const _ | Var _ -> e
+    | Add (a, b) -> Add (simplify a, simplify b)
+    | Sub (a, b) -> Sub (simplify a, simplify b)
+    | Mul (a, b) -> Mul (simplify a, simplify b)
+    | Div (a, b) -> Div (simplify a, simplify b)
+    | Pow (a, b) -> Pow (simplify a, simplify b)
+    | Neg a -> Neg (simplify a)
+    | Sqrt a -> Sqrt (simplify a)
+    | Log2 a -> Log2 (simplify a)
+    | Min (a, b) -> Min (simplify a, simplify b)
+    | Max (a, b) -> Max (simplify a, simplify b)
+  in
+  match e with
+  | Add (Const a, Const b) -> Const (a +. b)
+  | Add (Const 0.0, x) | Add (x, Const 0.0) -> x
+  | Sub (Const a, Const b) -> Const (a -. b)
+  | Sub (x, Const 0.0) -> x
+  | Sub (Const 0.0, x) -> simplify (Neg x)
+  | Mul (Const a, Const b) -> Const (a *. b)
+  | Mul (Const 1.0, x) | Mul (x, Const 1.0) -> x
+  | Mul (Const 0.0, _) | Mul (_, Const 0.0) -> Const 0.0
+  | Div (Const a, Const b) when b <> 0.0 -> Const (a /. b)
+  | Div (x, Const 1.0) -> x
+  | Div (Const 0.0, _) -> Const 0.0
+  | Pow (Const a, Const b) -> Const (Float.pow a b)
+  | Pow (x, Const 1.0) -> x
+  | Pow (_, Const 0.0) -> Const 1.0
+  | Neg (Const a) -> Const (-.a)
+  | Neg (Neg x) -> x
+  | Sqrt (Const a) when a >= 0.0 -> Const (sqrt a)
+  | Log2 (Const a) when a > 0.0 -> Const (log a /. log 2.0)
+  | Min (Const a, Const b) -> Const (Float.min a b)
+  | Max (Const a, Const b) -> Const (Float.max a b)
+  | e -> e
+
+(* Rendering with minimal parentheses.  Precedence: Add/Sub 1,
+   Mul/Div 2, unary 3, Pow 4 (right-assoc). *)
+let to_string e =
+  let buf = Buffer.create 64 in
+  let add = Buffer.add_string buf in
+  let number x =
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.0f" x
+    else Printf.sprintf "%g" x
+  in
+  let rec go prec e =
+    let wrap p body =
+      if p < prec then begin
+        add "(";
+        body ();
+        add ")"
+      end
+      else body ()
+    in
+    match e with
+    | Const x -> if x < 0.0 then wrap 3 (fun () -> add (number x)) else add (number x)
+    | Var s -> add s
+    | Add (a, b) -> wrap 1 (fun () -> go 1 a; add " + "; go 1 b)
+    | Sub (a, b) -> wrap 1 (fun () -> go 1 a; add " - "; go 2 b)
+    | Mul (a, b) -> wrap 2 (fun () -> go 2 a; add " * "; go 2 b)
+    | Div (a, b) -> wrap 2 (fun () -> go 2 a; add " / "; go 3 b)
+    | Pow (a, b) -> wrap 4 (fun () -> go 5 a; add "^"; go 4 b)
+    | Neg a -> wrap 3 (fun () -> add "-"; go 3 a)
+    | Sqrt a ->
+        add "sqrt(";
+        go 0 a;
+        add ")"
+    | Log2 a ->
+        add "log2(";
+        go 0 a;
+        add ")"
+    | Min (a, b) ->
+        add "min(";
+        go 0 a;
+        add ", ";
+        go 0 b;
+        add ")"
+    | Max (a, b) ->
+        add "max(";
+        go 0 a;
+        add ", ";
+        go 0 b;
+        add ")"
+  in
+  go 0 e;
+  Buffer.contents buf
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: a hand-rolled recursive descent over a token list.          *)
+
+type token =
+  | Tnum of float
+  | Tid of string
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tslash
+  | Tcaret
+  | Tlparen
+  | Trparen
+  | Tcomma
+
+exception Parse_error of string
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if is_digit c || c = '.' then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_digit s.[!i] || s.[!i] = '.' || s.[!i] = 'e' || s.[!i] = 'E'
+           || ((s.[!i] = '+' || s.[!i] = '-')
+              && Stdlib.( > ) !i start
+              && (s.[Stdlib.( - ) !i 1] = 'e' || s.[Stdlib.( - ) !i 1] = 'E')))
+      do
+        incr i
+      done;
+      let text = String.sub s start (Stdlib.( - ) !i start) in
+      match float_of_string_opt text with
+      | Some x -> out := Tnum x :: !out
+      | None -> raise (Parse_error ("bad number: " ^ text))
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while !i < n && is_ident s.[!i] do
+        incr i
+      done;
+      out := Tid (String.sub s start (Stdlib.( - ) !i start)) :: !out
+    end
+    else begin
+      (match c with
+      | '+' -> out := Tplus :: !out
+      | '-' -> out := Tminus :: !out
+      | '*' -> out := Tstar :: !out
+      | '/' -> out := Tslash :: !out
+      | '^' -> out := Tcaret :: !out
+      | '(' -> out := Tlparen :: !out
+      | ')' -> out := Trparen :: !out
+      | ',' -> out := Tcomma :: !out
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %c" c)));
+      incr i
+    end
+  done;
+  List.rev !out
+
+let parse text =
+  try
+    let tokens = ref (tokenize text) in
+    let peek () = match !tokens with t :: _ -> Some t | [] -> None in
+    let advance () = match !tokens with _ :: rest -> tokens := rest | [] -> () in
+    let expect t msg =
+      match peek () with
+      | Some t' when t' = t -> advance ()
+      | _ -> raise (Parse_error msg)
+    in
+    (* expr := term (("+"|"-") term)*
+       term := factor (("*"|"/") factor)*
+       factor := unary ("^" factor)?          -- right assoc
+       unary := "-" unary | atom
+       atom := number | ident | ident "(" args ")" | "(" expr ")" *)
+    let rec expr () =
+      let lhs = ref (term ()) in
+      let rec loop () =
+        match peek () with
+        | Some Tplus ->
+            advance ();
+            lhs := Add (!lhs, term ());
+            loop ()
+        | Some Tminus ->
+            advance ();
+            lhs := Sub (!lhs, term ());
+            loop ()
+        | _ -> ()
+      in
+      loop ();
+      !lhs
+    and term () =
+      let lhs = ref (factor ()) in
+      let rec loop () =
+        match peek () with
+        | Some Tstar ->
+            advance ();
+            lhs := Mul (!lhs, factor ());
+            loop ()
+        | Some Tslash ->
+            advance ();
+            lhs := Div (!lhs, factor ());
+            loop ()
+        | _ -> ()
+      in
+      loop ();
+      !lhs
+    and factor () =
+      let base = unary () in
+      match peek () with
+      | Some Tcaret ->
+          advance ();
+          Pow (base, factor ())
+      | _ -> base
+    and unary () =
+      match peek () with
+      | Some Tminus ->
+          advance ();
+          Neg (unary ())
+      | _ -> atom ()
+    and atom () =
+      match peek () with
+      | Some (Tnum x) ->
+          advance ();
+          Const x
+      | Some (Tid name) -> (
+          advance ();
+          match peek () with
+          | Some Tlparen -> (
+              advance ();
+              let a = expr () in
+              match (name, peek ()) with
+              | "sqrt", Some Trparen ->
+                  advance ();
+                  Sqrt a
+              | "log2", Some Trparen ->
+                  advance ();
+                  Log2 a
+              | ("min" | "max"), Some Tcomma ->
+                  advance ();
+                  let b = expr () in
+                  expect Trparen "expected ) after two-argument function";
+                  if name = "min" then Min (a, b) else Max (a, b)
+              | _ -> raise (Parse_error ("bad call of function " ^ name)))
+          | _ -> Var name)
+      | Some Tlparen ->
+          advance ();
+          let e = expr () in
+          expect Trparen "expected )";
+          e
+      | _ -> raise (Parse_error "unexpected end of input")
+    in
+    let e = expr () in
+    if !tokens <> [] then Error "trailing input" else Ok e
+  with Parse_error msg -> Error msg

@@ -1,0 +1,68 @@
+(** A small symbolic-expression language for data-movement bounds.
+
+    The paper's results are parametric formulas over problem sizes
+    ([n], [T], [d], [m]), machine parameters ([S], [P], [N_nodes]) and
+    balances; this module gives them a first-class representation that
+    can be pretty-printed, simplified, evaluated against concrete
+    parameters, and parsed back from the CLI. *)
+
+type t =
+  | Const of float
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Pow of t * t        (** right argument may be symbolic, e.g. [1/d] *)
+  | Neg of t
+  | Sqrt of t
+  | Log2 of t
+  | Min of t * t
+  | Max of t * t
+
+(** {1 Construction helpers} *)
+
+val const : float -> t
+val int : int -> t
+val var : string -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ** ) : t -> t -> t
+
+(** {1 Evaluation} *)
+
+exception Unbound_variable of string
+
+val eval : env:(string * float) list -> t -> float
+(** Raises {!Unbound_variable}, and [Division_by_zero] on a zero
+    denominator. *)
+
+val vars : t -> string list
+(** Free variables, sorted, without duplicates. *)
+
+val subst : env:(string * t) list -> t -> t
+(** Substitute expressions for variables. *)
+
+(** {1 Simplification} *)
+
+val simplify : t -> t
+(** Constant folding and algebraic identities ([x*1], [x+0], [x^1],
+    [x/1], [0*x], [--x], nested constant arithmetic).  Idempotent;
+    never changes the value of the expression on any environment where
+    the original is defined. *)
+
+(** {1 Text} *)
+
+val to_string : t -> string
+(** Precedence-aware rendering, e.g.
+    ["n^3 / (2 * sqrt(2 * S))"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse the {!to_string} syntax: numbers, identifiers, [+ - * / ^],
+    parentheses, and the functions [sqrt], [log2], [min], [max] (the
+    latter two with two comma-separated arguments).  [^] is
+    right-associative; unary minus is supported. *)

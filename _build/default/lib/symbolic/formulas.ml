@@ -1,0 +1,58 @@
+open Expr
+
+let n = var "n"
+let d = var "d"
+let t = var "T"
+let m = var "m"
+let s = var "S"
+let p = var "P"
+let bblk = var "B"
+let beta = var "beta"
+let two_s = int 2 * s
+
+let matmul_lb = (n ** int 3) / (int 2 * Sqrt two_s)
+
+let fft_lb = n * Log2 n / (int 2 * Log2 s)
+
+let nd = n ** d
+
+let jacobi_lb = nd * t / (int 4 * p * (two_s ** (int 1 / d)))
+
+let jacobi_threshold = int 1 / (int 4 * (two_s ** (int 1 / d)))
+
+let jacobi_max_dim = int 4 * beta * Log2 two_s
+
+let cg_vertical_lb = int 6 * nd * t / p
+
+let cg_flops = int 20 * nd * t
+
+let cg_vertical_per_flop = int 6 / int 20
+
+let gmres_vertical_lb = int 6 * nd * m / p
+
+let gmres_vertical_per_flop = int 6 / (m + int 20)
+
+let ghost_cells = ((bblk + int 2) ** d) - (bblk ** d)
+
+let lemma1 = s * (var "h" - int 1)
+
+let lemma2 = int 2 * (var "w" - s)
+
+let all =
+  [
+    ("matmul_lb", matmul_lb);
+    ("fft_lb", fft_lb);
+    ("jacobi_lb", jacobi_lb);
+    ("jacobi_threshold", jacobi_threshold);
+    ("jacobi_max_dim", jacobi_max_dim);
+    ("cg_vertical_lb", cg_vertical_lb);
+    ("cg_flops", cg_flops);
+    ("cg_vertical_per_flop", cg_vertical_per_flop);
+    ("gmres_vertical_lb", gmres_vertical_lb);
+    ("gmres_vertical_per_flop", gmres_vertical_per_flop);
+    ("ghost_cells", ghost_cells);
+    ("lemma1", lemma1);
+    ("lemma2", lemma2);
+  ]
+
+let find name = List.assoc_opt name all

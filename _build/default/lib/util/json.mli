@@ -1,0 +1,22 @@
+(** A minimal JSON emitter (no parsing) for machine-readable reports.
+
+    Only what the CLI needs: objects, arrays, strings (escaped),
+    numbers, booleans and null, rendered compactly or indented.  No
+    external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] (default [true]) pretty-prints with two-space nesting.
+    Floats are rendered with [%.17g] (round-trippable); NaN and
+    infinities become [null] (JSON has no lexemes for them). *)
+
+val opt : ('a -> t) -> 'a option -> t
+(** [None] becomes [Null]. *)

@@ -1,0 +1,62 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty";
+  let n = Array.length xs in
+  let m = mean xs in
+  let var =
+    if n < 2 then 0.0
+    else
+      Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      /. float_of_int (n - 1)
+  in
+  {
+    n;
+    mean = m;
+    stddev = sqrt var;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = percentile xs 50.0;
+  }
+
+let geomean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.geomean: empty";
+  let log_sum =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive sample";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (log_sum /. float_of_int (Array.length xs))
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g"
+    s.n s.mean s.stddev s.min s.median s.max

@@ -1,0 +1,26 @@
+(** Summary statistics over float samples, used by the benchmark
+    harness and the validation experiments to report tightness ratios
+    between lower bounds and measured I/O. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;   (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+
+val geomean : float array -> float
+(** Geometric mean; requires strictly positive samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100], by linear interpolation on
+    the sorted samples. *)
+
+val pp_summary : Format.formatter -> summary -> unit

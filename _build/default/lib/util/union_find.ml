@@ -1,0 +1,42 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  mutable classes : int;
+}
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let rec find uf i =
+  let p = uf.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find uf p in
+    uf.parent.(i) <- root;
+    root
+  end
+
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra <> rb then begin
+    uf.classes <- uf.classes - 1;
+    if uf.rank.(ra) < uf.rank.(rb) then uf.parent.(ra) <- rb
+    else if uf.rank.(ra) > uf.rank.(rb) then uf.parent.(rb) <- ra
+    else begin
+      uf.parent.(rb) <- ra;
+      uf.rank.(ra) <- uf.rank.(ra) + 1
+    end
+  end
+
+let same uf a b = find uf a = find uf b
+
+let count uf = uf.classes
+
+let classes uf =
+  let n = Array.length uf.parent in
+  let out = Array.make n [] in
+  for i = n - 1 downto 0 do
+    let r = find uf i in
+    out.(r) <- i :: out.(r)
+  done;
+  out

@@ -1,0 +1,23 @@
+(** Union–find over the integers [0 .. n-1] with path compression and
+    union by rank.  Used to group CDAG vertices into decomposition
+    components. *)
+
+type t
+
+val create : int -> t
+(** [create n] puts each of [0 .. n-1] in its own class. *)
+
+val find : t -> int -> int
+(** Canonical representative of the class of its argument. *)
+
+val union : t -> int -> int -> unit
+(** Merge two classes; a no-op if already merged. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of distinct classes. *)
+
+val classes : t -> int list array
+(** Ascending members of each class, indexed by representative; entries
+    for non-representatives are empty. *)

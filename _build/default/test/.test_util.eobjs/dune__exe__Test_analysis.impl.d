@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Dmc_analysis Dmc_machine Dmc_util Float List String

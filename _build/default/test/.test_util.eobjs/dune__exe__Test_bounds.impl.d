@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Array Dmc_cdag Dmc_core Dmc_gen Dmc_machine Dmc_testlib Dmc_util Float List QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_cdag.ml: Alcotest Array Dmc_cdag Dmc_gen Dmc_util List QCheck QCheck_alcotest Random String

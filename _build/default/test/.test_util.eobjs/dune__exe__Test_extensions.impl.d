@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dmc_analysis Dmc_cdag Dmc_core Dmc_gen Dmc_util List QCheck QCheck_alcotest Random String

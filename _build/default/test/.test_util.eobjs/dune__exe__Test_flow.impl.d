@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Dmc_cdag Dmc_flow Dmc_gen Dmc_util Hashtbl List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_games.ml: Alcotest Array Dmc_cdag Dmc_core Dmc_gen Dmc_machine Dmc_util List Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Dmc_cdag Dmc_core Dmc_gen Dmc_util Hashtbl List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Dmc_machine Format List String

@@ -1,0 +1,1 @@
+test/test_optimal.ml: Alcotest Array Dmc_cdag Dmc_core Dmc_gen Dmc_machine Dmc_testlib Dmc_util Fun List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dmc_cdag Dmc_core Dmc_gen Dmc_sim Dmc_util List Option QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Array Dmc_cdag Dmc_core Dmc_gen Dmc_machine Dmc_sim Dmc_util List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Dmc_core Dmc_symbolic Dmc_util Float List QCheck QCheck_alcotest Random Stdlib

@@ -1,0 +1,1 @@
+test/test_transform_span.ml: Alcotest Array Dmc_cdag Dmc_core Dmc_gen Dmc_util List QCheck QCheck_alcotest Random

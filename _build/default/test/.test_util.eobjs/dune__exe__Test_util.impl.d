@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dmc_util Float Fun Hashtbl List QCheck QCheck_alcotest Random String

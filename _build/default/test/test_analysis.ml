@@ -1,0 +1,240 @@
+(* Tests for the evaluation layer: Table 1, the CG/GMRES/Jacobi
+   analyses, the Section-3 sweep, and the validation suites.  These are
+   the paper's quantitative claims, checked mechanically. *)
+
+module Balance = Dmc_machine.Balance
+module Machines = Dmc_machine.Machines
+module Table1 = Dmc_analysis.Table1
+module Cg = Dmc_analysis.Cg_analysis
+module Gmres = Dmc_analysis.Gmres_analysis
+module Jacobi = Dmc_analysis.Jacobi_analysis
+module Sec3 = Dmc_analysis.Sec3
+module Validate = Dmc_analysis.Validate
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+
+let test_table1_renders () =
+  let s = Table1.render () in
+  check_bool "bgq row" true (contains "IBM BG/Q" s);
+  check_bool "xt5 row" true (contains "Cray XT5" s);
+  check_bool "balance value" true (contains "0.0520" s)
+
+let test_cg_verdicts () =
+  let rows = Cg.analyze () in
+  check "one row per machine" (List.length Machines.table1) (List.length rows);
+  List.iter
+    (fun (r : Cg.row) ->
+      check_float "0.3 words per flop" 0.3 r.Cg.vertical_per_flop;
+      check_bool "vertical bound" true (r.Cg.vertical_verdict = Balance.Bandwidth_bound);
+      check_bool "horizontal free" true
+        (r.Cg.horizontal_verdict = Balance.Not_bandwidth_bound))
+    rows
+
+let test_cg_structure_claims () =
+  let s = Cg.structure ~dims:[ 3; 3 ] ~iters:2 ~s:6 () in
+  check "grid points" 9 s.Cg.grid_points;
+  check_bool "a wavefront >= 2n^d" true (s.Cg.a_wavefront >= 18);
+  check_bool "g wavefront >= n^d" true (s.Cg.g_wavefront >= 9);
+  check_bool "lb below execution" true (s.Cg.decomposed_lb <= s.Cg.belady_ub);
+  check_bool "lb is informative" true (s.Cg.decomposed_lb > 0)
+
+let test_gmres_sweep_shape () =
+  let points = Gmres.sweep ~ms:[ 1; 100; 1000 ] () in
+  (match points with
+  | [ p1; p100; p1000 ] ->
+      check_float "m=1" (6.0 /. 21.0) p1.Gmres.vertical_per_flop;
+      check_bool "monotone decreasing" true
+        (p1.Gmres.vertical_per_flop > p100.Gmres.vertical_per_flop
+        && p100.Gmres.vertical_per_flop > p1000.Gmres.vertical_per_flop);
+      (* m = 1 is bandwidth bound everywhere; m = 1000 nowhere *)
+      check_bool "m=1 bound" true
+        (List.for_all (fun (_, v) -> v = Balance.Bandwidth_bound) p1.Gmres.verdicts);
+      check_bool "m=1000 free" true
+        (List.for_all (fun (_, v) -> v = Balance.Indeterminate) p1000.Gmres.verdicts)
+  | _ -> Alcotest.fail "expected three points");
+  (* crossover matches the closed form: 6/(m+20) = balance *)
+  let m_star = Gmres.crossover_m ~balance:0.052 in
+  check_float "crossover" ((6.0 /. 0.052) -. 20.0) m_star;
+  check_bool "bgq crossover near 95" true (Float.abs (m_star -. 95.4) < 0.1)
+
+let test_gmres_structure_claims () =
+  let s = Gmres.structure ~dims:[ 4 ] ~iters:2 ~s:4 () in
+  check "grid points" 4 s.Gmres.grid_points;
+  check_bool "h wavefront >= 2n^d" true (s.Gmres.h_wavefront >= 8);
+  check_bool "norm wavefront >= n^d" true (s.Gmres.norm_wavefront >= 4);
+  check_bool "lb below execution" true (s.Gmres.decomposed_lb <= s.Gmres.belady_ub)
+
+let test_jacobi_thresholds () =
+  let bgq = Jacobi.bgq_dram_l2 in
+  check_bool "paper's 4.83" true (Float.abs (bgq.Jacobi.max_dim -. 4.83) < 0.1);
+  check_bool "2d not bound" true (bgq.Jacobi.bound_at 2 <> Balance.Bandwidth_bound);
+  let l2l1 = Jacobi.bgq_l2_l1 in
+  check_bool "paper's 96" true (Float.abs (l2l1.Jacobi.max_dim -. 96.0) < 1.0);
+  check "threshold rows cover machines" (1 + List.length Machines.table1)
+    (List.length (Jacobi.thresholds ()))
+
+let test_jacobi_tightness () =
+  let t = Jacobi.tightness ~d:1 ~n:48 ~steps:12 ~s:18 () in
+  check_bool "lb below tiled" true (t.Jacobi.analytic_lb <= float_of_int t.Jacobi.skewed_ub);
+  check_bool "tiled beats natural" true (t.Jacobi.skewed_ub < t.Jacobi.natural_ub);
+  check_bool "ratio finite" true (t.Jacobi.ratio > 1.0)
+
+let test_jacobi_horizontal () =
+  let h = Jacobi.horizontal ~dims:[ 8; 8 ] ~blocks:[ 2; 2 ] ~steps:2 () in
+  check "exact match" h.Jacobi.predicted_ghosts h.Jacobi.measured_ghosts;
+  check "value" (32 * 2) h.Jacobi.predicted_ghosts
+
+let test_sec3_separation () =
+  let rows = Sec3.sweep ~ns:[ 4; 64 ] ~measure_limit:4 () in
+  match rows with
+  | [ r4; r64 ] ->
+      check_float "composite ub" 17.0 r4.Sec3.composite_upper_rb;
+      check_bool "separation grows" true (r64.Sec3.separation > r4.Sec3.separation);
+      check_bool "matmul bound exceeds composite at n=64" true
+        (r64.Sec3.matmul_step_lb > r64.Sec3.composite_upper_rb);
+      (* measured only for small n *)
+      check_bool "n=4 measured" true (r4.Sec3.rbw_measured_ub <> None);
+      check_bool "n=64 skipped" true (r64.Sec3.rbw_measured_ub = None);
+      (match (r4.Sec3.rbw_lb, r4.Sec3.rbw_measured_ub) with
+      | Some lb, Some ub -> check_bool "sandwich" true (lb <= ub)
+      | _ -> Alcotest.fail "expected measurements at n=4")
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_time_model () =
+  let p =
+    Dmc_analysis.Time_model.predict ~flops_per_core:1.0e9 ~cores:4 ~nodes:2
+      ~vertical_bw:1.0e9 ~horizontal_bw:1.0e9 ~work:8.0e9
+      ~vertical_words_per_node:2.0e9 ~horizontal_words_per_node:1.0e8
+  in
+  (* T_comp = 8e9/8e9 = 1s, T_mem = 2s, T_net = 0.1s *)
+  Alcotest.(check (float 1e-9)) "t_comp" 1.0 p.Dmc_analysis.Time_model.t_comp;
+  Alcotest.(check (float 1e-9)) "t_mem" 2.0 p.Dmc_analysis.Time_model.t_vertical;
+  Alcotest.(check (float 1e-9)) "bound" 2.0 p.Dmc_analysis.Time_model.t_bound;
+  check_bool "memory dominates" true (p.Dmc_analysis.Time_model.dominant = `Vertical);
+  Alcotest.(check (float 1e-9)) "efficiency" 0.5 p.Dmc_analysis.Time_model.efficiency_cap;
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Time_model.predict: non-positive rate") (fun () ->
+      ignore
+        (Dmc_analysis.Time_model.predict ~flops_per_core:0.0 ~cores:1 ~nodes:1
+           ~vertical_bw:1.0 ~horizontal_bw:1.0 ~work:1.0
+           ~vertical_words_per_node:1.0 ~horizontal_words_per_node:1.0));
+  (* CG on BG/Q: memory-dominated with a sub-50% cap *)
+  let cg = Dmc_analysis.Time_model.cg ~machine:Machines.bgq ~flops_per_core:8.0e9 ~n:1000 ~steps:10 in
+  check_bool "cg memory bound" true (cg.Dmc_analysis.Time_model.dominant = `Vertical);
+  check_bool "cg efficiency capped" true (cg.Dmc_analysis.Time_model.efficiency_cap < 0.5)
+
+let test_curves_sandwich () =
+  let c = Dmc_analysis.Curves.jacobi_curve ~n:48 ~steps:12 ~ss:[ 9; 18 ] () in
+  (match c.Dmc_analysis.Curves.points with
+  | [ p9; p18 ] ->
+      check_bool "lb <= ub at 9" true
+        (p9.Dmc_analysis.Curves.lb <= float_of_int p9.Dmc_analysis.Curves.ub);
+      check_bool "ub decays" true
+        (p18.Dmc_analysis.Curves.ub <= p9.Dmc_analysis.Curves.ub)
+  | _ -> Alcotest.fail "expected two points");
+  let f = Dmc_analysis.Curves.fft_curve ~k:6 ~ss:[ 10; 18 ] () in
+  check "two fft points" 2 (List.length f.Dmc_analysis.Curves.points)
+
+let test_fft_analysis_rows () =
+  let rows = Dmc_analysis.Fft_analysis.sweep ~configs:[ (6, 3, 18) ] in
+  match rows with
+  | [ r ] ->
+      check "k" 6 r.Dmc_analysis.Fft_analysis.k;
+      check_bool "sandwich" true
+        (r.Dmc_analysis.Fft_analysis.analytic_lb
+        <= float_of_int r.Dmc_analysis.Fft_analysis.blocked_ub);
+      check_bool "blocked wins" true
+        (r.Dmc_analysis.Fft_analysis.blocked_ub
+        < r.Dmc_analysis.Fft_analysis.natural_ub)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_multigrid_analysis_rows () =
+  let rows = Dmc_analysis.Multigrid_analysis.sweep ~cycle_counts:[ 1; 2 ] () in
+  match rows with
+  | [ r1; r2 ] ->
+      check_bool "work doubles" true
+        (r2.Dmc_analysis.Multigrid_analysis.work
+        = 2 * r1.Dmc_analysis.Multigrid_analysis.work);
+      check_bool "decomposed grows" true
+        (r2.Dmc_analysis.Multigrid_analysis.decomposed_lb
+        > r1.Dmc_analysis.Multigrid_analysis.decomposed_lb);
+      check_bool "sound" true
+        (r2.Dmc_analysis.Multigrid_analysis.decomposed_lb
+        <= r2.Dmc_analysis.Multigrid_analysis.belady_ub)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_balance_trend () =
+  let t = Dmc_util.Table.render (Dmc_analysis.Scaling.balance_trend_table ()) in
+  check_bool "has frontier row" true (contains "Frontier" t);
+  check_bool "cg always bound" false (contains "not bandwidth-bound" t)
+
+let test_scaling_errors_and_edges () =
+  Alcotest.check_raises "bad balance" (Invalid_argument "Scaling.cg_network_bound_at")
+    (fun () -> ignore (Dmc_analysis.Scaling.cg_network_bound_at ~balance:0.0 ()));
+  (* three tables render *)
+  check "three tables" 3 (List.length (Dmc_analysis.Scaling.tables ()));
+  (* summary digest renders and contains every algorithm row *)
+  let digest = Dmc_util.Table.render (Dmc_analysis.Summary.table ()) in
+  check_bool "has CG row" true (contains "CG (any d)" digest);
+  check_bool "has jacobi row" true (contains "Jacobi 5D" digest)
+
+let test_validation_suites () =
+  let cases = Validate.soundness_suite ~seed:1 ~cases:4 () in
+  check_bool "non-empty" true (List.length cases > 10);
+  check_bool "all sound" true (Validate.all_sound cases);
+  let t1 = Validate.theorem1_suite ~seed:1 () in
+  check_bool "theorem1 holds" true
+    (List.for_all
+       (fun (c : Validate.theorem1_check) ->
+         c.Validate.partition_valid && c.Validate.arithmetic_holds)
+       t1);
+  let sims = Validate.simulator_suite () in
+  check_bool "simulator dominates" true
+    (List.for_all (fun (c : Validate.sim_check) -> c.Validate.holds) sims)
+
+let test_report_registry () =
+  let names = List.map fst Dmc_analysis.Report.names in
+  Alcotest.(check (list string)) "registry"
+    [ "summary"; "table1"; "sec3"; "cg"; "gmres"; "jacobi"; "scaling"; "fft"; "curves"; "multigrid"; "reductions"; "validate"; "sim" ]
+    names
+
+let () =
+  Alcotest.run "dmc_analysis"
+    [
+      ( "table1", [ Alcotest.test_case "renders" `Quick test_table1_renders ] );
+      ( "cg",
+        [
+          Alcotest.test_case "verdicts" `Quick test_cg_verdicts;
+          Alcotest.test_case "structure claims" `Quick test_cg_structure_claims;
+        ] );
+      ( "gmres",
+        [
+          Alcotest.test_case "sweep shape" `Quick test_gmres_sweep_shape;
+          Alcotest.test_case "structure claims" `Quick test_gmres_structure_claims;
+        ] );
+      ( "jacobi",
+        [
+          Alcotest.test_case "thresholds" `Quick test_jacobi_thresholds;
+          Alcotest.test_case "tightness" `Quick test_jacobi_tightness;
+          Alcotest.test_case "horizontal" `Quick test_jacobi_horizontal;
+        ] );
+      ( "sec3", [ Alcotest.test_case "separation" `Quick test_sec3_separation ] );
+      ( "time_model", [ Alcotest.test_case "predictions" `Quick test_time_model ] );
+      ( "curves", [ Alcotest.test_case "sandwich" `Quick test_curves_sandwich ] );
+      ( "fft", [ Alcotest.test_case "rows" `Quick test_fft_analysis_rows ] );
+      ( "multigrid", [ Alcotest.test_case "rows" `Quick test_multigrid_analysis_rows ] );
+      ( "trend", [ Alcotest.test_case "balance trend" `Quick test_balance_trend ] );
+      ( "scaling_edges",
+        [ Alcotest.test_case "errors and digest" `Quick test_scaling_errors_and_edges ] );
+      ( "validation", [ Alcotest.test_case "suites" `Slow test_validation_suites ] );
+      ( "report", [ Alcotest.test_case "registry" `Quick test_report_registry ] );
+    ]

@@ -1,0 +1,267 @@
+(* Tests for the exhaustive optimal-game search — known optima,
+   model-relating inequalities, and budget guards. *)
+
+module Cdag = Dmc_cdag.Cdag
+module Optimal = Dmc_core.Optimal
+module Strategy = Dmc_core.Strategy
+module Rng = Dmc_util.Rng
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Known optima                                                        *)
+
+let test_chain () =
+  let g = Dmc_gen.Shapes.chain 8 in
+  (* a chain with S >= 2 needs exactly its one load and one store *)
+  check "rbw chain" 2 (Optimal.rbw_io g ~s:2);
+  check "rb chain" 2 (Optimal.rb_io g ~s:2);
+  (* with S = 1 the single input can never feed its successor while the
+     result is placed — but rule R3 needs both simultaneously, so the
+     game needs the input red and one more slot: impossible; the chain
+     beyond the input cannot fire.  The search must report failure. *)
+  Alcotest.check_raises "S=1 impossible"
+    (Optimal.Too_large "Optimal: no complete game found (exhausted states)")
+    (fun () -> ignore (Optimal.rbw_io g ~s:1))
+
+let test_diamond_fits () =
+  (* Pebbling an n x n grid needs n + 1 pebbles (the advancing
+     anti-diagonal plus the cell in flight): at S = 4 the 3x3 diamond
+     runs spill-free, at S = 3 it cannot. *)
+  let g = Dmc_gen.Shapes.diamond ~rows:3 ~cols:3 in
+  check "diamond S=4" 2 (Optimal.rbw_io g ~s:4);
+  check_bool "diamond S=3 spills" true (Optimal.rbw_io g ~s:3 > 2)
+
+let test_independent_outputs () =
+  (* n independent compute vertices, all outputs: each costs exactly
+     one store; fires are free *)
+  let g = Dmc_gen.Shapes.independent 4 in
+  check "independent" 4 (Optimal.rbw_io g ~s:2)
+
+let test_two_level_fanin () =
+  (* 2 inputs shared by 2 mids + 1 out: loads 2, store 1 at S >= 4 *)
+  let g = Dmc_gen.Shapes.two_level_fanin ~fanin:2 ~mids:2 in
+  check "fanin io" 3 (Optimal.rbw_io g ~s:5)
+
+let test_tree_s_large () =
+  let g = Dmc_gen.Shapes.reduction_tree 8 in
+  (* with S large there are no spills: 8 loads + 1 store *)
+  check "tree no spill" 9 (Optimal.rbw_io g ~s:15);
+  check "rb agrees" 9 (Optimal.rb_io g ~s:15)
+
+(* ------------------------------------------------------------------ *)
+(* Inequalities between the models                                     *)
+
+(* structural generator: counterexamples shrink to minimal graphs *)
+let prop_rb_le_rbw =
+  QCheck.Test.make ~name:"forbidding recomputation cannot reduce I/O" ~count:40
+    (Dmc_testlib.Gen_cdag.arbitrary ~max_n:9 ())
+    (fun spec ->
+      let g = Dmc_testlib.Gen_cdag.spec_to_cdag spec in
+      let s = Dmc_testlib.Gen_cdag.max_indegree spec + 1 in
+      Optimal.rb_io g ~s <= Optimal.rbw_io g ~s)
+
+let prop_optimal_le_strategies =
+  QCheck.Test.make ~name:"the optimum is below every strategy" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Dmc_gen.Random_dag.gnp rng ~n:9 ~edge_prob:0.3 in
+      let max_indeg =
+        Cdag.fold_vertices g (fun acc v -> max acc (Cdag.in_degree g v)) 0
+      in
+      let s = max_indeg + 2 in
+      let opt = Optimal.rbw_io g ~s in
+      opt <= Strategy.io ~policy:Strategy.Belady g ~s
+      && opt <= Strategy.io ~policy:Strategy.Lru g ~s
+      && opt <= Strategy.trivial_io g)
+
+let prop_optimal_monotone_in_s =
+  QCheck.Test.make ~name:"more red pebbles never increase the optimum" ~count:30
+    (Dmc_testlib.Gen_cdag.arbitrary ~max_n:9 ())
+    (fun spec ->
+      let g = Dmc_testlib.Gen_cdag.spec_to_cdag spec in
+      let s = Dmc_testlib.Gen_cdag.max_indegree spec + 1 in
+      Optimal.rbw_io g ~s:(s + 2) <= Optimal.rbw_io g ~s)
+
+let prop_optimal_ge_floor =
+  QCheck.Test.make ~name:"the optimum pays the tagging floor" ~count:20
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Dmc_gen.Random_dag.gnp rng ~n:9 ~edge_prob:0.3 in
+      let max_indeg =
+        Cdag.fold_vertices g (fun acc v -> max acc (Cdag.in_degree g v)) 0
+      in
+      let s = max_indeg + 1 in
+      Optimal.rbw_io g ~s >= Dmc_core.Bounds.io_floor g)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3: tagging arithmetic against the exhaustive optimum        *)
+
+let prop_theorem3_tagging =
+  QCheck.Test.make ~name:"Theorem 3: tags only add I/O, within |dI|+|dO|" ~count:25
+    (Dmc_testlib.Gen_cdag.arbitrary ~max_n:8 ())
+    (fun spec ->
+      let g = Dmc_testlib.Gen_cdag.spec_to_cdag spec in
+      let s = Dmc_testlib.Gen_cdag.max_indegree spec + 1 in
+      (* add an output tag on every vertex and keep inputs as they are:
+         dO = non-output vertices *)
+      let n = Cdag.n_vertices g in
+      let d_o =
+        List.filter (fun v -> not (Cdag.is_output g v)) (List.init n Fun.id)
+      in
+      let g' =
+        Cdag.retag g ~inputs:(Cdag.inputs g)
+          ~outputs:(Cdag.outputs g @ d_o)
+      in
+      let io = Optimal.rbw_io g ~s and io' = Optimal.rbw_io g' ~s in
+      (* untagging direction: IO(C) <= IO(C'); tagging direction:
+         IO(C') - |dO| <= IO(C) *)
+      io <= io' && io' - List.length d_o <= io)
+
+let prop_theorem3_input_tagging =
+  QCheck.Test.make ~name:"Theorem 3: input tags on sources, same sandwich" ~count:25
+    (Dmc_testlib.Gen_cdag.arbitrary ~max_n:8 ())
+    (fun spec ->
+      let g0 = Dmc_testlib.Gen_cdag.spec_to_cdag spec in
+      let s = Dmc_testlib.Gen_cdag.max_indegree spec + 1 in
+      (* start from a variant with NO input tags (sources fire freely),
+         then tag all sources as inputs *)
+      let g = Cdag.retag g0 ~inputs:[] ~outputs:(Cdag.outputs g0) in
+      let d_i = Cdag.sources g in
+      let g' = Cdag.retag g ~inputs:d_i ~outputs:(Cdag.outputs g) in
+      let io = Optimal.rbw_io g ~s and io' = Optimal.rbw_io g' ~s in
+      io <= io' && io' - List.length d_i <= io)
+
+(* ------------------------------------------------------------------ *)
+(* Balanced-assignment horizontal optimum                              *)
+
+let test_horizontal_chain () =
+  (* a compute chain split across 2 balanced processors must cross at
+     least once *)
+  let g = Dmc_gen.Shapes.chain 9 in
+  let cost, assign = Optimal.min_balanced_horizontal g ~procs:2 in
+  check "one crossing" 1 cost;
+  check "assignment covers all vertices" (Cdag.n_vertices g) (Array.length assign);
+  (* the returned assignment realizes the cost: contiguous halves *)
+  let crossings = ref 0 in
+  Cdag.iter_edges g (fun u v -> if assign.(u) <> assign.(v) then incr crossings);
+  check "assignment has one cut edge" 1 !crossings
+
+let test_horizontal_independent_free () =
+  (* independent vertices never communicate *)
+  let g = Dmc_gen.Shapes.independent 6 in
+  let cost, _ = Optimal.min_balanced_horizontal g ~procs:3 in
+  check "no communication" 0 cost
+
+let test_horizontal_inputs_free () =
+  (* a reduction tree of 8 leaves: the leaves are inputs (free); the 7
+     internal adds split 4/3 across 2 procs with one crossing *)
+  let g = Dmc_gen.Shapes.reduction_tree 8 in
+  let cost, _ = Optimal.min_balanced_horizontal g ~procs:2 in
+  check "tree crossing" 1 cost
+
+let test_horizontal_stencil () =
+  (* 1D stencil, 2 procs: each step the boundary exchanges one value in
+     each direction; contiguous halves are optimal *)
+  let st = Dmc_gen.Stencil.jacobi_1d ~n:4 ~steps:2 in
+  let cost, _ = Optimal.min_balanced_horizontal st.Dmc_gen.Stencil.graph ~procs:2 in
+  (* step 1 -> step 2 crossing: u(1,1) needed by u(2,2) and u(1,2) by
+     u(2,1): 2 words (the final step's outputs are not consumed) *)
+  check "stencil crossings" 2 cost
+
+let prop_spmd_dominates_optimal =
+  QCheck.Test.make ~name:"spmd traffic dominates the balanced optimum" ~count:15
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Dmc_gen.Random_dag.layered rng ~layers:4 ~width:3 ~edge_prob:0.5 in
+      if Cdag.n_compute g > 12 then true
+      else begin
+        let procs = 2 in
+        let cost, assign = Optimal.min_balanced_horizontal g ~procs in
+        let max_indeg =
+          Cdag.fold_vertices g (fun acc v -> max acc (Cdag.in_degree g v)) 0
+        in
+        let hier =
+          Dmc_machine.Hierarchy.create
+            [ { Dmc_machine.Hierarchy.count = procs; capacity = max_indeg + 1 };
+              { Dmc_machine.Hierarchy.count = procs; capacity = 1_000_000 } ]
+        in
+        (* run spmd with the optimal assignment itself: measured remote
+           gets equal the optimum (the reduction is exact) *)
+        let moves =
+          Strategy.spmd g hier ~owner:(fun v -> assign.(v)) ()
+        in
+        match Dmc_core.Prbw_game.run hier g moves with
+        | Ok stats -> stats.Dmc_core.Prbw_game.remote_gets >= cost
+        | Error _ -> false
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Guards                                                              *)
+
+let test_size_guards () =
+  let big = Dmc_gen.Shapes.diamond ~rows:5 ~cols:5 in
+  Alcotest.check_raises "rbw > 20 vertices"
+    (Optimal.Too_large "Optimal.rbw_io: more than 20 vertices") (fun () ->
+      ignore (Optimal.rbw_io big ~s:4));
+  let mid = Dmc_gen.Shapes.diamond ~rows:4 ~cols:5 in
+  (* 20 vertices: accepted by rbw, rejected by nothing for rb *)
+  ignore (Optimal.rb_io mid ~s:6);
+  Alcotest.check_raises "state budget"
+    (Optimal.Too_large "Optimal: state budget exhausted") (fun () ->
+      ignore (Optimal.rbw_io ~max_states:10 (Dmc_gen.Shapes.reduction_tree 8) ~s:3))
+
+let test_input_validation () =
+  let g = Dmc_gen.Shapes.chain 3 in
+  Alcotest.check_raises "s must be positive"
+    (Invalid_argument "Optimal.rbw_io: s must be positive") (fun () ->
+      ignore (Optimal.rbw_io g ~s:0));
+  let bad = Cdag.retag g ~inputs:[] ~outputs:[] in
+  Alcotest.check_raises "rb needs hong-kung"
+    (Invalid_argument "Optimal.rb_io: graph violates the Hong-Kung convention")
+    (fun () -> ignore (Optimal.rb_io bad ~s:2))
+
+let qsuite name tests =
+  (* fixed qcheck seed so runs are reproducible *)
+  ( name,
+    List.map
+      (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t)
+      tests )
+
+let () =
+  Alcotest.run "dmc_optimal"
+    [
+      ( "known-optima",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "diamond" `Quick test_diamond_fits;
+          Alcotest.test_case "independent outputs" `Quick test_independent_outputs;
+          Alcotest.test_case "two-level fanin" `Quick test_two_level_fanin;
+          Alcotest.test_case "tree without spills" `Quick test_tree_s_large;
+        ] );
+      qsuite "inequalities"
+        [
+          prop_rb_le_rbw;
+          prop_optimal_le_strategies;
+          prop_optimal_monotone_in_s;
+          prop_optimal_ge_floor;
+        ];
+      ( "horizontal",
+        [
+          Alcotest.test_case "chain" `Quick test_horizontal_chain;
+          Alcotest.test_case "independent" `Quick test_horizontal_independent_free;
+          Alcotest.test_case "tree inputs free" `Quick test_horizontal_inputs_free;
+          Alcotest.test_case "stencil" `Quick test_horizontal_stencil;
+        ] );
+      qsuite "theorem3-props" [ prop_theorem3_tagging; prop_theorem3_input_tagging ];
+      qsuite "horizontal-props" [ prop_spmd_dominates_optimal ];
+      ( "guards",
+        [
+          Alcotest.test_case "size guards" `Quick test_size_guards;
+          Alcotest.test_case "input validation" `Quick test_input_validation;
+        ] );
+    ]

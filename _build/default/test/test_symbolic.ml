@@ -1,0 +1,212 @@
+(* Tests for the symbolic-formula library: evaluation, simplification,
+   printing/parsing round trips, and agreement between the symbolic
+   formulas and the Analytic closed forms. *)
+
+module Expr = Dmc_symbolic.Expr
+module Formulas = Dmc_symbolic.Formulas
+module Analytic = Dmc_core.Analytic
+module Rng = Dmc_util.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+let test_eval_basics () =
+  let open Expr in
+  let e = (var "x" + int 2) * var "y" in
+  check_float "eval" 15.0 (eval ~env:[ ("x", 3.0); ("y", 3.0) ] e);
+  check_float "pow" 8.0 (eval ~env:[] (int 2 ** int 3));
+  check_float "sqrt" 4.0 (eval ~env:[] (Sqrt (int 16)));
+  check_float "log2" 5.0 (eval ~env:[] (Log2 (int 32)));
+  check_float "min" 2.0 (eval ~env:[] (Min (int 2, int 7)));
+  check_float "max" 7.0 (eval ~env:[] (Max (int 2, int 7)));
+  check_float "neg" (-3.0) (eval ~env:[] (Neg (int 3)))
+
+let test_eval_errors () =
+  Alcotest.check_raises "unbound" (Expr.Unbound_variable "q") (fun () ->
+      ignore (Expr.eval ~env:[] (Expr.var "q")));
+  Alcotest.check_raises "division by zero" Division_by_zero (fun () ->
+      ignore (Expr.eval ~env:[] Expr.(int 1 / int 0)))
+
+let test_vars_subst () =
+  let open Expr in
+  let e = (var "n" ** var "d") / var "P" in
+  Alcotest.(check (list string)) "vars" [ "P"; "d"; "n" ] (vars e);
+  let e' = subst ~env:[ ("d", int 3) ] e in
+  Alcotest.(check (list string)) "vars after subst" [ "P"; "n" ] (vars e');
+  check_float "substituted value" 2.0
+    (eval ~env:[ ("n", 2.0); ("P", 4.0) ] e')
+
+(* ------------------------------------------------------------------ *)
+(* Simplification                                                      *)
+
+let test_simplify_identities () =
+  let open Expr in
+  check_str "x*1" "x" (to_string (simplify (var "x" * int 1)));
+  check_str "x+0" "x" (to_string (simplify (var "x" + int 0)));
+  check_str "0*x" "0" (to_string (simplify (int 0 * var "x")));
+  check_str "x^1" "x" (to_string (simplify (var "x" ** int 1)));
+  check_str "x^0" "1" (to_string (simplify (var "x" ** int 0)));
+  check_str "fold" "7" (to_string (simplify (int 3 + (int 2 * int 2))));
+  check_str "neg neg" "x" (to_string (simplify (Neg (Neg (var "x")))));
+  check_str "0-x" "-x" (to_string (simplify (int 0 - var "x")))
+
+let gen_expr rng =
+  (* random expression over x, y with positive-leaning constants *)
+  let open Expr in
+  let rec go depth =
+    if Stdlib.( = ) depth 0 then
+      match Rng.int rng 3 with
+      | 0 -> var "x"
+      | 1 -> var "y"
+      | _ -> int (Stdlib.( + ) 1 (Rng.int rng 5))
+    else begin
+      let a = go (Stdlib.( - ) depth 1) and b = go (Stdlib.( - ) depth 1) in
+      match Rng.int rng 6 with
+      | 0 -> a + b
+      | 1 -> a - b
+      | 2 -> a * b
+      | 3 -> a / b
+      | 4 -> Max (a, b)
+      | _ -> Min (a, b)
+    end
+  in
+  go (Stdlib.( + ) 2 (Rng.int rng 3))
+
+let prop_simplify_preserves_value =
+  QCheck.Test.make ~name:"simplify preserves values" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let e = gen_expr rng in
+      let env = [ ("x", 2.5); ("y", 4.0) ] in
+      match Expr.eval ~env e with
+      | v ->
+          let v' = Expr.eval ~env (Expr.simplify e) in
+          Float.abs (v -. v') <= 1e-9 *. Float.max 1.0 (Float.abs v)
+      | exception Division_by_zero -> true)
+
+let prop_parse_print_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string e) evaluates like e" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let e = gen_expr rng in
+      match Expr.parse (Expr.to_string e) with
+      | Error _ -> false
+      | Ok e' -> (
+          let env = [ ("x", 1.5); ("y", 3.0) ] in
+          match Expr.eval ~env e with
+          | v -> Float.abs (v -. Expr.eval ~env e') <= 1e-9 *. Float.max 1.0 (Float.abs v)
+          | exception Division_by_zero -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Parser details                                                      *)
+
+let test_parse_precedence () =
+  let get s = match Expr.parse s with Ok e -> e | Error m -> Alcotest.fail m in
+  check_float "mul before add" 7.0 (Expr.eval ~env:[] (get "1 + 2 * 3"));
+  check_float "parens" 9.0 (Expr.eval ~env:[] (get "(1 + 2) * 3"));
+  check_float "pow right assoc" 512.0 (Expr.eval ~env:[] (get "2^3^2"));
+  check_float "unary minus" (-6.0) (Expr.eval ~env:[] (get "-2 * 3"));
+  check_float "functions" 3.0 (Expr.eval ~env:[] (get "log2(min(8, 32))"));
+  check_float "scientific" 1500.0 (Expr.eval ~env:[] (get "1.5e3"))
+
+let test_parse_errors () =
+  let bad s = match Expr.parse s with Error _ -> () | Ok _ -> Alcotest.fail s in
+  bad "1 +";
+  bad "(1";
+  bad "sqrt(1, 2)";
+  bad "min(1)";
+  bad "1 2";
+  bad "@"
+
+(* ------------------------------------------------------------------ *)
+(* Formulas agree with Analytic                                        *)
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~name:"simplify is idempotent" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let e = Expr.simplify (gen_expr rng) in
+      Expr.simplify e = e)
+
+let test_formulas_match_analytic () =
+  let ev f env = Expr.eval ~env f in
+  check_float "matmul" (Analytic.matmul_lb ~n:12 ~s:64)
+    (ev Formulas.matmul_lb [ ("n", 12.0); ("S", 64.0) ]);
+  check_float "fft" (Analytic.fft_lb ~n:64 ~s:16)
+    (ev Formulas.fft_lb [ ("n", 64.0); ("S", 16.0) ]);
+  check_float "jacobi"
+    (Analytic.jacobi_lb ~d:3 ~n:100 ~steps:7 ~s:512 ~p:16)
+    (ev Formulas.jacobi_lb
+       [ ("n", 100.0); ("d", 3.0); ("T", 7.0); ("S", 512.0); ("P", 16.0) ]);
+  check_float "jacobi threshold"
+    (Analytic.jacobi_balance_threshold ~d:2 ~s:1024)
+    (ev Formulas.jacobi_threshold [ ("d", 2.0); ("S", 1024.0) ]);
+  check_float "jacobi max dim"
+    (Analytic.jacobi_max_dim ~s:4194304 ~balance:0.052)
+    (ev Formulas.jacobi_max_dim [ ("S", 4194304.0); ("beta", 0.052) ]);
+  check_float "cg lb"
+    (Analytic.cg_vertical_lb ~d:3 ~n:50 ~steps:4 ~p:8)
+    (ev Formulas.cg_vertical_lb
+       [ ("n", 50.0); ("d", 3.0); ("T", 4.0); ("P", 8.0) ]);
+  check_float "cg flops" (Analytic.cg_flops ~d:2 ~n:30 ~steps:5)
+    (ev Formulas.cg_flops [ ("n", 30.0); ("d", 2.0); ("T", 5.0) ]);
+  check_float "cg per flop" (Analytic.cg_vertical_per_flop ())
+    (ev Formulas.cg_vertical_per_flop []);
+  check_float "gmres lb"
+    (Analytic.gmres_vertical_lb ~d:2 ~n:40 ~m:6 ~p:4)
+    (ev Formulas.gmres_vertical_lb
+       [ ("n", 40.0); ("d", 2.0); ("m", 6.0); ("P", 4.0) ]);
+  check_float "gmres per flop" (Analytic.gmres_vertical_per_flop ~m:16)
+    (ev Formulas.gmres_vertical_per_flop [ ("m", 16.0) ]);
+  check_float "ghosts" (Analytic.ghost_cells ~d:3 ~block:10)
+    (ev Formulas.ghost_cells [ ("B", 10.0); ("d", 3.0) ])
+
+let test_formula_registry () =
+  check_bool "has matmul" true (Formulas.find "matmul_lb" <> None);
+  check_bool "unknown" true (Formulas.find "nonsense" = None);
+  (* every registered formula prints and re-parses *)
+  List.iter
+    (fun (name, e) ->
+      match Expr.parse (Expr.to_string e) with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail (name ^ ": " ^ m))
+    Formulas.all
+
+let qsuite name tests =
+  (* fixed qcheck seed so runs are reproducible *)
+  ( name,
+    List.map
+      (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t)
+      tests )
+
+let () =
+  Alcotest.run "dmc_symbolic"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "basics" `Quick test_eval_basics;
+          Alcotest.test_case "errors" `Quick test_eval_errors;
+          Alcotest.test_case "vars and subst" `Quick test_vars_subst;
+        ] );
+      ( "simplify",
+        [ Alcotest.test_case "identities" `Quick test_simplify_identities ] );
+      qsuite "simplify-props" [ prop_simplify_preserves_value; prop_simplify_idempotent ];
+      ( "parse",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      qsuite "parse-props" [ prop_parse_print_roundtrip ];
+      ( "formulas",
+        [
+          Alcotest.test_case "match analytic" `Quick test_formulas_match_analytic;
+          Alcotest.test_case "registry" `Quick test_formula_registry;
+        ] );
+    ]

@@ -1,0 +1,1 @@
+test/testlib/gen_cdag.ml: Array Dmc_cdag List Printf QCheck String

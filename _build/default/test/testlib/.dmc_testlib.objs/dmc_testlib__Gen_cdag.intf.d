@@ -1,0 +1,1 @@
+test/testlib/gen_cdag.mli: Dmc_cdag QCheck
