@@ -84,7 +84,8 @@ let load_cdag ~spec ~file =
   | _ -> failwith "give exactly one of --gen or --file"
 
 let spec_arg =
-  Arg.(value & opt (some string) None & info [ "g"; "gen" ] ~docv:"SPEC" ~doc:generator_doc)
+  Arg.(value & opt (some string) None
+       & info [ "g"; "gen"; "spec" ] ~docv:"SPEC" ~doc:generator_doc)
 
 let file_arg =
   Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"PATH"
@@ -92,6 +93,18 @@ let file_arg =
 
 let s_arg =
   Arg.(value & opt int 8 & info [ "s" ] ~docv:"S" ~doc:"Fast-memory capacity in words.")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Wall-clock budget. For $(b,bounds): per engine ladder rung, with \
+               graceful degradation down the fallback ladder instead of failure. \
+               For $(b,experiment): overall; the run checkpoints and stops \
+               cleanly between experiments when it expires.")
+
+let node_budget_arg =
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"NODES"
+         ~doc:"Search-node budget per engine ladder rung (each engine ticks the \
+               guard once per search step).")
 
 (* ------------------------------------------------------------------ *)
 (* dmc gen                                                            *)
@@ -121,16 +134,31 @@ let gen_cmd =
 (* dmc bounds                                                         *)
 
 let bounds_cmd =
-  let run spec file s optimal certify json =
+  let run spec file s optimal certify json timeout node_budget governed =
     setup_logs ();
     guarded @@ fun () ->
     let g = load_cdag ~spec ~file in
-    let report =
-      Dmc_core.Bounds.analyze ~optimal_limit:(if optimal then 20 else 0) g ~s
-    in
-    if json then
-      print_endline (Dmc_util.Json.to_string (Dmc_core.Bounds.report_to_json report))
-    else Format.printf "%a@." Dmc_core.Bounds.pp_report report;
+    (* A resource budget switches to the governed path: every engine
+       runs under its own guard and degrades down a fallback ladder
+       instead of failing, so the command always exits 0 with a status
+       per engine. *)
+    if governed || timeout <> None || node_budget <> None then begin
+      let gr =
+        Dmc_core.Bounds.analyze_governed ?timeout ?node_budget g ~s
+      in
+      if json then
+        print_endline
+          (Dmc_util.Json.to_string (Dmc_core.Bounds.governed_to_json gr))
+      else Format.printf "%a" Dmc_core.Bounds.pp_governed gr
+    end
+    else begin
+      let report =
+        Dmc_core.Bounds.analyze ~optimal_limit:(if optimal then 20 else 0) g ~s
+      in
+      if json then
+        print_endline (Dmc_util.Json.to_string (Dmc_core.Bounds.report_to_json report))
+      else Format.printf "%a@." Dmc_core.Bounds.pp_report report
+    end;
     if certify then
       Format.printf "wavefront certificate verifies: %b@."
         (Dmc_core.Bounds.certify_wavefront g ~s)
@@ -144,8 +172,14 @@ let bounds_cmd =
            ~doc:"Extract and verify a Menger witness for the wavefront bound.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.") in
+  let governed =
+    Arg.(value & flag & info [ "governed" ]
+           ~doc:"Use the governed engine ladder even without a budget \
+                 (every engine is attempted, including the exhaustive ones).")
+  in
   Cmd.v (Cmd.info "bounds" ~doc:"Lower/upper-bound analysis of a CDAG")
-    Term.(const run $ spec_arg $ file_arg $ s_arg $ optimal $ certify $ json)
+    Term.(const run $ spec_arg $ file_arg $ s_arg $ optimal $ certify $ json
+          $ timeout_arg $ node_budget_arg $ governed)
 
 (* ------------------------------------------------------------------ *)
 (* dmc game                                                           *)
@@ -400,8 +434,106 @@ let machines_cmd =
 (* ------------------------------------------------------------------ *)
 (* dmc experiment                                                     *)
 
+(* Run [f] with stdout redirected into a temp file; return its result
+   and the captured text.  Used so each experiment's output can be
+   stored in the checkpoint and replayed verbatim on resume — the
+   resumed run's stdout is byte-identical to an uninterrupted one. *)
+let capture_stdout f =
+  let flush_all_out () =
+    Format.pp_print_flush Format.std_formatter ();
+    flush stdout
+  in
+  let tmp = Filename.temp_file "dmc-experiment" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  flush_all_out ();
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  let result = try Ok (f ()) with e -> Error e in
+  flush_all_out ();
+  Unix.dup2 saved Unix.stdout;
+  Unix.close saved;
+  Unix.close fd;
+  let text =
+    let ic = open_in_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove tmp;
+  match result with
+  | Ok v -> (v, text)
+  | Error e ->
+      print_string text;
+      raise e
+
+let experiment_checkpoint ~selected ~done_rev =
+  let module J = Dmc_util.Json in
+  J.Obj
+    [
+      ("kind", J.String "dmc-experiment");
+      ("names", J.List (List.map (fun (n, _) -> J.String n) selected));
+      ( "completed",
+        J.List
+          (List.rev_map
+             (fun (name, ok, output) ->
+               J.Obj
+                 [
+                   ("name", J.String name);
+                   ("ok", J.Bool ok);
+                   ("output", J.String output);
+                 ])
+             done_rev) );
+    ]
+
+let experiment_restore path ~selected =
+  let module J = Dmc_util.Json in
+  match Dmc_util.Checkpoint.load path with
+  | Error msg -> failwith (Printf.sprintf "cannot resume from %s: %s" path msg)
+  | Ok ckpt ->
+      (match Option.bind (J.mem ckpt "kind") J.as_string with
+      | Some "dmc-experiment" -> ()
+      | _ -> failwith (path ^ ": not a dmc-experiment checkpoint"));
+      let stored_names =
+        match Option.bind (J.mem ckpt "names") J.as_list with
+        | Some l -> List.filter_map J.as_string l
+        | None -> []
+      in
+      if stored_names <> List.map fst selected then
+        failwith
+          (Printf.sprintf
+             "%s: checkpoint is for experiments [%s], this run selects [%s]"
+             path
+             (String.concat " " stored_names)
+             (String.concat " " (List.map fst selected)));
+      let completed =
+        match Option.bind (J.mem ckpt "completed") J.as_list with
+        | Some l ->
+            List.filter_map
+              (fun entry ->
+                match
+                  ( Option.bind (J.mem entry "name") J.as_string,
+                    Option.bind (J.mem entry "ok") J.as_bool,
+                    Option.bind (J.mem entry "output") J.as_string )
+                with
+                | Some name, Some ok, Some output -> Some (name, ok, output)
+                | _ -> None)
+              l
+        | None -> []
+      in
+      (* The checkpoint must be a prefix of the selection, in order. *)
+      let rec check_prefix done_ sel =
+        match (done_, sel) with
+        | [], _ -> ()
+        | (name, _, _) :: dt, (sn, _) :: st when name = sn -> check_prefix dt st
+        | (name, _, _) :: _, _ ->
+            failwith
+              (Printf.sprintf "%s: completed experiment %s out of order" path name)
+      in
+      check_prefix completed selected;
+      completed
+
 let experiment_cmd =
-  let run names =
+  let run names timeout checkpoint resume =
     setup_logs ();
     guarded @@ fun () ->
     let registry = Dmc_analysis.Report.names in
@@ -419,7 +551,53 @@ let experiment_cmd =
                        (String.concat ", " (List.map fst registry))))
             names
     in
-    let ok = List.fold_left (fun acc (_, f) -> f () && acc) true selected in
+    let ckpt_path =
+      match (checkpoint, resume) with
+      | Some p, _ -> Some p
+      | None, Some p -> Some p
+      | None, None -> None
+    in
+    let completed =
+      match resume with
+      | None -> []
+      | Some path -> experiment_restore path ~selected
+    in
+    if completed <> [] then
+      Format.eprintf "dmc: resuming, %d experiment(s) already done@."
+        (List.length completed);
+    (* Replay the stored outputs so the full stdout stream matches an
+       uninterrupted run byte for byte. *)
+    List.iter (fun (_, _, output) -> print_string output) completed;
+    flush stdout;
+    let remaining = List.filteri (fun i _ -> i >= List.length completed) selected in
+    let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+    let done_rev = ref (List.rev completed) in
+    let timed_out = ref false in
+    List.iter
+      (fun (name, f) ->
+        if not !timed_out then
+          match deadline with
+          | Some d when Unix.gettimeofday () > d ->
+              timed_out := true;
+              Format.eprintf
+                "dmc: timeout reached after %d/%d experiments%s@."
+                (List.length !done_rev) (List.length selected)
+                (match ckpt_path with
+                | Some p -> Printf.sprintf "; resume with --resume %s" p
+                | None -> "")
+          | _ ->
+              let ok, output = capture_stdout f in
+              print_string output;
+              flush stdout;
+              done_rev := (name, ok, output) :: !done_rev;
+              Option.iter
+                (fun p ->
+                  Dmc_util.Checkpoint.write p
+                    (experiment_checkpoint ~selected ~done_rev:!done_rev))
+                ckpt_path)
+      remaining;
+    if !timed_out then exit 0;
+    let ok = List.for_all (fun (_, ok, _) -> ok) !done_rev in
     Printf.printf "\nOVERALL: %s\n" (if ok then "ALL CHECKS PASSED" else "SOME CHECKS FAILED");
     if not ok then exit 1
   in
@@ -427,8 +605,20 @@ let experiment_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"NAME"
            ~doc:"Experiments to run (default: all). Known: table1 sec3 cg gmres jacobi validate sim.")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH"
+           ~doc:"Write a JSON checkpoint after each experiment, so a killed run \
+                 can continue with $(b,--resume).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"PATH"
+           ~doc:"Resume from a checkpoint: completed experiments are skipped and \
+                 their stored output replayed, so the final stdout is \
+                 byte-identical to an uninterrupted run.  Also keeps \
+                 checkpointing to the same file.")
+  in
   Cmd.v (Cmd.info "experiment" ~doc:"Run the paper's evaluation experiments")
-    Term.(const run $ names)
+    Term.(const run $ names $ timeout_arg $ checkpoint $ resume)
 
 let () =
   let info =

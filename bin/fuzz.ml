@@ -14,35 +14,49 @@
      8. the three-level hierarchical game validates with both
         boundaries above their sequential bounds.
 
-   Usage:  dune exec bin/fuzz.exe -- [cases] [seed]
-   Exit status 1 on the first violation (with a reproducer seed). *)
+   Usage:
+     dune exec bin/fuzz.exe -- [cases] [seed]
+         [--timeout SECS] [--checkpoint FILE] [--resume FILE] [--no-checkpoint]
+
+   The master RNG state and case counter are checkpointed after every
+   case (default file: dmc-fuzz.ckpt.json, atomically replaced), so a
+   killed run continues exactly where it stopped with --resume.  Every
+   violation additionally persists a reproducer file
+   (dmc-fuzz-repro-caseN.json) recording the family, seeds, S and the
+   failed check.  --timeout stops cleanly between cases (exit 0),
+   leaving the checkpoint behind; violations exit 1 as before. *)
 
 module Cdag = Dmc_cdag.Cdag
 module Rng = Dmc_util.Rng
 module Strategy = Dmc_core.Strategy
+module J = Dmc_util.Json
 
 let max_indeg g =
   Cdag.fold_vertices g (fun acc v -> max acc (Cdag.in_degree g v)) 0
 
 let families =
   [|
-    (fun rng -> Dmc_gen.Random_dag.layered rng ~layers:4 ~width:4 ~edge_prob:0.4);
-    (fun rng -> Dmc_gen.Random_dag.layered rng ~layers:3 ~width:5 ~edge_prob:0.6);
-    (fun rng -> Dmc_gen.Random_dag.gnp rng ~n:(7 + Rng.int rng 6) ~edge_prob:0.3);
-    (fun rng -> Dmc_gen.Random_dag.connected_dag rng ~n:(6 + Rng.int rng 8)
-                  ~extra_edges:(Rng.int rng 8));
-    (fun rng ->
-      let n = 3 + Rng.int rng 4 in
-      (Dmc_gen.Stencil.jacobi_1d ~n ~steps:(1 + Rng.int rng 3)).graph);
+    ( "layered-4x4",
+      fun rng -> Dmc_gen.Random_dag.layered rng ~layers:4 ~width:4 ~edge_prob:0.4 );
+    ( "layered-3x5",
+      fun rng -> Dmc_gen.Random_dag.layered rng ~layers:3 ~width:5 ~edge_prob:0.6 );
+    ( "gnp",
+      fun rng -> Dmc_gen.Random_dag.gnp rng ~n:(7 + Rng.int rng 6) ~edge_prob:0.3 );
+    ( "connected",
+      fun rng ->
+        Dmc_gen.Random_dag.connected_dag rng ~n:(6 + Rng.int rng 8)
+          ~extra_edges:(Rng.int rng 8) );
+    ( "jacobi1d",
+      fun rng ->
+        let n = 3 + Rng.int rng 4 in
+        (Dmc_gen.Stencil.jacobi_1d ~n ~steps:(1 + Rng.int rng 3)).graph );
   |]
 
 exception Violation of string
 
 let require label ok = if not ok then raise (Violation label)
 
-let one_case rng =
-  let g = families.(Rng.int rng (Array.length families)) rng in
-  let s = max_indeg g + 1 + Rng.int rng 4 in
+let one_case rng g ~s =
   let n = Cdag.n_vertices g in
 
   (* 7: serialization round-trip *)
@@ -78,9 +92,25 @@ let one_case rng =
          require "optimal <= belady" (opt <= belady);
          require "optimal <= lru" (opt <= lru);
          require "optimal <= dfs" (opt <= dfs);
+         (* The governed ladder must agree with the raising engines. *)
+         (match Dmc_core.Bounds.Engine.rbw_io g ~s with
+         | Ok opt' -> require "engine rbw = rbw" (opt' = opt)
+         | Error e ->
+             raise
+               (Violation
+                  ("engine rbw errored: " ^ Dmc_util.Budget.failure_to_string e)));
          if n <= 12 && Dmc_cdag.Validate.is_hong_kung g then
            require "rb <= rbw" (Dmc_core.Optimal.rb_io g ~s <= opt)
      | exception Dmc_core.Optimal.Too_large _ -> ());
+
+  (* governed analysis: always completes and stays sound *)
+  let gov = Dmc_core.Bounds.analyze_governed g ~s in
+  require "governed lb sound" (gov.Dmc_core.Bounds.gov_best_lb <= belady);
+  require "governed lb >= floor"
+    (gov.Dmc_core.Bounds.gov_best_lb >= report.io_floor);
+  (match gov.Dmc_core.Bounds.gov_best_ub with
+  | Some ub -> require "governed ub >= lb" (ub >= gov.Dmc_core.Bounds.gov_best_lb)
+  | None -> raise (Violation "governed ub missing for feasible S"));
 
   (* 5: Theorem-1 partition of the Belady game *)
   let moves = Strategy.schedule g ~s in
@@ -116,27 +146,170 @@ let one_case rng =
   | Error e -> raise (Violation ("hierarchical: " ^ e.reason)));
   n
 
+(* ------------------------------------------------------------------ *)
+(* Driver: argument parsing, checkpointing, reproducers.              *)
+
+let usage =
+  "usage: fuzz [cases] [seed] [--timeout SECS] [--checkpoint FILE] \
+   [--resume FILE] [--no-checkpoint]"
+
+let die msg =
+  prerr_endline ("fuzz: " ^ msg);
+  prerr_endline usage;
+  exit 2
+
+let fuzz_checkpoint ~cases ~seed ~next_case ~master ~total_vertices ~failures =
+  J.Obj
+    [
+      ("kind", J.String "dmc-fuzz");
+      ("cases", J.Int cases);
+      ("seed", J.Int seed);
+      ("next_case", J.Int next_case);
+      ("rng", J.String (Rng.save master));
+      ("total_vertices", J.Int total_vertices);
+      ("failures", J.Int failures);
+    ]
+
+let write_repro ~case ~seed ~case_seed ~family ~s ~n ~check msg =
+  let path = Printf.sprintf "dmc-fuzz-repro-case%d.json" case in
+  Dmc_util.Checkpoint.write path
+    (J.Obj
+       [
+         ("kind", J.String "dmc-fuzz-repro");
+         ("case", J.Int case);
+         ("seed", J.Int seed);
+         ("case_seed", J.Int case_seed);
+         ("family", J.String family);
+         ("s", J.opt (fun s -> J.Int s) s);
+         ("n_vertices", J.opt (fun n -> J.Int n) n);
+         ("check", J.String check);
+         ("failure", J.String msg);
+       ]);
+  path
+
 let () =
-  let cases =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+  let timeout = ref None in
+  let ckpt_path = ref (Some "dmc-fuzz.ckpt.json") in
+  let resume = ref None in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--timeout" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t -> timeout := Some t
+        | None -> die ("bad --timeout value: " ^ v));
+        parse rest
+    | "--checkpoint" :: v :: rest ->
+        ckpt_path := Some v;
+        parse rest
+    | "--no-checkpoint" :: rest ->
+        ckpt_path := None;
+        parse rest
+    | "--resume" :: v :: rest ->
+        resume := Some v;
+        parse rest
+    | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
+        die ("unknown option " ^ arg)
+    | arg :: rest ->
+        positional := arg :: !positional;
+        parse rest
   in
-  let seed = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 20140418 in
-  let master = Rng.create seed in
-  let total_vertices = ref 0 in
-  let failures = ref 0 in
-  for i = 1 to cases do
-    let case_seed = Rng.next master in
-    let rng = Rng.create case_seed in
-    match one_case rng with
-    | n -> total_vertices := !total_vertices + n
-    | exception Violation msg ->
-        incr failures;
-        Printf.printf "VIOLATION in case %d (seed %d): %s\n%!" i case_seed msg
-    | exception e ->
-        incr failures;
-        Printf.printf "EXCEPTION in case %d (seed %d): %s\n%!" i case_seed
-          (Printexc.to_string e)
+  parse (List.tl (Array.to_list Sys.argv));
+  let pos_int what v =
+    match int_of_string_opt v with Some i -> i | None -> die ("bad " ^ what ^ ": " ^ v)
+  in
+  let cases, seed =
+    match List.rev !positional with
+    | [] -> (200, 20140418)
+    | [ c ] -> (pos_int "case count" c, 20140418)
+    | [ c; s ] -> (pos_int "case count" c, pos_int "seed" s)
+    | _ -> die "too many positional arguments"
+  in
+  (* Resume restores the case counter, totals and the exact master RNG
+     stream, so the continued run visits the same remaining cases an
+     uninterrupted run would have. *)
+  let cases, seed, start_case, master, tv0, f0 =
+    match !resume with
+    | None -> (cases, seed, 1, Rng.create seed, 0, 0)
+    | Some path -> (
+        (match !ckpt_path with
+        | Some "dmc-fuzz.ckpt.json" -> ckpt_path := Some path
+        | _ -> ());
+        match Dmc_util.Checkpoint.load path with
+        | Error msg -> die (Printf.sprintf "cannot resume from %s: %s" path msg)
+        | Ok ckpt ->
+            let get field conv =
+              match Option.bind (J.mem ckpt field) conv with
+              | Some v -> v
+              | None ->
+                  die (Printf.sprintf "%s: missing or bad field %S" path field)
+            in
+            (match Option.bind (J.mem ckpt "kind") J.as_string with
+            | Some "dmc-fuzz" -> ()
+            | _ -> die (path ^ ": not a dmc-fuzz checkpoint"));
+            let master =
+              match Rng.restore (get "rng" J.as_string) with
+              | Some g -> g
+              | None -> die (path ^ ": corrupt RNG state")
+            in
+            ( get "cases" J.as_int,
+              get "seed" J.as_int,
+              get "next_case" J.as_int,
+              master,
+              get "total_vertices" J.as_int,
+              get "failures" J.as_int ))
+  in
+  if start_case > 1 then
+    Printf.eprintf "fuzz: resuming at case %d/%d\n%!" start_case cases;
+  let deadline = Option.map (fun t -> Dmc_util.Budget.now () +. t) !timeout in
+  let total_vertices = ref tv0 in
+  let failures = ref f0 in
+  let i = ref start_case in
+  let timed_out = ref false in
+  while !i <= cases && not !timed_out do
+    match deadline with
+    | Some d when Dmc_util.Budget.now () > d -> timed_out := true
+    | _ ->
+        let case_seed = Rng.next master in
+        let rng = Rng.create case_seed in
+        let family = ref "?" in
+        let s_used = ref None in
+        let n_built = ref None in
+        let record check msg =
+          incr failures;
+          let repro =
+            write_repro ~case:!i ~seed ~case_seed ~family:!family ~s:!s_used
+              ~n:!n_built ~check msg
+          in
+          Printf.printf "VIOLATION in case %d (seed %d): %s [reproducer: %s]\n%!"
+            !i case_seed msg repro
+        in
+        (match
+           let fname, gen = families.(Rng.int rng (Array.length families)) in
+           family := fname;
+           let g = gen rng in
+           n_built := Some (Cdag.n_vertices g);
+           let s = max_indeg g + 1 + Rng.int rng 4 in
+           s_used := Some s;
+           one_case rng g ~s
+         with
+        | n -> total_vertices := !total_vertices + n
+        | exception Violation msg -> record "violation" msg
+        | exception e -> record "exception" (Printexc.to_string e));
+        incr i;
+        Option.iter
+          (fun path ->
+            Dmc_util.Checkpoint.write path
+              (fuzz_checkpoint ~cases ~seed ~next_case:!i ~master
+                 ~total_vertices:!total_vertices ~failures:!failures))
+          !ckpt_path
   done;
-  Printf.printf "fuzz: %d cases, %d vertices total, %d violation(s)\n" cases
-    !total_vertices !failures;
+  if !timed_out then
+    Printf.printf "fuzz: timeout after %d/%d cases%s\n" (!i - 1) cases
+      (match !ckpt_path with
+      | Some p -> Printf.sprintf " (resume with --resume %s)" p
+      | None -> "")
+  else
+    Printf.printf "fuzz: %d cases, %d vertices total, %d violation(s)\n" cases
+      !total_vertices !failures;
   if Stdlib.( > ) !failures 0 then exit 1

@@ -2,7 +2,6 @@ module Table = Dmc_util.Table
 module Rng = Dmc_util.Rng
 module Cdag = Dmc_cdag.Cdag
 module Bounds = Dmc_core.Bounds
-module Optimal = Dmc_core.Optimal
 module Strategy = Dmc_core.Strategy
 
 type case = {
@@ -46,18 +45,15 @@ let fixtures ?(seed = 42) ?(cases = 8) () =
 
 let analyze_case name g s =
   let report = Bounds.analyze g ~s in
+  (* The result-typed engines turn state-space blow-up (or any other
+     failure) into [Error], which this table renders as "-". *)
   let optimal =
-    if Cdag.n_vertices g <= 18 then
-      match Optimal.rbw_io g ~s with
-      | io -> Some io
-      | exception Optimal.Too_large _ -> None
+    if Cdag.n_vertices g <= 18 then Result.to_option (Bounds.Engine.rbw_io g ~s)
     else None
   in
   let rb_optimal =
     if Cdag.n_vertices g <= 15 && Dmc_cdag.Validate.is_hong_kung g then
-      match Optimal.rb_io g ~s with
-      | io -> Some io
-      | exception Optimal.Too_large _ -> None
+      Result.to_option (Bounds.Engine.rb_io g ~s)
     else None
   in
   let sound =

@@ -14,11 +14,16 @@
 val to_string : Cdag.t -> string
 
 val of_string : string -> (Cdag.t, string) result
-(** Parse; [Error] carries a message with the offending line number. *)
+(** Parse.  Never raises: a missing or duplicate header, a directive
+    before the header, an out-of-range or dangling endpoint, a
+    self-loop, a duplicate edge/tag/label, or a cyclic edge relation
+    all come back as [Error] with the offending line number. *)
 
 val to_file : string -> Cdag.t -> unit
 
 val of_file : string -> (Cdag.t, string) result
+(** {!of_string} on a file; unreadable or truncated files are [Error]
+    too. *)
 
 val equal_structure : Cdag.t -> Cdag.t -> bool
 (** Same vertex count, edges and tags (labels ignored) — used by the

@@ -115,6 +115,299 @@ let report_to_json r =
       ("optimal_io", J.opt (fun x -> J.Int x) r.optimal_io);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Result-typed engine API and governed (graceful-degradation)        *)
+(* analysis.                                                          *)
+
+module Budget = Dmc_util.Budget
+
+type failure = Budget.failure =
+  | Timeout
+  | Budget_exhausted
+  | Cancelled
+  | Too_large of string
+  | Invalid_input of string
+  | Internal of string
+
+module Engine = struct
+  type 'a outcome = ('a, failure) result
+
+  let run ?budget f =
+    let go () =
+      try Ok (f ()) with
+      | Budget.Exhausted e -> Error e
+      | Budget.Internal_error { where; details } ->
+          Error (Internal (where ^ ": " ^ details))
+      | Optimal.Too_large msg -> Error (Too_large msg)
+      | Stack_overflow ->
+          Error (Too_large "search recursion exceeded the OCaml stack")
+      | Invalid_argument msg | Failure msg -> Error (Invalid_input msg)
+    in
+    match budget with
+    | None -> go ()
+    | Some b -> ( match Budget.check b with Some e -> Error e | None -> go ())
+
+  let rbw_io ?budget ?max_states g ~s =
+    run ?budget (fun () -> Optimal.rbw_io ?budget ?max_states g ~s)
+
+  let rb_io ?budget ?max_states g ~s =
+    run ?budget (fun () -> Optimal.rb_io ?budget ?max_states g ~s)
+
+  let min_balanced_horizontal ?budget ?slack g ~procs =
+    run ?budget (fun () ->
+        Optimal.min_balanced_horizontal ?budget ?slack g ~procs)
+
+  let span_lb ?budget ?max_nodes g ~s =
+    run ?budget (fun () -> Span.lower_bound ?budget ?max_nodes g ~s)
+
+  let partition_lb ?budget ?max_nodes g ~s =
+    run ?budget (fun () -> Spartition.lower_bound_exact ?budget ?max_nodes g ~s)
+
+  let partition_u_lb ?budget g ~s =
+    run ?budget (fun () -> Spartition.lower_bound_u ?budget g ~s)
+
+  let wavefront_lb ?budget ?samples ?rng g ~s =
+    run ?budget (fun () -> Wavefront.lower_bound ?budget ?samples ?rng g ~s)
+
+  let strategy_io ?budget ?policy ?order g ~s =
+    run ?budget (fun () -> Strategy.io ?budget ?policy ?order g ~s)
+end
+
+type kind = Lower | Upper | Exact
+
+let kind_to_string = function Lower -> "lb" | Upper -> "ub" | Exact -> "exact"
+
+type row = {
+  engine : string;
+  kind : kind;
+  value : int option;
+  rung : string;
+  attempts : (string * failure) list;
+  elapsed : float;
+}
+
+type governed = {
+  gov_s : int;
+  gov_n_vertices : int;
+  gov_n_edges : int;
+  gov_rows : row list;
+  gov_best_lb : int;
+  gov_best_ub : int option;
+}
+
+let failure_token = function
+  | Timeout -> "timeout"
+  | Budget_exhausted -> "budget"
+  | Cancelled -> "cancelled"
+  | Too_large _ -> "skipped"
+  | Invalid_input _ -> "invalid"
+  | Internal _ -> "internal"
+
+let row_status r =
+  match r.attempts with
+  | [] -> "ok"
+  | (_, first) :: _ -> (
+      match r.value with
+      | Some _ ->
+          Printf.sprintf "%s(fallback=%s)" (failure_token first) r.rung
+      | None -> failure_token first)
+
+let analyze_governed ?timeout ?node_budget ?(samples = 64) g ~s =
+  let fresh_budget () =
+    match (timeout, node_budget) with
+    | None, None -> None
+    | _ -> Some (Budget.create ?deadline:timeout ?nodes:node_budget ())
+  in
+  let floor = io_floor g in
+  (* Each ladder rung gets its own fresh budget: a rung that times out
+     must not also starve its fallback.  The first rung that succeeds
+     wins the row. *)
+  let run_ladder engine kind rungs =
+    let t0 = Budget.now () in
+    let rec go attempts = function
+      | [] ->
+          {
+            engine;
+            kind;
+            value = None;
+            rung = "-";
+            attempts = List.rev attempts;
+            elapsed = Budget.now () -. t0;
+          }
+      | (rung, f) :: rest -> (
+          (* Terminal rungs (the I/O floor, the trivial schedule) are
+             O(n) and exist precisely so a starved budget still yields a
+             sound value — they run outside the budget. *)
+          let budget =
+            if rung = "floor" || rung = "trivial" then None
+            else fresh_budget ()
+          in
+          match Engine.run ?budget (fun () -> f budget) with
+          | Ok v ->
+              {
+                engine;
+                kind;
+                value = Some v;
+                rung;
+                attempts = List.rev attempts;
+                elapsed = Budget.now () -. t0;
+              }
+          | Error e -> go ((rung, e) :: attempts) rest)
+    in
+    go [] rungs
+  in
+  let floor_rung = ("floor", fun _ -> floor) in
+  (* The wavefront row runs first; its achieved value is reused as the
+     middle rung of every other lower-bound ladder (it is a sound
+     lower bound for the same quantity). *)
+  let wavefront_row =
+    run_ladder "wavefront" Lower
+      [
+        ( "exact",
+          fun b ->
+            Wavefront.lower_bound_via (Wavefront.wmax_exact ?budget:b) g ~s );
+        ( "sampled",
+          fun b ->
+            let rng = Dmc_util.Rng.create 0x5eed in
+            Wavefront.lower_bound_via
+              (fun g' -> Wavefront.wmax_sampled_anytime ?budget:b rng g' ~samples)
+              g ~s );
+        floor_rung;
+      ]
+  in
+  let wavefront_value =
+    match wavefront_row.value with Some v -> v | None -> floor
+  in
+  let wf_rung = ("wavefront", fun _ -> wavefront_value) in
+  let lb_ladder name exact_fn =
+    run_ladder name Lower [ ("exact", exact_fn); wf_rung; floor_rung ]
+  in
+  (* The trivial schedule only exists when every vertex's operands fit
+     beside it, so the upper-bound ladder's last rung still has a
+     precondition. *)
+  let max_indeg =
+    Cdag.fold_vertices g
+      (fun acc v ->
+        if Cdag.is_input g v then acc else max acc (Cdag.in_degree g v))
+      0
+  in
+  let trivial_rung =
+    ( "trivial",
+      fun _ ->
+        if s >= max_indeg + 1 then Strategy.trivial_io g
+        else failwith "Bounds: S too small for the trivial schedule" )
+  in
+  let rows =
+    [
+      run_ladder "floor" Lower [ ("exact", fun _ -> floor) ];
+      wavefront_row;
+      lb_ladder "partition-h" (fun b -> Spartition.lower_bound_exact ?budget:b g ~s);
+      lb_ladder "partition-u" (fun b -> Spartition.lower_bound_u ?budget:b g ~s);
+      lb_ladder "span" (fun b -> Span.lower_bound ?budget:b g ~s);
+      run_ladder "optimal" Exact
+        [ ("exact", fun b -> Optimal.rbw_io ?budget:b g ~s); wf_rung; floor_rung ];
+      run_ladder "belady" Upper
+        [
+          ("exact", fun b -> Strategy.io ?budget:b ~policy:Strategy.Belady g ~s);
+          trivial_rung;
+        ];
+      run_ladder "lru" Upper
+        [
+          ("exact", fun b -> Strategy.io ?budget:b ~policy:Strategy.Lru g ~s);
+          trivial_rung;
+        ];
+    ]
+  in
+  let best_lb =
+    List.fold_left
+      (fun acc r ->
+        match (r.kind, r.value) with
+        | (Lower | Exact), Some v -> max acc v
+        | _ -> acc)
+      0 rows
+  in
+  let best_ub =
+    List.fold_left
+      (fun acc r ->
+        let candidate =
+          match (r.kind, r.value) with
+          | Upper, Some v -> Some v
+          | Exact, Some v when r.rung = "exact" -> Some v
+          | _ -> None
+        in
+        match (acc, candidate) with
+        | None, c -> c
+        | Some a, Some c -> Some (min a c)
+        | (Some _ as a), None -> a)
+      None rows
+  in
+  {
+    gov_s = s;
+    gov_n_vertices = Cdag.n_vertices g;
+    gov_n_edges = Cdag.n_edges g;
+    gov_rows = rows;
+    gov_best_lb = best_lb;
+    gov_best_ub = best_ub;
+  }
+
+let pp_governed ppf gr =
+  let module T = Dmc_util.Table in
+  let t = T.create ~headers:[ "engine"; "kind"; "value"; "status"; "rung"; "time" ] in
+  T.set_align t [ T.Left; T.Left; T.Right; T.Left; T.Left; T.Right ];
+  List.iter
+    (fun r ->
+      T.add_row t
+        [
+          r.engine;
+          kind_to_string r.kind;
+          (match r.value with Some v -> string_of_int v | None -> "-");
+          row_status r;
+          r.rung;
+          Printf.sprintf "%.2fs" r.elapsed;
+        ])
+    gr.gov_rows;
+  Format.fprintf ppf "CDAG: %d vertices, %d edges, S = %d@." gr.gov_n_vertices
+    gr.gov_n_edges gr.gov_s;
+  Format.pp_print_string ppf (T.render t);
+  Format.fprintf ppf "best lower bound = %d" gr.gov_best_lb;
+  (match gr.gov_best_ub with
+  | Some ub -> Format.fprintf ppf ", best upper bound = %d" ub
+  | None -> ());
+  Format.fprintf ppf "@."
+
+let governed_to_json gr =
+  let module J = Dmc_util.Json in
+  let row_json r =
+    J.Obj
+      [
+        ("engine", J.String r.engine);
+        ("kind", J.String (kind_to_string r.kind));
+        ("value", J.opt (fun v -> J.Int v) r.value);
+        ("status", J.String (row_status r));
+        ("rung", J.String r.rung);
+        ( "failed_rungs",
+          J.List
+            (List.map
+               (fun (rung, e) ->
+                 J.Obj
+                   [
+                     ("rung", J.String rung);
+                     ("failure", J.String (Budget.failure_to_string e));
+                   ])
+               r.attempts) );
+        ("elapsed_s", J.Float r.elapsed);
+      ]
+  in
+  J.Obj
+    [
+      ("s", J.Int gr.gov_s);
+      ("n_vertices", J.Int gr.gov_n_vertices);
+      ("n_edges", J.Int gr.gov_n_edges);
+      ("rows", J.List (List.map row_json gr.gov_rows));
+      ("best_lb", J.Int gr.gov_best_lb);
+      ("best_ub", J.opt (fun v -> J.Int v) gr.gov_best_ub);
+    ]
+
 let certify_wavefront ?(samples = 64) g ~s =
   ignore s;
   let part, _ = Dmc_cdag.Subgraph.drop_inputs g in

@@ -47,6 +47,124 @@ val pp_report : Format.formatter -> report -> unit
 val report_to_json : report -> Dmc_util.Json.t
 (** The report as JSON, for the CLI's [--json] output. *)
 
+(** {1 Result-typed engines and governed analysis}
+
+    The raising entry points above stay for small-graph callers; the
+    governed layer wraps every engine in a
+    {!Dmc_util.Budget.t}-governed, result-typed API and degrades
+    gracefully down a fallback ladder instead of failing. *)
+
+type failure = Dmc_util.Budget.failure =
+  | Timeout
+  | Budget_exhausted
+  | Cancelled
+  | Too_large of string
+  | Invalid_input of string
+  | Internal of string
+(** Re-export of the shared failure taxonomy so callers of this module
+    need not also name [Dmc_util.Budget]. *)
+
+module Engine : sig
+  type 'a outcome = ('a, failure) result
+
+  val run : ?budget:Dmc_util.Budget.t -> (unit -> 'a) -> 'a outcome
+  (** Run a thunk under the unified failure taxonomy:
+      [Budget.Exhausted] becomes its carried failure,
+      [Budget.Internal_error] becomes [Internal], {!Optimal.Too_large}
+      becomes [Too_large] (as does [Stack_overflow] from a too-deep
+      search recursion), and [Invalid_argument]/[Failure] become
+      [Invalid_input].  An already-exhausted [budget] short-circuits
+      without running the thunk. *)
+
+  val rbw_io :
+    ?budget:Dmc_util.Budget.t -> ?max_states:int -> Cdag.t -> s:int ->
+    int outcome
+
+  val rb_io :
+    ?budget:Dmc_util.Budget.t -> ?max_states:int -> Cdag.t -> s:int ->
+    int outcome
+
+  val min_balanced_horizontal :
+    ?budget:Dmc_util.Budget.t -> ?slack:int -> Cdag.t -> procs:int ->
+    (int * int array) outcome
+
+  val span_lb :
+    ?budget:Dmc_util.Budget.t -> ?max_nodes:int -> Cdag.t -> s:int ->
+    int outcome
+
+  val partition_lb :
+    ?budget:Dmc_util.Budget.t -> ?max_nodes:int -> Cdag.t -> s:int ->
+    int outcome
+
+  val partition_u_lb :
+    ?budget:Dmc_util.Budget.t -> Cdag.t -> s:int -> int outcome
+
+  val wavefront_lb :
+    ?budget:Dmc_util.Budget.t -> ?samples:int -> ?rng:Dmc_util.Rng.t ->
+    Cdag.t -> s:int -> int outcome
+
+  val strategy_io :
+    ?budget:Dmc_util.Budget.t -> ?policy:Strategy.policy ->
+    ?order:Cdag.vertex array -> Cdag.t -> s:int -> int outcome
+end
+
+type kind = Lower | Upper | Exact
+(** What a governed row's value means: a sound lower bound, a measured
+    (achievable) upper bound, or the exhaustive optimum.  An [Exact]
+    row that fell back down its ladder carries a lower bound instead —
+    its [rung] says so. *)
+
+type row = {
+  engine : string;  (** ["wavefront"], ["partition-h"], ["belady"], ... *)
+  kind : kind;
+  value : int option;  (** [None] only when every rung failed *)
+  rung : string;
+      (** the ladder rung that produced [value]: ["exact"],
+          ["sampled"], ["wavefront"], ["floor"], ["trivial"], or ["-"] *)
+  attempts : (string * failure) list;
+      (** the rungs that failed before [rung], in attempt order *)
+  elapsed : float;  (** wall-clock seconds spent on the whole ladder *)
+}
+
+type governed = {
+  gov_s : int;
+  gov_n_vertices : int;
+  gov_n_edges : int;
+  gov_rows : row list;
+  gov_best_lb : int;
+      (** max over [Lower] and [Exact] rows — every rung of those
+          ladders yields a sound lower bound *)
+  gov_best_ub : int option;
+      (** min over [Upper] rows and non-degraded [Exact] rows; [None]
+          when no upper-bound engine completed (e.g. [s] too small) *)
+}
+
+val kind_to_string : kind -> string
+(** ["lb"], ["ub"], ["exact"]. *)
+
+val row_status : row -> string
+(** ["ok"] when the first rung won, else
+    ["timeout(fallback=sampled)"]-style: the first failure's class and
+    the rung that finally produced the value. *)
+
+val analyze_governed :
+  ?timeout:float -> ?node_budget:int -> ?samples:int -> Cdag.t -> s:int ->
+  governed
+(** Run every engine under its own fresh budget ([timeout] seconds
+    and/or [node_budget] ticks {e per ladder rung}) and degrade down a
+    fallback ladder instead of failing: exact engines fall back to the
+    wavefront row's achieved value and then to {!io_floor}; the
+    wavefront row itself falls back from the exact sweep to the
+    anytime sampler ([samples] draws, default 64); the eviction-policy
+    upper bounds fall back to the trivial schedule.  Never raises on
+    resource exhaustion — every failure is recorded in the row. *)
+
+val pp_governed : Format.formatter -> governed -> unit
+(** Status table: one line per engine with value, status, winning rung
+    and elapsed time, then the best-bound summary. *)
+
+val governed_to_json : governed -> Dmc_util.Json.t
+
 val certify_wavefront : ?samples:int -> Cdag.t -> s:int -> bool
 (** Re-derive the wavefront component of {!analyze}'s bound with a
     Menger witness and verify it from first principles

@@ -1,3 +1,4 @@
+module Budget = Dmc_util.Budget
 module Cdag = Dmc_cdag.Cdag
 module Heap = Dmc_util.Heap
 
@@ -13,14 +14,17 @@ let pred_masks g =
 
 let mask_of_list vs = List.fold_left (fun m v -> m lor (1 lsl v)) 0 vs
 
-(* Generic Dijkstra over integer-encoded states. *)
-let dijkstra ~max_states ~start ~is_goal ~successors =
+(* Generic Dijkstra over integer-encoded states.  [budget] is ticked
+   once per popped state, so a deadline interrupts the search within
+   one expansion. *)
+let dijkstra ?budget ~max_states ~start ~is_goal ~successors () =
   let dist = Hashtbl.create 4096 in
   let heap = Heap.create () in
   Hashtbl.replace dist start 0;
   Heap.push heap ~prio:0 ~value:start;
   let answer = ref None in
   while !answer = None && not (Heap.is_empty heap) do
+    (match budget with None -> () | Some b -> Budget.tick b);
     match Heap.pop_min heap with
     | None -> ()
     | Some (cost, state) ->
@@ -44,7 +48,7 @@ let dijkstra ~max_states ~start ~is_goal ~successors =
   | Some c -> c
   | None -> raise (Too_large "Optimal: no complete game found (exhausted states)")
 
-let rbw_io ?(max_states = 2_000_000) g ~s =
+let rbw_io ?budget ?(max_states = 2_000_000) g ~s =
   if s <= 0 then invalid_arg "Optimal.rbw_io: s must be positive";
   let n = Cdag.n_vertices g in
   if n > 20 then raise (Too_large "Optimal.rbw_io: more than 20 vertices");
@@ -99,9 +103,9 @@ let rbw_io ?(max_states = 2_000_000) g ~s =
         push 1 (encode ~white ~red ~blue:(blue lor bit))
     done
   in
-  dijkstra ~max_states ~start ~is_goal ~successors
+  dijkstra ?budget ~max_states ~start ~is_goal ~successors ()
 
-let rb_io ?(max_states = 2_000_000) g ~s =
+let rb_io ?budget ?(max_states = 2_000_000) g ~s =
   if s <= 0 then invalid_arg "Optimal.rb_io: s must be positive";
   let n = Cdag.n_vertices g in
   if n > 31 then raise (Too_large "Optimal.rb_io: more than 31 vertices");
@@ -137,9 +141,9 @@ let rb_io ?(max_states = 2_000_000) g ~s =
       else if blue land bit = 0 then push 1 (encode ~red ~blue:(blue lor bit))
     done
   in
-  dijkstra ~max_states ~start ~is_goal ~successors
+  dijkstra ?budget ~max_states ~start ~is_goal ~successors ()
 
-let min_balanced_horizontal ?(slack = 0) g ~procs =
+let min_balanced_horizontal ?budget ?(slack = 0) g ~procs =
   if procs < 1 then invalid_arg "Optimal.min_balanced_horizontal";
   let compute =
     Cdag.fold_vertices g
@@ -175,6 +179,7 @@ let min_balanced_horizontal ?(slack = 0) g ~procs =
     !total
   in
   let rec go i =
+    (match budget with None -> () | Some b -> Budget.tick b);
     if i = n' then begin
       let c = cost () in
       if c < !best_cost then begin

@@ -1,3 +1,4 @@
+module Budget := Dmc_util.Budget
 module Cdag := Dmc_cdag.Cdag
 
 (** Provably optimal pebble games on small CDAGs by explicit
@@ -20,20 +21,26 @@ module Cdag := Dmc_cdag.Cdag
 
 exception Too_large of string
 (** Raised when the graph exceeds the encodable size or the search
-    visits more than [max_states] distinct states. *)
+    visits more than [max_states] distinct states.
 
-val rbw_io : ?max_states:int -> Cdag.t -> s:int -> int
+    All engines additionally accept a [budget] guard
+    ({!Dmc_util.Budget.t}) ticked from their inner loops; deadline or
+    node-budget exhaustion raises [Budget.Exhausted].  The
+    result-typed wrappers in [Dmc_core.Bounds.Engine] convert both
+    exception families into [Error] values. *)
+
+val rbw_io : ?budget:Budget.t -> ?max_states:int -> Cdag.t -> s:int -> int
 (** Minimum I/O of any complete red-blue-white game (Definition 4).
     [max_states] defaults to 2,000,000. *)
 
-val rb_io : ?max_states:int -> Cdag.t -> s:int -> int
+val rb_io : ?budget:Budget.t -> ?max_states:int -> Cdag.t -> s:int -> int
 (** Minimum I/O of any complete Hong–Kung red-blue game (Definition 2),
     recomputation allowed.  The graph must satisfy the Hong–Kung
     convention ({!Dmc_cdag.Validate.is_hong_kung}); raises
     [Invalid_argument] otherwise. *)
 
 val min_balanced_horizontal :
-  ?slack:int -> Cdag.t -> procs:int -> int * int array
+  ?budget:Budget.t -> ?slack:int -> Cdag.t -> procs:int -> int * int array
 (** The minimum number of inter-node word transfers of any P-RBW game
     on [procs] nodes with private unbounded memories, sufficient
     registers and a {e balanced} work assignment (no processor fires

@@ -1,10 +1,11 @@
+module Budget = Dmc_util.Budget
 module Cdag = Dmc_cdag.Cdag
 
 let popcount =
   let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
   fun x -> go x 0
 
-let s_span ?(max_nodes = 2_000_000) g ~s =
+let s_span ?budget ?(max_nodes = 2_000_000) g ~s =
   if s <= 0 then invalid_arg "Span.s_span: s must be positive";
   let n = Cdag.n_vertices g in
   if n > 20 then raise (Optimal.Too_large "Span.s_span: more than 20 vertices");
@@ -25,6 +26,7 @@ let s_span ?(max_nodes = 2_000_000) g ~s =
     match Hashtbl.find_opt memo key with
     | Some x -> x
     | None ->
+        (match budget with None -> () | Some b -> Budget.tick b);
         incr nodes;
         if !nodes > max_nodes then
           raise (Optimal.Too_large "Span.s_span: state budget exhausted");
@@ -67,8 +69,8 @@ let s_span ?(max_nodes = 2_000_000) g ~s =
   choose 0 0 0;
   !best_span
 
-let lower_bound ?max_nodes g ~s =
-  let rho = s_span ?max_nodes g ~s:(2 * s) in
+let lower_bound ?budget ?max_nodes g ~s =
+  let rho = s_span ?budget ?max_nodes g ~s:(2 * s) in
   if rho = 0 then 0
   else begin
     let n' = Cdag.n_compute g in

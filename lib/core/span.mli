@@ -1,3 +1,4 @@
+module Budget := Dmc_util.Budget
 module Cdag := Dmc_cdag.Cdag
 
 (** Savage's S-span lower-bound technique (Section 6's related work;
@@ -15,7 +16,7 @@ module Cdag := Dmc_cdag.Cdag
 
     mirroring Corollary 1 with [ρ(2S)] in place of [U(2S)]. *)
 
-val s_span : ?max_nodes:int -> Cdag.t -> s:int -> int
+val s_span : ?budget:Budget.t -> ?max_nodes:int -> Cdag.t -> s:int -> int
 (** [ρ(S, G)] by exhaustive search: branch over which vertex to fire
     next from the current pebble multiset (with the standard
     delete-only-when-full normalization), over all starting placements
@@ -25,5 +26,5 @@ val s_span : ?max_nodes:int -> Cdag.t -> s:int -> int
     vertices; raises {!Optimal.Too_large} beyond [max_nodes] states
     (default 2,000,000). *)
 
-val lower_bound : ?max_nodes:int -> Cdag.t -> s:int -> int
+val lower_bound : ?budget:Budget.t -> ?max_nodes:int -> Cdag.t -> s:int -> int
 (** [S * ceil(|V - I| / ρ(2S) - 1)], clamped at 0. *)

@@ -1,4 +1,5 @@
 module Bitset = Dmc_util.Bitset
+module Budget = Dmc_util.Budget
 module Cdag = Dmc_cdag.Cdag
 
 let in_set g vi =
@@ -122,7 +123,7 @@ let compute_vertices g =
     []
   |> List.rev |> Array.of_list
 
-let min_h_exact ?(max_nodes = 20_000_000) g ~s =
+let min_h_exact ?budget ?(max_nodes = 20_000_000) g ~s =
   let vs = compute_vertices g in
   let n' = Array.length vs in
   if n' = 0 then 0
@@ -135,11 +136,16 @@ let min_h_exact ?(max_nodes = 20_000_000) g ~s =
        one (canonical set-partition enumeration), validating complete
        assignments. *)
     let rec assign i used =
+      (match budget with None -> () | Some b -> Budget.tick b);
       incr nodes;
       if !nodes > max_nodes then
         raise (Optimal.Too_large "Spartition.min_h_exact: node budget exhausted");
       if used >= !best then ()
       else if i = n' then begin
+        (* A validity check walks the whole graph, so account for it
+           proportionally — one tick per leaf would let the deadline
+           overshoot by hundreds of O(n+e) checks. *)
+        (match budget with None -> () | Some b -> Budget.tick_n b (1 + (n / 8)));
         match check g ~s ~color with
         | Ok h -> if h < !best then best := h
         | Error _ -> ()
@@ -155,7 +161,7 @@ let min_h_exact ?(max_nodes = 20_000_000) g ~s =
     !best
   end
 
-let max_subset_exact g ~s =
+let max_subset_exact ?budget g ~s =
   let vs = compute_vertices g in
   let n' = Array.length vs in
   let n = Cdag.n_vertices g in
@@ -177,6 +183,7 @@ let max_subset_exact g ~s =
     let is_out = Array.map (Cdag.is_output g) vs in
     let best = ref 0 in
     for mask = 1 to (1 lsl n') - 1 do
+      (match budget with None -> () | Some b -> Budget.tick b);
       let size = popcount mask in
       if size > !best then begin
         let w_full = ref 0 and preds_union = ref 0 in
@@ -210,11 +217,11 @@ let corollary1_bound ~s ~n_compute ~u =
   in
   max 0 (int_of_float bound)
 
-let lower_bound_exact ?max_nodes g ~s =
-  let h = min_h_exact ?max_nodes g ~s:(2 * s) in
+let lower_bound_exact ?budget ?max_nodes g ~s =
+  let h = min_h_exact ?budget ?max_nodes g ~s:(2 * s) in
   lemma1_bound ~s ~h
 
-let lower_bound_u g ~s =
-  let u = max_subset_exact g ~s:(2 * s) in
+let lower_bound_u ?budget g ~s =
+  let u = max_subset_exact ?budget g ~s:(2 * s) in
   if u = 0 then 0
   else corollary1_bound ~s ~n_compute:(Cdag.n_compute g) ~u

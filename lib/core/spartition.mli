@@ -1,3 +1,4 @@
+module Budget := Dmc_util.Budget
 module Cdag := Dmc_cdag.Cdag
 module Bitset := Dmc_util.Bitset
 
@@ -37,14 +38,14 @@ val of_game : Cdag.t -> s:int -> Rbw_game.move list -> int array
     [s * h >= io >= s * (h - 1)].  Raises [Failure] when the game is
     not valid. *)
 
-val min_h_exact : ?max_nodes:int -> Cdag.t -> s:int -> int
+val min_h_exact : ?budget:Budget.t -> ?max_nodes:int -> Cdag.t -> s:int -> int
 (** [H(S)]: the minimal number of subsets of any valid [s]-partition,
     by exhaustive branch-and-bound over set partitions of the compute
     vertices.  Only practical for small graphs; [max_nodes] (default
     20,000,000 search nodes) guards the search and raises
     {!Optimal.Too_large} beyond it. *)
 
-val max_subset_exact : Cdag.t -> s:int -> int
+val max_subset_exact : ?budget:Budget.t -> Cdag.t -> s:int -> int
 (** An upper bound on [U(S)] — the largest subset usable in any valid
     [s]-partition — computed as the largest subset [W] of compute
     vertices with [|In(W)| <= s] and [|Out(W)| <= s] (the P2 constraint
@@ -59,9 +60,9 @@ val corollary1_bound : s:int -> n_compute:int -> u:int -> int
 (** Corollary 1: [Q >= S * (|V'| / U(2S) - 1)], rounded up; never
     negative. *)
 
-val lower_bound_exact : ?max_nodes:int -> Cdag.t -> s:int -> int
+val lower_bound_exact : ?budget:Budget.t -> ?max_nodes:int -> Cdag.t -> s:int -> int
 (** Lemma 1 instantiated with the exhaustive [H(2S)]:
     [s * (min_h_exact ~s:(2s) - 1)], clamped at 0. *)
 
-val lower_bound_u : Cdag.t -> s:int -> int
+val lower_bound_u : ?budget:Budget.t -> Cdag.t -> s:int -> int
 (** Corollary 1 instantiated with the exhaustive [U(2S)]. *)

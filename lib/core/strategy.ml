@@ -1,4 +1,5 @@
 module Bitset = Dmc_util.Bitset
+module Budget = Dmc_util.Budget
 module Cdag = Dmc_cdag.Cdag
 module Topo = Dmc_cdag.Topo
 module Hierarchy = Dmc_machine.Hierarchy
@@ -54,7 +55,7 @@ let use_positions g order =
 
 let no_use = max_int
 
-let schedule ?(policy = Belady) ?order g ~s =
+let schedule ?budget ?(policy = Belady) ?order g ~s =
   if s <= 0 then invalid_arg "Strategy.schedule: s must be positive";
   let order = match order with Some o -> o | None -> default_order g in
   ignore (check_order g order);
@@ -113,7 +114,8 @@ let schedule ?(policy = Belady) ?order g ~s =
     if not (Bitset.mem red v) then begin
       make_room ();
       if not (Bitset.mem blue v) then
-        failwith "Strategy.schedule: internal error: operand lost";
+        Budget.internal_error ~where:"Strategy.schedule"
+          "operand %d lost (n=%d, s=%d, clock=%d)" v n s !clock;
       emit (Rb_game.Load v);
       Bitset.add red v;
       Bitset.add loaded v
@@ -131,6 +133,7 @@ let schedule ?(policy = Belady) ?order g ~s =
   in
   Array.iteri
     (fun i v ->
+      (match budget with None -> () | Some b -> Budget.tick b);
       let preds = Cdag.pred_list g v in
       (* Pin operands already resident, then fault the rest in. *)
       List.iter (fun p -> if Bitset.mem red p then Bitset.add pinned p) preds;
@@ -176,14 +179,14 @@ let schedule ?(policy = Belady) ?order g ~s =
     (Cdag.inputs g);
   List.rev !moves
 
-let io ?policy ?order g ~s =
+let io ?budget ?policy ?order g ~s =
   List.fold_left
     (fun acc m ->
       match (m : Rb_game.move) with
       | Rb_game.Load _ | Rb_game.Store _ -> acc + 1
       | Rb_game.Compute _ | Rb_game.Delete _ -> acc)
     0
-    (schedule ?policy ?order g ~s)
+    (schedule ?budget ?policy ?order g ~s)
 
 let trivial g =
   let moves = ref [] in
@@ -308,7 +311,8 @@ let hierarchical ?(policy = Belady) ?order g ~s1 ~s2 =
           Bitset.add input_read v
         end;
         if not (Bitset.mem in_memory v) then
-          failwith "Strategy.hierarchical: internal error: operand lost";
+          Budget.internal_error ~where:"Strategy.hierarchical"
+            "operand %d lost (n=%d, s1=%d, s2=%d, clock=%d)" v n s1 s2 !clock;
         cache_room ();
         emit (Prbw_game.Move_up { level = 2; unit_id = 0; v });
         Bitset.add cache v
@@ -356,7 +360,8 @@ let hierarchical ?(policy = Belady) ?order g ~s1 ~s2 =
         if not (Bitset.mem in_memory v) then begin
           if not (Bitset.mem cache v) then begin
             if not (Bitset.mem regs v) then
-              failwith "Strategy.hierarchical: internal error: output lost";
+              Budget.internal_error ~where:"Strategy.hierarchical"
+                "output %d lost (n=%d, s1=%d, s2=%d)" v n s1 s2;
             cache_room ();
             emit (Prbw_game.Move_down { level = 2; unit_id = 0; v });
             Bitset.add cache v
@@ -438,7 +443,8 @@ let smp_shared ?(policy = Belady) ?order g ~cores ~s1 ~s2 =
         Bitset.add input_read v
       end;
       if not (Bitset.mem in_memory v) then
-        failwith "Strategy.smp_shared: internal error: operand lost";
+        Budget.internal_error ~where:"Strategy.smp_shared"
+          "operand %d lost (n=%d, s1=%d, s2=%d)" v n s1 s2;
       cache_room ();
       emit (Prbw_game.Move_up { level = 2; unit_id = 0; v });
       Bitset.add cache v
@@ -494,7 +500,8 @@ let smp_shared ?(policy = Belady) ?order g ~cores ~s1 ~s2 =
       if not (Cdag.is_input g v) then begin
         if not (Bitset.mem in_memory v) then begin
           if not (Bitset.mem cache v) then
-            failwith "Strategy.smp_shared: internal error: output lost";
+            Budget.internal_error ~where:"Strategy.smp_shared"
+              "output %d lost (n=%d, s1=%d, s2=%d)" v n s1 s2;
           emit (Prbw_game.Move_down { level = 3; unit_id = 0; v });
           Bitset.add in_memory v
         end;
@@ -541,7 +548,8 @@ let spmd g hier ~owner ?order () =
       end;
       if not (Bitset.mem in_memory.(p) v) then begin
         if not (Bitset.mem in_memory.(home) v) then
-          failwith "Strategy.spmd: internal error: operand not at its home";
+          Budget.internal_error ~where:"Strategy.spmd"
+            "operand %d not at its home memory %d (n=%d)" v home n;
         emit (Prbw_game.Remote_get { src = home; dst = p; v });
         Bitset.add in_memory.(p) v
       end

@@ -1,3 +1,4 @@
+module Budget := Dmc_util.Budget
 module Cdag := Dmc_cdag.Cdag
 module Hierarchy := Dmc_machine.Hierarchy
 
@@ -29,6 +30,7 @@ type policy =
                 tighter upper bound *)
 
 val schedule :
+  ?budget:Budget.t ->
   ?policy:policy ->
   ?order:Cdag.vertex array ->
   Cdag.t ->
@@ -44,9 +46,18 @@ val schedule :
 
     Raises [Failure] when some vertex needs more than [s - 1] operands,
     or [Invalid_argument] when [order] is not a permutation of the
-    non-input vertices or not topological. *)
+    non-input vertices or not topological.  [budget] is ticked once per
+    fired vertex, so huge schedules can be deadline-bounded; internal
+    invariant violations raise {!Dmc_util.Budget.Internal_error} with
+    the graph size, capacities and step. *)
 
-val io : ?policy:policy -> ?order:Cdag.vertex array -> Cdag.t -> s:int -> int
+val io :
+  ?budget:Budget.t ->
+  ?policy:policy ->
+  ?order:Cdag.vertex array ->
+  Cdag.t ->
+  s:int ->
+  int
 (** I/O cost of {!schedule}. *)
 
 val trivial : Cdag.t -> Rbw_game.move list

@@ -5,7 +5,7 @@ module Reach = Dmc_cdag.Reach
 module Subgraph = Dmc_cdag.Subgraph
 module Vertex_cut = Dmc_flow.Vertex_cut
 
-let min_wavefront_cut g x =
+let min_wavefront_cut ?budget g x =
   let desc = Reach.descendants g x in
   if Bitset.is_empty desc then (1, [ x ])
   else begin
@@ -13,15 +13,15 @@ let min_wavefront_cut g x =
     let from_set = x :: Bitset.elements anc in
     let to_set = Bitset.elements desc in
     let r =
-      Vertex_cut.min_vertex_cut g ~from_set ~to_set ~uncuttable:to_set ()
+      Vertex_cut.min_vertex_cut ?budget g ~from_set ~to_set ~uncuttable:to_set ()
     in
     (r.size, r.cut)
   end
 
-let min_wavefront g x = fst (min_wavefront_cut g x)
+let min_wavefront ?budget g x = fst (min_wavefront_cut ?budget g x)
 
-let wmax_exact g =
-  Cdag.fold_vertices g (fun acc x -> max acc (min_wavefront g x)) 0
+let wmax_exact ?budget g =
+  Cdag.fold_vertices g (fun acc x -> max acc (min_wavefront ?budget g x)) 0
 
 let wmax_exact_par ?domains g =
   let n = Cdag.n_vertices g in
@@ -45,15 +45,33 @@ let wmax_exact_par ?domains g =
     List.fold_left (fun acc h -> max acc (Domain.join h)) 0 handles
   end
 
-let wmax_sampled rng g ~samples =
+let wmax_sampled ?budget rng g ~samples =
   let n = Cdag.n_vertices g in
   if n = 0 then 0
   else begin
     let best = ref 0 in
     for _ = 1 to samples do
       let x = Rng.int rng n in
-      best := max !best (min_wavefront g x)
+      best := max !best (min_wavefront ?budget g x)
     done;
+    !best
+  end
+
+(* Anytime variant for the fallback ladder: sample until the budget
+   runs out and keep the best bound found so far.  Sound because
+   Lemma 2 holds for every vertex, so a partial sweep only weakens the
+   bound, never invalidates it. *)
+let wmax_sampled_anytime ?budget rng g ~samples =
+  let n = Cdag.n_vertices g in
+  if n = 0 then 0
+  else begin
+    let best = ref 0 in
+    (try
+       for _ = 1 to samples do
+         let x = Rng.int rng n in
+         best := max !best (min_wavefront ?budget g x)
+       done
+     with Dmc_util.Budget.Exhausted _ -> ());
     !best
   end
 
@@ -112,17 +130,16 @@ let verify_witness g w =
 
 let exact_threshold = 512
 
-let lower_bound ?(samples = 64) ?rng g ~s =
+(* Two sound variants: drop only the inputs (outputs keep their
+   wavefront paths), or drop both and bank |dO| as forced stores.
+   Take the better.  [wmax_of] computes the max min-wavefront of a
+   stripped graph; parameterizing it lets the fallback ladder swap the
+   exact sweep for the anytime sampler without duplicating the
+   stripping logic. *)
+let lower_bound_via wmax_of g ~s =
   let wmax stripped =
-    if Cdag.n_vertices stripped = 0 then 0
-    else if Cdag.n_vertices stripped <= exact_threshold then wmax_exact stripped
-    else
-      let rng = match rng with Some r -> r | None -> Rng.create 0x5eed in
-      wmax_sampled rng stripped ~samples
+    if Cdag.n_vertices stripped = 0 then 0 else wmax_of stripped
   in
-  (* Two sound variants: drop only the inputs (outputs keep their
-     wavefront paths), or drop both and bank |dO| as forced stores.
-     Take the better. *)
   let part_i, di = Subgraph.drop_inputs g in
   let via_inputs = lemma2_bound ~wavefront:(wmax part_i.Subgraph.graph) ~s + di in
   let part_io, di', d_o = Subgraph.drop_io g in
@@ -130,3 +147,13 @@ let lower_bound ?(samples = 64) ?rng g ~s =
     lemma2_bound ~wavefront:(wmax part_io.Subgraph.graph) ~s + di' + d_o
   in
   max via_inputs via_both
+
+let lower_bound ?budget ?(samples = 64) ?rng g ~s =
+  let wmax stripped =
+    if Cdag.n_vertices stripped <= exact_threshold then
+      wmax_exact ?budget stripped
+    else
+      let rng = match rng with Some r -> r | None -> Rng.create 0x5eed in
+      wmax_sampled ?budget rng stripped ~samples
+  in
+  lower_bound_via wmax g ~s

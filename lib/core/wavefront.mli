@@ -1,3 +1,4 @@
+module Budget := Dmc_util.Budget
 module Cdag := Dmc_cdag.Cdag
 module Rng := Dmc_util.Rng
 
@@ -12,15 +13,16 @@ module Rng := Dmc_util.Rng
     Lemma 2 then gives, for a CDAG with no inputs,
     [IO >= 2 (|Wmin(x)| - S)]. *)
 
-val min_wavefront : Cdag.t -> Cdag.vertex -> int
+val min_wavefront : ?budget:Budget.t -> Cdag.t -> Cdag.vertex -> int
 (** [|Wmin(x)|]: the vertex min-cut separating [{x} ∪ Anc(x)] from
     [Desc(x)] (descendants uncuttable).  Returns 1 when [x] has no
     descendants (only [x] itself is live). *)
 
-val min_wavefront_cut : Cdag.t -> Cdag.vertex -> int * Cdag.vertex list
+val min_wavefront_cut :
+  ?budget:Budget.t -> Cdag.t -> Cdag.vertex -> int * Cdag.vertex list
 (** Also returns one minimum cut (the wavefront vertices). *)
 
-val wmax_exact : Cdag.t -> int
+val wmax_exact : ?budget:Budget.t -> Cdag.t -> int
 (** [w_max = max_x |Wmin(x)|] over every vertex — one max-flow per
     vertex, so quadratic-ish; intended for small and mid-size CDAGs. *)
 
@@ -31,10 +33,18 @@ val wmax_exact_par : ?domains:int -> Cdag.t -> int
     embarrassingly parallel.  Falls back to the sequential sweep for
     one domain or tiny graphs. *)
 
-val wmax_sampled : Rng.t -> Cdag.t -> samples:int -> int
+val wmax_sampled : ?budget:Budget.t -> Rng.t -> Cdag.t -> samples:int -> int
 (** Max of [|Wmin(x)|] over a random sample of vertices.  Always a
     valid (possibly weaker) stand-in for [w_max] in {!lemma2_bound},
     because Lemma 2 holds for {e every} [x]. *)
+
+val wmax_sampled_anytime :
+  ?budget:Budget.t -> Rng.t -> Cdag.t -> samples:int -> int
+(** Like {!wmax_sampled}, but budget exhaustion mid-sweep returns the
+    best wavefront found so far instead of raising — the graceful
+    degradation rung of the CLI's fallback ladder.  With no completed
+    sample the result is 0 (so {!lower_bound}-style formulas fall back
+    to their floors). *)
 
 val lemma2_bound : wavefront:int -> s:int -> int
 (** [max 0 (2 * (wavefront - s))]. *)
@@ -64,7 +74,17 @@ val verify_witness : Cdag.t -> witness -> bool
     [Desc(x)], and the paths share no vertex outside [Desc(x)].
     Deliberately reimplements nothing from the flow layer. *)
 
-val lower_bound : ?samples:int -> ?rng:Rng.t -> Cdag.t -> s:int -> int
+val lower_bound_via : (Cdag.t -> int) -> Cdag.t -> s:int -> int
+(** The {!lower_bound} formula with a caller-supplied max-min-wavefront
+    sweep: strips inputs (resp. inputs and outputs), applies [wmax] to
+    each stripped graph, and combines via {!lemma2_bound} plus the
+    dropped-tag credits.  Sound for any [wmax] that returns
+    [|Wmin(x)|] of {e some} vertex [x] (Lemma 2 holds for every
+    vertex) — this is the hook the graceful-degradation ladder uses to
+    swap {!wmax_exact} for {!wmax_sampled_anytime}. *)
+
+val lower_bound :
+  ?budget:Budget.t -> ?samples:int -> ?rng:Rng.t -> Cdag.t -> s:int -> int
 (** End-to-end bound for an arbitrary CDAG: strip the tagged
     input/output vertices (Corollary 2), compute the max min-wavefront
     of the remainder — exactly when it has at most [exact_threshold]

@@ -1,5 +1,8 @@
 module Bitset = Dmc_util.Bitset
+module Budget = Dmc_util.Budget
 module Intvec = Dmc_util.Intvec
+
+let tick = function None -> () | Some b -> Budget.tick b
 
 (* Edges are stored in pairs: edge [2k] and its residual twin [2k+1].
    [cap] holds the residual capacity, so flow on edge e equals the
@@ -45,13 +48,14 @@ let add_edge net ~src ~dst ~cap =
   ignore (push_edge net ~src:dst ~dst:src ~cap:0);
   id
 
-let bfs net ~src ~dst =
+let bfs ?budget net ~src ~dst =
   let level = Array.make net.n (-1) in
   level.(src) <- 0;
   let queue = Queue.create () in
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
+    tick budget;
     let e = ref net.first.(u) in
     while !e >= 0 do
       let v = Intvec.get net.head !e in
@@ -65,16 +69,17 @@ let bfs net ~src ~dst =
   net.level <- level;
   level.(dst) >= 0
 
-let rec dfs net ~dst u pushed =
+let rec dfs ?budget net ~dst u pushed =
   if u = dst then pushed
   else begin
     let result = ref 0 in
     while !result = 0 && net.cursor.(u) >= 0 do
+      tick budget;
       let e = net.cursor.(u) in
       let v = Intvec.get net.head e in
       let residual = Intvec.get net.cap e in
       if residual > 0 && net.level.(v) = net.level.(u) + 1 then begin
-        let sent = dfs net ~dst v (min pushed residual) in
+        let sent = dfs ?budget net ~dst v (min pushed residual) in
         if sent > 0 then begin
           Intvec.set net.cap e (residual - sent);
           Intvec.set net.cap (e lxor 1) (Intvec.get net.cap (e lxor 1) + sent);
@@ -87,13 +92,13 @@ let rec dfs net ~dst u pushed =
     !result
   end
 
-let max_flow net ~src ~dst =
+let max_flow ?budget net ~src ~dst =
   if src = dst then invalid_arg "Maxflow.max_flow: src = dst";
   let total = ref 0 in
-  while bfs net ~src ~dst do
+  while bfs ?budget net ~src ~dst do
     net.cursor <- Array.copy net.first;
     let rec pump () =
-      let sent = dfs net ~dst src infinite in
+      let sent = dfs ?budget net ~dst src infinite in
       if sent > 0 then begin
         total := !total + sent;
         pump ()

@@ -19,10 +19,12 @@ val add_edge : t -> src:int -> dst:int -> cap:int -> int
     {!flow_on}.  Raises [Invalid_argument] on bad endpoints or negative
     capacity. *)
 
-val max_flow : t -> src:int -> dst:int -> int
+val max_flow : ?budget:Dmc_util.Budget.t -> t -> src:int -> dst:int -> int
 (** Maximum [src]->[dst] flow.  May be called once per network state;
     flows accumulate, so build a fresh network per query.  Raises
-    [Invalid_argument] if [src = dst]. *)
+    [Invalid_argument] if [src = dst].  [budget] is ticked once per
+    BFS node visit and once per blocking-flow DFS step, so long phases
+    on big networks raise [Dmc_util.Budget.Exhausted] promptly. *)
 
 val flow_on : t -> int -> int
 (** Flow currently routed through the edge with the given id. *)

@@ -1,4 +1,5 @@
 module Bitset = Dmc_util.Bitset
+module Budget = Dmc_util.Budget
 module Cdag = Dmc_cdag.Cdag
 
 type result = {
@@ -12,7 +13,7 @@ type result = {
 let v_in v = 2 * v
 let v_out v = (2 * v) + 1
 
-let min_vertex_cut g ~from_set ~to_set ?(uncuttable = []) () =
+let min_vertex_cut ?budget g ~from_set ~to_set ?(uncuttable = []) () =
   if from_set = [] || to_set = [] then
     invalid_arg "Vertex_cut.min_vertex_cut: empty terminal set";
   let n = Cdag.n_vertices g in
@@ -35,7 +36,7 @@ let min_vertex_cut g ~from_set ~to_set ?(uncuttable = []) () =
   List.iter
     (fun v -> ignore (Maxflow.add_edge net ~src:(v_out v) ~dst ~cap:Maxflow.infinite))
     to_set;
-  let size = Maxflow.max_flow net ~src ~dst in
+  let size = Maxflow.max_flow ?budget net ~src ~dst in
   let residual_side = Maxflow.min_cut_source_side net ~src in
   (* A vertex is in the cut when its split edge crosses the residual
      boundary: v_in reachable, v_out not. *)
@@ -50,7 +51,7 @@ let min_vertex_cut g ~from_set ~to_set ?(uncuttable = []) () =
   done;
   { size; cut = !cut; source_side }
 
-let path_witness g ~from_set ~to_set ?(uncuttable = []) () =
+let path_witness ?budget g ~from_set ~to_set ?(uncuttable = []) () =
   if from_set = [] || to_set = [] then
     invalid_arg "Vertex_cut.path_witness: empty terminal set";
   let n = Cdag.n_vertices g in
@@ -72,7 +73,7 @@ let path_witness g ~from_set ~to_set ?(uncuttable = []) () =
   List.iter
     (fun v -> ignore (Maxflow.add_edge net ~src:(v_out v) ~dst ~cap:Maxflow.infinite))
     to_set;
-  let size = Maxflow.max_flow net ~src ~dst in
+  let size = Maxflow.max_flow ?budget net ~src ~dst in
   (* Decompose the flow into unit paths: walk from the super-source
      along edges with unconsumed flow, consuming one unit per step. *)
   let consumed = Hashtbl.create 64 in
@@ -95,7 +96,9 @@ let path_witness g ~from_set ~to_set ?(uncuttable = []) () =
       if node = dst then List.rev acc
       else
         match next_hop node with
-        | None -> failwith "Vertex_cut.path_witness: flow decomposition stuck"
+        | None ->
+            Budget.internal_error ~where:"Vertex_cut.path_witness"
+              "flow decomposition stuck at node %d (n=%d, flow=%d)" node n size
         | Some (id, next) ->
             consume id;
             (* record the CDAG vertex when crossing a split edge *)
@@ -110,7 +113,7 @@ let path_witness g ~from_set ~to_set ?(uncuttable = []) () =
   in
   List.init size (fun _ -> extract ())
 
-let disjoint_paths g ~src ~dst =
+let disjoint_paths ?budget g ~src ~dst =
   if src = dst then invalid_arg "Vertex_cut.disjoint_paths: src = dst";
   let n = Cdag.n_vertices g in
   let net = Maxflow.create (2 * n) in
@@ -120,4 +123,4 @@ let disjoint_paths g ~src ~dst =
   done;
   Cdag.iter_edges g (fun u v ->
       ignore (Maxflow.add_edge net ~src:(v_out u) ~dst:(v_in v) ~cap:Maxflow.infinite));
-  Maxflow.max_flow net ~src:(v_out src) ~dst:(v_in dst)
+  Maxflow.max_flow ?budget net ~src:(v_out src) ~dst:(v_in dst)

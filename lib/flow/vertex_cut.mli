@@ -26,6 +26,7 @@ type result = {
 }
 
 val min_vertex_cut :
+  ?budget:Dmc_util.Budget.t ->
   Cdag.t ->
   from_set:Cdag.vertex list ->
   to_set:Cdag.vertex list ->
@@ -39,6 +40,7 @@ val min_vertex_cut :
     {!Maxflow.infinite}-scaled (treat as "no finite cut"). *)
 
 val path_witness :
+  ?budget:Dmc_util.Budget.t ->
   Cdag.t ->
   from_set:Cdag.vertex list ->
   to_set:Cdag.vertex list ->
@@ -50,9 +52,13 @@ val path_witness :
     [uncuttable] vertices, obtained by decomposing the maximum flow.
     By Menger's theorem their existence proves the cut cannot be
     smaller — a machine-checkable lower-bound certificate.  Each path
-    is listed source-first. *)
+    is listed source-first.  Raises [Dmc_util.Budget.Internal_error]
+    (with the stuck node and flow value) if the decomposition cannot
+    make progress — an invariant violation, not a resource
+    condition. *)
 
-val disjoint_paths : Cdag.t -> src:Cdag.vertex -> dst:Cdag.vertex -> int
+val disjoint_paths :
+  ?budget:Dmc_util.Budget.t -> Cdag.t -> src:Cdag.vertex -> dst:Cdag.vertex -> int
 (** Maximum number of internally vertex-disjoint directed paths from
     [src] to [dst] (endpoints excluded from the disjointness
     requirement).  Used by the CG/GMRES wavefront arguments, which rest

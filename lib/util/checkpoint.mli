@@ -1,0 +1,17 @@
+(** Atomic JSON checkpoint files for the long-running drivers.
+
+    [dmc experiment] and the fuzzer periodically persist their progress
+    (completed cases, RNG state, partial outputs) so that a killed run
+    can be resumed with [--resume].  Writes go through a temporary file
+    and a rename, so a crash mid-write never leaves a truncated
+    checkpoint behind — the previous one survives intact. *)
+
+val write : string -> Json.t -> unit
+(** [write path json] serializes [json] to [path ^ ".tmp"] and renames
+    it over [path].  Raises [Sys_error] on I/O failure (the drivers
+    treat a failed checkpoint as fatal rather than silently losing
+    progress). *)
+
+val load : string -> (Json.t, string) result
+(** Read and parse a checkpoint; [Error] describes a missing,
+    unreadable or malformed file. *)

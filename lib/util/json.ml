@@ -78,3 +78,190 @@ let to_string ?(indent = true) value =
   Buffer.contents buf
 
 let opt f = function None -> Null | Some x -> f x
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a plain recursive-descent parser over the string.         *)
+
+exception Parse_error of int * string
+
+let parse text =
+  let len = String.length text in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub text !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      let c = text.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if !pos >= len then fail "unterminated escape");
+        let e = text.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            if !pos + 4 > len then fail "truncated \\u escape";
+            let hex = String.sub text !pos 4 in
+            pos := !pos + 4;
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> fail "bad \\u escape"
+            in
+            (* Checkpoints only ever escape control characters; render
+               anything else as UTF-8. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | _ -> fail "unknown escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char text.[!pos] do
+      advance ()
+    done;
+    let lexeme = String.sub text start (!pos - start) in
+    let has c = String.contains lexeme c in
+    if (not (has '.')) && (not (has 'e')) && not (has 'E') then
+      match int_of_string_opt lexeme with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt lexeme with
+          | Some f -> Float f
+          | None -> fail ("bad number: " ^ lexeme))
+    else
+      match float_of_string_opt lexeme with
+      | Some f -> Float f
+      | None -> fail ("bad number: " ^ lexeme)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (key, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)
+
+let mem j key =
+  match j with Obj fields -> List.assoc_opt key fields | _ -> None
+
+let as_int = function Int i -> Some i | _ -> None
+
+let as_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let as_bool = function Bool b -> Some b | _ -> None
+
+let as_string = function String s -> Some s | _ -> None
+
+let as_list = function List l -> Some l | _ -> None

@@ -1,8 +1,10 @@
-(** A minimal JSON emitter (no parsing) for machine-readable reports.
+(** A minimal JSON emitter and parser for machine-readable reports and
+    checkpoint files.
 
     Only what the CLI needs: objects, arrays, strings (escaped),
-    numbers, booleans and null, rendered compactly or indented.  No
-    external dependency. *)
+    numbers, booleans and null, rendered compactly or indented, plus a
+    small recursive-descent parser and typed accessors for reading
+    checkpoints back.  No external dependency. *)
 
 type t =
   | Null
@@ -20,3 +22,29 @@ val to_string : ?indent:bool -> t -> string
 
 val opt : ('a -> t) -> 'a option -> t
 (** [None] becomes [Null]. *)
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (with optional surrounding whitespace).
+    Numbers without [.]/[e] that fit an OCaml [int] parse as [Int],
+    everything else as [Float].  Errors carry a character offset. *)
+
+(** {1 Typed accessors}
+
+    All return [None] on a shape mismatch, so checkpoint readers can
+    validate with [Option.bind] chains instead of exceptions. *)
+
+val mem : t -> string -> t option
+(** Field of an [Obj] ([None] for missing fields or non-objects). *)
+
+val as_int : t -> int option
+
+val as_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val as_bool : t -> bool option
+
+val as_string : t -> string option
+
+val as_list : t -> t list option

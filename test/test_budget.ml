@@ -1,0 +1,315 @@
+(* Tests for the resource-governance layer: Budget guards, the
+   result-typed engine API, the graceful-degradation ladder, and the
+   checkpoint/RNG-state plumbing the resumable drivers build on. *)
+
+module Budget = Dmc_util.Budget
+module Rng = Dmc_util.Rng
+module Json = Dmc_util.Json
+module Checkpoint = Dmc_util.Checkpoint
+module Cdag = Dmc_cdag.Cdag
+module Bounds = Dmc_core.Bounds
+module Optimal = Dmc_core.Optimal
+module Wavefront = Dmc_core.Wavefront
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Budget guard mechanics                                              *)
+
+let test_node_budget () =
+  let b = Budget.create ~nodes:10 () in
+  for _ = 1 to 9 do
+    Budget.tick b
+  done;
+  check "nine ticks spent" 9 (Budget.spent b);
+  (match Budget.tick b with
+  | () -> Alcotest.fail "10th tick should exhaust the node budget"
+  | exception Budget.Exhausted Budget.Budget_exhausted -> ());
+  check_bool "check reports exhaustion" true
+    (Budget.check b = Some Budget.Budget_exhausted)
+
+let test_deadline () =
+  (* negative deadline: already expired, independent of clock granularity *)
+  let b = Budget.create ~deadline:(-1.0) () in
+  (* The clock is only polled every few hundred ticks, so loop well
+     past one period. *)
+  match
+    for _ = 1 to 10_000 do
+      Budget.tick b
+    done
+  with
+  | () -> Alcotest.fail "expired deadline never raised"
+  | exception Budget.Exhausted Budget.Timeout -> ()
+
+let test_tick_n_crosses_period () =
+  let b = Budget.create ~deadline:(-1.0) () in
+  match Budget.tick_n b 100_000 with
+  | () -> Alcotest.fail "bulk tick ignored the deadline"
+  | exception Budget.Exhausted Budget.Timeout -> ()
+
+let test_cancel () =
+  let b = Budget.create ~cancel:(fun () -> true) () in
+  match
+    for _ = 1 to 10_000 do
+      Budget.tick b
+    done
+  with
+  | () -> Alcotest.fail "cancellation hook never honored"
+  | exception Budget.Exhausted Budget.Cancelled -> ()
+
+let test_unlimited_counts () =
+  let b = Budget.create () in
+  for _ = 1 to 1_000 do
+    Budget.tick b
+  done;
+  check "spent" 1_000 (Budget.spent b);
+  check_bool "never exhausts" true (Budget.check b = None)
+
+let test_guard_and_internal_error () =
+  (match Budget.guard (fun () -> 42) with
+  | Ok v -> check "plain value" 42 v
+  | Error _ -> Alcotest.fail "guard failed a pure thunk");
+  (* an exhausted budget short-circuits before running the thunk *)
+  let b = Budget.create ~nodes:0 () in
+  (match Budget.guard ~budget:b (fun () -> Alcotest.fail "ran anyway") with
+  | Error Budget.Budget_exhausted -> ()
+  | _ -> Alcotest.fail "exhausted budget not prechecked");
+  match
+    Budget.guard (fun () ->
+        Budget.internal_error ~where:"Test.engine" "stuck at %d (n=%d)" 7 32)
+  with
+  | Error (Budget.Internal msg) ->
+      check_string "context preserved" "Test.engine: stuck at 7 (n=32)" msg
+  | _ -> Alcotest.fail "Internal_error not captured"
+
+let test_failure_strings () =
+  check_string "timeout" "timeout" (Budget.failure_to_string Budget.Timeout);
+  check_string "budget" "budget-exhausted"
+    (Budget.failure_to_string Budget.Budget_exhausted);
+  check_string "too-large" "too-large: x"
+    (Budget.failure_to_string (Budget.Too_large "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Engines honor their budgets                                         *)
+
+(* A graph big enough that every exhaustive engine runs essentially
+   forever, but structurally fine (so only the budget can stop it). *)
+let big_layered () =
+  Dmc_gen.Random_dag.layered (Rng.create 1234) ~layers:8 ~width:6 ~edge_prob:0.5
+
+let within_2x_deadline f =
+  let deadline = 0.2 in
+  let t0 = Budget.now () in
+  let result = f (Budget.create ~deadline ()) in
+  let elapsed = Budget.now () -. t0 in
+  (* "promptly": within ~2x the deadline, plus scheduling slack *)
+  check_bool
+    (Printf.sprintf "returned within 2x deadline (took %.2fs)" elapsed)
+    true
+    (elapsed < (2.0 *. deadline) +. 0.3);
+  result
+
+let test_partition_deadline () =
+  let g = big_layered () in
+  match
+    within_2x_deadline (fun budget -> Bounds.Engine.partition_lb ~budget g ~s:3)
+  with
+  | Error Budget.Timeout -> ()
+  | Ok v -> Alcotest.failf "exponential search finished?! (%d)" v
+  | Error e -> Alcotest.failf "wrong failure: %s" (Budget.failure_to_string e)
+
+let test_rbw_node_budget () =
+  (* The Dijkstra sweep ticks once per expanded state; 50 states is far
+     too few for a 16-vertex game, so the budget must fire first. *)
+  let g = Dmc_gen.Shapes.diamond ~rows:4 ~cols:4 in
+  match
+    Bounds.Engine.rbw_io
+      ~budget:(Budget.create ~nodes:50 ())
+      ~max_states:max_int g ~s:4
+  with
+  | Error Budget.Budget_exhausted -> ()
+  | Ok v -> Alcotest.failf "game solved within 50 states?! (%d)" v
+  | Error e -> Alcotest.failf "wrong failure: %s" (Budget.failure_to_string e)
+
+let test_state_budget () =
+  let g = big_layered () in
+  match Bounds.Engine.partition_lb ~budget:(Budget.create ~nodes:500 ()) g ~s:3 with
+  | Error Budget.Budget_exhausted -> ()
+  | Ok v -> Alcotest.failf "search finished under 500 nodes?! (%d)" v
+  | Error e -> Alcotest.failf "wrong failure: %s" (Budget.failure_to_string e)
+
+let test_engine_too_large () =
+  let g = Dmc_gen.Shapes.chain 40 in
+  match Bounds.Engine.rbw_io g ~s:3 with
+  | Error (Budget.Too_large _) -> ()
+  | _ -> Alcotest.fail "40-vertex graph should be Too_large for rbw_io"
+
+let test_engine_matches_raising_api () =
+  let g = Dmc_gen.Shapes.diamond ~rows:3 ~cols:3 in
+  let s = 4 in
+  match Bounds.Engine.rbw_io g ~s with
+  | Ok v -> check "engine = raising api" (Optimal.rbw_io g ~s) v
+  | Error e -> Alcotest.failf "engine failed: %s" (Budget.failure_to_string e)
+
+let test_anytime_wavefront_sound () =
+  let g = Dmc_gen.Shapes.diamond ~rows:4 ~cols:4 in
+  let exact = Wavefront.wmax_exact g in
+  (* unbudgeted anytime sweep = plain sampling *)
+  let sampled = Wavefront.wmax_sampled_anytime (Rng.create 3) g ~samples:64 in
+  check_bool "anytime <= exact" true (sampled <= exact);
+  (* an exhausted budget yields the trivial 0, never raises *)
+  let b = Budget.create ~nodes:0 () in
+  check "exhausted anytime is 0" 0
+    (Wavefront.wmax_sampled_anytime ~budget:b (Rng.create 3) g ~samples:64)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation ladder                                         *)
+
+let small_cases () =
+  [
+    ("diamond3x3", Dmc_gen.Shapes.diamond ~rows:3 ~cols:3, 4);
+    ("tree8", Dmc_gen.Shapes.reduction_tree 8, 3);
+    ("fft4", Dmc_gen.Fft.butterfly 2, 4);
+    ("jacobi1d", (Dmc_gen.Stencil.jacobi_1d ~n:4 ~steps:2).graph, 4);
+  ]
+
+let test_governed_full_agrees () =
+  List.iter
+    (fun (name, g, s) ->
+      let gov = Bounds.analyze_governed g ~s in
+      let opt = Optimal.rbw_io g ~s in
+      check_bool (name ^ ": lb <= optimal") true (gov.Bounds.gov_best_lb <= opt);
+      match gov.Bounds.gov_best_ub with
+      | Some ub -> check_bool (name ^ ": optimal <= ub") true (opt <= ub)
+      | None -> Alcotest.failf "%s: no upper bound" name)
+    (small_cases ())
+
+let test_governed_fallback_sound () =
+  (* With an immediately-expiring budget every exact engine degrades,
+     yet each lower-bound row still reports a value, and that value
+     stays at or below the true optimum. *)
+  List.iter
+    (fun (name, g, s) ->
+      let gov = Bounds.analyze_governed ~timeout:0.000001 g ~s in
+      let opt = Optimal.rbw_io g ~s in
+      check_bool (name ^ ": degraded lb <= optimal") true
+        (gov.Bounds.gov_best_lb <= opt);
+      List.iter
+        (fun (r : Bounds.row) ->
+          match (r.Bounds.kind, r.Bounds.value) with
+          | Bounds.Lower, Some v ->
+              check_bool
+                (Printf.sprintf "%s/%s: fallback value %d <= optimal %d" name
+                   r.Bounds.engine v opt)
+                true (v <= opt)
+          | Bounds.Lower, None ->
+              Alcotest.failf "%s/%s: lower-bound row lost its value" name
+                r.Bounds.engine
+          | _ -> ())
+        gov.Bounds.gov_rows)
+    (small_cases ())
+
+let test_governed_status_strings () =
+  let g = Dmc_gen.Shapes.chain 40 in
+  let gov = Bounds.analyze_governed g ~s:3 in
+  let row name =
+    List.find (fun (r : Bounds.row) -> r.Bounds.engine = name)
+      gov.Bounds.gov_rows
+  in
+  check_string "floor ok" "ok" (Bounds.row_status (row "floor"));
+  (* 40 vertices: the optimal game is structurally too large and must
+     report a skipped-with-fallback status *)
+  let opt = row "optimal" in
+  check_bool "optimal degraded" true (opt.Bounds.attempts <> []);
+  check_string "optimal status" "skipped(fallback=wavefront)"
+    (Bounds.row_status opt)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint + RNG state plumbing                                     *)
+
+let test_rng_save_restore () =
+  let g = Rng.create 42 in
+  for _ = 1 to 17 do
+    ignore (Rng.next g)
+  done;
+  let token = Rng.save g in
+  let h =
+    match Rng.restore token with
+    | Some h -> h
+    | None -> Alcotest.fail "save token did not restore"
+  in
+  for i = 1 to 100 do
+    check (Printf.sprintf "draw %d agrees" i) (Rng.next g) (Rng.next h)
+  done;
+  check_bool "garbage token rejected" true (Rng.restore "xyz" = None);
+  check_bool "wrong-length token rejected" true (Rng.restore "00" = None)
+
+let test_checkpoint_roundtrip () =
+  let path = Filename.temp_file "dmc-test-ckpt" ".json" in
+  let value =
+    Json.Obj
+      [
+        ("kind", Json.String "test");
+        ("next_case", Json.Int 17);
+        ("rng", Json.String (Rng.save (Rng.create 5)));
+        ("ratio", Json.Float 0.25);
+        ("flags", Json.List [ Json.Bool true; Json.Null ]);
+      ]
+  in
+  Checkpoint.write path value;
+  (match Checkpoint.load path with
+  | Error m -> Alcotest.fail m
+  | Ok loaded ->
+      check_bool "roundtrip" true (loaded = value);
+      check "field access" 17
+        (Option.get (Option.bind (Json.mem loaded "next_case") Json.as_int)));
+  Sys.remove path;
+  match Checkpoint.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a deleted checkpoint"
+
+let test_json_parse_errors () =
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed JSON %S" text)
+    [ ""; "{"; "[1,"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2" ]
+
+let () =
+  Alcotest.run "dmc_budget"
+    [
+      ( "guard",
+        [
+          Alcotest.test_case "node budget" `Quick test_node_budget;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "tick_n crosses period" `Quick test_tick_n_crosses_period;
+          Alcotest.test_case "cancellation" `Quick test_cancel;
+          Alcotest.test_case "unlimited still counts" `Quick test_unlimited_counts;
+          Alcotest.test_case "guard and internal errors" `Quick test_guard_and_internal_error;
+          Alcotest.test_case "failure strings" `Quick test_failure_strings;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "partition honors deadline" `Quick test_partition_deadline;
+          Alcotest.test_case "rbw honors node budget" `Quick test_rbw_node_budget;
+          Alcotest.test_case "state budget" `Quick test_state_budget;
+          Alcotest.test_case "too large" `Quick test_engine_too_large;
+          Alcotest.test_case "matches raising api" `Quick test_engine_matches_raising_api;
+          Alcotest.test_case "anytime wavefront sound" `Quick test_anytime_wavefront_sound;
+        ] );
+      ( "governed",
+        [
+          Alcotest.test_case "full run agrees" `Quick test_governed_full_agrees;
+          Alcotest.test_case "fallback stays sound" `Quick test_governed_fallback_sound;
+          Alcotest.test_case "status strings" `Quick test_governed_status_strings;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "rng save/restore" `Quick test_rng_save_restore;
+          Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+        ] );
+    ]

@@ -266,6 +266,72 @@ let test_serialize_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad directive accepted"
 
+(* Corrupt-input matrix: every malformed construct must come back as
+   [Error] naming the offending line, never as an exception. *)
+let test_serialize_corrupt_matrix () =
+  let expect_error name text needle =
+    match Serialize.of_string text with
+    | Ok _ -> Alcotest.failf "%s: accepted %S" name text
+    | Error msg ->
+        check_bool
+          (Printf.sprintf "%s: %S mentions %S" name msg needle)
+          true (contains needle msg)
+  in
+  expect_error "empty" "" "missing cdag header";
+  expect_error "comments only" "# nothing here\n\n" "missing cdag header";
+  expect_error "edge before header" "e 0 1\ncdag 2\n"
+    "line 1: directive before the cdag header";
+  expect_error "bare header" "cdag\n" "exactly one vertex count";
+  expect_error "header arity" "cdag 2 3\n" "exactly one vertex count";
+  expect_error "negative count" "cdag -3\n" "line 1: negative vertex count";
+  expect_error "non-integer count" "cdag two\n" "line 1: not an integer: two";
+  expect_error "duplicate header" "cdag 2\ncdag 2\n"
+    "line 2: duplicate cdag header (first on line 1)";
+  expect_error "dangling endpoint" "cdag 2\ne 0 5\n"
+    "line 2: vertex 5 out of range (header declares 2 vertices)";
+  expect_error "negative endpoint" "cdag 2\ne -1 1\n" "out of range";
+  expect_error "edge arity short" "cdag 2\ne 0\n"
+    "line 2: edge needs exactly two endpoints";
+  expect_error "edge arity long" "cdag 3\ne 0 1 2\n"
+    "line 2: edge needs exactly two endpoints";
+  expect_error "self-loop" "cdag 2\ne 1 1\n" "line 2: self-loop on vertex 1";
+  expect_error "duplicate edge" "cdag 2\ne 0 1\n# gap\ne 0 1\n"
+    "line 4: duplicate edge 0 -> 1 (first on line 2)";
+  expect_error "cycle" "cdag 3\ne 0 1\ne 1 2\ne 2 0\n" "cycle";
+  expect_error "tag out of range" "cdag 2\ni 0 7\n" "line 2: vertex 7 out of range";
+  expect_error "duplicate input tag" "cdag 2\ni 0\ni 0\n"
+    "line 3: duplicate input tag on vertex 0 (first on line 2)";
+  expect_error "duplicate output tag" "cdag 2\no 1 1\n"
+    "duplicate output tag on vertex 1";
+  expect_error "label without label" "cdag 2\nl 0\n"
+    "line 2: label directive without a label";
+  expect_error "label out of range" "cdag 2\nl 9 x\n" "line 2: vertex 9 out of range";
+  expect_error "duplicate label" "cdag 2\nl 0 a\nl 0 b\n"
+    "line 3: duplicate label for vertex 0 (first on line 2)";
+  expect_error "garbage directive" "cdag 2\nxyzzy 1\n"
+    "line 2: unrecognized directive: xyzzy 1";
+  (* the accepted grammar still parses: comments, blanks, labels with
+     spaces, forward references *)
+  match Serialize.of_string "cdag 3\n\n# ok\ne 0 2\ne 1 2\ni 0 1\no 2\nl 2 a b\n" with
+  | Error m -> Alcotest.fail m
+  | Ok g ->
+      check "vertices" 3 (Cdag.n_vertices g);
+      check "edges" 2 (Cdag.n_edges g);
+      Alcotest.(check string) "spaced label" "a b" (Cdag.label g 2)
+
+let test_serialize_of_file_errors () =
+  (match Serialize.of_file "/nonexistent/dmc-no-such-file.cdag" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "read a nonexistent file");
+  let path = Filename.temp_file "dmc-test-serialize" ".cdag" in
+  let oc = open_out path in
+  output_string oc "cdag 2\ne 0 bogus\n";
+  close_out oc;
+  (match Serialize.of_file path with
+  | Error msg -> check_bool "line number survives of_file" true (contains "line 2" msg)
+  | Ok _ -> Alcotest.fail "accepted corrupt file");
+  Sys.remove path
+
 let test_serialize_labels_roundtrip () =
   let b = Cdag.Builder.create () in
   let x = Cdag.Builder.add_vertex ~label:"alpha beta" b in
@@ -341,6 +407,8 @@ let () =
           Alcotest.test_case "dot structure" `Quick test_dot_contains_structure;
           Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
           Alcotest.test_case "serialize errors" `Quick test_serialize_errors;
+          Alcotest.test_case "corrupt input matrix" `Quick test_serialize_corrupt_matrix;
+          Alcotest.test_case "of_file errors" `Quick test_serialize_of_file_errors;
           Alcotest.test_case "labels roundtrip" `Quick test_serialize_labels_roundtrip;
           Alcotest.test_case "dot escaping" `Quick test_dot_escaping;
         ] );
