@@ -25,6 +25,69 @@ let guarded f =
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Graceful shutdown.  The long-running drivers install these: the
+   first SIGINT/SIGTERM raises a flag checked between units (and
+   polled by the worker-pool supervisor), so the run stops
+   dispatching, reaps its workers, keeps its last checkpoint and
+   exits with a distinct code; a second signal exits immediately. *)
+
+let interrupted : int option ref = ref None
+
+let interrupt_exit_code () =
+  match !interrupted with
+  | Some s when s = Sys.sigterm -> 143
+  | _ -> 130
+
+let install_interrupt_handlers () =
+  let handle s =
+    Sys.Signal_handle
+      (fun _ ->
+        match !interrupted with
+        | Some _ -> exit (if s = Sys.sigterm then 143 else 130)
+        | None -> interrupted := Some s)
+  in
+  Sys.set_signal Sys.sigint (handle Sys.sigint);
+  Sys.set_signal Sys.sigterm (handle Sys.sigterm)
+
+(* ------------------------------------------------------------------ *)
+(* Worker-pool plumbing shared by bounds/experiment.                  *)
+
+let parse_faults = function
+  | None -> Dmc_runtime.Fault.of_env ()
+  | Some spec -> (
+      match Dmc_runtime.Fault.parse spec with
+      | Ok faults -> Dmc_runtime.Fault.of_env () @ faults
+      | Error msg -> failwith msg)
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Number of supervised worker processes.  With N > 1 each unit \
+               (engine ladder for $(b,bounds), experiment for \
+               $(b,experiment)) runs in its own forked child under a hard \
+               deadline; results are committed in submission order, so the \
+               output is byte-identical to a sequential run.")
+
+let job_timeout_arg =
+  Arg.(value & opt (some float) None & info [ "job-timeout" ] ~docv:"SECONDS"
+         ~doc:"Hard per-attempt wall-clock deadline for each worker: the \
+               supervisor SIGKILLs an attempt that overruns (no reliance on \
+               cooperative budget polling) and degrades or retries it.")
+
+let retries_arg =
+  Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
+         ~doc:"Extra attempts for a worker that timed out, crashed or broke \
+               the result protocol (exponential backoff with deterministic \
+               jitter).  Deterministic engine failures are never retried.")
+
+let fault_arg =
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC"
+         ~doc:"Deterministic fault injection in the workers, for testing the \
+               supervision paths: comma-separated kind:job[:attempts] \
+               clauses with kind one of hang, abort, garbage and job the \
+               1-based submission index (e.g. 'hang:3,abort:1:1').  Also \
+               read from \\$DMC_FAULT.")
+
+(* ------------------------------------------------------------------ *)
 (* Shared CDAG source: either a named generator or a file.            *)
 
 let generator_doc =
@@ -133,16 +196,77 @@ let gen_cmd =
 (* ------------------------------------------------------------------ *)
 (* dmc bounds                                                         *)
 
+(* One pool job per governed engine: the ladder runs in a forked
+   worker ([Engine_job] reconstructs it from name + serialized graph),
+   and a worker lost to a crash, hard kill or protocol break degrades
+   supervisor-side to the engine's terminal rung, with the pool
+   verdict recorded as the failed "worker" rung. *)
+let bounds_parallel ~jobs ~job_timeout ~retries ~faults ?timeout ?node_budget g
+    ~s =
+  let module Pool = Dmc_runtime.Pool in
+  let engine_jobs =
+    List.map
+      (fun (name, _) ->
+        Dmc_core.Engine_job.make ?timeout ?node_budget g ~s ~engine:name)
+      Dmc_core.Bounds.governed_engines
+  in
+  let cfg =
+    {
+      Pool.default with
+      jobs;
+      timeout = job_timeout;
+      max_retries = retries;
+      faults;
+      should_stop = (fun () -> !interrupted <> None);
+    }
+  in
+  let outcomes =
+    Pool.run cfg ~worker:(fun _ job -> Dmc_core.Engine_job.run job) engine_jobs
+  in
+  let rows =
+    List.mapi
+      (fun i (name, kind) ->
+        let o = outcomes.(i) in
+        let degraded failure =
+          Dmc_core.Bounds.degraded_row g ~s ~engine:name ~kind ~failure
+            ~elapsed:o.Pool.elapsed
+        in
+        match o.Pool.verdict with
+        | Pool.Done payload -> (
+            match Dmc_core.Bounds.row_of_json payload with
+            | Some row -> row
+            | None ->
+                degraded
+                  (Dmc_util.Budget.Internal "worker returned an unparseable row"))
+        | v -> degraded (Option.get (Pool.verdict_failure v)))
+      Dmc_core.Bounds.governed_engines
+  in
+  Dmc_core.Bounds.assemble_governed g ~s rows
+
 let bounds_cmd =
-  let run spec file s optimal certify json timeout node_budget governed =
+  let run spec file s optimal certify json timeout node_budget governed jobs
+      job_timeout retries fault =
     setup_logs ();
     guarded @@ fun () ->
+    install_interrupt_handlers ();
+    let faults = parse_faults fault in
     let g = load_cdag ~spec ~file in
     (* A resource budget switches to the governed path: every engine
        runs under its own guard and degrades down a fallback ladder
        instead of failing, so the command always exits 0 with a status
        per engine. *)
-    if governed || timeout <> None || node_budget <> None then begin
+    if jobs > 1 || faults <> [] || job_timeout <> None then begin
+      let gr =
+        bounds_parallel ~jobs ~job_timeout ~retries ~faults ?timeout
+          ?node_budget g ~s
+      in
+      (if json then
+         print_endline
+           (Dmc_util.Json.to_string (Dmc_core.Bounds.governed_to_json gr))
+       else Format.printf "%a" Dmc_core.Bounds.pp_governed gr);
+      if !interrupted <> None then exit (interrupt_exit_code ())
+    end
+    else if governed || timeout <> None || node_budget <> None then begin
       let gr =
         Dmc_core.Bounds.analyze_governed ?timeout ?node_budget g ~s
       in
@@ -179,7 +303,8 @@ let bounds_cmd =
   in
   Cmd.v (Cmd.info "bounds" ~doc:"Lower/upper-bound analysis of a CDAG")
     Term.(const run $ spec_arg $ file_arg $ s_arg $ optimal $ certify $ json
-          $ timeout_arg $ node_budget_arg $ governed)
+          $ timeout_arg $ node_budget_arg $ governed $ jobs_arg
+          $ job_timeout_arg $ retries_arg $ fault_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dmc game                                                           *)
@@ -533,9 +658,11 @@ let experiment_restore path ~selected =
       completed
 
 let experiment_cmd =
-  let run names timeout checkpoint resume =
+  let run names timeout checkpoint resume jobs job_timeout retries fault =
     setup_logs ();
     guarded @@ fun () ->
+    install_interrupt_handlers ();
+    let faults = parse_faults fault in
     let registry = Dmc_analysis.Report.names in
     let selected =
       match names with
@@ -572,34 +699,125 @@ let experiment_cmd =
     let remaining = List.filteri (fun i _ -> i >= List.length completed) selected in
     let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
     let done_rev = ref (List.rev completed) in
-    let timed_out = ref false in
-    List.iter
-      (fun (name, f) ->
-        if not !timed_out then
-          match deadline with
-          | Some d when Unix.gettimeofday () > d ->
-              timed_out := true;
+    (* Commit one finished unit: stream its output, then checkpoint.
+       Both execution paths funnel through here in selection order, so
+       stdout and the checkpoint are byte-identical whichever path —
+       and however many workers — produced the results. *)
+    let commit_unit name ok output =
+      print_string output;
+      flush stdout;
+      done_rev := (name, ok, output) :: !done_rev;
+      Option.iter
+        (fun p ->
+          Dmc_util.Checkpoint.write p
+            (experiment_checkpoint ~selected ~done_rev:!done_rev))
+        ckpt_path
+    in
+    let resume_hint () =
+      (* Only point at a checkpoint that actually exists: a run
+         stopped before its first committed unit never wrote one. *)
+      match ckpt_path with
+      | Some p when Sys.file_exists p ->
+          Printf.sprintf "; resume with --resume %s" p
+      | Some _ | None -> ""
+    in
+    let finish ~stopped_early =
+      (match !interrupted with
+      | Some _ ->
+          Format.eprintf "dmc: interrupted after %d/%d experiments%s@."
+            (List.length !done_rev) (List.length selected) (resume_hint ());
+          exit (interrupt_exit_code ())
+      | None -> ());
+      if stopped_early then begin
+        Format.eprintf "dmc: timeout reached after %d/%d experiments%s@."
+          (List.length !done_rev) (List.length selected) (resume_hint ());
+        exit 0
+      end;
+      let ok = List.for_all (fun (_, ok, _) -> ok) !done_rev in
+      Printf.printf "\nOVERALL: %s\n"
+        (if ok then "ALL CHECKS PASSED" else "SOME CHECKS FAILED");
+      if not ok then exit 1
+    in
+    if jobs > 1 || faults <> [] || job_timeout <> None then begin
+      (* Supervised path: one forked worker per experiment.  A worker
+         lost to a crash, hard kill or protocol break degrades to an
+         in-process rerun of the same unit (the fault hook only fires
+         in children, and a real crash is isolated there), so every
+         unit still produces a row. *)
+      let module Pool = Dmc_runtime.Pool in
+      let module J = Dmc_util.Json in
+      let cfg =
+        {
+          Pool.default with
+          jobs;
+          timeout = job_timeout;
+          max_retries = retries;
+          faults;
+          should_stop = (fun () -> !interrupted <> None);
+          accept_more =
+            (fun () ->
+              match deadline with
+              | None -> true
+              | Some d -> Unix.gettimeofday () <= d);
+        }
+      in
+      let arr = Array.of_list remaining in
+      let worker _ (_, f) =
+        let ok, output = capture_stdout f in
+        Ok (J.Obj [ ("ok", J.Bool ok); ("output", J.String output) ])
+      in
+      let on_result i outcome =
+        let name, f = arr.(i) in
+        let degrade verdict =
+          Format.eprintf
+            "dmc: experiment %s: worker %s; degrading to an in-process run@."
+            name
+            (Pool.verdict_to_string verdict);
+          match capture_stdout f with
+          | ok, output -> (ok, output)
+          | exception e ->
               Format.eprintf
-                "dmc: timeout reached after %d/%d experiments%s@."
-                (List.length !done_rev) (List.length selected)
-                (match ckpt_path with
-                | Some p -> Printf.sprintf "; resume with --resume %s" p
-                | None -> "")
-          | _ ->
-              let ok, output = capture_stdout f in
-              print_string output;
-              flush stdout;
-              done_rev := (name, ok, output) :: !done_rev;
-              Option.iter
-                (fun p ->
-                  Dmc_util.Checkpoint.write p
-                    (experiment_checkpoint ~selected ~done_rev:!done_rev))
-                ckpt_path)
-      remaining;
-    if !timed_out then exit 0;
-    let ok = List.for_all (fun (_, ok, _) -> ok) !done_rev in
-    Printf.printf "\nOVERALL: %s\n" (if ok then "ALL CHECKS PASSED" else "SOME CHECKS FAILED");
-    if not ok then exit 1
+                "dmc: experiment %s: in-process fallback failed too: %s@." name
+                (Printexc.to_string e);
+              (false, "")
+        in
+        let ok, output =
+          match outcome.Pool.verdict with
+          | Pool.Done payload -> (
+              match
+                ( Option.bind (J.mem payload "ok") J.as_bool,
+                  Option.bind (J.mem payload "output") J.as_string )
+              with
+              | Some ok, Some output -> (ok, output)
+              | _ -> degrade (Pool.Worker_protocol_error "bad result payload"))
+          | v -> degrade v
+        in
+        commit_unit name ok output
+      in
+      let outcomes = Pool.run cfg ~worker ~on_result remaining in
+      let cancelled =
+        Array.exists
+          (fun o ->
+            match o.Pool.verdict with
+            | Pool.Engine_failure Dmc_util.Budget.Cancelled -> true
+            | _ -> false)
+          outcomes
+      in
+      finish ~stopped_early:(cancelled && !interrupted = None)
+    end
+    else begin
+      let timed_out = ref false in
+      List.iter
+        (fun (name, f) ->
+          if (not !timed_out) && !interrupted = None then
+            match deadline with
+            | Some d when Unix.gettimeofday () > d -> timed_out := true
+            | _ ->
+                let ok, output = capture_stdout f in
+                commit_unit name ok output)
+        remaining;
+      finish ~stopped_early:!timed_out
+    end
   in
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"NAME"
@@ -618,7 +836,8 @@ let experiment_cmd =
                  checkpointing to the same file.")
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Run the paper's evaluation experiments")
-    Term.(const run $ names $ timeout_arg $ checkpoint $ resume)
+    Term.(const run $ names $ timeout_arg $ checkpoint $ resume $ jobs_arg
+          $ job_timeout_arg $ retries_arg $ fault_arg)
 
 let () =
   let info =

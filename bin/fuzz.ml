@@ -149,23 +149,52 @@ let one_case rng g ~s =
 (* ------------------------------------------------------------------ *)
 (* Driver: argument parsing, checkpointing, reproducers.              *)
 
+(* Everything a case does is a pure function of its seed, so the same
+   entry point serves the sequential loop and the forked pool workers
+   — the parallel run visits exactly the case stream a sequential run
+   would. *)
+let run_case ~case_seed =
+  let rng = Rng.create case_seed in
+  let family = ref "?" in
+  let s_used = ref None in
+  let n_built = ref None in
+  match
+    let fname, gen = families.(Rng.int rng (Array.length families)) in
+    family := fname;
+    let g = gen rng in
+    n_built := Some (Cdag.n_vertices g);
+    let s = max_indeg g + 1 + Rng.int rng 4 in
+    s_used := Some s;
+    one_case rng g ~s
+  with
+  | n -> Ok n
+  | exception Violation msg ->
+      Error ("violation", msg, !family, !s_used, !n_built)
+  | exception e ->
+      Error ("exception", Printexc.to_string e, !family, !s_used, !n_built)
+
 let usage =
   "usage: fuzz [cases] [seed] [--timeout SECS] [--checkpoint FILE] \
-   [--resume FILE] [--no-checkpoint]"
+   [--resume FILE] [--no-checkpoint] [--jobs N] [--job-timeout SECS] \
+   [--retries N] [--fault SPEC]"
 
 let die msg =
   prerr_endline ("fuzz: " ^ msg);
   prerr_endline usage;
   exit 2
 
-let fuzz_checkpoint ~cases ~seed ~next_case ~master ~total_vertices ~failures =
+(* [rng] is the saved master state *after* the last committed case's
+   seed draw — the parallel supervisor snapshots it at dispatch time,
+   so a checkpoint written while later cases are in flight still
+   resumes the exact stream. *)
+let fuzz_checkpoint ~cases ~seed ~next_case ~rng ~total_vertices ~failures =
   J.Obj
     [
       ("kind", J.String "dmc-fuzz");
       ("cases", J.Int cases);
       ("seed", J.Int seed);
       ("next_case", J.Int next_case);
-      ("rng", J.String (Rng.save master));
+      ("rng", J.String rng);
       ("total_vertices", J.Int total_vertices);
       ("failures", J.Int failures);
     ]
@@ -191,6 +220,10 @@ let () =
   let timeout = ref None in
   let ckpt_path = ref (Some "dmc-fuzz.ckpt.json") in
   let resume = ref None in
+  let jobs = ref 1 in
+  let job_timeout = ref None in
+  let retries = ref 0 in
+  let cli_faults = ref [] in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -207,6 +240,26 @@ let () =
         parse rest
     | "--resume" :: v :: rest ->
         resume := Some v;
+        parse rest
+    | "--jobs" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> jobs := n
+        | _ -> die ("bad --jobs value: " ^ v));
+        parse rest
+    | "--job-timeout" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t -> job_timeout := Some t
+        | None -> die ("bad --job-timeout value: " ^ v));
+        parse rest
+    | "--retries" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 0 -> retries := n
+        | _ -> die ("bad --retries value: " ^ v));
+        parse rest
+    | "--fault" :: v :: rest ->
+        (match Dmc_runtime.Fault.parse v with
+        | Ok faults -> cli_faults := !cli_faults @ faults
+        | Error msg -> die msg);
         parse rest
     | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
         die ("unknown option " ^ arg)
@@ -261,55 +314,160 @@ let () =
   in
   if start_case > 1 then
     Printf.eprintf "fuzz: resuming at case %d/%d\n%!" start_case cases;
+  (* Graceful shutdown: the first SIGINT/SIGTERM stops dispatching,
+     reaps any workers, keeps the last checkpoint and exits with a
+     distinct code; a second one exits immediately. *)
+  let interrupted = ref None in
+  let install_signal s =
+    Sys.set_signal s
+      (Sys.Signal_handle
+         (fun _ ->
+           match !interrupted with
+           | Some _ -> exit (if s = Sys.sigterm then 143 else 130)
+           | None -> interrupted := Some s))
+  in
+  install_signal Sys.sigint;
+  install_signal Sys.sigterm;
   let deadline = Option.map (fun t -> Dmc_util.Budget.now () +. t) !timeout in
   let total_vertices = ref tv0 in
   let failures = ref f0 in
-  let i = ref start_case in
-  let timed_out = ref false in
-  while !i <= cases && not !timed_out do
-    match deadline with
-    | Some d when Dmc_util.Budget.now () > d -> timed_out := true
-    | _ ->
-        let case_seed = Rng.next master in
-        let rng = Rng.create case_seed in
-        let family = ref "?" in
-        let s_used = ref None in
-        let n_built = ref None in
-        let record check msg =
-          incr failures;
-          let repro =
-            write_repro ~case:!i ~seed ~case_seed ~family:!family ~s:!s_used
-              ~n:!n_built ~check msg
-          in
-          Printf.printf "VIOLATION in case %d (seed %d): %s [reproducer: %s]\n%!"
-            !i case_seed msg repro
-        in
-        (match
-           let fname, gen = families.(Rng.int rng (Array.length families)) in
-           family := fname;
-           let g = gen rng in
-           n_built := Some (Cdag.n_vertices g);
-           let s = max_indeg g + 1 + Rng.int rng 4 in
-           s_used := Some s;
-           one_case rng g ~s
-         with
-        | n -> total_vertices := !total_vertices + n
-        | exception Violation msg -> record "violation" msg
-        | exception e -> record "exception" (Printexc.to_string e));
-        incr i;
-        Option.iter
-          (fun path ->
-            Dmc_util.Checkpoint.write path
-              (fuzz_checkpoint ~cases ~seed ~next_case:!i ~master
-                 ~total_vertices:!total_vertices ~failures:!failures))
-          !ckpt_path
-  done;
-  if !timed_out then
-    Printf.printf "fuzz: timeout after %d/%d cases%s\n" (!i - 1) cases
-      (match !ckpt_path with
-      | Some p -> Printf.sprintf " (resume with --resume %s)" p
-      | None -> "")
-  else
-    Printf.printf "fuzz: %d cases, %d vertices total, %d violation(s)\n" cases
-      !total_vertices !failures;
-  if Stdlib.( > ) !failures 0 then exit 1
+  let record ~case ~case_seed ~family ~s ~n check msg =
+    incr failures;
+    let repro = write_repro ~case ~seed ~case_seed ~family ~s ~n ~check msg in
+    Printf.printf "VIOLATION in case %d (seed %d): %s [reproducer: %s]\n%!"
+      case case_seed msg repro
+  in
+  let checkpoint_after ~next_case ~rng =
+    Option.iter
+      (fun path ->
+        Dmc_util.Checkpoint.write path
+          (fuzz_checkpoint ~cases ~seed ~next_case ~rng
+             ~total_vertices:!total_vertices ~failures:!failures))
+      !ckpt_path
+  in
+  let stopped_at = ref None in
+  (if !jobs > 1 then begin
+     (* Supervised pool: one forked worker per case, results committed
+        in case order.  Case seeds are drawn from the master stream at
+        dispatch time, with the post-draw state snapshotted per case so
+        every checkpoint resumes the exact stream. *)
+     let module Pool = Dmc_runtime.Pool in
+     let n_remaining = cases - start_case + 1 in
+     if n_remaining > 0 then begin
+       let seeds = Array.make n_remaining (0, "") in
+       for k = 0 to n_remaining - 1 do
+         let case_seed = Rng.next master in
+         seeds.(k) <- (case_seed, Rng.save master)
+       done;
+       let worker _ k =
+         let case_seed, _ = seeds.(k) in
+         match run_case ~case_seed with
+         | Ok n -> Ok (J.Obj [ ("n", J.Int n) ])
+         | Error (check, msg, family, s, n) ->
+             Ok
+               (J.Obj
+                  [
+                    ("check", J.String check);
+                    ("msg", J.String msg);
+                    ("family", J.String family);
+                    ("s", J.opt (fun v -> J.Int v) s);
+                    ("n", J.opt (fun v -> J.Int v) n);
+                  ])
+       in
+       let on_result k outcome =
+         let case = start_case + k in
+         let case_seed, rng = seeds.(k) in
+         (match outcome.Pool.verdict with
+         | Pool.Done payload -> (
+             let field f conv = Option.bind (J.mem payload f) conv in
+             match field "check" J.as_string with
+             | Some check ->
+                 let str f = Option.value ~default:"?" (field f J.as_string) in
+                 record ~case ~case_seed ~family:(str "family")
+                   ~s:(field "s" J.as_int) ~n:(field "n" J.as_int) check
+                   (str "msg")
+             | None -> (
+                 match field "n" J.as_int with
+                 | Some n -> total_vertices := !total_vertices + n
+                 | None ->
+                     record ~case ~case_seed ~family:"?" ~s:None ~n:None
+                       "worker-protocol" "result frame lacks n"))
+         | v ->
+             (* The child died before it could persist anything, so the
+                supervisor emits the reproducer: case index + seeds are
+                enough to replay the case deterministically. *)
+             record ~case ~case_seed ~family:"?" ~s:None ~n:None "worker"
+               (Pool.verdict_to_string v));
+         checkpoint_after ~next_case:(case + 1) ~rng
+       in
+       let cfg =
+         {
+           Pool.default with
+           jobs = !jobs;
+           timeout = !job_timeout;
+           max_retries = !retries;
+           faults = Dmc_runtime.Fault.of_env () @ !cli_faults;
+           should_stop = (fun () -> !interrupted <> None);
+           accept_more =
+             (fun () ->
+               match deadline with
+               | None -> true
+               | Some d -> Dmc_util.Budget.now () <= d);
+         }
+       in
+       let outcomes =
+         Pool.run cfg ~worker ~on_result (List.init n_remaining Fun.id)
+       in
+       let cancelled =
+         Array.fold_left
+           (fun acc o ->
+             match o.Pool.verdict with
+             | Pool.Engine_failure Dmc_util.Budget.Cancelled -> acc + 1
+             | _ -> acc)
+           0 outcomes
+       in
+       if cancelled > 0 then stopped_at := Some (cases - cancelled)
+     end
+   end
+   else begin
+     let i = ref start_case in
+     let timed_out = ref false in
+     while !i <= cases && not !timed_out && !interrupted = None do
+       match deadline with
+       | Some d when Dmc_util.Budget.now () > d -> timed_out := true
+       | _ ->
+           let case_seed = Rng.next master in
+           (match run_case ~case_seed with
+           | Ok n -> total_vertices := !total_vertices + n
+           | Error (check, msg, family, s, n) ->
+               record ~case:!i ~case_seed ~family ~s ~n check msg);
+           incr i;
+           checkpoint_after ~next_case:(!i) ~rng:(Rng.save master)
+     done;
+     if !timed_out || !interrupted <> None then stopped_at := Some (!i - 1)
+   end);
+  let resume_hint () =
+    (* Only point at a checkpoint that actually exists: a run stopped
+       before its first committed case never wrote one. *)
+    match !ckpt_path with
+    | Some p when Sys.file_exists p ->
+        Printf.sprintf " (resume with --resume %s)" p
+    | Some _ | None -> ""
+  in
+  (match (!interrupted, !stopped_at) with
+  | Some _, Some at ->
+      Printf.printf "fuzz: interrupted after %d/%d cases%s\n" at cases
+        (resume_hint ())
+  | Some _, None ->
+      Printf.printf "fuzz: interrupted after %d/%d cases%s\n" cases cases
+        (resume_hint ())
+  | None, Some at ->
+      Printf.printf "fuzz: timeout after %d/%d cases%s\n" at cases
+        (resume_hint ())
+  | None, None ->
+      Printf.printf "fuzz: %d cases, %d vertices total, %d violation(s)\n" cases
+        !total_vertices !failures);
+  if Stdlib.( > ) !failures 0 then exit 1;
+  match !interrupted with
+  | Some s -> exit (if s = Sys.sigterm then 143 else 130)
+  | None -> ()

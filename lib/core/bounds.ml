@@ -212,7 +212,25 @@ let row_status r =
           Printf.sprintf "%s(fallback=%s)" (failure_token first) r.rung
       | None -> failure_token first)
 
-let analyze_governed ?timeout ?node_budget ?(samples = 64) g ~s =
+let governed_engines =
+  [
+    ("floor", Lower);
+    ("wavefront", Lower);
+    ("partition-h", Lower);
+    ("partition-u", Lower);
+    ("span", Lower);
+    ("optimal", Exact);
+    ("belady", Upper);
+    ("lru", Upper);
+  ]
+
+let governed_max_indeg g =
+  Cdag.fold_vertices g
+    (fun acc v ->
+      if Cdag.is_input g v then acc else max acc (Cdag.in_degree g v))
+    0
+
+let governed_row ?timeout ?node_budget ?(samples = 64) ?wavefront g ~s engine =
   let fresh_budget () =
     match (timeout, node_budget) with
     | None, None -> None
@@ -237,9 +255,14 @@ let analyze_governed ?timeout ?node_budget ?(samples = 64) g ~s =
       | (rung, f) :: rest -> (
           (* Terminal rungs (the I/O floor, the trivial schedule) are
              O(n) and exist precisely so a starved budget still yields a
-             sound value — they run outside the budget. *)
+             sound value — they run outside the budget.  The floor
+             engine's own row is terminal in the same sense: its value
+             is already computed, and budgeting it would let a fully
+             expired deadline (the check races the clock even for a
+             pure return) strip the one row that may never lose its
+             value. *)
           let budget =
-            if rung = "floor" || rung = "trivial" then None
+            if rung = "floor" || rung = "trivial" || engine = "floor" then None
             else fresh_budget ()
           in
           match Engine.run ?budget (fun () -> f budget) with
@@ -257,10 +280,7 @@ let analyze_governed ?timeout ?node_budget ?(samples = 64) g ~s =
     go [] rungs
   in
   let floor_rung = ("floor", fun _ -> floor) in
-  (* The wavefront row runs first; its achieved value is reused as the
-     middle rung of every other lower-bound ladder (it is a sound
-     lower bound for the same quantity). *)
-  let wavefront_row =
+  let wavefront_ladder () =
     run_ladder "wavefront" Lower
       [
         ( "exact",
@@ -275,49 +295,83 @@ let analyze_governed ?timeout ?node_budget ?(samples = 64) g ~s =
         floor_rung;
       ]
   in
+  (* The wavefront's achieved value is the middle rung of every other
+     lower-bound ladder (it is a sound lower bound for the same
+     quantity).  [analyze_governed] precomputes it once and passes it
+     in; an isolated worker computing a single row derives it on
+     demand, which is value-deterministic (fixed sampler seed) even if
+     the work is repeated. *)
   let wavefront_value =
-    match wavefront_row.value with Some v -> v | None -> floor
+    lazy
+      (match wavefront with
+      | Some v -> v
+      | None -> (
+          match (wavefront_ladder ()).value with Some v -> v | None -> floor))
   in
-  let wf_rung = ("wavefront", fun _ -> wavefront_value) in
+  let wf_rung = ("wavefront", fun _ -> Lazy.force wavefront_value) in
   let lb_ladder name exact_fn =
     run_ladder name Lower [ ("exact", exact_fn); wf_rung; floor_rung ]
   in
   (* The trivial schedule only exists when every vertex's operands fit
      beside it, so the upper-bound ladder's last rung still has a
      precondition. *)
-  let max_indeg =
-    Cdag.fold_vertices g
-      (fun acc v ->
-        if Cdag.is_input g v then acc else max acc (Cdag.in_degree g v))
-      0
-  in
+  let max_indeg = governed_max_indeg g in
   let trivial_rung =
     ( "trivial",
       fun _ ->
         if s >= max_indeg + 1 then Strategy.trivial_io g
         else failwith "Bounds: S too small for the trivial schedule" )
   in
-  let rows =
-    [
-      run_ladder "floor" Lower [ ("exact", fun _ -> floor) ];
-      wavefront_row;
-      lb_ladder "partition-h" (fun b -> Spartition.lower_bound_exact ?budget:b g ~s);
-      lb_ladder "partition-u" (fun b -> Spartition.lower_bound_u ?budget:b g ~s);
-      lb_ladder "span" (fun b -> Span.lower_bound ?budget:b g ~s);
+  match engine with
+  | "floor" -> run_ladder "floor" Lower [ ("exact", fun _ -> floor) ]
+  | "wavefront" -> wavefront_ladder ()
+  | "partition-h" ->
+      lb_ladder "partition-h" (fun b -> Spartition.lower_bound_exact ?budget:b g ~s)
+  | "partition-u" ->
+      lb_ladder "partition-u" (fun b -> Spartition.lower_bound_u ?budget:b g ~s)
+  | "span" -> lb_ladder "span" (fun b -> Span.lower_bound ?budget:b g ~s)
+  | "optimal" ->
       run_ladder "optimal" Exact
-        [ ("exact", fun b -> Optimal.rbw_io ?budget:b g ~s); wf_rung; floor_rung ];
+        [ ("exact", fun b -> Optimal.rbw_io ?budget:b g ~s); wf_rung; floor_rung ]
+  | "belady" ->
       run_ladder "belady" Upper
         [
           ("exact", fun b -> Strategy.io ?budget:b ~policy:Strategy.Belady g ~s);
           trivial_rung;
-        ];
+        ]
+  | "lru" ->
       run_ladder "lru" Upper
         [
           ("exact", fun b -> Strategy.io ?budget:b ~policy:Strategy.Lru g ~s);
           trivial_rung;
-        ];
-    ]
-  in
+        ]
+  | other -> invalid_arg ("Bounds.governed_row: unknown engine " ^ other)
+
+let degraded_row g ~s ~engine ~kind ~failure ~elapsed =
+  let attempts = [ ("worker", failure) ] in
+  match kind with
+  | Lower | Exact ->
+      {
+        engine;
+        kind;
+        value = Some (io_floor g);
+        rung = "floor";
+        attempts;
+        elapsed;
+      }
+  | Upper ->
+      if s >= governed_max_indeg g + 1 then
+        {
+          engine;
+          kind;
+          value = Some (Strategy.trivial_io g);
+          rung = "trivial";
+          attempts;
+          elapsed;
+        }
+      else { engine; kind; value = None; rung = "-"; attempts; elapsed }
+
+let assemble_governed g ~s rows =
   let best_lb =
     List.fold_left
       (fun acc r ->
@@ -350,6 +404,81 @@ let analyze_governed ?timeout ?node_budget ?(samples = 64) g ~s =
     gov_best_ub = best_ub;
   }
 
+let analyze_governed ?timeout ?node_budget ?(samples = 64) g ~s =
+  (* The wavefront row runs first; its achieved value is reused as the
+     middle rung of every other lower-bound ladder. *)
+  let wavefront_row = governed_row ?timeout ?node_budget ~samples g ~s "wavefront" in
+  let wavefront_value =
+    match wavefront_row.value with Some v -> v | None -> io_floor g
+  in
+  let rows =
+    List.map
+      (fun (name, _) ->
+        if name = "wavefront" then wavefront_row
+        else
+          governed_row ?timeout ?node_budget ~samples ~wavefront:wavefront_value
+            g ~s name)
+      governed_engines
+  in
+  assemble_governed g ~s rows
+
+let kind_of_string = function
+  | "lb" -> Some Lower
+  | "ub" -> Some Upper
+  | "exact" -> Some Exact
+  | _ -> None
+
+let row_to_json r =
+  let module J = Dmc_util.Json in
+  J.Obj
+    [
+      ("engine", J.String r.engine);
+      ("kind", J.String (kind_to_string r.kind));
+      ("value", J.opt (fun v -> J.Int v) r.value);
+      ("status", J.String (row_status r));
+      ("rung", J.String r.rung);
+      ( "failed_rungs",
+        J.List
+          (List.map
+             (fun (rung, e) ->
+               J.Obj
+                 [
+                   ("rung", J.String rung);
+                   ("failure", J.String (Budget.failure_to_string e));
+                 ])
+             r.attempts) );
+      ("elapsed_s", J.Float r.elapsed);
+    ]
+
+let row_of_json json =
+  let module J = Dmc_util.Json in
+  let ( let* ) = Option.bind in
+  let* engine = Option.bind (J.mem json "engine") J.as_string in
+  let* kind = Option.bind (Option.bind (J.mem json "kind") J.as_string) kind_of_string in
+  let value =
+    match J.mem json "value" with Some j -> J.as_int j | None -> None
+  in
+  let* rung = Option.bind (J.mem json "rung") J.as_string in
+  let* elapsed = Option.bind (J.mem json "elapsed_s") J.as_float in
+  let* attempts =
+    match Option.bind (J.mem json "failed_rungs") J.as_list with
+    | None -> None
+    | Some l ->
+        List.fold_left
+          (fun acc entry ->
+            let* acc = acc in
+            let* rung = Option.bind (J.mem entry "rung") J.as_string in
+            let* failure =
+              Option.bind
+                (Option.bind (J.mem entry "failure") J.as_string)
+                Budget.failure_of_string
+            in
+            Some ((rung, failure) :: acc))
+          (Some []) l
+        |> Option.map List.rev
+  in
+  Some { engine; kind; value; rung; attempts; elapsed }
+
 let pp_governed ppf gr =
   let module T = Dmc_util.Table in
   let t = T.create ~headers:[ "engine"; "kind"; "value"; "status"; "rung"; "time" ] in
@@ -377,27 +506,7 @@ let pp_governed ppf gr =
 
 let governed_to_json gr =
   let module J = Dmc_util.Json in
-  let row_json r =
-    J.Obj
-      [
-        ("engine", J.String r.engine);
-        ("kind", J.String (kind_to_string r.kind));
-        ("value", J.opt (fun v -> J.Int v) r.value);
-        ("status", J.String (row_status r));
-        ("rung", J.String r.rung);
-        ( "failed_rungs",
-          J.List
-            (List.map
-               (fun (rung, e) ->
-                 J.Obj
-                   [
-                     ("rung", J.String rung);
-                     ("failure", J.String (Budget.failure_to_string e));
-                   ])
-               r.attempts) );
-        ("elapsed_s", J.Float r.elapsed);
-      ]
-  in
+  let row_json = row_to_json in
   J.Obj
     [
       ("s", J.Int gr.gov_s);

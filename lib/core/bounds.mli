@@ -159,6 +159,48 @@ val analyze_governed :
     upper bounds fall back to the trivial schedule.  Never raises on
     resource exhaustion — every failure is recorded in the row. *)
 
+(** {2 Per-engine rows}
+
+    The worker pool ({!Dmc_runtime.Pool}) runs each governed engine in
+    its own child process, so the ladder of a single engine must be
+    computable in isolation and its row must cross a process boundary
+    as JSON. *)
+
+val governed_engines : (string * kind) list
+(** Every engine {!analyze_governed} runs, in output order:
+    ["floor"], ["wavefront"], ["partition-h"], ["partition-u"],
+    ["span"], ["optimal"], ["belady"], ["lru"]. *)
+
+val governed_row :
+  ?timeout:float -> ?node_budget:int -> ?samples:int -> ?wavefront:int ->
+  Cdag.t -> s:int -> string -> row
+(** One engine's full fallback ladder.  [wavefront] is the
+    already-computed wavefront bound used as the middle rung of the
+    other lower-bound ladders; when omitted it is derived on demand
+    (value-deterministic: the sampler seed is fixed).  Raises
+    [Invalid_argument] on an engine name not in {!governed_engines}. *)
+
+val degraded_row :
+  Cdag.t -> s:int -> engine:string -> kind:kind -> failure:failure ->
+  elapsed:float -> row
+(** The supervisor-side terminal rung for an engine whose whole worker
+    was lost (crashed, hard-killed, or protocol-broken): lower/exact
+    engines degrade to the O(n) I/O floor, upper engines to the
+    trivial schedule when [s] admits one.  [failure] is recorded as a
+    failed ["worker"] rung so the status column shows what forced the
+    fallback. *)
+
+val assemble_governed : Cdag.t -> s:int -> row list -> governed
+(** Recompute the best-bound summary from independently produced rows
+    (same soundness rules as {!analyze_governed}: lower and exact rows
+    feed [gov_best_lb]; upper rows and non-degraded exact rows feed
+    [gov_best_ub]). *)
+
+val row_to_json : row -> Dmc_util.Json.t
+val row_of_json : Dmc_util.Json.t -> row option
+(** Inverses, up to the derived [status] field; the worker protocol
+    ships rows as [row_to_json] frames. *)
+
 val pp_governed : Format.formatter -> governed -> unit
 (** Status table: one line per engine with value, status, winning rung
     and elapsed time, then the best-bound summary. *)

@@ -1,0 +1,63 @@
+module J = Dmc_util.Json
+
+type t = {
+  engine : string;
+  graph : string;
+  s : int;
+  timeout : float option;
+  node_budget : int option;
+  samples : int;
+}
+
+let make ?timeout ?node_budget ?(samples = 64) g ~s ~engine =
+  {
+    engine;
+    graph = Dmc_cdag.Serialize.to_string g;
+    s;
+    timeout;
+    node_budget;
+    samples;
+  }
+
+let to_json job =
+  J.Obj
+    [
+      ("kind", J.String "dmc-engine-job");
+      ("engine", J.String job.engine);
+      ("graph", J.String job.graph);
+      ("s", J.Int job.s);
+      ("timeout", J.opt (fun t -> J.Float t) job.timeout);
+      ("node_budget", J.opt (fun n -> J.Int n) job.node_budget);
+      ("samples", J.Int job.samples);
+    ]
+
+let of_json json =
+  let str field = Option.bind (J.mem json field) J.as_string in
+  let int field = Option.bind (J.mem json field) J.as_int in
+  match (str "kind", str "engine", str "graph", int "s", int "samples") with
+  | Some "dmc-engine-job", Some engine, Some graph, Some s, Some samples ->
+      let timeout =
+        match J.mem json "timeout" with
+        | Some (J.Null) | None -> None
+        | Some j -> J.as_float j
+      in
+      let node_budget =
+        match J.mem json "node_budget" with
+        | Some J.Null | None -> None
+        | Some j -> J.as_int j
+      in
+      Ok { engine; graph; s; timeout; node_budget; samples }
+  | _ -> Error "not a dmc-engine-job object"
+
+let run job =
+  if not (List.mem_assoc job.engine Bounds.governed_engines) then
+    Error (Dmc_util.Budget.Invalid_input ("unknown engine: " ^ job.engine))
+  else
+    match Dmc_cdag.Serialize.of_string job.graph with
+    | Error msg -> Error (Dmc_util.Budget.Invalid_input ("bad graph: " ^ msg))
+    | Ok g ->
+        let row =
+          Bounds.governed_row ?timeout:job.timeout ?node_budget:job.node_budget
+            ~samples:job.samples g ~s:job.s job.engine
+        in
+        Ok (Bounds.row_to_json row)

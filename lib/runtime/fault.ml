@@ -1,0 +1,67 @@
+type kind = Hang | Abort | Garbage
+
+type t = { kind : kind; job : int; attempts : int option }
+
+let kind_to_string = function
+  | Hang -> "hang"
+  | Abort -> "abort"
+  | Garbage -> "garbage"
+
+let kind_of_string = function
+  | "hang" -> Some Hang
+  | "abort" -> Some Abort
+  | "garbage" -> Some Garbage
+  | _ -> None
+
+let to_string f =
+  match f.attempts with
+  | None -> Printf.sprintf "%s:%d" (kind_to_string f.kind) f.job
+  | Some a -> Printf.sprintf "%s:%d:%d" (kind_to_string f.kind) f.job a
+
+let parse_clause clause =
+  let bad () = Error (Printf.sprintf "bad fault clause %S" clause) in
+  match String.split_on_char ':' clause with
+  | [ k; j ] | [ k; j; _ ] as parts -> (
+      match (kind_of_string k, int_of_string_opt j) with
+      | Some kind, Some job when job >= 1 -> (
+          match parts with
+          | [ _; _ ] -> Ok { kind; job; attempts = None }
+          | [ _; _; a ] -> (
+              match int_of_string_opt a with
+              | Some n when n >= 1 -> Ok { kind; job; attempts = Some n }
+              | _ -> bad ())
+          | _ -> bad ())
+      | _ -> bad ())
+  | _ -> bad ()
+
+let parse spec =
+  let clauses =
+    List.filter
+      (fun c -> c <> "")
+      (List.map String.trim (String.split_on_char ',' spec))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest -> (
+        match parse_clause c with
+        | Ok f -> go (f :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] clauses
+
+let of_env () =
+  match Sys.getenv_opt "DMC_FAULT" with
+  | None | Some "" -> []
+  | Some spec -> (
+      match parse spec with
+      | Ok faults -> faults
+      | Error msg -> failwith ("DMC_FAULT: " ^ msg))
+
+let applies faults ~job ~attempt =
+  let hit f =
+    f.job = job + 1
+    && match f.attempts with None -> true | Some a -> attempt <= a
+  in
+  match List.find_opt hit faults with
+  | Some f -> Some f.kind
+  | None -> None

@@ -1,0 +1,46 @@
+(** Deterministic fault injection for the worker pool.
+
+    Every supervision path in {!Pool} — the hard-deadline kill, crash
+    isolation, protocol-error classification, retry with backoff — is
+    reachable on demand: a fault spec makes the Nth submitted job
+    hang, abort, or write garbage instead of a result frame, in the
+    child only.  The supervisor never misbehaves, so tests and the CI
+    smoke observe exactly the verdict each fault class must map to.
+
+    Specs are comma-separated [kind:job] or [kind:job:attempts]
+    clauses, e.g. ["hang:3"] (job 3 hangs on every attempt) or
+    ["abort:2:1"] (job 2 aborts on its first attempt only, so the
+    retry succeeds — the shape used to test backoff accounting).  Jobs
+    are numbered from 1 in submission order. *)
+
+type kind =
+  | Hang  (** sleep forever — must surface as [Timed_out] *)
+  | Abort  (** raise SIGABRT — must surface as [Crashed] *)
+  | Garbage
+      (** write a non-frame byte string and exit 0 — must surface as
+          [Worker_protocol_error] *)
+
+type t = {
+  kind : kind;
+  job : int;  (** 1-based submission index *)
+  attempts : int option;
+      (** inject only while the attempt number is [<= a]; [None] means
+          every attempt (the job can never succeed) *)
+}
+
+val parse : string -> (t list, string) result
+(** Parse a spec string; [Error] names the offending clause. *)
+
+val of_env : unit -> t list
+(** Faults from the [DMC_FAULT] environment variable ([[]] when unset).
+    A malformed value raises [Failure] — a typo'd fault spec silently
+    injecting nothing would invalidate whatever test set it. *)
+
+val applies : t list -> job:int -> attempt:int -> kind option
+(** The fault to inject for 0-based submission index [job] on 1-based
+    [attempt], if any. *)
+
+val kind_to_string : kind -> string
+
+val to_string : t -> string
+(** Round-trips through {!parse}. *)

@@ -1,0 +1,429 @@
+module Json = Dmc_util.Json
+module Budget = Dmc_util.Budget
+module Ipc = Dmc_util.Ipc
+
+type verdict =
+  | Done of Json.t
+  | Timed_out
+  | Crashed of int
+  | Engine_failure of Budget.failure
+  | Worker_protocol_error of string
+
+type outcome = {
+  verdict : verdict;
+  attempts : int;
+  backoffs : float list;
+  elapsed : float;
+}
+
+type config = {
+  jobs : int;
+  timeout : float option;
+  max_retries : int;
+  backoff_base : float;
+  backoff_cap : float;
+  faults : Fault.t list;
+  should_stop : unit -> bool;
+  accept_more : unit -> bool;
+}
+
+let default =
+  {
+    jobs = 1;
+    timeout = None;
+    max_retries = 2;
+    backoff_base = 0.1;
+    backoff_cap = 2.0;
+    faults = [];
+    should_stop = (fun () -> false);
+    accept_more = (fun () -> true);
+  }
+
+let is_transient = function
+  | Timed_out | Crashed _ | Worker_protocol_error _ -> true
+  | Done _ | Engine_failure _ -> false
+
+let backoff_delay cfg ~job ~attempt =
+  let base = min cfg.backoff_cap (cfg.backoff_base *. (2. ** float_of_int (attempt - 1))) in
+  let rng = Dmc_util.Rng.create (((job + 1) * 1_000_003) + attempt) in
+  base *. (1. +. Dmc_util.Rng.float rng 0.25)
+
+let signal_name s =
+  if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigfpe then "SIGFPE"
+  else if s = Sys.sigill then "SIGILL"
+  else if s = Sys.sigpipe then "SIGPIPE"
+  else Printf.sprintf "signal %d" s
+
+let verdict_to_string = function
+  | Done _ -> "ok"
+  | Timed_out -> "timed-out"
+  | Crashed s -> "crashed: " ^ signal_name s
+  | Engine_failure f -> "engine-failure: " ^ Budget.failure_to_string f
+  | Worker_protocol_error msg -> "protocol-error: " ^ msg
+
+let verdict_failure = function
+  | Done _ -> None
+  | Timed_out -> Some Budget.Timeout
+  | Crashed s -> Some (Budget.Internal ("worker crashed: " ^ signal_name s))
+  | Engine_failure f -> Some f
+  | Worker_protocol_error msg ->
+      Some (Budget.Internal ("worker protocol error: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Child side                                                          *)
+
+(* The child writes exactly one frame on [w] and _exits — never
+   [exit], which would run the parent's [at_exit] hooks and flush a
+   copy of any buffered parent output. *)
+let child_body cfg ~worker ~payload ~job ~attempt w =
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  (match Fault.applies cfg.faults ~job ~attempt with
+  | Some Fault.Hang ->
+      (* Non-cooperative by construction: only the supervisor's
+         SIGKILL ends this attempt. *)
+      while true do
+        Unix.sleepf 3600.
+      done
+  | Some Fault.Abort ->
+      Sys.set_signal Sys.sigabrt Sys.Signal_default;
+      Unix.kill (Unix.getpid ()) Sys.sigabrt
+  | Some Fault.Garbage ->
+      (try
+         ignore (Unix.write_substring w "*** not an ipc frame ***" 0 24)
+       with Unix.Unix_error _ -> ())
+  | None ->
+      let result =
+        try worker job payload with
+        | Budget.Exhausted f -> Error f
+        | Budget.Internal_error { where; details } ->
+            Error (Budget.Internal (where ^ ": " ^ details))
+        | Stack_overflow ->
+            Error (Budget.Too_large "worker recursion exceeded the OCaml stack")
+        | e -> Error (Budget.Internal ("worker raised: " ^ Printexc.to_string e))
+      in
+      let frame =
+        match result with
+        | Ok v -> Json.Obj [ ("ok", v) ]
+        | Error f -> Json.Obj [ ("err", Json.String (Budget.failure_to_string f)) ]
+      in
+      (try Ipc.write_frame w frame with Unix.Unix_error _ -> ()));
+  Unix._exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor side                                                     *)
+
+type slot = {
+  pid : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  job : int;
+  attempt : int;
+  deadline : float option;
+  mutable eof : bool;
+  mutable status : Unix.process_status option;
+  mutable timeout_killed : bool;
+}
+
+type job_state = Queued | Waiting of float | Running | Final of outcome
+
+let flush_parent_output () =
+  Format.pp_print_flush Format.std_formatter ();
+  Format.pp_print_flush Format.err_formatter ();
+  flush stdout;
+  flush stderr
+
+let spawn cfg ~worker ~payload ~job ~attempt =
+  let r, w = Unix.pipe ~cloexec:false () in
+  flush_parent_output ();
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      child_body cfg ~worker ~payload ~job ~attempt w
+  | pid ->
+      Unix.close w;
+      {
+        pid;
+        fd = r;
+        buf = Buffer.create 256;
+        job;
+        attempt;
+        deadline = Option.map (fun t -> Budget.now () +. t) cfg.timeout;
+        eof = false;
+        status = None;
+        timeout_killed = false;
+      }
+
+let kill_quietly pid =
+  try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let reap_blocking slot =
+  if slot.status = None then begin
+    let rec go () =
+      match Unix.waitpid [] slot.pid with
+      | _, st -> slot.status <- Some st
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+          slot.status <- Some (Unix.WEXITED 127)
+    in
+    go ()
+  end;
+  if not slot.eof then begin
+    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+    slot.eof <- true
+  end
+
+(* Classify a finished attempt.  [timeout_killed] wins over the exit
+   status (a SIGKILLed worker also reports WSIGNALED sigkill). *)
+let classify slot =
+  if slot.timeout_killed then Timed_out
+  else
+    match slot.status with
+    | Some (Unix.WSIGNALED s) -> Crashed s
+    | Some (Unix.WSTOPPED s) -> Crashed s
+    | Some (Unix.WEXITED code) -> (
+        match Ipc.decode_frame (Buffer.contents slot.buf) with
+        | Ok (Json.Obj [ ("ok", payload) ]) -> Done payload
+        | Ok (Json.Obj [ ("err", Json.String f) ]) -> (
+            match Budget.failure_of_string f with
+            | Some failure -> Engine_failure failure
+            | None -> Worker_protocol_error ("unknown failure token: " ^ f))
+        | Ok _ -> Worker_protocol_error "unexpected result-frame shape"
+        | Error e ->
+            let detail = Ipc.read_error_to_string e in
+            Worker_protocol_error
+              (if code = 0 then detail
+               else Printf.sprintf "%s (exit code %d)" detail code))
+    | None -> Worker_protocol_error "attempt finalized before being reaped"
+
+let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
+  if cfg.jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
+  let payloads = Array.of_list jobs in
+  let n = Array.length payloads in
+  let state = Array.make n Queued in
+  let attempts = Array.make n 0 in
+  let backoffs = Array.make n [] in
+  let first_dispatch = Array.make n nan in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    Queue.add i queue
+  done;
+  let in_flight = ref [] in
+  let committed = ref 0 in
+  (* Commit the finalized prefix, in submission order. *)
+  let commit () =
+    let continue = ref true in
+    while !continue && !committed < n do
+      match state.(!committed) with
+      | Final outcome ->
+          on_result !committed outcome;
+          incr committed
+      | _ -> continue := false
+    done
+  in
+  let finalize job verdict =
+    let elapsed = Budget.now () -. first_dispatch.(job) in
+    state.(job) <-
+      Final
+        {
+          verdict;
+          attempts = attempts.(job);
+          backoffs = List.rev backoffs.(job);
+          elapsed;
+        };
+    commit ()
+  in
+  let settle job verdict =
+    if is_transient verdict && attempts.(job) <= cfg.max_retries then begin
+      let delay = backoff_delay cfg ~job ~attempt:attempts.(job) in
+      backoffs.(job) <- delay :: backoffs.(job);
+      state.(job) <- Waiting (Budget.now () +. delay)
+    end
+    else finalize job verdict
+  in
+  let dispatch job =
+    attempts.(job) <- attempts.(job) + 1;
+    if attempts.(job) = 1 then first_dispatch.(job) <- Budget.now ();
+    state.(job) <- Running;
+    let slot =
+      spawn cfg ~worker ~payload:payloads.(job) ~job ~attempt:attempts.(job)
+    in
+    in_flight := slot :: !in_flight
+  in
+  (* Mark every job past the committed prefix as cancelled, without an
+     [on_result] call.  This includes attempts that finished out of
+     order behind a still-open gap: their result was never committed,
+     so reporting it as anything but [Cancelled] would let a caller
+     count work that no checkpoint or output stream contains — the
+     committed prefix is the only durable truth, and a resume reruns
+     everything after it. *)
+  let cancel_unfinished () =
+    for i = !committed to n - 1 do
+      let elapsed =
+        let t = first_dispatch.(i) in
+        if Float.is_nan t then 0. else Budget.now () -. t
+      in
+      state.(i) <-
+        Final
+          {
+            verdict = Engine_failure Budget.Cancelled;
+            attempts = attempts.(i);
+            backoffs = List.rev backoffs.(i);
+            elapsed;
+          }
+    done
+  in
+  let abandon () =
+    List.iter
+      (fun slot ->
+        kill_quietly slot.pid;
+        reap_blocking slot)
+      !in_flight;
+    in_flight := [];
+    cancel_unfinished ()
+  in
+  let stopped = ref false in
+  let finally () = if !in_flight <> [] then abandon () in
+  Fun.protect ~finally (fun () ->
+      while !committed < n && not !stopped do
+        if cfg.should_stop () then begin
+          abandon ();
+          stopped := true
+        end
+        else if (not (cfg.accept_more ())) && !in_flight = [] then begin
+          (* Draining finished: every started attempt has settled;
+             whatever never started stays undone. *)
+          cancel_unfinished ();
+          stopped := true
+        end
+        else begin
+          let now = Budget.now () in
+          (* Promote retry-waits whose backoff has elapsed. *)
+          Array.iteri
+            (fun i st ->
+              match st with
+              | Waiting t when t <= now ->
+                  state.(i) <- Queued;
+                  Queue.add i queue
+              | _ -> ())
+            state;
+          (* Fill free worker slots (unless draining). *)
+          while
+            cfg.accept_more ()
+            && List.length !in_flight < cfg.jobs
+            && not (Queue.is_empty queue)
+          do
+            dispatch (Queue.take queue)
+          done;
+          (* Pick the select timeout: nearest attempt deadline, nearest
+             retry wake-up, capped so should_stop is polled promptly. *)
+          let timeout =
+            let horizon = ref 0.2 in
+            let shrink t = if t -. now < !horizon then horizon := t -. now in
+            List.iter
+              (fun slot -> Option.iter shrink slot.deadline)
+              !in_flight;
+            Array.iter
+              (function Waiting t -> shrink t | _ -> ())
+              state;
+            Float.max 0.0 !horizon
+          in
+          let watched = List.filter (fun s -> not s.eof) !in_flight in
+          let readable =
+            if watched = [] then (
+              if !in_flight = [] && Queue.is_empty queue then
+                (* only Waiting jobs remain: sleep out the backoff *)
+                ignore (Unix.select [] [] [] timeout : _ * _ * _);
+              [])
+            else
+              match
+                Unix.select (List.map (fun s -> s.fd) watched) [] [] timeout
+              with
+              | fds, _, _ -> fds
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+          in
+          (* Drain readable pipes. *)
+          List.iter
+            (fun slot ->
+              if List.memq slot.fd readable then begin
+                let chunk = Bytes.create 65536 in
+                match Unix.read slot.fd chunk 0 65536 with
+                | 0 ->
+                    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+                    slot.eof <- true
+                | k -> Buffer.add_subbytes slot.buf chunk 0 k
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              end)
+            !in_flight;
+          (* Enforce hard deadlines. *)
+          let now = Budget.now () in
+          List.iter
+            (fun slot ->
+              match slot.deadline with
+              | Some d when now > d && not slot.timeout_killed ->
+                  slot.timeout_killed <- true;
+                  kill_quietly slot.pid
+              | _ -> ())
+            !in_flight;
+          (* Reap exited children without blocking. *)
+          List.iter
+            (fun slot ->
+              if slot.status = None then
+                match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
+                | 0, _ -> ()
+                | _, st -> slot.status <- Some st
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                    slot.status <- Some (Unix.WEXITED 127))
+            !in_flight;
+          (* A reaped child closes its pipe on exit; drain what's left
+             and settle the attempt. *)
+          let done_, still =
+            List.partition
+              (fun slot ->
+                match slot.status with
+                | Some _ when not slot.eof ->
+                    (* Reaped but EOF not yet seen: consume the
+                       remainder now — the write side is closed, so
+                       this terminates. *)
+                    let rec drain () =
+                      let chunk = Bytes.create 65536 in
+                      match Unix.read slot.fd chunk 0 65536 with
+                      | 0 -> ()
+                      | k ->
+                          Buffer.add_subbytes slot.buf chunk 0 k;
+                          drain ()
+                      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                          drain ()
+                    in
+                    drain ();
+                    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+                    slot.eof <- true;
+                    true
+                | Some _ -> true
+                | None -> false)
+              !in_flight
+          in
+          in_flight := still;
+          List.iter (fun slot -> settle slot.job (classify slot)) done_
+        end
+      done);
+  Array.map
+    (function
+      | Final o -> o
+      | Queued | Waiting _ | Running ->
+          (* unreachable: the loop exits only when all jobs are final
+             or abandon() finalized them *)
+          {
+            verdict = Engine_failure Budget.Cancelled;
+            attempts = 0;
+            backoffs = [];
+            elapsed = 0.;
+          })
+    state

@@ -1,0 +1,124 @@
+(** Fork-based supervised worker pool.
+
+    Each job runs in its own child process, so nothing a worker does —
+    blow the OCaml stack, exhaust the heap, segfault, spin forever in
+    a non-cooperative loop — can take the supervisor down or corrupt a
+    sibling.  The supervisor enforces a {e hard} wall-clock deadline
+    per attempt with SIGKILL (no reliance on the cooperative
+    {!Dmc_util.Budget} polling the engines do internally), classifies
+    every way an attempt can end into the closed {!verdict} type, and
+    retries transient verdicts with capped exponential backoff and
+    deterministic jitter.
+
+    Results are {e committed in submission order}: [on_result] fires
+    for job [i] only once jobs [0..i-1] have fired, regardless of
+    which worker finished first.  Output streams and checkpoints built
+    in [on_result] are therefore byte-deterministic for any [jobs]
+    count — [--jobs 4] produces exactly the bytes [--jobs 1] does.
+
+    Workers speak length-prefixed JSON ({!Dmc_util.Ipc}) over a pipe:
+    one frame [{"ok": payload}] or [{"err": failure}] then exit.
+    Anything else — garbage bytes, a truncated frame, a silent exit —
+    is a {!Worker_protocol_error}. *)
+
+type verdict =
+  | Done of Dmc_util.Json.t  (** the worker returned a payload *)
+  | Timed_out
+      (** the supervisor SIGKILLed the attempt at the hard deadline *)
+  | Crashed of int
+      (** the child died on a signal it did not expect (OCaml signal
+          number, e.g. [Sys.sigabrt]; render with {!signal_name}) *)
+  | Engine_failure of Dmc_util.Budget.failure
+      (** the worker function itself reported a governed failure —
+          deterministic, so never retried *)
+  | Worker_protocol_error of string
+      (** the child exited without a well-formed result frame *)
+
+type outcome = {
+  verdict : verdict;
+  attempts : int;  (** total attempts, including the final one *)
+  backoffs : float list;
+      (** the delay slept before each retry, in retry order — empty
+          when the first attempt was final *)
+  elapsed : float;  (** dispatch of attempt 1 to final verdict *)
+}
+
+type config = {
+  jobs : int;  (** max concurrent workers (>= 1) *)
+  timeout : float option;  (** hard per-attempt deadline, seconds *)
+  max_retries : int;  (** extra attempts allowed for transient verdicts *)
+  backoff_base : float;  (** first retry delay, seconds *)
+  backoff_cap : float;  (** upper bound on the un-jittered delay *)
+  faults : Fault.t list;
+  should_stop : unit -> bool;
+      (** polled between supervision steps; [true] stops dispatch,
+          kills in-flight workers and returns early (see {!run}) *)
+  accept_more : unit -> bool;
+      (** polled before each dispatch; [false] switches to draining —
+          in-flight attempts run to completion, but nothing new (first
+          attempts or retries) starts, and every job past the
+          committed prefix finalizes as [Engine_failure Cancelled].
+          How [--timeout] stops a run between units while keeping
+          every committed unit's result. *)
+}
+
+val default : config
+(** [jobs = 1], no timeout, [max_retries = 2], base 0.1 s, cap 2 s,
+    no faults (callers wanting the [DMC_FAULT] hook add
+    {!Fault.of_env} explicitly), never stops, always accepts. *)
+
+val is_transient : verdict -> bool
+(** [Timed_out], [Crashed] and [Worker_protocol_error] are worth
+    retrying; [Done] and [Engine_failure] are final. *)
+
+val backoff_delay : config -> job:int -> attempt:int -> float
+(** The delay slept before retrying [job] (0-based) after failed
+    attempt [attempt] (1-based): [min cap (base * 2^(attempt-1))]
+    plus up to 25% deterministic jitter derived from [(job, attempt)]
+    alone — identical across runs, so retry schedules are
+    reproducible. *)
+
+val signal_name : int -> string
+(** ["SIGABRT"], ["SIGKILL"], ... for the OCaml signal numbers the
+    toolkit can meet; ["signal <n>"] otherwise. *)
+
+val verdict_to_string : verdict -> string
+(** ["ok"], ["timed-out"], ["crashed: SIGABRT"],
+    ["engine-failure: timeout"], ["protocol-error: ..."]. *)
+
+val verdict_failure : verdict -> Dmc_util.Budget.failure option
+(** The non-[Done] verdicts mapped into the PR-1 failure taxonomy, so
+    callers can record a pool verdict in an existing degradation
+    ladder: [Timed_out] is [Timeout], [Crashed]/[Worker_protocol_error]
+    are [Internal] (with the signal or protocol detail), and
+    [Engine_failure] carries its own failure through. *)
+
+val run :
+  config ->
+  worker:(int -> 'a -> (Dmc_util.Json.t, Dmc_util.Budget.failure) result) ->
+  ?on_result:(int -> outcome -> unit) ->
+  'a list ->
+  outcome array
+(** [run cfg ~worker jobs] executes [worker i job_i] for each job in a
+    forked child and returns one outcome per job, in submission order.
+
+    [worker] runs {e in the child} (after the fork it sees a copy of
+    the parent's full state, so closures need no serialization); its
+    result crosses back as one IPC frame.  An exception escaping
+    [worker] is mapped like {!Dmc_core.Bounds.Engine.run} would:
+    [Budget.Exhausted]/[Internal_error] to their failures,
+    [Stack_overflow] to [Too_large], anything else to [Internal].
+
+    [on_result] is the in-order commit hook (checkpoint writes,
+    streamed output).  It runs in the supervisor; an exception it
+    raises aborts the pool (in-flight workers are killed and reaped)
+    and propagates.
+
+    If [cfg.should_stop] turns [true], in-flight workers are
+    SIGKILLed and reaped, and every job past the committed prefix —
+    including attempts that finished out of order behind a still-open
+    gap — is reported as [Engine_failure Cancelled] {e without} an
+    [on_result] call.  The invariant callers rely on: the number of
+    non-[Cancelled] outcomes equals the number of [on_result] calls,
+    so progress accounting always matches what checkpoints and output
+    streams actually contain. *)

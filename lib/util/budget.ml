@@ -16,6 +16,29 @@ let failure_to_string = function
 
 let pp_failure ppf f = Format.pp_print_string ppf (failure_to_string f)
 
+let failure_of_string s =
+  let tagged tag =
+    let prefix = tag ^ ": " in
+    let lp = String.length prefix in
+    if String.length s >= lp && String.sub s 0 lp = prefix then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  match s with
+  | "timeout" -> Some Timeout
+  | "budget-exhausted" -> Some Budget_exhausted
+  | "cancelled" -> Some Cancelled
+  | _ -> (
+      match tagged "too-large" with
+      | Some m -> Some (Too_large m)
+      | None -> (
+          match tagged "invalid-input" with
+          | Some m -> Some (Invalid_input m)
+          | None -> (
+              match tagged "internal" with
+              | Some m -> Some (Internal m)
+              | None -> None)))
+
 exception Exhausted of failure
 
 exception Internal_error of { where : string; details : string }

@@ -35,6 +35,11 @@ val failure_to_string : failure -> string
 
 val pp_failure : Format.formatter -> failure -> unit
 
+val failure_of_string : string -> failure option
+(** Exact inverse of {!failure_to_string}, for failures that crossed a
+    process boundary (worker-pool result frames, checkpoint files).
+    [None] on an unrecognized rendering. *)
+
 exception Exhausted of failure
 (** Raised by {!tick} ({!Timeout}, {!Budget_exhausted} or
     {!Cancelled} only). *)

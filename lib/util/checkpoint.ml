@@ -1,12 +1,31 @@
+(* Atomic checkpoint writes.
+
+   The temp file is created in the *destination's* directory, never in
+   TMPDIR: rename(2) is only atomic within one filesystem, and a
+   TMPDIR-honoring scratch path (Filename.temp_file's default) can sit
+   on a different mount than the checkpoint, turning the final rename
+   into an EXDEV failure.  open_temp_file with an explicit ~temp_dir
+   also gives each writer a unique name, so two processes
+   checkpointing to the same path never clobber each other's
+   half-written temp. *)
+
 let write path json =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Json.to_string json);
-      output_char oc '\n');
-  Sys.rename tmp path
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ]
+      (Filename.basename path ^ ".") ".tmp"
+  in
+  match
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string json);
+        output_char oc '\n')
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let load path =
   match

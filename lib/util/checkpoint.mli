@@ -7,10 +7,14 @@
     checkpoint behind — the previous one survives intact. *)
 
 val write : string -> Json.t -> unit
-(** [write path json] serializes [json] to [path ^ ".tmp"] and renames
-    it over [path].  Raises [Sys_error] on I/O failure (the drivers
-    treat a failed checkpoint as fatal rather than silently losing
-    progress). *)
+(** [write path json] serializes [json] to a uniquely named temporary
+    file {e in [path]'s own directory} and renames it over [path].
+    The temp never goes to [TMPDIR]: rename is only atomic within one
+    filesystem, and a TMPDIR on another mount would turn the final
+    rename into an [EXDEV] failure.  Raises [Sys_error] on I/O failure
+    (the drivers treat a failed checkpoint as fatal rather than
+    silently losing progress); the temp file is removed on the error
+    path. *)
 
 val load : string -> (Json.t, string) result
 (** Read and parse a checkpoint; [Error] describes a missing,

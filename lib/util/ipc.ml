@@ -1,0 +1,92 @@
+type read_error =
+  | Closed
+  | Bad_header of string
+  | Oversized of int
+  | Truncated of { expected : int; got : int }
+  | Malformed of string
+
+let read_error_to_string = function
+  | Closed -> "peer closed the pipe without writing a frame"
+  | Bad_header h -> Printf.sprintf "frame header is not hex: %S" h
+  | Oversized n -> Printf.sprintf "declared frame length %d exceeds the limit" n
+  | Truncated { expected; got } ->
+      Printf.sprintf "frame truncated: expected %d bytes, got %d" expected got
+  | Malformed msg -> "frame payload is not JSON: " ^ msg
+
+let max_frame_bytes = 64 * 1024 * 1024
+let header_bytes = 8
+
+let encode_frame json =
+  let payload = Json.to_string ~indent:false json in
+  Printf.sprintf "%08x%s" (String.length payload) payload
+
+(* Writes and reads retry on EINTR: the supervisor installs SIGINT /
+   SIGCHLD handlers, so any blocking syscall can be interrupted. *)
+let rec write_all fd buf pos len =
+  if len > 0 then
+    match Unix.write_substring fd buf pos len with
+    | n -> write_all fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf pos len
+
+let write_frame fd json =
+  let frame = encode_frame json in
+  write_all fd frame 0 (String.length frame)
+
+(* Read exactly [len] bytes; short count = EOF. *)
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go pos =
+    if pos >= len then len
+    else
+      match Unix.read fd buf pos (len - pos) with
+      | 0 -> pos
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+  in
+  let got = go 0 in
+  (Bytes.sub_string buf 0 got, got)
+
+let parse_header h =
+  let ok = ref (String.length h = header_bytes) in
+  String.iter
+    (fun c -> ok := !ok && ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    h;
+  if not !ok then Error (Bad_header h)
+  else
+    let n = int_of_string ("0x" ^ h) in
+    if n > max_frame_bytes then Error (Oversized n) else Ok n
+
+let parse_payload payload =
+  match Json.parse payload with
+  | Ok v -> Ok v
+  | Error msg -> Error (Malformed msg)
+
+let read_frame fd =
+  match read_exact fd header_bytes with
+  | _, 0 -> Error Closed
+  | _, got when got < header_bytes ->
+      Error (Truncated { expected = header_bytes; got })
+  | h, _ -> (
+      match parse_header h with
+      | Error e -> Error e
+      | Ok len -> (
+          match read_exact fd len with
+          | _, got when got < len -> Error (Truncated { expected = len; got })
+          | payload, _ -> parse_payload payload))
+
+let decode_frame s =
+  let total = String.length s in
+  if total = 0 then Error Closed
+  else if total < header_bytes then
+    Error (Truncated { expected = header_bytes; got = total })
+  else
+    match parse_header (String.sub s 0 header_bytes) with
+    | Error e -> Error e
+    | Ok len ->
+        let avail = total - header_bytes in
+        if avail < len then Error (Truncated { expected = len; got = avail })
+        else if avail > len then
+          Error
+            (Malformed
+               (Printf.sprintf "%d trailing bytes after the frame" (avail - len)))
+        else parse_payload (String.sub s header_bytes len)

@@ -1,0 +1,46 @@
+(** Length-prefixed JSON framing over file descriptors.
+
+    The supervised worker pool ({!Dmc_runtime}) speaks this protocol
+    over anonymous pipes: each message is one JSON value encoded
+    compactly and prefixed with an 8-digit lowercase-hex byte length.
+    The fixed-width textual header keeps frames trivially debuggable
+    ([xxd] on a captured pipe shows the structure) while still letting
+    the reader allocate exactly once per frame.
+
+    Reads classify every way a frame can be broken — a closed pipe, a
+    header that is not hex, a length beyond {!max_frame_bytes}, a
+    payload cut short, or bytes that are not JSON — so the supervisor
+    can turn each into a precise protocol-error verdict instead of a
+    parse exception. *)
+
+type read_error =
+  | Closed  (** EOF before any header byte: the peer wrote nothing. *)
+  | Bad_header of string  (** the 8 header bytes are not lowercase hex *)
+  | Oversized of int  (** declared length exceeds {!max_frame_bytes} *)
+  | Truncated of { expected : int; got : int }
+      (** EOF mid-header or mid-payload *)
+  | Malformed of string  (** payload is not parseable JSON *)
+
+val read_error_to_string : read_error -> string
+
+val max_frame_bytes : int
+(** Upper bound on a frame payload (64 MiB) — a garbage header cannot
+    make the reader allocate unboundedly. *)
+
+val write_frame : Unix.file_descr -> Json.t -> unit
+(** Encode compactly, prefix the hex length, write fully (retrying on
+    [EINTR] and short writes).  Raises [Unix.Unix_error] on a broken
+    pipe — callers decide whether that is fatal. *)
+
+val read_frame : Unix.file_descr -> (Json.t, read_error) result
+(** Read exactly one frame, blocking until it is complete or the peer
+    closes the descriptor. *)
+
+val decode_frame : string -> (Json.t, read_error) result
+(** Parse one complete frame from an already-buffered byte string —
+    what the pool supervisor uses after draining a worker's pipe
+    asynchronously.  The string must contain exactly one frame;
+    trailing bytes are a {!Malformed} error. *)
+
+val encode_frame : Json.t -> string
+(** The exact bytes {!write_frame} would send. *)

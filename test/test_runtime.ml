@@ -1,0 +1,370 @@
+(* Tests for the supervised worker pool: IPC framing, fault-spec
+   parsing, deterministic backoff, and — via the fault-injection hook —
+   every verdict the supervisor can hand back, plus retry accounting
+   and the in-submission-order commit that makes [--jobs N] output
+   byte-identical to [--jobs 1]. *)
+
+module Json = Dmc_util.Json
+module Budget = Dmc_util.Budget
+module Ipc = Dmc_util.Ipc
+module Fault = Dmc_runtime.Fault
+module Pool = Dmc_runtime.Pool
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* IPC framing                                                         *)
+
+let test_ipc_roundtrip () =
+  let values =
+    [
+      Json.Null;
+      Json.Int 42;
+      Json.String "hello \"quoted\" \n world";
+      Json.Obj [ ("ok", Json.List [ Json.Int 1; Json.Bool false ]) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Ipc.decode_frame (Ipc.encode_frame v) with
+      | Ok v' -> check_bool "roundtrip" true (v = v')
+      | Error e -> Alcotest.fail (Ipc.read_error_to_string e))
+    values
+
+let test_ipc_pipe () =
+  let r, w = Unix.pipe ~cloexec:false () in
+  let v = Json.Obj [ ("payload", Json.String (String.make 10_000 'x')) ] in
+  (* Pipe capacity exceeds this frame, so a single-threaded
+     write-then-read cannot deadlock. *)
+  Ipc.write_frame w v;
+  Unix.close w;
+  (match Ipc.read_frame r with
+  | Ok v' -> check_bool "pipe roundtrip" true (v = v')
+  | Error e -> Alcotest.fail (Ipc.read_error_to_string e));
+  (match Ipc.read_frame r with
+  | Error Ipc.Closed -> ()
+  | Ok _ -> Alcotest.fail "read past EOF succeeded"
+  | Error e -> Alcotest.failf "expected Closed, got %s" (Ipc.read_error_to_string e));
+  Unix.close r
+
+let test_ipc_errors () =
+  let fail_with name expected s =
+    match Ipc.decode_frame s with
+    | Ok _ -> Alcotest.failf "%s: decoded garbage" name
+    | Error e ->
+        check_bool name true
+          (match (expected, e) with
+          | `Closed, Ipc.Closed
+          | `Bad_header, Ipc.Bad_header _
+          | `Oversized, Ipc.Oversized _
+          | `Truncated, Ipc.Truncated _
+          | `Malformed, Ipc.Malformed _ ->
+              true
+          | _ -> false)
+  in
+  fail_with "empty" `Closed "";
+  fail_with "non-hex header" `Bad_header "*** not an ipc frame ***";
+  fail_with "short header" `Truncated "0000";
+  fail_with "payload cut short" `Truncated "0000000a{\"a\"";
+  fail_with "oversized" `Oversized "ffffffff";
+  fail_with "payload not json" `Malformed "00000003tru";
+  fail_with "trailing bytes" `Malformed "00000001 1 trailing"
+
+(* ------------------------------------------------------------------ *)
+(* Fault specs                                                         *)
+
+let test_fault_parse () =
+  (match Fault.parse "hang:3,abort:2:1,garbage:7" with
+  | Error m -> Alcotest.fail m
+  | Ok faults ->
+      check "three clauses" 3 (List.length faults);
+      check_string "roundtrip" "hang:3,abort:2:1,garbage:7"
+        (String.concat "," (List.map Fault.to_string faults)));
+  List.iter
+    (fun spec ->
+      match Fault.parse spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed fault spec %S" spec)
+    [ "hang"; "hang:"; "hang:0"; "hang:x"; "explode:1"; "hang:1:0"; "hang:1:2:3" ];
+  (* an empty spec means "no faults", not a parse error *)
+  check_bool "empty spec" true (Fault.parse "" = Ok [])
+
+let test_fault_applies () =
+  match Fault.parse "abort:2:1,hang:3" with
+  | Error m -> Alcotest.fail m
+  | Ok faults ->
+      (* 1-based spec against 0-based submission index *)
+      check_bool "job 0 clean" true (Fault.applies faults ~job:0 ~attempt:1 = None);
+      check_bool "job 1 attempt 1" true
+        (Fault.applies faults ~job:1 ~attempt:1 = Some Fault.Abort);
+      check_bool "job 1 attempt 2 clean" true
+        (Fault.applies faults ~job:1 ~attempt:2 = None);
+      check_bool "job 2 every attempt" true
+        (Fault.applies faults ~job:2 ~attempt:5 = Some Fault.Hang)
+
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                             *)
+
+let test_backoff () =
+  let cfg = { Pool.default with backoff_base = 0.1; backoff_cap = 2.0 } in
+  let d ~job ~attempt = Pool.backoff_delay cfg ~job ~attempt in
+  check_bool "deterministic" true (d ~job:3 ~attempt:2 = d ~job:3 ~attempt:2);
+  check_bool "jitter distinguishes jobs" true (d ~job:0 ~attempt:1 <> d ~job:1 ~attempt:1);
+  (* un-jittered schedule doubles then caps; jitter adds at most 25% *)
+  for attempt = 1 to 8 do
+    let base = min cfg.backoff_cap (cfg.backoff_base *. (2. ** float_of_int (attempt - 1))) in
+    let delay = d ~job:5 ~attempt in
+    check_bool "at least base" true (delay >= base);
+    check_bool "jitter bounded" true (delay <= base *. 1.25)
+  done;
+  check_bool "capped" true (d ~job:5 ~attempt:30 <= cfg.backoff_cap *. 1.25)
+
+(* ------------------------------------------------------------------ *)
+(* Pool verdicts via fault injection                                   *)
+
+let quick_worker _i n = Ok (Json.Int (n * n))
+
+let run_one ?(timeout = 5.0) ?(max_retries = 0) ?(faults = []) worker =
+  let cfg =
+    { Pool.default with timeout = Some timeout; max_retries; faults }
+  in
+  let outcomes = Pool.run cfg ~worker [ 7 ] in
+  check "one outcome" 1 (Array.length outcomes);
+  outcomes.(0)
+
+let test_verdict_ok () =
+  let o = run_one quick_worker in
+  (match o.Pool.verdict with
+  | Pool.Done (Json.Int 49) -> ()
+  | v -> Alcotest.failf "expected Done 49, got %s" (Pool.verdict_to_string v));
+  check "single attempt" 1 o.Pool.attempts;
+  check "no backoffs" 0 (List.length o.Pool.backoffs)
+
+let test_verdict_timed_out () =
+  let faults = Result.get_ok (Fault.parse "hang:1") in
+  let o = run_one ~timeout:0.3 ~faults quick_worker in
+  match o.Pool.verdict with
+  | Pool.Timed_out -> ()
+  | v -> Alcotest.failf "expected Timed_out, got %s" (Pool.verdict_to_string v)
+
+let test_verdict_crashed () =
+  let faults = Result.get_ok (Fault.parse "abort:1") in
+  let o = run_one ~faults quick_worker in
+  match o.Pool.verdict with
+  | Pool.Crashed s ->
+      check_string "signal" "SIGABRT" (Pool.signal_name s)
+  | v -> Alcotest.failf "expected Crashed, got %s" (Pool.verdict_to_string v)
+
+let test_verdict_protocol_error () =
+  let faults = Result.get_ok (Fault.parse "garbage:1") in
+  let o = run_one ~faults quick_worker in
+  match o.Pool.verdict with
+  | Pool.Worker_protocol_error _ -> ()
+  | v ->
+      Alcotest.failf "expected Worker_protocol_error, got %s"
+        (Pool.verdict_to_string v)
+
+let test_verdict_engine_failure () =
+  (* Deterministic worker-reported failures must not be retried even
+     when retries are allowed. *)
+  let o = run_one ~max_retries:3 (fun _ _ -> Error Budget.Timeout) in
+  (match o.Pool.verdict with
+  | Pool.Engine_failure Budget.Timeout -> ()
+  | v -> Alcotest.failf "expected Engine_failure, got %s" (Pool.verdict_to_string v));
+  check "no retry of deterministic failure" 1 o.Pool.attempts
+
+let test_verdict_worker_exception () =
+  (* An exception escaping the worker maps into the failure taxonomy
+     rather than crashing the child without a frame. *)
+  let o = run_one (fun _ _ -> failwith "boom") in
+  match o.Pool.verdict with
+  | Pool.Engine_failure (Budget.Internal _) -> ()
+  | v -> Alcotest.failf "expected Engine_failure internal, got %s" (Pool.verdict_to_string v)
+
+let test_retry_recovers () =
+  (* Fault only on attempt 1: the retry must succeed, with the backoff
+     slept before it on the books. *)
+  let faults = Result.get_ok (Fault.parse "abort:1:1") in
+  let cfg =
+    {
+      Pool.default with
+      timeout = Some 5.0;
+      max_retries = 2;
+      backoff_base = 0.01;
+      backoff_cap = 0.05;
+      faults;
+    }
+  in
+  let o = (Pool.run cfg ~worker:quick_worker [ 7 ]).(0) in
+  (match o.Pool.verdict with
+  | Pool.Done (Json.Int 49) -> ()
+  | v -> Alcotest.failf "expected Done after retry, got %s" (Pool.verdict_to_string v));
+  check "two attempts" 2 o.Pool.attempts;
+  check "one backoff slept" 1 (List.length o.Pool.backoffs);
+  check_bool "backoff matches schedule" true
+    (o.Pool.backoffs = [ Pool.backoff_delay cfg ~job:0 ~attempt:1 ])
+
+let test_retry_exhausts () =
+  (* Fault on every attempt: retries burn down, verdict stays Crashed. *)
+  let faults = Result.get_ok (Fault.parse "abort:1") in
+  let cfg =
+    {
+      Pool.default with
+      timeout = Some 5.0;
+      max_retries = 2;
+      backoff_base = 0.01;
+      backoff_cap = 0.05;
+      faults;
+    }
+  in
+  let o = (Pool.run cfg ~worker:quick_worker [ 7 ]).(0) in
+  (match o.Pool.verdict with
+  | Pool.Crashed _ -> ()
+  | v -> Alcotest.failf "expected Crashed, got %s" (Pool.verdict_to_string v));
+  check "all attempts used" 3 o.Pool.attempts;
+  check "backoff per retry" 2 (List.length o.Pool.backoffs)
+
+let test_verdict_failure_mapping () =
+  let open Pool in
+  check_bool "timed-out -> timeout" true
+    (verdict_failure Timed_out = Some Budget.Timeout);
+  check_bool "crash -> internal" true
+    (match verdict_failure (Crashed Sys.sigabrt) with
+    | Some (Budget.Internal _) -> true
+    | _ -> false);
+  check_bool "protocol -> internal" true
+    (match verdict_failure (Worker_protocol_error "x") with
+    | Some (Budget.Internal _) -> true
+    | _ -> false);
+  check_bool "engine failure passes through" true
+    (verdict_failure (Engine_failure Budget.Budget_exhausted)
+    = Some Budget.Budget_exhausted);
+  check_bool "done -> none" true (verdict_failure (Done Json.Null) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Order determinism                                                   *)
+
+let staggered_worker i n =
+  (* Later submissions finish first, so out-of-order completion is
+     guaranteed, not just possible. *)
+  Unix.sleepf (float_of_int (8 - i) *. 0.02);
+  Ok (Json.Int (n * 10))
+
+let commit_trace cfg jobs =
+  let order = ref [] in
+  let outcomes =
+    Pool.run cfg ~worker:staggered_worker
+      ~on_result:(fun i o ->
+        let payload =
+          match o.Pool.verdict with
+          | Pool.Done j -> Json.to_string j
+          | v -> Pool.verdict_to_string v
+        in
+        order := (i, payload) :: !order)
+      jobs
+  in
+  (List.rev !order, outcomes)
+
+let test_order_determinism () =
+  let jobs = List.init 8 (fun i -> i + 1) in
+  let seq, seq_out = commit_trace { Pool.default with jobs = 1 } jobs in
+  let par, par_out = commit_trace { Pool.default with jobs = 4 } jobs in
+  check_bool "commit order is submission order" true
+    (List.map fst par = [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+  check_bool "parallel trace equals sequential trace" true (seq = par);
+  check_bool "outcome payloads agree" true
+    (Array.for_all2
+       (fun a b -> a.Pool.verdict = b.Pool.verdict)
+       seq_out par_out)
+
+let test_isolation () =
+  (* One crashing worker must not disturb its siblings' results. *)
+  let faults = Result.get_ok (Fault.parse "abort:3") in
+  let cfg = { Pool.default with jobs = 4; timeout = Some 5.0; faults } in
+  let outcomes = Pool.run cfg ~worker:quick_worker [ 1; 2; 3; 4; 5 ] in
+  Array.iteri
+    (fun i o ->
+      match (i, o.Pool.verdict) with
+      | 2, Pool.Crashed _ -> ()
+      | 2, v -> Alcotest.failf "job 2: expected Crashed, got %s" (Pool.verdict_to_string v)
+      | i, Pool.Done (Json.Int sq) -> check "square" ((i + 1) * (i + 1)) sq
+      | i, v -> Alcotest.failf "job %d: %s" i (Pool.verdict_to_string v))
+    outcomes
+
+let test_stop_accounting () =
+  (* A hard stop while job 0 still blocks the commit prefix: jobs 1-3
+     may have finished out of order, but nothing was committed, so
+     every outcome must read Cancelled — the number of non-Cancelled
+     outcomes must always equal the number of on_result calls. *)
+  let t0 = Unix.gettimeofday () in
+  let cfg =
+    {
+      Pool.default with
+      jobs = 4;
+      should_stop = (fun () -> Unix.gettimeofday () -. t0 > 0.4);
+    }
+  in
+  let commits = ref 0 in
+  let worker i _ =
+    Unix.sleepf (if i = 0 then 10.0 else 0.05);
+    Ok (Json.Int i)
+  in
+  let outcomes =
+    Pool.run cfg ~worker ~on_result:(fun _ _ -> incr commits) [ 0; 1; 2; 3; 4; 5 ]
+  in
+  let non_cancelled =
+    Array.fold_left
+      (fun acc o ->
+        match o.Pool.verdict with
+        | Pool.Engine_failure Budget.Cancelled -> acc
+        | _ -> acc + 1)
+      0 outcomes
+  in
+  check "non-cancelled outcomes = committed results" !commits non_cancelled;
+  check "nothing committed past the blocked prefix" 0 !commits
+
+let () =
+  Alcotest.run "dmc_runtime"
+    [
+      ( "ipc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ipc_roundtrip;
+          Alcotest.test_case "pipe" `Quick test_ipc_pipe;
+          Alcotest.test_case "error taxonomy" `Quick test_ipc_errors;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "parse" `Quick test_fault_parse;
+          Alcotest.test_case "applies" `Quick test_fault_applies;
+        ] );
+      ( "backoff",
+        [ Alcotest.test_case "deterministic capped jitter" `Quick test_backoff ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "done" `Quick test_verdict_ok;
+          Alcotest.test_case "hang -> timed-out" `Quick test_verdict_timed_out;
+          Alcotest.test_case "abort -> crashed" `Quick test_verdict_crashed;
+          Alcotest.test_case "garbage -> protocol error" `Quick
+            test_verdict_protocol_error;
+          Alcotest.test_case "engine failure is final" `Quick
+            test_verdict_engine_failure;
+          Alcotest.test_case "worker exception -> internal" `Quick
+            test_verdict_worker_exception;
+          Alcotest.test_case "failure mapping" `Quick test_verdict_failure_mapping;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "recovers after transient fault" `Quick
+            test_retry_recovers;
+          Alcotest.test_case "exhausts and reports" `Quick test_retry_exhausts;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "commit order jobs=4 vs jobs=1" `Quick
+            test_order_determinism;
+          Alcotest.test_case "crash isolation" `Quick test_isolation;
+          Alcotest.test_case "hard-stop accounting" `Quick test_stop_accounting;
+        ] );
+    ]
