@@ -11,6 +11,7 @@
      dune exec bench/main.exe sim             -- simulator cross-checks
      dune exec bench/main.exe ablation        -- design-choice ablations
      dune exec bench/main.exe bench           -- bechamel micro-benchmarks
+     dune exec bench/main.exe bench --json F  -- also write baseline JSON
 
    Every experiment prints the rows the paper reports (or the
    validation table establishing the corresponding claim) and an
@@ -305,6 +306,8 @@ let scale () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the engines                            *)
 
+let json_out = ref None
+
 let micro_benchmarks () =
   let open Bechamel in
   let open Toolkit in
@@ -315,57 +318,60 @@ let micro_benchmarks () =
   let fft = Dmc_gen.Fft.butterfly 5 in
   let mm = Dmc_gen.Linalg.matmul_indexed 4 in
   let moves = Dmc_core.Strategy.schedule jac.Dmc_gen.Stencil.graph ~s:12 in
-  let tests =
+  (* Each case is a plain thunk so the same closure can be staged for
+     bechamel and replayed once under a span for the JSON baseline. *)
+  let keep f () = ignore (Sys.opaque_identity (f ())) in
+  let cases =
     [
-      Test.make ~name:"wavefront-mincut-cg"
-        (Staged.stage (fun () ->
-             Dmc_core.Wavefront.min_wavefront cg.Dmc_gen.Solver.graph
-               cg.Dmc_gen.Solver.iterations.(1).Dmc_gen.Solver.a_scalar));
-      Test.make ~name:"belady-schedule-jacobi"
-        (Staged.stage (fun () ->
-             Dmc_core.Strategy.io jac.Dmc_gen.Stencil.graph ~s:12));
-      Test.make ~name:"rbw-replay-jacobi"
-        (Staged.stage (fun () ->
-             Dmc_core.Rbw_game.io_of jac.Dmc_gen.Stencil.graph ~s:12 moves));
-      Test.make ~name:"optimal-search-diamond3x3"
-        (Staged.stage
-           (let d = Dmc_gen.Shapes.diamond ~rows:3 ~cols:3 in
-            fun () -> Dmc_core.Optimal.rbw_io d ~s:4));
-      Test.make ~name:"partition-of-game-fft32"
-        (Staged.stage (fun () ->
-             let mv = Dmc_core.Strategy.schedule fft ~s:6 in
-             Dmc_core.Spartition.of_game fft ~s:6 mv));
-      Test.make ~name:"simulator-run-matmul4"
-        (Staged.stage (fun () ->
-             Dmc_sim.Exec.run mm.Dmc_gen.Linalg.mm_graph
-               ~order:(Dmc_gen.Linalg.blocked_matmul_order mm ~block:2)
-               (Dmc_sim.Exec.sequential ~capacities:[| 12; 4096 |])));
-      Test.make ~name:"cdag-build-jacobi2d-16x4"
-        (Staged.stage (fun () ->
-             Dmc_gen.Stencil.jacobi_2d ~shape:Dmc_gen.Stencil.Star ~n:16 ~steps:4 ()));
-      Test.make ~name:"witness-extract-verify-thomas32"
-        (Staged.stage
-           (let th = Dmc_gen.Solver.thomas ~n:32 in
-            let g = th.Dmc_gen.Solver.th_graph in
-            let x = th.Dmc_gen.Solver.forward.(31) in
-            fun () ->
-              let w = Dmc_core.Wavefront.witness g x in
-              Dmc_core.Wavefront.verify_witness g w));
-      Test.make ~name:"span-search-tree8"
-        (Staged.stage (fun () -> Dmc_core.Span.s_span tree ~s:6));
-      Test.make ~name:"sim-game-synthesis-fft32"
-        (Staged.stage (fun () ->
-             Dmc_sim.Sim_game.of_execution fft
-               ~order:(Dmc_core.Strategy.default_order fft) ~s:8));
-      Test.make ~name:"symbolic-parse-eval"
-        (Staged.stage (fun () ->
-             match Dmc_symbolic.Expr.parse "n^d * T / (4 * P * (2 * S)^(1 / d))" with
-             | Ok e ->
-                 Dmc_symbolic.Expr.eval
-                   ~env:[ ("n", 64.0); ("d", 2.0); ("T", 8.0); ("P", 4.0); ("S", 256.0) ]
-                   e
-             | Error _ -> 0.0));
+      ( "wavefront-mincut-cg",
+        keep (fun () ->
+            Dmc_core.Wavefront.min_wavefront cg.Dmc_gen.Solver.graph
+              cg.Dmc_gen.Solver.iterations.(1).Dmc_gen.Solver.a_scalar) );
+      ( "belady-schedule-jacobi",
+        keep (fun () -> Dmc_core.Strategy.io jac.Dmc_gen.Stencil.graph ~s:12) );
+      ( "rbw-replay-jacobi",
+        keep (fun () ->
+            Dmc_core.Rbw_game.io_of jac.Dmc_gen.Stencil.graph ~s:12 moves) );
+      ( "optimal-search-diamond3x3",
+        (let d = Dmc_gen.Shapes.diamond ~rows:3 ~cols:3 in
+         keep (fun () -> Dmc_core.Optimal.rbw_io d ~s:4)) );
+      ( "partition-of-game-fft32",
+        keep (fun () ->
+            let mv = Dmc_core.Strategy.schedule fft ~s:6 in
+            Dmc_core.Spartition.of_game fft ~s:6 mv) );
+      ( "simulator-run-matmul4",
+        keep (fun () ->
+            Dmc_sim.Exec.run mm.Dmc_gen.Linalg.mm_graph
+              ~order:(Dmc_gen.Linalg.blocked_matmul_order mm ~block:2)
+              (Dmc_sim.Exec.sequential ~capacities:[| 12; 4096 |])) );
+      ( "cdag-build-jacobi2d-16x4",
+        keep (fun () ->
+            Dmc_gen.Stencil.jacobi_2d ~shape:Dmc_gen.Stencil.Star ~n:16 ~steps:4 ()) );
+      ( "witness-extract-verify-thomas32",
+        (let th = Dmc_gen.Solver.thomas ~n:32 in
+         let g = th.Dmc_gen.Solver.th_graph in
+         let x = th.Dmc_gen.Solver.forward.(31) in
+         keep (fun () ->
+             let w = Dmc_core.Wavefront.witness g x in
+             Dmc_core.Wavefront.verify_witness g w)) );
+      ( "span-search-tree8",
+        keep (fun () -> Dmc_core.Span.s_span tree ~s:6) );
+      ( "sim-game-synthesis-fft32",
+        keep (fun () ->
+            Dmc_sim.Sim_game.of_execution fft
+              ~order:(Dmc_core.Strategy.default_order fft) ~s:8) );
+      ( "symbolic-parse-eval",
+        keep (fun () ->
+            match Dmc_symbolic.Expr.parse "n^d * T / (4 * P * (2 * S)^(1 / d))" with
+            | Ok e ->
+                Dmc_symbolic.Expr.eval
+                  ~env:[ ("n", 64.0); ("d", 2.0); ("T", 8.0); ("P", 4.0); ("S", 256.0) ]
+                  e
+            | Error _ -> 0.0) );
     ]
+  in
+  let tests =
+    List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) cases
   in
   let grouped = Test.make_grouped ~name:"dmc" tests in
   let ols =
@@ -382,18 +388,55 @@ let micro_benchmarks () =
     (fun name ols_result ->
       let est =
         match Analyze.OLS.estimates ols_result with
-        | Some (x :: _) -> Printf.sprintf "%.0f" x
-        | _ -> "-"
+        | Some (x :: _) -> Some x
+        | _ -> None
       in
-      let r2 =
-        match Analyze.OLS.r_square ols_result with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
-      in
+      let r2 = Analyze.OLS.r_square ols_result in
       rows := (name, est, r2) :: !rows)
     results;
-  List.iter (fun (n, e, r) -> Table.add_row t [ n; e; r ]) (List.sort compare !rows);
+  let rows = List.sort compare !rows in
+  List.iter
+    (fun (n, e, r) ->
+      Table.add_row t
+        [
+          n;
+          (match e with Some x -> Printf.sprintf "%.0f" x | None -> "-");
+          (match r with Some x -> Printf.sprintf "%.4f" x | None -> "-");
+        ])
+    rows;
   Table.print t;
+  (* Baseline JSON: the bechamel estimates plus a counter snapshot from
+     one instrumented pass over the same closures, so future PRs can
+     diff both wall-clock and algorithmic work against this file. *)
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+      let module J = Dmc_util.Json in
+      Dmc_obs.Registry.reset ();
+      Dmc_obs.Registry.set_enabled true;
+      List.iter
+        (fun (name, fn) -> Dmc_obs.Span.with_ ("bench." ^ name) fn)
+        cases;
+      Dmc_obs.Registry.set_enabled false;
+      let benchmarks =
+        List.map
+          (fun (n, e, r) ->
+            J.Obj
+              [
+                ("name", J.String n);
+                ("ns_per_run", match e with Some x -> J.Float x | None -> J.Null);
+                ("r_square", match r with Some x -> J.Float x | None -> J.Null);
+              ])
+          rows
+      in
+      Dmc_util.Checkpoint.write path
+        (J.Obj
+           [
+             ("kind", J.String "dmc-bench-baseline");
+             ("benchmarks", J.List benchmarks);
+             ("profile", Dmc_obs.Export.to_json ());
+           ]);
+      Printf.printf "  wrote %s\n" path);
   true
 
 (* ------------------------------------------------------------------ *)
@@ -403,7 +446,14 @@ let registry =
   @ [ ("ablation", ablation); ("scale", scale); ("bench", micro_benchmarks) ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_json acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        strip_json acc rest
+    | a :: rest -> strip_json (a :: acc) rest
+  in
+  let args = strip_json [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match args with
     | [] -> registry

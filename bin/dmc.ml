@@ -169,6 +169,32 @@ let node_budget_arg =
          ~doc:"Search-node budget per engine ladder rung (each engine ticks the \
                guard once per search step).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON timeline of the run to $(docv) \
+               (loadable in chrome://tracing or Perfetto). For $(b,bounds) this \
+               implies the supervised pool path, so per-worker spans are merged \
+               into the trace under their job's lane.")
+
+let profile_arg =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:"Print the instrumentation profile (work counters, then span \
+               timings) after the run. The counter section counts algorithmic \
+               work, never time, so it is byte-identical across $(b,--jobs) \
+               widths and repeat runs.")
+
+let setup_obs ~trace ~profile =
+  if trace <> None || profile then Dmc_obs.Registry.set_enabled true
+
+let emit_obs ~trace ~profile =
+  (match trace with
+  | Some path -> Dmc_obs.Export.write_chrome_trace path
+  | None -> ());
+  if profile then begin
+    print_string (Dmc_obs.Export.profile ());
+    flush stdout
+  end
+
 (* ------------------------------------------------------------------ *)
 (* dmc gen                                                            *)
 
@@ -245,17 +271,22 @@ let bounds_parallel ~jobs ~job_timeout ~retries ~faults ?timeout ?node_budget g
 
 let bounds_cmd =
   let run spec file s optimal certify json timeout node_budget governed jobs
-      job_timeout retries fault =
+      job_timeout retries fault trace profile =
     setup_logs ();
     guarded @@ fun () ->
     install_interrupt_handlers ();
+    setup_obs ~trace ~profile;
     let faults = parse_faults fault in
     let g = load_cdag ~spec ~file in
     (* A resource budget switches to the governed path: every engine
        runs under its own guard and degrades down a fallback ladder
        instead of failing, so the command always exits 0 with a status
-       per engine. *)
-    if jobs > 1 || faults <> [] || job_timeout <> None then begin
+       per engine.  Tracing/profiling also routes through the pool:
+       the supervised path is the instrumented one, and running it even
+       at --jobs 1 keeps the counter profile identical across widths. *)
+    if jobs > 1 || faults <> [] || job_timeout <> None || trace <> None
+       || profile
+    then begin
       let gr =
         bounds_parallel ~jobs ~job_timeout ~retries ~faults ?timeout
           ?node_budget g ~s
@@ -264,7 +295,10 @@ let bounds_cmd =
          print_endline
            (Dmc_util.Json.to_string (Dmc_core.Bounds.governed_to_json gr))
        else Format.printf "%a" Dmc_core.Bounds.pp_governed gr);
-      if !interrupted <> None then exit (interrupt_exit_code ())
+      if !interrupted <> None then begin
+        emit_obs ~trace ~profile;
+        exit (interrupt_exit_code ())
+      end
     end
     else if governed || timeout <> None || node_budget <> None then begin
       let gr =
@@ -285,7 +319,8 @@ let bounds_cmd =
     end;
     if certify then
       Format.printf "wavefront certificate verifies: %b@."
-        (Dmc_core.Bounds.certify_wavefront g ~s)
+        (Dmc_core.Bounds.certify_wavefront g ~s);
+    emit_obs ~trace ~profile
   in
   let optimal =
     Arg.(value & flag & info [ "optimal" ]
@@ -304,7 +339,8 @@ let bounds_cmd =
   Cmd.v (Cmd.info "bounds" ~doc:"Lower/upper-bound analysis of a CDAG")
     Term.(const run $ spec_arg $ file_arg $ s_arg $ optimal $ certify $ json
           $ timeout_arg $ node_budget_arg $ governed $ jobs_arg
-          $ job_timeout_arg $ retries_arg $ fault_arg)
+          $ job_timeout_arg $ retries_arg $ fault_arg $ trace_arg
+          $ profile_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dmc game                                                           *)
@@ -658,10 +694,12 @@ let experiment_restore path ~selected =
       completed
 
 let experiment_cmd =
-  let run names timeout checkpoint resume jobs job_timeout retries fault =
+  let run names timeout checkpoint resume jobs job_timeout retries fault trace
+      profile =
     setup_logs ();
     guarded @@ fun () ->
     install_interrupt_handlers ();
+    setup_obs ~trace ~profile;
     let faults = parse_faults fault in
     let registry = Dmc_analysis.Report.names in
     let selected =
@@ -722,6 +760,7 @@ let experiment_cmd =
       | Some _ | None -> ""
     in
     let finish ~stopped_early =
+      emit_obs ~trace ~profile;
       (match !interrupted with
       | Some _ ->
           Format.eprintf "dmc: interrupted after %d/%d experiments%s@."
@@ -837,7 +876,8 @@ let experiment_cmd =
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Run the paper's evaluation experiments")
     Term.(const run $ names $ timeout_arg $ checkpoint $ resume $ jobs_arg
-          $ job_timeout_arg $ retries_arg $ fault_arg)
+          $ job_timeout_arg $ retries_arg $ fault_arg $ trace_arg
+          $ profile_arg)
 
 let () =
   let info =

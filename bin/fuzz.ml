@@ -176,7 +176,7 @@ let run_case ~case_seed =
 let usage =
   "usage: fuzz [cases] [seed] [--timeout SECS] [--checkpoint FILE] \
    [--resume FILE] [--no-checkpoint] [--jobs N] [--job-timeout SECS] \
-   [--retries N] [--fault SPEC]"
+   [--retries N] [--fault SPEC] [--profile] [--trace FILE]"
 
 let die msg =
   prerr_endline ("fuzz: " ^ msg);
@@ -224,6 +224,8 @@ let () =
   let job_timeout = ref None in
   let retries = ref 0 in
   let cli_faults = ref [] in
+  let profile = ref false in
+  let trace = ref None in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -261,6 +263,12 @@ let () =
         | Ok faults -> cli_faults := !cli_faults @ faults
         | Error msg -> die msg);
         parse rest
+    | "--profile" :: rest ->
+        profile := true;
+        parse rest
+    | "--trace" :: v :: rest ->
+        trace := Some v;
+        parse rest
     | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
         die ("unknown option " ^ arg)
     | arg :: rest ->
@@ -268,6 +276,7 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !profile || !trace <> None then Dmc_obs.Registry.set_enabled true;
   let pos_int what v =
     match int_of_string_opt v with Some i -> i | None -> die ("bad " ^ what ^ ": " ^ v)
   in
@@ -446,6 +455,10 @@ let () =
      done;
      if !timed_out || !interrupted <> None then stopped_at := Some (!i - 1)
    end);
+  (match !trace with
+  | Some path -> Dmc_obs.Export.write_chrome_trace path
+  | None -> ());
+  if !profile then print_string (Dmc_obs.Export.profile ());
   let resume_hint () =
     (* Only point at a checkpoint that actually exists: a run stopped
        before its first committed case never wrote one. *)

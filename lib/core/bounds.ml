@@ -230,6 +230,8 @@ let governed_max_indeg g =
       if Cdag.is_input g v then acc else max acc (Cdag.in_degree g v))
     0
 
+let c_ticks = Dmc_obs.Counter.make "budget.ticks"
+
 let governed_row ?timeout ?node_budget ?(samples = 64) ?wavefront g ~s engine =
   let fresh_budget () =
     match (timeout, node_budget) with
@@ -265,7 +267,24 @@ let governed_row ?timeout ?node_budget ?(samples = 64) ?wavefront g ~s engine =
             if rung = "floor" || rung = "trivial" || engine = "floor" then None
             else fresh_budget ()
           in
-          match Engine.run ?budget (fun () -> f budget) with
+          let outcome =
+            Dmc_obs.Span.with_
+              ~attrs:[ ("engine", engine); ("rung", rung) ]
+              (engine ^ "/" ^ rung)
+              (fun () ->
+                let r = Engine.run ?budget (fun () -> f budget) in
+                (match budget with
+                | Some b ->
+                    let spent = Budget.spent b in
+                    Dmc_obs.Counter.add c_ticks spent;
+                    Dmc_obs.Span.note "ticks" (string_of_int spent)
+                | None -> ());
+                (match r with
+                | Ok _ -> Dmc_obs.Span.note "outcome" "ok"
+                | Error e -> Dmc_obs.Span.note "outcome" (failure_token e));
+                r)
+          in
+          match outcome with
           | Ok v ->
               {
                 engine;
@@ -405,6 +424,10 @@ let assemble_governed g ~s rows =
   }
 
 let analyze_governed ?timeout ?node_budget ?(samples = 64) g ~s =
+  Dmc_obs.Span.with_
+    ~attrs:[ ("s", string_of_int s); ("n", string_of_int (Cdag.n_vertices g)) ]
+    "bounds.analyze_governed"
+  @@ fun () ->
   (* The wavefront row runs first; its achieved value is reused as the
      middle rung of every other lower-bound ladder. *)
   let wavefront_row = governed_row ?timeout ?node_budget ~samples g ~s "wavefront" in

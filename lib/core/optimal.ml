@@ -17,6 +17,8 @@ let mask_of_list vs = List.fold_left (fun m v -> m lor (1 lsl v)) 0 vs
 (* Generic Dijkstra over integer-encoded states.  [budget] is ticked
    once per popped state, so a deadline interrupts the search within
    one expansion. *)
+let c_states = Dmc_obs.Counter.make "optimal.states_expanded"
+
 let dijkstra ?budget ~max_states ~start ~is_goal ~successors () =
   let dist = Hashtbl.create 4096 in
   let heap = Heap.create () in
@@ -25,6 +27,7 @@ let dijkstra ?budget ~max_states ~start ~is_goal ~successors () =
   let answer = ref None in
   while !answer = None && not (Heap.is_empty heap) do
     (match budget with None -> () | Some b -> Budget.tick b);
+    Dmc_obs.Counter.incr c_states;
     match Heap.pop_min heap with
     | None -> ()
     | Some (cost, state) ->
@@ -103,7 +106,10 @@ let rbw_io ?budget ?(max_states = 2_000_000) g ~s =
         push 1 (encode ~white ~red ~blue:(blue lor bit))
     done
   in
-  dijkstra ?budget ~max_states ~start ~is_goal ~successors ()
+  Dmc_obs.Span.with_
+    ~attrs:[ ("s", string_of_int s); ("n", string_of_int n) ]
+    "optimal.rbw_io"
+    (fun () -> dijkstra ?budget ~max_states ~start ~is_goal ~successors ())
 
 let rb_io ?budget ?(max_states = 2_000_000) g ~s =
   if s <= 0 then invalid_arg "Optimal.rb_io: s must be positive";
@@ -141,7 +147,10 @@ let rb_io ?budget ?(max_states = 2_000_000) g ~s =
       else if blue land bit = 0 then push 1 (encode ~red ~blue:(blue lor bit))
     done
   in
-  dijkstra ?budget ~max_states ~start ~is_goal ~successors ()
+  Dmc_obs.Span.with_
+    ~attrs:[ ("s", string_of_int s); ("n", string_of_int n) ]
+    "optimal.rb_io"
+    (fun () -> dijkstra ?budget ~max_states ~start ~is_goal ~successors ())
 
 let min_balanced_horizontal ?budget ?(slack = 0) g ~procs =
   if procs < 1 then invalid_arg "Optimal.min_balanced_horizontal";

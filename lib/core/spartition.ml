@@ -123,11 +123,19 @@ let compute_vertices g =
     []
   |> List.rev |> Array.of_list
 
+let c_nodes = Dmc_obs.Counter.make "spartition.nodes"
+let c_masks = Dmc_obs.Counter.make "spartition.masks"
+
 let min_h_exact ?budget ?(max_nodes = 20_000_000) g ~s =
   let vs = compute_vertices g in
   let n' = Array.length vs in
   if n' = 0 then 0
-  else begin
+  else
+    Dmc_obs.Span.with_
+      ~attrs:[ ("s", string_of_int s); ("n_compute", string_of_int n') ]
+      "spartition.min_h_exact"
+    @@ fun () ->
+    begin
     let n = Cdag.n_vertices g in
     let color = Array.make n (-1) in
     let best = ref n' in
@@ -138,6 +146,7 @@ let min_h_exact ?budget ?(max_nodes = 20_000_000) g ~s =
     let rec assign i used =
       (match budget with None -> () | Some b -> Budget.tick b);
       incr nodes;
+      Dmc_obs.Counter.incr c_nodes;
       if !nodes > max_nodes then
         raise (Optimal.Too_large "Spartition.min_h_exact: node budget exhausted");
       if used >= !best then ()
@@ -168,7 +177,12 @@ let max_subset_exact ?budget g ~s =
   if n' > 22 || n > 62 then
     raise (Optimal.Too_large "Spartition.max_subset_exact: graph too large");
   if n' = 0 then 0
-  else begin
+  else
+    Dmc_obs.Span.with_
+      ~attrs:[ ("s", string_of_int s); ("n_compute", string_of_int n') ]
+      "spartition.max_subset_exact"
+    @@ fun () ->
+    begin
     let popcount x =
       let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
       go x 0
@@ -184,6 +198,7 @@ let max_subset_exact ?budget g ~s =
     let best = ref 0 in
     for mask = 1 to (1 lsl n') - 1 do
       (match budget with None -> () | Some b -> Budget.tick b);
+      Dmc_obs.Counter.incr c_masks;
       let size = popcount mask in
       if size > !best then begin
         let w_full = ref 0 and preds_union = ref 0 in

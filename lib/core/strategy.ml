@@ -6,6 +6,9 @@ module Hierarchy = Dmc_machine.Hierarchy
 
 type policy = Lru | Belady
 
+let c_belady_evict = Dmc_obs.Counter.make "strategy.evictions.belady"
+let c_lru_evict = Dmc_obs.Counter.make "strategy.evictions.lru"
+
 let default_order g =
   Topo.order g |> Array.to_list
   |> List.filter (fun v -> not (Cdag.is_input g v))
@@ -57,6 +60,14 @@ let no_use = max_int
 
 let schedule ?budget ?(policy = Belady) ?order g ~s =
   if s <= 0 then invalid_arg "Strategy.schedule: s must be positive";
+  Dmc_obs.Span.with_
+    ~attrs:
+      [
+        ("policy", (match policy with Belady -> "belady" | Lru -> "lru"));
+        ("s", string_of_int s);
+      ]
+    "strategy.schedule"
+  @@ fun () ->
   let order = match order with Some o -> o | None -> default_order g in
   ignore (check_order g order);
   let n = Cdag.n_vertices g in
@@ -105,6 +116,8 @@ let schedule ?budget ?(policy = Belady) ?order g ~s =
       red;
     if !best < 0 then failwith "Strategy.schedule: S too small for the operand set";
     let v = !best in
+    Dmc_obs.Counter.incr
+      (match policy with Belady -> c_belady_evict | Lru -> c_lru_evict);
     store_if_needed v ~future:(next_use v <> no_use);
     emit (Rb_game.Delete v);
     Bitset.remove red v

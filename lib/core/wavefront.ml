@@ -5,7 +5,10 @@ module Reach = Dmc_cdag.Reach
 module Subgraph = Dmc_cdag.Subgraph
 module Vertex_cut = Dmc_flow.Vertex_cut
 
+let c_mincut = Dmc_obs.Counter.make "wavefront.mincut_calls"
+
 let min_wavefront_cut ?budget g x =
+  Dmc_obs.Counter.incr c_mincut;
   let desc = Reach.descendants g x in
   if Bitset.is_empty desc then (1, [ x ])
   else begin
@@ -21,7 +24,11 @@ let min_wavefront_cut ?budget g x =
 let min_wavefront ?budget g x = fst (min_wavefront_cut ?budget g x)
 
 let wmax_exact ?budget g =
-  Cdag.fold_vertices g (fun acc x -> max acc (min_wavefront ?budget g x)) 0
+  Dmc_obs.Span.with_
+    ~attrs:[ ("n", string_of_int (Cdag.n_vertices g)) ]
+    "wavefront.wmax_exact"
+    (fun () ->
+      Cdag.fold_vertices g (fun acc x -> max acc (min_wavefront ?budget g x)) 0)
 
 let wmax_exact_par ?domains g =
   let n = Cdag.n_vertices g in
@@ -48,14 +55,17 @@ let wmax_exact_par ?domains g =
 let wmax_sampled ?budget rng g ~samples =
   let n = Cdag.n_vertices g in
   if n = 0 then 0
-  else begin
-    let best = ref 0 in
-    for _ = 1 to samples do
-      let x = Rng.int rng n in
-      best := max !best (min_wavefront ?budget g x)
-    done;
-    !best
-  end
+  else
+    Dmc_obs.Span.with_
+      ~attrs:[ ("n", string_of_int n); ("samples", string_of_int samples) ]
+      "wavefront.wmax_sampled"
+      (fun () ->
+        let best = ref 0 in
+        for _ = 1 to samples do
+          let x = Rng.int rng n in
+          best := max !best (min_wavefront ?budget g x)
+        done;
+        !best)
 
 (* Anytime variant for the fallback ladder: sample until the budget
    runs out and keep the best bound found so far.  Sound because
@@ -64,16 +74,22 @@ let wmax_sampled ?budget rng g ~samples =
 let wmax_sampled_anytime ?budget rng g ~samples =
   let n = Cdag.n_vertices g in
   if n = 0 then 0
-  else begin
-    let best = ref 0 in
-    (try
-       for _ = 1 to samples do
-         let x = Rng.int rng n in
-         best := max !best (min_wavefront ?budget g x)
-       done
-     with Dmc_util.Budget.Exhausted _ -> ());
-    !best
-  end
+  else
+    Dmc_obs.Span.with_
+      ~attrs:[ ("n", string_of_int n); ("samples", string_of_int samples) ]
+      "wavefront.wmax_sampled_anytime"
+      (fun () ->
+        let best = ref 0 in
+        let completed = ref 0 in
+        (try
+           for _ = 1 to samples do
+             let x = Rng.int rng n in
+             best := max !best (min_wavefront ?budget g x);
+             incr completed
+           done
+         with Dmc_util.Budget.Exhausted _ -> ());
+        Dmc_obs.Span.note "completed" (string_of_int !completed);
+        !best)
 
 let lemma2_bound ~wavefront ~s = max 0 (2 * (wavefront - s))
 

@@ -3,6 +3,8 @@ module Budget = Dmc_util.Budget
 module Intvec = Dmc_util.Intvec
 
 let tick = function None -> () | Some b -> Budget.tick b
+let c_bfs = Dmc_obs.Counter.make "dinic.bfs_rounds"
+let c_aug = Dmc_obs.Counter.make "dinic.augmenting_paths"
 
 (* Edges are stored in pairs: edge [2k] and its residual twin [2k+1].
    [cap] holds the residual capacity, so flow on edge e equals the
@@ -96,10 +98,12 @@ let max_flow ?budget net ~src ~dst =
   if src = dst then invalid_arg "Maxflow.max_flow: src = dst";
   let total = ref 0 in
   while bfs ?budget net ~src ~dst do
+    Dmc_obs.Counter.incr c_bfs;
     net.cursor <- Array.copy net.first;
     let rec pump () =
       let sent = dfs ?budget net ~dst src infinite in
       if sent > 0 then begin
+        Dmc_obs.Counter.incr c_aug;
         total := !total + sent;
         pump ()
       end

@@ -1,0 +1,13 @@
+type t = Registry.counter
+
+let make = Registry.counter
+
+let add c n =
+  if !Registry.enabled then c.Registry.c_value <- c.Registry.c_value + n
+
+let incr c =
+  if !Registry.enabled then c.Registry.c_value <- c.Registry.c_value + 1
+
+let set c n = if !Registry.enabled then c.Registry.c_value <- n
+let value c = c.Registry.c_value
+let name c = c.Registry.c_name

@@ -1,0 +1,30 @@
+(** Typed work counters.
+
+    A counter counts discrete units of algorithmic work — search nodes
+    expanded, augmenting paths found, cache lines evicted.  Counting
+    work rather than time is what makes profiles comparable across
+    machines and byte-identical across [--jobs] widths.
+
+    Register once at module initialisation:
+    {[
+      let c_aug = Dmc_obs.Counter.make "dinic.augmenting_paths"
+    ]}
+    and bump from the hot loop with {!incr}/{!add}.  When the registry
+    is disabled each bump costs one ref load and an untaken branch. *)
+
+type t = Registry.counter
+
+val make : string -> t
+(** Find or create the counter with this name (idempotent). *)
+
+val incr : t -> unit
+(** Add one, if instrumentation is enabled. *)
+
+val add : t -> int -> unit
+(** Add [n], if instrumentation is enabled. *)
+
+val set : t -> int -> unit
+(** Overwrite the value (gauge-style), if instrumentation is enabled. *)
+
+val value : t -> int
+val name : t -> string

@@ -1,0 +1,139 @@
+open Dmc_util
+
+let counters_table () =
+  let t = Table.create ~headers:[ "counter"; "value" ] in
+  Table.set_align t [ Table.Left; Table.Right ];
+  let _ =
+    Registry.fold_counters
+      (fun () c ->
+        Table.add_row t [ c.Registry.c_name; Table.fmt_int c.Registry.c_value ])
+      ()
+  in
+  Table.render t
+
+(* Aggregate completed spans by name: count, total and mean duration.
+   The count column is deterministic (it counts calls, not time); the
+   millisecond columns are wall-clock and vary run to run, which is why
+   [profile] prints counters and spans as separate sections. *)
+let span_aggregate () =
+  let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  Registry.iter_events (fun e ->
+      match Hashtbl.find_opt tbl e.Registry.ev_name with
+      | Some (n, total) ->
+          incr n;
+          total := !total +. e.Registry.ev_dur
+      | None -> Hashtbl.replace tbl e.Registry.ev_name (ref 1, ref e.Registry.ev_dur));
+  Hashtbl.fold (fun name (n, total) acc -> (name, !n, !total) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let spans_table () =
+  let t = Table.create ~headers:[ "span"; "count"; "total ms"; "mean ms" ] in
+  Table.set_align t [ Table.Left; Table.Right; Table.Right; Table.Right ];
+  List.iter
+    (fun (name, n, total_us) ->
+      let total_ms = total_us /. 1e3 in
+      Table.add_row t
+        [
+          name;
+          Table.fmt_int n;
+          Table.fmt_float ~digits:3 total_ms;
+          Table.fmt_float ~digits:3 (total_ms /. float_of_int n);
+        ])
+    (span_aggregate ());
+  Table.render t
+
+let profile () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "== profile: counters ==\n";
+  Buffer.add_string b (counters_table ());
+  Buffer.add_string b "== profile: spans ==\n";
+  Buffer.add_string b (spans_table ());
+  (match Registry.dropped () with
+  | 0 -> ()
+  | n -> Buffer.add_string b (Printf.sprintf "(%d spans dropped: buffer full)\n" n));
+  Buffer.contents b
+
+let to_json () =
+  let open Json in
+  let counters =
+    List.rev
+      (Registry.fold_counters
+         (fun acc c -> (c.Registry.c_name, Int c.Registry.c_value) :: acc)
+         [])
+  in
+  let spans =
+    List.map
+      (fun (name, n, total_us) ->
+        Obj
+          [
+            ("name", String name);
+            ("count", Int n);
+            ("total_ms", Float (total_us /. 1e3));
+          ])
+      (span_aggregate ())
+  in
+  Obj
+    [
+      ("counters", Obj counters);
+      ("spans", List spans);
+      ("dropped", Int (Registry.dropped ()));
+    ]
+
+(* Chrome trace-event format: one complete ("ph":"X") slice per span,
+   microsecond timestamps, one pid, tid 0 for the supervisor and
+   [job+1] for spans merged from pool workers.  Loadable directly in
+   chrome://tracing and Perfetto. *)
+let chrome_trace () =
+  let open Json in
+  let tids = Hashtbl.create 8 in
+  let slices = ref [] in
+  Registry.iter_events (fun e ->
+      Hashtbl.replace tids e.Registry.ev_tid ();
+      slices :=
+        Obj
+          [
+            ("name", String e.Registry.ev_name);
+            ("cat", String "dmc");
+            ("ph", String "X");
+            ("ts", Float e.Registry.ev_ts);
+            ("dur", Float e.Registry.ev_dur);
+            ("pid", Int 0);
+            ("tid", Int e.Registry.ev_tid);
+            ( "args",
+              Obj (List.map (fun (k, v) -> (k, String v)) e.Registry.ev_attrs) );
+          ]
+        :: !slices);
+  let meta =
+    Obj
+      [
+        ("name", String "process_name");
+        ("ph", String "M");
+        ("pid", Int 0);
+        ("args", Obj [ ("name", String "dmc") ]);
+      ]
+    :: (Hashtbl.fold (fun tid () acc -> tid :: acc) tids []
+       |> List.sort compare
+       |> List.map (fun tid ->
+              let label = if tid = 0 then "main" else Printf.sprintf "job %d" (tid - 1) in
+              Obj
+                [
+                  ("name", String "thread_name");
+                  ("ph", String "M");
+                  ("pid", Int 0);
+                  ("tid", Int tid);
+                  ("args", Obj [ ("name", String label) ]);
+                ]))
+  in
+  Obj
+    [
+      ("traceEvents", List (meta @ List.rev !slices));
+      ("displayTimeUnit", String "ms");
+    ]
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:false (chrome_trace ()));
+      output_char oc '\n')

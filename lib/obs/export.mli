@@ -1,0 +1,34 @@
+(** Exporters over the registry: profile tables, JSON, Chrome trace.
+
+    Three views of the same recorded data:
+    - {!profile} — human-readable, two sections.  The counters section
+      is fully deterministic (work counts only) and is what the CI
+      smoke byte-compares between [--jobs 1] and [--jobs 2]; the spans
+      section carries wall-clock milliseconds and is expected to vary.
+    - {!to_json} — machine-readable counters + span aggregates, used by
+      [bench/main.exe bench --json] to seed perf baselines.
+    - {!chrome_trace} — the Chrome trace-event format ([ph:"X"]
+      complete slices, microsecond [ts]/[dur], per-worker [tid]),
+      loadable in [chrome://tracing] and Perfetto. *)
+
+val counters_table : unit -> string
+(** All registered counters in name order, via {!Dmc_util.Table}. *)
+
+val spans_table : unit -> string
+(** Spans aggregated by name: count, total and mean milliseconds. *)
+
+val span_aggregate : unit -> (string * int * float) list
+(** [(name, count, total_microseconds)] in name order. *)
+
+val profile : unit -> string
+(** Counters section followed by spans section, plus a dropped-span
+    notice if the event buffer overflowed. *)
+
+val to_json : unit -> Dmc_util.Json.t
+
+val chrome_trace : unit -> Dmc_util.Json.t
+(** The [{"traceEvents": [...]}] document, including process/thread
+    name metadata ([tid 0] = supervisor, [tid j+1] = pool job [j]). *)
+
+val write_chrome_trace : string -> unit
+(** Write {!chrome_trace} compactly to a file. *)

@@ -1,0 +1,220 @@
+(* Global-but-resettable instrumentation state: the enabled flag, the
+   clamped-monotone clock, the counter table and the completed-span
+   buffer.  Everything every other Dmc_obs module touches lives here so
+   the disabled fast path is a single [!enabled] load shared by all of
+   them. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type event = {
+  ev_name : string;
+  mutable ev_attrs : (string * string) list;
+  ev_ts : float; (* microseconds since the registry epoch *)
+  mutable ev_dur : float; (* microseconds *)
+  mutable ev_tid : int;
+  ev_depth : int;
+}
+
+let enabled = ref false
+let is_enabled () = !enabled
+
+(* [Unix.gettimeofday] can step backwards under NTP adjustment; clamping
+   to the max seen so far keeps span durations non-negative, which the
+   Chrome trace viewer requires. *)
+let last_now = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last_now then last_now := t;
+  !last_now
+
+(* 0.0 is the "never enabled" sentinel; the epoch is captured the first
+   time instrumentation is switched on and deliberately survives
+   [child_reset], so spans recorded in a forked worker share the parent
+   timeline and merge without translation. *)
+let epoch = ref 0.0
+let now_us () = (now () -. !epoch) *. 1e6
+
+let set_enabled b =
+  if b && !epoch = 0.0 then epoch := now ();
+  enabled := b
+
+(* Counters are registered once (typically at module initialisation in
+   the instrumented library) and found by name thereafter, so merging a
+   child snapshot can never create duplicates. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let fold_counters f acc =
+  let all = Hashtbl.fold (fun _ c l -> c :: l) counters [] in
+  let all = List.sort (fun a b -> compare a.c_name b.c_name) all in
+  List.fold_left f acc all
+
+(* Completed spans, in completion order.  The buffer is bounded so a
+   pathological run cannot exhaust memory; overflow is counted rather
+   than silently ignored. *)
+let max_events = 1_000_000
+let events : event array ref = ref [||]
+let n_events = ref 0
+let dropped_events = ref 0
+
+let push_event e =
+  if !n_events >= max_events then incr dropped_events
+  else begin
+    (if !n_events >= Array.length !events then
+       let cap = max 256 (2 * Array.length !events) in
+       let a = Array.make cap e in
+       Array.blit !events 0 a 0 !n_events;
+       events := a);
+    !events.(!n_events) <- e;
+    incr n_events
+  end
+
+let iter_events f =
+  for i = 0 to !n_events - 1 do
+    f !events.(i)
+  done
+
+let event_count () = !n_events
+let dropped () = !dropped_events
+
+(* Stack of open spans for the current thread of control.  The pool
+   supervisor and each forked worker are single-threaded with respect to
+   spans, so one stack suffices; [cur_tid] is what distinguishes merged
+   worker timelines in the exported trace. *)
+let stack : event list ref = ref []
+let cur_tid = ref 0
+
+let open_span ~name ~attrs =
+  let e =
+    {
+      ev_name = name;
+      ev_attrs = attrs;
+      ev_ts = now_us ();
+      ev_dur = 0.0;
+      ev_tid = !cur_tid;
+      ev_depth = List.length !stack;
+    }
+  in
+  stack := e :: !stack;
+  e
+
+let close_span e =
+  e.ev_dur <- now_us () -. e.ev_ts;
+  (match !stack with
+  | top :: rest when top == e -> stack := rest
+  | _ -> stack := List.filter (fun x -> x != e) !stack);
+  push_event e
+
+let innermost () = match !stack with [] -> None | e :: _ -> Some e
+
+let add_event ~name ?(attrs = []) ~ts_us ~dur_us ?(tid = 0) ?(depth = 0) () =
+  push_event
+    {
+      ev_name = name;
+      ev_attrs = attrs;
+      ev_ts = ts_us;
+      ev_dur = dur_us;
+      ev_tid = tid;
+      ev_depth = depth;
+    }
+
+let clear () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  n_events := 0;
+  events := [||];
+  dropped_events := 0;
+  stack := []
+
+let reset () =
+  clear ();
+  epoch := now ()
+
+let child_reset () = clear ()
+
+(* Fork-boundary snapshot: only non-zero counters travel in the frame
+   (the supervisor's merge treats a missing counter as +0), and the
+   events carry registry-epoch timestamps, which are directly comparable
+   to the parent's because the epoch is inherited across fork. *)
+
+let snapshot_json () =
+  let open Dmc_util.Json in
+  let cs =
+    fold_counters
+      (fun acc c -> if c.c_value = 0 then acc else (c.c_name, Int c.c_value) :: acc)
+      []
+  in
+  let evs =
+    let out = ref [] in
+    iter_events (fun e ->
+        out :=
+          Obj
+            [
+              ("name", String e.ev_name);
+              ("ts", Float e.ev_ts);
+              ("dur", Float e.ev_dur);
+              ("depth", Int e.ev_depth);
+              ("attrs", Obj (List.map (fun (k, v) -> (k, String v)) e.ev_attrs));
+            ]
+          :: !out);
+    List.rev !out
+  in
+  Obj
+    [
+      ("counters", Obj (List.rev cs));
+      ("dropped", Int !dropped_events);
+      ("events", List evs);
+    ]
+
+let merge_snapshot ?(tid = 0) json =
+  let open Dmc_util.Json in
+  match json with
+  | Obj _ ->
+      (match mem json "counters" with
+      | Some (Obj cs) ->
+          List.iter
+            (fun (name, v) ->
+              match v with
+              | Int n -> (counter name).c_value <- (counter name).c_value + n
+              | _ -> ())
+            cs
+      | _ -> ());
+      (match mem json "dropped" with
+      | Some (Int n) -> dropped_events := !dropped_events + n
+      | _ -> ());
+      (match mem json "events" with
+      | Some (List evs) ->
+          List.iter
+            (fun ev ->
+              match (mem ev "name", mem ev "ts", mem ev "dur") with
+              | Some (String name), Some ts, Some dur ->
+                  let num = function
+                    | Float f -> f
+                    | Int i -> float_of_int i
+                    | _ -> 0.0
+                  in
+                  let depth =
+                    match mem ev "depth" with Some (Int d) -> d | _ -> 0
+                  in
+                  let attrs =
+                    match mem ev "attrs" with
+                    | Some (Obj kvs) ->
+                        List.filter_map
+                          (fun (k, v) ->
+                            match v with String s -> Some (k, s) | _ -> None)
+                          kvs
+                    | _ -> []
+                  in
+                  add_event ~name ~attrs ~ts_us:(num ts) ~dur_us:(num dur) ~tid
+                    ~depth ()
+              | _ -> ())
+            evs
+      | _ -> ())
+  | _ -> ()

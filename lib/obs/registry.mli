@@ -1,0 +1,109 @@
+(** Global-but-resettable instrumentation state.
+
+    All of {!Dmc_obs} shares one registry: an enabled flag (the single
+    load-and-branch every instrumentation site checks), a
+    clamped-monotone wall clock, a name-keyed counter table and a
+    bounded buffer of completed spans.  The registry is process-global
+    on purpose — instrumentation must not thread a context value
+    through every engine signature — but fully resettable, so tests and
+    forked pool workers can start from a clean slate.
+
+    Determinism contract: counters count {e work} (nodes expanded,
+    augmenting paths, evictions), never time, so two identical runs —
+    or the same jobs split across [--jobs 1] and [--jobs 2] workers —
+    produce identical counter snapshots.  Only span timestamps and
+    durations vary between runs. *)
+
+type counter = { c_name : string; mutable c_value : int }
+(** A registered counter.  Increment through {!Dmc_obs.Counter}, which
+    honours the enabled flag — never mutate [c_value] directly. *)
+
+type event = {
+  ev_name : string;
+  mutable ev_attrs : (string * string) list;
+  ev_ts : float;  (** microseconds since the registry epoch *)
+  mutable ev_dur : float;  (** microseconds *)
+  mutable ev_tid : int;
+      (** 0 in-process; [job index + 1] for spans merged from a pool
+          worker *)
+  ev_depth : int;  (** nesting depth at the time the span opened *)
+}
+(** A completed span. *)
+
+val enabled : bool ref
+(** The master switch.  Instrumentation sites compile to one load of
+    this ref and a conditional branch when it is [false]; do not write
+    it directly — use {!set_enabled}, which also arms the epoch. *)
+
+val is_enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Switch instrumentation on or off.  The first enable captures the
+    clock epoch; subsequent enables keep it, so timestamps from before
+    and after a disable window remain comparable. *)
+
+val now : unit -> float
+(** [Unix.gettimeofday] clamped to be non-decreasing, so NTP steps can
+    never produce a negative span duration. *)
+
+val now_us : unit -> float
+(** Microseconds since the epoch, on the clamped clock. *)
+
+val counter : string -> counter
+(** Find or create the counter registered under [name].  Creation is
+    idempotent, so modules may register at initialisation time and
+    merged child snapshots can never introduce duplicates. *)
+
+val fold_counters : ('a -> counter -> 'a) -> 'a -> 'a
+(** Fold over all registered counters in name order (deterministic). *)
+
+val max_events : int
+(** Completed-span buffer bound; beyond it spans are counted as dropped
+    instead of allocated. *)
+
+val iter_events : (event -> unit) -> unit
+(** Iterate completed spans in completion order. *)
+
+val event_count : unit -> int
+val dropped : unit -> int
+
+val open_span : name:string -> attrs:(string * string) list -> event
+(** Used by {!Dmc_obs.Span}; callers outside the library should prefer
+    [Span.with_]. *)
+
+val close_span : event -> unit
+val innermost : unit -> event option
+
+val add_event :
+  name:string ->
+  ?attrs:(string * string) list ->
+  ts_us:float ->
+  dur_us:float ->
+  ?tid:int ->
+  ?depth:int ->
+  unit ->
+  unit
+(** Append an already-timed span — how the pool supervisor records the
+    synthetic ["pool.job"] span around each worker attempt. *)
+
+val reset : unit -> unit
+(** Zero every counter, discard all spans and re-arm the epoch.  The
+    counter {e registrations} survive, so a reset-run-snapshot cycle is
+    reproducible. *)
+
+val child_reset : unit -> unit
+(** What a forked worker calls first: like {!reset} but the epoch (and
+    the enabled flag) are inherited from the parent, so the child's
+    timestamps land on the parent's timeline. *)
+
+val snapshot_json : unit -> Dmc_util.Json.t
+(** Serialize non-zero counters, the dropped count and all completed
+    spans — the payload a pool worker appends to its {!Dmc_util.Ipc}
+    result frame. *)
+
+val merge_snapshot : ?tid:int -> Dmc_util.Json.t -> unit
+(** Fold a worker snapshot into this registry: counters add (commutes,
+    so completion order cannot affect the merged profile), spans append
+    with [ev_tid] forced to [tid].  Malformed sub-structures are
+    skipped — observability must never turn a good result into a
+    protocol error. *)

@@ -1,0 +1,11 @@
+let with_ ?(attrs = []) name f =
+  if not !Registry.enabled then f ()
+  else
+    let e = Registry.open_span ~name ~attrs in
+    Fun.protect ~finally:(fun () -> Registry.close_span e) f
+
+let note key value =
+  if !Registry.enabled then
+    match Registry.innermost () with
+    | Some e -> e.Registry.ev_attrs <- e.Registry.ev_attrs @ [ (key, value) ]
+    | None -> ()

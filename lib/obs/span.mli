@@ -1,0 +1,20 @@
+(** Hierarchical timed spans.
+
+    [Span.with_ "spartition.search" ~attrs:[("s", "4")] f] times [f] on
+    the registry's clamped-monotone clock and records a completed span
+    on exit — {e including} exceptional exit, so a rung that dies with
+    [Budget.Exhausted] still appears in the trace.  Nesting is implicit:
+    spans opened inside [f] record a larger depth and, in the Chrome
+    trace, sit under [f]'s slice.
+
+    When instrumentation is disabled, [with_] is one ref load, one
+    branch and a direct call of [f]. *)
+
+val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span. *)
+
+val note : string -> string -> unit
+(** [note key value] appends an attribute to the innermost open span —
+    how the degradation ladder tags a rung span with its outcome and
+    budget ticks after the fact.  A no-op when disabled or when no span
+    is open. *)

@@ -60,6 +60,25 @@ let signal_name s =
   else if s = Sys.sigpipe then "SIGPIPE"
   else Printf.sprintf "signal %d" s
 
+(* Observability: dispatch/retry/verdict counters plus a synthetic
+   ["pool.job"] span per finished attempt.  Verdict counters are
+   pre-registered so the counter set (and hence the profile table) does
+   not depend on which verdicts a particular run happens to produce. *)
+let c_dispatch = Dmc_obs.Counter.make "pool.dispatch"
+let c_retry = Dmc_obs.Counter.make "pool.retry"
+
+let verdict_token = function
+  | Done _ -> "ok"
+  | Timed_out -> "timed-out"
+  | Crashed _ -> "crashed"
+  | Engine_failure _ -> "engine-failure"
+  | Worker_protocol_error _ -> "protocol-error"
+
+let c_verdicts =
+  List.map
+    (fun t -> (t, Dmc_obs.Counter.make ("pool.verdict." ^ t)))
+    [ "ok"; "timed-out"; "crashed"; "engine-failure"; "protocol-error" ]
+
 let verdict_to_string = function
   | Done _ -> "ok"
   | Timed_out -> "timed-out"
@@ -99,6 +118,10 @@ let child_body cfg ~worker ~payload ~job ~attempt w =
          ignore (Unix.write_substring w "*** not an ipc frame ***" 0 24)
        with Unix.Unix_error _ -> ())
   | None ->
+      (* Start from a clean registry (fork inherited the parent's spans
+         and counts) but keep the parent's epoch, so the snapshot's
+         timestamps land on the supervisor's timeline. *)
+      Dmc_obs.Registry.child_reset ();
       let result =
         try worker job payload with
         | Budget.Exhausted f -> Error f
@@ -113,6 +136,16 @@ let child_body cfg ~worker ~payload ~job ~attempt w =
         | Ok v -> Json.Obj [ ("ok", v) ]
         | Error f -> Json.Obj [ ("err", Json.String (Budget.failure_to_string f)) ]
       in
+      let frame =
+        (* The span/counter snapshot rides in the same result frame; the
+           supervisor merges it under this job's tid.  Engine failures
+           keep their snapshot too — failed rungs must still appear in
+           the trace. *)
+        match frame with
+        | Json.Obj fields when Dmc_obs.Registry.is_enabled () ->
+            Json.Obj (fields @ [ ("obs", Dmc_obs.Registry.snapshot_json ()) ])
+        | other -> other
+      in
       (try Ipc.write_frame w frame with Unix.Unix_error _ -> ()));
   Unix._exit 0
 
@@ -126,6 +159,7 @@ type slot = {
   job : int;
   attempt : int;
   deadline : float option;
+  started : float; (* registry clock, microseconds; 0 when obs is off *)
   mutable eof : bool;
   mutable status : Unix.process_status option;
   mutable timeout_killed : bool;
@@ -155,6 +189,9 @@ let spawn cfg ~worker ~payload ~job ~attempt =
         job;
         attempt;
         deadline = Option.map (fun t -> Budget.now () +. t) cfg.timeout;
+        started =
+          (if Dmc_obs.Registry.is_enabled () then Dmc_obs.Registry.now_us ()
+           else 0.);
         eof = false;
         status = None;
         timeout_killed = false;
@@ -179,28 +216,68 @@ let reap_blocking slot =
     slot.eof <- true
   end
 
+(* Record a finished attempt in the registry: bump the verdict counter,
+   merge the child's snapshot under this job's tid and close the
+   synthetic per-attempt span. *)
+let record_attempt slot verdict obs =
+  if Dmc_obs.Registry.is_enabled () then begin
+    let tid = slot.job + 1 in
+    (match List.assoc_opt (verdict_token verdict) c_verdicts with
+    | Some c -> Dmc_obs.Counter.incr c
+    | None -> ());
+    (match obs with
+    | Some snap -> Dmc_obs.Registry.merge_snapshot ~tid snap
+    | None -> ());
+    Dmc_obs.Registry.add_event ~name:"pool.job"
+      ~attrs:
+        [
+          ("job", string_of_int slot.job);
+          ("attempt", string_of_int slot.attempt);
+          ("verdict", verdict_to_string verdict);
+        ]
+      ~ts_us:slot.started
+      ~dur_us:(Dmc_obs.Registry.now_us () -. slot.started)
+      ~tid ()
+  end
+
 (* Classify a finished attempt.  [timeout_killed] wins over the exit
-   status (a SIGKILLed worker also reports WSIGNALED sigkill). *)
+   status (a SIGKILLed worker also reports WSIGNALED sigkill).  An
+   ["obs"] field in the result frame is the worker's instrumentation
+   snapshot, not part of the result proper — it is split off before the
+   shape check and merged into the supervisor's registry. *)
 let classify slot =
-  if slot.timeout_killed then Timed_out
-  else
-    match slot.status with
-    | Some (Unix.WSIGNALED s) -> Crashed s
-    | Some (Unix.WSTOPPED s) -> Crashed s
-    | Some (Unix.WEXITED code) -> (
-        match Ipc.decode_frame (Buffer.contents slot.buf) with
-        | Ok (Json.Obj [ ("ok", payload) ]) -> Done payload
-        | Ok (Json.Obj [ ("err", Json.String f) ]) -> (
-            match Budget.failure_of_string f with
-            | Some failure -> Engine_failure failure
-            | None -> Worker_protocol_error ("unknown failure token: " ^ f))
-        | Ok _ -> Worker_protocol_error "unexpected result-frame shape"
-        | Error e ->
-            let detail = Ipc.read_error_to_string e in
-            Worker_protocol_error
-              (if code = 0 then detail
-               else Printf.sprintf "%s (exit code %d)" detail code))
-    | None -> Worker_protocol_error "attempt finalized before being reaped"
+  let verdict, obs =
+    if slot.timeout_killed then (Timed_out, None)
+    else
+      match slot.status with
+      | Some (Unix.WSIGNALED s) -> (Crashed s, None)
+      | Some (Unix.WSTOPPED s) -> (Crashed s, None)
+      | Some (Unix.WEXITED code) -> (
+          match Ipc.decode_frame (Buffer.contents slot.buf) with
+          | Ok (Json.Obj fields) -> (
+              let obs = List.assoc_opt "obs" fields in
+              match List.filter (fun (k, _) -> k <> "obs") fields with
+              | [ ("ok", payload) ] -> (Done payload, obs)
+              | [ ("err", Json.String f) ] -> (
+                  ( (match Budget.failure_of_string f with
+                    | Some failure -> Engine_failure failure
+                    | None ->
+                        Worker_protocol_error ("unknown failure token: " ^ f)),
+                    obs ))
+              | _ -> (Worker_protocol_error "unexpected result-frame shape", None)
+              )
+          | Ok _ -> (Worker_protocol_error "unexpected result-frame shape", None)
+          | Error e ->
+              let detail = Ipc.read_error_to_string e in
+              ( Worker_protocol_error
+                  (if code = 0 then detail
+                   else Printf.sprintf "%s (exit code %d)" detail code),
+                None ))
+      | None ->
+          (Worker_protocol_error "attempt finalized before being reaped", None)
+  in
+  record_attempt slot verdict obs;
+  verdict
 
 let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
   if cfg.jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
@@ -241,6 +318,7 @@ let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
   in
   let settle job verdict =
     if is_transient verdict && attempts.(job) <= cfg.max_retries then begin
+      Dmc_obs.Counter.incr c_retry;
       let delay = backoff_delay cfg ~job ~attempt:attempts.(job) in
       backoffs.(job) <- delay :: backoffs.(job);
       state.(job) <- Waiting (Budget.now () +. delay)
@@ -248,6 +326,7 @@ let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
     else finalize job verdict
   in
   let dispatch job =
+    Dmc_obs.Counter.incr c_dispatch;
     attempts.(job) <- attempts.(job) + 1;
     if attempts.(job) = 1 then first_dispatch.(job) <- Budget.now ();
     state.(job) <- Running;
@@ -348,7 +427,13 @@ let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
               | fds, _, _ -> fds
               | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
           in
-          (* Drain readable pipes. *)
+          (* Drain readable pipes.  Iterate [watched] — the exact slots
+             select looked at — not [in_flight]: a slot that already hit
+             EOF lingers in [in_flight] until its child is reaped, its
+             closed fd *number* can be reused by a newly spawned pipe,
+             and matching on the stale slot would read the new worker's
+             bytes into the wrong buffer (or close the live fd out from
+             under the next select). *)
           List.iter
             (fun slot ->
               if List.memq slot.fd readable then begin
@@ -360,7 +445,7 @@ let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
                 | k -> Buffer.add_subbytes slot.buf chunk 0 k
                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
               end)
-            !in_flight;
+            watched;
           (* Enforce hard deadlines. *)
           let now = Budget.now () in
           List.iter

@@ -36,9 +36,20 @@ let check_order g order =
       if pos.(u) >= 0 && pos.(v) >= 0 && pos.(u) >= pos.(v) then
         invalid_arg "Exec.run: order is not topological")
 
+let c_computes = Dmc_obs.Counter.make "sim.exec.computes"
+let c_remote = Dmc_obs.Counter.make "sim.exec.remote_fetches"
+
 let run g ~order config =
   if config.nodes <= 0 then invalid_arg "Exec.run: nodes must be positive";
   check_order g order;
+  Dmc_obs.Span.with_
+    ~attrs:
+      [
+        ("nodes", string_of_int config.nodes);
+        ("order_len", string_of_int (Array.length order));
+      ]
+    "sim.exec.run"
+  @@ fun () ->
   let n = Cdag.n_vertices g in
   let owner v =
     if config.nodes = 1 then 0
@@ -62,10 +73,12 @@ let run g ~order config =
           let home = owner u in
           if home <> p && not (Bitset.mem replicated.(p) u) then begin
             horizontal_in.(p) <- horizontal_in.(p) + 1;
+            Dmc_obs.Counter.incr c_remote;
             Bitset.add replicated.(p) u
           end;
           Hier_sim.read hier.(p) u);
       Hier_sim.write hier.(p) v;
+      Dmc_obs.Counter.incr c_computes;
       incr computed)
     order;
   Array.iter Hier_sim.flush hier;

@@ -4,14 +4,25 @@ type t = {
   levels : Cache.t array;       (* innermost first *)
   traffic : int array;          (* boundary l-1: between level l and l+1 *)
   policy : policy;
+  (* per-level work counters, registered by name so every simulator
+     instance with the same depth shares them (L1 = innermost) *)
+  c_hits : Dmc_obs.Counter.t array;
+  c_misses : Dmc_obs.Counter.t array;
+  c_evicts : Dmc_obs.Counter.t array;
 }
+
+let level_counter kind l = Dmc_obs.Counter.make (Printf.sprintf "sim.cache.l%d.%s" (l + 1) kind)
 
 let create ?(policy = Inclusive) ~capacities () =
   if Array.length capacities = 0 then invalid_arg "Hier_sim.create: no levels";
+  let n = Array.length capacities in
   {
     levels = Array.map (fun c -> Cache.create ~capacity:c) capacities;
-    traffic = Array.make (Array.length capacities) 0;
+    traffic = Array.make n 0;
     policy;
+    c_hits = Array.init n (level_counter "hits");
+    c_misses = Array.init n (level_counter "misses");
+    c_evicts = Array.init n (level_counter "evictions");
   }
 
 let n_levels t = Array.length t.levels
@@ -23,6 +34,7 @@ let rec handle_eviction t l (ev : Cache.eviction option) =
   match ev with
   | None -> ()
   | Some { key; dirty } ->
+      Dmc_obs.Counter.incr t.c_evicts.(l);
       (* clean lines migrate between cache levels under Exclusive but
          are simply dropped at the memory boundary *)
       let inner = l + 1 < Array.length t.levels in
@@ -66,6 +78,10 @@ let read t key =
     end
   in
   let hit, dirty = probe 0 in
+  for l = 0 to min hit n - 1 do
+    Dmc_obs.Counter.incr t.c_misses.(l)
+  done;
+  if hit < n then Dmc_obs.Counter.incr t.c_hits.(hit);
   fill_to t ~from_level:hit key ~dirty
 
 let write t key =

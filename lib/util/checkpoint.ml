@@ -20,7 +20,13 @@ let write path json =
       ~finally:(fun () -> close_out oc)
       (fun () ->
         output_string oc (Json.to_string json);
-        output_char oc '\n')
+        output_char oc '\n';
+        (* fsync before the rename: rename(2) orders the directory
+           entry, not the data blocks, so a crash right after the
+           rename could otherwise expose a truncated or empty file
+           under the final name. *)
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc))
   with
   | () -> Sys.rename tmp path
   | exception e ->

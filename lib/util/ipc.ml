@@ -5,15 +5,24 @@ type read_error =
   | Truncated of { expected : int; got : int }
   | Malformed of string
 
+(* A corrupted or hostile length prefix must never drive a giant
+   allocation: [parse_header] checks against this cap before any
+   payload buffer is created, and the supervisor maps the resulting
+   [Oversized] error to [Worker_protocol_error].  256 MiB comfortably
+   fits any real result frame (including a worker's full span/counter
+   snapshot) while bounding the damage of an 8-f header. *)
+let max_frame_bytes = 256 * 1024 * 1024
+
 let read_error_to_string = function
   | Closed -> "peer closed the pipe without writing a frame"
   | Bad_header h -> Printf.sprintf "frame header is not hex: %S" h
-  | Oversized n -> Printf.sprintf "declared frame length %d exceeds the limit" n
+  | Oversized n ->
+      Printf.sprintf "declared frame length %d exceeds the %d-byte limit" n
+        max_frame_bytes
   | Truncated { expected; got } ->
       Printf.sprintf "frame truncated: expected %d bytes, got %d" expected got
   | Malformed msg -> "frame payload is not JSON: " ^ msg
 
-let max_frame_bytes = 64 * 1024 * 1024
 let header_bytes = 8
 
 let encode_frame json =

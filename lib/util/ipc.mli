@@ -24,8 +24,11 @@ type read_error =
 val read_error_to_string : read_error -> string
 
 val max_frame_bytes : int
-(** Upper bound on a frame payload (64 MiB) — a garbage header cannot
-    make the reader allocate unboundedly. *)
+(** Upper bound on a frame payload (256 MiB) — checked before any
+    payload buffer is allocated, so a garbage or hostile header cannot
+    make the reader allocate unboundedly.  The pool supervisor surfaces
+    the resulting {!Oversized} error as a [Worker_protocol_error]
+    verdict. *)
 
 val write_frame : Unix.file_descr -> Json.t -> unit
 (** Encode compactly, prefix the hex length, write fully (retrying on

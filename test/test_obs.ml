@@ -1,0 +1,263 @@
+(* Tests for the observability layer: counter/enabled semantics, span
+   nesting, the Chrome trace export (valid JSON, consistent ts/dur),
+   registry reset determinism — two identical instrumented runs must
+   produce byte-identical counter profiles — and the snapshot/merge
+   round-trip the pool supervisor uses across the fork boundary. *)
+
+module Json = Dmc_util.Json
+module Ipc = Dmc_util.Ipc
+module Registry = Dmc_obs.Registry
+module Counter = Dmc_obs.Counter
+module Span = Dmc_obs.Span
+module Export = Dmc_obs.Export
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Every test starts from a clean, enabled registry and leaves it
+   disabled, so suites cannot observe each other's state. *)
+let with_registry f () =
+  Registry.reset ();
+  Registry.set_enabled true;
+  Fun.protect ~finally:(fun () -> Registry.set_enabled false) f
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+
+let test_counter_disabled () =
+  Registry.reset ();
+  Registry.set_enabled false;
+  let c = Counter.make "test.disabled" in
+  Counter.incr c;
+  Counter.add c 41;
+  check "disabled counter stays zero" 0 (Counter.value c)
+
+let test_counter_enabled =
+  with_registry (fun () ->
+      let c = Counter.make "test.enabled" in
+      Counter.incr c;
+      Counter.add c 41;
+      check "enabled counter accumulates" 42 (Counter.value c);
+      (* find-or-create: same name gives the same cell *)
+      let c' = Counter.make "test.enabled" in
+      Counter.incr c';
+      check "registration is idempotent" 43 (Counter.value c))
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let test_span_nesting =
+  with_registry (fun () ->
+      let got =
+        Span.with_ "outer" (fun () ->
+            Span.with_ "inner" (fun () -> 7) + 10)
+      in
+      check "span body result" 17 got;
+      let events = ref [] in
+      Registry.iter_events (fun e -> events := e :: !events);
+      match List.rev !events with
+      | [ inner; outer ] ->
+          (* completion order: inner closes first *)
+          check_string "inner first" "inner" inner.Registry.ev_name;
+          check_string "outer second" "outer" outer.Registry.ev_name;
+          check "inner depth" 1 inner.Registry.ev_depth;
+          check "outer depth" 0 outer.Registry.ev_depth;
+          check_bool "durations non-negative" true
+            (inner.Registry.ev_dur >= 0.0 && outer.Registry.ev_dur >= 0.0);
+          check_bool "outer contains inner" true
+            (outer.Registry.ev_ts <= inner.Registry.ev_ts
+            && outer.Registry.ev_ts +. outer.Registry.ev_dur
+               >= inner.Registry.ev_ts +. inner.Registry.ev_dur)
+      | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l))
+
+let test_span_exception =
+  with_registry (fun () ->
+      (match Span.with_ "raises" (fun () -> failwith "boom") with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "exception swallowed");
+      check "span recorded despite exception" 1 (Registry.event_count ());
+      (* the stack unwound: a following span opens at depth 0 *)
+      Span.with_ "after" (fun () -> ());
+      Registry.iter_events (fun e ->
+          if e.Registry.ev_name = "after" then
+            check "stack unwound on raise" 0 e.Registry.ev_depth))
+
+let test_span_disabled () =
+  Registry.reset ();
+  Registry.set_enabled false;
+  let got = Span.with_ "off" (fun () -> 5) in
+  check "disabled span is transparent" 5 got;
+  check "no span recorded when disabled" 0 (Registry.event_count ())
+
+(* ------------------------------------------------------------------ *)
+(* An instrumented workload: real engines, deterministic node counts.  *)
+
+let run_workload () =
+  let g = Dmc_gen.Shapes.diamond ~rows:3 ~cols:3 in
+  ignore (Dmc_core.Optimal.rbw_io g ~s:4);
+  ignore (Dmc_core.Wavefront.wmax_exact g);
+  let jac =
+    Dmc_gen.Stencil.jacobi_1d ~n:8 ~steps:3
+  in
+  ignore (Dmc_core.Strategy.io jac.Dmc_gen.Stencil.graph ~s:6)
+
+let test_reset_determinism () =
+  (* Two reset-run cycles must yield byte-identical counter output:
+     the acceptance bar behind the --jobs 1 vs --jobs 2 profile diff. *)
+  Registry.reset ();
+  Registry.set_enabled true;
+  run_workload ();
+  let first = Export.counters_table () in
+  Registry.reset ();
+  run_workload ();
+  let second = Export.counters_table () in
+  Registry.set_enabled false;
+  check_string "identical runs, identical counters" first second;
+  check_bool "workload actually counted something" true
+    (String.length first > 0
+    && Registry.fold_counters (fun acc c -> acc + c.Registry.c_value) 0 > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+
+let test_chrome_trace =
+  with_registry (fun () ->
+      run_workload ();
+      (* Round-trip through the concrete syntax: the file a user hands
+         to chrome://tracing must parse back as JSON. *)
+      let doc =
+        match Json.parse (Json.to_string (Export.chrome_trace ())) with
+        | Ok d -> d
+        | Error m -> Alcotest.failf "chrome trace is not valid JSON: %s" m
+      in
+      let events =
+        match Json.mem doc "traceEvents" with
+        | Some (Json.List es) -> es
+        | _ -> Alcotest.fail "traceEvents missing or not a list"
+      in
+      let slices =
+        List.filter
+          (fun e ->
+            match Json.mem e "ph" with
+            | Some (Json.String "X") -> true
+            | _ -> false)
+          events
+      in
+      check_bool "has complete slices" true (List.length slices > 0);
+      let num j =
+        match j with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int i) -> float_of_int i
+        | _ -> Alcotest.fail "ts/dur missing or not numeric"
+      in
+      List.iter
+        (fun e ->
+          let ts = num (Json.mem e "ts") and dur = num (Json.mem e "dur") in
+          check_bool "ts non-negative" true (ts >= 0.0);
+          check_bool "dur non-negative" true (dur >= 0.0);
+          (match Json.mem e "name" with
+          | Some (Json.String _) -> ()
+          | _ -> Alcotest.fail "slice without a name");
+          match Json.mem e "pid" with
+          | Some (Json.Int 0) -> ()
+          | _ -> Alcotest.fail "slice with unexpected pid")
+        slices)
+
+let test_chrome_trace_failed_rung =
+  with_registry (fun () ->
+      (* A rung that exhausts its node budget must still close its span
+         and stamp the failure outcome — failed work has to show up in
+         the trace, not vanish. *)
+      let g = Dmc_gen.Shapes.diamond ~rows:4 ~cols:4 in
+      let row = Dmc_core.Bounds.governed_row ~node_budget:50 g ~s:4 "partition-h" in
+      ignore row;
+      let found = ref false in
+      Registry.iter_events (fun e ->
+          if List.mem_assoc "outcome" e.Registry.ev_attrs then begin
+            found := true;
+            check_bool "span closed with a duration" true
+              (e.Registry.ev_dur >= 0.0)
+          end);
+      check_bool "at least one rung span with an outcome" true !found)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / merge round-trip (the fork boundary without the fork)    *)
+
+let test_snapshot_merge =
+  with_registry (fun () ->
+      let c = Counter.make "test.merge" in
+      Counter.add c 5;
+      Span.with_ "child.work" (fun () -> ());
+      let snap = Registry.snapshot_json () in
+      (* a fresh registry standing in for the supervisor *)
+      Registry.reset ();
+      Counter.add (Counter.make "test.merge") 2;
+      Registry.merge_snapshot ~tid:3 snap;
+      check "counters add on merge" 7 (Counter.value (Counter.make "test.merge"));
+      let merged = ref None in
+      Registry.iter_events (fun e ->
+          if e.Registry.ev_name = "child.work" then merged := Some e);
+      match !merged with
+      | None -> Alcotest.fail "merged span not found"
+      | Some e -> check "merged span carries worker tid" 3 e.Registry.ev_tid)
+
+let test_merge_malformed =
+  with_registry (fun () ->
+      (* Garbage snapshots must be ignored, never raise: observability
+         cannot turn a good worker result into a protocol error. *)
+      Registry.merge_snapshot ~tid:1 Json.Null;
+      Registry.merge_snapshot ~tid:1 (Json.Obj [ ("counters", Json.Int 3) ]);
+      Registry.merge_snapshot ~tid:1
+        (Json.Obj [ ("events", Json.List [ Json.String "junk" ]) ]);
+      check "malformed merges leave no events" 0 (Registry.event_count ()))
+
+(* ------------------------------------------------------------------ *)
+(* Ipc frame-length cap (satellite of this PR)                         *)
+
+let test_ipc_oversized_cap () =
+  (* The header declares ~4 GiB; decode must refuse before allocating
+     a payload buffer, and the message must name the limit. *)
+  match Ipc.decode_frame "ffffffff" with
+  | Ok _ -> Alcotest.fail "decoded a 4 GiB frame header"
+  | Error (Ipc.Oversized n) ->
+      check_bool "declared length preserved" true (n > Ipc.max_frame_bytes);
+      let msg = Ipc.read_error_to_string (Ipc.Oversized n) in
+      let limit = string_of_int Ipc.max_frame_bytes in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      check_bool "error names the limit" true (contains msg limit)
+  | Error e -> Alcotest.failf "expected Oversized, got %s" (Ipc.read_error_to_string e)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "disabled is free" `Quick test_counter_disabled;
+          Alcotest.test_case "enabled accumulates" `Quick test_counter_enabled;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and depth" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception;
+          Alcotest.test_case "disabled is transparent" `Quick test_span_disabled;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "reset makes runs identical" `Quick test_reset_determinism ] );
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "valid JSON, consistent ts/dur" `Quick test_chrome_trace;
+          Alcotest.test_case "failed rung appears" `Quick test_chrome_trace_failed_rung;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_merge;
+          Alcotest.test_case "malformed snapshot ignored" `Quick test_merge_malformed;
+        ] );
+      ( "ipc",
+        [ Alcotest.test_case "length cap precedes allocation" `Quick test_ipc_oversized_cap ] );
+    ]
