@@ -433,6 +433,7 @@ let micro_benchmarks () =
         (J.Obj
            [
              ("kind", J.String "dmc-bench-baseline");
+             ("meta", Dmc_obs.Baseline.meta ~argv:Sys.argv ());
              ("benchmarks", J.List benchmarks);
              ("profile", Dmc_obs.Export.to_json ());
            ]);

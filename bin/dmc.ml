@@ -178,10 +178,19 @@ let trace_arg =
 
 let profile_arg =
   Arg.(value & flag & info [ "profile" ]
-         ~doc:"Print the instrumentation profile (work counters, then span \
-               timings) after the run. The counter section counts algorithmic \
-               work, never time, so it is byte-identical across $(b,--jobs) \
-               widths and repeat runs.")
+         ~doc:"Print the instrumentation profile (work counters, histogram \
+               quantiles, GC/memory gauges, then span timings) after the run. \
+               The counter and histogram sections count algorithmic work, \
+               never time, so they are byte-identical across $(b,--jobs) \
+               widths and repeat runs; gauges and spans are not.")
+
+let progress_arg =
+  Arg.(value & flag & info [ "progress" ]
+         ~doc:"Render a live progress line on stderr while the supervised \
+               pool runs: jobs done/running/retrying, the running workers' \
+               current phase (from heartbeats), an ETA and resident memory. \
+               Implies the pool path; stdout is untouched, so output and \
+               checkpoints stay byte-identical with it on or off.")
 
 let setup_obs ~trace ~profile =
   if trace <> None || profile then Dmc_obs.Registry.set_enabled true
@@ -227,8 +236,8 @@ let gen_cmd =
    and a worker lost to a crash, hard kill or protocol break degrades
    supervisor-side to the engine's terminal rung, with the pool
    verdict recorded as the failed "worker" rung. *)
-let bounds_parallel ~jobs ~job_timeout ~retries ~faults ?timeout ?node_budget g
-    ~s =
+let bounds_parallel ~jobs ~job_timeout ~retries ~faults ~progress ?timeout
+    ?node_budget g ~s =
   let module Pool = Dmc_runtime.Pool in
   let engine_jobs =
     List.map
@@ -244,11 +253,14 @@ let bounds_parallel ~jobs ~job_timeout ~retries ~faults ?timeout ?node_budget g
       max_retries = retries;
       faults;
       should_stop = (fun () -> !interrupted <> None);
+      on_progress =
+        (if progress then Some Dmc_runtime.Progress.draw else None);
     }
   in
   let outcomes =
     Pool.run cfg ~worker:(fun _ job -> Dmc_core.Engine_job.run job) engine_jobs
   in
+  if progress then Dmc_runtime.Progress.clear ();
   let rows =
     List.mapi
       (fun i (name, kind) ->
@@ -271,7 +283,7 @@ let bounds_parallel ~jobs ~job_timeout ~retries ~faults ?timeout ?node_budget g
 
 let bounds_cmd =
   let run spec file s optimal certify json timeout node_budget governed jobs
-      job_timeout retries fault trace profile =
+      job_timeout retries fault trace profile progress =
     setup_logs ();
     guarded @@ fun () ->
     install_interrupt_handlers ();
@@ -281,14 +293,15 @@ let bounds_cmd =
     (* A resource budget switches to the governed path: every engine
        runs under its own guard and degrades down a fallback ladder
        instead of failing, so the command always exits 0 with a status
-       per engine.  Tracing/profiling also routes through the pool:
-       the supervised path is the instrumented one, and running it even
-       at --jobs 1 keeps the counter profile identical across widths. *)
+       per engine.  Tracing/profiling/progress also routes through the
+       pool: the supervised path is the instrumented one, and running
+       it even at --jobs 1 keeps the counter profile identical across
+       widths. *)
     if jobs > 1 || faults <> [] || job_timeout <> None || trace <> None
-       || profile
+       || profile || progress
     then begin
       let gr =
-        bounds_parallel ~jobs ~job_timeout ~retries ~faults ?timeout
+        bounds_parallel ~jobs ~job_timeout ~retries ~faults ~progress ?timeout
           ?node_budget g ~s
       in
       (if json then
@@ -340,7 +353,7 @@ let bounds_cmd =
     Term.(const run $ spec_arg $ file_arg $ s_arg $ optimal $ certify $ json
           $ timeout_arg $ node_budget_arg $ governed $ jobs_arg
           $ job_timeout_arg $ retries_arg $ fault_arg $ trace_arg
-          $ profile_arg)
+          $ profile_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dmc game                                                           *)
@@ -593,6 +606,48 @@ let machines_cmd =
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* dmc bench-diff                                                     *)
+
+let bench_diff_cmd =
+  let run old fresh max_regress work_only =
+    setup_logs ();
+    guarded @@ fun () ->
+    let load path =
+      match Dmc_util.Checkpoint.load path with
+      | Ok json -> json
+      | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+    in
+    let report =
+      Dmc_obs.Baseline.diff ~max_regress ~work_only ~old:(load old)
+        ~fresh:(load fresh) ()
+    in
+    print_string (Dmc_obs.Baseline.render report);
+    if report.Dmc_obs.Baseline.regressed > 0 then exit 1
+  in
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD"
+           ~doc:"Committed baseline JSON (from bench --json).")
+  in
+  let fresh_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW"
+           ~doc:"Fresh baseline JSON to compare against OLD.")
+  in
+  let max_regress_arg =
+    Arg.(value & opt float 10.0 & info [ "max-regress" ] ~docv:"PCT"
+           ~doc:"Relative tolerance in percent: a metric regresses only \
+                 when NEW exceeds OLD by more than PCT.")
+  in
+  let work_only_arg =
+    Arg.(value & flag & info [ "work-only" ]
+           ~doc:"Compare only the machine-independent work metrics \
+                 (counter.* and hist.*), ignoring wall-clock and memory.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Compare two bench baselines and fail on regressions")
+    Term.(const run $ old_arg $ fresh_arg $ max_regress_arg $ work_only_arg)
+
+(* ------------------------------------------------------------------ *)
 (* dmc experiment                                                     *)
 
 (* Run [f] with stdout redirected into a temp file; return its result
@@ -695,7 +750,7 @@ let experiment_restore path ~selected =
 
 let experiment_cmd =
   let run names timeout checkpoint resume jobs job_timeout retries fault trace
-      profile =
+      profile progress =
     setup_logs ();
     guarded @@ fun () ->
     install_interrupt_handlers ();
@@ -777,12 +832,16 @@ let experiment_cmd =
         (if ok then "ALL CHECKS PASSED" else "SOME CHECKS FAILED");
       if not ok then exit 1
     in
-    if jobs > 1 || faults <> [] || job_timeout <> None then begin
+    if jobs > 1 || faults <> [] || job_timeout <> None || trace <> None
+       || profile || progress
+    then begin
       (* Supervised path: one forked worker per experiment.  A worker
          lost to a crash, hard kill or protocol break degrades to an
          in-process rerun of the same unit (the fault hook only fires
          in children, and a real crash is isolated there), so every
-         unit still produces a row. *)
+         unit still produces a row.  Tracing/profiling/progress imply
+         this path even at --jobs 1, so the pool.* counter set — and
+         hence the profile — is identical across widths. *)
       let module Pool = Dmc_runtime.Pool in
       let module J = Dmc_util.Json in
       let cfg =
@@ -798,6 +857,8 @@ let experiment_cmd =
               match deadline with
               | None -> true
               | Some d -> Unix.gettimeofday () <= d);
+          on_progress =
+            (if progress then Some Dmc_runtime.Progress.draw else None);
         }
       in
       let arr = Array.of_list remaining in
@@ -834,6 +895,7 @@ let experiment_cmd =
         commit_unit name ok output
       in
       let outcomes = Pool.run cfg ~worker ~on_result remaining in
+      if progress then Dmc_runtime.Progress.clear ();
       let cancelled =
         Array.exists
           (fun o ->
@@ -877,11 +939,11 @@ let experiment_cmd =
   Cmd.v (Cmd.info "experiment" ~doc:"Run the paper's evaluation experiments")
     Term.(const run $ names $ timeout_arg $ checkpoint $ resume $ jobs_arg
           $ job_timeout_arg $ retries_arg $ fault_arg $ trace_arg
-          $ profile_arg)
+          $ profile_arg $ progress_arg)
 
 let () =
   let info =
     Cmd.info "dmc" ~version:"1.0.0"
       ~doc:"Data-movement complexity of computational DAGs (Elango et al., SPAA 2014)"
   in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; bounds_cmd; game_cmd; replay_cmd; hier_cmd; horizontal_cmd; witness_cmd; formula_cmd; machines_cmd; experiment_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; bounds_cmd; game_cmd; replay_cmd; hier_cmd; horizontal_cmd; witness_cmd; formula_cmd; machines_cmd; bench_diff_cmd; experiment_cmd ]))

@@ -176,7 +176,7 @@ let run_case ~case_seed =
 let usage =
   "usage: fuzz [cases] [seed] [--timeout SECS] [--checkpoint FILE] \
    [--resume FILE] [--no-checkpoint] [--jobs N] [--job-timeout SECS] \
-   [--retries N] [--fault SPEC] [--profile] [--trace FILE]"
+   [--retries N] [--fault SPEC] [--profile] [--trace FILE] [--progress]"
 
 let die msg =
   prerr_endline ("fuzz: " ^ msg);
@@ -226,6 +226,7 @@ let () =
   let cli_faults = ref [] in
   let profile = ref false in
   let trace = ref None in
+  let progress = ref false in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -268,6 +269,9 @@ let () =
         parse rest
     | "--trace" :: v :: rest ->
         trace := Some v;
+        parse rest
+    | "--progress" :: rest ->
+        progress := true;
         parse rest
     | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
         die ("unknown option " ^ arg)
@@ -422,11 +426,14 @@ let () =
                match deadline with
                | None -> true
                | Some d -> Dmc_util.Budget.now () <= d);
+           on_progress =
+             (if !progress then Some Dmc_runtime.Progress.draw else None);
          }
        in
        let outcomes =
          Pool.run cfg ~worker ~on_result (List.init n_remaining Fun.id)
        in
+       if !progress then Dmc_runtime.Progress.clear ();
        let cancelled =
          Array.fold_left
            (fun acc o ->

@@ -19,6 +19,11 @@ let mask_of_list vs = List.fold_left (fun m v -> m lor (1 lsl v)) 0 vs
    one expansion. *)
 let c_states = Dmc_obs.Counter.make "optimal.states_expanded"
 
+(* Optimal game cost per completed search — one observation per solved
+   instance, so the distribution tracks instance difficulty rather than
+   inner-loop volume. *)
+let h_game_cost = Dmc_obs.Histogram.make "optimal.game_cost"
+
 let dijkstra ?budget ~max_states ~start ~is_goal ~successors () =
   let dist = Hashtbl.create 4096 in
   let heap = Heap.create () in
@@ -48,7 +53,9 @@ let dijkstra ?budget ~max_states ~start ~is_goal ~successors () =
                 end)
   done;
   match !answer with
-  | Some c -> c
+  | Some c ->
+      Dmc_obs.Histogram.observe h_game_cost c;
+      c
   | None -> raise (Too_large "Optimal: no complete game found (exhausted states)")
 
 let rbw_io ?budget ?(max_states = 2_000_000) g ~s =

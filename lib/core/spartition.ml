@@ -125,6 +125,7 @@ let compute_vertices g =
 
 let c_nodes = Dmc_obs.Counter.make "spartition.nodes"
 let c_masks = Dmc_obs.Counter.make "spartition.masks"
+let h_block_count = Dmc_obs.Histogram.make "spartition.block_count"
 
 let min_h_exact ?budget ?(max_nodes = 20_000_000) g ~s =
   let vs = compute_vertices g in
@@ -156,7 +157,9 @@ let min_h_exact ?budget ?(max_nodes = 20_000_000) g ~s =
            overshoot by hundreds of O(n+e) checks. *)
         (match budget with None -> () | Some b -> Budget.tick_n b (1 + (n / 8)));
         match check g ~s ~color with
-        | Ok h -> if h < !best then best := h
+        | Ok h ->
+            Dmc_obs.Histogram.observe h_block_count h;
+            if h < !best then best := h
         | Error _ -> ()
       end
       else

@@ -8,6 +8,7 @@ type policy = Lru | Belady
 
 let c_belady_evict = Dmc_obs.Counter.make "strategy.evictions.belady"
 let c_lru_evict = Dmc_obs.Counter.make "strategy.evictions.lru"
+let h_evict_distance = Dmc_obs.Histogram.make "strategy.evict_distance"
 
 let default_order g =
   Topo.order g |> Array.to_list
@@ -118,6 +119,12 @@ let schedule ?budget ?(policy = Belady) ?order g ~s =
     let v = !best in
     Dmc_obs.Counter.incr
       (match policy with Belady -> c_belady_evict | Lru -> c_lru_evict);
+    (* How far ahead the evicted value's next use lies — dead values
+       (no next use) are not observed, so the distribution reflects
+       only evictions that will force a reload. *)
+    (let nu = next_use v in
+     if nu <> no_use then
+       Dmc_obs.Histogram.observe h_evict_distance (nu - !clock));
     store_if_needed v ~future:(next_use v <> no_use);
     emit (Rb_game.Delete v);
     Bitset.remove red v

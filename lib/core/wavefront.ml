@@ -6,11 +6,15 @@ module Subgraph = Dmc_cdag.Subgraph
 module Vertex_cut = Dmc_flow.Vertex_cut
 
 let c_mincut = Dmc_obs.Counter.make "wavefront.mincut_calls"
+let h_cut_size = Dmc_obs.Histogram.make "wavefront.cut_size"
 
 let min_wavefront_cut ?budget g x =
   Dmc_obs.Counter.incr c_mincut;
   let desc = Reach.descendants g x in
-  if Bitset.is_empty desc then (1, [ x ])
+  if Bitset.is_empty desc then begin
+    Dmc_obs.Histogram.observe h_cut_size 1;
+    (1, [ x ])
+  end
   else begin
     let anc = Reach.ancestors g x in
     let from_set = x :: Bitset.elements anc in
@@ -18,6 +22,7 @@ let min_wavefront_cut ?budget g x =
     let r =
       Vertex_cut.min_vertex_cut ?budget g ~from_set ~to_set ~uncuttable:to_set ()
     in
+    Dmc_obs.Histogram.observe h_cut_size r.size;
     (r.size, r.cut)
   end
 

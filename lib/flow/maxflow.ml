@@ -5,6 +5,7 @@ module Intvec = Dmc_util.Intvec
 let tick = function None -> () | Some b -> Budget.tick b
 let c_bfs = Dmc_obs.Counter.make "dinic.bfs_rounds"
 let c_aug = Dmc_obs.Counter.make "dinic.augmenting_paths"
+let h_path_len = Dmc_obs.Histogram.make "dinic.path_len"
 
 (* Edges are stored in pairs: edge [2k] and its residual twin [2k+1].
    [cap] holds the residual capacity, so flow on edge e equals the
@@ -104,6 +105,9 @@ let max_flow ?budget net ~src ~dst =
       let sent = dfs ?budget net ~dst src infinite in
       if sent > 0 then begin
         Dmc_obs.Counter.incr c_aug;
+        (* level.(dst) is the length of every augmenting path in this
+           phase — Dinic only sends flow along level-respecting paths *)
+        Dmc_obs.Histogram.observe h_path_len net.level.(dst);
         total := !total + sent;
         pump ()
       end

@@ -1,0 +1,242 @@
+module Json = Dmc_util.Json
+
+(* ------------------------------------------------------------------ *)
+(* Provenance meta block                                               *)
+
+let read_first_line_cmd cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> line
+    | _ -> None
+  with _ -> None
+
+let git_sha () =
+  match read_first_line_cmd "git rev-parse HEAD 2>/dev/null" with
+  | Some sha when sha <> "" -> sha
+  | _ -> "unknown"
+
+let cpu_model () =
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          let line = input_line ic in
+          match String.index_opt line ':' with
+          | Some i
+            when String.length line >= 10
+                 && String.sub line 0 10 = "model name" ->
+              String.trim
+                (String.sub line (i + 1) (String.length line - i - 1))
+          | _ -> scan ()
+        in
+        scan ())
+  with _ -> "unknown"
+
+let hostname () = try Unix.gethostname () with _ -> "unknown"
+
+let meta ~argv () =
+  Json.Obj
+    [
+      ("git_sha", Json.String (git_sha ()));
+      ("ocaml_version", Json.String Sys.ocaml_version);
+      ("hostname", Json.String (hostname ()));
+      ("machine", Json.String (cpu_model ()));
+      ("argv", Json.List (Array.to_list (Array.map (fun a -> Json.String a) argv)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Flattening a baseline into comparable scalar metrics                *)
+
+(* Namespaces:
+     bench.<name>.ns_per_run   bechamel wall-clock estimate
+     counter.<name>            work counter (deterministic)
+     hist.<name>.{n,mean,p50,p90,p99}  histogram stats (deterministic)
+     gauge.<name>              memory/GC last value
+   Spans are excluded on purpose: their totals are wall-clock and their
+   per-name counts are already covered by the counters. *)
+let metrics doc =
+  let out = ref [] in
+  let add name v = out := (name, v) :: !out in
+  let num = function
+    | Json.Float f -> Some f
+    | Json.Int i -> Some (float_of_int i)
+    | _ -> None
+  in
+  (match Json.mem doc "benchmarks" with
+  | Some (Json.List bs) ->
+      List.iter
+        (fun b ->
+          match (Json.mem b "name", Json.mem b "ns_per_run") with
+          | Some (Json.String n), Some v -> (
+              match num v with
+              | Some f -> add ("bench." ^ n ^ ".ns_per_run") f
+              | None -> ())
+          | _ -> ())
+        bs
+  | _ -> ());
+  (match Json.mem doc "profile" with
+  | Some profile ->
+      (match Json.mem profile "counters" with
+      | Some (Json.Obj cs) ->
+          List.iter
+            (fun (n, v) ->
+              match num v with Some f -> add ("counter." ^ n) f | None -> ())
+            cs
+      | _ -> ());
+      (match Json.mem profile "hists" with
+      | Some (Json.Obj hs) ->
+          List.iter
+            (fun (n, h) ->
+              List.iter
+                (fun field ->
+                  match Option.bind (Json.mem h field) num with
+                  | Some f -> add ("hist." ^ n ^ "." ^ field) f
+                  | None -> ())
+                [ "n"; "mean"; "p50"; "p90"; "p99" ])
+            hs
+      | _ -> ());
+      (match Json.mem profile "gauges" with
+      | Some (Json.Obj gs) ->
+          List.iter
+            (fun (n, v) ->
+              match num v with Some f -> add ("gauge." ^ n) f | None -> ())
+            gs
+      | _ -> ())
+  | None -> ());
+  List.sort (fun (a, _) (b, _) -> compare a b) !out
+
+let is_work_metric name =
+  let has_prefix p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "counter." || has_prefix "hist."
+
+(* ------------------------------------------------------------------ *)
+(* Metric-by-metric comparison                                         *)
+
+type status = Unchanged | Regressed | Improved | Added | Removed
+
+type row = {
+  metric : string;
+  old_value : float option;
+  new_value : float option;
+  status : status;
+}
+
+type report = {
+  rows : row list;
+  compared : int;
+  regressed : int;
+  improved : int;
+  added : int;
+  removed : int;
+  max_regress : float;
+}
+
+(* Every flattened metric is lower-is-better (nanoseconds, work counts,
+   heap words), so "new exceeds old by more than the tolerance" is the
+   single regression rule.  [Added]/[Removed] never gate: a metric
+   appearing or vanishing is a coverage change, not a slowdown. *)
+let diff ?(max_regress = 10.0) ?(work_only = false) ~old ~fresh () =
+  let tol = max_regress /. 100.0 in
+  let keep (n, _) = (not work_only) || is_work_metric n in
+  let olds = List.filter keep (metrics old) in
+  let news = List.filter keep (metrics fresh) in
+  let rows = ref [] in
+  let compared = ref 0 in
+  let regressed = ref 0 and improved = ref 0 in
+  let added = ref 0 and removed = ref 0 in
+  List.iter
+    (fun (name, ov) ->
+      match List.assoc_opt name news with
+      | None ->
+          incr removed;
+          rows := { metric = name; old_value = Some ov; new_value = None; status = Removed } :: !rows
+      | Some nv ->
+          incr compared;
+          let status =
+            if nv > (ov *. (1.0 +. tol)) +. 1e-9 then begin
+              incr regressed;
+              Regressed
+            end
+            else if nv < (ov *. (1.0 -. tol)) -. 1e-9 then begin
+              incr improved;
+              Improved
+            end
+            else Unchanged
+          in
+          rows := { metric = name; old_value = Some ov; new_value = Some nv; status } :: !rows)
+    olds;
+  List.iter
+    (fun (name, nv) ->
+      if not (List.mem_assoc name olds) then begin
+        incr added;
+        rows := { metric = name; old_value = None; new_value = Some nv; status = Added } :: !rows
+      end)
+    news;
+  {
+    rows = List.sort (fun a b -> compare a.metric b.metric) !rows;
+    compared = !compared;
+    regressed = !regressed;
+    improved = !improved;
+    added = !added;
+    removed = !removed;
+    max_regress;
+  }
+
+let status_to_string = function
+  | Unchanged -> "ok"
+  | Regressed -> "REGRESSED"
+  | Improved -> "improved"
+  | Added -> "added"
+  | Removed -> "removed"
+
+let fmt_value = function
+  | None -> "-"
+  | Some v ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Dmc_util.Table.fmt_int (int_of_float v)
+      else Printf.sprintf "%.4g" v
+
+let render report =
+  let b = Buffer.create 512 in
+  let changed =
+    List.filter (fun r -> r.status <> Unchanged) report.rows
+  in
+  if changed <> [] then begin
+    let t =
+      Dmc_util.Table.create
+        ~headers:[ "metric"; "old"; "new"; "delta"; "status" ]
+    in
+    Dmc_util.Table.set_align t
+      Dmc_util.Table.[ Left; Right; Right; Right; Left ];
+    List.iter
+      (fun r ->
+        let delta =
+          match (r.old_value, r.new_value) with
+          | Some o, Some n when o <> 0.0 ->
+              Printf.sprintf "%+.1f%%" ((n -. o) /. o *. 100.0)
+          | _ -> "-"
+        in
+        Dmc_util.Table.add_row t
+          [
+            r.metric;
+            fmt_value r.old_value;
+            fmt_value r.new_value;
+            delta;
+            status_to_string r.status;
+          ])
+      changed;
+    Buffer.add_string b (Dmc_util.Table.render t)
+  end;
+  Buffer.add_string b
+    (Printf.sprintf
+       "bench-diff: %d compared (tolerance %.1f%%), %d regressed, %d \
+        improved, %d added, %d removed\n"
+       report.compared report.max_regress report.regressed report.improved
+       report.added report.removed);
+  Buffer.contents b

@@ -1,0 +1,64 @@
+(** Bench-baseline provenance and regression comparison.
+
+    A baseline is the JSON document [bench --json] writes: a
+    ["benchmarks"] list (bechamel wall-clock estimates), a ["profile"]
+    snapshot ({!Export.to_json}: counters, histogram stats, gauges) and
+    a ["meta"] provenance block.  This module flattens two such
+    documents into scalar metrics and compares them metric-by-metric
+    with a relative noise tolerance, for the [dmc bench-diff] gate. *)
+
+val meta : argv:string array -> unit -> Dmc_util.Json.t
+(** Provenance block stamped into a fresh baseline: git sha (via
+    [git rev-parse HEAD], ["unknown"] outside a repo), OCaml version,
+    hostname, CPU model (from [/proc/cpuinfo]) and the producing
+    command line.  Purely informational — never compared. *)
+
+val metrics : Dmc_util.Json.t -> (string * float) list
+(** Flatten a baseline document into name-sorted scalar metrics:
+    [bench.<name>.ns_per_run], [counter.<name>],
+    [hist.<name>.{n,mean,p50,p90,p99}] and [gauge.<name>].  Spans and
+    the meta block are excluded.  Unknown or malformed sections are
+    skipped, not errors, so older baselines still compare. *)
+
+val is_work_metric : string -> bool
+(** [counter.*] and [hist.*] — the metrics that count work rather than
+    measure time or memory, and are therefore machine-independent and
+    expected to be exactly reproducible. *)
+
+type status = Unchanged | Regressed | Improved | Added | Removed
+
+type row = {
+  metric : string;
+  old_value : float option;  (** [None] when [Added] *)
+  new_value : float option;  (** [None] when [Removed] *)
+  status : status;
+}
+
+type report = {
+  rows : row list;  (** name-sorted, one per metric seen on either side *)
+  compared : int;  (** metrics present on both sides *)
+  regressed : int;
+  improved : int;
+  added : int;
+  removed : int;
+  max_regress : float;  (** the tolerance the diff ran with, percent *)
+}
+
+val diff :
+  ?max_regress:float ->
+  ?work_only:bool ->
+  old:Dmc_util.Json.t ->
+  fresh:Dmc_util.Json.t ->
+  unit ->
+  report
+(** Compare two baselines.  Every metric is lower-is-better, so a
+    metric regresses iff [fresh > old * (1 + max_regress/100)] (default
+    tolerance 10%); symmetrically below the band it counts as improved.
+    [Added]/[Removed] metrics are reported but never gate.
+    [work_only] restricts the comparison to {!is_work_metric} —
+    the machine-independent subset suitable for a cross-machine CI
+    gate. *)
+
+val render : report -> string
+(** Changed rows as a table (unchanged metrics are elided) followed by
+    a one-line summary; always ends with a newline. *)

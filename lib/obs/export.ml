@@ -11,6 +11,42 @@ let counters_table () =
   in
   Table.render t
 
+let histograms_table () =
+  let t =
+    Table.create ~headers:[ "histogram"; "n"; "mean"; "p50"; "p90"; "p99" ]
+  in
+  Table.set_align t
+    [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ];
+  let _ =
+    Registry.fold_histograms
+      (fun () h ->
+        if h.Registry.h_n > 0 then
+          Table.add_row t
+            [
+              h.Registry.h_name;
+              Table.fmt_int h.Registry.h_n;
+              Table.fmt_float ~digits:2 (Histogram.mean h);
+              Table.fmt_float ~digits:2 (Histogram.percentile h 50.0);
+              Table.fmt_float ~digits:2 (Histogram.percentile h 90.0);
+              Table.fmt_float ~digits:2 (Histogram.percentile h 99.0);
+            ])
+      ()
+  in
+  Table.render t
+
+let gauges_table () =
+  let t = Table.create ~headers:[ "gauge"; "value" ] in
+  Table.set_align t [ Table.Left; Table.Right ];
+  let _ =
+    Registry.fold_gauges
+      (fun () g ->
+        if g.Registry.g_set then
+          Table.add_row t
+            [ g.Registry.g_name; Table.fmt_float ~digits:0 g.Registry.g_value ])
+      ()
+  in
+  Table.render t
+
 (* Aggregate completed spans by name: count, total and mean duration.
    The count column is deterministic (it counts calls, not time); the
    millisecond columns are wall-clock and vary run to run, which is why
@@ -42,10 +78,18 @@ let spans_table () =
     (span_aggregate ());
   Table.render t
 
+(* Section order is part of the tooling contract: counters then
+   histograms are deterministic work metrics (CI byte-compares that
+   prefix across --jobs widths); gauges and spans that follow are
+   wall-clock/memory and vary run to run. *)
 let profile () =
   let b = Buffer.create 1024 in
   Buffer.add_string b "== profile: counters ==\n";
   Buffer.add_string b (counters_table ());
+  Buffer.add_string b "== profile: histograms ==\n";
+  Buffer.add_string b (histograms_table ());
+  Buffer.add_string b "== profile: gauges ==\n";
+  Buffer.add_string b (gauges_table ());
   Buffer.add_string b "== profile: spans ==\n";
   Buffer.add_string b (spans_table ());
   (match Registry.dropped () with
@@ -72,9 +116,41 @@ let to_json () =
           ])
       (span_aggregate ())
   in
+  (* Every object below lists keys in a fixed order (fold_* iterate in
+     name order, field keys are spelled out literally), so two baselines
+     from identical runs diff cleanly line by line. *)
+  let hists =
+    List.rev
+      (Registry.fold_histograms
+         (fun acc h ->
+           if h.Registry.h_n = 0 then acc
+           else
+             ( h.Registry.h_name,
+               Obj
+                 [
+                   ("n", Int h.Registry.h_n);
+                   ("sum", Int h.Registry.h_sum);
+                   ("mean", Float (Histogram.mean h));
+                   ("p50", Float (Histogram.percentile h 50.0));
+                   ("p90", Float (Histogram.percentile h 90.0));
+                   ("p99", Float (Histogram.percentile h 99.0));
+                 ] )
+             :: acc)
+         [])
+  in
+  let gauges =
+    List.rev
+      (Registry.fold_gauges
+         (fun acc g ->
+           if g.Registry.g_set then (g.Registry.g_name, Float g.Registry.g_value) :: acc
+           else acc)
+         [])
+  in
   Obj
     [
       ("counters", Obj counters);
+      ("hists", Obj hists);
+      ("gauges", Obj gauges);
       ("spans", List spans);
       ("dropped", Int (Registry.dropped ()));
     ]

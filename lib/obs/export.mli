@@ -1,11 +1,14 @@
 (** Exporters over the registry: profile tables, JSON, Chrome trace.
 
     Three views of the same recorded data:
-    - {!profile} — human-readable, two sections.  The counters section
-      is fully deterministic (work counts only) and is what the CI
-      smoke byte-compares between [--jobs 1] and [--jobs 2]; the spans
-      section carries wall-clock milliseconds and is expected to vary.
-    - {!to_json} — machine-readable counters + span aggregates, used by
+    - {!profile} — human-readable, four sections in a fixed order:
+      counters, histograms, gauges, spans.  Counters and histogram
+      quantiles are fully deterministic (work counts only) and are what
+      the CI smoke byte-compares between [--jobs 1] and [--jobs 2];
+      gauges and spans carry memory/wall-clock readings and are
+      expected to vary.
+    - {!to_json} — machine-readable counters + histogram quantiles +
+      gauges + span aggregates with stable key ordering, used by
       [bench/main.exe bench --json] to seed perf baselines.
     - {!chrome_trace} — the Chrome trace-event format ([ph:"X"]
       complete slices, microsecond [ts]/[dur], per-worker [tid]),
@@ -14,6 +17,12 @@
 val counters_table : unit -> string
 (** All registered counters in name order, via {!Dmc_util.Table}. *)
 
+val histograms_table : unit -> string
+(** Non-empty histograms in name order: n, mean, p50/p90/p99. *)
+
+val gauges_table : unit -> string
+(** Set gauges in name order with their last values. *)
+
 val spans_table : unit -> string
 (** Spans aggregated by name: count, total and mean milliseconds. *)
 
@@ -21,8 +30,8 @@ val span_aggregate : unit -> (string * int * float) list
 (** [(name, count, total_microseconds)] in name order. *)
 
 val profile : unit -> string
-(** Counters section followed by spans section, plus a dropped-span
-    notice if the event buffer overflowed. *)
+(** Counters, histograms, gauges and spans sections in that order,
+    plus a dropped-span notice if the event buffer overflowed. *)
 
 val to_json : unit -> Dmc_util.Json.t
 

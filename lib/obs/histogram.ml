@@ -1,0 +1,37 @@
+type t = Registry.histogram
+
+let make name = Registry.histogram name
+
+let observe h v =
+  if !Registry.enabled then begin
+    let v = if v < 0 then 0 else v in
+    let b = Registry.bucket_of_value v in
+    h.Registry.h_counts.(b) <- h.Registry.h_counts.(b) + 1;
+    h.Registry.h_sum <- h.Registry.h_sum + v;
+    h.Registry.h_n <- h.Registry.h_n + 1
+  end
+
+let count h = h.Registry.h_n
+let sum h = h.Registry.h_sum
+
+let mean h =
+  if h.Registry.h_n = 0 then 0.0
+  else float_of_int h.Registry.h_sum /. float_of_int h.Registry.h_n
+
+(* Quantiles are computed over bucket midpoints, weighted by bucket
+   counts.  Midpoints are exact ints (so the float conversion is
+   lossless for every reachable bucket) and the weights are ints, which
+   together make the result a pure function of the merged bucket
+   vector — the byte-identical-across-widths property the profile
+   output relies on. *)
+let bucket_mid b =
+  float_of_int (Registry.bucket_lo b + Registry.bucket_hi b) /. 2.0
+
+let percentile h p =
+  if h.Registry.h_n = 0 then invalid_arg "Histogram.percentile: empty";
+  let pairs = ref [] in
+  for b = Registry.hist_buckets - 1 downto 0 do
+    if h.Registry.h_counts.(b) > 0 then
+      pairs := (bucket_mid b, h.Registry.h_counts.(b)) :: !pairs
+  done;
+  Dmc_util.Stats.percentile_weighted (Array.of_list !pairs) p

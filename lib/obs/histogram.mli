@@ -1,0 +1,36 @@
+(** Log-bucketed histograms of non-negative integer observations
+    (cut sizes, path lengths, eviction distances).
+
+    Like counters, histograms record {e work}, not time: the bucket
+    counts, sum and observation count are all ints, merging across the
+    pool fork boundary is bucket-wise addition, and the derived
+    quantiles are a pure function of the merged state — so profiles
+    stay byte-identical across [--jobs] widths.
+
+    [observe] is gated on the registry's enabled flag and costs a load
+    and a branch when instrumentation is off. *)
+
+type t = Registry.histogram
+
+val make : string -> t
+(** Find or create the histogram registered under this name.
+    Idempotent, like {!Registry.counter}. *)
+
+val observe : t -> int -> unit
+(** Record one observation.  Negative values clamp to 0.  No-op when
+    instrumentation is disabled. *)
+
+val count : t -> int
+(** Number of observations. *)
+
+val sum : t -> int
+(** Sum of all observed values (exact). *)
+
+val mean : t -> float
+(** [sum / count], or [0.] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile h p] with [p] in [0,100]: interpolated quantile over
+    bucket midpoints weighted by bucket counts, via
+    {!Dmc_util.Stats.percentile_weighted}.  Raises [Invalid_argument]
+    when the histogram is empty. *)

@@ -57,16 +57,118 @@ let fold_counters f acc =
   let all = List.sort (fun a b -> compare a.c_name b.c_name) all in
   List.fold_left f acc all
 
+(* Histograms are log-bucketed: bucket 0 holds the value 0 and bucket
+   [b >= 1] the values in [2^(b-1), 2^b).  Bucket counts, the running
+   sum and the observation count are all ints, so merging a worker
+   snapshot is bucket-wise addition — commutative and exact, which is
+   what keeps quantiles byte-identical across [--jobs] widths. *)
+let hist_buckets = 63
+
+type histogram = {
+  h_name : string;
+  h_counts : int array; (* length hist_buckets *)
+  mutable h_sum : int;
+  mutable h_n : int;
+}
+
+let bucket_of_value v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      incr b;
+      x := !x lsr 1
+    done;
+    min !b (hist_buckets - 1)
+  end
+
+let bucket_lo b = if b = 0 then 0 else 1 lsl (b - 1)
+let bucket_hi b = if b = 0 then 0 else (1 lsl b) - 1
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_name = name; h_counts = Array.make hist_buckets 0; h_sum = 0; h_n = 0 }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let fold_histograms f acc =
+  let all = Hashtbl.fold (fun _ h l -> h :: l) histograms [] in
+  let all = List.sort (fun a b -> compare a.h_name b.h_name) all in
+  List.fold_left f acc all
+
+(* Gauges record a last-seen value (heap words, compactions).  Unlike
+   counters they do not measure work, so they are *not* part of the
+   cross-width determinism contract; merging across the fork boundary
+   takes the maximum, which is commutative, so merge order still
+   cannot matter. *)
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0.0; g_set = false } in
+      Hashtbl.replace gauges name g;
+      g
+
+let fold_gauges f acc =
+  let all = Hashtbl.fold (fun _ g l -> g :: l) gauges [] in
+  let all = List.sort (fun a b -> compare a.g_name b.g_name) all in
+  List.fold_left f acc all
+
+let set_gauge g v =
+  g.g_value <- v;
+  g.g_set <- true
+
+let merge_gauge g v =
+  if g.g_set then set_gauge g (Float.max g.g_value v) else set_gauge g v
+
+(* GC/memory gauges, refreshed from [Gc.quick_stat] at every span
+   boundary (and when a worker snapshots itself for the fork
+   boundary).  quick_stat reads runtime globals — no heap walk — so
+   the hot engines can afford the sample on every span close. *)
+let g_minor_words = gauge "gc.minor_words"
+let g_promoted_words = gauge "gc.promoted_words"
+let g_major_words = gauge "gc.major_words"
+let g_minor_collections = gauge "gc.minor_collections"
+let g_major_collections = gauge "gc.major_collections"
+let g_heap_words = gauge "gc.heap_words"
+let g_top_heap_words = gauge "gc.top_heap_words"
+let g_compactions = gauge "gc.compactions"
+
+let sample_gc () =
+  let s = Gc.quick_stat () in
+  set_gauge g_minor_words s.Gc.minor_words;
+  set_gauge g_promoted_words s.Gc.promoted_words;
+  set_gauge g_major_words s.Gc.major_words;
+  set_gauge g_minor_collections (float_of_int s.Gc.minor_collections);
+  set_gauge g_major_collections (float_of_int s.Gc.major_collections);
+  set_gauge g_heap_words (float_of_int s.Gc.heap_words);
+  set_gauge g_top_heap_words (float_of_int s.Gc.top_heap_words);
+  set_gauge g_compactions (float_of_int s.Gc.compactions)
+
 (* Completed spans, in completion order.  The buffer is bounded so a
    pathological run cannot exhaust memory; overflow is counted rather
-   than silently ignored. *)
-let max_events = 1_000_000
+   than silently ignored.  The bound is settable so tests can exercise
+   the drop path without recording a million spans. *)
+let default_max_events = 1_000_000
+let max_events_ref = ref default_max_events
+let max_events () = !max_events_ref
+let set_max_events n = max_events_ref := max 1 n
 let events : event array ref = ref [||]
 let n_events = ref 0
 let dropped_events = ref 0
 
 let push_event e =
-  if !n_events >= max_events then incr dropped_events
+  if !n_events >= !max_events_ref then incr dropped_events
   else begin
     (if !n_events >= Array.length !events then
        let cap = max 256 (2 * Array.length !events) in
@@ -106,12 +208,19 @@ let open_span ~name ~attrs =
   stack := e :: !stack;
   e
 
+(* Called with the closing span's name; the pool's forked workers set
+   this to turn span boundaries into rate-limited heartbeat frames on
+   the result pipe, without the engines knowing the pool exists. *)
+let on_span_close : (string -> unit) option ref = ref None
+
 let close_span e =
   e.ev_dur <- now_us () -. e.ev_ts;
   (match !stack with
   | top :: rest when top == e -> stack := rest
   | _ -> stack := List.filter (fun x -> x != e) !stack);
-  push_event e
+  push_event e;
+  sample_gc ();
+  match !on_span_close with Some f -> f e.ev_name | None -> ()
 
 let innermost () = match !stack with [] -> None | e :: _ -> Some e
 
@@ -128,6 +237,17 @@ let add_event ~name ?(attrs = []) ~ts_us ~dur_us ?(tid = 0) ?(depth = 0) () =
 
 let clear () =
   Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.h_counts 0 hist_buckets 0;
+      h.h_sum <- 0;
+      h.h_n <- 0)
+    histograms;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g_value <- 0.0;
+      g.g_set <- false)
+    gauges;
   n_events := 0;
   events := [||];
   dropped_events := 0;
@@ -146,9 +266,38 @@ let child_reset () = clear ()
 
 let snapshot_json () =
   let open Dmc_util.Json in
+  sample_gc ();
   let cs =
     fold_counters
       (fun acc c -> if c.c_value = 0 then acc else (c.c_name, Int c.c_value) :: acc)
+      []
+  in
+  (* Sparse bucket encoding: only non-empty buckets travel, as
+     [[index; count]; ...] pairs, so an idle histogram costs nothing. *)
+  let hs =
+    fold_histograms
+      (fun acc h ->
+        if h.h_n = 0 then acc
+        else begin
+          let buckets = ref [] in
+          for b = hist_buckets - 1 downto 0 do
+            if h.h_counts.(b) > 0 then
+              buckets := List [ Int b; Int h.h_counts.(b) ] :: !buckets
+          done;
+          ( h.h_name,
+            Obj
+              [
+                ("buckets", List !buckets);
+                ("sum", Int h.h_sum);
+                ("n", Int h.h_n);
+              ] )
+          :: acc
+        end)
+      []
+  in
+  let gs =
+    fold_gauges
+      (fun acc g -> if g.g_set then (g.g_name, Float g.g_value) :: acc else acc)
       []
   in
   let evs =
@@ -169,6 +318,8 @@ let snapshot_json () =
   Obj
     [
       ("counters", Obj (List.rev cs));
+      ("hists", Obj (List.rev hs));
+      ("gauges", Obj (List.rev gs));
       ("dropped", Int !dropped_events);
       ("events", List evs);
     ]
@@ -185,6 +336,43 @@ let merge_snapshot ?(tid = 0) json =
               | Int n -> (counter name).c_value <- (counter name).c_value + n
               | _ -> ())
             cs
+      | _ -> ());
+      (match mem json "hists" with
+      | Some (Obj hs) ->
+          List.iter
+            (fun (name, v) ->
+              match v with
+              | Obj _ ->
+                  let h = histogram name in
+                  (match mem v "buckets" with
+                  | Some (List bs) ->
+                      List.iter
+                        (fun b ->
+                          match b with
+                          | List [ Int idx; Int count ]
+                            when idx >= 0 && idx < hist_buckets ->
+                              h.h_counts.(idx) <- h.h_counts.(idx) + count
+                          | _ -> ())
+                        bs
+                  | _ -> ());
+                  (match mem v "sum" with
+                  | Some (Int s) -> h.h_sum <- h.h_sum + s
+                  | _ -> ());
+                  (match mem v "n" with
+                  | Some (Int n) -> h.h_n <- h.h_n + n
+                  | _ -> ())
+              | _ -> ())
+            hs
+      | _ -> ());
+      (match mem json "gauges" with
+      | Some (Obj gs) ->
+          List.iter
+            (fun (name, v) ->
+              match v with
+              | Float f -> merge_gauge (gauge name) f
+              | Int i -> merge_gauge (gauge name) (float_of_int i)
+              | _ -> ())
+            gs
       | _ -> ());
       (match mem json "dropped" with
       | Some (Int n) -> dropped_events := !dropped_events + n

@@ -57,9 +57,68 @@ val counter : string -> counter
 val fold_counters : ('a -> counter -> 'a) -> 'a -> 'a
 (** Fold over all registered counters in name order (deterministic). *)
 
-val max_events : int
+type histogram = {
+  h_name : string;
+  h_counts : int array;  (** one slot per log bucket *)
+  mutable h_sum : int;
+  mutable h_n : int;
+}
+(** A log-bucketed histogram of non-negative ints.  Bucket 0 holds the
+    value 0; bucket [b >= 1] the values in [2^(b-1), 2^b).  All state
+    is integral, so merging worker snapshots is bucket-wise addition —
+    commutative and exact — and derived quantiles are byte-identical
+    across [--jobs] widths.  Observe through {!Dmc_obs.Histogram}. *)
+
+val hist_buckets : int
+(** Number of buckets ([63]). *)
+
+val bucket_of_value : int -> int
+(** Bucket index for a value; negatives clamp to bucket 0. *)
+
+val bucket_lo : int -> int
+(** Smallest value a bucket admits. *)
+
+val bucket_hi : int -> int
+(** Largest value a bucket admits. *)
+
+val histogram : string -> histogram
+(** Find or create, like {!counter}. *)
+
+val fold_histograms : ('a -> histogram -> 'a) -> 'a -> 'a
+(** Fold in name order (deterministic). *)
+
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+(** A last-value gauge (heap words, RSS).  Not part of the determinism
+    contract: gauges measure state, not work.  Merging across the fork
+    boundary takes the maximum, so merge order still cannot matter. *)
+
+val gauge : string -> gauge
+(** Find or create, like {!counter}. *)
+
+val fold_gauges : ('a -> gauge -> 'a) -> 'a -> 'a
+(** Fold in name order (deterministic). *)
+
+val set_gauge : gauge -> float -> unit
+val merge_gauge : gauge -> float -> unit
+(** [merge_gauge g v] is [set_gauge g (max g.g_value v)] once [g] has
+    been set, plain [set_gauge] before. *)
+
+val sample_gc : unit -> unit
+(** Refresh the [gc.*] gauges from [Gc.quick_stat].  Runs automatically
+    at every span close and inside {!snapshot_json}. *)
+
+val max_events : unit -> int
 (** Completed-span buffer bound; beyond it spans are counted as dropped
     instead of allocated. *)
+
+val set_max_events : int -> unit
+(** Lower (or restore) the span-buffer bound — how tests exercise the
+    drop path without recording a million spans.  Clamped to [>= 1]. *)
+
+val on_span_close : (string -> unit) option ref
+(** Invoked with the span name after every span close (when spans are
+    being recorded).  The pool's forked workers hook this to emit
+    rate-limited heartbeat frames; engines never see it. *)
 
 val iter_events : (event -> unit) -> unit
 (** Iterate completed spans in completion order. *)
@@ -97,13 +156,14 @@ val child_reset : unit -> unit
     timestamps land on the parent's timeline. *)
 
 val snapshot_json : unit -> Dmc_util.Json.t
-(** Serialize non-zero counters, the dropped count and all completed
-    spans — the payload a pool worker appends to its {!Dmc_util.Ipc}
-    result frame. *)
+(** Serialize non-zero counters, non-empty histograms (sparse bucket
+    pairs), set gauges (after a final {!sample_gc}), the dropped count
+    and all completed spans — the payload a pool worker appends to its
+    {!Dmc_util.Ipc} result frame. *)
 
 val merge_snapshot : ?tid:int -> Dmc_util.Json.t -> unit
-(** Fold a worker snapshot into this registry: counters add (commutes,
-    so completion order cannot affect the merged profile), spans append
-    with [ev_tid] forced to [tid].  Malformed sub-structures are
-    skipped — observability must never turn a good result into a
-    protocol error. *)
+(** Fold a worker snapshot into this registry: counters and histogram
+    buckets add (commutes, so completion order cannot affect the merged
+    profile), gauges max-merge, spans append with [ev_tid] forced to
+    [tid].  Malformed sub-structures are skipped — observability must
+    never turn a good result into a protocol error. *)

@@ -25,6 +25,7 @@ type config = {
   faults : Fault.t list;
   should_stop : unit -> bool;
   accept_more : unit -> bool;
+  on_progress : (Progress.t -> unit) option;
 }
 
 let default =
@@ -37,6 +38,7 @@ let default =
     faults = [];
     should_stop = (fun () -> false);
     accept_more = (fun () -> true);
+    on_progress = None;
   }
 
 let is_transient = function
@@ -122,6 +124,28 @@ let child_body cfg ~worker ~payload ~job ~attempt w =
          and counts) but keep the parent's epoch, so the snapshot's
          timestamps land on the supervisor's timeline. *)
       Dmc_obs.Registry.child_reset ();
+      (match cfg.on_progress with
+      | Some _ ->
+          (* Heartbeats ride the result pipe as extra frames ahead of
+             the result: span closes in the engines become rate-limited
+             phase ticks.  Spans only record when the registry is on,
+             so progress implies an enabled child registry; the parent
+             ignores the resulting snapshot unless it is profiling. *)
+          Dmc_obs.Registry.set_enabled true;
+          let last_hb = ref neg_infinity in
+          let send phase =
+            let t = Unix.gettimeofday () in
+            if t -. !last_hb >= 0.15 then begin
+              last_hb := t;
+              try
+                Ipc.write_frame w
+                  (Json.Obj [ ("hb", Json.Obj [ ("phase", Json.String phase) ]) ])
+              with Unix.Unix_error _ -> ()
+            end
+          in
+          send "start";
+          Dmc_obs.Registry.on_span_close := Some send
+      | None -> ());
       let result =
         try worker job payload with
         | Budget.Exhausted f -> Error f
@@ -163,6 +187,9 @@ type slot = {
   mutable eof : bool;
   mutable status : Unix.process_status option;
   mutable timeout_killed : bool;
+  mutable off : int; (* frames before this buffer offset are consumed *)
+  mutable phase : string; (* last heartbeat phase *)
+  mutable result : Json.t option; (* first non-heartbeat frame *)
 }
 
 type job_state = Queued | Waiting of float | Running | Final of outcome
@@ -195,6 +222,9 @@ let spawn cfg ~worker ~payload ~job ~attempt =
         eof = false;
         status = None;
         timeout_killed = false;
+        off = 0;
+        phase = "";
+        result = None;
       }
 
 let kill_quietly pid =
@@ -240,12 +270,47 @@ let record_attempt slot verdict obs =
       ~tid ()
   end
 
+(* Consume complete frames from the slot buffer as they arrive.
+   Heartbeat frames ([{"hb": {...}}]) update the phase and are
+   discarded; the first anything-else frame is the attempt's result.
+   On an undecodable prefix (bad header, oversized length, non-JSON
+   payload) consumption simply stops: [classify] re-decodes the
+   leftover bytes with [Ipc.decode_frame] and reports the precise
+   protocol error, exactly as it did before heartbeats existed. *)
+let consume_frames slot =
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    let avail = Buffer.length slot.buf - slot.off in
+    if slot.result = None && avail >= Ipc.header_bytes then
+      match Ipc.parse_header (Buffer.sub slot.buf slot.off Ipc.header_bytes) with
+      | Error _ -> ()
+      | Ok plen ->
+          if avail - Ipc.header_bytes >= plen then begin
+            let payload =
+              Buffer.sub slot.buf (slot.off + Ipc.header_bytes) plen
+            in
+            match Ipc.parse_payload payload with
+            | Error _ -> ()
+            | Ok json ->
+                slot.off <- slot.off + Ipc.header_bytes + plen;
+                continue := true;
+                (match json with
+                | Json.Obj [ ("hb", Json.Obj hb) ] -> (
+                    match List.assoc_opt "phase" hb with
+                    | Some (Json.String p) -> slot.phase <- p
+                    | _ -> ())
+                | other -> slot.result <- Some other)
+          end
+  done
+
 (* Classify a finished attempt.  [timeout_killed] wins over the exit
    status (a SIGKILLed worker also reports WSIGNALED sigkill).  An
    ["obs"] field in the result frame is the worker's instrumentation
    snapshot, not part of the result proper — it is split off before the
    shape check and merged into the supervisor's registry. *)
 let classify slot =
+  consume_frames slot;
   let verdict, obs =
     if slot.timeout_killed then (Timed_out, None)
     else
@@ -253,7 +318,19 @@ let classify slot =
       | Some (Unix.WSIGNALED s) -> (Crashed s, None)
       | Some (Unix.WSTOPPED s) -> (Crashed s, None)
       | Some (Unix.WEXITED code) -> (
-          match Ipc.decode_frame (Buffer.contents slot.buf) with
+          let leftover = Buffer.length slot.buf - slot.off in
+          let decoded =
+            match slot.result with
+            | Some json ->
+                if leftover > 0 then
+                  Error
+                    (Ipc.Malformed
+                       (Printf.sprintf "%d trailing bytes after the frame"
+                          leftover))
+                else Ok json
+            | None -> Ipc.decode_frame (Buffer.sub slot.buf slot.off leftover)
+          in
+          match decoded with
           | Ok (Json.Obj fields) -> (
               let obs = List.assoc_opt "obs" fields in
               match List.filter (fun (k, _) -> k <> "obs") fields with
@@ -293,6 +370,57 @@ let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
   done;
   let in_flight = ref [] in
   let committed = ref 0 in
+  let run_started = Budget.now () in
+  let retries = ref 0 in
+  let last_progress = ref neg_infinity in
+  (* At most ~4 callbacks a second, however fast the loop spins: the
+     renderer writes to stderr and the RSS sampling reads /proc, both
+     of which would otherwise dominate a pool of short jobs. *)
+  let emit_progress () =
+    match cfg.on_progress with
+    | None -> ()
+    | Some f ->
+        let now = Budget.now () in
+        if now -. !last_progress >= 0.25 then begin
+          last_progress := now;
+          let finished = ref 0 and waiting = ref 0 in
+          Array.iter
+            (function
+              | Final _ -> incr finished
+              | Queued | Waiting _ -> incr waiting
+              | Running -> ())
+            state;
+          let running =
+            List.rev_map
+              (fun s ->
+                { Progress.job = s.job; attempt = s.attempt; phase = s.phase })
+              !in_flight
+          in
+          let elapsed = now -. run_started in
+          let eta =
+            if !finished = 0 then None
+            else
+              Some
+                (elapsed *. float_of_int (n - !finished)
+                /. float_of_int !finished)
+          in
+          let rss_bytes =
+            Progress.rss_of_pids
+              (Unix.getpid () :: List.map (fun s -> s.pid) !in_flight)
+          in
+          f
+            {
+              Progress.total = n;
+              finished = !finished;
+              running;
+              waiting = !waiting;
+              retries = !retries;
+              elapsed;
+              eta;
+              rss_bytes;
+            }
+        end
+  in
   (* Commit the finalized prefix, in submission order. *)
   let commit () =
     let continue = ref true in
@@ -319,6 +447,7 @@ let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
   let settle job verdict =
     if is_transient verdict && attempts.(job) <= cfg.max_retries then begin
       Dmc_obs.Counter.incr c_retry;
+      incr retries;
       let delay = backoff_delay cfg ~job ~attempt:attempts.(job) in
       backoffs.(job) <- delay :: backoffs.(job);
       state.(job) <- Waiting (Budget.now () +. delay)
@@ -442,7 +571,9 @@ let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
                 | 0 ->
                     (try Unix.close slot.fd with Unix.Unix_error _ -> ());
                     slot.eof <- true
-                | k -> Buffer.add_subbytes slot.buf chunk 0 k
+                | k ->
+                    Buffer.add_subbytes slot.buf chunk 0 k;
+                    consume_frames slot
                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
               end)
             watched;
@@ -496,7 +627,8 @@ let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
               !in_flight
           in
           in_flight := still;
-          List.iter (fun slot -> settle slot.job (classify slot)) done_
+          List.iter (fun slot -> settle slot.job (classify slot)) done_;
+          emit_progress ()
         end
       done);
   Array.map

@@ -17,9 +17,11 @@
     count — [--jobs 4] produces exactly the bytes [--jobs 1] does.
 
     Workers speak length-prefixed JSON ({!Dmc_util.Ipc}) over a pipe:
-    one frame [{"ok": payload}] or [{"err": failure}] then exit.
-    Anything else — garbage bytes, a truncated frame, a silent exit —
-    is a {!Worker_protocol_error}. *)
+    optional [{"hb": {"phase": ...}}] heartbeat frames (only when
+    [config.on_progress] is set), then one result frame
+    [{"ok": payload}] or [{"err": failure}], then exit.  Anything
+    else — garbage bytes, a truncated frame, a silent exit, trailing
+    bytes after the result — is a {!Worker_protocol_error}. *)
 
 type verdict =
   | Done of Dmc_util.Json.t  (** the worker returned a payload *)
@@ -60,6 +62,14 @@ type config = {
           committed prefix finalizes as [Engine_failure Cancelled].
           How [--timeout] stops a run between units while keeping
           every committed unit's result. *)
+  on_progress : (Progress.t -> unit) option;
+      (** called from the supervisor loop at most ~4 times a second
+          with a snapshot of scheduling state and worker heartbeat
+          phases.  Setting it also switches workers into heartbeat
+          mode: each child enables its registry and reports its
+          innermost closing span name as a rate-limited phase tick
+          over the result pipe.  [None] (the default) keeps the wire
+          protocol exactly one result frame per attempt. *)
 }
 
 val default : config

@@ -1,0 +1,83 @@
+type running = { job : int; attempt : int; phase : string }
+
+type t = {
+  total : int;
+  finished : int;
+  running : running list;
+  waiting : int;
+  retries : int;
+  elapsed : float;
+  eta : float option;
+  rss_bytes : int option;
+}
+
+(* Resident set size from /proc/<pid>/statm: the second field is
+   resident pages.  Linux-only by construction; any read or parse
+   failure degrades to None rather than to an error — progress display
+   must never take a run down. *)
+let page_bytes = 4096
+
+let rss_of_pid pid =
+  match
+    let ic = open_in (Printf.sprintf "/proc/%d/statm" pid) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> input_line ic)
+  with
+  | line -> (
+      match String.split_on_char ' ' line with
+      | _ :: resident :: _ -> (
+          match int_of_string_opt resident with
+          | Some pages -> Some (pages * page_bytes)
+          | None -> None)
+      | _ -> None)
+  | exception _ -> None
+
+let rss_of_pids pids =
+  List.fold_left
+    (fun acc pid ->
+      match rss_of_pid pid with
+      | Some b -> Some (Option.value acc ~default:0 + b)
+      | None -> acc)
+    None pids
+
+let fmt_bytes b =
+  let fb = float_of_int b in
+  if b < 1 lsl 20 then Printf.sprintf "%dKiB" (b / 1024)
+  else if b < 1 lsl 30 then Printf.sprintf "%.1fMiB" (fb /. (1024. *. 1024.))
+  else Printf.sprintf "%.2fGiB" (fb /. (1024. *. 1024. *. 1024.))
+
+let fmt_eta s =
+  if s < 60. then Printf.sprintf "%.0fs" s
+  else if s < 3600. then Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
+  else Printf.sprintf "%dh%02dm" (int_of_float s / 3600) (int_of_float s mod 3600 / 60)
+
+let render p =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "[pool] %d/%d done, %d running" p.finished p.total
+       (List.length p.running));
+  (match p.running with
+  | { job; attempt; phase } :: _ ->
+      Buffer.add_string b
+        (Printf.sprintf " (job %d%s%s)" job
+           (if attempt > 1 then Printf.sprintf " try %d" attempt else "")
+           (if phase = "" then "" else ": " ^ phase))
+  | [] -> ());
+  Buffer.add_string b (Printf.sprintf ", %d waiting" p.waiting);
+  if p.retries > 0 then Buffer.add_string b (Printf.sprintf ", %d retries" p.retries);
+  (match p.eta with
+  | Some s -> Buffer.add_string b (", eta " ^ fmt_eta s)
+  | None -> ());
+  (match p.rss_bytes with
+  | Some rss -> Buffer.add_string b (", rss " ^ fmt_bytes rss)
+  | None -> ());
+  Buffer.contents b
+
+(* The line is rewritten in place with CR + erase-to-EOL, and only ever
+   touches stderr: stdout is part of the determinism contract
+   (checkpoint replay byte-compares it), stderr is not. *)
+let draw p =
+  Printf.eprintf "\r%s\027[K%!" (render p)
+
+let clear () = Printf.eprintf "\r\027[K%!"

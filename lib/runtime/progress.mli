@@ -1,0 +1,49 @@
+(** Live progress for supervised pool runs.
+
+    The pool supervisor builds a {!t} from its own scheduling state
+    plus the per-attempt phase heartbeats workers send over the result
+    pipe, and hands it to [config.on_progress] at a bounded rate.
+    {!draw} renders it as a single self-overwriting stderr line —
+    stdout is never touched, so enabling progress cannot perturb the
+    byte-deterministic output/checkpoint contract. *)
+
+type running = {
+  job : int;  (** 0-based job index *)
+  attempt : int;  (** 1-based attempt number *)
+  phase : string;
+      (** last heartbeat phase (innermost span name), [""] before the
+          first heartbeat arrives *)
+}
+
+type t = {
+  total : int;
+  finished : int;
+  running : running list;
+  waiting : int;  (** queued plus sleeping out a retry backoff *)
+  retries : int;  (** retry dispatches so far, across all jobs *)
+  elapsed : float;  (** seconds since the pool run started *)
+  eta : float option;
+      (** [elapsed * remaining / finished]; [None] until the first
+          job finishes *)
+  rss_bytes : int option;
+      (** resident set of the supervisor plus in-flight workers;
+          [None] off-Linux or when /proc is unreadable *)
+}
+
+val rss_of_pid : int -> int option
+(** Resident set size in bytes via [/proc/<pid>/statm]; [None] on any
+    failure. *)
+
+val rss_of_pids : int list -> int option
+(** Sum over the readable pids; [None] when none are readable. *)
+
+val render : t -> string
+(** The one-line textual form (no trailing newline). *)
+
+val draw : t -> unit
+(** Write [render t] to stderr as a self-overwriting line
+    ([\r] ... [ESC[K], flushed). *)
+
+val clear : unit -> unit
+(** Erase the progress line — call once after the run so the next
+    stderr write starts on a clean line. *)

@@ -13,6 +13,11 @@ type t = {
 
 let level_counter kind l = Dmc_obs.Counter.make (Printf.sprintf "sim.cache.l%d.%s" (l + 1) kind)
 
+(* Where reads are satisfied: 1 = L1 (innermost), [depth + 1] = backing
+   store.  Registered once at module level so all simulator instances
+   share the distribution, like the per-level counters. *)
+let h_hit_level = Dmc_obs.Histogram.make "sim.cache.hit_level"
+
 let create ?(policy = Inclusive) ~capacities () =
   if Array.length capacities = 0 then invalid_arg "Hier_sim.create: no levels";
   let n = Array.length capacities in
@@ -78,6 +83,7 @@ let read t key =
     end
   in
   let hit, dirty = probe 0 in
+  Dmc_obs.Histogram.observe h_hit_level (hit + 1);
   for l = 0 to min hit n - 1 do
     Dmc_obs.Counter.incr t.c_misses.(l)
   done;

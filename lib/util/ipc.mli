@@ -23,6 +23,19 @@ type read_error =
 
 val read_error_to_string : read_error -> string
 
+val header_bytes : int
+(** Fixed width of the hex length prefix (8). *)
+
+val parse_header : string -> (int, read_error) result
+(** Validate exactly {!header_bytes} bytes of lowercase hex and return
+    the declared payload length.  [Bad_header] on non-hex,
+    [Oversized] past {!max_frame_bytes}.  Exposed so the pool
+    supervisor can split frames incrementally out of a drain buffer
+    (heartbeats arrive interleaved with the result frame). *)
+
+val parse_payload : string -> (Json.t, read_error) result
+(** Parse a complete payload; [Malformed] when it is not JSON. *)
+
 val max_frame_bytes : int
 (** Upper bound on a frame payload (256 MiB) — checked before any
     payload buffer is allocated, so a garbage or hostile header cannot

@@ -1,0 +1,263 @@
+(* Tests for the bench-baseline regression gate: metric flattening of
+   the baseline JSON shape, the tolerance-band diff semantics (the
+   exit-code contract behind `dmc bench-diff`), the work-only filter
+   used by the cross-machine CI gate, and the provenance meta block. *)
+
+module Json = Dmc_util.Json
+module Baseline = Dmc_obs.Baseline
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* A miniature but shape-complete baseline document. *)
+let doc ?(ns = 1000.0) ?(counter = 100) ?(p99 = 40.0) ?(heap = 5000.0) () =
+  Json.Obj
+    [
+      ("kind", Json.String "dmc-bench-baseline");
+      ( "benchmarks",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.String "dmc/case");
+                ("ns_per_run", Json.Float ns);
+                ("r_square", Json.Float 0.99);
+              ];
+            Json.Obj
+              [
+                ("name", Json.String "dmc/null-estimate");
+                ("ns_per_run", Json.Null);
+                ("r_square", Json.Null);
+              ];
+          ] );
+      ( "profile",
+        Json.Obj
+          [
+            ("counters", Json.Obj [ ("dinic.augmenting_paths", Json.Int counter) ]);
+            ( "hists",
+              Json.Obj
+                [
+                  ( "dinic.path_len",
+                    Json.Obj
+                      [
+                        ("n", Json.Int 10);
+                        ("sum", Json.Int 300);
+                        ("mean", Json.Float 30.0);
+                        ("p50", Json.Float 28.0);
+                        ("p90", Json.Float 38.0);
+                        ("p99", Json.Float p99);
+                      ] );
+                ] );
+            ("gauges", Json.Obj [ ("gc.heap_words", Json.Float heap) ]);
+            ("dropped", Json.Int 0);
+            ("spans", Json.Obj [ ("ignored.span", Json.Float 1.0) ]);
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Flattening                                                          *)
+
+let test_metrics_flatten () =
+  let ms = Baseline.metrics (doc ()) in
+  let names = List.map fst ms in
+  List.iter
+    (fun expected ->
+      check_bool (expected ^ " present") true (List.mem expected names))
+    [
+      "bench.dmc/case.ns_per_run";
+      "counter.dinic.augmenting_paths";
+      "hist.dinic.path_len.n";
+      "hist.dinic.path_len.mean";
+      "hist.dinic.path_len.p50";
+      "hist.dinic.path_len.p90";
+      "hist.dinic.path_len.p99";
+      "gauge.gc.heap_words";
+    ];
+  (* spans never become metrics; a Null estimate is skipped, not 0 *)
+  check_bool "spans excluded" true
+    (not (List.exists (fun n -> String.length n >= 4 && String.sub n 0 4 = "span") names));
+  check_bool "null estimate skipped" true
+    (not (List.mem "bench.dmc/null-estimate.ns_per_run" names));
+  check "exact metric count" 8 (List.length ms);
+  check_string "name-sorted" (String.concat "," (List.sort compare names))
+    (String.concat "," names)
+
+let test_metrics_tolerates_junk () =
+  check "non-object yields nothing" 0 (List.length (Baseline.metrics Json.Null));
+  let partial = Json.Obj [ ("profile", Json.Obj [ ("counters", Json.Int 3) ]) ] in
+  check "malformed sections skipped" 0 (List.length (Baseline.metrics partial))
+
+let test_work_metric_filter () =
+  check_bool "counter is work" true (Baseline.is_work_metric "counter.x");
+  check_bool "hist is work" true (Baseline.is_work_metric "hist.x.p99");
+  check_bool "bench is wall-clock" false (Baseline.is_work_metric "bench.x.ns_per_run");
+  check_bool "gauge is memory" false (Baseline.is_work_metric "gauge.gc.heap_words")
+
+(* ------------------------------------------------------------------ *)
+(* Diff semantics                                                      *)
+
+let test_diff_identical () =
+  let r = Baseline.diff ~old:(doc ()) ~fresh:(doc ()) () in
+  check "all compared" 8 r.Baseline.compared;
+  check "no regressions" 0 r.Baseline.regressed;
+  check "no improvements" 0 r.Baseline.improved;
+  check_bool "every row unchanged" true
+    (List.for_all (fun row -> row.Baseline.status = Baseline.Unchanged) r.Baseline.rows)
+
+let test_diff_within_tolerance () =
+  (* +5% under a 10% band is noise, not a regression *)
+  let r = Baseline.diff ~old:(doc ()) ~fresh:(doc ~ns:1050.0 ()) () in
+  check "within band is unchanged" 0 r.Baseline.regressed
+
+let test_diff_regression () =
+  let r = Baseline.diff ~old:(doc ()) ~fresh:(doc ~counter:200 ()) () in
+  check "doubled counter regresses" 1 r.Baseline.regressed;
+  let row =
+    List.find
+      (fun row -> row.Baseline.metric = "counter.dinic.augmenting_paths")
+      r.Baseline.rows
+  in
+  check_bool "row flagged" true (row.Baseline.status = Baseline.Regressed);
+  (* raising the tolerance past the delta absorbs it *)
+  let r' =
+    Baseline.diff ~max_regress:150.0 ~old:(doc ()) ~fresh:(doc ~counter:200 ()) ()
+  in
+  check "tolerance absorbs it" 0 r'.Baseline.regressed
+
+let test_diff_improvement () =
+  let r = Baseline.diff ~old:(doc ()) ~fresh:(doc ~ns:500.0 ()) () in
+  check "halved time improves" 1 r.Baseline.improved;
+  check "improvement never gates" 0 r.Baseline.regressed
+
+let test_diff_added_removed () =
+  let extra =
+    match doc () with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "profile", Json.Obj pf ->
+                   ( "profile",
+                     Json.Obj
+                       (List.map
+                          (function
+                            | "counters", Json.Obj cs ->
+                                ("counters", Json.Obj (("new.counter", Json.Int 1) :: cs))
+                            | f -> f)
+                          pf) )
+               | f -> f)
+             fields)
+    | _ -> assert false
+  in
+  let r = Baseline.diff ~old:(doc ()) ~fresh:extra () in
+  check "new metric reported" 1 r.Baseline.added;
+  check "added never gates" 0 r.Baseline.regressed;
+  let r' = Baseline.diff ~old:extra ~fresh:(doc ()) () in
+  check "vanished metric reported" 1 r'.Baseline.removed;
+  check "removed never gates" 0 r'.Baseline.regressed
+
+let test_diff_work_only () =
+  (* wall-clock and memory regress wildly, work is identical: the
+     work-only gate must stay green *)
+  let fresh = doc ~ns:9000.0 ~heap:1e9 () in
+  let full = Baseline.diff ~old:(doc ()) ~fresh () in
+  check_bool "full diff regresses" true (full.Baseline.regressed > 0);
+  let work = Baseline.diff ~work_only:true ~old:(doc ()) ~fresh () in
+  check "work-only ignores them" 0 work.Baseline.regressed;
+  check "work-only compares only counter/hist" 6 work.Baseline.compared
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_render () =
+  let r = Baseline.diff ~old:(doc ()) ~fresh:(doc ~counter:200 ()) () in
+  let out = Baseline.render r in
+  check_bool "regressed row shown" true (contains out "REGRESSED");
+  check_bool "metric named" true (contains out "counter.dinic.augmenting_paths");
+  check_bool "summary line" true (contains out "1 regressed");
+  let clean = Baseline.render (Baseline.diff ~old:(doc ()) ~fresh:(doc ()) ()) in
+  check_bool "clean diff elides the table" true (not (contains clean "|"));
+  check_bool "clean diff keeps the summary" true (contains clean "0 regressed")
+
+(* ------------------------------------------------------------------ *)
+(* Provenance meta                                                     *)
+
+let test_meta_block () =
+  let m = Baseline.meta ~argv:[| "bench"; "--json"; "x.json" |] () in
+  List.iter
+    (fun key ->
+      match Json.mem m key with
+      | Some (Json.String s) ->
+          check_bool (key ^ " non-empty") true (String.length s > 0)
+      | _ -> Alcotest.failf "meta field %s missing or not a string" key)
+    [ "git_sha"; "ocaml_version"; "hostname"; "machine" ];
+  (match Json.mem m "ocaml_version" with
+  | Some (Json.String v) -> check_string "matches runtime" Sys.ocaml_version v
+  | _ -> ());
+  match Json.mem m "argv" with
+  | Some (Json.List l) -> check "argv preserved" 3 (List.length l)
+  | _ -> Alcotest.fail "meta.argv missing"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end against the real exporter shape                          *)
+
+let test_against_real_export () =
+  (* Build a baseline from the live registry, exactly like bench --json
+     does, and make sure the flattener understands it. *)
+  Dmc_obs.Registry.reset ();
+  Dmc_obs.Registry.set_enabled true;
+  Dmc_obs.Counter.add (Dmc_obs.Counter.make "e2e.counter") 5;
+  Dmc_obs.Histogram.observe (Dmc_obs.Histogram.make "e2e.hist") 17;
+  Dmc_obs.Span.with_ "e2e.span" (fun () -> ());
+  Dmc_obs.Registry.set_enabled false;
+  let baseline =
+    Json.Obj
+      [
+        ("kind", Json.String "dmc-bench-baseline");
+        ("meta", Baseline.meta ~argv:Sys.argv ());
+        ("benchmarks", Json.List []);
+        ("profile", Dmc_obs.Export.to_json ());
+      ]
+  in
+  (* ... and that it survives the concrete syntax round-trip *)
+  let reparsed =
+    match Json.parse (Json.to_string baseline) with
+    | Ok d -> d
+    | Error m -> Alcotest.failf "baseline does not re-parse: %s" m
+  in
+  let ms = Baseline.metrics reparsed in
+  check_bool "counter flattened" true (List.mem_assoc "counter.e2e.counter" ms);
+  check_bool "hist p99 flattened" true (List.mem_assoc "hist.e2e.hist.p99" ms);
+  check_bool "gc gauge flattened" true (List.mem_assoc "gauge.gc.heap_words" ms);
+  let r = Baseline.diff ~old:reparsed ~fresh:reparsed () in
+  check "self-diff is clean" 0 (r.Baseline.regressed + r.Baseline.improved)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "flatten",
+        [
+          Alcotest.test_case "namespaces and ordering" `Quick test_metrics_flatten;
+          Alcotest.test_case "junk tolerated" `Quick test_metrics_tolerates_junk;
+          Alcotest.test_case "work-metric filter" `Quick test_work_metric_filter;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "identical is clean" `Quick test_diff_identical;
+          Alcotest.test_case "noise within tolerance" `Quick test_diff_within_tolerance;
+          Alcotest.test_case "regression detected" `Quick test_diff_regression;
+          Alcotest.test_case "improvement reported" `Quick test_diff_improvement;
+          Alcotest.test_case "added/removed never gate" `Quick test_diff_added_removed;
+          Alcotest.test_case "work-only filter" `Quick test_diff_work_only;
+        ] );
+      ("render", [ Alcotest.test_case "table and summary" `Quick test_render ]);
+      ("meta", [ Alcotest.test_case "provenance fields" `Quick test_meta_block ]);
+      ( "end-to-end",
+        [ Alcotest.test_case "real exporter shape" `Quick test_against_real_export ] );
+    ]

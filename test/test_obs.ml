@@ -232,6 +232,239 @@ let test_ipc_oversized_cap () =
       check_bool "error names the limit" true (contains msg limit)
   | Error e -> Alcotest.failf "expected Oversized, got %s" (Ipc.read_error_to_string e)
 
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+module Histogram = Dmc_obs.Histogram
+module Gauge = Dmc_obs.Gauge
+
+let test_hist_buckets () =
+  check "zero maps to bucket 0" 0 (Registry.bucket_of_value 0);
+  check "negative clamps to bucket 0" 0 (Registry.bucket_of_value (-5));
+  check "one" 1 (Registry.bucket_of_value 1);
+  check "two" 2 (Registry.bucket_of_value 2);
+  check "three" 2 (Registry.bucket_of_value 3);
+  check "four" 3 (Registry.bucket_of_value 4);
+  (* the bucket bounds and the bucket function must agree *)
+  for b = 1 to 40 do
+    check "lo lands in its bucket" b (Registry.bucket_of_value (Registry.bucket_lo b));
+    check "hi lands in its bucket" b (Registry.bucket_of_value (Registry.bucket_hi b))
+  done;
+  check "max_int clamps to last bucket" (Registry.hist_buckets - 1)
+    (Registry.bucket_of_value max_int)
+
+let test_hist_observe =
+  with_registry (fun () ->
+      let h = Histogram.make "test.hist" in
+      List.iter (Histogram.observe h) [ 1; 2; 3; 4; 100 ];
+      check "count" 5 (Histogram.count h);
+      check "sum" 110 (Histogram.sum h);
+      Alcotest.(check (float 1e-9)) "mean" 22.0 (Histogram.mean h);
+      let p50 = Histogram.percentile h 50.0
+      and p90 = Histogram.percentile h 90.0
+      and p99 = Histogram.percentile h 99.0 in
+      check_bool "quantiles are monotone" true (p50 <= p90 && p90 <= p99);
+      check_bool "quantiles within bucket-midpoint range" true
+        (p50 >= 1.0 && p99 <= 95.5);
+      (* find-or-create, like counters *)
+      Histogram.observe (Histogram.make "test.hist") 7;
+      check "registration is idempotent" 6 (Histogram.count h))
+
+let test_hist_disabled () =
+  Registry.reset ();
+  Registry.set_enabled false;
+  let h = Histogram.make "test.hist.off" in
+  Histogram.observe h 5;
+  check "disabled histogram stays empty" 0 (Histogram.count h)
+
+let test_hist_empty_percentile =
+  with_registry (fun () ->
+      let h = Histogram.make "test.hist.empty" in
+      match Histogram.percentile h 50.0 with
+      | exception Invalid_argument _ -> ()
+      | v -> Alcotest.failf "percentile of empty histogram returned %g" v)
+
+(* ------------------------------------------------------------------ *)
+(* Gauges and the GC sampler                                           *)
+
+let test_gauge_set_merge =
+  with_registry (fun () ->
+      let g = Gauge.make "test.gauge" in
+      check_bool "unset initially" false (Gauge.is_set g);
+      Gauge.set g 3.0;
+      Alcotest.(check (float 0.)) "set/get" 3.0 (Gauge.get g);
+      Registry.merge_gauge g 1.0;
+      Alcotest.(check (float 0.)) "merge keeps max" 3.0 (Gauge.get g);
+      Registry.merge_gauge g 9.0;
+      Alcotest.(check (float 0.)) "merge raises to max" 9.0 (Gauge.get g))
+
+let test_gc_gauges_sampled =
+  with_registry (fun () ->
+      Span.with_ "tick" (fun () -> ignore (Sys.opaque_identity (Array.make 256 0)));
+      (* close_span sampled the GC: the heap gauge must be set and positive *)
+      let g = Registry.gauge "gc.heap_words" in
+      check_bool "gc.heap_words set by span close" true (Registry.(g.g_set));
+      check_bool "heap is non-empty" true (Gauge.get g > 0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Span-drop path                                                      *)
+
+let test_span_drop =
+  with_registry (fun () ->
+      let restore = Registry.max_events () in
+      Fun.protect
+        ~finally:(fun () -> Registry.set_max_events restore)
+        (fun () ->
+          Registry.set_max_events 3;
+          for i = 1 to 5 do
+            Span.with_ (Printf.sprintf "drop.%d" i) (fun () -> ())
+          done;
+          check "buffer holds the cap" 3 (Registry.event_count ());
+          check "overflow counted" 2 (Registry.dropped ());
+          let profile = Export.profile () in
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+            go 0
+          in
+          check_bool "profile reports the drop" true
+            (contains profile "2 spans dropped: buffer full");
+          (* the dropped count crosses the fork boundary like counters *)
+          let snap = Registry.snapshot_json () in
+          Registry.reset ();
+          Registry.merge_snapshot ~tid:1 snap;
+          check "dropped merges" 2 (Registry.dropped ())))
+
+(* ------------------------------------------------------------------ *)
+(* Exporter output always re-parses (property)                          *)
+
+let test_export_json_escaping =
+  (* Metric names come from code today, but the exporter must not
+     depend on that: any byte string — quotes, backslashes, newlines,
+     control bytes, non-ASCII — has to round-trip through the concrete
+     JSON syntax. *)
+  QCheck.Test.make ~count:200 ~name:"export JSON re-parses for any metric name"
+    QCheck.(string_gen_of_size (Gen.int_range 1 20) Gen.char)
+    (fun name ->
+      Registry.reset ();
+      Registry.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Registry.set_enabled false)
+        (fun () ->
+          Counter.incr (Counter.make name);
+          Dmc_obs.Histogram.observe (Dmc_obs.Histogram.make name) 3;
+          Gauge.set (Gauge.make name) 1.5;
+          Span.with_ name (fun () -> ());
+          match Json.parse (Json.to_string (Export.to_json ())) with
+          | Ok _ -> true
+          | Error m ->
+              QCheck.Test.fail_reportf "name %S broke the exporter: %s" name m))
+
+let test_export_json_nasty_names () =
+  List.iter
+    (fun name ->
+      Registry.reset ();
+      Registry.set_enabled true;
+      Counter.incr (Counter.make name);
+      Span.with_ name (fun () -> ());
+      Registry.set_enabled false;
+      let rendered = Json.to_string (Export.to_json ()) in
+      match Json.parse rendered with
+      | Ok doc ->
+          let counters =
+            match Json.mem doc "counters" with
+            | Some (Json.Obj cs) -> cs
+            | _ -> Alcotest.fail "counters object missing"
+          in
+          check_bool
+            (Printf.sprintf "name %S survives the round-trip" name)
+            true
+            (List.mem_assoc name counters)
+      | Error m -> Alcotest.failf "name %S broke the exporter: %s" name m)
+    [ {|quo"te|}; {|back\slash|}; "line\nbreak"; "tab\there"; "caf\xc3\xa9" ]
+
+(* ------------------------------------------------------------------ *)
+(* Merge commutativity (randomized)                                    *)
+
+let test_merge_commutative () =
+  (* Counters, histograms, gauges and the dropped count merge with
+     commutative operations (+, bucket-wise +, max), so any arrival
+     order of worker snapshots must leave the same registry state.
+     Spans are exempt: they append, and their order is wall-clock. *)
+  let rng = Random.State.make [| 0x0b5; 42 |] in
+  let random_snapshot () =
+    Registry.reset ();
+    Registry.set_enabled true;
+    for _ = 1 to 1 + Random.State.int rng 4 do
+      let c = Counter.make (Printf.sprintf "c.%d" (Random.State.int rng 3)) in
+      Counter.add c (Random.State.int rng 100)
+    done;
+    for _ = 1 to 1 + Random.State.int rng 4 do
+      let h = Histogram.make (Printf.sprintf "h.%d" (Random.State.int rng 2)) in
+      Histogram.observe h (Random.State.int rng 10_000)
+    done;
+    Gauge.set (Gauge.make "g.0") (float_of_int (Random.State.int rng 1000));
+    let snap = Registry.snapshot_json () in
+    Registry.set_enabled false;
+    snap
+  in
+  let snaps = List.init 6 (fun _ -> random_snapshot ()) in
+  let merged_state order =
+    Registry.reset ();
+    Registry.set_enabled true;
+    List.iteri (fun tid s -> Registry.merge_snapshot ~tid s) order;
+    let doc = Export.to_json () in
+    Registry.set_enabled false;
+    (* compare only the commutative sections *)
+    let section k = match Json.mem doc k with Some j -> Json.to_string j | None -> "" in
+    section "counters" ^ section "hists" ^ section "gauges"
+  in
+  let forward = merged_state snaps and reverse = merged_state (List.rev snaps) in
+  check_string "merge order is irrelevant" forward reverse;
+  check_bool "merged state is non-trivial" true (String.length forward > 10)
+
+(* ------------------------------------------------------------------ *)
+(* Profile/to_json expose histogram stats and gauges                   *)
+
+let test_export_metrics_sections =
+  with_registry (fun () ->
+      let h = Histogram.make "test.export.hist" in
+      List.iter (Histogram.observe h) [ 1; 2; 4; 8; 16 ];
+      Gauge.set (Gauge.make "test.export.gauge") 12.0;
+      let profile = Export.profile () in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun section -> check_bool section true (contains profile section))
+        [
+          "== profile: counters ==";
+          "== profile: histograms ==";
+          "== profile: gauges ==";
+          "== profile: spans ==";
+          "test.export.hist";
+          "test.export.gauge";
+        ];
+      let doc = Export.to_json () in
+      (match Json.mem doc "hists" with
+      | Some (Json.Obj hs) -> (
+          match List.assoc_opt "test.export.hist" hs with
+          | Some stats ->
+              check "n exported" 5
+                (Option.get (Option.bind (Json.mem stats "n") Json.as_int));
+              List.iter
+                (fun k ->
+                  check_bool (k ^ " exported") true (Json.mem stats k <> None))
+                [ "mean"; "p50"; "p90"; "p99" ]
+          | None -> Alcotest.fail "histogram missing from to_json")
+      | _ -> Alcotest.fail "hists section missing from to_json");
+      match Json.mem doc "gauges" with
+      | Some (Json.Obj gs) ->
+          check_bool "gauge exported" true (List.mem_assoc "test.export.gauge" gs)
+      | _ -> Alcotest.fail "gauges section missing from to_json")
+
 let () =
   Alcotest.run "obs"
     [
@@ -260,4 +493,27 @@ let () =
         ] );
       ( "ipc",
         [ Alcotest.test_case "length cap precedes allocation" `Quick test_ipc_oversized_cap ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_hist_buckets;
+          Alcotest.test_case "observe/count/mean/quantiles" `Quick test_hist_observe;
+          Alcotest.test_case "disabled is free" `Quick test_hist_disabled;
+          Alcotest.test_case "empty percentile raises" `Quick test_hist_empty_percentile;
+        ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "set and max-merge" `Quick test_gauge_set_merge;
+          Alcotest.test_case "gc sampler fills gc.*" `Quick test_gc_gauges_sampled;
+        ] );
+      ( "span-drop",
+        [ Alcotest.test_case "cap, notice and merge" `Quick test_span_drop ] );
+      ( "export",
+        [
+          QCheck_alcotest.to_alcotest test_export_json_escaping;
+          Alcotest.test_case "nasty names round-trip" `Quick test_export_json_nasty_names;
+          Alcotest.test_case "histogram stats and gauges exported" `Quick
+            test_export_metrics_sections;
+        ] );
+      ( "merge-commutativity",
+        [ Alcotest.test_case "snapshot order is irrelevant" `Quick test_merge_commutative ] );
     ]

@@ -9,6 +9,7 @@ module Budget = Dmc_util.Budget
 module Ipc = Dmc_util.Ipc
 module Fault = Dmc_runtime.Fault
 module Pool = Dmc_runtime.Pool
+module Progress = Dmc_runtime.Progress
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -325,6 +326,130 @@ let test_stop_accounting () =
   check "non-cancelled outcomes = committed results" !commits non_cancelled;
   check "nothing committed past the blocked prefix" 0 !commits
 
+(* ------------------------------------------------------------------ *)
+(* Progress channel                                                    *)
+
+let test_progress_render () =
+  let p =
+    {
+      Progress.total = 10;
+      finished = 3;
+      running = [ { Progress.job = 4; attempt = 2; phase = "optimal.rbw_io" } ];
+      waiting = 6;
+      retries = 1;
+      elapsed = 12.0;
+      eta = Some 28.0;
+      rss_bytes = Some (512 * 1024 * 1024);
+    }
+  in
+  let line = Progress.render p in
+  let contains needle =
+    let nh = String.length line and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub line i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle -> check_bool ("line mentions " ^ needle) true (contains needle))
+    [ "3/10 done"; "1 running"; "job 4"; "try 2"; "optimal.rbw_io";
+      "6 waiting"; "1 retr"; "512.0MiB" ];
+  (* a quiet pool renders without running/retry/rss fragments *)
+  let idle =
+    Progress.render
+      {
+        Progress.total = 2; finished = 2; running = []; waiting = 0;
+        retries = 0; elapsed = 1.0; eta = None; rss_bytes = None;
+      }
+  in
+  check_bool "idle line is total-only" true (String.length idle > 0)
+
+let test_progress_rss () =
+  match Progress.rss_of_pid (Unix.getpid ()) with
+  | Some bytes -> check_bool "own RSS is positive" true (bytes > 0)
+  | None -> Alcotest.fail "could not read own /proc RSS"
+
+let test_pool_heartbeats () =
+  (* With on_progress set, workers switch into heartbeat mode: extra
+     {"hb": ...} frames precede the result frame.  The supervisor must
+     surface scheduling snapshots AND still deliver every result
+     untouched — the protocol change cannot corrupt payloads. *)
+  let snaps = ref [] in
+  let cfg =
+    {
+      Pool.default with
+      jobs = 2;
+      timeout = Some 5.0;
+      on_progress = Some (fun p -> snaps := p :: !snaps);
+    }
+  in
+  let worker _ n =
+    Unix.sleepf 0.3;
+    Ok (Json.Int (n + 1))
+  in
+  let outcomes = Pool.run cfg ~worker [ 1; 2; 3 ] in
+  Array.iteri
+    (fun i o ->
+      match o.Pool.verdict with
+      | Pool.Done (Json.Int v) -> check "payload intact" (i + 2) v
+      | v -> Alcotest.failf "job %d: %s" i (Pool.verdict_to_string v))
+    outcomes;
+  check_bool "progress snapshots delivered" true (!snaps <> []);
+  List.iter
+    (fun p ->
+      check "total is job count" 3 p.Progress.total;
+      check_bool "counts are consistent" true
+        (p.Progress.finished + List.length p.Progress.running + p.Progress.waiting
+         <= 3
+        && p.Progress.finished >= 0))
+    !snaps;
+  (* the "start" heartbeat marks at least one snapshot's running job *)
+  check_bool "a worker phase was observed" true
+    (List.exists
+       (fun p ->
+         List.exists (fun r -> r.Progress.phase = "start") p.Progress.running)
+       !snaps)
+
+let test_pool_heartbeats_with_fault () =
+  (* Heartbeat mode must not weaken protocol-error detection: a child
+     that writes garbage instead of frames is still classified. *)
+  let faults = Result.get_ok (Fault.parse "garbage:1") in
+  let cfg =
+    {
+      Pool.default with
+      timeout = Some 5.0;
+      faults;
+      on_progress = Some (fun _ -> ());
+    }
+  in
+  let o = (Pool.run cfg ~worker:quick_worker [ 7 ]).(0) in
+  match o.Pool.verdict with
+  | Pool.Worker_protocol_error _ -> ()
+  | v ->
+      Alcotest.failf "expected Worker_protocol_error, got %s"
+        (Pool.verdict_to_string v)
+
+let test_pool_heartbeat_determinism () =
+  (* The acceptance bar behind --progress: enabling the channel must
+     not change a single result byte. *)
+  let jobs = List.init 6 (fun i -> i) in
+  let run on_progress =
+    let cfg = { Pool.default with jobs = 3; timeout = Some 5.0; on_progress } in
+    let trace = ref [] in
+    ignore
+      (Pool.run cfg ~worker:staggered_worker
+         ~on_result:(fun i o ->
+           let payload =
+             match o.Pool.verdict with
+             | Pool.Done j -> Json.to_string j
+             | v -> Pool.verdict_to_string v
+           in
+           trace := (i, payload) :: !trace)
+         jobs);
+    List.rev !trace
+  in
+  let quiet = run None and chatty = run (Some (fun _ -> ())) in
+  check_bool "identical commit traces with and without progress" true
+    (quiet = chatty)
+
 let () =
   Alcotest.run "dmc_runtime"
     [
@@ -366,5 +491,16 @@ let () =
             test_order_determinism;
           Alcotest.test_case "crash isolation" `Quick test_isolation;
           Alcotest.test_case "hard-stop accounting" `Quick test_stop_accounting;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "render fragments" `Quick test_progress_render;
+          Alcotest.test_case "own RSS readable" `Quick test_progress_rss;
+          Alcotest.test_case "heartbeats deliver snapshots" `Quick
+            test_pool_heartbeats;
+          Alcotest.test_case "garbage still a protocol error" `Quick
+            test_pool_heartbeats_with_fault;
+          Alcotest.test_case "channel does not change results" `Quick
+            test_pool_heartbeat_determinism;
         ] );
     ]
