@@ -90,52 +90,9 @@ let fault_arg =
 (* ------------------------------------------------------------------ *)
 (* Shared CDAG source: either a named generator or a file.            *)
 
-let generator_doc =
-  "Named generator: chain:N, tree:N, diamond:R,C, fft:K, bitonic:K, pyramid:H, \
-   binomial:K, matmul:N, lu:N, cholesky:N, outer:N, dot:N, composite:N, jacobi1d:N,T, \
-   jacobi2d:N,T, jacobi3d:N,T, spmv:N,D, thomas:N, multigrid:N,L,C, cg:N,D,T, \
-   gmres:N,D,M, layered:SEED,L,W"
+let generator_doc = Dmc_gen.Workload.spec_doc ()
 
-let parse_ints s = List.map int_of_string (String.split_on_char ',' s)
-
-let build_generator name args =
-  match (name, args) with
-  | "chain", [ n ] -> Dmc_gen.Shapes.chain n
-  | "tree", [ n ] -> Dmc_gen.Shapes.reduction_tree n
-  | "diamond", [ r; c ] -> Dmc_gen.Shapes.diamond ~rows:r ~cols:c
-  | "fft", [ k ] -> Dmc_gen.Fft.butterfly k
-  | "bitonic", [ k ] -> Dmc_gen.Fft.bitonic_sort k
-  | "pyramid", [ h ] -> Dmc_gen.Shapes.pyramid h
-  | "binomial", [ k ] -> Dmc_gen.Shapes.binomial k
-  | "matmul", [ n ] -> Dmc_gen.Linalg.matmul n
-  | "lu", [ n ] -> (Dmc_gen.Linalg.lu_factor n).lu_graph
-  | "cholesky", [ n ] -> Dmc_gen.Linalg.cholesky n
-  | "outer", [ n ] -> Dmc_gen.Linalg.outer_product n
-  | "dot", [ n ] -> Dmc_gen.Linalg.dot_product n
-  | "composite", [ n ] -> (Dmc_gen.Linalg.composite n).graph
-  | "jacobi1d", [ n; t ] -> (Dmc_gen.Stencil.jacobi_1d ~n ~steps:t).graph
-  | "jacobi2d", [ n; t ] -> (Dmc_gen.Stencil.jacobi_2d ~n ~steps:t ()).graph
-  | "jacobi3d", [ n; t ] -> (Dmc_gen.Stencil.jacobi_3d ~n ~steps:t).graph
-  | "spmv", [ n; d ] -> Dmc_gen.Solver.spmv ~dims:(List.init d (fun _ -> n))
-  | "thomas", [ n ] -> (Dmc_gen.Solver.thomas ~n).th_graph
-  | "multigrid", [ n; levels; cycles ] ->
-      (Dmc_gen.Multigrid.v_cycle ~dims:[ n ] ~levels ~cycles ()).graph
-  | "cg", [ n; d; t ] ->
-      (Dmc_gen.Solver.cg ~dims:(List.init d (fun _ -> n)) ~iters:t).graph
-  | "gmres", [ n; d; m ] ->
-      (Dmc_gen.Solver.gmres ~dims:(List.init d (fun _ -> n)) ~iters:m).graph
-  | "layered", [ seed; l; w ] ->
-      Dmc_gen.Random_dag.layered (Dmc_util.Rng.create seed) ~layers:l ~width:w
-        ~edge_prob:0.4
-  | _ -> failwith ("unknown generator or bad arity: " ^ name)
-
-let parse_spec spec =
-  match String.index_opt spec ':' with
-  | None -> build_generator spec []
-  | Some i ->
-      let name = String.sub spec 0 i in
-      let args = parse_ints (String.sub spec (i + 1) (String.length spec - i - 1)) in
-      build_generator name args
+let parse_spec = Dmc_gen.Workload.parse_exn
 
 let load_cdag ~spec ~file =
   match (spec, file) with
@@ -626,11 +583,12 @@ let bench_diff_cmd =
   in
   let old_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD"
-           ~doc:"Committed baseline JSON (from bench --json).")
+           ~doc:"Committed baseline JSON (from bench --json or \
+                 dmc experiment --json).")
   in
   let fresh_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW"
-           ~doc:"Fresh baseline JSON to compare against OLD.")
+           ~doc:"Fresh JSON of the same kind to compare against OLD.")
   in
   let max_regress_arg =
     Arg.(value & opt float 10.0 & info [ "max-regress" ] ~docv:"PCT"
@@ -644,64 +602,62 @@ let bench_diff_cmd =
   in
   Cmd.v
     (Cmd.info "bench-diff"
-       ~doc:"Compare two bench baselines and fail on regressions")
+       ~doc:"Compare two bench baselines (or experiment JSON reports) and \
+             fail on regressions")
     Term.(const run $ old_arg $ fresh_arg $ max_regress_arg $ work_only_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dmc experiment                                                     *)
 
-(* Run [f] with stdout redirected into a temp file; return its result
-   and the captured text.  Used so each experiment's output can be
-   stored in the checkpoint and replayed verbatim on resume — the
-   resumed run's stdout is byte-identical to an uninterrupted one. *)
-let capture_stdout f =
-  let flush_all_out () =
-    Format.pp_print_flush Format.std_formatter ();
-    flush stdout
-  in
-  let tmp = Filename.temp_file "dmc-experiment" ".out" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
-  flush_all_out ();
-  let saved = Unix.dup Unix.stdout in
-  Unix.dup2 fd Unix.stdout;
-  let result = try Ok (f ()) with e -> Error e in
-  flush_all_out ();
-  Unix.dup2 saved Unix.stdout;
-  Unix.close saved;
-  Unix.close fd;
-  let text =
-    let ic = open_in_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  Sys.remove tmp;
-  match result with
-  | Ok v -> (v, text)
-  | Error e ->
-      print_string text;
-      raise e
+(* A flat, serializable unit of experiment work: one part of one
+   experiment.  Units are committed in submission order whichever path
+   (sequential, pool, resume) produced them, so the assembled
+   documents — and every rendering — are byte-identical across --jobs
+   widths and across kill/resume. *)
+type experiment_unit = {
+  u_exp : string;
+  u_part : string;
+  u_run : unit -> Dmc_util.Json.t;
+  u_last : bool;  (* last part of its experiment *)
+}
+
+let experiment_units selected =
+  List.concat_map
+    (fun (e : Dmc_analysis.Experiment.t) ->
+      let n = List.length e.parts in
+      List.mapi
+        (fun i (p : Dmc_analysis.Experiment.part) ->
+          { u_exp = e.name; u_part = p.part; u_run = p.run; u_last = i = n - 1 })
+        e.parts)
+    selected
+
+let experiment_ckpt_version = 2
 
 let experiment_checkpoint ~selected ~done_rev =
   let module J = Dmc_util.Json in
   J.Obj
     [
       ("kind", J.String "dmc-experiment");
-      ("names", J.List (List.map (fun (n, _) -> J.String n) selected));
-      ( "completed",
+      ("v", J.Int experiment_ckpt_version);
+      ( "names",
+        J.List
+          (List.map
+             (fun (e : Dmc_analysis.Experiment.t) -> J.String e.name)
+             selected) );
+      ( "parts",
         J.List
           (List.rev_map
-             (fun (name, ok, output) ->
+             (fun (exp, part, payload) ->
                J.Obj
                  [
-                   ("name", J.String name);
-                   ("ok", J.Bool ok);
-                   ("output", J.String output);
+                   ("exp", J.String exp);
+                   ("part", J.String part);
+                   ("payload", payload);
                  ])
              done_rev) );
     ]
 
-let experiment_restore path ~selected =
+let experiment_restore path ~selected ~units =
   let module J = Dmc_util.Json in
   match Dmc_util.Checkpoint.load path with
   | Error msg -> failwith (Printf.sprintf "cannot resume from %s: %s" path msg)
@@ -709,68 +665,94 @@ let experiment_restore path ~selected =
       (match Option.bind (J.mem ckpt "kind") J.as_string with
       | Some "dmc-experiment" -> ()
       | _ -> failwith (path ^ ": not a dmc-experiment checkpoint"));
+      (match Option.bind (J.mem ckpt "v") J.as_int with
+      | Some v when v = experiment_ckpt_version -> ()
+      | Some v ->
+          failwith
+            (Printf.sprintf
+               "%s: checkpoint schema v%d, this build reads v%d; regenerate \
+                with --checkpoint" path v experiment_ckpt_version)
+      | None ->
+          failwith
+            (path
+           ^ ": checkpoint predates the structured v2 schema (it stores \
+              captured stdout, not part payloads); regenerate with \
+              --checkpoint"));
       let stored_names =
         match Option.bind (J.mem ckpt "names") J.as_list with
         | Some l -> List.filter_map J.as_string l
         | None -> []
       in
-      if stored_names <> List.map fst selected then
+      let sel_names =
+        List.map (fun (e : Dmc_analysis.Experiment.t) -> e.name) selected
+      in
+      if stored_names <> sel_names then
         failwith
           (Printf.sprintf
              "%s: checkpoint is for experiments [%s], this run selects [%s]"
              path
              (String.concat " " stored_names)
-             (String.concat " " (List.map fst selected)));
+             (String.concat " " sel_names));
       let completed =
-        match Option.bind (J.mem ckpt "completed") J.as_list with
+        match Option.bind (J.mem ckpt "parts") J.as_list with
         | Some l ->
             List.filter_map
               (fun entry ->
                 match
-                  ( Option.bind (J.mem entry "name") J.as_string,
-                    Option.bind (J.mem entry "ok") J.as_bool,
-                    Option.bind (J.mem entry "output") J.as_string )
+                  ( Option.bind (J.mem entry "exp") J.as_string,
+                    Option.bind (J.mem entry "part") J.as_string,
+                    J.mem entry "payload" )
                 with
-                | Some name, Some ok, Some output -> Some (name, ok, output)
+                | Some exp, Some part, Some payload -> Some (exp, part, payload)
                 | _ -> None)
               l
         | None -> []
       in
-      (* The checkpoint must be a prefix of the selection, in order. *)
-      let rec check_prefix done_ sel =
-        match (done_, sel) with
+      (* The checkpoint must be a prefix of the unit list, in order. *)
+      let rec check_prefix done_ us =
+        match (done_, us) with
         | [], _ -> ()
-        | (name, _, _) :: dt, (sn, _) :: st when name = sn -> check_prefix dt st
-        | (name, _, _) :: _, _ ->
+        | (exp, part, _) :: dt, u :: ut when exp = u.u_exp && part = u.u_part ->
+            check_prefix dt ut
+        | (exp, part, _) :: _, _ ->
             failwith
-              (Printf.sprintf "%s: completed experiment %s out of order" path name)
+              (Printf.sprintf "%s: completed part %s/%s out of order" path exp
+                 part)
       in
-      check_prefix completed selected;
+      check_prefix completed units;
       completed
 
 let experiment_cmd =
-  let run names timeout checkpoint resume jobs job_timeout retries fault trace
-      profile progress =
+  let run names json md timeout checkpoint resume jobs job_timeout retries
+      fault trace profile progress =
     setup_logs ();
     guarded @@ fun () ->
     install_interrupt_handlers ();
     setup_obs ~trace ~profile;
+    if json && md then failwith "--json and --md are mutually exclusive";
+    let mode = if json then `Json else if md then `Md else `Text in
     let faults = parse_faults fault in
-    let registry = Dmc_analysis.Report.names in
+    let registry = Dmc_analysis.Report.experiments in
     let selected =
       match names with
       | [] -> registry
       | names ->
           List.map
             (fun n ->
-              match List.assoc_opt n registry with
-              | Some f -> (n, f)
+              match Dmc_analysis.Report.find n with
+              | Some e -> e
               | None ->
                   failwith
                     (Printf.sprintf "unknown experiment %s (known: %s)" n
-                       (String.concat ", " (List.map fst registry))))
+                       (String.concat ", "
+                          (List.map
+                             (fun (e : Dmc_analysis.Experiment.t) -> e.name)
+                             registry))))
             names
     in
+    let units = experiment_units selected in
+    let unit_arr = Array.of_list units in
+    let total = List.length units in
     let ckpt_path =
       match (checkpoint, resume) with
       | Some p, _ -> Some p
@@ -780,32 +762,64 @@ let experiment_cmd =
     let completed =
       match resume with
       | None -> []
-      | Some path -> experiment_restore path ~selected
+      | Some path -> experiment_restore path ~selected ~units
     in
     if completed <> [] then
-      Format.eprintf "dmc: resuming, %d experiment(s) already done@."
+      Format.eprintf "dmc: resuming, %d part(s) already done@."
         (List.length completed);
-    (* Replay the stored outputs so the full stdout stream matches an
-       uninterrupted run byte for byte. *)
-    List.iter (fun (_, _, output) -> print_string output) completed;
-    flush stdout;
-    let remaining = List.filteri (fun i _ -> i >= List.length completed) selected in
     let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
-    let done_rev = ref (List.rev completed) in
-    (* Commit one finished unit: stream its output, then checkpoint.
-       Both execution paths funnel through here in selection order, so
-       stdout and the checkpoint are byte-identical whichever path —
-       and however many workers — produced the results. *)
-    let commit_unit name ok output =
-      print_string output;
-      flush stdout;
-      done_rev := (name, ok, output) :: !done_rev;
-      Option.iter
-        (fun p ->
-          Dmc_util.Checkpoint.write p
-            (experiment_checkpoint ~selected ~done_rev:!done_rev))
-        ckpt_path
+    let done_rev = ref [] in
+    let all_ok = ref true in
+    let docs_rev = ref [] in
+    (* Payloads of the experiment currently being filled, newest first.
+       Units commit strictly in submission order and an experiment's
+       parts are contiguous, so one accumulator suffices. *)
+    let pending_payloads = ref [] in
+    let finalize_experiment name =
+      let payloads = List.rev !pending_payloads in
+      pending_payloads := [];
+      match Dmc_analysis.Report.find name with
+      | None -> ()
+      | Some e -> (
+          match e.doc_of_parts payloads with
+          | doc ->
+              if not (Dmc_analysis.Doc.ok doc) then all_ok := false;
+              (match mode with
+              | `Text ->
+                  print_string (Dmc_analysis.Doc.to_text doc);
+                  flush stdout
+              | `Md ->
+                  print_string (Dmc_analysis.Doc.to_markdown doc);
+                  flush stdout
+              | `Json -> docs_rev := Dmc_analysis.Doc.to_json doc :: !docs_rev)
+          | exception exn ->
+              all_ok := false;
+              Format.eprintf "dmc: experiment %s: cannot assemble report: %s@."
+                name (Printexc.to_string exn))
     in
+    (* Commit one finished unit: accumulate its payload, render the
+       experiment once its last part lands, then checkpoint.  Both
+       execution paths funnel through here in unit order, so stdout
+       and the checkpoint are byte-identical whichever path — and
+       however many workers — produced the payloads. *)
+    let commit_unit ?(write = true) u payload =
+      done_rev := (u.u_exp, u.u_part, payload) :: !done_rev;
+      pending_payloads := payload :: !pending_payloads;
+      if u.u_last then finalize_experiment u.u_exp;
+      if write then
+        Option.iter
+          (fun p ->
+            Dmc_util.Checkpoint.write p
+              (experiment_checkpoint ~selected ~done_rev:!done_rev))
+          ckpt_path
+    in
+    (* Replay checkpointed payloads through the same commit path, so a
+       resumed run renders completed experiments identically. *)
+    List.iteri
+      (fun i (_, _, payload) -> commit_unit ~write:false unit_arr.(i) payload)
+      completed;
+    let n_completed = List.length completed in
+    let remaining = List.filteri (fun i _ -> i >= n_completed) units in
     let resume_hint () =
       (* Only point at a checkpoint that actually exists: a run
          stopped before its first committed unit never wrote one. *)
@@ -818,32 +832,59 @@ let experiment_cmd =
       emit_obs ~trace ~profile;
       (match !interrupted with
       | Some _ ->
-          Format.eprintf "dmc: interrupted after %d/%d experiments%s@."
-            (List.length !done_rev) (List.length selected) (resume_hint ());
+          Format.eprintf "dmc: interrupted after %d/%d part(s)%s@."
+            (List.length !done_rev) total (resume_hint ());
           exit (interrupt_exit_code ())
       | None -> ());
       if stopped_early then begin
-        Format.eprintf "dmc: timeout reached after %d/%d experiments%s@."
-          (List.length !done_rev) (List.length selected) (resume_hint ());
+        Format.eprintf "dmc: timeout reached after %d/%d part(s)%s@."
+          (List.length !done_rev) total (resume_hint ());
         exit 0
       end;
-      let ok = List.for_all (fun (_, ok, _) -> ok) !done_rev in
-      Printf.printf "\nOVERALL: %s\n"
-        (if ok then "ALL CHECKS PASSED" else "SOME CHECKS FAILED");
-      if not ok then exit 1
+      (match mode with
+      | `Text ->
+          Printf.printf "\nOVERALL: %s\n"
+            (if !all_ok then "ALL CHECKS PASSED" else "SOME CHECKS FAILED")
+      | `Md ->
+          Printf.printf "\n---\n\n**OVERALL:** %s\n"
+            (if !all_ok then "ALL CHECKS PASSED" else "SOME CHECKS FAILED")
+      | `Json ->
+          let module J = Dmc_util.Json in
+          print_string
+            (J.to_string
+               (J.Obj
+                  [
+                    ("kind", J.String "dmc-experiment-report");
+                    ("v", J.Int experiment_ckpt_version);
+                    ("ok", J.Bool !all_ok);
+                    ("experiments", J.List (List.rev !docs_rev));
+                  ]));
+          print_newline ());
+      if not !all_ok then exit 1
     in
     if jobs > 1 || faults <> [] || job_timeout <> None || trace <> None
        || profile || progress
     then begin
-      (* Supervised path: one forked worker per experiment.  A worker
-         lost to a crash, hard kill or protocol break degrades to an
-         in-process rerun of the same unit (the fault hook only fires
-         in children, and a real crash is isolated there), so every
-         unit still produces a row.  Tracing/profiling/progress imply
-         this path even at --jobs 1, so the pool.* counter set — and
-         hence the profile — is identical across widths. *)
+      (* Supervised path: one forked worker per part, committed in
+         submission order.  A worker lost to a crash, hard kill or
+         protocol break degrades to an in-process rerun of the same
+         part, so every unit still yields a payload.  Tracing,
+         profiling and progress imply this path even at --jobs 1, so
+         the pool.* counter set — and hence the profile — is identical
+         across widths. *)
       let module Pool = Dmc_runtime.Pool in
-      let module J = Dmc_util.Json in
+      let arr = Array.of_list remaining in
+      (* The unit crosses the fork as data: the worker re-resolves the
+         part by (experiment, part) name through the registry, so the
+         job it runs is exactly the serializable Part_job record the
+         checkpoint stores. *)
+      let worker _ u =
+        match
+          Dmc_analysis.Part_job.run { exp = u.u_exp; part = u.u_part }
+        with
+        | Ok payload -> Ok payload
+        | Error msg -> Error (Dmc_util.Budget.Invalid_input msg)
+      in
       let cfg =
         {
           Pool.default with
@@ -861,38 +902,31 @@ let experiment_cmd =
             (if progress then Some Dmc_runtime.Progress.draw else None);
         }
       in
-      let arr = Array.of_list remaining in
-      let worker _ (_, f) =
-        let ok, output = capture_stdout f in
-        Ok (J.Obj [ ("ok", J.Bool ok); ("output", J.String output) ])
-      in
       let on_result i outcome =
-        let name, f = arr.(i) in
-        let degrade verdict =
-          Format.eprintf
-            "dmc: experiment %s: worker %s; degrading to an in-process run@."
-            name
-            (Pool.verdict_to_string verdict);
-          match capture_stdout f with
-          | ok, output -> (ok, output)
-          | exception e ->
-              Format.eprintf
-                "dmc: experiment %s: in-process fallback failed too: %s@." name
-                (Printexc.to_string e);
-              (false, "")
-        in
-        let ok, output =
+        let u = arr.(i) in
+        let payload =
           match outcome.Pool.verdict with
-          | Pool.Done payload -> (
-              match
-                ( Option.bind (J.mem payload "ok") J.as_bool,
-                  Option.bind (J.mem payload "output") J.as_string )
-              with
-              | Some ok, Some output -> (ok, output)
-              | _ -> degrade (Pool.Worker_protocol_error "bad result payload"))
-          | v -> degrade v
+          | Pool.Done payload -> Some payload
+          | v -> (
+              Format.eprintf
+                "dmc: experiment %s part %s: worker %s; degrading to an \
+                 in-process run@."
+                u.u_exp u.u_part
+                (Pool.verdict_to_string v);
+              match u.u_run () with
+              | payload -> Some payload
+              | exception exn ->
+                  Format.eprintf
+                    "dmc: experiment %s part %s: in-process fallback failed \
+                     too: %s@."
+                    u.u_exp u.u_part (Printexc.to_string exn);
+                  None)
         in
-        commit_unit name ok output
+        match payload with
+        | Some payload -> commit_unit u payload
+        | None ->
+            all_ok := false;
+            commit_unit u Dmc_util.Json.Null
       in
       let outcomes = Pool.run cfg ~worker ~on_result remaining in
       if progress then Dmc_runtime.Progress.clear ();
@@ -909,37 +943,49 @@ let experiment_cmd =
     else begin
       let timed_out = ref false in
       List.iter
-        (fun (name, f) ->
+        (fun u ->
           if (not !timed_out) && !interrupted = None then
             match deadline with
             | Some d when Unix.gettimeofday () > d -> timed_out := true
-            | _ ->
-                let ok, output = capture_stdout f in
-                commit_unit name ok output)
+            | _ -> commit_unit u (u.u_run ()))
         remaining;
       finish ~stopped_early:!timed_out
     end
   in
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"NAME"
-           ~doc:"Experiments to run (default: all). Known: table1 sec3 cg gmres jacobi validate sim.")
+           ~doc:"Experiments to run (default: all). Known: summary table1 \
+                 sec3 cg gmres jacobi scaling fft curves multigrid \
+                 reductions validate sim.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one structured JSON report instead of text: \
+                 $(b,{kind, v, ok, experiments: [...]}), byte-identical \
+                 across $(b,--jobs) widths and across kill/resume.  \
+                 Consumable by $(b,dmc bench-diff).")
+  in
+  let md_arg =
+    Arg.(value & flag & info [ "md" ]
+           ~doc:"Render the reports as Markdown instead of text.")
   in
   let checkpoint =
     Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH"
-           ~doc:"Write a JSON checkpoint after each experiment, so a killed run \
-                 can continue with $(b,--resume).")
+           ~doc:"Write a JSON checkpoint of versioned structured part \
+                 payloads after each completed part, so a killed run can \
+                 continue with $(b,--resume).")
   in
   let resume =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"PATH"
-           ~doc:"Resume from a checkpoint: completed experiments are skipped and \
-                 their stored output replayed, so the final stdout is \
-                 byte-identical to an uninterrupted run.  Also keeps \
-                 checkpointing to the same file.")
+           ~doc:"Resume from a checkpoint: completed parts are reloaded and \
+                 their experiments re-rendered from the stored payloads, so \
+                 the final output is byte-identical to an uninterrupted \
+                 run.  Also keeps checkpointing to the same file.")
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Run the paper's evaluation experiments")
-    Term.(const run $ names $ timeout_arg $ checkpoint $ resume $ jobs_arg
-          $ job_timeout_arg $ retries_arg $ fault_arg $ trace_arg
-          $ profile_arg $ progress_arg)
+    Term.(const run $ names $ json_arg $ md_arg $ timeout_arg $ checkpoint
+          $ resume $ jobs_arg $ job_timeout_arg $ retries_arg $ fault_arg
+          $ trace_arg $ profile_arg $ progress_arg)
 
 let () =
   let info =

@@ -49,7 +49,8 @@ let families =
     ( "jacobi1d",
       fun rng ->
         let n = 3 + Rng.int rng 4 in
-        (Dmc_gen.Stencil.jacobi_1d ~n ~steps:(1 + Rng.int rng 3)).graph );
+        let steps = 1 + Rng.int rng 3 in
+        Dmc_gen.Workload.build_exn "jacobi1d" [ n; steps ] );
   |]
 
 exception Violation of string

@@ -37,11 +37,14 @@ let () =
         string_of_int dfs;
       ]
   in
-  analyze "bitonic sort 64" (Dmc_gen.Fft.bitonic_sort 6) 16;
-  analyze "fft 64" (Dmc_gen.Fft.butterfly 6) 16;
-  analyze "lu 10" (Dmc_gen.Linalg.lu_factor 10).Dmc_gen.Linalg.lu_graph 24;
-  analyze "cholesky 10" (Dmc_gen.Linalg.cholesky 10) 24;
-  analyze "thomas 64" (Dmc_gen.Solver.thomas ~n:64).Dmc_gen.Solver.th_graph 12;
+  (* Resolve each kernel through the workload registry — the same
+     table `dmc --gen` uses, so these specs work on the CLI too. *)
+  let wl = Dmc_gen.Workload.parse_exn in
+  analyze "bitonic sort 64" (wl "bitonic:6") 16;
+  analyze "fft 64" (wl "fft:6") 16;
+  analyze "lu 10" (wl "lu:10") 24;
+  analyze "cholesky 10" (wl "cholesky:10") 24;
+  analyze "thomas 64" (wl "thomas:64") 12;
   Table.print t;
 
   (* The structural fingerprints. *)

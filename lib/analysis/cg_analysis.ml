@@ -109,3 +109,116 @@ let structure ?(dims = [ 4; 4; 4 ]) ?(iters = 2) ?(s = 16) () =
     belady_ub = Dmc_core.Strategy.io g ~s;
     s;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Experiment parts: the machine-balance table, the Theorem-8
+   machinery on a concrete CDAG, and the execution-time model. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let balance_part () =
+  let rows = analyze () in
+  J.Obj
+    [
+      ("table", Doc.block_to_json (Doc.Table (table ())));
+      ( "vertical_ok",
+        J.Bool
+          (List.for_all (fun r -> r.vertical_verdict = Balance.Bandwidth_bound) rows)
+      );
+      ( "horizontal_ok",
+        J.Bool
+          (List.for_all
+             (fun r -> r.horizontal_verdict = Balance.Not_bandwidth_bound)
+             rows) );
+    ]
+
+let structure_to_json (c : structure_check) =
+  J.Obj
+    [
+      ("grid_points", J.Int c.grid_points);
+      ("iters", J.Int c.iters);
+      ("a_wavefront", J.Int c.a_wavefront);
+      ("g_wavefront", J.Int c.g_wavefront);
+      ("decomposed_lb", J.Int c.decomposed_lb);
+      ("belady_ub", J.Int c.belady_ub);
+      ("s", J.Int c.s);
+    ]
+
+let structure_of_json p =
+  {
+    grid_points = P.int p "grid_points";
+    iters = P.int p "iters";
+    a_wavefront = P.int p "a_wavefront";
+    g_wavefront = P.int p "g_wavefront";
+    decomposed_lb = P.int p "decomposed_lb";
+    belady_ub = P.int p "belady_ub";
+    s = P.int p "s";
+  }
+
+let time_part () =
+  let time_ok =
+    List.for_all
+      (fun (m : Machines.t) ->
+        let p = Time_model.cg ~machine:m ~flops_per_core:8.0e9 ~n:1000 ~steps:100 in
+        p.Time_model.dominant = `Vertical && p.Time_model.efficiency_cap < 0.5)
+      Machines.table1
+  in
+  J.Obj
+    [
+      ( "table",
+        Doc.block_to_json
+          (Doc.Table (Time_model.table ~flops_per_core:8.0e9 ~n:1000 ~steps:100))
+      );
+      ("time_ok", J.Bool time_ok);
+    ]
+
+let parts =
+  [
+    { Experiment.part = "balance"; run = balance_part };
+    {
+      Experiment.part = "structure";
+      run = (fun () -> structure_to_json (structure ()));
+    };
+    { Experiment.part = "time-model"; run = time_part };
+  ]
+
+let doc_of_parts payloads =
+  match payloads with
+  | [ balance; structure; time ] ->
+      let s = structure_of_json structure in
+      let block p = Experiment.block_field p "table" in
+      {
+        Doc.name = "cg";
+        blocks =
+          [
+            Doc.Section "CG (Sec 5.2): machine-balance analysis (d=3, n=1000)";
+            block balance;
+            Doc.Section
+              "CG: Theorem-8 machinery on a concrete CDAG (4^3 grid, 2 iterations)";
+            Doc.Text
+              (Printf.sprintf
+                 "  grid points n^d = %d, iterations = %d, S = %d\n\
+                 \  measured wavefront at a-scalar = %d (paper: >= 2 n^d = %d)\n\
+                 \  measured wavefront at g-scalar = %d (paper: >= n^d = %d)\n\
+                 \  decomposed lower bound = %d, Belady upper bound = %d\n"
+                 s.grid_points s.iters s.s s.a_wavefront (2 * s.grid_points)
+                 s.g_wavefront s.grid_points s.decomposed_lb s.belady_ub);
+            Doc.Section
+              "CG: execution-time model (Eqs 4-6) at 8 GFLOP/s per core, n = 1000, T = 100";
+            block time;
+            Doc.check "CG bandwidth-bound vertically on every machine (LB/FLOP = 0.3)"
+              (P.bool balance "vertical_ok");
+            Doc.check "time model: memory dominates and caps efficiency below 50%"
+              (P.bool time "time_ok");
+            Doc.check "CG not bound by the interconnect on any machine"
+              (P.bool balance "horizontal_ok");
+            Doc.check "wavefront at a-scalar reaches 2 n^d"
+              (s.a_wavefront >= 2 * s.grid_points);
+            Doc.check "wavefront at g-scalar reaches n^d"
+              (s.g_wavefront >= s.grid_points);
+            Doc.check "decomposed LB <= measured execution"
+              (s.decomposed_lb <= s.belady_ub);
+          ];
+      }
+  | _ -> Experiment.malformed "cg experiment expects 3 part payloads"

@@ -35,3 +35,13 @@ val structure : ?dims:int list -> ?iters:int -> ?s:int -> unit -> structure_chec
     wavefront min-cuts + decomposition) on a concrete small CG CDAG and
     sandwich it against a valid execution.  Defaults: a 3D [4^3] grid,
     2 iterations, [s = 16]. *)
+
+val structure_to_json : structure_check -> Dmc_util.Json.t
+
+val structure_of_json : Dmc_util.Json.t -> structure_check
+
+val parts : Experiment.part list
+(** Three parts: the balance table, the Theorem-8 machinery, and the
+    execution-time model. *)
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t

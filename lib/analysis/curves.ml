@@ -78,37 +78,96 @@ let table c =
     c.points;
   t
 
-let run () =
-  Printf.printf "\n== I/O vs fast-memory capacity: the roofline curves ==\n";
-  let curves =
-    [
-      matmul_curve ~ss:[ 12; 27; 48; 75; 108 ] ();
-      jacobi_curve ~ss:[ 9; 18; 36; 72 ] ();
-      fft_curve ~ss:[ 10; 18; 34; 66 ] ();
-    ]
-  in
-  let ok = ref true in
-  List.iter
-    (fun c ->
-      Printf.printf "\n%s   (%s)\n\n" c.workload c.shape;
-      Table.print (table c);
-      (* pointwise sandwich *)
-      if not (List.for_all (fun p -> p.lb <= float_of_int p.ub) c.points) then
-        ok := false;
-      (* both series decay with S (allowing 10%% measurement wiggle) *)
-      let rec decays = function
+(* ------------------------------------------------------------------ *)
+(* Experiment parts: one per curve. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let curve_ok c =
+  (* pointwise sandwich *)
+  List.for_all (fun p -> p.lb <= float_of_int p.ub) c.points
+  (* both series decay with S (allowing 10% measurement wiggle) *)
+  && (let rec decays = function
         | a :: (b :: _ as rest) ->
             float_of_int b.ub <= 1.1 *. float_of_int a.ub && b.lb <= a.lb
             && decays rest
         | _ -> true
       in
-      if not (decays c.points) then ok := false;
-      (* the ratio stays bounded: the schedule tracks the bound's shape *)
-      let ratios = List.map (fun p -> float_of_int p.ub /. p.lb) c.points in
-      let rmin = List.fold_left Float.min (List.hd ratios) ratios in
-      let rmax = List.fold_left Float.max (List.hd ratios) ratios in
-      if rmax /. rmin > 3.0 then ok := false)
-    curves;
-  Printf.printf "\n  [%s] LB <= UB pointwise, both decay with S, ratio bounded (shape match)\n"
-    (if !ok then "ok" else "FAIL");
-  !ok
+      decays c.points)
+  (* the ratio stays bounded: the schedule tracks the bound's shape *)
+  &&
+  let ratios = List.map (fun p -> float_of_int p.ub /. p.lb) c.points in
+  let rmin = List.fold_left Float.min (List.hd ratios) ratios in
+  let rmax = List.fold_left Float.max (List.hd ratios) ratios in
+  rmax /. rmin <= 3.0
+
+let curve_to_json c =
+  J.Obj
+    [
+      ("workload", J.String c.workload);
+      ("shape", J.String c.shape);
+      ( "points",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [ ("s", J.Int p.s); ("lb", J.Float p.lb); ("ub", J.Int p.ub) ])
+             c.points) );
+    ]
+
+let curve_of_json p =
+  {
+    workload = P.str p "workload";
+    shape = P.str p "shape";
+    points =
+      List.map
+        (fun pt ->
+          { s = P.int pt "s"; lb = P.float pt "lb"; ub = P.int pt "ub" })
+        (P.objs p "points");
+  }
+
+let parts =
+  [
+    {
+      Experiment.part = "matmul";
+      run = (fun () -> curve_to_json (matmul_curve ~ss:[ 12; 27; 48; 75; 108 ] ()));
+    };
+    {
+      Experiment.part = "jacobi1d";
+      run = (fun () -> curve_to_json (jacobi_curve ~ss:[ 9; 18; 36; 72 ] ()));
+    };
+    {
+      Experiment.part = "fft";
+      run = (fun () -> curve_to_json (fft_curve ~ss:[ 10; 18; 34; 66 ] ()));
+    };
+  ]
+
+let doc_of_parts payloads =
+  let curves = List.map curve_of_json payloads in
+  let ok = List.for_all curve_ok curves in
+  {
+    Doc.name = "curves";
+    blocks =
+      (* this section's banner has no trailing blank line, so it is a
+         verbatim Text block rather than a Section *)
+      Doc.Text "\n== I/O vs fast-memory capacity: the roofline curves ==\n"
+      :: List.map
+           (fun c ->
+             Doc.Curve
+               {
+                 Doc.curve = c.workload;
+                 shape = c.shape;
+                 points =
+                   List.map
+                     (fun p -> { Doc.x = p.s; lb = p.lb; ub = p.ub })
+                     c.points;
+               })
+           curves
+      @ [
+          Doc.Text "\n";
+          Doc.check
+            "LB <= UB pointwise, both decay with S, ratio bounded (shape match)"
+            ok;
+        ];
+  }

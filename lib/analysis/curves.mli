@@ -28,7 +28,14 @@ val fft_curve : ?k:int -> ss:int list -> unit -> curve
 
 val table : curve -> Dmc_util.Table.t
 
-val run : unit -> bool
-(** Print all three curves and check: LB ≤ UB pointwise, both decrease
-    (weakly, within measurement wiggle) as [S] grows, and the UB/LB
-    ratio stays bounded across the sweep. *)
+val curve_to_json : curve -> Dmc_util.Json.t
+
+val curve_of_json : Dmc_util.Json.t -> curve
+
+val parts : Experiment.part list
+(** One part per workload curve. *)
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t
+(** All three curves plus the shape check: LB ≤ UB pointwise, both
+    decrease (weakly, within measurement wiggle) as [S] grows, and the
+    UB/LB ratio stays bounded across the sweep. *)

@@ -1,0 +1,322 @@
+module Table = Dmc_util.Table
+module J = Dmc_util.Json
+
+type fact = { key : string; value : string }
+
+type check = {
+  label : string;
+  ok : bool;
+  lb : float option;
+  measured : float option;
+  ub : float option;
+}
+
+type curve_point = { x : int; lb : float; ub : int }
+
+type curve = { curve : string; shape : string; points : curve_point list }
+
+type block =
+  | Section of string
+  | Text of string
+  | Facts of fact list list
+  | Table of Table.t
+  | Curve of curve
+  | Check of check
+
+type t = { name : string; blocks : block list }
+
+let fact key value = { key; value }
+
+let check ?lb ?measured ?ub label ok = Check { label; ok; lb; measured; ub }
+
+let checks doc =
+  List.filter_map (function Check c -> Some c | _ -> None) doc.blocks
+
+let ok doc = List.for_all (fun c -> c.ok) (checks doc)
+
+(* ------------------------------------------------------------------ *)
+(* Text renderer: byte-identical to the pre-IR print-based reports,
+   locked by the golden fixtures under test/golden.                   *)
+
+let curve_table c =
+  let t = Table.create ~headers:[ "S"; "analytic LB"; "measured UB"; "UB/LB" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.x;
+          Printf.sprintf "%.0f" p.lb;
+          string_of_int p.ub;
+          Printf.sprintf "%.1fx" (float_of_int p.ub /. p.lb);
+        ])
+    c.points;
+  t
+
+let render_block buf = function
+  | Section title ->
+      Buffer.add_string buf (Printf.sprintf "\n== %s ==\n\n" title)
+  | Text s -> Buffer.add_string buf s
+  | Facts lines ->
+      List.iter
+        (fun line ->
+          Buffer.add_string buf "  ";
+          Buffer.add_string buf
+            (String.concat ", "
+               (List.map (fun f -> f.key ^ " = " ^ f.value) line));
+          Buffer.add_char buf '\n')
+        lines
+  | Table t -> Buffer.add_string buf (Table.render t)
+  | Curve c ->
+      Buffer.add_string buf (Printf.sprintf "\n%s   (%s)\n\n" c.curve c.shape);
+      Buffer.add_string buf (Table.render (curve_table c))
+  | Check c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s] %s\n" (if c.ok then "ok" else "FAIL") c.label)
+
+let to_text doc =
+  let buf = Buffer.create 1024 in
+  List.iter (render_block buf) doc.blocks;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON renderer and parser.  The schema is versioned by the enclosing
+   report/checkpoint envelope, not per document.                      *)
+
+let align_to_char = function Table.Left -> 'l' | Table.Right -> 'r'
+
+let table_to_json t =
+  J.Obj
+    [
+      ("headers", J.List (List.map (fun h -> J.String h) (Table.headers t)));
+      ( "aligns",
+        J.String
+          (String.init
+             (List.length (Table.aligns t))
+             (fun i -> align_to_char (List.nth (Table.aligns t) i))) );
+      ( "body",
+        J.List
+          (List.map
+             (function
+               | `Rule -> J.String "rule"
+               | `Row cells -> J.List (List.map (fun c -> J.String c) cells))
+             (Table.body t)) );
+    ]
+
+let table_of_json json =
+  let ( let* ) = Option.bind in
+  let* headers =
+    let* l = Option.bind (J.mem json "headers") J.as_list in
+    List.fold_right
+      (fun h acc -> Option.bind acc (fun acc ->
+           Option.map (fun s -> s :: acc) (J.as_string h)))
+      l (Some [])
+  in
+  let t = Table.create ~headers in
+  let* aligns = Option.bind (J.mem json "aligns") J.as_string in
+  Table.set_align t
+    (List.init (String.length aligns) (fun i ->
+         match aligns.[i] with 'r' -> Table.Right | _ -> Table.Left));
+  let* body = Option.bind (J.mem json "body") J.as_list in
+  let rec add = function
+    | [] -> Some t
+    | J.String "rule" :: rest ->
+        Table.add_rule t;
+        add rest
+    | J.List cells :: rest ->
+        let* row =
+          List.fold_right
+            (fun c acc -> Option.bind acc (fun acc ->
+                 Option.map (fun s -> s :: acc) (J.as_string c)))
+            cells (Some [])
+        in
+        if List.length row <> List.length headers then None
+        else begin
+          Table.add_row t row;
+          add rest
+        end
+    | _ -> None
+  in
+  add body
+
+let block_to_json = function
+  | Section title -> J.Obj [ ("t", J.String "section"); ("title", J.String title) ]
+  | Text s -> J.Obj [ ("t", J.String "text"); ("text", J.String s) ]
+  | Facts lines ->
+      J.Obj
+        [
+          ("t", J.String "facts");
+          ( "lines",
+            J.List
+              (List.map
+                 (fun line ->
+                   J.List
+                     (List.map
+                        (fun f ->
+                          J.Obj [ ("k", J.String f.key); ("v", J.String f.value) ])
+                        line))
+                 lines) );
+        ]
+  | Table t -> J.Obj (("t", J.String "table") :: (match table_to_json t with J.Obj f -> f | _ -> []))
+  | Curve c ->
+      J.Obj
+        [
+          ("t", J.String "curve");
+          ("name", J.String c.curve);
+          ("shape", J.String c.shape);
+          ( "points",
+            J.List
+              (List.map
+                 (fun p ->
+                   J.Obj
+                     [ ("x", J.Int p.x); ("lb", J.Float p.lb); ("ub", J.Int p.ub) ])
+                 c.points) );
+        ]
+  | Check c ->
+      J.Obj
+        (List.concat
+           [
+             [ ("t", J.String "check"); ("label", J.String c.label); ("ok", J.Bool c.ok) ];
+             (match c.lb with Some v -> [ ("lb", J.Float v) ] | None -> []);
+             (match c.measured with Some v -> [ ("measured", J.Float v) ] | None -> []);
+             (match c.ub with Some v -> [ ("ub", J.Float v) ] | None -> []);
+           ])
+
+let to_json doc =
+  J.Obj
+    [
+      ("name", J.String doc.name);
+      ("ok", J.Bool (ok doc));
+      ("blocks", J.List (List.map block_to_json doc.blocks));
+    ]
+
+let block_of_json json =
+  let str field = Option.bind (J.mem json field) J.as_string in
+  let ( let* ) = Option.bind in
+  match str "t" with
+  | Some "section" -> Option.map (fun s -> Section s) (str "title")
+  | Some "text" -> Option.map (fun s -> Text s) (str "text")
+  | Some "facts" ->
+      let* lines = Option.bind (J.mem json "lines") J.as_list in
+      let* lines =
+        List.fold_right
+          (fun line acc ->
+            Option.bind acc (fun acc ->
+                let* facts = J.as_list line in
+                let* facts =
+                  List.fold_right
+                    (fun f acc ->
+                      Option.bind acc (fun acc ->
+                          let* k = Option.bind (J.mem f "k") J.as_string in
+                          let* v = Option.bind (J.mem f "v") J.as_string in
+                          Some ({ key = k; value = v } :: acc)))
+                    facts (Some [])
+                in
+                Some (facts :: acc)))
+          lines (Some [])
+      in
+      Some (Facts lines)
+  | Some "table" -> Option.map (fun t -> Table t) (table_of_json json)
+  | Some "curve" ->
+      let* name = str "name" in
+      let* shape = str "shape" in
+      let* points = Option.bind (J.mem json "points") J.as_list in
+      let* points =
+        List.fold_right
+          (fun p acc ->
+            Option.bind acc (fun acc ->
+                let* x = Option.bind (J.mem p "x") J.as_int in
+                let* lb = Option.bind (J.mem p "lb") J.as_float in
+                let* ub = Option.bind (J.mem p "ub") J.as_int in
+                Some ({ x; lb; ub } :: acc)))
+          points (Some [])
+      in
+      Some (Curve { curve = name; shape; points })
+  | Some "check" ->
+      let* label = str "label" in
+      let* ok = Option.bind (J.mem json "ok") J.as_bool in
+      let opt field = Option.bind (J.mem json field) J.as_float in
+      Some
+        (Check
+           {
+             label;
+             ok;
+             lb = opt "lb";
+             measured = opt "measured";
+             ub = opt "ub";
+           })
+  | _ -> None
+
+let of_json json =
+  match
+    ( Option.bind (J.mem json "name") J.as_string,
+      Option.bind (J.mem json "blocks") J.as_list )
+  with
+  | Some name, Some blocks -> (
+      let parsed = List.map block_of_json blocks in
+      if List.exists Option.is_none parsed then
+        Error "doc: unparseable block"
+      else Ok { name; blocks = List.filter_map Fun.id parsed })
+  | _ -> Error "doc: missing name or blocks"
+
+(* ------------------------------------------------------------------ *)
+(* Markdown renderer.                                                 *)
+
+let md_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '|' -> Buffer.add_string buf "\\|"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "<br>"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let md_table buf t =
+  let cells row = String.concat " | " (List.map md_escape row) in
+  Buffer.add_string buf ("| " ^ cells (Table.headers t) ^ " |\n");
+  Buffer.add_string buf "|";
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (match a with Table.Right -> " ---: |" | Table.Left -> " --- |"))
+    (Table.aligns t);
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | `Rule -> () (* markdown tables have no mid-table rules *)
+      | `Row row -> Buffer.add_string buf ("| " ^ cells row ^ " |\n"))
+    (Table.body t);
+  Buffer.add_char buf '\n'
+
+let md_block buf = function
+  | Section title -> Buffer.add_string buf (Printf.sprintf "\n## %s\n\n" title)
+  | Text s ->
+      let trimmed = String.trim s in
+      if trimmed <> "" then
+        Buffer.add_string buf ("```\n" ^ trimmed ^ "\n```\n\n")
+  | Facts lines ->
+      List.iter
+        (List.iter (fun f ->
+             Buffer.add_string buf
+               (Printf.sprintf "- %s: `%s`\n" (md_escape f.key) f.value)))
+        lines;
+      Buffer.add_char buf '\n'
+  | Table t -> md_table buf t
+  | Curve c ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n### %s   (`%s`)\n\n" (md_escape c.curve) c.shape);
+      md_table buf (curve_table c)
+  | Check c ->
+      Buffer.add_string buf
+        (Printf.sprintf "- %s %s\n" (if c.ok then "**[ok]**" else "**[FAIL]**")
+           (md_escape c.label))
+
+let to_markdown doc =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# Experiment `%s`\n" doc.name);
+  List.iter (md_block buf) doc.blocks;
+  (* checks end without a separating blank line; close the doc *)
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

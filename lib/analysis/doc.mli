@@ -1,0 +1,64 @@
+(** Structured report IR for the experiment pipeline.
+
+    Every experiment builds a [Doc.t] — an ordered list of typed blocks —
+    instead of printing.  Three renderers consume it:
+
+    - {!to_text}: byte-identical to the historical print-based reports
+      (locked by the golden fixtures under [test/golden/]);
+    - {!to_json} / {!of_json}: lossless structured form, used by
+      [dmc experiment --json], the v2 checkpoints, and [dmc bench-diff];
+    - {!to_markdown}: human-readable export with escaped table cells. *)
+
+type fact = { key : string; value : string }
+
+type check = {
+  label : string;
+  ok : bool;
+  lb : float option;      (** analytic lower bound, when the check is a sandwich *)
+  measured : float option;
+  ub : float option;
+}
+
+type curve_point = { x : int; lb : float; ub : int }
+
+type curve = { curve : string; shape : string; points : curve_point list }
+(** An I/O-vs-capacity roofline curve: rendered as a titled
+    S / analytic LB / measured UB / UB-over-LB table. *)
+
+type block =
+  | Section of string       (** ["\n== title ==\n\n"] in text *)
+  | Text of string          (** verbatim glue — already-formatted prose *)
+  | Facts of fact list list (** each inner list is one ["  k = v, k = v"] line *)
+  | Table of Dmc_util.Table.t
+  | Curve of curve
+  | Check of check          (** ["  [ok] label"] / ["  [FAIL] label"] *)
+
+type t = { name : string; blocks : block list }
+
+val fact : string -> string -> fact
+
+val check :
+  ?lb:float -> ?measured:float -> ?ub:float -> string -> bool -> block
+
+val checks : t -> check list
+(** All [Check] blocks, in document order. *)
+
+val ok : t -> bool
+(** True iff every check in the document passed. *)
+
+val to_text : t -> string
+(** Byte-identical to the pre-IR print-based report for this experiment. *)
+
+val to_json : t -> Dmc_util.Json.t
+
+val of_json : Dmc_util.Json.t -> (t, string) result
+
+val block_to_json : block -> Dmc_util.Json.t
+(** Single-block codec, for experiment parts that pre-render blocks
+    into their payloads. *)
+
+val block_of_json : Dmc_util.Json.t -> block option
+
+val to_markdown : t -> string
+(** GitHub-flavored Markdown; [|], [\ ] and newlines in table cells are
+    escaped so cell content cannot break table structure. *)

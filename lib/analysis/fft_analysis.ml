@@ -52,23 +52,81 @@ let table rows =
     rows;
   t
 
-let run () =
-  Printf.printf
-    "\n== FFT butterfly: blocked passes vs the n log n / log S bound ==\n\n";
-  let rows =
-    sweep ~configs:[ (6, 3, 18); (8, 3, 18); (8, 4, 34); (10, 4, 34); (10, 5, 66) ]
-  in
-  Table.print (table rows);
-  let check label ok =
-    Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAIL") label;
-    ok
-  in
+(* ------------------------------------------------------------------ *)
+(* Experiment parts: one per sweep config, plus the structural facts. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let default_configs =
+  [ (6, 3, 18); (8, 3, 18); (8, 4, 34); (10, 4, 34); (10, 5, 66) ]
+
+let row_to_json r =
+  J.Obj
+    [
+      ("k", J.Int r.k);
+      ("s", J.Int r.s);
+      ("group_bits", J.Int r.group_bits);
+      ("analytic_lb", J.Float r.analytic_lb);
+      ("blocked_ub", J.Int r.blocked_ub);
+      ("natural_ub", J.Int r.natural_ub);
+      ("ratio", J.Float r.ratio);
+    ]
+
+let row_of_json p =
+  {
+    k = P.int p "k";
+    s = P.int p "s";
+    group_bits = P.int p "group_bits";
+    analytic_lb = P.float p "analytic_lb";
+    blocked_ub = P.int p "blocked_ub";
+    natural_ub = P.int p "natural_ub";
+    ratio = P.float p "ratio";
+  }
+
+let structure_part () =
   (* structural facts behind the bound *)
   let g8 = Fft.butterfly 3 in
   let unique_path =
     Dmc_flow.Vertex_cut.disjoint_paths g8 ~src:0 ~dst:(Fft.vertex ~k:3 ~rank:3 0) = 1
   in
   let lines = Dmc_core.Lines.max_disjoint_lines g8 = 8 in
+  (* tiny-instance optimality sandwich *)
+  let tiny = Fft.butterfly 2 in
+  let opt = Dmc_core.Optimal.rbw_io tiny ~s:4 in
+  let report = Dmc_core.Bounds.analyze tiny ~s:4 in
+  let tiny_blocked =
+    Dmc_core.Strategy.io ~order:(Fft.blocked_order ~k:2 ~group_bits:2) tiny ~s:4
+  in
+  J.Obj
+    [
+      ("unique_path", J.Bool unique_path);
+      ("lines", J.Bool lines);
+      ("best_lb", J.Int report.Dmc_core.Bounds.best_lb);
+      ("optimum", J.Int opt);
+      ("tiny_blocked_ub", J.Int tiny_blocked);
+    ]
+
+let parts =
+  List.map
+    (fun ((k, group_bits, s) as config) ->
+      {
+        Experiment.part = Printf.sprintf "k%d-g%d-s%d" k group_bits s;
+        run = (fun () -> row_to_json (List.hd (sweep ~configs:[ config ])));
+      })
+    default_configs
+  @ [ { Experiment.part = "structure"; run = structure_part } ]
+
+let doc_of_parts payloads =
+  let rec split_last = function
+    | [] -> invalid_arg "Fft_analysis.doc_of_parts"
+    | [ x ] -> ([], x)
+    | x :: rest ->
+        let init, last = split_last rest in
+        (x :: init, last)
+  in
+  let row_payloads, st = split_last payloads in
+  let rows = List.map row_of_json row_payloads in
   let sound =
     List.for_all (fun r -> r.analytic_lb <= float_of_int r.blocked_ub) rows
   in
@@ -78,16 +136,22 @@ let run () =
   let blocked_wins =
     List.for_all (fun r -> 2 * r.blocked_ub <= r.natural_ub) rows
   in
-  (* tiny-instance optimality sandwich *)
-  let tiny = Fft.butterfly 2 in
-  let opt = Dmc_core.Optimal.rbw_io tiny ~s:4 in
-  let report = Dmc_core.Bounds.analyze tiny ~s:4 in
-  check "unique input-output paths (the butterfly property)" unique_path
-  && check "n vertex-disjoint lines (Theorem-10-style hypothesis)" lines
-  && check "analytic LB below every blocked execution" sound
-  && check "blocked ratio stable across 16x problem scaling (Θ-shape)"
-       (rmax /. rmin < 1.5)
-  && check "blocked passes beat the rank-major order by >= 2x" blocked_wins
-  && check "certified LB <= optimum <= blocked UB on the 4-point butterfly"
-       (report.Dmc_core.Bounds.best_lb <= opt
-       && opt <= Dmc_core.Strategy.io ~order:(Fft.blocked_order ~k:2 ~group_bits:2) tiny ~s:4)
+  {
+    Doc.name = "fft";
+    blocks =
+      [
+        Doc.Section "FFT butterfly: blocked passes vs the n log n / log S bound";
+        Doc.Table (table rows);
+        Doc.check "unique input-output paths (the butterfly property)"
+          (P.bool st "unique_path");
+        Doc.check "n vertex-disjoint lines (Theorem-10-style hypothesis)"
+          (P.bool st "lines");
+        Doc.check "analytic LB below every blocked execution" sound;
+        Doc.check "blocked ratio stable across 16x problem scaling (Θ-shape)"
+          (rmax /. rmin < 1.5);
+        Doc.check "blocked passes beat the rank-major order by >= 2x" blocked_wins;
+        Doc.check "certified LB <= optimum <= blocked UB on the 4-point butterfly"
+          (P.int st "best_lb" <= P.int st "optimum"
+          && P.int st "optimum" <= P.int st "tiny_blocked_ub");
+      ];
+  }

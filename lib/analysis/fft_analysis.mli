@@ -23,9 +23,17 @@ val sweep : configs:(int * int * int) list -> row list
 
 val table : row list -> Dmc_util.Table.t
 
-val run : unit -> bool
-(** Print the sweep plus the structural checks (unique paths, n
-    disjoint lines) and assert: bounds below measurements, the blocked
-    ratio stable (Θ-shape), blocked beats natural by a growing factor,
-    and every certified wavefront bound stays below the exhaustive
-    optimum on a tiny butterfly. *)
+val row_to_json : row -> Dmc_util.Json.t
+
+val row_of_json : Dmc_util.Json.t -> row
+
+val parts : Experiment.part list
+(** One part per sweep config, plus a "structure" part measuring the
+    butterfly's unique-path/disjoint-lines facts and the tiny-instance
+    optimality sandwich. *)
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t
+(** The sweep plus the structural checks: bounds below measurements,
+    the blocked ratio stable (Θ-shape), blocked beats natural by a
+    growing factor, and every certified wavefront bound stays below the
+    exhaustive optimum on a tiny butterfly. *)

@@ -75,6 +75,8 @@ let slices (gm : Dmc_gen.Solver.gmres) =
     let rec find t = if t >= iters then iters - 1 else if v <= bound t then t else find (t + 1) in
     find 0
 
+let default_ms = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+
 let structure ?(dims = [ 5; 5 ]) ?(iters = 3) ?(s = 16) () =
   let gm = Dmc_gen.Solver.gmres ~dims ~iters in
   let g = gm.graph in
@@ -94,3 +96,105 @@ let structure ?(dims = [ 5; 5 ]) ?(iters = 3) ?(s = 16) () =
     belady_ub = Dmc_core.Strategy.io g ~s;
     s;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Experiment parts: the m-sweep and the Theorem-9 machinery. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let sweep_part () =
+  let points = sweep ~ms:default_ms () in
+  let small_m_bound =
+    List.for_all
+      (fun p ->
+        p.m > 8
+        || List.for_all (fun (_, v) -> v = Balance.Bandwidth_bound) p.verdicts)
+      points
+  in
+  let large_m_free =
+    List.exists
+      (fun p -> List.for_all (fun (_, v) -> v = Balance.Indeterminate) p.verdicts)
+      points
+  in
+  J.Obj
+    [
+      ("table", Doc.block_to_json (Doc.Table (table ~ms:default_ms ())));
+      ("small_m_bound", J.Bool small_m_bound);
+      ("large_m_free", J.Bool large_m_free);
+    ]
+
+let structure_to_json (c : structure_check) =
+  J.Obj
+    [
+      ("grid_points", J.Int c.grid_points);
+      ("iters", J.Int c.iters);
+      ("h_wavefront", J.Int c.h_wavefront);
+      ("norm_wavefront", J.Int c.norm_wavefront);
+      ("decomposed_lb", J.Int c.decomposed_lb);
+      ("belady_ub", J.Int c.belady_ub);
+      ("s", J.Int c.s);
+    ]
+
+let structure_of_json p =
+  {
+    grid_points = P.int p "grid_points";
+    iters = P.int p "iters";
+    h_wavefront = P.int p "h_wavefront";
+    norm_wavefront = P.int p "norm_wavefront";
+    decomposed_lb = P.int p "decomposed_lb";
+    belady_ub = P.int p "belady_ub";
+    s = P.int p "s";
+  }
+
+let parts =
+  [
+    { Experiment.part = "sweep"; run = sweep_part };
+    {
+      Experiment.part = "structure";
+      run = (fun () -> structure_to_json (structure ()));
+    };
+  ]
+
+let doc_of_parts payloads =
+  match payloads with
+  | [ sw; st ] ->
+      let s = structure_of_json st in
+      let crossovers =
+        String.concat ""
+          (List.map
+             (fun (m : Machines.t) ->
+               Printf.sprintf "  crossover m* (%s): %.1f\n" m.name
+                 (crossover_m ~balance:m.vertical_balance))
+             Machines.table1)
+      in
+      {
+        Doc.name = "gmres";
+        blocks =
+          [
+            Doc.Section "GMRES (Sec 5.3): vertical cost 6/(m+20) vs machine balance";
+            Experiment.block_field sw "table";
+            Doc.Text crossovers;
+            Doc.Section
+              "GMRES: Theorem-9 machinery on a concrete CDAG (5^2 grid, 3 iterations)";
+            Doc.Text
+              (Printf.sprintf
+                 "  grid points n^d = %d, iterations = %d, S = %d\n\
+                 \  measured wavefront at h_{i,i} = %d (paper: >= 2 n^d = %d)\n\
+                 \  measured wavefront at the norm = %d (paper: >= n^d = %d)\n\
+                 \  decomposed lower bound = %d, Belady upper bound = %d\n"
+                 s.grid_points s.iters s.s s.h_wavefront (2 * s.grid_points)
+                 s.norm_wavefront s.grid_points s.decomposed_lb s.belady_ub);
+            Doc.check "GMRES bandwidth-bound at small m on every machine"
+              (P.bool sw "small_m_bound");
+            Doc.check "large m escapes the bandwidth bound"
+              (P.bool sw "large_m_free");
+            Doc.check "wavefront at h_{i,i} reaches 2 n^d"
+              (s.h_wavefront >= 2 * s.grid_points);
+            Doc.check "wavefront at the norm reaches n^d"
+              (s.norm_wavefront >= s.grid_points);
+            Doc.check "decomposed LB <= measured execution"
+              (s.decomposed_lb <= s.belady_ub);
+          ];
+      }
+  | _ -> Experiment.malformed "gmres experiment expects 2 part payloads"

@@ -34,3 +34,12 @@ type structure_check = {
 val structure : ?dims:int list -> ?iters:int -> ?s:int -> unit -> structure_check
 (** The Theorem-9 machinery run on a concrete small GMRES CDAG;
     defaults: a 2D [5^2] grid, 3 outer iterations, [s = 16]. *)
+
+val structure_to_json : structure_check -> Dmc_util.Json.t
+
+val structure_of_json : Dmc_util.Json.t -> structure_check
+
+val parts : Experiment.part list
+(** Two parts: the m-sweep and the Theorem-9 machinery. *)
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t

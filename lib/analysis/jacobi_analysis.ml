@@ -151,3 +151,173 @@ let surface_to_volume_table ?(d = 3) ~blocks () =
         ])
     blocks;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Experiment parts: thresholds, Theorem-10 tightness, horizontal
+   ghost-cell traffic, and the surface-to-volume law. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let thresholds_part () =
+  let rows = thresholds () in
+  let d3_ok =
+    List.for_all
+      (fun r -> r.max_dim < 3.0 || r.bound_at 3 <> Balance.Bandwidth_bound)
+      rows
+  in
+  J.Obj
+    [
+      ("table", Doc.block_to_json (Doc.Table (table ())));
+      ("bgq_max_dim", J.Float bgq_dram_l2.max_dim);
+      ("l2l1_max_dim", J.Float bgq_l2_l1.max_dim);
+      ("d3_ok", J.Bool d3_ok);
+    ]
+
+let tightness_to_json (x : tightness) =
+  J.Obj
+    [
+      ("d", J.Int x.d);
+      ("n", J.Int x.n);
+      ("steps", J.Int x.steps);
+      ("s", J.Int x.s);
+      ("analytic_lb", J.Float x.analytic_lb);
+      ("skewed_ub", J.Int x.skewed_ub);
+      ("natural_ub", J.Int x.natural_ub);
+      ("ratio", J.Float x.ratio);
+    ]
+
+let tightness_of_json p =
+  {
+    d = P.int p "d";
+    n = P.int p "n";
+    steps = P.int p "steps";
+    s = P.int p "s";
+    analytic_lb = P.float p "analytic_lb";
+    skewed_ub = P.int p "skewed_ub";
+    natural_ub = P.int p "natural_ub";
+    ratio = P.float p "ratio";
+  }
+
+(* [t2] scales [t] by 2x in both [n] and [steps], so the three runs
+   live in one part. *)
+let tightness_part () =
+  let t = tightness () in
+  let t2 = tightness ~n:(2 * t.n) ~steps:(2 * t.steps) () in
+  let t2d = tightness ~d:2 ~n:16 ~steps:8 ~s:48 () in
+  J.List (List.map tightness_to_json [ t; t2; t2d ])
+
+let horizontal_to_json (h : horizontal_check) =
+  J.Obj
+    [
+      ("dims", J.List (List.map (fun d -> J.Int d) h.dims));
+      ("blocks", J.List (List.map (fun b -> J.Int b) h.blocks));
+      ("steps", J.Int h.steps);
+      ("measured_ghosts", J.Int h.measured_ghosts);
+      ("predicted_ghosts", J.Int h.predicted_ghosts);
+    ]
+
+let ints p k =
+  List.map
+    (fun v ->
+      match J.as_int v with
+      | Some i -> i
+      | None -> Experiment.malformed "experiment payload: field %S holds a non-int" k)
+    (P.list p k)
+
+let horizontal_of_json p =
+  {
+    dims = ints p "dims";
+    blocks = ints p "blocks";
+    steps = P.int p "steps";
+    measured_ghosts = P.int p "measured_ghosts";
+    predicted_ghosts = P.int p "predicted_ghosts";
+  }
+
+let parts =
+  [
+    { Experiment.part = "thresholds"; run = thresholds_part };
+    { Experiment.part = "tightness"; run = tightness_part };
+    {
+      Experiment.part = "horizontal";
+      run = (fun () -> horizontal_to_json (horizontal ()));
+    };
+    {
+      Experiment.part = "surface";
+      run =
+        (fun () ->
+          J.Obj
+            [
+              ( "table",
+                Doc.block_to_json
+                  (Doc.Table
+                     (surface_to_volume_table ~blocks:[ 4; 8; 16; 32; 64 ] ()))
+              );
+            ]);
+    };
+  ]
+
+let doc_of_parts payloads =
+  match payloads with
+  | [ th; ti; ho; su ] ->
+      let tights =
+        match J.as_list ti with
+        | Some l -> List.map tightness_of_json l
+        | None -> Experiment.malformed "jacobi tightness payload is not a list"
+      in
+      let t, t2, t2d =
+        match tights with
+        | [ a; b; c ] -> (a, b, c)
+        | _ -> Experiment.malformed "jacobi expects 3 tightness records"
+      in
+      let h = horizontal_of_json ho in
+      let bgq_max_dim = P.float th "bgq_max_dim" in
+      let l2l1_max_dim = P.float th "l2l1_max_dim" in
+      let tightness_lines =
+        String.concat ""
+          (List.map
+             (fun (x : tightness) ->
+               Printf.sprintf
+                 "  d=%d n=%d steps=%d S=%d: analytic LB = %.1f, skewed-tile UB = %d (%.1fx), natural order UB = %d (%.1fx)\n"
+                 x.d x.n x.steps x.s x.analytic_lb x.skewed_ub x.ratio
+                 x.natural_ub
+                 (float_of_int x.natural_ub /. x.analytic_lb))
+             [ t; t2; t2d ])
+      in
+      {
+        Doc.name = "jacobi";
+        blocks =
+          [
+            Doc.Section "Jacobi (Sec 5.4): dimension thresholds from the machine balance";
+            Experiment.block_field th "table";
+            Doc.Section "Jacobi: Theorem-10 tightness (skewed tiles vs the bound)";
+            Doc.Text tightness_lines;
+            Doc.Section
+              "Jacobi: horizontal ghost-cell traffic (12x12 grid, 2x2 nodes, 3 steps)";
+            Doc.Text
+              (Printf.sprintf "  measured = %d words, predicted = %d words\n"
+                 h.measured_ghosts h.predicted_ghosts);
+            Doc.Text
+              "\n  surface-to-volume (why the network never binds a big block, d = 3):\n\n";
+            Experiment.block_field su "table";
+            Doc.check "BG/Q DRAM->L2 threshold reproduces the paper's 4.83"
+              (Float.abs (bgq_max_dim -. 4.83) < 0.1);
+            Doc.check "BG/Q L2->L1 threshold reproduces the paper's 96"
+              (Float.abs (l2l1_max_dim -. 96.0) < 1.0);
+            Doc.check "3D stencils are not bandwidth-bound below the threshold"
+              (P.bool th "d3_ok");
+            Doc.check "skewed tiling beats the natural order by >= 3x"
+              (3 * t.skewed_ub <= t.natural_ub);
+            Doc.check
+              "tiled I/O tracks the Theorem-10 \xce\x98(nT/S) shape (stable ratio under 2x scaling)"
+              (Float.abs (t2.ratio -. t.ratio) < 0.35 *. t.ratio);
+            Doc.check "Theorem-10 LB below the measured tiled execution"
+              (t.analytic_lb <= float_of_int t.skewed_ub);
+            Doc.check "2D tiles also beat the natural order under the d=2 bound"
+              (t2d.analytic_lb <= float_of_int t2d.skewed_ub
+              && t2d.skewed_ub < t2d.natural_ub);
+            Doc.check "horizontal traffic matches the ghost-cell formula"
+              (h.measured_ghosts = h.predicted_ghosts);
+          ];
+      }
+  | _ -> Experiment.malformed "jacobi experiment expects 4 part payloads"

@@ -72,22 +72,65 @@ let table rows =
     rows;
   t
 
-let run () =
-  Printf.printf
-    "\n== Extension: multigrid V-cycles under the paper's machinery ==\n\n";
-  let rows = sweep ~cycle_counts:[ 1; 2; 4; 8 ] () in
-  Table.print (table rows);
+(* ------------------------------------------------------------------ *)
+(* Experiment parts: one per cycle count. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let default_cycle_counts = [ 1; 2; 4; 8 ]
+
+let row_to_json r =
+  J.Obj
+    [
+      ("cycles", J.Int r.cycles);
+      ("work", J.Int r.work);
+      ("decomposed_lb", J.Int r.decomposed_lb);
+      ("whole_lb", J.Int r.whole_lb);
+      ("belady_ub", J.Int r.belady_ub);
+      ("s", J.Int r.s);
+    ]
+
+let row_of_json p =
+  {
+    cycles = P.int p "cycles";
+    work = P.int p "work";
+    decomposed_lb = P.int p "decomposed_lb";
+    whole_lb = P.int p "whole_lb";
+    belady_ub = P.int p "belady_ub";
+    s = P.int p "s";
+  }
+
+let parts =
+  List.map
+    (fun cycles ->
+      {
+        Experiment.part = Printf.sprintf "cycles%d" cycles;
+        run =
+          (fun () -> row_to_json (List.hd (sweep ~cycle_counts:[ cycles ] ())));
+      })
+    default_cycle_counts
+
+let doc_of_parts payloads =
+  let rows = List.map row_of_json payloads in
   let sound =
-    List.for_all (fun r -> r.decomposed_lb <= r.belady_ub && r.whole_lb <= r.belady_ub) rows
+    List.for_all
+      (fun r -> r.decomposed_lb <= r.belady_ub && r.whole_lb <= r.belady_ub)
+      rows
   in
   let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
   let linear_growth =
     last.decomposed_lb >= (List.length rows - 1) * first.decomposed_lb / 2
   in
-  Printf.printf
-    "  [%s] bounds below measured executions on every cycle count\n"
-    (if sound then "ok" else "FAIL");
-  Printf.printf
-    "  [%s] per-cycle decomposition scales with the cycle count (as Theorem 8's does with T)\n"
-    (if linear_growth then "ok" else "FAIL");
-  sound && linear_growth
+  {
+    Doc.name = "multigrid";
+    blocks =
+      [
+        Doc.Section "Extension: multigrid V-cycles under the paper's machinery";
+        Doc.Table (table rows);
+        Doc.check "bounds below measured executions on every cycle count" sound;
+        Doc.check
+          "per-cycle decomposition scales with the cycle count (as Theorem 8's does with T)"
+          linear_growth;
+      ];
+  }

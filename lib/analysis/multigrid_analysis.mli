@@ -28,7 +28,14 @@ val sweep :
 
 val table : row list -> Dmc_util.Table.t
 
-val run : unit -> bool
-(** Print the sweep and check: every decomposed bound sits below its
+val row_to_json : row -> Dmc_util.Json.t
+
+val row_of_json : Dmc_util.Json.t -> row
+
+val parts : Experiment.part list
+(** One part per cycle count. *)
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t
+(** The sweep plus the checks: every decomposed bound sits below its
     measured execution, and the decomposed bound grows with the cycle
     count while the whole-graph bound saturates. *)

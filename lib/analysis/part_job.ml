@@ -1,0 +1,27 @@
+module J = Dmc_util.Json
+
+type t = { exp : string; part : string }
+
+let to_json job =
+  J.Obj
+    [
+      ("kind", J.String "dmc-part-job");
+      ("exp", J.String job.exp);
+      ("part", J.String job.part);
+    ]
+
+let of_json json =
+  let str field = Option.bind (J.mem json field) J.as_string in
+  match (str "kind", str "exp", str "part") with
+  | Some "dmc-part-job", Some exp, Some part -> Ok { exp; part }
+  | _ -> Error "not a dmc-part-job object"
+
+let run job =
+  match Report.find job.exp with
+  | None -> Error (Printf.sprintf "unknown experiment %s" job.exp)
+  | Some e -> (
+      match Experiment.find_part e job.part with
+      | None ->
+          Error
+            (Printf.sprintf "experiment %s has no part %s" job.exp job.part)
+      | Some p -> Ok (p.run ()))

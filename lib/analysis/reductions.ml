@@ -68,28 +68,74 @@ let compare ?(dims = [ 5; 5 ]) ?(iters = 3) ?(s = 12) () =
     cheb_ub = Dmc_core.Strategy.io cheb.Dmc_gen.Solver.ch_graph ~s;
   }
 
-let run () =
-  Printf.printf
-    "\n== Where CG's memory wall lives: dot products vs a reduction-free Krylov ==\n\n";
-  let r = compare () in
-  Printf.printf
-    "  grid n^d = %d, %d iterations, S = %d\n\n\
-    \  CG        : wavefront at the dot-product scalar = %3d  (2 n^d = %d)\n\
-    \  Chebyshev : widest wavefront in an iteration    = %3d  (stencil-local)\n\n\
-    \  per-iteration decomposed LB:  CG %d   Chebyshev %d\n\
-    \  measured Belady executions:   CG %d   Chebyshev %d\n\n\
-    \  Same SpMV, same updates -- removing the global reductions removes the\n\
-    \  2 n^d pinch.  This is the certified version of the communication-\n\
-    \  avoiding-Krylov argument.\n"
-    r.grid_points r.iters r.s r.cg_wavefront (2 * r.grid_points)
-    r.cheb_wavefront r.cg_lb r.cheb_lb r.cg_ub r.cheb_ub;
-  let check label ok =
-    Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAIL") label;
-    ok
-  in
-  check "CG's wavefront reaches 2 n^d" (r.cg_wavefront >= 2 * r.grid_points)
-  && check "Chebyshev's wavefronts stay below n^d" (r.cheb_wavefront < r.grid_points)
-  && check "both bounds below their executions"
-       (r.cg_lb <= r.cg_ub && r.cheb_lb <= r.cheb_ub)
-  && check "Chebyshev's certified bound is at most half of CG's"
-       (2 * r.cheb_lb <= r.cg_lb)
+(* ------------------------------------------------------------------ *)
+(* Experiment part: the single CG-vs-Chebyshev comparison. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let row_to_json r =
+  J.Obj
+    [
+      ("grid_points", J.Int r.grid_points);
+      ("iters", J.Int r.iters);
+      ("s", J.Int r.s);
+      ("cg_wavefront", J.Int r.cg_wavefront);
+      ("cheb_wavefront", J.Int r.cheb_wavefront);
+      ("cg_lb", J.Int r.cg_lb);
+      ("cheb_lb", J.Int r.cheb_lb);
+      ("cg_ub", J.Int r.cg_ub);
+      ("cheb_ub", J.Int r.cheb_ub);
+    ]
+
+let row_of_json p =
+  {
+    grid_points = P.int p "grid_points";
+    iters = P.int p "iters";
+    s = P.int p "s";
+    cg_wavefront = P.int p "cg_wavefront";
+    cheb_wavefront = P.int p "cheb_wavefront";
+    cg_lb = P.int p "cg_lb";
+    cheb_lb = P.int p "cheb_lb";
+    cg_ub = P.int p "cg_ub";
+    cheb_ub = P.int p "cheb_ub";
+  }
+
+let parts =
+  [
+    {
+      Experiment.part = "compare";
+      run = (fun () -> row_to_json (compare ()));
+    };
+  ]
+
+let doc_of_parts payloads =
+  let r = row_of_json (List.hd payloads) in
+  {
+    Doc.name = "reductions";
+    blocks =
+      [
+        Doc.Section
+          "Where CG's memory wall lives: dot products vs a reduction-free Krylov";
+        Doc.Text
+          (Printf.sprintf
+             "  grid n^d = %d, %d iterations, S = %d\n\n\
+             \  CG        : wavefront at the dot-product scalar = %3d  (2 n^d = %d)\n\
+             \  Chebyshev : widest wavefront in an iteration    = %3d  (stencil-local)\n\n\
+             \  per-iteration decomposed LB:  CG %d   Chebyshev %d\n\
+             \  measured Belady executions:   CG %d   Chebyshev %d\n\n\
+             \  Same SpMV, same updates -- removing the global reductions removes the\n\
+             \  2 n^d pinch.  This is the certified version of the communication-\n\
+             \  avoiding-Krylov argument.\n"
+             r.grid_points r.iters r.s r.cg_wavefront (2 * r.grid_points)
+             r.cheb_wavefront r.cg_lb r.cheb_lb r.cg_ub r.cheb_ub);
+        Doc.check "CG's wavefront reaches 2 n^d"
+          (r.cg_wavefront >= 2 * r.grid_points);
+        Doc.check "Chebyshev's wavefronts stay below n^d"
+          (r.cheb_wavefront < r.grid_points);
+        Doc.check "both bounds below their executions"
+          (r.cg_lb <= r.cg_ub && r.cheb_lb <= r.cheb_ub);
+        Doc.check "Chebyshev's certified bound is at most half of CG's"
+          (2 * r.cheb_lb <= r.cg_lb);
+      ];
+  }

@@ -24,8 +24,14 @@ type row = {
 val compare : ?dims:int list -> ?iters:int -> ?s:int -> unit -> row
 (** Defaults: a 2D 5x5 grid, 3 iterations, [s = 12]. *)
 
-val run : unit -> bool
-(** Print the comparison and check: CG's wavefront exceeds [2 n^d]
+val row_to_json : row -> Dmc_util.Json.t
+
+val row_of_json : Dmc_util.Json.t -> row
+
+val parts : Experiment.part list
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t
+(** The comparison plus the checks: CG's wavefront exceeds [2 n^d]
     while Chebyshev's stays below [n^d]; both decomposed bounds sit
     below their measured executions; and Chebyshev's bound is at most
     half of CG's. *)

@@ -1,240 +1,72 @@
-module Table = Dmc_util.Table
-module Balance = Dmc_machine.Balance
+(* The experiment registry.  Every experiment is an {!Experiment.t} —
+   a list of serializable parts plus a pure document assembler — built
+   by its own analysis module; this file only lists them in the
+   canonical order and provides the print-and-check driver the CLI and
+   the bench harness use. *)
 
-let section title =
-  Printf.printf "\n== %s ==\n\n" title
-
-let check label ok =
-  Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAIL") label;
-  ok
-
-let table1 () =
-  section "Table 1: machine specifications";
-  Table.print (Table1.table ());
-  true
-
-let sec3 () =
-  section "Section 3 composite example: naive per-step bound summation vs reality";
-  Table.print (Sec3.table ());
-  let rows = Sec3.sweep () in
-  let growing =
-    List.for_all (fun (r : Sec3.row) -> r.n <= 8 || r.separation > 1.0) rows
-  in
-  let sandwiched =
-    List.for_all
-      (fun (r : Sec3.row) ->
-        match (r.rbw_lb, r.rbw_measured_ub) with
-        | Some lb, Some ub -> lb <= ub
-        | _ -> true)
-      rows
-  in
-  check "naive summation overshoots the composite cost for large n" growing
-  && check "certified RBW LB <= measured RBW UB on the real CDAG" sandwiched
-
-let cg () =
-  section "CG (Sec 5.2): machine-balance analysis (d=3, n=1000)";
-  Table.print (Cg_analysis.table ());
-  let rows = Cg_analysis.analyze () in
-  let vertical_bound =
-    List.for_all (fun (r : Cg_analysis.row) -> r.vertical_verdict = Balance.Bandwidth_bound) rows
-  in
-  let horizontal_free =
-    List.for_all
-      (fun (r : Cg_analysis.row) -> r.horizontal_verdict = Balance.Not_bandwidth_bound)
-      rows
-  in
-  section "CG: Theorem-8 machinery on a concrete CDAG (4^3 grid, 2 iterations)";
-  let s = Cg_analysis.structure () in
-  Printf.printf
-    "  grid points n^d = %d, iterations = %d, S = %d\n\
-    \  measured wavefront at a-scalar = %d (paper: >= 2 n^d = %d)\n\
-    \  measured wavefront at g-scalar = %d (paper: >= n^d = %d)\n\
-    \  decomposed lower bound = %d, Belady upper bound = %d\n"
-    s.grid_points s.iters s.s s.a_wavefront (2 * s.grid_points) s.g_wavefront
-    s.grid_points s.decomposed_lb s.belady_ub;
-  section "CG: execution-time model (Eqs 4-6) at 8 GFLOP/s per core, n = 1000, T = 100";
-  Table.print (Time_model.table ~flops_per_core:8.0e9 ~n:1000 ~steps:100);
-  let time_ok =
-    List.for_all
-      (fun (m : Dmc_machine.Machines.t) ->
-        let p = Time_model.cg ~machine:m ~flops_per_core:8.0e9 ~n:1000 ~steps:100 in
-        p.Time_model.dominant = `Vertical && p.Time_model.efficiency_cap < 0.5)
-      Dmc_machine.Machines.table1
-  in
-  check "CG bandwidth-bound vertically on every machine (LB/FLOP = 0.3)" vertical_bound
-  && check "time model: memory dominates and caps efficiency below 50%" time_ok
-  && check "CG not bound by the interconnect on any machine" horizontal_free
-  && check "wavefront at a-scalar reaches 2 n^d" (s.a_wavefront >= 2 * s.grid_points)
-  && check "wavefront at g-scalar reaches n^d" (s.g_wavefront >= s.grid_points)
-  && check "decomposed LB <= measured execution" (s.decomposed_lb <= s.belady_ub)
-
-let gmres () =
-  section "GMRES (Sec 5.3): vertical cost 6/(m+20) vs machine balance";
-  let ms = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ] in
-  Table.print (Gmres_analysis.table ~ms ());
-  List.iter
-    (fun (m : Dmc_machine.Machines.t) ->
-      Printf.printf "  crossover m* (%s): %.1f\n" m.name
-        (Gmres_analysis.crossover_m ~balance:m.vertical_balance))
-    Dmc_machine.Machines.table1;
-  let points = Gmres_analysis.sweep ~ms () in
-  let small_m_bound =
-    List.for_all
-      (fun (p : Gmres_analysis.sweep_point) ->
-        p.m > 8
-        || List.for_all (fun (_, v) -> v = Balance.Bandwidth_bound) p.verdicts)
-      points
-  in
-  let large_m_free =
-    List.exists
-      (fun (p : Gmres_analysis.sweep_point) ->
-        List.for_all (fun (_, v) -> v = Balance.Indeterminate) p.verdicts)
-      points
-  in
-  section "GMRES: Theorem-9 machinery on a concrete CDAG (5^2 grid, 3 iterations)";
-  let s = Gmres_analysis.structure () in
-  Printf.printf
-    "  grid points n^d = %d, iterations = %d, S = %d\n\
-    \  measured wavefront at h_{i,i} = %d (paper: >= 2 n^d = %d)\n\
-    \  measured wavefront at the norm = %d (paper: >= n^d = %d)\n\
-    \  decomposed lower bound = %d, Belady upper bound = %d\n"
-    s.grid_points s.iters s.s s.h_wavefront (2 * s.grid_points) s.norm_wavefront
-    s.grid_points s.decomposed_lb s.belady_ub;
-  check "GMRES bandwidth-bound at small m on every machine" small_m_bound
-  && check "large m escapes the bandwidth bound" large_m_free
-  && check "wavefront at h_{i,i} reaches 2 n^d" (s.h_wavefront >= 2 * s.grid_points)
-  && check "wavefront at the norm reaches n^d" (s.norm_wavefront >= s.grid_points)
-  && check "decomposed LB <= measured execution" (s.decomposed_lb <= s.belady_ub)
-
-let jacobi () =
-  section "Jacobi (Sec 5.4): dimension thresholds from the machine balance";
-  Table.print (Jacobi_analysis.table ());
-  let rows = Jacobi_analysis.thresholds () in
-  let bgq = Jacobi_analysis.bgq_dram_l2 in
-  let l2l1 = Jacobi_analysis.bgq_l2_l1 in
-  section "Jacobi: Theorem-10 tightness (skewed tiles vs the bound)";
-  let t = Jacobi_analysis.tightness () in
-  let t2 = Jacobi_analysis.tightness ~n:(2 * t.n) ~steps:(2 * t.steps) () in
-  let t2d = Jacobi_analysis.tightness ~d:2 ~n:16 ~steps:8 ~s:48 () in
-  List.iter
-    (fun (x : Jacobi_analysis.tightness) ->
-      Printf.printf
-        "  d=%d n=%d steps=%d S=%d: analytic LB = %.1f, skewed-tile UB = %d (%.1fx), natural order UB = %d (%.1fx)\n"
-        x.d x.n x.steps x.s x.analytic_lb x.skewed_ub x.ratio x.natural_ub
-        (float_of_int x.natural_ub /. x.analytic_lb))
-    [ t; t2; t2d ];
-  section "Jacobi: horizontal ghost-cell traffic (12x12 grid, 2x2 nodes, 3 steps)";
-  let h = Jacobi_analysis.horizontal () in
-  Printf.printf "  measured = %d words, predicted = %d words\n" h.measured_ghosts
-    h.predicted_ghosts;
-  Printf.printf "\n  surface-to-volume (why the network never binds a big block, d = 3):\n\n";
-  Table.print (Jacobi_analysis.surface_to_volume_table ~blocks:[ 4; 8; 16; 32; 64 ] ());
-  check "BG/Q DRAM->L2 threshold reproduces the paper's 4.83"
-    (Float.abs (bgq.max_dim -. 4.83) < 0.1)
-  && check "BG/Q L2->L1 threshold reproduces the paper's 96"
-       (Float.abs (l2l1.max_dim -. 96.0) < 1.0)
-  && check "3D stencils are not bandwidth-bound below the threshold"
-       (List.for_all
-          (fun (r : Jacobi_analysis.threshold_row) ->
-            r.max_dim < 3.0 || r.bound_at 3 <> Balance.Bandwidth_bound)
-          rows)
-  && check "skewed tiling beats the natural order by >= 3x"
-       (3 * t.skewed_ub <= t.natural_ub)
-  && check "tiled I/O tracks the Theorem-10 Θ(nT/S) shape (stable ratio under 2x scaling)"
-       (Float.abs (t2.ratio -. t.ratio) < 0.35 *. t.ratio)
-  && check "Theorem-10 LB below the measured tiled execution"
-       (t.analytic_lb <= float_of_int t.skewed_ub)
-  && check "2D tiles also beat the natural order under the d=2 bound"
-       (t2d.analytic_lb <= float_of_int t2d.skewed_ub
-       && t2d.skewed_ub < t2d.natural_ub)
-  && check "horizontal traffic matches the ghost-cell formula"
-       (h.measured_ghosts = h.predicted_ghosts)
-
-let validate () =
-  section "Validation: lower bounds vs provably optimal games";
-  let cases = Validate.soundness_suite () in
-  Table.print (Validate.soundness_table cases);
-  let sound = Validate.all_sound cases in
-  section "Validation: Theorem 1 (game -> 2S-partition)";
-  let t1 = Validate.theorem1_suite () in
-  Table.print (Validate.theorem1_table t1);
-  let t1_ok =
-    List.for_all
-      (fun (c : Validate.theorem1_check) -> c.partition_valid && c.arithmetic_holds)
-      t1
-  in
-  check "every lower bound below the optimum, every strategy above" sound
-  && check "every game-derived partition is a valid 2S-partition with S*h >= q >= S*(h-1)" t1_ok
-
-let sim () =
-  section "Simulator cross-check: LRU hierarchy traffic vs certified bounds";
-  let checks = Validate.simulator_suite () in
-  Table.print (Validate.simulator_table checks);
-  section "Three-level P-RBW games: per-boundary traffic vs sequential bounds";
-  let hier = Validate.hierarchy_suite () in
-  Table.print (Validate.hierarchy_table hier);
-  section "Multi-level tightness: two-level blocked matmul vs Hong-Kung at each level";
-  let mm =
-    Validate.matmul_multilevel ~configs:[ (12, 48); (12, 147); (27, 147); (48, 300) ] ()
-  in
-  Table.print (Validate.matmul_multilevel_table mm);
-  check "simulated traffic dominates every certified lower bound"
-    (List.for_all (fun (c : Validate.sim_check) -> c.holds) checks)
-  && check "every P-RBW boundary dominates its sequential bound"
-       (List.for_all (fun (c : Validate.hierarchy_check) -> c.holds) hier)
-  && check "matmul traffic dominates the HK bound at both levels"
-       (List.for_all
-          (fun (r : Validate.matmul_level_row) ->
-            float_of_int r.regs_traffic >= r.regs_bound
-            && float_of_int r.cache_traffic >= r.cache_bound)
-          mm)
-  && check "matmul traffic within 16x of the HK bound at both levels"
-       (List.for_all
-          (fun (r : Validate.matmul_level_row) ->
-            float_of_int r.regs_traffic <= 16.0 *. r.regs_bound
-            && float_of_int r.cache_traffic <= 16.0 *. r.cache_bound)
-          mm)
-
-let scaling () =
-  section "Architectural what-ifs: when does the bottleneck move?";
-  Printf.printf "CG horizontal cost vs node count (d=3, n=1000):\n\n";
-  (match Scaling.tables () with
-  | [ t1; t2; t3 ] ->
-      Table.print t1;
-      Printf.printf
-        "\n  CG stays memory-bound at any scale; the network only joins in around\n\
-        \  N = %.2e nodes (BG/Q balance).\n\n"
-        (Scaling.cg_network_bound_at
-           ~balance:Dmc_machine.Machines.bgq.Dmc_machine.Machines.horizontal_balance ());
-      Printf.printf "Jacobi dimension threshold vs cache size (balance 0.052):\n\n";
-      Table.print t2;
-      Printf.printf "\nMinimum machine balance each algorithm needs:\n\n";
-      Table.print t3
-  | _ -> ());
-  Printf.printf
-    "\nBalance trend beyond Table 1 (post-2014 rows are estimates from public specs):\n\n";
-  Table.print (Scaling.balance_trend_table ());
-  check "CG network crossover is beyond any built machine"
-    (Scaling.cg_network_bound_at
-       ~balance:Dmc_machine.Machines.bgq.Dmc_machine.Machines.horizontal_balance ()
-    > 1.0e6)
-
-let names =
+let experiments : Experiment.t list =
   [
-    ("summary", Summary.run);
-    ("table1", table1);
-    ("sec3", sec3);
-    ("cg", cg);
-    ("gmres", gmres);
-    ("jacobi", jacobi);
-    ("scaling", scaling);
-    ("fft", Fft_analysis.run);
-    ("curves", Curves.run);
-    ("multigrid", Multigrid_analysis.run);
-    ("reductions", Reductions.run);
-    ("validate", validate);
-    ("sim", sim);
+    {
+      name = "summary";
+      parts = Summary.parts;
+      doc_of_parts = Summary.doc_of_parts;
+    };
+    { name = "table1"; parts = Table1.parts; doc_of_parts = Table1.doc_of_parts };
+    { name = "sec3"; parts = Sec3.parts; doc_of_parts = Sec3.doc_of_parts };
+    {
+      name = "cg";
+      parts = Cg_analysis.parts;
+      doc_of_parts = Cg_analysis.doc_of_parts;
+    };
+    {
+      name = "gmres";
+      parts = Gmres_analysis.parts;
+      doc_of_parts = Gmres_analysis.doc_of_parts;
+    };
+    {
+      name = "jacobi";
+      parts = Jacobi_analysis.parts;
+      doc_of_parts = Jacobi_analysis.doc_of_parts;
+    };
+    { name = "scaling"; parts = Scaling.parts; doc_of_parts = Scaling.doc_of_parts };
+    {
+      name = "fft";
+      parts = Fft_analysis.parts;
+      doc_of_parts = Fft_analysis.doc_of_parts;
+    };
+    { name = "curves"; parts = Curves.parts; doc_of_parts = Curves.doc_of_parts };
+    {
+      name = "multigrid";
+      parts = Multigrid_analysis.parts;
+      doc_of_parts = Multigrid_analysis.doc_of_parts;
+    };
+    {
+      name = "reductions";
+      parts = Reductions.parts;
+      doc_of_parts = Reductions.doc_of_parts;
+    };
+    {
+      name = "validate";
+      parts = Validate.validate_parts;
+      doc_of_parts = Validate.validate_doc_of_parts;
+    };
+    {
+      name = "sim";
+      parts = Validate.sim_parts;
+      doc_of_parts = Validate.sim_doc_of_parts;
+    };
   ]
 
-let all () =
-  List.fold_left (fun acc (_, f) -> f () && acc) true names
+let find name = List.find_opt (fun (e : Experiment.t) -> e.name = name) experiments
+
+let run_and_print (e : Experiment.t) =
+  let doc = Experiment.doc e in
+  print_string (Doc.to_text doc);
+  Doc.ok doc
+
+let names =
+  List.map
+    (fun (e : Experiment.t) -> (e.Experiment.name, fun () -> run_and_print e))
+    experiments
+
+let all () = List.fold_left (fun acc (_, f) -> f () && acc) true names

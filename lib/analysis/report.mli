@@ -1,37 +1,22 @@
-(** Experiment drivers: each function prints one of the paper's
-    evaluation artifacts (see the experiment index in DESIGN.md) to
-    stdout and returns [true] when every internal consistency check
-    passed. *)
+(** The experiment registry (see the experiment index in DESIGN.md).
 
-val table1 : unit -> bool
-(** T1: the machine-specification table. *)
+    Each experiment is an {!Experiment.t}: named serializable parts
+    plus a pure assembler from part payloads to a {!Doc.t}.  The CLI
+    renders the document as text (byte-identical to the historical
+    print-based output), JSON, or Markdown, and can shard the parts
+    across the worker pool or reload them from a checkpoint. *)
 
-val sec3 : unit -> bool
-(** E-SEC3: the composite-example separation sweep. *)
+val experiments : Experiment.t list
+(** All experiments, in the canonical run order. *)
 
-val cg : unit -> bool
-(** E-CGV / E-CGH: the CG balance analysis plus the Theorem-8 machinery
-    on a concrete CDAG.  Checks: CG is bandwidth-bound vertically and
-    unbound horizontally on every Table-1 machine; measured wavefronts
-    reach the paper's [2 n^d] / [n^d]; the decomposed LB is below the
-    measured execution. *)
+val find : string -> Experiment.t option
 
-val gmres : unit -> bool
-(** E-GMV / E-GMH: the GMRES sweep over the Krylov dimension [m] and
-    the Theorem-9 machinery. *)
+val run_and_print : Experiment.t -> bool
+(** Run every part in-process, print the text rendering to stdout, and
+    return whether every check passed. *)
 
-val jacobi : unit -> bool
-(** E-JAC: the dimension-threshold table, the Theorem-10 tightness
-    measurement, and the ghost-cell horizontal check. *)
-
-val validate : unit -> bool
-(** E-VAL1/E-VAL2: the soundness fleet and the Theorem-1 checks. *)
-
-val sim : unit -> bool
-(** E-SIM: cache-simulator traffic versus certified bounds. *)
+val names : (string * (unit -> bool)) list
+(** Print-and-check thunks in registry order, for the bench harness. *)
 
 val all : unit -> bool
 (** Run every experiment in order; [true] iff all passed. *)
-
-val names : (string * (unit -> bool)) list
-(** The experiment registry, for the CLI and the bench harness. *)

@@ -135,3 +135,65 @@ let tables () =
     t
   in
   [ t1; t2; min_balance_table () ]
+
+(* ------------------------------------------------------------------ *)
+(* Experiment parts: the three what-if sweeps and the balance trend. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let sweeps_part () =
+  J.Obj
+    [
+      ( "tables",
+        Experiment.blocks_to_json
+          (List.map (fun t -> Doc.Table t) (tables ())) );
+      ( "crossover",
+        J.Float
+          (cg_network_bound_at
+             ~balance:Machines.bgq.Machines.horizontal_balance ()) );
+    ]
+
+let trend_part () =
+  J.Obj [ ("table", Doc.block_to_json (Doc.Table (balance_trend_table ()))) ]
+
+let parts =
+  [
+    { Experiment.part = "sweeps"; run = sweeps_part };
+    { Experiment.part = "trend"; run = trend_part };
+  ]
+
+let doc_of_parts payloads =
+  match payloads with
+  | [ sw; tr ] ->
+      let crossover = P.float sw "crossover" in
+      let t1, t2, t3 =
+        match Experiment.blocks_field sw "tables" with
+        | [ a; b; c ] -> (a, b, c)
+        | _ -> Experiment.malformed "scaling sweeps payload expects 3 tables"
+      in
+      {
+        Doc.name = "scaling";
+        blocks =
+          [
+            Doc.Section "Architectural what-ifs: when does the bottleneck move?";
+            Doc.Text "CG horizontal cost vs node count (d=3, n=1000):\n\n";
+            t1;
+            Doc.Text
+              (Printf.sprintf
+                 "\n\
+                 \  CG stays memory-bound at any scale; the network only joins in around\n\
+                 \  N = %.2e nodes (BG/Q balance).\n\n"
+                 crossover);
+            Doc.Text "Jacobi dimension threshold vs cache size (balance 0.052):\n\n";
+            t2;
+            Doc.Text "\nMinimum machine balance each algorithm needs:\n\n";
+            t3;
+            Doc.Text
+              "\nBalance trend beyond Table 1 (post-2014 rows are estimates from public specs):\n\n";
+            Experiment.block_field tr "table";
+            Doc.check "CG network crossover is beyond any built machine"
+              (crossover > 1.0e6);
+          ];
+      }
+  | _ -> Experiment.malformed "scaling experiment expects 2 part payloads"

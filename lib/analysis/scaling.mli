@@ -46,3 +46,8 @@ val balance_trend_table : unit -> Dmc_util.Table.t
 
 val tables : unit -> Dmc_util.Table.t list
 (** All three sweeps, rendered. *)
+
+val parts : Experiment.part list
+(** Two parts: the three what-if sweeps and the balance-trend table. *)
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t

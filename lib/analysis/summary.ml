@@ -39,28 +39,78 @@ let table () =
     (rows ());
   t
 
-let run () =
-  Printf.printf
-    "\n== Summary: every algorithm's memory floor vs the Table-1 machines ==\n\n";
-  Table.print (table ());
-  Printf.printf
-    "\n  The pattern the paper establishes: iterative solvers with O(1)\n\
-    \  arithmetic intensity (CG, small-m GMRES) are doomed by the memory wall;\n\
-    \  stencils and multigrid live far below it thanks to temporal tiling;\n\
-    \  GMRES escapes as its Krylov work grows quadratically.\n";
+(* ------------------------------------------------------------------ *)
+(* Experiment parts: one per digest row.  Each payload carries the
+   pre-rendered table cells plus the BG/Q verdict the headline checks
+   need. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let part_of_row (name, formula, env) =
+  let floor = Expr.eval ~env formula in
+  J.Obj
+    [
+      ("name", J.String name);
+      ("formula", J.String (Expr.to_string (Expr.simplify formula)));
+      ("floor", J.String (Printf.sprintf "%.2e" floor));
+      ( "verdicts",
+        P.of_strings
+          (List.map
+             (fun (m : Machines.t) ->
+               Balance.verdict_to_string
+                 (Balance.classify_lower ~lb_per_flop:floor
+                    ~balance:m.vertical_balance))
+             Machines.table1) );
+      ( "bgq",
+        Experiment.verdict_to_json
+          (Balance.classify_lower ~lb_per_flop:floor
+             ~balance:Machines.bgq.Machines.vertical_balance) );
+    ]
+
+let parts =
+  List.map
+    (fun ((name, _, _) as row) ->
+      { Experiment.part = name; run = (fun () -> part_of_row row) })
+    (rows ())
+
+let doc_of_parts payloads =
+  let t =
+    Table.create
+      ~headers:
+        ([ "algorithm"; "vertical floor (words/FLOP)"; "value" ]
+        @ List.map (fun (m : Machines.t) -> m.name) Machines.table1)
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        ([ P.str p "name"; P.str p "formula"; P.str p "floor" ]
+        @ P.strings p "verdicts"))
+    payloads;
   let verdict name =
-    let _, formula, env = List.find (fun (n, _, _) -> n = name) (rows ()) in
-    Balance.classify_lower
-      ~lb_per_flop:(Expr.eval ~env formula)
-      ~balance:Machines.bgq.Machines.vertical_balance
+    let p = List.find (fun p -> P.str p "name" = name) payloads in
+    Experiment.verdict_of_json (P.field p "bgq")
   in
-  let check label ok =
-    Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAIL") label;
-    ok
-  in
-  check "CG bandwidth-bound" (verdict "CG (any d)" = Balance.Bandwidth_bound)
-  && check "GMRES m=8 bandwidth-bound" (verdict "GMRES m=8" = Balance.Bandwidth_bound)
-  && check "GMRES m=128 escapes" (verdict "GMRES m=128" = Balance.Indeterminate)
-  && check "Jacobi 2D/3D unbound"
-       (verdict "Jacobi 2D" = Balance.Indeterminate
-       && verdict "Jacobi 3D" = Balance.Indeterminate)
+  {
+    Doc.name = "summary";
+    blocks =
+      [
+        Doc.Section
+          "Summary: every algorithm's memory floor vs the Table-1 machines";
+        Doc.Table t;
+        Doc.Text
+          "\n  The pattern the paper establishes: iterative solvers with O(1)\n\
+          \  arithmetic intensity (CG, small-m GMRES) are doomed by the memory wall;\n\
+          \  stencils and multigrid live far below it thanks to temporal tiling;\n\
+          \  GMRES escapes as its Krylov work grows quadratically.\n";
+        Doc.check "CG bandwidth-bound"
+          (verdict "CG (any d)" = Balance.Bandwidth_bound);
+        Doc.check "GMRES m=8 bandwidth-bound"
+          (verdict "GMRES m=8" = Balance.Bandwidth_bound);
+        Doc.check "GMRES m=128 escapes"
+          (verdict "GMRES m=128" = Balance.Indeterminate);
+        Doc.check "Jacobi 2D/3D unbound"
+          (verdict "Jacobi 2D" = Balance.Indeterminate
+          && verdict "Jacobi 3D" = Balance.Indeterminate);
+      ];
+  }

@@ -4,6 +4,9 @@
 
 val table : unit -> Dmc_util.Table.t
 
-val run : unit -> bool
-(** Print the digest; checks the headline verdict pattern (CG always
+val parts : Experiment.part list
+(** One part per digest row. *)
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t
+(** The digest document; checks the headline verdict pattern (CG always
     bound, Jacobi 2D/3D never, GMRES crossing over). *)

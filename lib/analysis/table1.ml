@@ -30,3 +30,48 @@ let table () =
   t
 
 let render () = Table.render (table ())
+
+(* ------------------------------------------------------------------ *)
+(* Experiment parts: one row per machine. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let headers =
+  [
+    "Machine";
+    "Nnodes";
+    "Mem (GB)";
+    "L2/L3 cache (MB)";
+    "Vertical balance (words/FLOP)";
+    "Horiz. balance (words/FLOP)";
+  ]
+
+let row_cells (m : Machines.t) =
+  [
+    m.name;
+    string_of_int m.nodes;
+    Printf.sprintf "%.0f" m.memory_gb_per_node;
+    Printf.sprintf "%.0f" m.cache_mb;
+    Printf.sprintf "%.4f" m.vertical_balance;
+    Printf.sprintf "%.4f" m.horizontal_balance;
+  ]
+
+let parts =
+  List.map
+    (fun (m : Machines.t) ->
+      {
+        Experiment.part = m.name;
+        run = (fun () -> J.Obj [ ("cells", P.of_strings (row_cells m)) ]);
+      })
+    Machines.table1
+
+let doc_of_parts payloads =
+  let t = Table.create ~headers in
+  Table.set_align t
+    [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ];
+  List.iter (fun p -> Table.add_row t (P.strings p "cells")) payloads;
+  {
+    Doc.name = "table1";
+    blocks = [ Doc.Section "Table 1: machine specifications"; Doc.Table t ];
+  }

@@ -6,3 +6,8 @@ val table : unit -> Dmc_util.Table.t
     vertical and horizontal balance). *)
 
 val render : unit -> string
+
+val parts : Experiment.part list
+(** One part per Table-1 machine (a pre-rendered row each). *)
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t

@@ -371,3 +371,143 @@ let simulator_table checks =
         ])
     checks;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Experiment parts.  Two experiments live here: "validate" (soundness
+   + Theorem 1) and "sim" (simulator cross-check, P-RBW hierarchy,
+   multi-level matmul).  Each part pre-renders its table and carries
+   the check verdicts as booleans. *)
+
+module J = Dmc_util.Json
+module P = Experiment.P
+
+let table_part ~table ~checks () =
+  J.Obj
+    (("table", Doc.block_to_json (Doc.Table table))
+    :: List.map (fun (k, b) -> (k, J.Bool b)) checks)
+
+let validate_parts =
+  [
+    {
+      Experiment.part = "soundness";
+      run =
+        (fun () ->
+          let cases = soundness_suite () in
+          table_part ~table:(soundness_table cases)
+            ~checks:[ ("sound", all_sound cases) ]
+            ());
+    };
+    {
+      Experiment.part = "theorem1";
+      run =
+        (fun () ->
+          let t1 = theorem1_suite () in
+          table_part ~table:(theorem1_table t1)
+            ~checks:
+              [
+                ( "ok",
+                  List.for_all
+                    (fun c -> c.partition_valid && c.arithmetic_holds)
+                    t1 );
+              ]
+            ());
+    };
+  ]
+
+let validate_doc_of_parts payloads =
+  match payloads with
+  | [ so; t1 ] ->
+      {
+        Doc.name = "validate";
+        blocks =
+          [
+            Doc.Section "Validation: lower bounds vs provably optimal games";
+            Experiment.block_field so "table";
+            Doc.Section "Validation: Theorem 1 (game -> 2S-partition)";
+            Experiment.block_field t1 "table";
+            Doc.check "every lower bound below the optimum, every strategy above"
+              (P.bool so "sound");
+            Doc.check
+              "every game-derived partition is a valid 2S-partition with S*h >= q >= S*(h-1)"
+              (P.bool t1 "ok");
+          ];
+      }
+  | _ -> Experiment.malformed "validate experiment expects 2 part payloads"
+
+let sim_parts =
+  [
+    {
+      Experiment.part = "simulator";
+      run =
+        (fun () ->
+          let checks = simulator_suite () in
+          table_part ~table:(simulator_table checks)
+            ~checks:[ ("ok", List.for_all (fun (c : sim_check) -> c.holds) checks) ]
+            ());
+    };
+    {
+      Experiment.part = "hierarchy";
+      run =
+        (fun () ->
+          let hier = hierarchy_suite () in
+          table_part ~table:(hierarchy_table hier)
+            ~checks:
+              [ ("ok", List.for_all (fun (c : hierarchy_check) -> c.holds) hier) ]
+            ());
+    };
+    {
+      Experiment.part = "matmul";
+      run =
+        (fun () ->
+          let mm =
+            matmul_multilevel
+              ~configs:[ (12, 48); (12, 147); (27, 147); (48, 300) ]
+              ()
+          in
+          table_part ~table:(matmul_multilevel_table mm)
+            ~checks:
+              [
+                ( "dominates",
+                  List.for_all
+                    (fun r ->
+                      float_of_int r.regs_traffic >= r.regs_bound
+                      && float_of_int r.cache_traffic >= r.cache_bound)
+                    mm );
+                ( "within",
+                  List.for_all
+                    (fun r ->
+                      float_of_int r.regs_traffic <= 16.0 *. r.regs_bound
+                      && float_of_int r.cache_traffic <= 16.0 *. r.cache_bound)
+                    mm );
+              ]
+            ());
+    };
+  ]
+
+let sim_doc_of_parts payloads =
+  match payloads with
+  | [ si; hi; mm ] ->
+      {
+        Doc.name = "sim";
+        blocks =
+          [
+            Doc.Section
+              "Simulator cross-check: LRU hierarchy traffic vs certified bounds";
+            Experiment.block_field si "table";
+            Doc.Section
+              "Three-level P-RBW games: per-boundary traffic vs sequential bounds";
+            Experiment.block_field hi "table";
+            Doc.Section
+              "Multi-level tightness: two-level blocked matmul vs Hong-Kung at each level";
+            Experiment.block_field mm "table";
+            Doc.check "simulated traffic dominates every certified lower bound"
+              (P.bool si "ok");
+            Doc.check "every P-RBW boundary dominates its sequential bound"
+              (P.bool hi "ok");
+            Doc.check "matmul traffic dominates the HK bound at both levels"
+              (P.bool mm "dominates");
+            Doc.check "matmul traffic within 16x of the HK bound at both levels"
+              (P.bool mm "within");
+          ];
+      }
+  | _ -> Experiment.malformed "sim experiment expects 3 part payloads"

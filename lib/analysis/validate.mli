@@ -100,3 +100,14 @@ val matmul_multilevel : ?n:int -> configs:(int * int) list -> unit -> matmul_lev
     {!Dmc_core.Prbw_game.run}.  Default [n = 16]. *)
 
 val matmul_multilevel_table : matmul_level_row list -> Dmc_util.Table.t
+
+val validate_parts : Experiment.part list
+(** The "validate" experiment: soundness suite + Theorem 1. *)
+
+val validate_doc_of_parts : Dmc_util.Json.t list -> Doc.t
+
+val sim_parts : Experiment.part list
+(** The "sim" experiment: simulator cross-check, P-RBW hierarchy, and
+    the multi-level matmul tightness. *)
+
+val sim_doc_of_parts : Dmc_util.Json.t list -> Doc.t

@@ -1,0 +1,230 @@
+type t = {
+  name : string;
+  params : string list;
+  doc : string;
+  build : int list -> Dmc_cdag.Cdag.t;
+}
+
+(* Registry order is the order the CLI documents the shapes in; keep
+   new entries grouped with their family. *)
+let all =
+  [
+    {
+      name = "chain";
+      params = [ "N" ];
+      doc = "linear chain of N dependent operations";
+      build = (function [ n ] -> Shapes.chain n | _ -> assert false);
+    };
+    {
+      name = "tree";
+      params = [ "N" ];
+      doc = "binary reduction tree over N leaves";
+      build = (function [ n ] -> Shapes.reduction_tree n | _ -> assert false);
+    };
+    {
+      name = "diamond";
+      params = [ "R"; "C" ];
+      doc = "R-by-C diamond lattice (fan-out then fan-in)";
+      build =
+        (function [ r; c ] -> Shapes.diamond ~rows:r ~cols:c | _ -> assert false);
+    };
+    {
+      name = "fft";
+      params = [ "K" ];
+      doc = "radix-2 FFT butterfly network on 2^K inputs";
+      build = (function [ k ] -> Fft.butterfly k | _ -> assert false);
+    };
+    {
+      name = "bitonic";
+      params = [ "K" ];
+      doc = "bitonic sorting network on 2^K inputs";
+      build = (function [ k ] -> Fft.bitonic_sort k | _ -> assert false);
+    };
+    {
+      name = "pyramid";
+      params = [ "H" ];
+      doc = "2-D pyramid DAG of height H";
+      build = (function [ h ] -> Shapes.pyramid h | _ -> assert false);
+    };
+    {
+      name = "binomial";
+      params = [ "K" ];
+      doc = "binomial-coefficient DAG of order K";
+      build = (function [ k ] -> Shapes.binomial k | _ -> assert false);
+    };
+    {
+      name = "matmul";
+      params = [ "N" ];
+      doc = "classic N^3 dense matrix-multiply DAG";
+      build = (function [ n ] -> Linalg.matmul n | _ -> assert false);
+    };
+    {
+      name = "lu";
+      params = [ "N" ];
+      doc = "LU factorization (no pivoting) of an N-by-N matrix";
+      build = (function [ n ] -> (Linalg.lu_factor n).lu_graph | _ -> assert false);
+    };
+    {
+      name = "cholesky";
+      params = [ "N" ];
+      doc = "Cholesky factorization of an N-by-N matrix";
+      build = (function [ n ] -> Linalg.cholesky n | _ -> assert false);
+    };
+    {
+      name = "outer";
+      params = [ "N" ];
+      doc = "rank-1 outer product of two N-vectors";
+      build = (function [ n ] -> Linalg.outer_product n | _ -> assert false);
+    };
+    {
+      name = "dot";
+      params = [ "N" ];
+      doc = "dot product of two N-vectors";
+      build = (function [ n ] -> Linalg.dot_product n | _ -> assert false);
+    };
+    {
+      name = "composite";
+      params = [ "N" ];
+      doc = "matmul feeding a reduction (Lemma 4 composition)";
+      build = (function [ n ] -> (Linalg.composite n).graph | _ -> assert false);
+    };
+    {
+      name = "jacobi1d";
+      params = [ "N"; "T" ];
+      doc = "1-D 3-point Jacobi stencil, N points, T time steps";
+      build =
+        (function
+         | [ n; t ] -> (Stencil.jacobi_1d ~n ~steps:t).graph | _ -> assert false);
+    };
+    {
+      name = "jacobi2d";
+      params = [ "N"; "T" ];
+      doc = "2-D 5-point Jacobi stencil, N^2 points, T time steps";
+      build =
+        (function
+         | [ n; t ] -> (Stencil.jacobi_2d ~n ~steps:t ()).graph
+         | _ -> assert false);
+    };
+    {
+      name = "jacobi3d";
+      params = [ "N"; "T" ];
+      doc = "3-D 7-point Jacobi stencil, N^3 points, T time steps";
+      build =
+        (function
+         | [ n; t ] -> (Stencil.jacobi_3d ~n ~steps:t).graph | _ -> assert false);
+    };
+    {
+      name = "spmv";
+      params = [ "N"; "D" ];
+      doc = "sparse matrix-vector product on a D-dim grid of side N";
+      build =
+        (function
+         | [ n; d ] -> Solver.spmv ~dims:(List.init d (fun _ -> n))
+         | _ -> assert false);
+    };
+    {
+      name = "thomas";
+      params = [ "N" ];
+      doc = "Thomas tridiagonal solve of size N";
+      build = (function [ n ] -> (Solver.thomas ~n).th_graph | _ -> assert false);
+    };
+    {
+      name = "multigrid";
+      params = [ "N"; "L"; "C" ];
+      doc = "multigrid V-cycles: side N, L levels, C cycles";
+      build =
+        (function
+         | [ n; levels; cycles ] ->
+             (Multigrid.v_cycle ~dims:[ n ] ~levels ~cycles ()).graph
+         | _ -> assert false);
+    };
+    {
+      name = "cg";
+      params = [ "N"; "D"; "T" ];
+      doc = "conjugate gradient on a D-dim grid of side N, T iterations";
+      build =
+        (function
+         | [ n; d; t ] ->
+             (Solver.cg ~dims:(List.init d (fun _ -> n)) ~iters:t).graph
+         | _ -> assert false);
+    };
+    {
+      name = "gmres";
+      params = [ "N"; "D"; "M" ];
+      doc = "GMRES on a D-dim grid of side N, restart length M";
+      build =
+        (function
+         | [ n; d; m ] ->
+             (Solver.gmres ~dims:(List.init d (fun _ -> n)) ~iters:m).graph
+         | _ -> assert false);
+    };
+    {
+      name = "layered";
+      params = [ "SEED"; "L"; "W" ];
+      doc = "random layered DAG: L layers of width W, seeded";
+      build =
+        (function
+         | [ seed; l; w ] ->
+             Random_dag.layered (Dmc_util.Rng.create seed) ~layers:l ~width:w
+               ~edge_prob:0.4
+         | _ -> assert false);
+    };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let names = List.map (fun w -> w.name) all
+
+let signature w = w.name ^ ":" ^ String.concat "," w.params
+
+let spec_doc () =
+  "Named generator: " ^ String.concat ", " (List.map signature all)
+
+let build name args =
+  match find name with
+  | None ->
+      Error
+        (Printf.sprintf "unknown generator '%s'; known generators: %s" name
+           (String.concat ", " names))
+  | Some w ->
+      let want = List.length w.params and got = List.length args in
+      if want <> got then
+        Error
+          (Printf.sprintf
+             "generator '%s' expects %d parameter%s (%s), got %d" name want
+             (if want = 1 then "" else "s")
+             (signature w) got)
+      else Ok (w.build args)
+
+let parse spec =
+  let name, raw_args =
+    match String.index_opt spec ':' with
+    | None -> (spec, [])
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.split_on_char ','
+            (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  let rec ints acc = function
+    | [] -> Ok (List.rev acc)
+    | a :: rest -> (
+        match int_of_string_opt a with
+        | Some n -> ints (n :: acc) rest
+        | None ->
+            Error
+              (Printf.sprintf
+                 "generator '%s': parameter '%s' is not an integer (want %s)"
+                 name a
+                 (match find name with
+                 | Some w -> signature w
+                 | None -> "NAME:INT,...")))
+  in
+  match ints [] raw_args with
+  | Error _ as e -> e
+  | Ok args -> build name args
+
+let build_exn name args =
+  match build name args with Ok g -> g | Error msg -> failwith msg
+
+let parse_exn spec =
+  match parse spec with Ok g -> g | Error msg -> failwith msg

@@ -1,0 +1,45 @@
+(** First-class registry of the named CDAG generators.
+
+    Every generator the toolkit knows about — the paper's kernels
+    (matmul, FFT, stencils, solvers) plus the synthetic shapes — is one
+    {!t}: a name, a positional integer-parameter schema, a one-line doc
+    string and a builder.  The CLI ([dmc gen/bounds/game]), the fuzzer
+    and the experiment suite all resolve workloads through this table,
+    so adding a generator here makes it reachable everywhere. *)
+
+type t = {
+  name : string;
+  params : string list;  (** positional parameter names, e.g. [["N"; "T"]] *)
+  doc : string;          (** one-line description for listings *)
+  build : int list -> Dmc_cdag.Cdag.t;
+      (** partial: only defined for [List.length params] arguments —
+          call through {!build} for arity checking *)
+}
+
+val all : t list
+(** The registry, in documentation order. *)
+
+val names : string list
+
+val find : string -> t option
+
+val signature : t -> string
+(** ["name:P1,P2"] — the spec syntax for this workload. *)
+
+val spec_doc : unit -> string
+(** The one-line CLI help string listing every workload signature. *)
+
+val build : string -> int list -> (Dmc_cdag.Cdag.t, string) result
+(** Arity-checked build.  Errors name the expected signature, or list
+    the known generators when the name is unknown. *)
+
+val parse : string -> (Dmc_cdag.Cdag.t, string) result
+(** Parse a ["name:1,2"] spec and build it.  Non-integer parameters,
+    unknown names and arity mismatches all produce messages that state
+    the expected signature. *)
+
+val build_exn : string -> int list -> Dmc_cdag.Cdag.t
+(** {!build}, raising [Failure] on error. *)
+
+val parse_exn : string -> Dmc_cdag.Cdag.t
+(** {!parse}, raising [Failure] on error. *)

@@ -107,13 +107,62 @@ let metrics doc =
             gs
       | _ -> ())
   | None -> ());
+  (* Experiment reports ([dmc experiment --json]) flatten too, so the
+     same gate can compare two experiment runs:
+       exp.<name>.failed_checks           failed-check count
+       exp.<name>.curve.<curve>.s<x>.ub   measured I/O at each S
+       exp.<name>.check.<label>.measured  when a check carries a value
+     All lower-is-better, all machine-independent work metrics. *)
+  (match (Json.mem doc "kind", Json.mem doc "experiments") with
+  | Some (Json.String "dmc-experiment-report"), Some (Json.List exps) ->
+      List.iter
+        (fun e ->
+          match (Json.mem e "name", Json.mem e "blocks") with
+          | Some (Json.String name), Some (Json.List blocks) ->
+              let failed = ref 0 in
+              List.iter
+                (fun b ->
+                  let str f = Option.bind (Json.mem b f) Json.as_string in
+                  match str "t" with
+                  | Some "check" -> (
+                      (match Json.mem b "ok" with
+                      | Some (Json.Bool false) -> incr failed
+                      | _ -> ());
+                      match (str "label", Option.bind (Json.mem b "measured") num)
+                      with
+                      | Some label, Some v ->
+                          add ("exp." ^ name ^ ".check." ^ label ^ ".measured") v
+                      | _ -> ())
+                  | Some "curve" -> (
+                      match (str "name", Json.mem b "points") with
+                      | Some cname, Some (Json.List pts) ->
+                          List.iter
+                            (fun p ->
+                              match
+                                ( Json.mem p "x",
+                                  Option.bind (Json.mem p "ub") num )
+                              with
+                              | Some (Json.Int x), Some ub ->
+                                  add
+                                    (Printf.sprintf "exp.%s.curve.%s.s%d.ub"
+                                       name cname x)
+                                    ub
+                              | _ -> ())
+                            pts
+                      | _ -> ())
+                  | _ -> ())
+                blocks;
+              add ("exp." ^ name ^ ".failed_checks") (float_of_int !failed)
+          | _ -> ())
+        exps
+  | _ -> ());
   List.sort (fun (a, _) (b, _) -> compare a b) !out
 
 let is_work_metric name =
   let has_prefix p =
     String.length name >= String.length p && String.sub name 0 (String.length p) = p
   in
-  has_prefix "counter." || has_prefix "hist."
+  has_prefix "counter." || has_prefix "hist." || has_prefix "exp."
 
 (* ------------------------------------------------------------------ *)
 (* Metric-by-metric comparison                                         *)

@@ -16,14 +16,18 @@ val meta : argv:string array -> unit -> Dmc_util.Json.t
 val metrics : Dmc_util.Json.t -> (string * float) list
 (** Flatten a baseline document into name-sorted scalar metrics:
     [bench.<name>.ns_per_run], [counter.<name>],
-    [hist.<name>.{n,mean,p50,p90,p99}] and [gauge.<name>].  Spans and
-    the meta block are excluded.  Unknown or malformed sections are
-    skipped, not errors, so older baselines still compare. *)
+    [hist.<name>.{n,mean,p50,p90,p99}] and [gauge.<name>].
+    Experiment reports ([dmc experiment --json]) flatten as well, into
+    [exp.<name>.failed_checks], [exp.<name>.curve.<curve>.s<x>.ub] and
+    [exp.<name>.check.<label>.measured], so the gate can also compare
+    two experiment runs.  Spans and the meta block are excluded.
+    Unknown or malformed sections are skipped, not errors, so older
+    baselines still compare. *)
 
 val is_work_metric : string -> bool
-(** [counter.*] and [hist.*] — the metrics that count work rather than
-    measure time or memory, and are therefore machine-independent and
-    expected to be exactly reproducible. *)
+(** [counter.*], [hist.*] and [exp.*] — the metrics that count work
+    rather than measure time or memory, and are therefore
+    machine-independent and expected to be exactly reproducible. *)
 
 type status = Unchanged | Regressed | Improved | Added | Removed
 

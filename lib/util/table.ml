@@ -64,6 +64,13 @@ let render t =
 
 let print t = print_string (render t)
 
+let headers t = t.headers
+
+let aligns t = Array.to_list t.aligns
+
+let body t =
+  List.rev_map (function Row r -> `Row r | Rule -> `Rule) t.lines
+
 let fmt_float ?(digits = 4) x = Printf.sprintf "%.*f" digits x
 
 let fmt_sci x = Printf.sprintf "%.3e" x

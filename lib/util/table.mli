@@ -28,6 +28,17 @@ val render : t -> string
 val print : t -> unit
 (** [render] to stdout. *)
 
+(** Structural accessors, so a table can be serialized (the report IR
+    stores tables as data and must rebuild them byte-identically). *)
+
+val headers : t -> string list
+
+val aligns : t -> align list
+(** One entry per column, in column order. *)
+
+val body : t -> [ `Row of string list | `Rule ] list
+(** Rows and rules in insertion order. *)
+
 (** Formatting helpers shared by the report code. *)
 
 val fmt_float : ?digits:int -> float -> string

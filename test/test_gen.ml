@@ -449,6 +449,60 @@ let prop_connected_dag_connected =
       Cdag.iter_edges g (fun u v -> Dmc_util.Union_find.union uf u v);
       Dmc_util.Union_find.count uf = 1)
 
+(* ------------------------------------------------------------------ *)
+(* Workload registry *)
+
+let test_workload_parse () =
+  let g = Dmc_gen.Workload.parse_exn "chain:8" in
+  Alcotest.(check int) "chain:8 vertices" 8 (Cdag.n_vertices g);
+  let g2 = Dmc_gen.Workload.parse_exn "jacobi1d:5,2" in
+  let direct =
+    Dmc_gen.Stencil.((jacobi ~shape:Star ~dims:[ 5 ] ~steps:2 ()).graph)
+  in
+  Alcotest.(check int) "jacobi1d:5,2 matches direct build"
+    (Cdag.n_vertices direct) (Cdag.n_vertices g2)
+
+let test_workload_unknown () =
+  match Dmc_gen.Workload.parse "nosuch:3" with
+  | Ok _ -> Alcotest.fail "unknown generator accepted"
+  | Error msg ->
+      let has_sub sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "names the bad generator" true
+        (has_sub "unknown generator 'nosuch'");
+      Alcotest.(check bool) "lists known generators" true (has_sub "chain")
+
+let test_workload_arity () =
+  (match Dmc_gen.Workload.build "jacobi1d" [ 3 ] with
+  | Ok _ -> Alcotest.fail "bad arity accepted"
+  | Error msg ->
+      Alcotest.(check bool) "states the signature" true
+        (String.length msg > 0
+        && msg = "generator 'jacobi1d' expects 2 parameters (jacobi1d:N,T), got 1"));
+  match Dmc_gen.Workload.parse "chain:x" with
+  | Ok _ -> Alcotest.fail "non-integer parameter accepted"
+  | Error _ -> ()
+
+let test_workload_registry () =
+  let names = Dmc_gen.Workload.names in
+  Alcotest.(check bool) "has the paper kernels" true
+    (List.for_all
+       (fun n -> List.mem n names)
+       [ "matmul"; "fft"; "jacobi2d"; "cg"; "gmres"; "multigrid" ]);
+  List.iter
+    (fun (w : Dmc_gen.Workload.t) ->
+      Alcotest.(check bool)
+        (w.name ^ " resolvable") true
+        (match Dmc_gen.Workload.find w.name with
+        | Some found -> found.name = w.name
+        | None -> false))
+    Dmc_gen.Workload.all
+
 let qsuite name tests =
   (* fixed qcheck seed so runs are reproducible *)
   ( name,
@@ -502,6 +556,13 @@ let () =
           Alcotest.test_case "multigrid structure" `Quick test_multigrid_structure;
           Alcotest.test_case "multigrid 2d and errors" `Quick test_multigrid_2d_and_errors;
           Alcotest.test_case "multigrid schedulable" `Quick test_multigrid_schedulable;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "parse and build" `Quick test_workload_parse;
+          Alcotest.test_case "unknown generator" `Quick test_workload_unknown;
+          Alcotest.test_case "arity errors" `Quick test_workload_arity;
+          Alcotest.test_case "registry" `Quick test_workload_registry;
         ] );
       qsuite "random-props"
         [ prop_layered_well_formed; prop_gnp_edges_forward; prop_connected_dag_connected ];
