@@ -987,9 +987,183 @@ let experiment_cmd =
           $ resume $ jobs_arg $ job_timeout_arg $ retries_arg $ fault_arg
           $ trace_arg $ profile_arg $ progress_arg)
 
+(* ------------------------------------------------------------------ *)
+(* dmc serve / dmc query                                              *)
+
+let socket_arg =
+  Arg.(value & opt string "dmc.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path the daemon listens on (and the \
+               client connects to).")
+
+let serve_cmd =
+  let run socket cache_dir cache_entries max_inflight read_timeout jobs
+      job_timeout retries fault =
+    setup_logs ();
+    guarded @@ fun () ->
+    install_interrupt_handlers ();
+    let faults = parse_faults fault in
+    let cfg =
+      {
+        Dmc_serve.Server.socket_path = socket;
+        cache_dir;
+        cache_entries;
+        max_inflight;
+        read_timeout;
+        jobs;
+        job_timeout;
+        max_retries = retries;
+        faults;
+        should_drain = (fun () -> !interrupted <> None);
+        on_ready =
+          Some (fun () -> Format.eprintf "dmc serve: listening on %s@." socket);
+      }
+    in
+    match Dmc_serve.Server.serve cfg with
+    | Ok () -> (
+        (* drain complete: in-flight queries answered, cache persisted *)
+        match !interrupted with
+        | Some _ -> exit (interrupt_exit_code ())
+        | None -> ())
+    | Error msg ->
+        Format.eprintf "dmc serve: %s@." msg;
+        exit 1
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist the content-addressed result cache to \
+                 $(docv)/results.json (atomic write-through: every insert \
+                 fsyncs before rename, so kill -9 loses at most in-flight \
+                 results).  A restart with the same $(docv) starts warm.")
+  in
+  let cache_entries =
+    Arg.(value & opt int 1024 & info [ "cache-entries" ] ~docv:"N"
+           ~doc:"LRU capacity of the result cache, in entries.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Admission bound: queries submitted but not yet answered. \
+                 Beyond it new queries get a typed 'overloaded' rejection \
+                 instead of queueing unboundedly.")
+  in
+  let read_timeout =
+    Arg.(value & opt float 10. & info [ "read-timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-connection deadline from accept to a complete request \
+                 frame; a stalled or dribbling client gets a typed protocol \
+                 error, never an occupied slot.")
+  in
+  let fault =
+    Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Chaos mode: kind:conn[:attempts] clauses with kind one of \
+                 drop, truncate, slow (by 1-based accepted-connection index) \
+                 for the server loop, or hang, abort, garbage (by 1-based \
+                 query submission index) forwarded to the worker pool.  Also \
+                 read from \\$DMC_FAULT.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the bound-query daemon (Unix-socket IPC, supervised \
+             workers, persisted result cache)")
+    Term.(const run $ socket_arg $ cache_dir $ cache_entries $ max_inflight
+          $ read_timeout $ jobs_arg $ job_timeout_arg $ retries_arg $ fault)
+
+let query_once ~socket request =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" socket
+               (Unix.error_message e))
+      | () -> (
+          match
+            Dmc_util.Ipc.write_frame fd
+              (Dmc_serve.Protocol.request_to_json request)
+          with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error ("connection lost while sending: " ^ Unix.error_message e)
+          | () -> (
+              match Dmc_util.Ipc.read_frame fd with
+              | Ok json -> Ok json
+              | Error e -> Error ("reply: " ^ Dmc_util.Ipc.read_error_to_string e))))
+
+let query_cmd =
+  let run socket spec file engine s timeout node_budget samples count ping
+      stats shutdown =
+    setup_logs ();
+    guarded @@ fun () ->
+    let module P = Dmc_serve.Protocol in
+    let request =
+      if ping then P.Ping
+      else if stats then P.Stats
+      else if shutdown then P.Shutdown
+      else
+        let source =
+          match (spec, file) with
+          | Some sp, None -> P.Spec sp
+          | None, Some path -> (
+              match Dmc_cdag.Serialize.of_file path with
+              | Ok g -> P.Graph (Dmc_cdag.Serialize.to_string g)
+              | Error msg -> failwith ("cannot parse " ^ path ^ ": " ^ msg))
+          | _ ->
+              failwith
+                "give exactly one of --gen or --file (or --ping, --stats, \
+                 --shutdown)"
+        in
+        P.query ?timeout ?node_budget ~samples source ~engine ~s
+    in
+    let transport_failures = ref 0 in
+    for _ = 1 to count do
+      match query_once ~socket request with
+      | Ok reply ->
+          print_endline (Dmc_util.Json.to_string ~indent:false reply)
+      | Error msg ->
+          incr transport_failures;
+          Format.eprintf "dmc query: %s@." msg
+    done;
+    (* Typed replies — including 'failed' and 'rejected' — exit 0: the
+       daemon answered.  Only transport failures (no daemon, dropped or
+       truncated connection) are a client error. *)
+    if !transport_failures > 0 then exit 1
+  in
+  let engine =
+    let names = List.map fst Dmc_core.Bounds.governed_engines in
+    Arg.(value & opt string "wavefront" & info [ "engine" ] ~docv:"NAME"
+           ~doc:(Printf.sprintf "Bound engine to query: one of %s."
+                   (String.concat ", " names)))
+  in
+  let samples =
+    Arg.(value & opt int 64 & info [ "samples" ] ~docv:"N"
+           ~doc:"Sample count for the sampling engines (as in dmc bounds).")
+  in
+  let count =
+    Arg.(value & opt int 1 & info [ "count" ] ~docv:"N"
+           ~doc:"Send the query $(docv) times (one connection each), \
+                 printing one reply line per attempt — the second and later \
+                 ones exercise the daemon's result cache.")
+  in
+  let ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe instead of a query.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Fetch the daemon's counter/gauge snapshot instead of a query.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Ask the daemon to drain gracefully and exit.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Query a running dmc serve daemon (one reply line per request)")
+    Term.(const run $ socket_arg $ spec_arg $ file_arg $ engine $ s_arg
+          $ timeout_arg $ node_budget_arg $ samples $ count $ ping $ stats
+          $ shutdown)
+
 let () =
   let info =
     Cmd.info "dmc" ~version:"1.0.0"
       ~doc:"Data-movement complexity of computational DAGs (Elango et al., SPAA 2014)"
   in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; bounds_cmd; game_cmd; replay_cmd; hier_cmd; horizontal_cmd; witness_cmd; formula_cmd; machines_cmd; bench_diff_cmd; experiment_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; bounds_cmd; game_cmd; replay_cmd; hier_cmd; horizontal_cmd; witness_cmd; formula_cmd; machines_cmd; bench_diff_cmd; experiment_cmd; serve_cmd; query_cmd ]))

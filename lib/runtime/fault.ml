@@ -1,4 +1,4 @@
-type kind = Hang | Abort | Garbage
+type kind = Hang | Abort | Garbage | Drop | Truncate | Slow
 
 type t = { kind : kind; job : int; attempts : int option }
 
@@ -6,12 +6,22 @@ let kind_to_string = function
   | Hang -> "hang"
   | Abort -> "abort"
   | Garbage -> "garbage"
+  | Drop -> "drop"
+  | Truncate -> "truncate"
+  | Slow -> "slow"
 
 let kind_of_string = function
   | "hang" -> Some Hang
   | "abort" -> Some Abort
   | "garbage" -> Some Garbage
+  | "drop" -> Some Drop
+  | "truncate" -> Some Truncate
+  | "slow" -> Some Slow
   | _ -> None
+
+let is_worker_kind = function
+  | Hang | Abort | Garbage -> true
+  | Drop | Truncate | Slow -> false
 
 let to_string f =
   match f.attempts with

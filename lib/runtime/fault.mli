@@ -19,14 +19,32 @@ type kind =
   | Garbage
       (** write a non-frame byte string and exit 0 — must surface as
           [Worker_protocol_error] *)
+  | Drop
+      (** server loop: close the accepted connection immediately — the
+          client must see EOF, the daemon must keep serving *)
+  | Truncate
+      (** server loop: write only a prefix of the reply frame, then
+          close — the client must see a typed truncation error *)
+  | Slow
+      (** server loop: stall before each read from the connection,
+          driving the request into the per-connection read deadline *)
 
 type t = {
   kind : kind;
-  job : int;  (** 1-based submission index *)
+  job : int;
+      (** 1-based submission index (worker kinds) or 1-based accepted
+          connection index (server kinds) *)
   attempts : int option;
       (** inject only while the attempt number is [<= a]; [None] means
           every attempt (the job can never succeed) *)
 }
+
+val is_worker_kind : kind -> bool
+(** [Hang]/[Abort]/[Garbage] fire inside a forked pool worker;
+    [Drop]/[Truncate]/[Slow] fire in the [dmc serve] connection loop.
+    The pool ignores server kinds and the server ignores worker kinds
+    (it forwards them to its embedded pool), so one [--fault] spec can
+    drive both layers at once. *)
 
 val parse : string -> (t list, string) result
 (** Parse a spec string; [Error] names the offending clause. *)

@@ -105,7 +105,15 @@ let verdict_failure = function
 let child_body cfg ~worker ~payload ~job ~attempt w =
   Sys.set_signal Sys.sigint Sys.Signal_ignore;
   Sys.set_signal Sys.sigterm Sys.Signal_default;
-  (match Fault.applies cfg.faults ~job ~attempt with
+  (* Server-loop fault kinds (drop/truncate/slow) are not worker
+     faults: a spec can drive the connection loop and the pool from the
+     same string, so the child only honours its own kinds. *)
+  let fault =
+    match Fault.applies cfg.faults ~job ~attempt with
+    | Some k when Fault.is_worker_kind k -> Some k
+    | Some _ | None -> None
+  in
+  (match fault with
   | Some Fault.Hang ->
       (* Non-cooperative by construction: only the supervisor's
          SIGKILL ends this attempt. *)
@@ -119,7 +127,7 @@ let child_body cfg ~worker ~payload ~job ~attempt w =
       (try
          ignore (Unix.write_substring w "*** not an ipc frame ***" 0 24)
        with Unix.Unix_error _ -> ())
-  | None ->
+  | Some (Fault.Drop | Fault.Truncate | Fault.Slow) | None ->
       (* Start from a clean registry (fork inherited the parent's spans
          and counts) but keep the parent's epoch, so the snapshot's
          timestamps land on the supervisor's timeline. *)
@@ -193,6 +201,38 @@ type slot = {
 }
 
 type job_state = Queued | Waiting of float | Running | Final of outcome
+
+type job_rec = {
+  jid : int;
+  mutable jstate : job_state;
+  mutable jattempts : int;
+  mutable jbackoffs : float list; (* newest first *)
+  mutable jfirst : float; (* first-dispatch instant; nan until then *)
+}
+
+(* A streaming pool: jobs arrive one at a time ([submit]) and the
+   supervision loop advances one bounded iteration at a time ([step]),
+   so a long-running caller — the [dmc serve] connection loop — can
+   multiplex worker supervision with its own descriptors.  The batch
+   [run] below is a driver over this same state, so both paths share
+   every supervision invariant (hard deadlines, retry backoff, verdict
+   classification, fault injection). *)
+type 'a t = {
+  cfg : config;
+  worker : int -> 'a -> (Json.t, Budget.failure) result;
+  on_commit : int -> outcome -> unit;
+  ordered : bool;
+  jobs : (int, job_rec) Hashtbl.t;
+  payloads : (int, 'a) Hashtbl.t;
+  queue : int Queue.t;
+  mutable in_flight : slot list;
+  mutable next_id : int;  (* ids handed out so far *)
+  mutable next_commit : int;  (* ordered mode: first uncommitted id *)
+  mutable not_final : int;  (* jobs whose state is not yet Final *)
+  mutable retries_total : int;
+  started : float;
+  mutable last_progress : float;
+}
 
 let flush_parent_output () =
   Format.pp_print_flush Format.std_formatter ();
@@ -356,291 +396,358 @@ let classify slot =
   record_attempt slot verdict obs;
   verdict
 
-let run cfg ~worker ?(on_result = fun _ _ -> ()) jobs =
-  if cfg.jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
-  let payloads = Array.of_list jobs in
-  let n = Array.length payloads in
-  let state = Array.make n Queued in
-  let attempts = Array.make n 0 in
-  let backoffs = Array.make n [] in
-  let first_dispatch = Array.make n nan in
-  let queue = Queue.create () in
-  for i = 0 to n - 1 do
-    Queue.add i queue
-  done;
-  let in_flight = ref [] in
-  let committed = ref 0 in
-  let run_started = Budget.now () in
-  let retries = ref 0 in
-  let last_progress = ref neg_infinity in
-  (* At most ~4 callbacks a second, however fast the loop spins: the
-     renderer writes to stderr and the RSS sampling reads /proc, both
-     of which would otherwise dominate a pool of short jobs. *)
-  let emit_progress () =
-    match cfg.on_progress with
-    | None -> ()
-    | Some f ->
-        let now = Budget.now () in
-        if now -. !last_progress >= 0.25 then begin
-          last_progress := now;
-          let finished = ref 0 and waiting = ref 0 in
-          Array.iter
-            (function
-              | Final _ -> incr finished
-              | Queued | Waiting _ -> incr waiting
-              | Running -> ())
-            state;
-          let running =
-            List.rev_map
-              (fun s ->
-                { Progress.job = s.job; attempt = s.attempt; phase = s.phase })
-              !in_flight
-          in
-          let elapsed = now -. run_started in
-          let eta =
-            if !finished = 0 then None
-            else
-              Some
-                (elapsed *. float_of_int (n - !finished)
-                /. float_of_int !finished)
-          in
-          let rss_bytes =
-            Progress.rss_of_pids
-              (Unix.getpid () :: List.map (fun s -> s.pid) !in_flight)
-          in
-          f
-            {
-              Progress.total = n;
-              finished = !finished;
-              running;
-              waiting = !waiting;
-              retries = !retries;
-              elapsed;
-              eta;
-              rss_bytes;
-            }
-        end
-  in
-  (* Commit the finalized prefix, in submission order. *)
-  let commit () =
+(* ------------------------------------------------------------------ *)
+(* Streaming handle                                                    *)
+
+let create ?(ordered = true) (cfg : config) ~worker ~on_commit () =
+  if cfg.jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  {
+    cfg;
+    worker;
+    on_commit;
+    ordered;
+    jobs = Hashtbl.create 64;
+    payloads = Hashtbl.create 64;
+    queue = Queue.create ();
+    in_flight = [];
+    next_id = 0;
+    next_commit = 0;
+    not_final = 0;
+    retries_total = 0;
+    started = Budget.now ();
+    last_progress = neg_infinity;
+  }
+
+let submit t payload =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.jobs id
+    { jid = id; jstate = Queued; jattempts = 0; jbackoffs = []; jfirst = nan };
+  Hashtbl.replace t.payloads id payload;
+  Queue.add id t.queue;
+  t.not_final <- t.not_final + 1;
+  id
+
+let unfinished t = t.not_final
+let running t = List.length t.in_flight
+
+let watch_fds t =
+  List.filter_map
+    (fun slot -> if slot.eof then None else Some slot.fd)
+    t.in_flight
+
+let outcome t id =
+  match Hashtbl.find_opt t.jobs id with
+  | Some { jstate = Final o; _ } -> Some o
+  | Some _ | None -> None
+
+let job_record t id =
+  match Hashtbl.find_opt t.jobs id with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Pool: unknown job id %d" id)
+
+(* Mark a job final and commit whatever the ordering policy now
+   allows.  Ordered mode releases the contiguous finalized prefix
+   (submission-order commit — the byte-determinism contract); unordered
+   mode commits immediately, which is what a server wants: a fast
+   query's reply must not wait behind a slow unrelated one. *)
+let make_final t r o =
+  (match r.jstate with Final _ -> () | _ -> t.not_final <- t.not_final - 1);
+  r.jstate <- Final o;
+  if t.ordered then begin
     let continue = ref true in
-    while !continue && !committed < n do
-      match state.(!committed) with
-      | Final outcome ->
-          on_result !committed outcome;
-          incr committed
+    while !continue && t.next_commit < t.next_id do
+      match (job_record t t.next_commit).jstate with
+      | Final o ->
+          let id = t.next_commit in
+          (* advance before the callback: a raising on_commit must not
+             re-deliver the same outcome if the caller recovers *)
+          t.next_commit <- t.next_commit + 1;
+          t.on_commit id o
       | _ -> continue := false
     done
+  end
+  else t.on_commit r.jid o
+
+let finalize t r verdict =
+  let elapsed = Budget.now () -. r.jfirst in
+  make_final t r
+    {
+      verdict;
+      attempts = r.jattempts;
+      backoffs = List.rev r.jbackoffs;
+      elapsed;
+    }
+
+let settle t r verdict =
+  if is_transient verdict && r.jattempts <= t.cfg.max_retries then begin
+    Dmc_obs.Counter.incr c_retry;
+    t.retries_total <- t.retries_total + 1;
+    let delay = backoff_delay t.cfg ~job:r.jid ~attempt:r.jattempts in
+    r.jbackoffs <- delay :: r.jbackoffs;
+    r.jstate <- Waiting (Budget.now () +. delay)
+  end
+  else finalize t r verdict
+
+let dispatch t id =
+  let r = job_record t id in
+  Dmc_obs.Counter.incr c_dispatch;
+  r.jattempts <- r.jattempts + 1;
+  if r.jattempts = 1 then r.jfirst <- Budget.now ();
+  r.jstate <- Running;
+  let slot =
+    spawn t.cfg ~worker:t.worker
+      ~payload:(Hashtbl.find t.payloads id)
+      ~job:id ~attempt:r.jattempts
   in
-  let finalize job verdict =
-    let elapsed = Budget.now () -. first_dispatch.(job) in
-    state.(job) <-
+  t.in_flight <- slot :: t.in_flight
+
+(* Cancel every job past the committed point, without an [on_commit]
+   call.  Ordered mode also overwrites attempts that finished out of
+   order behind a still-open gap: their result was never committed, so
+   reporting it as anything but [Cancelled] would let a caller count
+   work that no checkpoint or output stream contains — the committed
+   prefix is the only durable truth, and a resume reruns everything
+   after it.  Unordered callers already committed every final job, so
+   only non-final ones are touched. *)
+let cancel_pending t =
+  let cancel r =
+    let elapsed =
+      if Float.is_nan r.jfirst then 0. else Budget.now () -. r.jfirst
+    in
+    (match r.jstate with Final _ -> () | _ -> t.not_final <- t.not_final - 1);
+    r.jstate <-
       Final
         {
-          verdict;
-          attempts = attempts.(job);
-          backoffs = List.rev backoffs.(job);
+          verdict = Engine_failure Budget.Cancelled;
+          attempts = r.jattempts;
+          backoffs = List.rev r.jbackoffs;
           elapsed;
-        };
-    commit ()
+        }
   in
-  let settle job verdict =
-    if is_transient verdict && attempts.(job) <= cfg.max_retries then begin
-      Dmc_obs.Counter.incr c_retry;
-      incr retries;
-      let delay = backoff_delay cfg ~job ~attempt:attempts.(job) in
-      backoffs.(job) <- delay :: backoffs.(job);
-      state.(job) <- Waiting (Budget.now () +. delay)
-    end
-    else finalize job verdict
-  in
-  let dispatch job =
-    Dmc_obs.Counter.incr c_dispatch;
-    attempts.(job) <- attempts.(job) + 1;
-    if attempts.(job) = 1 then first_dispatch.(job) <- Budget.now ();
-    state.(job) <- Running;
-    let slot =
-      spawn cfg ~worker ~payload:payloads.(job) ~job ~attempt:attempts.(job)
-    in
-    in_flight := slot :: !in_flight
-  in
-  (* Mark every job past the committed prefix as cancelled, without an
-     [on_result] call.  This includes attempts that finished out of
-     order behind a still-open gap: their result was never committed,
-     so reporting it as anything but [Cancelled] would let a caller
-     count work that no checkpoint or output stream contains — the
-     committed prefix is the only durable truth, and a resume reruns
-     everything after it. *)
-  let cancel_unfinished () =
-    for i = !committed to n - 1 do
-      let elapsed =
-        let t = first_dispatch.(i) in
-        if Float.is_nan t then 0. else Budget.now () -. t
-      in
-      state.(i) <-
-        Final
-          {
-            verdict = Engine_failure Budget.Cancelled;
-            attempts = attempts.(i);
-            backoffs = List.rev backoffs.(i);
-            elapsed;
-          }
+  if t.ordered then
+    for id = t.next_commit to t.next_id - 1 do
+      cancel (job_record t id)
     done
+  else
+    Hashtbl.iter
+      (fun _ r -> match r.jstate with Final _ -> () | _ -> cancel r)
+      t.jobs;
+  Queue.clear t.queue
+
+let abandon t =
+  List.iter
+    (fun slot ->
+      kill_quietly slot.pid;
+      reap_blocking slot)
+    t.in_flight;
+  t.in_flight <- [];
+  cancel_pending t
+
+(* At most ~4 callbacks a second, however fast the loop spins: the
+   renderer writes to stderr and the RSS sampling reads /proc, both of
+   which would otherwise dominate a pool of short jobs. *)
+let emit_progress t =
+  match t.cfg.on_progress with
+  | None -> ()
+  | Some f ->
+      let now = Budget.now () in
+      if now -. t.last_progress >= 0.25 then begin
+        t.last_progress <- now;
+        let n = t.next_id in
+        let finished = ref 0 and waiting = ref 0 in
+        Hashtbl.iter
+          (fun _ r ->
+            match r.jstate with
+            | Final _ -> incr finished
+            | Queued | Waiting _ -> incr waiting
+            | Running -> ())
+          t.jobs;
+        let running =
+          List.rev_map
+            (fun s ->
+              { Progress.job = s.job; attempt = s.attempt; phase = s.phase })
+            t.in_flight
+        in
+        let elapsed = now -. t.started in
+        let eta =
+          if !finished = 0 then None
+          else
+            Some
+              (elapsed *. float_of_int (n - !finished) /. float_of_int !finished)
+        in
+        let rss_bytes =
+          Progress.rss_of_pids
+            (Unix.getpid () :: List.map (fun s -> s.pid) t.in_flight)
+        in
+        f
+          {
+            Progress.total = n;
+            finished = !finished;
+            running;
+            waiting = !waiting;
+            retries = t.retries_total;
+            elapsed;
+            eta;
+            rss_bytes;
+          }
+      end
+
+(* One bounded supervision iteration: promote elapsed retry-waits,
+   fill free worker slots (unless the config is draining), select on
+   the worker pipes for at most [max_wait] seconds (capped tighter by
+   the nearest deadline or retry wake-up), drain readable pipes,
+   enforce hard deadlines, reap exited children and settle their
+   attempts.  Callers embedding the pool in their own event loop pass
+   [~max_wait:0.] after their own select; the batch driver uses the
+   default. *)
+let step ?(max_wait = 0.2) t =
+  let now = Budget.now () in
+  (* Promote retry-waits whose backoff has elapsed. *)
+  Hashtbl.iter
+    (fun id r ->
+      match r.jstate with
+      | Waiting tm when tm <= now ->
+          r.jstate <- Queued;
+          Queue.add id t.queue
+      | _ -> ())
+    t.jobs;
+  (* Fill free worker slots (unless draining). *)
+  while
+    t.cfg.accept_more ()
+    && List.length t.in_flight < t.cfg.jobs
+    && not (Queue.is_empty t.queue)
+  do
+    dispatch t (Queue.take t.queue)
+  done;
+  (* Pick the select timeout: nearest attempt deadline, nearest retry
+     wake-up, capped so the caller's stop conditions are polled
+     promptly. *)
+  let timeout =
+    let horizon = ref max_wait in
+    let shrink tm = if tm -. now < !horizon then horizon := tm -. now in
+    List.iter (fun slot -> Option.iter shrink slot.deadline) t.in_flight;
+    Hashtbl.iter
+      (fun _ r -> match r.jstate with Waiting tm -> shrink tm | _ -> ())
+      t.jobs;
+    Float.max 0.0 !horizon
   in
-  let abandon () =
-    List.iter
+  let watched = List.filter (fun s -> not s.eof) t.in_flight in
+  let readable =
+    if watched = [] then (
+      if t.in_flight = [] && Queue.is_empty t.queue then
+        (* only Waiting jobs remain: sleep out the backoff *)
+        ignore (Unix.select [] [] [] timeout : _ * _ * _);
+      [])
+    else
+      match Unix.select (List.map (fun s -> s.fd) watched) [] [] timeout with
+      | fds, _, _ -> fds
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+  in
+  (* Drain readable pipes.  Iterate [watched] — the exact slots select
+     looked at — not [in_flight]: a slot that already hit EOF lingers
+     in [in_flight] until its child is reaped, its closed fd *number*
+     can be reused by a newly spawned pipe, and matching on the stale
+     slot would read the new worker's bytes into the wrong buffer (or
+     close the live fd out from under the next select). *)
+  List.iter
+    (fun slot ->
+      if List.memq slot.fd readable then begin
+        let chunk = Bytes.create 65536 in
+        match Unix.read slot.fd chunk 0 65536 with
+        | 0 ->
+            (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+            slot.eof <- true
+        | k ->
+            Buffer.add_subbytes slot.buf chunk 0 k;
+            consume_frames slot
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      end)
+    watched;
+  (* Enforce hard deadlines. *)
+  let now = Budget.now () in
+  List.iter
+    (fun slot ->
+      match slot.deadline with
+      | Some d when now > d && not slot.timeout_killed ->
+          slot.timeout_killed <- true;
+          kill_quietly slot.pid
+      | _ -> ())
+    t.in_flight;
+  (* Reap exited children without blocking. *)
+  List.iter
+    (fun slot ->
+      if slot.status = None then
+        match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
+        | 0, _ -> ()
+        | _, st -> slot.status <- Some st
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+            slot.status <- Some (Unix.WEXITED 127))
+    t.in_flight;
+  (* A reaped child closes its pipe on exit; drain what's left and
+     settle the attempt. *)
+  let done_, still =
+    List.partition
       (fun slot ->
-        kill_quietly slot.pid;
-        reap_blocking slot)
-      !in_flight;
-    in_flight := [];
-    cancel_unfinished ()
+        match slot.status with
+        | Some _ when not slot.eof ->
+            (* Reaped but EOF not yet seen: consume the remainder now —
+               the write side is closed, so this terminates. *)
+            let rec drain () =
+              let chunk = Bytes.create 65536 in
+              match Unix.read slot.fd chunk 0 65536 with
+              | 0 -> ()
+              | k ->
+                  Buffer.add_subbytes slot.buf chunk 0 k;
+                  drain ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+            in
+            drain ();
+            (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+            slot.eof <- true;
+            true
+        | Some _ -> true
+        | None -> false)
+      t.in_flight
   in
+  t.in_flight <- still;
+  List.iter (fun slot -> settle t (job_record t slot.job) (classify slot)) done_;
+  emit_progress t
+
+(* ------------------------------------------------------------------ *)
+(* Batch driver                                                        *)
+
+let run (cfg : config) ~worker ?(on_result = fun _ _ -> ()) jobs =
+  if cfg.jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
+  let n = List.length jobs in
+  let pool = create cfg ~worker ~on_commit:on_result () in
+  List.iter (fun payload -> ignore (submit pool payload : int)) jobs;
   let stopped = ref false in
-  let finally () = if !in_flight <> [] then abandon () in
+  let finally () = if pool.in_flight <> [] then abandon pool in
   Fun.protect ~finally (fun () ->
-      while !committed < n && not !stopped do
+      while pool.next_commit < n && not !stopped do
         if cfg.should_stop () then begin
-          abandon ();
+          abandon pool;
           stopped := true
         end
-        else if (not (cfg.accept_more ())) && !in_flight = [] then begin
+        else if (not (cfg.accept_more ())) && pool.in_flight = [] then begin
           (* Draining finished: every started attempt has settled;
              whatever never started stays undone. *)
-          cancel_unfinished ();
+          cancel_pending pool;
           stopped := true
         end
-        else begin
-          let now = Budget.now () in
-          (* Promote retry-waits whose backoff has elapsed. *)
-          Array.iteri
-            (fun i st ->
-              match st with
-              | Waiting t when t <= now ->
-                  state.(i) <- Queued;
-                  Queue.add i queue
-              | _ -> ())
-            state;
-          (* Fill free worker slots (unless draining). *)
-          while
-            cfg.accept_more ()
-            && List.length !in_flight < cfg.jobs
-            && not (Queue.is_empty queue)
-          do
-            dispatch (Queue.take queue)
-          done;
-          (* Pick the select timeout: nearest attempt deadline, nearest
-             retry wake-up, capped so should_stop is polled promptly. *)
-          let timeout =
-            let horizon = ref 0.2 in
-            let shrink t = if t -. now < !horizon then horizon := t -. now in
-            List.iter
-              (fun slot -> Option.iter shrink slot.deadline)
-              !in_flight;
-            Array.iter
-              (function Waiting t -> shrink t | _ -> ())
-              state;
-            Float.max 0.0 !horizon
-          in
-          let watched = List.filter (fun s -> not s.eof) !in_flight in
-          let readable =
-            if watched = [] then (
-              if !in_flight = [] && Queue.is_empty queue then
-                (* only Waiting jobs remain: sleep out the backoff *)
-                ignore (Unix.select [] [] [] timeout : _ * _ * _);
-              [])
-            else
-              match
-                Unix.select (List.map (fun s -> s.fd) watched) [] [] timeout
-              with
-              | fds, _, _ -> fds
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
-          in
-          (* Drain readable pipes.  Iterate [watched] — the exact slots
-             select looked at — not [in_flight]: a slot that already hit
-             EOF lingers in [in_flight] until its child is reaped, its
-             closed fd *number* can be reused by a newly spawned pipe,
-             and matching on the stale slot would read the new worker's
-             bytes into the wrong buffer (or close the live fd out from
-             under the next select). *)
-          List.iter
-            (fun slot ->
-              if List.memq slot.fd readable then begin
-                let chunk = Bytes.create 65536 in
-                match Unix.read slot.fd chunk 0 65536 with
-                | 0 ->
-                    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
-                    slot.eof <- true
-                | k ->
-                    Buffer.add_subbytes slot.buf chunk 0 k;
-                    consume_frames slot
-                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-              end)
-            watched;
-          (* Enforce hard deadlines. *)
-          let now = Budget.now () in
-          List.iter
-            (fun slot ->
-              match slot.deadline with
-              | Some d when now > d && not slot.timeout_killed ->
-                  slot.timeout_killed <- true;
-                  kill_quietly slot.pid
-              | _ -> ())
-            !in_flight;
-          (* Reap exited children without blocking. *)
-          List.iter
-            (fun slot ->
-              if slot.status = None then
-                match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
-                | 0, _ -> ()
-                | _, st -> slot.status <- Some st
-                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-                | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
-                    slot.status <- Some (Unix.WEXITED 127))
-            !in_flight;
-          (* A reaped child closes its pipe on exit; drain what's left
-             and settle the attempt. *)
-          let done_, still =
-            List.partition
-              (fun slot ->
-                match slot.status with
-                | Some _ when not slot.eof ->
-                    (* Reaped but EOF not yet seen: consume the
-                       remainder now — the write side is closed, so
-                       this terminates. *)
-                    let rec drain () =
-                      let chunk = Bytes.create 65536 in
-                      match Unix.read slot.fd chunk 0 65536 with
-                      | 0 -> ()
-                      | k ->
-                          Buffer.add_subbytes slot.buf chunk 0 k;
-                          drain ()
-                      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-                          drain ()
-                    in
-                    drain ();
-                    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
-                    slot.eof <- true;
-                    true
-                | Some _ -> true
-                | None -> false)
-              !in_flight
-          in
-          in_flight := still;
-          List.iter (fun slot -> settle slot.job (classify slot)) done_;
-          emit_progress ()
-        end
+        else step pool
       done);
-  Array.map
-    (function
-      | Final o -> o
-      | Queued | Waiting _ | Running ->
-          (* unreachable: the loop exits only when all jobs are final
-             or abandon() finalized them *)
+  Array.init n (fun i ->
+      match outcome pool i with
+      | Some o -> o
+      | None ->
+          (* unreachable: the loop exits only when all jobs committed
+             or abandon()/cancel_pending() finalized them *)
           {
             verdict = Engine_failure Budget.Cancelled;
             attempts = 0;
             backoffs = [];
             elapsed = 0.;
           })
-    state

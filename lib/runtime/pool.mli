@@ -103,6 +103,76 @@ val verdict_failure : verdict -> Dmc_util.Budget.failure option
     are [Internal] (with the signal or protocol detail), and
     [Engine_failure] carries its own failure through. *)
 
+(** {1 Streaming handle}
+
+    The batch {!run} below is the right shape for a driver that knows
+    its whole job list up front.  A daemon does not: queries arrive one
+    at a time and its event loop must keep accepting connections while
+    workers grind.  The handle API exposes the same supervised pool —
+    identical deadline enforcement, retry/backoff, verdict
+    classification and fault injection, because {!run} itself is a
+    driver over this state — as three primitives a caller can embed in
+    its own [select] loop: {!submit} a job, {!watch_fds} to fold worker
+    pipes into the caller's select set, {!step} to advance supervision
+    one bounded iteration. *)
+
+type 'a t
+
+val create :
+  ?ordered:bool ->
+  config ->
+  worker:(int -> 'a -> (Dmc_util.Json.t, Dmc_util.Budget.failure) result) ->
+  on_commit:(int -> outcome -> unit) ->
+  unit ->
+  'a t
+(** A pool with no jobs yet.  [ordered] (default [true]) selects the
+    commit policy: [true] releases outcomes in submission order (the
+    byte-determinism contract {!run} documents), [false] commits each
+    job the moment it finalizes — what a server wants, so a fast
+    query's reply never waits behind a slow unrelated one.
+    [on_commit] is the commit hook; an exception it raises propagates
+    out of {!step}.  Raises [Invalid_argument] if [cfg.jobs < 1]. *)
+
+val submit : 'a t -> 'a -> int
+(** Enqueue a job; returns its id (sequential from 0 in submission
+    order — the index [worker] and [on_commit] receive). *)
+
+val step : ?max_wait:float -> 'a t -> unit
+(** One supervision iteration: promote elapsed retry backoffs, dispatch
+    queued jobs into free worker slots (unless [cfg.accept_more ()] is
+    false), select on worker pipes for at most [max_wait] seconds
+    (default 0.2, capped tighter by the nearest deadline or retry
+    wake-up), drain output, SIGKILL attempts past their hard deadline,
+    reap exited children and settle their verdicts (commit or schedule
+    a retry).  Callers embedding the pool in their own event loop pass
+    [~max_wait:0.] after their own select says a worker pipe (or
+    nothing) is ready. *)
+
+val watch_fds : 'a t -> Unix.file_descr list
+(** The worker pipe descriptors currently worth selecting on — one per
+    in-flight attempt that has not yet hit EOF.  Valid until the next
+    {!step}, which may close any of them. *)
+
+val unfinished : 'a t -> int
+(** Jobs submitted but not yet final (queued, awaiting retry, or
+    running) — the admission-control number: a server rejects new work
+    when this exceeds its bound. *)
+
+val running : 'a t -> int
+(** In-flight worker processes (reaped-but-unsettled attempts
+    included). *)
+
+val outcome : 'a t -> int -> outcome option
+(** The final outcome of job [id], or [None] while it is still
+    pending (or the id was never issued). *)
+
+val abandon : 'a t -> unit
+(** SIGKILL and reap every in-flight worker, then finalize every
+    non-committed job as [Engine_failure Cancelled] {e without} an
+    [on_commit] call (the {!run} cancellation invariant).  The handle
+    is dead afterwards: outcomes remain queryable via {!outcome}, but
+    no further {!submit}/{!step} is meaningful. *)
+
 val run :
   config ->
   worker:(int -> 'a -> (Dmc_util.Json.t, Dmc_util.Budget.failure) result) ->

@@ -1,0 +1,29 @@
+let version = "dmc-serve-cache-v1"
+
+(* The key material is an explicit NUL-separated field list, not a JSON
+   rendering: a renderer tweak (float formatting, key order) must never
+   silently re-key the whole cache.  NUL cannot appear in any field —
+   engine names and workload specs are ASCII identifiers, and the graph
+   serialization is line-oriented text — so fields cannot bleed into
+   each other. *)
+let of_job (j : Dmc_core.Engine_job.t) =
+  let graph =
+    match Dmc_cdag.Serialize.of_string j.graph with
+    | Ok g -> Dmc_cdag.Serialize.to_string g
+    | Error _ -> j.graph
+  in
+  let material =
+    String.concat "\x00"
+      [
+        version;
+        j.engine;
+        string_of_int j.s;
+        (match j.timeout with
+        | None -> "-"
+        | Some t -> Printf.sprintf "%.17g" t);
+        (match j.node_budget with None -> "-" | Some n -> string_of_int n);
+        string_of_int j.samples;
+        graph;
+      ]
+  in
+  Digest.to_hex (Digest.string material)

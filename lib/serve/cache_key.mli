@@ -1,0 +1,22 @@
+(** Content-addressed cache keys for bound-query results.
+
+    A governed bound is a pure function of its {!Dmc_core.Engine_job}:
+    the CDAG, the engine name, the fast-memory size and the resource
+    budget determine the row completely.  The daemon therefore keys its
+    result cache by a digest of exactly those inputs — two queries that
+    describe the same computation hit the same entry no matter how they
+    arrived (generator spec vs. inline graph text, different whitespace
+    in the serialization, different clients). *)
+
+val version : string
+(** Version tag mixed into every key.  Bump it when the row payload or
+    the key material changes shape: old persisted entries then miss
+    instead of replaying a stale format. *)
+
+val of_job : Dmc_core.Engine_job.t -> string
+(** The hex digest naming [job]'s result.  The graph text is
+    canonicalized first (parsed and re-serialized) so formatting
+    differences cannot split cache entries; a graph that fails to parse
+    is digested verbatim — the job will fail with [Invalid_input]
+    anyway, and broken inputs deserve cache slots no more stable than
+    their bytes. *)

@@ -1,0 +1,160 @@
+module Json = Dmc_util.Json
+module Budget = Dmc_util.Budget
+
+type source = Spec of string | Graph of string
+
+type query = {
+  source : source;
+  engine : string;
+  s : int;
+  timeout : float option;
+  node_budget : int option;
+  samples : int;
+}
+
+type request = Ping | Stats | Shutdown | Query of query
+
+type reject = Overloaded | Draining | Protocol of string
+
+type reply =
+  | Pong
+  | Stats_snapshot of Json.t
+  | Bye
+  | Result of { cached : bool; row : Json.t }
+  | Failed of Budget.failure
+  | Rejected of reject
+
+let query ?timeout ?node_budget ?(samples = 64) source ~engine ~s =
+  Query { source; engine; s; timeout; node_budget; samples }
+
+let request_to_json = function
+  | Ping -> Json.Obj [ ("req", Json.String "ping") ]
+  | Stats -> Json.Obj [ ("req", Json.String "stats") ]
+  | Shutdown -> Json.Obj [ ("req", Json.String "shutdown") ]
+  | Query q ->
+      let source =
+        match q.source with
+        | Spec s -> ("spec", Json.String s)
+        | Graph g -> ("graph", Json.String g)
+      in
+      Json.Obj
+        [
+          ("req", Json.String "query");
+          source;
+          ("engine", Json.String q.engine);
+          ("s", Json.Int q.s);
+          ("timeout", Json.opt (fun t -> Json.Float t) q.timeout);
+          ("node_budget", Json.opt (fun n -> Json.Int n) q.node_budget);
+          ("samples", Json.Int q.samples);
+        ]
+
+let request_of_json json =
+  match Json.mem json "req" with
+  | Some (Json.String "ping") -> Ok Ping
+  | Some (Json.String "stats") -> Ok Stats
+  | Some (Json.String "shutdown") -> Ok Shutdown
+  | Some (Json.String "query") -> (
+      let field name = Json.mem json name in
+      let source =
+        match (field "spec", field "graph") with
+        | Some (Json.String s), None -> Ok (Spec s)
+        | None, Some (Json.String g) -> Ok (Graph g)
+        | None, None -> Error "query needs one of \"spec\" or \"graph\""
+        | _ -> Error "query takes exactly one of \"spec\" or \"graph\""
+      in
+      match source with
+      | Error _ as e -> e
+      | Ok source -> (
+          match
+            ( Option.bind (field "engine") Json.as_string,
+              Option.bind (field "s") Json.as_int )
+          with
+          | Some engine, Some s ->
+              Ok
+                (Query
+                   {
+                     source;
+                     engine;
+                     s;
+                     timeout = Option.bind (field "timeout") Json.as_float;
+                     node_budget =
+                       Option.bind (field "node_budget") Json.as_int;
+                     samples =
+                       (match Option.bind (field "samples") Json.as_int with
+                       | Some n -> n
+                       | None -> 64);
+                   })
+          | None, _ -> Error "query needs a string \"engine\""
+          | _, None -> Error "query needs an integer \"s\""))
+  | Some (Json.String other) -> Error (Printf.sprintf "unknown request %S" other)
+  | Some _ -> Error "\"req\" must be a string"
+  | None -> Error "missing \"req\" field"
+
+let reject_token = function
+  | Overloaded -> "overloaded"
+  | Draining -> "draining"
+  | Protocol _ -> "protocol"
+
+let reply_to_json = function
+  | Pong -> Json.Obj [ ("reply", Json.String "pong") ]
+  | Stats_snapshot stats ->
+      Json.Obj [ ("reply", Json.String "stats"); ("stats", stats) ]
+  | Bye -> Json.Obj [ ("reply", Json.String "bye") ]
+  | Result { cached; row } ->
+      Json.Obj
+        [
+          ("reply", Json.String "result");
+          ("cached", Json.Bool cached);
+          ("row", row);
+        ]
+  | Failed f ->
+      Json.Obj
+        [
+          ("reply", Json.String "failed");
+          ("failure", Json.String (Budget.failure_to_string f));
+        ]
+  | Rejected r ->
+      Json.Obj
+        (("reply", Json.String "rejected")
+         :: ("reason", Json.String (reject_token r))
+         ::
+         (match r with
+         | Protocol detail -> [ ("detail", Json.String detail) ]
+         | Overloaded | Draining -> []))
+
+let reply_of_json json =
+  match Json.mem json "reply" with
+  | Some (Json.String "pong") -> Ok Pong
+  | Some (Json.String "bye") -> Ok Bye
+  | Some (Json.String "stats") -> (
+      match Json.mem json "stats" with
+      | Some stats -> Ok (Stats_snapshot stats)
+      | None -> Error "stats reply without \"stats\"")
+  | Some (Json.String "result") -> (
+      match
+        (Option.bind (Json.mem json "cached") Json.as_bool, Json.mem json "row")
+      with
+      | Some cached, Some row -> Ok (Result { cached; row })
+      | _ -> Error "result reply needs \"cached\" and \"row\"")
+  | Some (Json.String "failed") -> (
+      match Option.bind (Json.mem json "failure") Json.as_string with
+      | Some token -> (
+          match Budget.failure_of_string token with
+          | Some f -> Ok (Failed f)
+          | None -> Error (Printf.sprintf "unknown failure token %S" token))
+      | None -> Error "failed reply without \"failure\"")
+  | Some (Json.String "rejected") -> (
+      let detail () =
+        match Option.bind (Json.mem json "detail") Json.as_string with
+        | Some d -> d
+        | None -> ""
+      in
+      match Option.bind (Json.mem json "reason") Json.as_string with
+      | Some "overloaded" -> Ok (Rejected Overloaded)
+      | Some "draining" -> Ok (Rejected Draining)
+      | Some "protocol" -> Ok (Rejected (Protocol (detail ())))
+      | Some other -> Error (Printf.sprintf "unknown reject reason %S" other)
+      | None -> Error "rejected reply without \"reason\"")
+  | Some (Json.String other) -> Error (Printf.sprintf "unknown reply %S" other)
+  | Some _ -> Error "\"reply\" must be a string"
+  | None -> Error "missing \"reply\" field"

@@ -1,0 +1,72 @@
+(** The [dmc serve] wire protocol: typed requests and replies.
+
+    Transport is {!Dmc_util.Ipc} length-prefixed JSON frames over a
+    Unix-domain socket, one request and one reply per connection.  This
+    module owns the request/reply shapes and their codecs, so the
+    server, the [dmc query] client and the tests all speak from one
+    definition — a protocol drift becomes a compile error, not a
+    hanging socket.
+
+    Every way the server can refuse work is a typed reply, never a
+    dropped connection: computation failures carry the
+    {!Dmc_util.Budget.failure} taxonomy (so a daemon timeout reads
+    exactly like a CLI timeout), and server-side refusals
+    (overload, drain, protocol violations) carry their own closed
+    {!reject} type. *)
+
+type source =
+  | Spec of string  (** a {!Dmc_gen.Workload} spec, resolved server-side *)
+  | Graph of string  (** inline {!Dmc_cdag.Serialize} text *)
+
+type query = {
+  source : source;
+  engine : string;  (** a {!Dmc_core.Bounds.governed_engines} name *)
+  s : int;
+  timeout : float option;
+  node_budget : int option;
+  samples : int;
+}
+
+type request =
+  | Ping  (** liveness probe; answered from the event loop *)
+  | Stats  (** counter/gauge snapshot, for monitoring and the CI smoke *)
+  | Shutdown  (** begin a graceful drain, as if SIGTERMed *)
+  | Query of query
+
+type reject =
+  | Overloaded
+      (** admission control: the bounded in-flight queue is full — retry
+          later, nothing was computed *)
+  | Draining
+      (** the daemon is shutting down and no longer admits queries *)
+  | Protocol of string
+      (** the request frame or its shape was invalid (bad header,
+          oversized, not JSON, unknown request, read deadline
+          exceeded); the detail says which *)
+
+type reply =
+  | Pong
+  | Stats_snapshot of Dmc_util.Json.t
+  | Bye  (** shutdown acknowledged; drain has begun *)
+  | Result of { cached : bool; row : Dmc_util.Json.t }
+      (** a bound row ({!Dmc_core.Bounds.row_to_json} shape);
+          [cached] distinguishes a cache hit from fresh computation *)
+  | Failed of Dmc_util.Budget.failure
+      (** the query was admitted but its computation failed; the
+          failure taxonomy token crosses the wire intact *)
+  | Rejected of reject
+
+val query :
+  ?timeout:float ->
+  ?node_budget:int ->
+  ?samples:int ->
+  source ->
+  engine:string ->
+  s:int ->
+  request
+(** [samples] defaults to 64, matching {!Dmc_core.Engine_job.make}. *)
+
+val request_to_json : request -> Dmc_util.Json.t
+val request_of_json : Dmc_util.Json.t -> (request, string) result
+val reply_to_json : reply -> Dmc_util.Json.t
+val reply_of_json : Dmc_util.Json.t -> (reply, string) result

@@ -1,0 +1,138 @@
+module Json = Dmc_util.Json
+module Checkpoint = Dmc_util.Checkpoint
+module Lru = Dmc_sim.Cache
+
+let c_hit = Dmc_obs.Counter.make "serve.cache.hit"
+let c_miss = Dmc_obs.Counter.make "serve.cache.miss"
+let c_eviction = Dmc_obs.Counter.make "serve.cache.eviction"
+let g_size = Dmc_obs.Gauge.make "serve.cache.size"
+
+(* [Dmc_sim.Cache] tracks recency over integer keys, so each digest
+   gets a small integer id for the LRU's benefit; [ids]/[by_id] map
+   both ways.  Ids are never reused — 63-bit counter, one per distinct
+   key ever inserted. *)
+type t = {
+  lru : Lru.t;
+  ids : (string, int) Hashtbl.t;
+  by_id : (int, string * Json.t) Hashtbl.t;
+  mutable next_id : int;
+  file : string option;
+}
+
+let size t = Hashtbl.length t.by_id
+let capacity t = Lru.capacity t.lru
+
+let entries t =
+  let acc = ref [] in
+  Lru.iter (fun id ~dirty:_ -> acc := Hashtbl.find t.by_id id :: !acc) t.lru;
+  List.rev !acc
+
+let format_version = 1
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int format_version);
+      ("key_version", Json.String Cache_key.version);
+      ( "entries",
+        Json.List
+          (List.map
+             (fun (key, row) ->
+               Json.Obj [ ("key", Json.String key); ("row", row) ])
+             (entries t)) );
+    ]
+
+let save t =
+  match t.file with
+  | None -> ()
+  | Some file ->
+      Checkpoint.write file (to_json t);
+      Dmc_obs.Gauge.set g_size (float_of_int (size t))
+
+(* Insert without touching the backing file — shared by [add] and the
+   load path (loading must not rewrite what it just read). *)
+let put t key row =
+  match Hashtbl.find_opt t.ids key with
+  | Some id ->
+      Hashtbl.replace t.by_id id (key, row);
+      ignore (Lru.insert t.lru id : Lru.eviction option)
+  | None ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Hashtbl.replace t.ids key id;
+      Hashtbl.replace t.by_id id (key, row);
+      (match Lru.insert t.lru id with
+      | None -> ()
+      | Some { Lru.key = victim; _ } ->
+          Dmc_obs.Counter.incr c_eviction;
+          let vkey, _ = Hashtbl.find t.by_id victim in
+          Hashtbl.remove t.by_id victim;
+          Hashtbl.remove t.ids vkey)
+
+let add t key row =
+  put t key row;
+  save t
+
+let find t key =
+  match Hashtbl.find_opt t.ids key with
+  | Some id ->
+      ignore (Lru.touch t.lru id : bool);
+      Dmc_obs.Counter.incr c_hit;
+      Some (snd (Hashtbl.find t.by_id id))
+  | None ->
+      Dmc_obs.Counter.incr c_miss;
+      None
+
+(* Tolerant load: shape mismatches, a stale key version and parse
+   errors all yield an empty cache.  Entries load in file order, which
+   [to_json] wrote LRU-to-MRU, so recency survives the round trip. *)
+let load t file =
+  match Checkpoint.load file with
+  | Error _ -> ()
+  | Ok json ->
+      let version_ok =
+        Option.bind (Json.mem json "version") Json.as_int
+          = Some format_version
+        && Option.bind (Json.mem json "key_version") Json.as_string
+           = Some Cache_key.version
+      in
+      if version_ok then
+        match Option.bind (Json.mem json "entries") Json.as_list with
+        | None -> ()
+        | Some items ->
+            List.iter
+              (fun item ->
+                match
+                  ( Option.bind (Json.mem item "key") Json.as_string,
+                    Json.mem item "row" )
+                with
+                | Some key, Some row -> put t key row
+                | _ -> ())
+              items
+
+let create ?dir ~capacity () =
+  if capacity < 1 then invalid_arg "Result_cache.create: capacity must be >= 1";
+  let file =
+    Option.map
+      (fun dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+        Filename.concat dir "results.json")
+      dir
+  in
+  let t =
+    {
+      lru = Lru.create ~capacity;
+      ids = Hashtbl.create 64;
+      by_id = Hashtbl.create 64;
+      next_id = 0;
+      file;
+    }
+  in
+  Option.iter
+    (fun file ->
+      ignore (Checkpoint.sweep_orphans file : int);
+      if Sys.file_exists file then load t file)
+    t.file;
+  Dmc_obs.Gauge.set g_size (float_of_int (size t));
+  t

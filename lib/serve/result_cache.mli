@@ -1,0 +1,46 @@
+(** The daemon's content-addressed result cache: an LRU over
+    {!Cache_key} digests with write-through persistence.
+
+    The recency structure is the hierarchy simulator's own
+    {!Dmc_sim.Cache} — the same doubly-linked LRU the paper's memory
+    model runs on — wrapped with a string-key index and a JSON payload
+    store.  Hits, misses and evictions are exported as
+    [serve.cache.*] counters through {!Dmc_obs}.
+
+    Persistence is write-through via {!Dmc_util.Checkpoint}: every
+    {!add} rewrites the backing file atomically (fsync before rename),
+    so a [kill -9] loses at most results still in flight — never an
+    entry that was already answered from.  Entries are stored in
+    LRU-to-MRU order and reloaded in that order, so recency survives a
+    restart too. *)
+
+type t
+
+val create : ?dir:string -> capacity:int -> unit -> t
+(** An empty cache holding at most [capacity] entries
+    ([Invalid_argument] if not positive).  With [dir], results persist
+    to [dir/results.json] (the directory is created if missing, orphaned
+    checkpoint temps are swept, and an existing file is loaded back); a
+    missing or corrupt file yields an empty cache — a damaged cache
+    must cost recomputation, never availability. *)
+
+val find : t -> string -> Dmc_util.Json.t option
+(** Look up a key, refreshing its recency on a hit.  Bumps
+    [serve.cache.hit] or [serve.cache.miss]. *)
+
+val add : t -> string -> Dmc_util.Json.t -> unit
+(** Insert (or refresh) an entry as most-recently-used, evicting the
+    LRU entry when full (bumping [serve.cache.eviction]), then persist
+    if backed by a directory.  A failed persist raises [Sys_error] —
+    the daemon treats a cache it cannot write like a checkpoint it
+    cannot write: fatal, not silently volatile. *)
+
+val save : t -> unit
+(** Persist now (no-op without [dir]) — the drain path's final write. *)
+
+val size : t -> int
+val capacity : t -> int
+
+val entries : t -> (string * Dmc_util.Json.t) list
+(** Snapshot in LRU-to-MRU order — the persistence order; exposed for
+    tests. *)

@@ -9,7 +9,48 @@
    checkpointing to the same path never clobber each other's
    half-written temp. *)
 
+(* A SIGKILL (or power loss) between temp-write and rename strands the
+   temp file under the destination name's prefix forever — nothing ever
+   renames or deletes it.  Each writer therefore sweeps its
+   predecessors' orphans: files matching our own naming scheme
+   ([basename.<random>.tmp], exactly what [open_temp_file] below
+   produces) that are older than [max_age].  The age floor keeps a
+   sweep from deleting the temp a concurrent writer is fsyncing right
+   now — a live write-and-rename takes milliseconds, not minutes. *)
+let default_max_age = 600.
+
+let is_orphan ~base name =
+  let prefix = base ^ "." and suffix = ".tmp" in
+  let lp = String.length prefix and ls = String.length suffix in
+  String.length name > lp + ls
+  && String.sub name 0 lp = prefix
+  && String.sub name (String.length name - ls) ls = suffix
+
+let sweep_orphans ?(max_age = default_max_age) path =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  let cutoff = Unix.gettimeofday () -. max_age in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.fold_left
+        (fun removed name ->
+          if not (is_orphan ~base name) then removed
+          else
+            let full = Filename.concat dir name in
+            match Unix.stat full with
+            | exception Unix.Unix_error _ -> removed
+            | st ->
+                if st.Unix.st_kind = Unix.S_REG && st.Unix.st_mtime <= cutoff
+                then (
+                  match Sys.remove full with
+                  | () -> removed + 1
+                  | exception Sys_error _ -> removed)
+                else removed)
+        0 names
+
 let write path json =
+  ignore (sweep_orphans path : int);
   let dir = Filename.dirname path in
   let tmp, oc =
     Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ]

@@ -14,7 +14,21 @@ val write : string -> Json.t -> unit
     rename into an [EXDEV] failure.  Raises [Sys_error] on I/O failure
     (the drivers treat a failed checkpoint as fatal rather than
     silently losing progress); the temp file is removed on the error
-    path. *)
+    path.  Before writing, stale orphaned temps for the same [path]
+    are swept (see {!sweep_orphans}), so a SIGKILLed predecessor
+    cannot accumulate [*.tmp] litter forever. *)
+
+val sweep_orphans : ?max_age:float -> string -> int
+(** [sweep_orphans path] removes temp files stranded next to [path] by
+    a writer killed between temp-write and rename: regular files in
+    [path]'s directory matching this module's own naming scheme
+    ([basename.<unique>.tmp]) whose mtime is older than [max_age]
+    seconds (default 600).  The age floor protects a concurrent
+    writer's live temp.  Returns the number of files removed; unstattable
+    or unremovable entries (and an unreadable directory) are skipped
+    silently — sweeping is best-effort hygiene, never a failure
+    reason.  Called automatically by {!write}; exposed for daemons
+    that want to sweep on startup before their first checkpoint. *)
 
 val load : string -> (Json.t, string) result
 (** Read and parse a checkpoint; [Error] describes a missing,

@@ -3,6 +3,7 @@ type read_error =
   | Bad_header of string
   | Oversized of int
   | Truncated of { expected : int; got : int }
+  | Timed_out of { expected : int; got : int }
   | Malformed of string
 
 (* A corrupted or hostile length prefix must never drive a giant
@@ -21,6 +22,10 @@ let read_error_to_string = function
         max_frame_bytes
   | Truncated { expected; got } ->
       Printf.sprintf "frame truncated: expected %d bytes, got %d" expected got
+  | Timed_out { expected; got } ->
+      Printf.sprintf
+        "frame stalled past its read deadline: expected %d bytes, got %d"
+        expected got
   | Malformed msg -> "frame payload is not JSON: " ^ msg
 
 let header_bytes = 8
@@ -41,19 +46,40 @@ let write_frame fd json =
   let frame = encode_frame json in
   write_all fd frame 0 (String.length frame)
 
-(* Read exactly [len] bytes; short count = EOF. *)
-let read_exact fd len =
+(* Read exactly [len] bytes.  A short count is EOF; with a [deadline],
+   a descriptor that stays unreadable past it is a stall — the two are
+   distinguished so a peer that died mid-frame and a peer that is
+   merely dribbling bytes (slow loris) each get their own typed
+   error. *)
+type exact = Full of string | Eof of int | Stalled of int
+
+let read_exact ?deadline fd len =
   let buf = Bytes.create len in
+  let ready () =
+    match deadline with
+    | None -> true
+    | Some d ->
+        let rec wait () =
+          let remaining = d -. Unix.gettimeofday () in
+          if remaining <= 0. then false
+          else
+            match Unix.select [ fd ] [] [] remaining with
+            | [], _, _ -> false
+            | _ :: _, _, _ -> true
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        in
+        wait ()
+  in
   let rec go pos =
-    if pos >= len then len
+    if pos >= len then Full (Bytes.to_string buf)
+    else if not (ready ()) then Stalled pos
     else
       match Unix.read fd buf pos (len - pos) with
-      | 0 -> pos
+      | 0 -> Eof pos
       | n -> go (pos + n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
   in
-  let got = go 0 in
-  (Bytes.sub_string buf 0 got, got)
+  go 0
 
 let parse_header h =
   let ok = ref (String.length h = header_bytes) in
@@ -70,18 +96,19 @@ let parse_payload payload =
   | Ok v -> Ok v
   | Error msg -> Error (Malformed msg)
 
-let read_frame fd =
-  match read_exact fd header_bytes with
-  | _, 0 -> Error Closed
-  | _, got when got < header_bytes ->
-      Error (Truncated { expected = header_bytes; got })
-  | h, _ -> (
+let read_frame ?deadline fd =
+  match read_exact ?deadline fd header_bytes with
+  | Eof 0 -> Error Closed
+  | Eof got -> Error (Truncated { expected = header_bytes; got })
+  | Stalled got -> Error (Timed_out { expected = header_bytes; got })
+  | Full h -> (
       match parse_header h with
       | Error e -> Error e
       | Ok len -> (
-          match read_exact fd len with
-          | _, got when got < len -> Error (Truncated { expected = len; got })
-          | payload, _ -> parse_payload payload))
+          match read_exact ?deadline fd len with
+          | Eof got -> Error (Truncated { expected = len; got })
+          | Stalled got -> Error (Timed_out { expected = len; got })
+          | Full payload -> parse_payload payload))
 
 let decode_frame s =
   let total = String.length s in

@@ -18,7 +18,11 @@ type read_error =
   | Bad_header of string  (** the 8 header bytes are not lowercase hex *)
   | Oversized of int  (** declared length exceeds {!max_frame_bytes} *)
   | Truncated of { expected : int; got : int }
-      (** EOF mid-header or mid-payload *)
+      (** EOF mid-header or mid-payload: the peer died (or closed)
+          partway through a frame *)
+  | Timed_out of { expected : int; got : int }
+      (** the [deadline] passed mid-frame: the peer is alive but
+          dribbling bytes too slowly (only with [read_frame ~deadline]) *)
   | Malformed of string  (** payload is not parseable JSON *)
 
 val read_error_to_string : read_error -> string
@@ -48,9 +52,13 @@ val write_frame : Unix.file_descr -> Json.t -> unit
     [EINTR] and short writes).  Raises [Unix.Unix_error] on a broken
     pipe — callers decide whether that is fatal. *)
 
-val read_frame : Unix.file_descr -> (Json.t, read_error) result
+val read_frame : ?deadline:float -> Unix.file_descr -> (Json.t, read_error) result
 (** Read exactly one frame, blocking until it is complete or the peer
-    closes the descriptor. *)
+    closes the descriptor.  [deadline] is an absolute
+    [Unix.gettimeofday] instant: past it an incomplete frame surfaces
+    as {!Timed_out} carrying the expected/received byte counts — the
+    slow-loris defence the bound-query daemon runs every connection
+    read under — instead of blocking forever. *)
 
 val decode_frame : string -> (Json.t, read_error) result
 (** Parse one complete frame from an already-buffered byte string —

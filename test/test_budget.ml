@@ -270,6 +270,41 @@ let test_checkpoint_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "loaded a deleted checkpoint"
 
+let test_checkpoint_sweep () =
+  let dir = Filename.temp_file "dmc-test-sweep" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "state.json" in
+  let make name mtime =
+    let full = Filename.concat dir name in
+    let oc = open_out full in
+    output_string oc "{}";
+    close_out oc;
+    Option.iter (fun t -> Unix.utimes full t t) mtime;
+    full
+  in
+  let old_age = Unix.gettimeofday () -. 3600. in
+  (* Two orphans from a SIGKILLed predecessor, one live temp from a
+     concurrent writer, and bystanders that merely look similar. *)
+  let orphan1 = make "state.json.abc123.tmp" (Some old_age) in
+  let orphan2 = make "state.json.def456.tmp" (Some old_age) in
+  let live = make "state.json.ghi789.tmp" None in
+  let other_base = make "other.json.abc123.tmp" (Some old_age) in
+  let not_tmp = make "state.json.notes" (Some old_age) in
+  check "two orphans removed" 2 (Checkpoint.sweep_orphans path);
+  check_bool "old orphans gone" true
+    ((not (Sys.file_exists orphan1)) && not (Sys.file_exists orphan2));
+  check_bool "fresh temp survives" true (Sys.file_exists live);
+  check_bool "other base's temp survives" true (Sys.file_exists other_base);
+  check_bool "non-temp survives" true (Sys.file_exists not_tmp);
+  (* write() sweeps implicitly: re-age the live temp and checkpoint. *)
+  Unix.utimes live old_age old_age;
+  Checkpoint.write path (Json.Obj [ ("ok", Json.Bool true) ]);
+  check_bool "write swept the aged temp" true (not (Sys.file_exists live));
+  check_bool "checkpoint landed" true (Sys.file_exists path);
+  List.iter Sys.remove [ other_base; not_tmp; path ];
+  Unix.rmdir dir
+
 let test_json_parse_errors () =
   List.iter
     (fun text ->
@@ -310,6 +345,7 @@ let () =
         [
           Alcotest.test_case "rng save/restore" `Quick test_rng_save_restore;
           Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "orphan temp sweep" `Quick test_checkpoint_sweep;
           Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
         ] );
     ]

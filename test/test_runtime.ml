@@ -450,6 +450,139 @@ let test_pool_heartbeat_determinism () =
   check_bool "identical commit traces with and without progress" true
     (quiet = chatty)
 
+(* ------------------------------------------------------------------ *)
+(* Half-written frames: a peer that dies or stalls mid-frame must
+   surface as a typed error carrying the byte accounting, never as a
+   hang or a bare parse failure.                                       *)
+
+let test_ipc_half_frame () =
+  (* EOF mid-payload: the header promised more than ever arrived. *)
+  let frame = Ipc.encode_frame (Json.Obj [ ("k", Json.String "vvvv") ]) in
+  let payload_len = String.length frame - Ipc.header_bytes in
+  let r, w = Unix.pipe ~cloexec:false () in
+  ignore (Unix.write_substring w frame 0 (Ipc.header_bytes + 3) : int);
+  Unix.close w;
+  (match Ipc.read_frame r with
+  | Error (Ipc.Truncated { expected; got }) ->
+      check "promised payload bytes" payload_len expected;
+      check "received payload bytes" 3 got
+  | Ok _ -> Alcotest.fail "decoded a half-written frame"
+  | Error e ->
+      Alcotest.failf "expected Truncated, got %s" (Ipc.read_error_to_string e));
+  Unix.close r;
+  (* EOF mid-header. *)
+  let r, w = Unix.pipe ~cloexec:false () in
+  ignore (Unix.write_substring w frame 0 4 : int);
+  Unix.close w;
+  (match Ipc.read_frame r with
+  | Error (Ipc.Truncated { expected; got }) ->
+      check "header width" Ipc.header_bytes expected;
+      check "header bytes received" 4 got
+  | Ok _ -> Alcotest.fail "decoded a half-written header"
+  | Error e ->
+      Alcotest.failf "expected Truncated, got %s" (Ipc.read_error_to_string e));
+  Unix.close r
+
+let test_ipc_read_deadline () =
+  (* The writer stays alive but never finishes the frame — the
+     slow-loris shape.  Only the deadline can end this read. *)
+  let frame = Ipc.encode_frame (Json.Obj [ ("k", Json.Int 1) ]) in
+  let payload_len = String.length frame - Ipc.header_bytes in
+  let r, w = Unix.pipe ~cloexec:false () in
+  ignore (Unix.write_substring w frame 0 (Ipc.header_bytes + 2) : int);
+  (match Ipc.read_frame ~deadline:(Unix.gettimeofday () +. 0.1) r with
+  | Error (Ipc.Timed_out { expected; got }) ->
+      check "promised payload bytes" payload_len expected;
+      check "received payload bytes" 2 got
+  | Ok _ -> Alcotest.fail "decoded a stalled frame"
+  | Error e ->
+      Alcotest.failf "expected Timed_out, got %s" (Ipc.read_error_to_string e));
+  Unix.close w;
+  Unix.close r;
+  (* A complete frame under a generous deadline still reads fine (on a
+     fresh pipe: a timed-out read has already consumed its bytes). *)
+  let r, w = Unix.pipe ~cloexec:false () in
+  Ipc.write_frame w (Json.Obj [ ("k", Json.Int 1) ]);
+  (match Ipc.read_frame ~deadline:(Unix.gettimeofday () +. 5.) r with
+  | Ok (Json.Obj [ ("k", Json.Int 1) ]) -> ()
+  | Ok _ -> Alcotest.fail "wrong frame"
+  | Error e -> Alcotest.fail (Ipc.read_error_to_string e));
+  Unix.close w;
+  Unix.close r
+
+(* ------------------------------------------------------------------ *)
+(* Server fault kinds                                                  *)
+
+let test_fault_server_kinds () =
+  (match Fault.parse "drop:1,truncate:2:1,slow:3" with
+  | Error m -> Alcotest.fail m
+  | Ok faults ->
+      check_string "roundtrip" "drop:1,truncate:2:1,slow:3"
+        (String.concat "," (List.map Fault.to_string faults));
+      check_bool "all server kinds" true
+        (List.for_all
+           (fun f -> not (Fault.is_worker_kind f.Fault.kind))
+           faults));
+  check_bool "worker kinds" true
+    (List.for_all Fault.is_worker_kind [ Fault.Hang; Fault.Abort; Fault.Garbage ])
+
+(* ------------------------------------------------------------------ *)
+(* Streaming handle                                                    *)
+
+let test_streaming_unordered () =
+  let commits = ref [] in
+  let pool =
+    Pool.create ~ordered:false
+      { Pool.default with jobs = 2 }
+      ~worker:(fun i () ->
+        if i = 0 then Unix.sleepf 0.4;
+        Ok (Json.Int i))
+      ~on_commit:(fun id o -> commits := (id, o.Pool.verdict) :: !commits)
+      ()
+  in
+  ignore (Pool.submit pool () : int);
+  ignore (Pool.submit pool () : int);
+  check "both unfinished" 2 (Pool.unfinished pool);
+  while Pool.unfinished pool > 0 do
+    Pool.step pool
+  done;
+  let commits = List.rev !commits in
+  check "both committed" 2 (List.length commits);
+  (* job 1 is instant, job 0 sleeps: unordered commit must release the
+     fast job's reply without waiting for the slow one *)
+  check "fast job committed first" 1 (fst (List.hd commits));
+  check_bool "no descriptors left" true (Pool.watch_fds pool = []);
+  match (Pool.outcome pool 0, Pool.outcome pool 1) with
+  | ( Some { Pool.verdict = Pool.Done (Json.Int 0); _ },
+      Some { Pool.verdict = Pool.Done (Json.Int 1); _ } ) ->
+      ()
+  | _ -> Alcotest.fail "outcomes not queryable after commit"
+
+let test_streaming_abandon () =
+  let commits = ref 0 in
+  let pool =
+    Pool.create
+      { Pool.default with jobs = 1 }
+      ~worker:(fun _ () ->
+        Unix.sleepf 60.;
+        Ok Json.Null)
+      ~on_commit:(fun _ _ -> incr commits)
+      ()
+  in
+  ignore (Pool.submit pool () : int);
+  ignore (Pool.submit pool () : int);
+  Pool.step ~max_wait:0. pool;
+  check "one in flight, one queued" 1 (Pool.running pool);
+  Pool.abandon pool;
+  check "cancellation commits nothing" 0 !commits;
+  check "nothing unfinished" 0 (Pool.unfinished pool);
+  List.iter
+    (fun id ->
+      match Pool.outcome pool id with
+      | Some { Pool.verdict = Pool.Engine_failure Budget.Cancelled; _ } -> ()
+      | _ -> Alcotest.failf "job %d not reported cancelled" id)
+    [ 0; 1 ]
+
 let () =
   Alcotest.run "dmc_runtime"
     [
@@ -458,11 +591,20 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_ipc_roundtrip;
           Alcotest.test_case "pipe" `Quick test_ipc_pipe;
           Alcotest.test_case "error taxonomy" `Quick test_ipc_errors;
+          Alcotest.test_case "half-written frame" `Quick test_ipc_half_frame;
+          Alcotest.test_case "read deadline" `Quick test_ipc_read_deadline;
         ] );
       ( "fault",
         [
           Alcotest.test_case "parse" `Quick test_fault_parse;
           Alcotest.test_case "applies" `Quick test_fault_applies;
+          Alcotest.test_case "server kinds" `Quick test_fault_server_kinds;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "unordered commit" `Quick test_streaming_unordered;
+          Alcotest.test_case "abandon cancels uncommitted" `Quick
+            test_streaming_abandon;
         ] );
       ( "backoff",
         [ Alcotest.test_case "deterministic capped jitter" `Quick test_backoff ] );
