@@ -1088,9 +1088,29 @@ let query_once ~socket request =
               | Ok json -> Ok json
               | Error e -> Error ("reply: " ^ Dmc_util.Ipc.read_error_to_string e))))
 
+(* Capped deterministic backoff around [query_once], so a briefly
+   restarting daemon does not fail scripted clients: delays are
+   [retry_delay * 2^(i-1)] capped at 10 s, no jitter — a scripted
+   client's worst-case latency is computable from its flags. *)
+let query_with_retries ~socket ~retries ~retry_delay request =
+  let rec go attempt =
+    match query_once ~socket request with
+    | Ok _ as ok -> ok
+    | Error msg when attempt <= retries ->
+        let delay =
+          Float.min 10. (retry_delay *. (2. ** float_of_int (attempt - 1)))
+        in
+        Format.eprintf "dmc query: %s; retry %d/%d in %.1fs@." msg attempt
+          retries delay;
+        Unix.sleepf delay;
+        go (attempt + 1)
+    | Error _ as e -> e
+  in
+  go 1
+
 let query_cmd =
   let run socket spec file engine s timeout node_budget samples count ping
-      stats shutdown =
+      stats shutdown retries retry_delay =
     setup_logs ();
     guarded @@ fun () ->
     let module P = Dmc_serve.Protocol in
@@ -1115,7 +1135,7 @@ let query_cmd =
     in
     let transport_failures = ref 0 in
     for _ = 1 to count do
-      match query_once ~socket request with
+      match query_with_retries ~socket ~retries ~retry_delay request with
       | Ok reply ->
           print_endline (Dmc_util.Json.to_string ~indent:false reply)
       | Error msg ->
@@ -1154,16 +1174,321 @@ let query_cmd =
     Arg.(value & flag & info [ "shutdown" ]
            ~doc:"Ask the daemon to drain gracefully and exit.")
   in
+  let retries =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry a transport failure (no daemon, dropped or truncated \
+                 connection) up to $(docv) times before exiting 1, so a \
+                 briefly-restarting daemon does not fail scripted clients.  \
+                 Typed replies — including 'failed' and 'rejected' — are \
+                 answers, never retried.")
+  in
+  let retry_delay =
+    Arg.(value & opt float 0.5 & info [ "retry-delay" ] ~docv:"SECONDS"
+           ~doc:"First retry delay; doubles per attempt, capped at 10s. \
+                 Deterministic (no jitter), so scripted worst-case latency \
+                 is computable from the flags.")
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Query a running dmc serve daemon (one reply line per request)")
     Term.(const run $ socket_arg $ spec_arg $ file_arg $ engine $ s_arg
           $ timeout_arg $ node_budget_arg $ samples $ count $ ping $ stats
-          $ shutdown)
+          $ shutdown $ retries $ retry_delay)
+
+(* ------------------------------------------------------------------ *)
+(* dmc worker — the remote end of a Command transport.  Internal: the
+   coordinator (or an ssh wrapper it spawned) writes one call frame to
+   stdin; the result frames go to stdout.  Kept a public subcommand so
+   'ssh host dmc worker' needs nothing but a dmc binary on the host. *)
+
+let worker_cmd =
+  let run () =
+    setup_logs ();
+    let dispatch job =
+      match Dmc_core.Engine_job.of_json job with
+      | Ok ej -> Dmc_core.Engine_job.run ej
+      | Error _ -> (
+          match Dmc_analysis.Part_job.of_json job with
+          | Ok pj -> (
+              match Dmc_analysis.Part_job.run pj with
+              | Ok payload -> Ok payload
+              | Error msg -> Error (Dmc_util.Budget.Invalid_input msg))
+          | Error _ ->
+              Error
+                (Dmc_util.Budget.Invalid_input
+                   "job is neither a dmc-engine-job nor a dmc-part-job"))
+    in
+    exit
+      (Dmc_runtime.Transport.run_call ~input:Unix.stdin ~output:Unix.stdout
+         ~dispatch ())
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Execute one serialized worker call from stdin (internal; \
+             spawned by the coordinator's remote transports)")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* dmc sweep — the parameter-grid runner over the host fleet.          *)
+
+let host_arg =
+  Arg.(value & opt_all string [] & info [ "host" ] ~docv:"SPEC"
+         ~doc:"A backend to shard rows onto (repeatable).  \
+               $(b,local[:CAP]) is the fork backend; \
+               $(b,cmd[:CAP]:COMMAND) spawns COMMAND per attempt and \
+               speaks the worker protocol over its stdio; \
+               $(b,ssh[:CAP]:DEST) is shorthand for \
+               cmd:CAP:'ssh -oBatchMode=yes DEST dmc worker'.  CAP is \
+               the host's concurrent-lease capacity (default 1).  A \
+               local host is always added when no spec provides one, so \
+               a sweep degrades to local-fork-only rather than fail \
+               while backends die.  Without any --host, rows run on a \
+               local host of capacity --jobs.")
+
+let sweep_cmd =
+  let run specs sizes seeds ss engines json md timeout node_budget hosts
+      checkpoint resume jobs job_timeout retries fault trace profile progress
+      =
+    setup_logs ();
+    guarded @@ fun () ->
+    install_interrupt_handlers ();
+    setup_obs ~trace ~profile;
+    if json && md then failwith "--json and --md are mutually exclusive";
+    let module Sweep = Dmc_analysis.Sweep in
+    let module Pool = Dmc_runtime.Pool in
+    let module Host = Dmc_runtime.Host in
+    let faults = parse_faults fault in
+    let parse_axis name = function
+      | None -> []
+      | Some s -> (
+          match Sweep.parse_int_list s with
+          | Ok ns -> ns
+          | Error e -> failwith (Printf.sprintf "--%s: %s" name e))
+    in
+    let sizes = parse_axis "sizes" sizes in
+    let seeds = parse_axis "seeds" seeds in
+    let ss =
+      match Sweep.parse_int_list ss with
+      | Ok ns -> ns
+      | Error e -> failwith ("-s: " ^ e)
+    in
+    let engines =
+      Option.map
+        (fun s ->
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun e -> e <> ""))
+        engines
+    in
+    let grid =
+      match
+        Sweep.make ~specs ~sizes ~seeds ~ss ?engines ?timeout ?node_budget ()
+      with
+      | Ok g -> g
+      | Error e -> failwith e
+    in
+    let hosts =
+      match
+        List.fold_left
+          (fun acc spec ->
+            match (acc, Host.parse_spec spec) with
+            | Error _, _ -> acc
+            | Ok _, Error e -> Error e
+            | Ok hs, Ok h -> Ok (h :: hs))
+          (Ok []) hosts
+      with
+      | Error e -> failwith e
+      | Ok [] -> [] (* Pool defaults to a local host of capacity jobs *)
+      | Ok hs -> Host.normalize ~jobs (List.rev hs)
+    in
+    let rows = Sweep.rows grid in
+    let total = List.length rows in
+    let jobs_list =
+      List.map
+        (fun r ->
+          match Sweep.job grid r with
+          | Ok j -> (r, j)
+          | Error e -> failwith (Printf.sprintf "%s: %s" r.Sweep.workload e))
+        rows
+    in
+    let ckpt_path =
+      match (checkpoint, resume) with
+      | Some p, _ -> Some p
+      | None, Some p -> Some p
+      | None, None -> None
+    in
+    let completed =
+      match resume with
+      | None -> []
+      | Some path -> (
+          match Dmc_util.Checkpoint.load path with
+          | Error e -> failwith ("cannot resume: " ^ e)
+          | Ok json -> (
+              match Sweep.restore grid json with
+              | Ok payloads -> payloads
+              | Error e -> failwith ("cannot resume: " ^ e)))
+    in
+    if completed <> [] then
+      Format.eprintf "dmc sweep: resuming, %d/%d row(s) already committed@."
+        (List.length completed) total;
+    let results = Array.make total None in
+    let committed_rev = ref [] in
+    let commit ?(write = true) gi payload =
+      results.(gi) <- Some payload;
+      committed_rev := payload :: !committed_rev;
+      if write then
+        Option.iter
+          (fun p ->
+            Dmc_util.Checkpoint.write p
+              (Sweep.checkpoint grid ~committed:(List.rev !committed_rev)))
+          ckpt_path
+    in
+    List.iteri (fun i payload -> commit ~write:false i payload) completed;
+    let n_completed = List.length completed in
+    let remaining =
+      List.filteri (fun i _ -> i >= n_completed) jobs_list
+    in
+    let row_arr = Array.of_list rows in
+    let cfg =
+      {
+        Pool.default with
+        jobs;
+        timeout = job_timeout;
+        max_retries = retries;
+        faults;
+        should_stop = (fun () -> !interrupted <> None);
+        on_progress =
+          (if progress then Some Dmc_runtime.Progress.draw else None);
+      }
+    in
+    let on_result i outcome =
+      let gi = n_completed + i in
+      let payload =
+        match outcome.Pool.verdict with
+        | Pool.Done payload -> payload
+        | Pool.Engine_failure Dmc_util.Budget.Cancelled ->
+            (* run() never commits cancelled jobs; defensive only *)
+            Dmc_util.Json.Null
+        | v -> (
+            (* Job-attributed loss (host-attributed failures were
+               re-sharded before reaching here): degrade the row
+               coordinator-side, so the sweep never loses a row. *)
+            let failure = Option.get (Pool.verdict_failure v) in
+            Format.eprintf "dmc sweep: row %d (%s s=%d %s): worker %s; \
+                            degrading@."
+              gi row_arr.(gi).Sweep.workload row_arr.(gi).Sweep.s
+              row_arr.(gi).Sweep.engine
+              (Pool.verdict_to_string v);
+            match Sweep.degraded grid row_arr.(gi) ~failure with
+            | Ok p -> p
+            | Error _ -> Dmc_util.Json.Null)
+      in
+      commit gi payload
+    in
+    let _ : Pool.outcome array =
+      Pool.run ~hosts
+        ~encode:(fun (_, j) -> Dmc_core.Engine_job.to_json j)
+        cfg
+        ~worker:(fun _ (_, j) -> Dmc_core.Engine_job.run j)
+        ~on_result remaining
+    in
+    if progress then Dmc_runtime.Progress.clear ();
+    (match !interrupted with
+    | Some _ ->
+        emit_obs ~trace ~profile;
+        let hint =
+          match ckpt_path with
+          | Some p when Sys.file_exists p ->
+              Printf.sprintf "; resume with --resume %s" p
+          | Some _ | None -> ""
+        in
+        Format.eprintf "dmc sweep: interrupted after %d/%d row(s)%s@."
+          (List.length !committed_rev) total hint;
+        exit (interrupt_exit_code ())
+    | None -> ());
+    let doc = Sweep.doc grid ~results:(Array.to_list results) in
+    let ok = Dmc_analysis.Doc.ok doc in
+    (match (json, md) with
+    | true, _ ->
+        let module J = Dmc_util.Json in
+        print_endline
+          (J.to_string
+             (J.Obj
+                [
+                  ("kind", J.String "dmc-sweep-report");
+                  ("v", J.Int 1);
+                  ("ok", J.Bool ok);
+                  ("report", Dmc_analysis.Doc.to_json doc);
+                ]))
+    | _, true -> print_string (Dmc_analysis.Doc.to_markdown doc)
+    | _ -> print_string (Dmc_analysis.Doc.to_text doc));
+    flush stdout;
+    emit_obs ~trace ~profile;
+    if not ok then exit 1
+  in
+  let specs =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"SPEC"
+           ~doc:(Printf.sprintf
+                   "Workload templates; %s.  A template may use {n} and \
+                    {seed} placeholders, expanded over --sizes and --seeds \
+                    (e.g. 'jacobi1d:{n},4' or 'layered:{seed},5,30')."
+                   generator_doc))
+  in
+  let sizes =
+    Arg.(value & opt (some string) None & info [ "sizes" ] ~docv:"LIST"
+           ~doc:"Values for the {n} placeholder: comma-separated integers \
+                 with inclusive ranges, e.g. '8,12,16..19'.")
+  in
+  let seeds =
+    Arg.(value & opt (some string) None & info [ "seeds" ] ~docv:"LIST"
+           ~doc:"Values for the {seed} placeholder (same syntax as --sizes) \
+                 — the random-DAG fleet axis.")
+  in
+  let ss =
+    Arg.(value & opt string "8" & info [ "s" ] ~docv:"LIST"
+           ~doc:"Fast-memory capacities to sweep (same syntax as --sizes).")
+  in
+  let engines =
+    Arg.(value & opt (some string) None & info [ "engines" ] ~docv:"NAMES"
+           ~doc:(Printf.sprintf
+                   "Comma-separated engine subset (default: all of %s)."
+                   (String.concat ", "
+                      (List.map fst Dmc_core.Bounds.governed_engines))))
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one structured JSON report: $(b,{kind, v, ok, \
+                 report}), byte-identical across $(b,--jobs) widths, host \
+                 fleets and transient-failure schedules.")
+  in
+  let md_arg =
+    Arg.(value & flag & info [ "md" ]
+           ~doc:"Render the report as Markdown instead of text.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH"
+           ~doc:"Atomically write the committed row prefix after every \
+                 commit, so kill -9 of the coordinator resumes with \
+                 $(b,--resume) without recomputing committed rows.")
+  in
+  let resume =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"PATH"
+           ~doc:"Resume from a checkpoint written by the same grid (other \
+                 grids are refused); also keeps checkpointing to the same \
+                 file.  The final report is byte-identical to an \
+                 uninterrupted run.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a workload/S/engine/seed parameter grid across a \
+             fault-tolerant host fleet")
+    Term.(const run $ specs $ sizes $ seeds $ ss $ engines $ json_arg
+          $ md_arg $ timeout_arg $ node_budget_arg $ host_arg $ checkpoint
+          $ resume $ jobs_arg $ job_timeout_arg $ retries_arg $ fault_arg
+          $ trace_arg $ profile_arg $ progress_arg)
 
 let () =
   let info =
     Cmd.info "dmc" ~version:"1.0.0"
       ~doc:"Data-movement complexity of computational DAGs (Elango et al., SPAA 2014)"
   in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; bounds_cmd; game_cmd; replay_cmd; hier_cmd; horizontal_cmd; witness_cmd; formula_cmd; machines_cmd; bench_diff_cmd; experiment_cmd; serve_cmd; query_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; bounds_cmd; game_cmd; replay_cmd; hier_cmd; horizontal_cmd; witness_cmd; formula_cmd; machines_cmd; bench_diff_cmd; experiment_cmd; serve_cmd; query_cmd; sweep_cmd; worker_cmd ]))

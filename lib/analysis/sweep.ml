@@ -1,0 +1,393 @@
+module J = Dmc_util.Json
+module Table = Dmc_util.Table
+module Bounds = Dmc_core.Bounds
+module Engine_job = Dmc_core.Engine_job
+module Workload = Dmc_gen.Workload
+
+type row = { workload : string; s : int; engine : string }
+
+type t = {
+  specs : string list;
+  sizes : int list;
+  seeds : int list;
+  ss : int list;
+  engines : string list;
+  tmo : float option;
+  budget : int option;
+  grid_rows : row list;
+  graphs : (string, Dmc_cdag.Cdag.t) Hashtbl.t;
+}
+
+let rows t = t.grid_rows
+let timeout t = t.tmo
+let node_budget t = t.budget
+
+(* ------------------------------------------------------------------ *)
+(* Template expansion                                                  *)
+
+let contains s sub =
+  let sl = String.length s and bl = String.length sub in
+  let rec go i = i + bl <= sl && (String.sub s i bl = sub || go (i + 1)) in
+  go 0
+
+let replace_all s ~sub ~by =
+  let sl = String.length s and bl = String.length sub in
+  let buf = Buffer.create sl in
+  let i = ref 0 in
+  while !i <= sl - bl do
+    if String.sub s !i bl = sub then begin
+      Buffer.add_string buf by;
+      i := !i + bl
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_substring buf s !i (sl - !i);
+  Buffer.contents buf
+
+(* Registry name/arity/integer validation without building the graph:
+   a grid can reference hundreds of large workloads, and [make] must
+   reject typos without paying for a single vertex. *)
+let validate_spec spec =
+  let name, params =
+    match String.index_opt spec ':' with
+    | None -> (spec, [])
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1)
+          |> String.split_on_char ',' )
+  in
+  match Workload.find name with
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %S (try: dmc gen --list)" name)
+  | Some w ->
+      if List.length params <> List.length w.Workload.params then
+        Error
+          (Printf.sprintf "%S: expected %s" spec (Workload.signature w))
+      else if
+        List.exists (fun p -> int_of_string_opt (String.trim p) = None) params
+      then Error (Printf.sprintf "%S: non-integer parameter" spec)
+      else Ok ()
+
+let expand_template ~sizes ~seeds spec =
+  let with_n =
+    if contains spec "{n}" then
+      List.map (fun n -> replace_all spec ~sub:"{n}" ~by:(string_of_int n)) sizes
+    else [ spec ]
+  in
+  List.concat_map
+    (fun sp ->
+      if contains sp "{seed}" then
+        List.map
+          (fun sd -> replace_all sp ~sub:"{seed}" ~by:(string_of_int sd))
+          seeds
+      else [ sp ])
+    with_n
+
+let make ~specs ?(sizes = []) ?(seeds = []) ~ss ?engines ?timeout ?node_budget
+    () =
+  let engines =
+    match engines with
+    | Some es -> es
+    | None -> List.map fst Bounds.governed_engines
+  in
+  let known = List.map fst Bounds.governed_engines in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if specs = [] then err "sweep: no workload specs"
+  else if ss = [] then err "sweep: no S values"
+  else if List.exists (fun s -> s < 1) ss then err "sweep: S values must be >= 1"
+  else if engines = [] then err "sweep: no engines"
+  else
+    match List.find_opt (fun e -> not (List.mem e known)) engines with
+    | Some e ->
+        err "sweep: unknown engine %S (known: %s)" e (String.concat ", " known)
+    | None -> (
+        let uses_n = List.exists (fun sp -> contains sp "{n}") specs in
+        let uses_seed = List.exists (fun sp -> contains sp "{seed}") specs in
+        if uses_n && sizes = [] then
+          err "sweep: a spec uses {n} but no sizes were given"
+        else if uses_seed && seeds = [] then
+          err "sweep: a spec uses {seed} but no seeds were given"
+        else if (not uses_n) && sizes <> [] then
+          err "sweep: sizes given but no spec uses {n}"
+        else if (not uses_seed) && seeds <> [] then
+          err "sweep: seeds given but no spec uses {seed}"
+        else
+          let concrete =
+            List.concat_map (expand_template ~sizes ~seeds) specs
+          in
+          match
+            List.find_map
+              (fun sp ->
+                match validate_spec sp with
+                | Error e -> Some e
+                | Ok () -> None)
+              concrete
+          with
+          | Some e -> Error ("sweep: " ^ e)
+          | None ->
+              let grid_rows =
+                List.concat_map
+                  (fun wl ->
+                    List.concat_map
+                      (fun s ->
+                        List.map (fun engine -> { workload = wl; s; engine })
+                          engines)
+                      ss)
+                  concrete
+              in
+              Ok
+                {
+                  specs;
+                  sizes;
+                  seeds;
+                  ss;
+                  engines;
+                  tmo = timeout;
+                  budget = node_budget;
+                  grid_rows;
+                  graphs = Hashtbl.create 16;
+                })
+
+let job t row =
+  match
+    match Hashtbl.find_opt t.graphs row.workload with
+    | Some g -> Ok g
+    | None -> (
+        match Workload.parse row.workload with
+        | Ok g ->
+            Hashtbl.replace t.graphs row.workload g;
+            Ok g
+        | Error e -> Error e)
+  with
+  | Error e -> Error e
+  | Ok g ->
+      Ok
+        (Engine_job.make ?timeout:t.tmo ?node_budget:t.budget g ~s:row.s
+           ~engine:row.engine)
+
+let degraded t row ~failure =
+  match
+    match Hashtbl.find_opt t.graphs row.workload with
+    | Some g -> Ok g
+    | None -> Workload.parse row.workload
+  with
+  | Error e -> Error e
+  | Ok g ->
+      let kind =
+        match List.assoc_opt row.engine Bounds.governed_engines with
+        | Some k -> k
+        | None -> Bounds.Lower (* unreachable: [make] validated engines *)
+      in
+      Ok
+        (Bounds.row_to_json
+           (Bounds.degraded_row g ~s:row.s ~engine:row.engine ~kind ~failure
+              ~elapsed:0.))
+
+(* ------------------------------------------------------------------ *)
+(* Axis syntax                                                         *)
+
+let parse_int_list s =
+  let items = String.split_on_char ',' s |> List.map String.trim in
+  let parse_item it =
+    match int_of_string_opt it with
+    | Some n -> Ok [ n ]
+    | None -> (
+        match String.index_opt it '.' with
+        | Some i
+          when i + 1 < String.length it
+               && it.[i + 1] = '.'
+               && i > 0 ->
+            let lo = String.sub it 0 i in
+            let hi = String.sub it (i + 2) (String.length it - i - 2) in
+            (match (int_of_string_opt lo, int_of_string_opt hi) with
+            | Some lo, Some hi when lo <= hi ->
+                Ok (List.init (hi - lo + 1) (fun k -> lo + k))
+            | Some _, Some _ ->
+                Error (Printf.sprintf "range %S: lower bound above upper" it)
+            | _ -> Error (Printf.sprintf "bad range %S" it))
+        | _ -> Error (Printf.sprintf "bad integer %S" it))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | it :: rest -> (
+        match parse_item it with
+        | Ok ns -> go (ns :: acc) rest
+        | Error e -> Error e)
+  in
+  if s = "" then Error "empty integer list" else go [] items
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+
+let kind_tag = "dmc-sweep"
+let version = 1
+
+let signature t =
+  let ints ns = J.List (List.map (fun i -> J.Int i) ns) in
+  let strs ss = J.List (List.map (fun s -> J.String s) ss) in
+  J.Obj
+    [
+      ("specs", strs t.specs);
+      ("sizes", ints t.sizes);
+      ("seeds", ints t.seeds);
+      ("ss", ints t.ss);
+      ("engines", strs t.engines);
+      ("timeout", match t.tmo with None -> J.Null | Some f -> J.Float f);
+      ( "node_budget",
+        match t.budget with None -> J.Null | Some i -> J.Int i );
+    ]
+
+let checkpoint t ~committed =
+  J.Obj
+    [
+      ("kind", J.String kind_tag);
+      ("v", J.Int version);
+      ("grid", signature t);
+      ("rows", J.List committed);
+    ]
+
+let restore t json =
+  let str f = Option.bind (J.mem json f) J.as_string in
+  match (str "kind", Option.bind (J.mem json "v") J.as_int) with
+  | Some k, _ when k <> kind_tag ->
+      Error (Printf.sprintf "checkpoint is %S, not a %s" k kind_tag)
+  | _, Some v when v <> version ->
+      Error (Printf.sprintf "checkpoint v%d, this build speaks v%d" v version)
+  | Some _, Some _ -> (
+      match (J.mem json "grid", Option.bind (J.mem json "rows") J.as_list) with
+      | Some grid, Some payloads ->
+          if grid <> signature t then
+            Error
+              "checkpoint was written by a different grid (specs, axes, \
+               engines or budgets differ); refusing to resume"
+          else if List.length payloads > List.length t.grid_rows then
+            Error "checkpoint has more committed rows than the grid expands to"
+          else Ok payloads
+      | _ -> Error "checkpoint has no grid/rows fields")
+  | _ -> Error ("not a " ^ kind_tag ^ " checkpoint")
+
+(* ------------------------------------------------------------------ *)
+(* Merged report                                                       *)
+
+(* Only value-deterministic row fields may appear: values, rungs and
+   failure classes are functions of the job, while elapsed times and
+   host placement are functions of the run.  The byte-identity
+   contract (any --jobs, any fleet, any transient-failure schedule)
+   is exactly the deterministic/nondeterministic field split. *)
+let doc t ~results =
+  let table =
+    Table.create ~headers:[ "workload"; "s"; "engine"; "kind"; "value"; "rung"; "status" ]
+  in
+  Table.set_align table
+    [ Table.Left; Table.Right; Table.Left; Table.Left; Table.Right;
+      Table.Left; Table.Left ];
+  let committed = ref 0 in
+  let parsed =
+    List.map2
+      (fun row payload ->
+        match payload with
+        | None -> (row, None)
+        | Some p -> (
+            incr committed;
+            match Bounds.row_of_json p with
+            | Some b -> (row, Some b)
+            | None -> (row, None)))
+      t.grid_rows results
+  in
+  List.iter
+    (fun (row, b) ->
+      match b with
+      | None ->
+          Table.add_row table
+            [ row.workload; string_of_int row.s; row.engine; "-"; "-"; "-";
+              "not committed" ]
+      | Some b ->
+          Table.add_row table
+            [
+              row.workload;
+              string_of_int row.s;
+              row.engine;
+              Bounds.kind_to_string b.Bounds.kind;
+              (match b.Bounds.value with
+              | Some v -> string_of_int v
+              | None -> "-");
+              b.Bounds.rung;
+              Bounds.row_status b;
+            ])
+    parsed;
+  (* Per-(workload, s) sandwich: engines are the innermost axis, so
+     each group is one contiguous block of the row list. *)
+  let groups =
+    List.fold_left
+      (fun acc ((row, _) as entry) ->
+        match acc with
+        | (key, members) :: rest when key = (row.workload, row.s) ->
+            (key, entry :: members) :: rest
+        | _ -> ((row.workload, row.s), [ entry ]) :: acc)
+      [] parsed
+    |> List.rev_map (fun (key, members) -> (key, List.rev members))
+  in
+  let checks =
+    List.filter_map
+      (fun ((wl, s), members) ->
+        let values pred =
+          List.filter_map
+            (fun (_, b) ->
+              match b with
+              | Some b when pred b -> Option.map float_of_int b.Bounds.value
+              | _ -> None)
+            members
+        in
+        let lbs =
+          values (fun b ->
+              match b.Bounds.kind with
+              | Bounds.Lower | Bounds.Exact -> true
+              | Bounds.Upper -> false)
+        in
+        let ubs =
+          values (fun b ->
+              match b.Bounds.kind with
+              | Bounds.Upper -> true
+              | Bounds.Exact -> b.Bounds.rung = "exact"
+              | Bounds.Lower -> false)
+        in
+        match (lbs, ubs) with
+        | [], _ | _, [] -> None
+        | _ ->
+            let lb = List.fold_left Float.max neg_infinity lbs in
+            let ub = List.fold_left Float.min infinity ubs in
+            Some
+              (Doc.check ~lb ~ub
+                 (Printf.sprintf "lb <= ub for %s s=%d" wl s)
+                 (lb <= ub)))
+      groups
+  in
+  let n_rows = List.length t.grid_rows in
+  {
+    Doc.name = "sweep";
+    blocks =
+      [
+        Doc.Section "parameter sweep";
+        Doc.Facts
+          [
+            [
+              Doc.fact "rows" (string_of_int n_rows);
+              Doc.fact "workloads"
+                (string_of_int
+                   (List.length
+                      (List.sort_uniq compare
+                         (List.map (fun r -> r.workload) t.grid_rows))));
+              Doc.fact "engines" (string_of_int (List.length t.engines));
+              Doc.fact "s values" (string_of_int (List.length t.ss));
+            ];
+          ];
+        Doc.Table table;
+        Doc.Section "checks";
+        Doc.check "all rows committed" (!committed = n_rows);
+      ]
+      @ checks;
+  }

@@ -60,5 +60,9 @@ val applies : t list -> job:int -> attempt:int -> kind option
 
 val kind_to_string : kind -> string
 
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string} — how a worker-call envelope ships a
+    fault kind across a remote transport. *)
+
 val to_string : t -> string
 (** Round-trips through {!parse}. *)

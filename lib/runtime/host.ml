@@ -1,0 +1,263 @@
+module Counter = Dmc_obs.Counter
+module Gauge = Dmc_obs.Gauge
+
+type verdict = Alive | Slow | Dead | Poisoned
+
+type policy = {
+  fail_threshold : int;
+  poison_threshold : int;
+  slow_threshold : int;
+  quarantine_base : float;
+  quarantine_cap : float;
+}
+
+let default_policy =
+  {
+    fail_threshold = 3;
+    poison_threshold = 2;
+    slow_threshold = 2;
+    quarantine_base = 1.;
+    quarantine_cap = 30.;
+  }
+
+type t = {
+  name : string;
+  transport : Transport.t;
+  capacity : int;
+  policy : policy;
+  mutable verdict : verdict;
+  mutable inflight : int;
+  mutable consec_failures : int;
+  mutable consec_timeouts : int;
+  mutable garbage : int;
+  mutable until : float;
+  mutable quarantines : int;
+  mutable probing : bool;
+  mutable last_seen : float;
+  mutable dispatched : int;
+  mutable completed : int;
+  mutable failures_total : int;
+  mutable resharded : int;
+}
+
+(* Counter.make is idempotent (find-or-create by name), so per-event
+   lookups are cheap; the gauge mirrors [inflight] for live progress. *)
+let c_dispatch h = Counter.make (Printf.sprintf "sweep.host.%s.dispatch" h.name)
+let c_ok h = Counter.make (Printf.sprintf "sweep.host.%s.ok" h.name)
+let c_fail h = Counter.make (Printf.sprintf "sweep.host.%s.fail" h.name)
+let c_reshard h = Counter.make (Printf.sprintf "sweep.host.%s.reshard" h.name)
+let g_inflight h = Gauge.make (Printf.sprintf "sweep.host.%s.inflight" h.name)
+
+let make ~name ~transport ~capacity ~policy =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Host: capacity %d < 1 for %s" capacity name);
+  {
+    name;
+    transport;
+    capacity;
+    policy;
+    verdict = Alive;
+    inflight = 0;
+    consec_failures = 0;
+    consec_timeouts = 0;
+    garbage = 0;
+    until = neg_infinity;
+    quarantines = 0;
+    probing = false;
+    last_seen = neg_infinity;
+    dispatched = 0;
+    completed = 0;
+    failures_total = 0;
+    resharded = 0;
+  }
+
+let local ?(name = "local") ~capacity () =
+  make ~name ~transport:Transport.Fork ~capacity ~policy:default_policy
+
+let remote ?(policy = default_policy) ~name ~capacity ~argv () =
+  if argv = [] then invalid_arg ("Host: empty command for " ^ name);
+  make ~name
+    ~transport:(Transport.Command { argv = Array.of_list argv })
+    ~capacity ~policy
+
+let is_remote h = Transport.is_remote h.transport
+
+let verdict_to_string = function
+  | Alive -> "alive"
+  | Slow -> "slow"
+  | Dead -> "dead"
+  | Poisoned -> "poisoned"
+
+let quarantined h ~now =
+  match h.verdict with
+  | Poisoned -> true
+  | Dead -> now < h.until
+  | Alive | Slow -> false
+
+let available h ~now =
+  match h.verdict with
+  | Poisoned -> false
+  | Dead ->
+      (* half-open: past the quarantine, admit exactly one probe *)
+      now >= h.until && h.inflight = 0
+  | Alive | Slow -> h.inflight < h.capacity
+
+let next_wakeup h =
+  match h.verdict with
+  | Dead when h.until < infinity -> Some h.until
+  | _ -> None
+
+let lease h ~now =
+  if h.verdict = Dead && now >= h.until then h.probing <- true;
+  h.inflight <- h.inflight + 1;
+  h.dispatched <- h.dispatched + 1;
+  Counter.incr (c_dispatch h);
+  Gauge.set (g_inflight h) (float_of_int h.inflight)
+
+let release h =
+  h.inflight <- max 0 (h.inflight - 1);
+  Gauge.set (g_inflight h) (float_of_int h.inflight)
+
+let touch h ~now = h.last_seen <- max h.last_seen now
+
+type event =
+  | Ok_result
+  | Transport_failure of string
+  | Garbage of string
+  | Deadline_kill
+
+let quarantine_for h =
+  let p = h.policy in
+  let d = p.quarantine_base *. (2. ** float_of_int h.quarantines) in
+  Float.min d p.quarantine_cap
+
+let enter_quarantine h ~now ~until_ =
+  let was = quarantined h ~now in
+  h.verdict <- Dead;
+  h.until <- until_;
+  h.quarantines <- h.quarantines + 1;
+  h.probing <- false;
+  if was then `Fine else `Quarantined
+
+let record h ~now event =
+  match event with
+  | Ok_result ->
+      h.consec_failures <- 0;
+      h.consec_timeouts <- 0;
+      h.probing <- false;
+      h.completed <- h.completed + 1;
+      h.last_seen <- max h.last_seen now;
+      Counter.incr (c_ok h);
+      (* a successful probe (or any success) redeems a Dead/Slow host *)
+      if h.verdict <> Poisoned then h.verdict <- Alive;
+      `Fine
+  | Deadline_kill ->
+      h.consec_timeouts <- h.consec_timeouts + 1;
+      h.failures_total <- h.failures_total + 1;
+      Counter.incr (c_fail h);
+      if is_remote h && h.consec_timeouts >= h.policy.slow_threshold then begin
+        (* a probe that times out re-quarantines; a merely slow alive
+           host is only deprioritised, never benched *)
+        if h.probing then
+          enter_quarantine h ~now ~until_:(now +. quarantine_for h)
+        else begin
+          if h.verdict <> Poisoned then h.verdict <- Slow;
+          `Fine
+        end
+      end
+      else `Fine
+  | Transport_failure _ ->
+      h.consec_failures <- h.consec_failures + 1;
+      h.failures_total <- h.failures_total + 1;
+      Counter.incr (c_fail h);
+      if
+        is_remote h
+        && (h.probing || h.consec_failures >= h.policy.fail_threshold)
+        && h.verdict <> Poisoned
+      then begin
+        h.consec_failures <- 0;
+        enter_quarantine h ~now ~until_:(now +. quarantine_for h)
+      end
+      else `Fine
+  | Garbage _ ->
+      h.garbage <- h.garbage + 1;
+      h.failures_total <- h.failures_total + 1;
+      Counter.incr (c_fail h);
+      if is_remote h && h.garbage >= h.policy.poison_threshold then begin
+        let r = enter_quarantine h ~now ~until_:infinity in
+        h.verdict <- Poisoned;
+        r
+      end
+      else `Fine
+
+let note_reshard h =
+  h.resharded <- h.resharded + 1;
+  Counter.incr (c_reshard h)
+
+(* --------------------------------------------------------------- *)
+(* --host spec parsing                                              *)
+
+let split_spec s =
+  (* "kind[:CAP]:rest" — CAP optional, rest may itself contain ':' *)
+  match String.index_opt s ':' with
+  | None -> (s, None, None)
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.index_opt rest ':' with
+      | None -> (
+          match int_of_string_opt rest with
+          | Some cap -> (kind, Some cap, None)
+          | None -> (kind, None, Some rest))
+      | Some j -> (
+          let head = String.sub rest 0 j in
+          let tail = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match int_of_string_opt head with
+          | Some cap -> (kind, Some cap, Some tail)
+          | None -> (kind, None, Some rest)))
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse_spec s =
+  let s = String.trim s in
+  let kind, cap, rest = split_spec s in
+  let cap = Option.value cap ~default:1 in
+  if cap < 1 then Error (Printf.sprintf "host %S: capacity must be >= 1" s)
+  else
+    match (kind, rest) with
+    | "local", None -> Ok (local ~capacity:cap ())
+    | "local", Some _ -> Error (Printf.sprintf "host %S: local takes no command" s)
+    | "cmd", Some command -> (
+        match words command with
+        | [] -> Error (Printf.sprintf "host %S: empty command" s)
+        | argv ->
+            let name = Filename.basename (List.hd argv) in
+            Ok (remote ~name ~capacity:cap ~argv ()))
+    | "cmd", None -> Error (Printf.sprintf "host %S: cmd needs a command" s)
+    | "ssh", Some dest when words dest <> [] ->
+        let dest = String.trim dest in
+        Ok
+          (remote ~name:dest ~capacity:cap
+             ~argv:[ "ssh"; "-oBatchMode=yes"; dest; "dmc"; "worker" ]
+             ())
+    | "ssh", _ -> Error (Printf.sprintf "host %S: ssh needs a destination" s)
+    | _ ->
+        Error
+          (Printf.sprintf
+             "host %S: unknown kind %S (expected local | cmd | ssh)" s kind)
+
+let normalize ~jobs hosts =
+  let hosts =
+    if List.exists (fun h -> not (is_remote h)) hosts then hosts
+    else local ~capacity:(max 1 jobs) () :: hosts
+  in
+  (* De-duplicate names so sweep.host.* metrics stay per-host. *)
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun h ->
+      let n = try Hashtbl.find seen h.name with Not_found -> 0 in
+      Hashtbl.replace seen h.name (n + 1);
+      if n = 0 then h
+      else { h with name = Printf.sprintf "%s#%d" h.name (n + 1) })
+    hosts

@@ -1,0 +1,132 @@
+(** Per-host lease and health tracking for the multi-transport pool.
+
+    Every attempt the pool dispatches is a {e lease}: a job handed to
+    one host until its result frame arrives (the acknowledgement) or
+    the host proves unfit to hold it.  This module is the health side
+    of that ledger — a closed verdict taxonomy per host, driven by the
+    attempt verdicts the supervisor classifies:
+
+    - {!Alive}: delivering well-formed results;
+    - {!Slow}: repeatedly hitting the hard attempt deadline — still
+      used, but only when no alive host has a free slot;
+    - {!Dead}: repeated transport failures (spawn failure, crash,
+      vanished mid-frame) — quarantined with capped exponential
+      backoff, then probed with a single attempt (half-open);
+    - {!Poisoned}: repeatedly returning garbage instead of protocol
+      frames — quarantined for the rest of the run; a host that lies
+      is worse than a host that dies.
+
+    The local fork host never leaves {!Alive}: its failures are the
+    job's, not the machine's, so a run degrades gracefully down to
+    local-fork-only and never wedges while one backend lives.
+
+    Per-host [sweep.host.<name>.*] counters (dispatch / ok / fail /
+    reshard) and an inflight gauge stream through the obs registry, so
+    [--progress] and [dmc query --stats]-style snapshots can show the
+    fleet's shape live. *)
+
+type verdict = Alive | Slow | Dead | Poisoned
+
+type policy = {
+  fail_threshold : int;
+      (** consecutive transport failures before the host is {!Dead} *)
+  poison_threshold : int;
+      (** garbage results before the host is {!Poisoned} *)
+  slow_threshold : int;
+      (** consecutive deadline kills before the host is {!Slow} *)
+  quarantine_base : float;  (** first quarantine length, seconds *)
+  quarantine_cap : float;  (** upper bound on any quarantine length *)
+}
+
+val default_policy : policy
+(** 3 failures / 2 garbage / 2 timeouts; quarantine 1 s doubling,
+    capped at 30 s. *)
+
+type t = {
+  name : string;
+  transport : Transport.t;
+  capacity : int;  (** concurrent leases this host may hold *)
+  policy : policy;
+  mutable verdict : verdict;
+  mutable inflight : int;
+  mutable consec_failures : int;
+  mutable consec_timeouts : int;
+  mutable garbage : int;
+  mutable until : float;
+      (** quarantine expiry ([infinity] = for the rest of the run) *)
+  mutable quarantines : int;  (** times quarantined — drives the backoff *)
+  mutable probing : bool;  (** half-open: one probe attempt in flight *)
+  mutable last_seen : float;
+      (** last heartbeat/byte from any of its attempts (lease clock) *)
+  mutable dispatched : int;
+  mutable completed : int;
+  mutable failures_total : int;
+  mutable resharded : int;
+}
+
+val local : ?name:string -> capacity:int -> unit -> t
+(** The fork backend as a host.  Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val remote :
+  ?policy:policy -> name:string -> capacity:int -> argv:string list -> unit -> t
+(** A remote-exec backend: [argv] spawned per attempt (e.g.
+    [["ssh"; "user@h"; "dmc"; "worker"]]).  Raises [Invalid_argument]
+    on an empty [argv] or [capacity < 1]. *)
+
+val is_remote : t -> bool
+
+val verdict_to_string : verdict -> string
+(** ["alive"], ["slow"], ["dead"], ["poisoned"]. *)
+
+val available : t -> now:float -> bool
+(** Can this host accept one more lease right now?  [Poisoned] never;
+    [Dead] only past its quarantine and then with a single probe slot;
+    otherwise [inflight < capacity]. *)
+
+val quarantined : t -> now:float -> bool
+
+val next_wakeup : t -> float option
+(** The quarantine expiry worth sleeping toward, when finite and in
+    the future-or-present of no consequence to the caller's clock. *)
+
+val lease : t -> now:float -> unit
+(** Account one dispatched attempt (bumps inflight/dispatch counters;
+    entering a quarantine-expired [Dead] host flips it to probing). *)
+
+val release : t -> unit
+(** The lease's attempt has been reaped (result or not). *)
+
+val touch : t -> now:float -> unit
+(** Bytes arrived from one of this host's attempts — the heartbeat
+    that keeps the lease ledger's [last_seen] fresh. *)
+
+type event =
+  | Ok_result  (** a well-formed result frame ([ok] or typed [err]) *)
+  | Transport_failure of string  (** crashed / vanished / spawn failed *)
+  | Garbage of string  (** exited leaving non-protocol bytes *)
+  | Deadline_kill  (** the supervisor SIGKILLed it at the deadline *)
+
+val record : t -> now:float -> event -> [ `Fine | `Quarantined ]
+(** Fold one classified attempt into the host's health.
+    [`Quarantined] is returned only on the transition into
+    quarantine — the caller then re-shards the host's remaining
+    leases.  Local hosts only count; they never quarantine. *)
+
+val note_reshard : t -> unit
+(** A lease was taken back from this host and re-queued. *)
+
+val parse_spec : string -> (t, string) result
+(** One [--host] spec:
+    - [local[:CAP]] — the fork backend, default capacity 1;
+    - [cmd[:CAP]:COMMAND ...] — an arbitrary command (split on
+      spaces; later [:] belong to the command);
+    - [ssh[:CAP]:DEST] — shorthand for
+      [cmd:CAP:ssh -oBatchMode=yes DEST dmc worker]. *)
+
+val normalize : jobs:int -> t list -> t list
+(** The host set a run actually uses: the parsed specs, with a local
+    fork host of capacity [jobs] prepended when no spec supplied one —
+    the guarantee that a fleet can always degrade to local-fork-only.
+    Duplicate names get [#2], [#3]... suffixes so per-host counters
+    stay distinguishable. *)

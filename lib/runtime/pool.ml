@@ -68,6 +68,7 @@ let signal_name s =
    not depend on which verdicts a particular run happens to produce. *)
 let c_dispatch = Dmc_obs.Counter.make "pool.dispatch"
 let c_retry = Dmc_obs.Counter.make "pool.retry"
+let c_reshard = Dmc_obs.Counter.make "pool.reshard"
 
 let verdict_token = function
   | Done _ -> "ok"
@@ -97,88 +98,24 @@ let verdict_failure = function
       Some (Budget.Internal ("worker protocol error: " ^ msg))
 
 (* ------------------------------------------------------------------ *)
-(* Child side                                                          *)
+(* Child side (fork transport)                                         *)
 
-(* The child writes exactly one frame on [w] and _exits — never
+(* The child writes exactly one frame on [w] and [Unix._exit]s — never
    [exit], which would run the parent's [at_exit] hooks and flush a
-   copy of any buffered parent output. *)
-let child_body cfg ~worker ~payload ~job ~attempt w =
+   copy of any buffered parent output.  The attempt body itself (fault
+   handling, heartbeats, exception mapping, the result frame) is shared
+   with [dmc worker] in {!Transport.attempt_body}. *)
+let child_body cfg ~worker ~payload ~job ~fault w =
   Sys.set_signal Sys.sigint Sys.Signal_ignore;
   Sys.set_signal Sys.sigterm Sys.Signal_default;
-  (* Server-loop fault kinds (drop/truncate/slow) are not worker
-     faults: a spec can drive the connection loop and the pool from the
-     same string, so the child only honours its own kinds. *)
-  let fault =
-    match Fault.applies cfg.faults ~job ~attempt with
-    | Some k when Fault.is_worker_kind k -> Some k
-    | Some _ | None -> None
-  in
-  (match fault with
-  | Some Fault.Hang ->
-      (* Non-cooperative by construction: only the supervisor's
-         SIGKILL ends this attempt. *)
-      while true do
-        Unix.sleepf 3600.
-      done
-  | Some Fault.Abort ->
-      Sys.set_signal Sys.sigabrt Sys.Signal_default;
-      Unix.kill (Unix.getpid ()) Sys.sigabrt
-  | Some Fault.Garbage ->
-      (try
-         ignore (Unix.write_substring w "*** not an ipc frame ***" 0 24)
-       with Unix.Unix_error _ -> ())
-  | Some (Fault.Drop | Fault.Truncate | Fault.Slow) | None ->
-      (* Start from a clean registry (fork inherited the parent's spans
-         and counts) but keep the parent's epoch, so the snapshot's
-         timestamps land on the supervisor's timeline. *)
-      Dmc_obs.Registry.child_reset ();
-      (match cfg.on_progress with
-      | Some _ ->
-          (* Heartbeats ride the result pipe as extra frames ahead of
-             the result: span closes in the engines become rate-limited
-             phase ticks.  Spans only record when the registry is on,
-             so progress implies an enabled child registry; the parent
-             ignores the resulting snapshot unless it is profiling. *)
-          Dmc_obs.Registry.set_enabled true;
-          let last_hb = ref neg_infinity in
-          let send phase =
-            let t = Unix.gettimeofday () in
-            if t -. !last_hb >= 0.15 then begin
-              last_hb := t;
-              try
-                Ipc.write_frame w
-                  (Json.Obj [ ("hb", Json.Obj [ ("phase", Json.String phase) ]) ])
-              with Unix.Unix_error _ -> ()
-            end
-          in
-          send "start";
-          Dmc_obs.Registry.on_span_close := Some send
-      | None -> ());
-      let result =
-        try worker job payload with
-        | Budget.Exhausted f -> Error f
-        | Budget.Internal_error { where; details } ->
-            Error (Budget.Internal (where ^ ": " ^ details))
-        | Stack_overflow ->
-            Error (Budget.Too_large "worker recursion exceeded the OCaml stack")
-        | e -> Error (Budget.Internal ("worker raised: " ^ Printexc.to_string e))
-      in
-      let frame =
-        match result with
-        | Ok v -> Json.Obj [ ("ok", v) ]
-        | Error f -> Json.Obj [ ("err", Json.String (Budget.failure_to_string f)) ]
-      in
-      let frame =
-        (* The span/counter snapshot rides in the same result frame; the
-           supervisor merges it under this job's tid.  Engine failures
-           keep their snapshot too — failed rungs must still appear in
-           the trace. *)
-        match frame with
-        | Json.Obj fields when Dmc_obs.Registry.is_enabled () ->
-            Json.Obj (fields @ [ ("obs", Dmc_obs.Registry.snapshot_json ()) ])
-        | other -> other
-      in
-      (try Ipc.write_frame w frame with Unix.Unix_error _ -> ()));
+  (* Start from a clean registry (fork inherited the parent's spans
+     and counts) but keep the parent's epoch, so the snapshot's
+     timestamps land on the supervisor's timeline. *)
+  Dmc_obs.Registry.child_reset ();
+  Transport.attempt_body ~fault
+    ~hb:(cfg.on_progress <> None)
+    ~output:w
+    (fun () -> worker job payload);
   Unix._exit 0
 
 (* ------------------------------------------------------------------ *)
@@ -190,11 +127,15 @@ type slot = {
   buf : Buffer.t;
   job : int;
   attempt : int;
+  shost : Host.t;
   deadline : float option;
   started : float; (* registry clock, microseconds; 0 when obs is off *)
   mutable eof : bool;
   mutable status : Unix.process_status option;
   mutable timeout_killed : bool;
+  mutable resharded : bool;
+      (* the supervisor took the lease back (host quarantined under it)
+         and killed the attempt: refund, requeue, don't judge the job *)
   mutable off : int; (* frames before this buffer offset are consumed *)
   mutable phase : string; (* last heartbeat phase *)
   mutable result : Json.t option; (* first non-heartbeat frame *)
@@ -206,6 +147,7 @@ type job_rec = {
   jid : int;
   mutable jstate : job_state;
   mutable jattempts : int;
+  mutable jreshards : int; (* refunded attempts taken back from bad hosts *)
   mutable jbackoffs : float list; (* newest first *)
   mutable jfirst : float; (* first-dispatch instant; nan until then *)
 }
@@ -220,6 +162,9 @@ type job_rec = {
 type 'a t = {
   cfg : config;
   worker : int -> 'a -> (Json.t, Budget.failure) result;
+  encode : ('a -> Json.t) option;
+  hosts : Host.t list;
+  reshard_cap : int;
   on_commit : int -> outcome -> unit;
   ordered : bool;
   jobs : (int, job_rec) Hashtbl.t;
@@ -240,47 +185,86 @@ let flush_parent_output () =
   flush stdout;
   flush stderr
 
-let spawn cfg ~worker ~payload ~job ~attempt =
-  let r, w = Unix.pipe ~cloexec:false () in
-  flush_parent_output ();
-  match Unix.fork () with
-  | 0 ->
-      Unix.close r;
-      child_body cfg ~worker ~payload ~job ~attempt w
-  | pid ->
-      Unix.close w;
-      {
-        pid;
-        fd = r;
-        buf = Buffer.create 256;
-        job;
-        attempt;
-        deadline = Option.map (fun t -> Budget.now () +. t) cfg.timeout;
-        started =
-          (if Dmc_obs.Registry.is_enabled () then Dmc_obs.Registry.now_us ()
-           else 0.);
-        eof = false;
-        status = None;
-        timeout_killed = false;
-        off = 0;
-        phase = "";
-        result = None;
-      }
+let worker_fault cfg ~job ~attempt =
+  (* Server-loop fault kinds (drop/truncate/slow) are not worker
+     faults: a spec can drive the connection loop and the pool from the
+     same string, so attempts only honour their own kinds. *)
+  match Fault.applies cfg.faults ~job ~attempt with
+  | Some k when Fault.is_worker_kind k -> Some k
+  | Some _ | None -> None
 
+let spawn t ~host ~job ~attempt =
+  let cfg = t.cfg in
+  let fault = worker_fault cfg ~job ~attempt in
+  let pid, fd =
+    match host.Host.transport with
+    | Transport.Fork -> (
+        let payload = Hashtbl.find t.payloads job in
+        let r, w = Unix.pipe ~cloexec:false () in
+        flush_parent_output ();
+        match Unix.fork () with
+        | 0 ->
+            Unix.close r;
+            child_body cfg ~worker:t.worker ~payload ~job ~fault w
+        | pid ->
+            Unix.close w;
+            (pid, r))
+    | Transport.Command { argv } ->
+        let encode =
+          match t.encode with
+          | Some e -> e
+          | None ->
+              (* create/run refuse remote hosts without an encoder, so
+                 this is unreachable; fail loudly if the invariant
+                 breaks rather than ship a garbage frame. *)
+              invalid_arg "Pool: remote host without an encoder"
+        in
+        let payload = encode (Hashtbl.find t.payloads job) in
+        let envelope =
+          Transport.envelope ~hb:(cfg.on_progress <> None) ~fault payload
+        in
+        let proc = Transport.spawn_command ~argv ~envelope in
+        (proc.Transport.pid, proc.Transport.fd)
+  in
+  {
+    pid;
+    fd;
+    buf = Buffer.create 256;
+    job;
+    attempt;
+    shost = host;
+    deadline = Option.map (fun tmo -> Budget.now () +. tmo) cfg.timeout;
+    started =
+      (if Dmc_obs.Registry.is_enabled () then Dmc_obs.Registry.now_us ()
+       else 0.);
+    eof = false;
+    status = None;
+    timeout_killed = false;
+    resharded = false;
+    off = 0;
+    phase = "";
+    result = None;
+  }
+
+(* [pid <= 0] marks an attempt whose transport never started (command
+   spawn failure): there is no process to signal or reap, and passing 0
+   to kill/waitpid would address the whole process group. *)
 let kill_quietly pid =
-  try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+  if pid > 0 then try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
 
 let reap_blocking slot =
-  if slot.status = None then begin
-    let rec go () =
-      match Unix.waitpid [] slot.pid with
-      | _, st -> slot.status <- Some st
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-      | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
-          slot.status <- Some (Unix.WEXITED 127)
-    in
-    go ()
-  end;
+  if slot.status = None then
+    if slot.pid <= 0 then slot.status <- Some (Unix.WEXITED 127)
+    else begin
+      let rec go () =
+        match Unix.waitpid [] slot.pid with
+        | _, st -> slot.status <- Some st
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+            slot.status <- Some (Unix.WEXITED 127)
+      in
+      go ()
+    end;
   if not slot.eof then begin
     (try Unix.close slot.fd with Unix.Unix_error _ -> ());
     slot.eof <- true
@@ -303,6 +287,7 @@ let record_attempt slot verdict obs =
         [
           ("job", string_of_int slot.job);
           ("attempt", string_of_int slot.attempt);
+          ("host", slot.shost.Host.name);
           ("verdict", verdict_to_string verdict);
         ]
       ~ts_us:slot.started
@@ -344,19 +329,29 @@ let consume_frames slot =
           end
   done
 
-(* Classify a finished attempt.  [timeout_killed] wins over the exit
-   status (a SIGKILLed worker also reports WSIGNALED sigkill).  An
-   ["obs"] field in the result frame is the worker's instrumentation
-   snapshot, not part of the result proper — it is split off before the
-   shape check and merged into the supervisor's registry. *)
+(* Classify a finished attempt, plus the host-health reading of the
+   same evidence.  [timeout_killed] wins over the exit status (a
+   SIGKILLed worker also reports WSIGNALED sigkill).  An ["obs"] field
+   in the result frame is the worker's instrumentation snapshot, not
+   part of the result proper — it is split off before the shape check
+   and merged into the supervisor's registry.
+
+   The host event distinguishes a transport that {e died} (crash,
+   silent exit, truncated frame — worth quarantine-and-retry) from one
+   that {e lied} (bytes arrived but are not protocol — worth poisoning
+   after repeats).  [Host.record] applies the distinction only to
+   remote hosts; on the local fork backend every failure is the job's
+   own. *)
 let classify slot =
   consume_frames slot;
-  let verdict, obs =
-    if slot.timeout_killed then (Timed_out, None)
+  let verdict, hevent, obs =
+    if slot.timeout_killed then (Timed_out, Host.Deadline_kill, None)
     else
       match slot.status with
-      | Some (Unix.WSIGNALED s) -> (Crashed s, None)
-      | Some (Unix.WSTOPPED s) -> (Crashed s, None)
+      | Some (Unix.WSIGNALED s) ->
+          (Crashed s, Host.Transport_failure ("crashed: " ^ signal_name s), None)
+      | Some (Unix.WSTOPPED s) ->
+          (Crashed s, Host.Transport_failure ("stopped: " ^ signal_name s), None)
       | Some (Unix.WEXITED code) -> (
           let leftover = Buffer.length slot.buf - slot.off in
           let decoded =
@@ -374,36 +369,62 @@ let classify slot =
           | Ok (Json.Obj fields) -> (
               let obs = List.assoc_opt "obs" fields in
               match List.filter (fun (k, _) -> k <> "obs") fields with
-              | [ ("ok", payload) ] -> (Done payload, obs)
+              | [ ("ok", payload) ] -> (Done payload, Host.Ok_result, obs)
               | [ ("err", Json.String f) ] -> (
-                  ( (match Budget.failure_of_string f with
-                    | Some failure -> Engine_failure failure
-                    | None ->
-                        Worker_protocol_error ("unknown failure token: " ^ f)),
-                    obs ))
-              | _ -> (Worker_protocol_error "unexpected result-frame shape", None)
-              )
-          | Ok _ -> (Worker_protocol_error "unexpected result-frame shape", None)
+                  match Budget.failure_of_string f with
+                  | Some failure -> (Engine_failure failure, Host.Ok_result, obs)
+                  | None ->
+                      let msg = "unknown failure token: " ^ f in
+                      (Worker_protocol_error msg, Host.Garbage msg, obs))
+              | _ ->
+                  let msg = "unexpected result-frame shape" in
+                  (Worker_protocol_error msg, Host.Garbage msg, None))
+          | Ok _ ->
+              let msg = "unexpected result-frame shape" in
+              (Worker_protocol_error msg, Host.Garbage msg, None)
           | Error e ->
               let detail = Ipc.read_error_to_string e in
-              ( Worker_protocol_error
-                  (if code = 0 then detail
-                   else Printf.sprintf "%s (exit code %d)" detail code),
-                None ))
+              let msg =
+                if code = 0 then detail
+                else Printf.sprintf "%s (exit code %d)" detail code
+              in
+              let hevent =
+                (* no bytes, or a frame cut mid-flight: the transport
+                   died under the attempt.  Undecodable bytes that did
+                   arrive: the host is emitting garbage. *)
+                match e with
+                | Ipc.Closed | Ipc.Truncated _ | Ipc.Timed_out _ ->
+                    Host.Transport_failure msg
+                | Ipc.Bad_header _ | Ipc.Oversized _ | Ipc.Malformed _ ->
+                    Host.Garbage msg
+              in
+              (Worker_protocol_error msg, hevent, None))
       | None ->
-          (Worker_protocol_error "attempt finalized before being reaped", None)
+          let msg = "attempt finalized before being reaped" in
+          (Worker_protocol_error msg, Host.Transport_failure msg, None)
   in
   record_attempt slot verdict obs;
-  verdict
+  (verdict, hevent)
 
 (* ------------------------------------------------------------------ *)
 (* Streaming handle                                                    *)
 
-let create ?(ordered = true) (cfg : config) ~worker ~on_commit () =
+let create ?(ordered = true) ?(hosts = []) ?encode (cfg : config) ~worker
+    ~on_commit () =
   if cfg.jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let hosts =
+    match hosts with [] -> [ Host.local ~capacity:cfg.jobs () ] | hs -> hs
+  in
+  if encode = None && List.exists Host.is_remote hosts then
+    invalid_arg "Pool.create: remote hosts require ~encode";
   {
     cfg;
     worker;
+    encode;
+    hosts;
+    (* Enough refunds for every backend to fail this job twice before
+       the job itself starts paying attempts for the fleet's sins. *)
+    reshard_cap = (2 * List.length hosts) + 2;
     on_commit;
     ordered;
     jobs = Hashtbl.create 64;
@@ -422,7 +443,14 @@ let submit t payload =
   let id = t.next_id in
   t.next_id <- id + 1;
   Hashtbl.replace t.jobs id
-    { jid = id; jstate = Queued; jattempts = 0; jbackoffs = []; jfirst = nan };
+    {
+      jid = id;
+      jstate = Queued;
+      jattempts = 0;
+      jreshards = 0;
+      jbackoffs = [];
+      jfirst = nan;
+    };
   Hashtbl.replace t.payloads id payload;
   Queue.add id t.queue;
   t.not_final <- t.not_final + 1;
@@ -479,27 +507,97 @@ let finalize t r verdict =
       elapsed;
     }
 
-let settle t r verdict =
-  if is_transient verdict && r.jattempts <= t.cfg.max_retries then begin
-    Dmc_obs.Counter.incr c_retry;
-    t.retries_total <- t.retries_total + 1;
-    let delay = backoff_delay t.cfg ~job:r.jid ~attempt:r.jattempts in
-    r.jbackoffs <- delay :: r.jbackoffs;
-    r.jstate <- Waiting (Budget.now () +. delay)
-  end
-  else finalize t r verdict
+(* Take the lease back: the attempt is not evidence about the job, so
+   the attempt number is refunded and the job goes straight back into
+   the queue (no backoff — the {e host} is benched, the job is not). *)
+let reshard t r host =
+  Dmc_obs.Counter.incr c_reshard;
+  Host.note_reshard host;
+  r.jreshards <- r.jreshards + 1;
+  r.jattempts <- max 0 (r.jattempts - 1);
+  r.jstate <- Queued;
+  Queue.add r.jid t.queue
 
-let dispatch t id =
+(* Settle one reaped attempt.  Host health is folded in first; a
+   quarantine transition takes back every other lease the host still
+   holds (SIGKILL now, refund at reap).  Host-attributed failures on
+   remote backends refund the job's attempt — a dead machine must not
+   burn the job's own retry budget — up to [reshard_cap], after which
+   the ordinary transient-retry/finalize path judges the job. *)
+let settle t slot (verdict, hevent) =
+  let r = job_record t slot.job in
+  let host = slot.shost in
+  Host.release host;
+  if slot.resharded then
+    (* lease already taken back when the host went under; just requeue *)
+    reshard t r host
+  else begin
+    let now = Budget.now () in
+    (match Host.record host ~now hevent with
+    | `Fine -> ()
+    | `Quarantined ->
+        List.iter
+          (fun s ->
+            if s.shost == host && not s.resharded && s.status = None then begin
+              s.resharded <- true;
+              kill_quietly s.pid
+            end)
+          t.in_flight);
+    let host_fault =
+      Host.is_remote host
+      &&
+      match hevent with
+      | Host.Transport_failure _ | Host.Garbage _ -> true
+      | Host.Ok_result | Host.Deadline_kill -> false
+    in
+    if host_fault && r.jreshards < t.reshard_cap then reshard t r host
+    else if is_transient verdict && r.jattempts <= t.cfg.max_retries then begin
+      Dmc_obs.Counter.incr c_retry;
+      t.retries_total <- t.retries_total + 1;
+      let delay = backoff_delay t.cfg ~job:r.jid ~attempt:r.jattempts in
+      r.jbackoffs <- delay :: r.jbackoffs;
+      r.jstate <- Waiting (Budget.now () +. delay)
+    end
+    else finalize t r verdict
+  end
+
+(* Pick the host for the next dispatch: healthiest verdict class first
+   (alive, then slow, then a dead host due its half-open probe), load
+   ratio within a class, declaration order as the deterministic tie
+   break. *)
+let pick_host t ~now =
+  let rank h =
+    match h.Host.verdict with
+    | Host.Alive -> 0
+    | Host.Slow -> 1
+    | Host.Dead -> 2
+    | Host.Poisoned -> 3
+  in
+  let load h =
+    float_of_int h.Host.inflight /. float_of_int h.Host.capacity
+  in
+  List.fold_left
+    (fun best h ->
+      if not (Host.available h ~now) then best
+      else
+        match best with
+        | None -> Some h
+        | Some b ->
+            if
+              rank h < rank b
+              || (rank h = rank b && load h < load b)
+            then Some h
+            else best)
+    None t.hosts
+
+let dispatch t host id =
   let r = job_record t id in
   Dmc_obs.Counter.incr c_dispatch;
   r.jattempts <- r.jattempts + 1;
-  if r.jattempts = 1 then r.jfirst <- Budget.now ();
+  if Float.is_nan r.jfirst then r.jfirst <- Budget.now ();
   r.jstate <- Running;
-  let slot =
-    spawn t.cfg ~worker:t.worker
-      ~payload:(Hashtbl.find t.payloads id)
-      ~job:id ~attempt:r.jattempts
-  in
+  Host.lease host ~now:(Budget.now ());
+  let slot = spawn t ~host ~job:id ~attempt:r.jattempts in
   t.in_flight <- slot :: t.in_flight
 
 (* Cancel every job past the committed point, without an [on_commit]
@@ -539,10 +637,30 @@ let abandon t =
   List.iter
     (fun slot ->
       kill_quietly slot.pid;
-      reap_blocking slot)
+      reap_blocking slot;
+      Host.release slot.shost)
     t.in_flight;
   t.in_flight <- [];
   cancel_pending t
+
+(* Every backend permanently benched and nothing in flight: the queue
+   can never drain.  Finalize what remains with a typed failure rather
+   than spin forever — reachable only when the host set has no local
+   fork backend (the CLI always includes one). *)
+let all_hosts_poisoned t =
+  List.for_all (fun h -> h.Host.verdict = Host.Poisoned) t.hosts
+
+let fail_unservable t =
+  let fail r =
+    match r.jstate with
+    | Final _ | Running -> ()
+    | Queued | Waiting _ ->
+        finalize t r
+          (Engine_failure
+             (Budget.Internal "all hosts poisoned; no backend can run this job"))
+  in
+  Queue.clear t.queue;
+  Hashtbl.iter (fun _ r -> fail r) t.jobs
 
 (* At most ~4 callbacks a second, however fast the loop spins: the
    renderer writes to stderr and the RSS sampling reads /proc, both of
@@ -566,7 +684,12 @@ let emit_progress t =
         let running =
           List.rev_map
             (fun s ->
-              { Progress.job = s.job; attempt = s.attempt; phase = s.phase })
+              {
+                Progress.job = s.job;
+                attempt = s.attempt;
+                phase = s.phase;
+                host = s.shost.Host.name;
+              })
             t.in_flight
         in
         let elapsed = now -. t.started in
@@ -578,7 +701,10 @@ let emit_progress t =
         in
         let rss_bytes =
           Progress.rss_of_pids
-            (Unix.getpid () :: List.map (fun s -> s.pid) t.in_flight)
+            (Unix.getpid ()
+            :: List.filter_map
+                 (fun s -> if s.pid > 0 then Some s.pid else None)
+                 t.in_flight)
         in
         f
           {
@@ -596,11 +722,11 @@ let emit_progress t =
 (* One bounded supervision iteration: promote elapsed retry-waits,
    fill free worker slots (unless the config is draining), select on
    the worker pipes for at most [max_wait] seconds (capped tighter by
-   the nearest deadline or retry wake-up), drain readable pipes,
-   enforce hard deadlines, reap exited children and settle their
-   attempts.  Callers embedding the pool in their own event loop pass
-   [~max_wait:0.] after their own select; the batch driver uses the
-   default. *)
+   the nearest deadline, retry wake-up or quarantine expiry), drain
+   readable pipes, enforce hard deadlines, reap exited children and
+   settle their attempts.  Callers embedding the pool in their own
+   event loop pass [~max_wait:0.] after their own select; the batch
+   driver uses the default. *)
 let step ?(max_wait = 0.2) t =
   let now = Budget.now () in
   (* Promote retry-waits whose backoff has elapsed. *)
@@ -612,17 +738,19 @@ let step ?(max_wait = 0.2) t =
           Queue.add id t.queue
       | _ -> ())
     t.jobs;
-  (* Fill free worker slots (unless draining). *)
-  while
-    t.cfg.accept_more ()
-    && List.length t.in_flight < t.cfg.jobs
-    && not (Queue.is_empty t.queue)
-  do
-    dispatch t (Queue.take t.queue)
+  (* Fill free leases (unless draining).  The loop ends when the queue
+     empties or no host can take another lease right now. *)
+  let continue = ref true in
+  while !continue && t.cfg.accept_more () && not (Queue.is_empty t.queue) do
+    match pick_host t ~now with
+    | Some h -> dispatch t h (Queue.take t.queue)
+    | None ->
+        continue := false;
+        if t.in_flight = [] && all_hosts_poisoned t then fail_unservable t
   done;
   (* Pick the select timeout: nearest attempt deadline, nearest retry
-     wake-up, capped so the caller's stop conditions are polled
-     promptly. *)
+     wake-up, nearest quarantine expiry (when work is queued), capped
+     so the caller's stop conditions are polled promptly. *)
   let timeout =
     let horizon = ref max_wait in
     let shrink tm = if tm -. now < !horizon then horizon := tm -. now in
@@ -630,13 +758,16 @@ let step ?(max_wait = 0.2) t =
     Hashtbl.iter
       (fun _ r -> match r.jstate with Waiting tm -> shrink tm | _ -> ())
       t.jobs;
+    if not (Queue.is_empty t.queue) then
+      List.iter (fun h -> Option.iter shrink (Host.next_wakeup h)) t.hosts;
     Float.max 0.0 !horizon
   in
   let watched = List.filter (fun s -> not s.eof) t.in_flight in
   let readable =
     if watched = [] then (
-      if t.in_flight = [] && Queue.is_empty t.queue then
-        (* only Waiting jobs remain: sleep out the backoff *)
+      if t.in_flight = [] then
+        (* only Waiting jobs (or a queue blocked on quarantined hosts)
+           remain: sleep out the nearest wake-up *)
         ignore (Unix.select [] [] [] timeout : _ * _ * _);
       [])
     else
@@ -660,6 +791,7 @@ let step ?(max_wait = 0.2) t =
             slot.eof <- true
         | k ->
             Buffer.add_subbytes slot.buf chunk 0 k;
+            Host.touch slot.shost ~now:(Budget.now ());
             consume_frames slot
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       end)
@@ -671,19 +803,25 @@ let step ?(max_wait = 0.2) t =
       match slot.deadline with
       | Some d when now > d && not slot.timeout_killed ->
           slot.timeout_killed <- true;
-          kill_quietly slot.pid
+          kill_quietly slot.pid;
+          (* a spawn-failed attempt has no process to kill: mark it
+             reaped so the deadline actually ends it *)
+          if slot.pid <= 0 && slot.status = None then
+            slot.status <- Some (Unix.WEXITED 127)
       | _ -> ())
     t.in_flight;
   (* Reap exited children without blocking. *)
   List.iter
     (fun slot ->
       if slot.status = None then
-        match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
-        | 0, _ -> ()
-        | _, st -> slot.status <- Some st
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
-            slot.status <- Some (Unix.WEXITED 127))
+        if slot.pid <= 0 then slot.status <- Some (Unix.WEXITED 127)
+        else
+          match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
+          | 0, _ -> ()
+          | _, st -> slot.status <- Some st
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+              slot.status <- Some (Unix.WEXITED 127))
     t.in_flight;
   (* A reaped child closes its pipe on exit; drain what's left and
      settle the attempt. *)
@@ -712,16 +850,17 @@ let step ?(max_wait = 0.2) t =
       t.in_flight
   in
   t.in_flight <- still;
-  List.iter (fun slot -> settle t (job_record t slot.job) (classify slot)) done_;
+  List.iter (fun slot -> settle t slot (classify slot)) done_;
   emit_progress t
 
 (* ------------------------------------------------------------------ *)
 (* Batch driver                                                        *)
 
-let run (cfg : config) ~worker ?(on_result = fun _ _ -> ()) jobs =
+let run ?hosts ?encode (cfg : config) ~worker ?(on_result = fun _ _ -> ())
+    jobs =
   if cfg.jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
   let n = List.length jobs in
-  let pool = create cfg ~worker ~on_commit:on_result () in
+  let pool = create ?hosts ?encode cfg ~worker ~on_commit:on_result () in
   List.iter (fun payload -> ignore (submit pool payload : int)) jobs;
   let stopped = ref false in
   let finally () = if pool.in_flight <> [] then abandon pool in

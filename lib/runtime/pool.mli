@@ -1,14 +1,28 @@
-(** Fork-based supervised worker pool.
+(** Supervised worker pool over pluggable transports.
 
-    Each job runs in its own child process, so nothing a worker does —
-    blow the OCaml stack, exhaust the heap, segfault, spin forever in
-    a non-cooperative loop — can take the supervisor down or corrupt a
-    sibling.  The supervisor enforces a {e hard} wall-clock deadline
-    per attempt with SIGKILL (no reliance on the cooperative
+    Each job runs in its own process — by default a forked child
+    ({!Transport.Fork}), optionally a spawned command such as
+    [ssh host dmc worker] ({!Transport.Command}) — so nothing a worker
+    does — blow the OCaml stack, exhaust the heap, segfault, spin
+    forever in a non-cooperative loop — can take the supervisor down or
+    corrupt a sibling.  The supervisor enforces a {e hard} wall-clock
+    deadline per attempt with SIGKILL (no reliance on the cooperative
     {!Dmc_util.Budget} polling the engines do internally), classifies
     every way an attempt can end into the closed {!verdict} type, and
     retries transient verdicts with capped exponential backoff and
     deterministic jitter.
+
+    With multiple {!Host}s, every attempt is a {e lease}: the pool
+    picks the healthiest host with a free slot, attributes each
+    attempt's evidence to that host ({!Host.record}), and when a host
+    is quarantined — repeated transport failures, or garbage instead of
+    protocol — takes back its in-flight leases (SIGKILL), {e refunds}
+    the jobs' attempt counts and requeues them on surviving backends
+    (re-sharding).  A job only burns its own retry budget on evidence
+    about the job; a run only fails to make progress when every backend
+    is gone.  None of this machinery is observable in the committed
+    results: outcomes depend on the job alone, so the byte-determinism
+    contract below holds for any host set and any failure schedule.
 
     Results are {e committed in submission order}: [on_result] fires
     for job [i] only once jobs [0..i-1] have fired, regardless of
@@ -120,6 +134,8 @@ type 'a t
 
 val create :
   ?ordered:bool ->
+  ?hosts:Host.t list ->
+  ?encode:('a -> Dmc_util.Json.t) ->
   config ->
   worker:(int -> 'a -> (Dmc_util.Json.t, Dmc_util.Budget.failure) result) ->
   on_commit:(int -> outcome -> unit) ->
@@ -130,8 +146,21 @@ val create :
     byte-determinism contract {!run} documents), [false] commits each
     job the moment it finalizes — what a server wants, so a fast
     query's reply never waits behind a slow unrelated one.
+
+    [hosts] (default one local fork host of capacity [cfg.jobs])
+    selects the backends; remote ({!Transport.Command}) hosts require
+    [encode], the payload serializer whose JSON a [dmc worker] process
+    can dispatch ([worker] itself never runs for a remote attempt —
+    the remote end computes from the encoded payload, and its result
+    frames are classified exactly like a fork child's).  Callers
+    wanting the degrade-to-local guarantee should include a local
+    host (see {!Host.normalize}); with a remote-only host set, jobs
+    finalize as [Engine_failure Internal] once every backend is
+    poisoned.
+
     [on_commit] is the commit hook; an exception it raises propagates
-    out of {!step}.  Raises [Invalid_argument] if [cfg.jobs < 1]. *)
+    out of {!step}.  Raises [Invalid_argument] if [cfg.jobs < 1], or
+    if a remote host is given without [encode]. *)
 
 val submit : 'a t -> 'a -> int
 (** Enqueue a job; returns its id (sequential from 0 in submission
@@ -174,13 +203,16 @@ val abandon : 'a t -> unit
     no further {!submit}/{!step} is meaningful. *)
 
 val run :
+  ?hosts:Host.t list ->
+  ?encode:('a -> Dmc_util.Json.t) ->
   config ->
   worker:(int -> 'a -> (Dmc_util.Json.t, Dmc_util.Budget.failure) result) ->
   ?on_result:(int -> outcome -> unit) ->
   'a list ->
   outcome array
 (** [run cfg ~worker jobs] executes [worker i job_i] for each job in a
-    forked child and returns one outcome per job, in submission order.
+    forked child (or on a remote host — [hosts]/[encode] as in
+    {!create}) and returns one outcome per job, in submission order.
 
     [worker] runs {e in the child} (after the fork it sees a copy of
     the parent's full state, so closures need no serialization); its

@@ -1,4 +1,4 @@
-type running = { job : int; attempt : int; phase : string }
+type running = { job : int; attempt : int; phase : string; host : string }
 
 type t = {
   total : int;
@@ -58,10 +58,11 @@ let render p =
     (Printf.sprintf "[pool] %d/%d done, %d running" p.finished p.total
        (List.length p.running));
   (match p.running with
-  | { job; attempt; phase } :: _ ->
+  | { job; attempt; phase; host } :: _ ->
       Buffer.add_string b
-        (Printf.sprintf " (job %d%s%s)" job
+        (Printf.sprintf " (job %d%s%s%s)" job
            (if attempt > 1 then Printf.sprintf " try %d" attempt else "")
+           (if host = "" || host = "local" then "" else "@" ^ host)
            (if phase = "" then "" else ": " ^ phase))
   | [] -> ());
   Buffer.add_string b (Printf.sprintf ", %d waiting" p.waiting);

@@ -13,6 +13,9 @@ type running = {
   phase : string;
       (** last heartbeat phase (innermost span name), [""] before the
           first heartbeat arrives *)
+  host : string;
+      (** name of the host holding this attempt's lease; ["local"] for
+          the fork backend (and elided from the rendered line) *)
 }
 
 type t = {

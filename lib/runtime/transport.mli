@@ -1,0 +1,87 @@
+(** Where a pool attempt runs: the transport abstraction.
+
+    The supervised pool ({!Pool}) historically forked every attempt.
+    That backend is now one {!t} among two:
+
+    - {!Fork} runs the pool's worker {e closure} in a forked child —
+      no serialization, full access to the parent's state, the
+      original byte-determinism workhorse;
+    - {!Command} spawns an arbitrary argv (typically
+      [ssh host dmc worker], or a local [dmc worker] in tests), writes
+      the {e serialized} job to its stdin as one length-prefixed JSON
+      call frame, and reads the same frames the fork backend's pipe
+      carries from its stdout.
+
+    Both speak the identical wire protocol ({!Dmc_util.Ipc}): optional
+    [{"hb": ...}] heartbeat frames, then exactly one result frame
+    [{"ok": payload}] or [{"err": failure}], then EOF.  The supervisor
+    therefore classifies, retries and commits attempts the same way
+    whichever transport produced them — the submission-order-commit
+    byte-determinism contract is transport-independent. *)
+
+type t =
+  | Fork  (** run the worker closure in a forked child *)
+  | Command of { argv : string array }
+      (** spawn [argv]; stdin carries the call frame, stdout the
+          result frames, stderr passes through to the supervisor's *)
+
+type proc = { pid : int; fd : Unix.file_descr }
+(** A spawned attempt: the local process to SIGKILL at the hard
+    deadline (for [Command] that is the transport client, e.g. the
+    [ssh] process) and the descriptor its result frames arrive on. *)
+
+val name : t -> string
+(** ["fork"], or the first argv word for commands. *)
+
+val is_remote : t -> bool
+(** [Command] transports are remote: their jobs cross as JSON, their
+    failures are attributed to the {e host}, not the job. *)
+
+val call_version : int
+
+val envelope : hb:bool -> fault:Fault.kind option -> Dmc_util.Json.t -> Dmc_util.Json.t
+(** Wrap a serialized job payload into the one call frame a [Command]
+    worker reads from stdin:
+    [{"kind": "dmc-worker-call", "v": 1, "job": payload, "hb": bool,
+      "fault": "hang" | null}].  [fault] ships worker-side fault
+    injection to the remote end, so chaos schedules reach every
+    transport. *)
+
+val parse_envelope :
+  Dmc_util.Json.t ->
+  (Dmc_util.Json.t * bool * Fault.kind option, string) result
+(** [(job, hb, fault)] from a call frame; [Error] on anything that is
+    not a v{!call_version} [dmc-worker-call]. *)
+
+val spawn_command : argv:string array -> envelope:Dmc_util.Json.t -> proc
+(** Start [argv] and write the call frame to its stdin (bounded: a
+    worker that never reads — already dead, wedged before its first
+    read — cannot stall the supervisor; the write gives up after a few
+    seconds and classification reports the failure).  SIGPIPE is
+    ignored process-wide on first use. *)
+
+val attempt_body :
+  fault:Fault.kind option ->
+  hb:bool ->
+  output:Unix.file_descr ->
+  (unit -> (Dmc_util.Json.t, Dmc_util.Budget.failure) result) ->
+  unit
+(** The worker side of one attempt, shared by the fork child and the
+    [dmc worker] process: honour a worker-kind fault (hang / abort /
+    garbage), optionally stream rate-limited heartbeat phase frames
+    from span closes, run the thunk with the standard exception
+    mapping ([Budget.Exhausted] / [Internal_error] / [Stack_overflow]
+    / anything else), attach the obs snapshot when the registry is
+    enabled, and write the single result frame.  Never raises. *)
+
+val run_call :
+  input:Unix.file_descr ->
+  output:Unix.file_descr ->
+  dispatch:(Dmc_util.Json.t -> (Dmc_util.Json.t, Dmc_util.Budget.failure) result) ->
+  unit ->
+  int
+(** The whole [dmc worker] body: read one call frame from [input],
+    dispatch the job, answer on [output] via {!attempt_body}.  Returns
+    the process exit code (0 even for engine failures — those are
+    well-formed [{"err": ...}] replies; non-zero only when the call
+    frame itself was unreadable). *)

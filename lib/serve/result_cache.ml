@@ -136,3 +136,84 @@ let create ?dir ~capacity () =
     t.file;
   Dmc_obs.Gauge.set g_size (float_of_int (size t));
   t
+
+(* --------------------------------------------------------------- *)
+(* Directory ownership                                              *)
+
+type lock = { lock_path : string }
+
+type lock_error =
+  | Held of { pid : int; path : string }
+  | Lock_io of string
+
+let lock_error_to_string = function
+  | Held { pid; path } ->
+      Printf.sprintf
+        "cache directory is owned by a running daemon (pid %d holds %s)" pid
+        path
+  | Lock_io msg -> "cache lock: " ^ msg
+
+let unlock_dir { lock_path } =
+  try Sys.remove lock_path with Sys_error _ -> ()
+
+(* O_EXCL is the atomicity; pid-liveness is the staleness rule.  A
+   reclaim races only against other *starting* daemons (the running
+   owner never rewrites its lock), and the single retry keeps the
+   worst case at one loser reporting the winner as [Held]. *)
+let lock_dir dir =
+  (try Unix.mkdir dir 0o755
+   with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+  let path = Filename.concat dir "lock.pid" in
+  let try_acquire () =
+    match Unix.openfile path [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 with
+    | fd ->
+        let body = string_of_int (Unix.getpid ()) ^ "\n" in
+        let ok =
+          match Unix.write_substring fd body 0 (String.length body) with
+          | _ -> true
+          | exception Unix.Unix_error _ -> false
+        in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if ok then Ok { lock_path = path }
+        else begin
+          (try Sys.remove path with Sys_error _ -> ());
+          Error (Lock_io (path ^ ": could not write owner pid"))
+        end
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Error (Held { pid = 0; path })
+    | exception Unix.Unix_error (e, op, _) ->
+        Error (Lock_io (Printf.sprintf "%s: %s (%s)" path (Unix.error_message e) op))
+  in
+  let owner_alive () =
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> input_line ic)
+    with
+    | line -> (
+        match int_of_string_opt (String.trim line) with
+        | Some pid when pid > 0 -> (
+            match Unix.kill pid 0 with
+            | () -> Some pid
+            | exception Unix.Unix_error (Unix.ESRCH, _, _) -> None
+            | exception Unix.Unix_error (_, _, _) ->
+                (* EPERM etc.: the pid exists but is not ours *)
+                Some pid)
+        | Some _ | None -> None (* unreadable owner = stale *))
+    | exception _ -> None (* vanished or unreadable = stale *)
+  in
+  match try_acquire () with
+  | Ok _ as ok -> ok
+  | Error (Lock_io _) as e -> e
+  | Error (Held _) -> (
+      match owner_alive () with
+      | Some pid -> Error (Held { pid; path })
+      | None -> (
+          (* stale: reclaim once *)
+          (try Sys.remove path with Sys_error _ -> ());
+          match try_acquire () with
+          | Ok _ as ok -> ok
+          | Error (Lock_io _) as e -> e
+          | Error (Held _) ->
+              let pid = Option.value (owner_alive ()) ~default:0 in
+              Error (Held { pid; path })))

@@ -44,3 +44,34 @@ val capacity : t -> int
 val entries : t -> (string * Dmc_util.Json.t) list
 (** Snapshot in LRU-to-MRU order — the persistence order; exposed for
     tests. *)
+
+(** {1 Directory ownership}
+
+    Two daemons pointed at the same [--cache-dir] would interleave
+    write-throughs: each [add] rewrites the whole backing file, so the
+    slower writer silently erases the faster one's entries.  The lock
+    makes the second daemon fail fast with a typed error instead.
+
+    The lock is a [lock.pid] file created with [O_EXCL] holding the
+    owner's pid — deliberately {e not} [lockf]: POSIX record locks do
+    not conflict within one process (untestable) and vanish on any
+    fd close.  Staleness is pid-liveness: a lock whose recorded owner
+    is gone (a [kill -9]'d daemon never unlocks) is reclaimed, so
+    crash-restart needs no manual cleanup. *)
+
+type lock
+
+type lock_error =
+  | Held of { pid : int; path : string }
+      (** a live process owns the directory *)
+  | Lock_io of string  (** could not create/read the lock file *)
+
+val lock_error_to_string : lock_error -> string
+
+val lock_dir : string -> (lock, lock_error) result
+(** Take ownership of [dir] (created if missing).  Reclaims a stale
+    lock (dead owner pid, or unreadable contents) exactly once before
+    reporting [Held]. *)
+
+val unlock_dir : lock -> unit
+(** Release; removing an already-removed lock is a no-op. *)

@@ -137,8 +137,25 @@ let bind_listen path =
 let serve cfg =
   Registry.set_enabled true;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  match bind_listen cfg.socket_path with
+  (* Own the cache directory before touching the socket or the cache
+     file: a second daemon on the same --cache-dir must fail fast with
+     a typed error, not interleave write-throughs with the first. *)
+  let dir_lock =
+    match cfg.cache_dir with
+    | None -> Ok None
+    | Some dir -> (
+        match Result_cache.lock_dir dir with
+        | Ok l -> Ok (Some l)
+        | Error e -> Error (Result_cache.lock_error_to_string e))
+  in
+  match dir_lock with
   | Error _ as e -> e
+  | Ok dir_lock -> (
+  let unlock () = Option.iter Result_cache.unlock_dir dir_lock in
+  match bind_listen cfg.socket_path with
+  | Error _ as e ->
+      unlock ();
+      e
   | Ok lfd ->
       let cache =
         Result_cache.create ?dir:cfg.cache_dir ~capacity:cfg.cache_entries ()
@@ -430,4 +447,5 @@ let serve cfg =
       Result_cache.save cache;
       close_listen ();
       (try Sys.remove cfg.socket_path with Sys_error _ -> ());
-      Ok ()
+      unlock ();
+      Ok ())

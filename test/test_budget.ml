@@ -305,6 +305,28 @@ let test_checkpoint_sweep () =
   List.iter Sys.remove [ other_base; not_tmp; path ];
   Unix.rmdir dir
 
+(* The explicit age threshold: a temp younger than [max_age] is a
+   concurrent writer's live file and must survive; the same file under
+   a tighter threshold is an orphan. *)
+let test_checkpoint_sweep_age_threshold () =
+  let dir = Filename.temp_file "dmc-test-sweep-age" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "state.json" in
+  let temp = Filename.concat dir "state.json.abc123.tmp" in
+  let oc = open_out temp in
+  output_string oc "{}";
+  close_out oc;
+  let age = Unix.gettimeofday () -. 120. in
+  Unix.utimes temp age age;
+  check "2-minute-old temp survives a 300s threshold" 0
+    (Checkpoint.sweep_orphans ~max_age:300. path);
+  check_bool "still there" true (Sys.file_exists temp);
+  check "same temp reaped under a 60s threshold" 1
+    (Checkpoint.sweep_orphans ~max_age:60. path);
+  check_bool "gone" true (not (Sys.file_exists temp));
+  Unix.rmdir dir
+
 let test_json_parse_errors () =
   List.iter
     (fun text ->
@@ -346,6 +368,8 @@ let () =
           Alcotest.test_case "rng save/restore" `Quick test_rng_save_restore;
           Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "orphan temp sweep" `Quick test_checkpoint_sweep;
+          Alcotest.test_case "orphan sweep age threshold" `Quick
+            test_checkpoint_sweep_age_threshold;
           Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
         ] );
     ]

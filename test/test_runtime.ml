@@ -334,7 +334,9 @@ let test_progress_render () =
     {
       Progress.total = 10;
       finished = 3;
-      running = [ { Progress.job = 4; attempt = 2; phase = "optimal.rbw_io" } ];
+      running =
+        [ { Progress.job = 4; attempt = 2; phase = "optimal.rbw_io";
+            host = "local" } ];
       waiting = 6;
       retries = 1;
       elapsed = 12.0;

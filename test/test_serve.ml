@@ -141,6 +141,45 @@ let test_cache_lru () =
   check_bool "a survives" true (Result_cache.find c "a" = Some (Json.Int 1));
   check_bool "c present" true (Result_cache.find c "c" = Some (Json.Int 3))
 
+(* Directory ownership: a second lock on a held directory fails typed;
+   a lock whose owner is dead (a kill -9'd daemon) is reclaimed. *)
+let test_cache_dir_lock () =
+  let dir = fresh_dir () in
+  (match Result_cache.lock_dir dir with
+  | Error e -> Alcotest.fail (Result_cache.lock_error_to_string e)
+  | Ok lock -> (
+      (match Result_cache.lock_dir dir with
+      | Ok _ -> Alcotest.fail "second lock on a held directory succeeded"
+      | Error (Result_cache.Held { pid; path }) ->
+          check "held by this process" (Unix.getpid ()) pid;
+          check_bool "lock file lives in the cache dir" true
+            (Filename.dirname path = dir)
+      | Error (Result_cache.Lock_io _ as e) ->
+          Alcotest.fail (Result_cache.lock_error_to_string e));
+      Result_cache.unlock_dir lock;
+      match Result_cache.lock_dir dir with
+      | Ok lock' -> Result_cache.unlock_dir lock'
+      | Error e ->
+          Alcotest.failf "relock after unlock: %s"
+            (Result_cache.lock_error_to_string e)));
+  (* stale lock: a pid that is certainly gone (a reaped child) *)
+  let dead_pid =
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        pid
+  in
+  let oc = open_out (Filename.concat dir "lock.pid") in
+  output_string oc (string_of_int dead_pid);
+  close_out oc;
+  (match Result_cache.lock_dir dir with
+  | Ok lock -> Result_cache.unlock_dir lock
+  | Error e ->
+      Alcotest.failf "stale lock not reclaimed: %s"
+        (Result_cache.lock_error_to_string e));
+  rm_rf dir
+
 let test_cache_persistence () =
   let dir = fresh_dir () in
   let c = Result_cache.create ~dir ~capacity:8 () in
@@ -430,6 +469,7 @@ let () =
       ( "result-cache",
         [
           Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+          Alcotest.test_case "directory lock" `Quick test_cache_dir_lock;
           Alcotest.test_case "persistence preserves recency" `Quick
             test_cache_persistence;
           Alcotest.test_case "corrupt file tolerated" `Quick

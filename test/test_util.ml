@@ -281,6 +281,91 @@ let test_rng_split_independent () =
   let ys = List.init 10 (fun _ -> Rng.next child) in
   check_bool "streams differ" true (xs <> ys)
 
+(* ------------------------------------------------------------------ *)
+(* Ipc partial delivery                                                *)
+
+module Ipc = Dmc_util.Ipc
+
+let with_pipe f =
+  let r, w = Unix.pipe ~cloexec:false () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+let write_exactly fd s =
+  let n = String.length s in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd s !written (n - !written)
+  done
+
+(* Exhaustive over every byte boundary: a peer that dies after writing
+   exactly [cut] bytes of a frame must yield [Closed] (nothing at all)
+   or [Truncated] carrying the exact expected/got counts for whichever
+   part — header or payload — the cut interrupted. *)
+let test_ipc_truncated_every_boundary () =
+  let value = Json.Obj [ ("row", Json.Int 7); ("payload", Json.String "xyz") ] in
+  let frame = Ipc.encode_frame value in
+  let total = String.length frame in
+  let payload_len = total - Ipc.header_bytes in
+  for cut = 0 to total do
+    with_pipe (fun r w ->
+        write_exactly w (String.sub frame 0 cut);
+        Unix.close w;
+        match (Ipc.read_frame r, cut) with
+        | Ok v, c when c = total ->
+            check_bool "full frame decodes" true (v = value)
+        | Error Ipc.Closed, 0 -> ()
+        | Error (Ipc.Truncated { expected; got }), c
+          when c < Ipc.header_bytes ->
+            check (Printf.sprintf "header expected at cut %d" c)
+              Ipc.header_bytes expected;
+            check (Printf.sprintf "header got at cut %d" c) c got
+        | Error (Ipc.Truncated { expected; got }), c ->
+            check (Printf.sprintf "payload expected at cut %d" c)
+              payload_len expected;
+            check (Printf.sprintf "payload got at cut %d" c)
+              (c - Ipc.header_bytes) got
+        | Ok _, c -> Alcotest.failf "cut %d decoded despite missing bytes" c
+        | Error e, c ->
+            Alcotest.failf "cut %d: unexpected %s" c
+              (Ipc.read_error_to_string e))
+  done
+
+(* Same boundaries, but the peer stays alive and merely stalls: with a
+   deadline every incomplete prefix must surface as [Timed_out], never
+   [Truncated] (the pipe is still open) and never a hang. *)
+let test_ipc_timed_out_every_boundary () =
+  let value = Json.List [ Json.Int 1; Json.Bool false; Json.String "s" ] in
+  let frame = Ipc.encode_frame value in
+  let total = String.length frame in
+  let payload_len = total - Ipc.header_bytes in
+  for cut = 0 to total do
+    with_pipe (fun r w ->
+        write_exactly w (String.sub frame 0 cut);
+        (* w stays open: the peer is dribbling, not dead *)
+        let deadline = Unix.gettimeofday () +. 0.01 in
+        match (Ipc.read_frame ~deadline r, cut) with
+        | Ok v, c when c = total ->
+            check_bool "full frame decodes" true (v = value)
+        | Error (Ipc.Timed_out { expected; got }), c
+          when c < Ipc.header_bytes ->
+            check (Printf.sprintf "header expected at cut %d" c)
+              Ipc.header_bytes expected;
+            check (Printf.sprintf "header got at cut %d" c) c got
+        | Error (Ipc.Timed_out { expected; got }), c ->
+            check (Printf.sprintf "payload expected at cut %d" c)
+              payload_len expected;
+            check (Printf.sprintf "payload got at cut %d" c)
+              (c - Ipc.header_bytes) got
+        | Ok _, c -> Alcotest.failf "cut %d decoded despite missing bytes" c
+        | Error e, c ->
+            Alcotest.failf "cut %d: unexpected %s" c
+              (Ipc.read_error_to_string e))
+  done
+
 let qsuite name tests =
   (* fixed qcheck seed so runs are reproducible *)
   ( name,
@@ -319,6 +404,13 @@ let () =
           Alcotest.test_case "errors" `Quick test_stats_errors;
         ] );
       ( "json", [ Alcotest.test_case "rendering" `Quick test_json_rendering ] );
+      ( "ipc",
+        [
+          Alcotest.test_case "truncated at every byte boundary" `Quick
+            test_ipc_truncated_every_boundary;
+          Alcotest.test_case "timed out at every byte boundary" `Quick
+            test_ipc_timed_out_every_boundary;
+        ] );
       ( "rng",
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
