@@ -360,6 +360,12 @@ let micro_benchmarks () =
         keep (fun () ->
             Dmc_sim.Sim_game.of_execution fft
               ~order:(Dmc_core.Strategy.default_order fft) ~s:8) );
+      ( "mp-schedule-jacobi-p4",
+        keep (fun () -> Dmc_core.Strategy.mp_io jac.Dmc_gen.Stencil.graph ~p:4 ~s:6) );
+      ( "pc-schedule-tree8",
+        keep (fun () -> Dmc_core.Strategy.pc_io tree ~s:4) );
+      ( "mp-comm-lb-fft32-p4",
+        keep (fun () -> Dmc_core.Mp_bounds.row fft ~p:4 ~s:6 "mp-comm-lb") );
       ( "symbolic-parse-eval",
         keep (fun () ->
             match Dmc_symbolic.Expr.parse "n^d * T / (4 * P * (2 * S)^(1 / d))" with

@@ -238,11 +238,50 @@ let bounds_parallel ~jobs ~job_timeout ~retries ~faults ~progress ?timeout
   in
   Dmc_core.Bounds.assemble_governed g ~s rows
 
+(* Engine enumeration for --list-engines: the governed (sequential)
+   family's one-liners live here; the multi-processor family carries
+   its own doc strings in the registry. *)
+let governed_engine_docs =
+  [
+    ("floor", "I/O floor: every input read + every non-input output written");
+    ("wavefront", "min-cut wavefront bound (Lemma 2), exact then sampled");
+    ("partition-h", "Lemma 1 with the exhaustive H(2S) partition count");
+    ("partition-u", "Corollary 1 with the exhaustive U(2S) vertex count");
+    ("span", "Savage S-span lower bound");
+    ("optimal", "exhaustive optimal-game search (tiny graphs, exact)");
+    ("belady", "Belady-policy schedule: a certified upper bound");
+    ("lru", "LRU-policy schedule: a certified upper bound");
+  ]
+
+let print_engine_list () =
+  let kind_str k = Dmc_core.Bounds.kind_to_string k in
+  Format.printf "governed engines (sequential red-blue-white game):@.";
+  List.iter
+    (fun (name, kind) ->
+      let doc =
+        match List.assoc_opt name governed_engine_docs with
+        | Some d -> d
+        | None -> ""
+      in
+      Format.printf "  %-12s %-6s %s@." name (kind_str kind) doc)
+    Dmc_core.Bounds.governed_engines;
+  Format.printf
+    "multi-processor engines (mp/pc games; p from bounds -p, sweep -p, or \
+     a job's p field):@.";
+  List.iter
+    (fun (e : Dmc_core.Mp_bounds.info) ->
+      Format.printf "  %-12s %-6s %s@." e.name (kind_str e.kind) e.doc)
+    Dmc_core.Mp_bounds.engines
+
 let bounds_cmd =
   let run spec file s optimal certify json timeout node_budget governed jobs
-      job_timeout retries fault trace profile progress =
+      job_timeout retries fault trace profile progress list_engines p =
     setup_logs ();
     guarded @@ fun () ->
+    if list_engines then begin
+      print_engine_list ();
+      exit 0
+    end;
     install_interrupt_handlers ();
     setup_obs ~trace ~profile;
     let faults = parse_faults fault in
@@ -254,8 +293,43 @@ let bounds_cmd =
        pool: the supervised path is the instrumented one, and running
        it even at --jobs 1 keeps the counter profile identical across
        widths. *)
-    if jobs > 1 || faults <> [] || job_timeout <> None || trace <> None
-       || profile || progress
+    if p <> None then begin
+      (* The multi-processor family: one governed row per mp/pc engine
+         at (p, S), same ladder discipline as the sequential path. *)
+      let p = Option.get p in
+      let rows =
+        List.map
+          (fun (e : Dmc_core.Mp_bounds.info) ->
+            Dmc_core.Mp_bounds.row ?timeout ?node_budget g ~p ~s e.name)
+          Dmc_core.Mp_bounds.engines
+      in
+      if json then
+        print_endline
+          (Dmc_util.Json.to_string
+             (Dmc_util.Json.Obj
+                [
+                  ("kind", Dmc_util.Json.String "dmc-mp-bounds");
+                  ("p", Dmc_util.Json.Int p);
+                  ("s", Dmc_util.Json.Int s);
+                  ( "rows",
+                    Dmc_util.Json.List
+                      (List.map Dmc_core.Bounds.row_to_json rows) );
+                ]))
+      else begin
+        Format.printf "multi-processor bounds at p=%d, S=%d:@." p s;
+        List.iter
+          (fun (r : Dmc_core.Bounds.row) ->
+            Format.printf "  %-12s %-6s %-8s rung=%-8s %s@." r.engine
+              (Dmc_core.Bounds.kind_to_string r.kind)
+              (match r.value with Some v -> string_of_int v | None -> "-")
+              r.rung
+              (Dmc_core.Bounds.row_status r))
+          rows
+      end;
+      emit_obs ~trace ~profile
+    end
+    else if jobs > 1 || faults <> [] || job_timeout <> None || trace <> None
+            || profile || progress
     then begin
       let gr =
         bounds_parallel ~jobs ~job_timeout ~retries ~faults ~progress ?timeout
@@ -306,11 +380,22 @@ let bounds_cmd =
            ~doc:"Use the governed engine ladder even without a budget \
                  (every engine is attempted, including the exhaustive ones).")
   in
+  let list_engines =
+    Arg.(value & flag & info [ "list-engines" ]
+           ~doc:"List every bound engine (governed and multi-processor) \
+                 with a one-line description, then exit.")
+  in
+  let p_arg =
+    Arg.(value & opt (some int) None & info [ "p" ] ~docv:"P"
+           ~doc:"Run the multi-processor/pc engine family at $(docv) \
+                 processors (per-processor capacity -s) instead of the \
+                 sequential engines.")
+  in
   Cmd.v (Cmd.info "bounds" ~doc:"Lower/upper-bound analysis of a CDAG")
     Term.(const run $ spec_arg $ file_arg $ s_arg $ optimal $ certify $ json
           $ timeout_arg $ node_budget_arg $ governed $ jobs_arg
           $ job_timeout_arg $ retries_arg $ fault_arg $ trace_arg
-          $ profile_arg $ progress_arg)
+          $ profile_arg $ progress_arg $ list_engines $ p_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dmc game                                                           *)
@@ -1246,7 +1331,7 @@ let host_arg =
                local host of capacity --jobs.")
 
 let sweep_cmd =
-  let run specs sizes seeds ss engines json md timeout node_budget hosts
+  let run specs sizes seeds ss ps engines json md timeout node_budget hosts
       checkpoint resume jobs job_timeout retries fault trace profile progress
       =
     setup_logs ();
@@ -1272,6 +1357,14 @@ let sweep_cmd =
       | Ok ns -> ns
       | Error e -> failwith ("-s: " ^ e)
     in
+    let ps =
+      Option.map
+        (fun s ->
+          match Sweep.parse_int_list s with
+          | Ok ns -> ns
+          | Error e -> failwith ("-p: " ^ e))
+        ps
+    in
     let engines =
       Option.map
         (fun s ->
@@ -1281,7 +1374,8 @@ let sweep_cmd =
     in
     let grid =
       match
-        Sweep.make ~specs ~sizes ~seeds ~ss ?engines ?timeout ?node_budget ()
+        Sweep.make ~specs ~sizes ~seeds ~ss ?ps ?engines ?timeout
+          ?node_budget ()
       with
       | Ok g -> g
       | Error e -> failwith e
@@ -1373,10 +1467,10 @@ let sweep_cmd =
                re-sharded before reaching here): degrade the row
                coordinator-side, so the sweep never loses a row. *)
             let failure = Option.get (Pool.verdict_failure v) in
-            Format.eprintf "dmc sweep: row %d (%s s=%d %s): worker %s; \
-                            degrading@."
+            Format.eprintf "dmc sweep: row %d (%s s=%d p=%d %s): worker \
+                            %s; degrading@."
               gi row_arr.(gi).Sweep.workload row_arr.(gi).Sweep.s
-              row_arr.(gi).Sweep.engine
+              row_arr.(gi).Sweep.p row_arr.(gi).Sweep.engine
               (Pool.verdict_to_string v);
             match Sweep.degraded grid row_arr.(gi) ~failure with
             | Ok p -> p
@@ -1447,12 +1541,20 @@ let sweep_cmd =
     Arg.(value & opt string "8" & info [ "s" ] ~docv:"LIST"
            ~doc:"Fast-memory capacities to sweep (same syntax as --sizes).")
   in
+  let ps_axis =
+    Arg.(value & opt (some string) None & info [ "p" ] ~docv:"LIST"
+           ~doc:"Processor counts to sweep (same syntax as --sizes); \
+                 requires a p-sensitive engine in --engines (see dmc \
+                 bounds --list-engines).")
+  in
   let engines =
     Arg.(value & opt (some string) None & info [ "engines" ] ~docv:"NAMES"
            ~doc:(Printf.sprintf
-                   "Comma-separated engine subset (default: all of %s)."
+                   "Comma-separated engine subset (default: all of %s; \
+                    multi-processor engines: %s)."
                    (String.concat ", "
-                      (List.map fst Dmc_core.Bounds.governed_engines))))
+                      (List.map fst Dmc_core.Bounds.governed_engines))
+                   (String.concat ", " Dmc_core.Mp_bounds.engine_names)))
   in
   let json_arg =
     Arg.(value & flag & info [ "json" ]
@@ -1479,9 +1581,9 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Run a workload/S/engine/seed parameter grid across a \
+       ~doc:"Run a workload/S/p/engine/seed parameter grid across a \
              fault-tolerant host fleet")
-    Term.(const run $ specs $ sizes $ seeds $ ss $ engines $ json_arg
+    Term.(const run $ specs $ sizes $ seeds $ ss $ ps_axis $ engines $ json_arg
           $ md_arg $ timeout_arg $ node_budget_arg $ host_arg $ checkpoint
           $ resume $ jobs_arg $ job_timeout_arg $ retries_arg $ fault_arg
           $ trace_arg $ profile_arg $ progress_arg)

@@ -158,6 +158,7 @@ let doc_of_parts payloads =
                {
                  Doc.curve = c.workload;
                  shape = c.shape;
+                 xlabel = "S";
                  points =
                    List.map
                      (fun p -> { Doc.x = p.s; lb = p.lb; ub = p.ub })

@@ -13,7 +13,12 @@ type check = {
 
 type curve_point = { x : int; lb : float; ub : int }
 
-type curve = { curve : string; shape : string; points : curve_point list }
+type curve = {
+  curve : string;
+  shape : string;
+  xlabel : string;
+  points : curve_point list;
+}
 
 type block =
   | Section of string
@@ -39,7 +44,9 @@ let ok doc = List.for_all (fun c -> c.ok) (checks doc)
    locked by the golden fixtures under test/golden.                   *)
 
 let curve_table c =
-  let t = Table.create ~headers:[ "S"; "analytic LB"; "measured UB"; "UB/LB" ] in
+  let t =
+    Table.create ~headers:[ c.xlabel; "analytic LB"; "measured UB"; "UB/LB" ]
+  in
   List.iter
     (fun p ->
       Table.add_row t
@@ -163,6 +170,9 @@ let block_to_json = function
           ("t", J.String "curve");
           ("name", J.String c.curve);
           ("shape", J.String c.shape);
+          (* The x axis was capacity S for every curve before the
+             trade-off experiments; older payloads omit the field. *)
+          ("xlabel", J.String c.xlabel);
           ( "points",
             J.List
               (List.map
@@ -230,7 +240,8 @@ let block_of_json json =
                 Some ({ x; lb; ub } :: acc)))
           points (Some [])
       in
-      Some (Curve { curve = name; shape; points })
+      let xlabel = Option.value ~default:"S" (str "xlabel") in
+      Some (Curve { curve = name; shape; xlabel; points })
   | Some "check" ->
       let* label = str "label" in
       let* ok = Option.bind (J.mem json "ok") J.as_bool in

@@ -21,9 +21,17 @@ type check = {
 
 type curve_point = { x : int; lb : float; ub : int }
 
-type curve = { curve : string; shape : string; points : curve_point list }
-(** An I/O-vs-capacity roofline curve: rendered as a titled
-    S / analytic LB / measured UB / UB-over-LB table. *)
+type curve = {
+  curve : string;
+  shape : string;
+  xlabel : string;
+      (** x-axis header — ["S"] for the capacity rooflines, ["p"] for
+          the processor-count trade-off curves.  JSON payloads written
+          before the field existed decode as ["S"]. *)
+  points : curve_point list;
+}
+(** A bound-vs-parameter roofline curve: rendered as a titled
+    x / analytic LB / measured UB / UB-over-LB table. *)
 
 type block =
   | Section of string       (** ["\n== title ==\n\n"] in text *)

@@ -46,6 +46,11 @@ let experiments : Experiment.t list =
       doc_of_parts = Reductions.doc_of_parts;
     };
     {
+      name = "tradeoff";
+      parts = Tradeoff.parts;
+      doc_of_parts = Tradeoff.doc_of_parts;
+    };
+    {
       name = "validate";
       parts = Validate.validate_parts;
       doc_of_parts = Validate.validate_doc_of_parts;

@@ -1,16 +1,18 @@
 module J = Dmc_util.Json
 module Table = Dmc_util.Table
 module Bounds = Dmc_core.Bounds
+module Mp_bounds = Dmc_core.Mp_bounds
 module Engine_job = Dmc_core.Engine_job
 module Workload = Dmc_gen.Workload
 
-type row = { workload : string; s : int; engine : string }
+type row = { workload : string; s : int; p : int; engine : string }
 
 type t = {
   specs : string list;
   sizes : int list;
   seeds : int list;
   ss : int list;
+  ps : int list;
   engines : string list;
   tmo : float option;
   budget : int option;
@@ -87,19 +89,31 @@ let expand_template ~sizes ~seeds spec =
       else [ sp ])
     with_n
 
-let make ~specs ?(sizes = []) ?(seeds = []) ~ss ?engines ?timeout ?node_budget
-    () =
+let make ~specs ?(sizes = []) ?(seeds = []) ~ss ?(ps = [ 1 ]) ?engines ?timeout
+    ?node_budget () =
   let engines =
     match engines with
     | Some es -> es
     | None -> List.map fst Bounds.governed_engines
   in
-  let known = List.map fst Bounds.governed_engines in
+  let known = List.map fst Bounds.governed_engines @ Mp_bounds.engine_names in
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
   if specs = [] then err "sweep: no workload specs"
   else if ss = [] then err "sweep: no S values"
   else if List.exists (fun s -> s < 1) ss then err "sweep: S values must be >= 1"
+  else if ps = [] then err "sweep: no p values"
+  else if List.exists (fun q -> q < 1) ps then err "sweep: p values must be >= 1"
   else if engines = [] then err "sweep: no engines"
+  else if
+    (* The same two-way check as {n}/{seed}: a p axis that no selected
+       engine reads would silently multiply the grid with duplicate
+       rows. *)
+    ps <> [ 1 ] && not (List.exists Mp_bounds.is_engine engines)
+  then
+    err
+      "sweep: p values given but no selected engine is p-sensitive (pick \
+       from: %s)"
+      (String.concat ", " Mp_bounds.engine_names)
   else
     match List.find_opt (fun e -> not (List.mem e known)) engines with
     | Some e ->
@@ -134,8 +148,13 @@ let make ~specs ?(sizes = []) ?(seeds = []) ~ss ?engines ?timeout ?node_budget
                   (fun wl ->
                     List.concat_map
                       (fun s ->
-                        List.map (fun engine -> { workload = wl; s; engine })
-                          engines)
+                        List.concat_map
+                          (fun q ->
+                            List.map
+                              (fun engine ->
+                                { workload = wl; s; p = q; engine })
+                              engines)
+                          ps)
                       ss)
                   concrete
               in
@@ -145,6 +164,7 @@ let make ~specs ?(sizes = []) ?(seeds = []) ~ss ?engines ?timeout ?node_budget
                   sizes;
                   seeds;
                   ss;
+                  ps;
                   engines;
                   tmo = timeout;
                   budget = node_budget;
@@ -166,8 +186,8 @@ let job t row =
   | Error e -> Error e
   | Ok g ->
       Ok
-        (Engine_job.make ?timeout:t.tmo ?node_budget:t.budget g ~s:row.s
-           ~engine:row.engine)
+        (Engine_job.make ?timeout:t.tmo ?node_budget:t.budget ~p:row.p g
+           ~s:row.s ~engine:row.engine)
 
 let degraded t row ~failure =
   match
@@ -177,15 +197,17 @@ let degraded t row ~failure =
   with
   | Error e -> Error e
   | Ok g ->
-      let kind =
+      let degraded =
         match List.assoc_opt row.engine Bounds.governed_engines with
-        | Some k -> k
-        | None -> Bounds.Lower (* unreachable: [make] validated engines *)
+        | Some kind ->
+            Bounds.degraded_row g ~s:row.s ~engine:row.engine ~kind ~failure
+              ~elapsed:0.
+        | None ->
+            (* [make] validated the name, so it is a {!Mp_bounds} engine. *)
+            Mp_bounds.degraded_row g ~p:row.p ~s:row.s ~engine:row.engine
+              ~failure ~elapsed:0.
       in
-      Ok
-        (Bounds.row_to_json
-           (Bounds.degraded_row g ~s:row.s ~engine:row.engine ~kind ~failure
-              ~elapsed:0.))
+      Ok (Bounds.row_to_json degraded)
 
 (* ------------------------------------------------------------------ *)
 (* Axis syntax                                                         *)
@@ -224,7 +246,11 @@ let parse_int_list s =
 (* Checkpoint                                                          *)
 
 let kind_tag = "dmc-sweep"
-let version = 1
+
+(* v2 added the processor axis ("ps" in the grid signature, a "p"
+   column in rows); v1 checkpoints are refused with a version message
+   rather than a confusing grid mismatch. *)
+let version = 2
 
 let signature t =
   let ints ns = J.List (List.map (fun i -> J.Int i) ns) in
@@ -235,6 +261,7 @@ let signature t =
       ("sizes", ints t.sizes);
       ("seeds", ints t.seeds);
       ("ss", ints t.ss);
+      ("ps", ints t.ps);
       ("engines", strs t.engines);
       ("timeout", match t.tmo with None -> J.Null | Some f -> J.Float f);
       ( "node_budget",
@@ -280,11 +307,13 @@ let restore t json =
    is exactly the deterministic/nondeterministic field split. *)
 let doc t ~results =
   let table =
-    Table.create ~headers:[ "workload"; "s"; "engine"; "kind"; "value"; "rung"; "status" ]
+    Table.create
+      ~headers:
+        [ "workload"; "s"; "p"; "engine"; "kind"; "value"; "rung"; "status" ]
   in
   Table.set_align table
-    [ Table.Left; Table.Right; Table.Left; Table.Left; Table.Right;
-      Table.Left; Table.Left ];
+    [ Table.Left; Table.Right; Table.Right; Table.Left; Table.Left;
+      Table.Right; Table.Left; Table.Left ];
   let committed = ref 0 in
   let parsed =
     List.map2
@@ -303,13 +332,14 @@ let doc t ~results =
       match b with
       | None ->
           Table.add_row table
-            [ row.workload; string_of_int row.s; row.engine; "-"; "-"; "-";
-              "not committed" ]
+            [ row.workload; string_of_int row.s; string_of_int row.p;
+              row.engine; "-"; "-"; "-"; "not committed" ]
       | Some b ->
           Table.add_row table
             [
               row.workload;
               string_of_int row.s;
+              string_of_int row.p;
               row.engine;
               Bounds.kind_to_string b.Bounds.kind;
               (match b.Bounds.value with
@@ -319,51 +349,71 @@ let doc t ~results =
               Bounds.row_status b;
             ])
     parsed;
-  (* Per-(workload, s) sandwich: engines are the innermost axis, so
+  (* Per-(workload, s, p) sandwich: engines are the innermost axis, so
      each group is one contiguous block of the row list. *)
   let groups =
     List.fold_left
       (fun acc ((row, _) as entry) ->
         match acc with
-        | (key, members) :: rest when key = (row.workload, row.s) ->
+        | (key, members) :: rest when key = (row.workload, row.s, row.p) ->
             (key, entry :: members) :: rest
-        | _ -> ((row.workload, row.s), [ entry ]) :: acc)
+        | _ -> ((row.workload, row.s, row.p), [ entry ]) :: acc)
       [] parsed
     |> List.rev_map (fun (key, members) -> (key, List.rev members))
   in
+  (* Engines only sandwich within their own bounded quantity: the
+     governed engines bound sequential RBW I/O at S, mp-comm-* the
+     p-processor communication volume, mp-time-* the makespan, and
+     pc-io-* the partial-computation I/O — a wavefront LB above a
+     pc-io UB (the paper's point) or an mp-comm UB (pooled memory)
+     would be a spurious failure, not a bug. *)
+  let family engine =
+    match engine with
+    | "mp-comm-lb" | "mp-comm-ub" -> "mp-comm"
+    | "mp-time-lb" | "mp-time-ub" -> "mp-time"
+    | "pc-io-lb" | "pc-io-ub" -> "pc-io"
+    | _ -> "seq"
+  in
   let checks =
-    List.filter_map
-      (fun ((wl, s), members) ->
-        let values pred =
-          List.filter_map
-            (fun (_, b) ->
-              match b with
-              | Some b when pred b -> Option.map float_of_int b.Bounds.value
-              | _ -> None)
-            members
-        in
-        let lbs =
-          values (fun b ->
-              match b.Bounds.kind with
-              | Bounds.Lower | Bounds.Exact -> true
-              | Bounds.Upper -> false)
-        in
-        let ubs =
-          values (fun b ->
-              match b.Bounds.kind with
-              | Bounds.Upper -> true
-              | Bounds.Exact -> b.Bounds.rung = "exact"
-              | Bounds.Lower -> false)
-        in
-        match (lbs, ubs) with
-        | [], _ | _, [] -> None
-        | _ ->
-            let lb = List.fold_left Float.max neg_infinity lbs in
-            let ub = List.fold_left Float.min infinity ubs in
-            Some
-              (Doc.check ~lb ~ub
-                 (Printf.sprintf "lb <= ub for %s s=%d" wl s)
-                 (lb <= ub)))
+    List.concat_map
+      (fun ((wl, s, q), members) ->
+        List.filter_map
+          (fun fam ->
+            let values pred =
+              List.filter_map
+                (fun (row, b) ->
+                  match b with
+                  | Some b when family row.engine = fam && pred b ->
+                      Option.map float_of_int b.Bounds.value
+                  | _ -> None)
+                members
+            in
+            let lbs =
+              values (fun b ->
+                  match b.Bounds.kind with
+                  | Bounds.Lower | Bounds.Exact -> true
+                  | Bounds.Upper -> false)
+            in
+            let ubs =
+              values (fun b ->
+                  match b.Bounds.kind with
+                  | Bounds.Upper -> true
+                  | Bounds.Exact -> b.Bounds.rung = "exact"
+                  | Bounds.Lower -> false)
+            in
+            match (lbs, ubs) with
+            | [], _ | _, [] -> None
+            | _ ->
+                let lb = List.fold_left Float.max neg_infinity lbs in
+                let ub = List.fold_left Float.min infinity ubs in
+                let label =
+                  Printf.sprintf "lb <= ub for %s s=%d%s%s" wl s
+                    (if t.ps = [ 1 ] then ""
+                     else Printf.sprintf " p=%d" q)
+                    (if fam = "seq" then "" else " [" ^ fam ^ "]")
+                in
+                Some (Doc.check ~lb ~ub label (lb <= ub)))
+          [ "seq"; "mp-comm"; "mp-time"; "pc-io" ])
       groups
   in
   let n_rows = List.length t.grid_rows in
@@ -383,6 +433,7 @@ let doc t ~results =
                          (List.map (fun r -> r.workload) t.grid_rows))));
               Doc.fact "engines" (string_of_int (List.length t.engines));
               Doc.fact "s values" (string_of_int (List.length t.ss));
+              Doc.fact "p values" (string_of_int (List.length t.ps));
             ];
           ];
         Doc.Table table;

@@ -1,9 +1,9 @@
 (** Parameter-grid sweeps over the workload registry.
 
     A sweep is the paper's experimental shape as data: workload
-    templates × sizes × fast-memory capacities × engines × seeds,
-    expanded into a deterministic row list where each row is one
-    governed bound computation ({!Dmc_core.Engine_job}).  The [dmc
+    templates × sizes × fast-memory capacities × processor counts ×
+    engines × seeds, expanded into a deterministic row list where each
+    row is one governed bound computation ({!Dmc_core.Engine_job}).  The [dmc
     sweep] driver shards these rows across a host fleet; this module
     owns everything that must {e not} depend on the fleet — the grid
     algebra, the expansion order, the checkpoint format and the merged
@@ -21,7 +21,10 @@
 type row = {
   workload : string;  (** concrete registry spec, placeholders substituted *)
   s : int;
-  engine : string;  (** a {!Dmc_core.Bounds.governed_engines} name *)
+  p : int;  (** processor count; 1 unless a p axis was given *)
+  engine : string;
+      (** a {!Dmc_core.Bounds.governed_engines} or
+          {!Dmc_core.Mp_bounds.engines} name *)
 }
 
 type t
@@ -31,19 +34,23 @@ val make :
   ?sizes:int list ->
   ?seeds:int list ->
   ss:int list ->
+  ?ps:int list ->
   ?engines:string list ->
   ?timeout:float ->
   ?node_budget:int ->
   unit ->
   (t, string) result
 (** Validate and expand a grid.  [engines] defaults to every governed
-    engine.  Errors: empty [specs]/[ss], non-positive [ss], unknown
-    engine names, placeholder/axis mismatches in either direction, and
-    any concrete spec that fails registry name/arity/integer checks. *)
+    engine; [ps] defaults to [[1]].  Errors: empty [specs]/[ss],
+    non-positive [ss] or [ps], unknown engine names, placeholder/axis
+    mismatches in either direction, a non-trivial [ps] with no
+    p-sensitive engine selected (the axis would silently duplicate
+    rows), and any concrete spec that fails registry
+    name/arity/integer checks. *)
 
 val rows : t -> row list
 (** Every row, in the canonical order: template, then size, then seed,
-    then [s], then engine.  This order {e is} the submission order and
+    then [s], then [p], then engine.  This order {e is} the submission order and
     hence the committed order — the determinism contract starts here. *)
 
 val timeout : t -> float option
@@ -58,7 +65,8 @@ val degraded :
 (** The coordinator-side terminal payload for a row whose worker was
     lost for job-attributed reasons (host-attributed failures are
     re-sharded by the pool instead): {!Dmc_core.Bounds.degraded_row}
-    with zero elapsed, serialized like a worker row.  The run never
+    (or {!Dmc_core.Mp_bounds.degraded_row} for the multi-processor
+    engines) with zero elapsed, serialized like a worker row.  The run never
     loses a row to a lost worker — it degrades it. *)
 
 val parse_int_list : string -> (int list, string) result
@@ -83,7 +91,10 @@ val restore : t -> Dmc_util.Json.t -> (Dmc_util.Json.t list, string) result
 val doc : t -> results:(Dmc_util.Json.t option) list -> Doc.t
 (** The merged report: one payload per row in row order ([None] =
     the row never committed — cancelled run), rendered as a status
-    table plus per-(workload, s) best-bound sandwich checks.  Only
+    table plus per-(workload, s, p) best-bound sandwich checks, one
+    per bound family present (sequential I/O, mp communication, mp
+    makespan, pc I/O — distinct quantities never sandwich each
+    other).  Only
     value-deterministic fields appear (no elapsed times, no host
     names): the report is byte-identical for any [--jobs], any host
     fleet and any transient-failure schedule. *)

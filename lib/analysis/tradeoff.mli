@@ -1,0 +1,60 @@
+(** Time/communication trade-off curves for the multi-processor
+    pebbling game ({!Dmc_core.Mp_game}, after arXiv 2409.03898).
+
+    For each workload, fix the per-processor capacity [S] and sweep
+    the processor count [p]: the communication lower bound
+    [IO_1(p * S)] (the pooled-memory simulation) can only fall as [p]
+    grows, while the measured communication of a replayed — hence
+    certified-valid — [p]-processor schedule typically rises.  A
+    second curve per workload does the same for makespan, between
+    {!Dmc_core.Parallel_bounds.mp_time_lower} and the replayed
+    schedule's makespan. *)
+
+val ps : int list
+(** The swept processor counts, [[1; 2; 4; 8]]. *)
+
+type point = {
+  p : int;
+  comm_lb : int;  (** [mp-comm-lb] at [(p, S)] *)
+  measured : int;
+      (** I/O of {!Dmc_core.Strategy.mp_schedule} replayed through
+          {!Dmc_core.Mp_game.run} *)
+  time_lb : int;  (** [mp-time-lb] at [(p, S)] *)
+  time_ub : int;  (** makespan of the same replayed schedule *)
+}
+
+type curve = {
+  workload : string;  (** registry spec *)
+  s : int;
+  seq_lb : int;  (** single-processor wavefront/floor bound at [S] *)
+  seq_ub : int;  (** single-processor Belady I/O at [S] *)
+  points : point list;
+}
+
+val measure : spec:string -> s:int -> unit -> curve
+(** Build the workload from its registry [spec] and measure every
+    point of the [p] sweep.  Raises [Failure] if an emitted schedule
+    is rejected by the game engine — a valid replay is part of the
+    measurement. *)
+
+val curve_to_json : curve -> Dmc_util.Json.t
+
+val curve_of_json : Dmc_util.Json.t -> curve
+
+val sandwich_ok : curve -> bool
+(** [comm_lb <= measured] and [time_lb <= time_ub] at every point. *)
+
+val lb_monotone : curve -> bool
+(** The communication lower bound is non-increasing in [p]. *)
+
+val p1_agrees : curve -> bool
+(** At [p = 1] the multi-processor bound collapses to the sequential
+    one: [comm_lb = seq_lb] and [measured = seq_ub]. *)
+
+val parts : Experiment.part list
+(** One part per workload ([jacobi1d:32,8] at [S = 8], [fft:5] at
+    [S = 6], [tree:64] at [S = 4]). *)
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t
+(** Two curves (communication, makespan) per workload plus the
+    sandwich, monotonicity and [p = 1]-agreement checks. *)

@@ -4,16 +4,18 @@ type t = {
   engine : string;
   graph : string;
   s : int;
+  p : int;
   timeout : float option;
   node_budget : int option;
   samples : int;
 }
 
-let make ?timeout ?node_budget ?(samples = 64) g ~s ~engine =
+let make ?timeout ?node_budget ?(samples = 64) ?(p = 1) g ~s ~engine =
   {
     engine;
     graph = Dmc_cdag.Serialize.to_string g;
     s;
+    p;
     timeout;
     node_budget;
     samples;
@@ -26,6 +28,7 @@ let to_json job =
       ("engine", J.String job.engine);
       ("graph", J.String job.graph);
       ("s", J.Int job.s);
+      ("p", J.Int job.p);
       ("timeout", J.opt (fun t -> J.Float t) job.timeout);
       ("node_budget", J.opt (fun n -> J.Int n) job.node_budget);
       ("samples", J.Int job.samples);
@@ -46,18 +49,29 @@ let of_json json =
         | Some J.Null | None -> None
         | Some j -> J.as_int j
       in
-      Ok { engine; graph; s; timeout; node_budget; samples }
+      (* Jobs from older checkpoints predate the multi-processor
+         engines and are single-processor by construction. *)
+      let p = Option.value ~default:1 (int "p") in
+      Ok { engine; graph; s; p; timeout; node_budget; samples }
   | _ -> Error "not a dmc-engine-job object"
 
 let run job =
-  if not (List.mem_assoc job.engine Bounds.governed_engines) then
+  let governed = List.mem_assoc job.engine Bounds.governed_engines in
+  if not (governed || Mp_bounds.is_engine job.engine) then
     Error (Dmc_util.Budget.Invalid_input ("unknown engine: " ^ job.engine))
+  else if job.p < 1 then
+    Error (Dmc_util.Budget.Invalid_input "p must be positive")
   else
     match Dmc_cdag.Serialize.of_string job.graph with
     | Error msg -> Error (Dmc_util.Budget.Invalid_input ("bad graph: " ^ msg))
     | Ok g ->
         let row =
-          Bounds.governed_row ?timeout:job.timeout ?node_budget:job.node_budget
-            ~samples:job.samples g ~s:job.s job.engine
+          if governed then
+            Bounds.governed_row ?timeout:job.timeout
+              ?node_budget:job.node_budget ~samples:job.samples g ~s:job.s
+              job.engine
+          else
+            Mp_bounds.row ?timeout:job.timeout ?node_budget:job.node_budget
+              ~samples:job.samples g ~p:job.p ~s:job.s job.engine
         in
         Ok (Bounds.row_to_json row)

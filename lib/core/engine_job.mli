@@ -3,23 +3,30 @@
     [dmc bounds --jobs N] ships one of these per engine to a pool
     worker: the CDAG travels in its text serialization, the engine by
     name, and the budget by value — the closure is reconstructed on
-    the other side with {!Bounds.governed_row}, so a job is fully
+    the other side with {!Bounds.governed_row} (or {!Mp_bounds.row} for the
+    multi-processor engines), so a job is fully
     described by data and can be logged, checkpointed, or replayed
     verbatim. *)
 
 type t = {
-  engine : string;  (** a name from {!Bounds.governed_engines} *)
+  engine : string;
+      (** a name from {!Bounds.governed_engines} or
+          {!Mp_bounds.engines} *)
   graph : string;  (** {!Dmc_cdag.Serialize.to_string} text *)
   s : int;
+  p : int;  (** processor count; only the mp engines read it *)
   timeout : float option;  (** cooperative per-rung deadline *)
   node_budget : int option;
   samples : int;
 }
 
 val make :
-  ?timeout:float -> ?node_budget:int -> ?samples:int ->
+  ?timeout:float -> ?node_budget:int -> ?samples:int -> ?p:int ->
   Dmc_cdag.Cdag.t -> s:int -> engine:string -> t
-(** [samples] defaults to 64, matching {!Bounds.analyze_governed}. *)
+(** [samples] defaults to 64, matching {!Bounds.analyze_governed};
+    [p] defaults to 1 (single-processor jobs never mention it, and
+    checkpoints written before the multi-processor engines existed
+    deserialize with the same default). *)
 
 val to_json : t -> Dmc_util.Json.t
 

@@ -34,3 +34,19 @@ let horizontal_from_u ~hierarchy ~work ~u =
 
 let per_processor_work ~hierarchy ~work =
   work /. fi (Hierarchy.processors hierarchy)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-processor (MPP) game bounds, arXiv 2409.03898.               *)
+
+let mp_comm_from_sequential ~p ~seq_lb ~s =
+  if p <= 0 then invalid_arg "Parallel_bounds.mp_comm_from_sequential: p";
+  if s <= 0 then invalid_arg "Parallel_bounds.mp_comm_from_sequential: s";
+  seq_lb ~s:(p * s)
+
+let ceil_div a b = (a + b - 1) / b
+
+let mp_time_lower ~p ~g_cost ~work ~span ~comm_lb =
+  if p <= 0 then invalid_arg "Parallel_bounds.mp_time_lower: p";
+  if g_cost < 0 || work < 0 || span < 0 || comm_lb < 0 then
+    invalid_arg "Parallel_bounds.mp_time_lower: negative argument";
+  max span (ceil_div (work + (g_cost * comm_lb)) p)

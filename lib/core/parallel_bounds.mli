@@ -25,3 +25,25 @@ val horizontal_from_u :
 
 val per_processor_work : hierarchy:Hierarchy.t -> work:float -> float
 (** [|V| / P]: the work of the busiest processor is at least this. *)
+
+(** {1 Multi-processor game bounds (arXiv 2409.03898)}
+
+    The MPP model of {!Mp_game}: [p] processors with private [S]-word
+    fast memories communicating through one slow memory. *)
+
+val mp_comm_from_sequential : p:int -> seq_lb:(s:int -> int) -> s:int -> int
+(** Communication lower bound by simulation: a single processor whose
+    fast memory is the {e union} of the [p] private memories ([p * S]
+    red pebbles) can replay any [p]-processor game move-for-move with
+    the same I/O, so [IO_mp(p, S) >= IO_1(p * S)].  [seq_lb] is any
+    sound sequential lower bound (e.g. {!Wavefront.lower_bound} or
+    {!Bounds.io_floor}).  Monotone non-increasing in [p], and at
+    [p = 1] it is exactly the sequential bound. *)
+
+val mp_time_lower :
+  p:int -> g_cost:int -> work:int -> span:int -> comm_lb:int -> int
+(** Makespan lower bound under the cost model [compute = 1,
+    I/O = g_cost]: no schedule beats the critical path ([span],
+    counting compute vertices), and the total busy time
+    [work + g_cost * comm_lb] spread over [p] processors makes the
+    busiest one take at least its [ceil]-share. *)

@@ -537,6 +537,362 @@ let smp_shared ?(policy = Belady) ?order g ~cores ~s1 ~s2 =
     (Cdag.inputs g);
   List.rev !moves
 
+let c_mp_remote = Dmc_obs.Counter.make "strategy.mp.remote_stores"
+let c_pc_absorbs = Dmc_obs.Counter.make "strategy.pc.absorbs"
+
+(* A p-processor execution with private fast memories: vertices are
+   assigned round-robin over the processors in [order]; a value
+   produced on one processor and consumed on another travels through
+   slow memory (store at the producer, load at the consumer), so every
+   communication shows up in the emitted game's I/O count.  Per-
+   processor eviction mirrors [schedule]: policy-driven victims, live
+   victims stored before deletion, dead values dropped eagerly.  At
+   [p = 1] this degenerates move-for-move to [schedule]. *)
+let mp_schedule ?budget ?(policy = Belady) ?order g ~p ~s =
+  if p <= 0 then invalid_arg "Strategy.mp_schedule: p must be positive";
+  if s <= 0 then invalid_arg "Strategy.mp_schedule: s must be positive";
+  Dmc_obs.Span.with_
+    ~attrs:
+      [
+        ("policy", (match policy with Belady -> "belady" | Lru -> "lru"));
+        ("p", string_of_int p);
+        ("s", string_of_int s);
+      ]
+    "strategy.mp_schedule"
+  @@ fun () ->
+  let order = match order with Some o -> o | None -> default_order g in
+  ignore (check_order g order);
+  let n = Cdag.n_vertices g in
+  let uses = use_positions g order in
+  let cursor = Array.make n 0 in
+  let next_use v =
+    let u = uses.(v) in
+    if cursor.(v) < Array.length u then u.(cursor.(v)) else no_use
+  in
+  let red = Array.init p (fun _ -> Bitset.create n) in
+  let blue = Bitset.create n in
+  List.iter (Bitset.add blue) (Cdag.inputs g);
+  let loaded = Bitset.create n in
+  (* Only the firing processor evicts during its turn, so one pinned
+     set suffices across all processors. *)
+  let pinned = Bitset.create n in
+  let last_use = Array.make n 0 in
+  let clock = ref 0 in
+  let moves = ref [] in
+  let emit m = moves := m :: !moves in
+  let store_if_needed q v ~future =
+    if (future || Cdag.is_output g v) && not (Bitset.mem blue v) then begin
+      emit (Mp_game.Store { proc = q; v });
+      Bitset.add blue v
+    end
+  in
+  let evict_one q =
+    let best = ref (-1) and best_score = ref min_int in
+    Bitset.iter
+      (fun v ->
+        if not (Bitset.mem pinned v) then begin
+          let score =
+            match policy with
+            | Belady ->
+                let nu = next_use v in
+                if nu = no_use then
+                  if Bitset.mem blue v || not (Cdag.is_output g v) then max_int
+                  else max_int - 1
+                else nu
+            | Lru -> -last_use.(v)
+          in
+          if score > !best_score then begin
+            best_score := score;
+            best := v
+          end
+        end)
+      red.(q);
+    if !best < 0 then
+      failwith "Strategy.mp_schedule: S too small for the operand set";
+    let v = !best in
+    store_if_needed q v ~future:(next_use v <> no_use);
+    emit (Mp_game.Delete { proc = q; v });
+    Bitset.remove red.(q) v
+  in
+  let make_room q = while Bitset.cardinal red.(q) >= s do evict_one q done in
+  (* Bring an operand into processor [q]'s fast memory.  A value that
+     is neither blue nor resident on [q] still lives red on its
+     producer: that processor publishes it (one store — the
+     communication), then [q] loads it. *)
+  let bring_in q v =
+    if not (Bitset.mem red.(q) v) then begin
+      if not (Bitset.mem blue v) then begin
+        let holder = ref (-1) in
+        for r = 0 to p - 1 do
+          if !holder < 0 && Bitset.mem red.(r) v then holder := r
+        done;
+        if !holder < 0 then
+          Budget.internal_error ~where:"Strategy.mp_schedule"
+            "operand %d lost (n=%d, p=%d, s=%d, clock=%d)" v n p s !clock;
+        Dmc_obs.Counter.incr c_mp_remote;
+        emit (Mp_game.Store { proc = !holder; v });
+        Bitset.add blue v
+      end;
+      make_room q;
+      emit (Mp_game.Load { proc = q; v });
+      Bitset.add red.(q) v;
+      Bitset.add loaded v
+    end;
+    incr clock;
+    last_use.(v) <- !clock
+  in
+  let release q v =
+    if Bitset.mem red.(q) v && next_use v = no_use then begin
+      store_if_needed q v ~future:false;
+      emit (Mp_game.Delete { proc = q; v });
+      Bitset.remove red.(q) v
+    end
+  in
+  Array.iteri
+    (fun i v ->
+      (match budget with None -> () | Some b -> Budget.tick b);
+      let q = i mod p in
+      let preds = Cdag.pred_list g v in
+      List.iter (fun u -> if Bitset.mem red.(q) u then Bitset.add pinned u) preds;
+      List.iter
+        (fun u ->
+          bring_in q u;
+          Bitset.add pinned u)
+        preds;
+      make_room q;
+      emit (Mp_game.Compute { proc = q; v });
+      Bitset.add red.(q) v;
+      incr clock;
+      last_use.(v) <- !clock;
+      List.iter (fun u -> Bitset.remove pinned u) preds;
+      List.iter
+        (fun u ->
+          let us = uses.(u) in
+          while cursor.(u) < Array.length us && us.(cursor.(u)) <= i do
+            cursor.(u) <- cursor.(u) + 1
+          done)
+        preds;
+      List.iter (release q) preds;
+      release q v)
+    order;
+  (* Outputs still resident somewhere must reach slow memory; untouched
+     inputs must still be read once each (the white-pebble completion
+     convention). *)
+  List.iter
+    (fun v ->
+      if not (Bitset.mem blue v) then begin
+        let holder = ref (-1) in
+        for r = 0 to p - 1 do
+          if !holder < 0 && Bitset.mem red.(r) v then holder := r
+        done;
+        if !holder < 0 then
+          Budget.internal_error ~where:"Strategy.mp_schedule"
+            "output %d lost (n=%d, p=%d, s=%d)" v n p s;
+        emit (Mp_game.Store { proc = !holder; v });
+        Bitset.add blue v
+      end)
+    (Cdag.outputs g);
+  List.iter
+    (fun v ->
+      if not (Bitset.mem loaded v) then begin
+        make_room 0;
+        emit (Mp_game.Load { proc = 0; v });
+        Bitset.add red.(0) v;
+        emit (Mp_game.Delete { proc = 0; v });
+        Bitset.remove red.(0) v
+      end)
+    (Cdag.inputs g);
+  List.rev !moves
+
+let mp_io ?budget ?policy ?order g ~p ~s =
+  List.fold_left
+    (fun acc m ->
+      match (m : Mp_game.move) with
+      | Mp_game.Load _ | Mp_game.Store _ -> acc + 1
+      | Mp_game.Compute _ | Mp_game.Delete _ -> acc)
+    0
+    (mp_schedule ?budget ?policy ?order g ~p ~s)
+
+let mp_trivial g ~p =
+  if p <= 0 then invalid_arg "Strategy.mp_trivial: p must be positive";
+  let moves = ref [] in
+  let emit m = moves := m :: !moves in
+  let used_input = Bitset.create (Cdag.n_vertices g) in
+  let i = ref 0 in
+  Array.iter
+    (fun v ->
+      if not (Cdag.is_input g v) then begin
+        let q = !i mod p in
+        incr i;
+        let preds = Cdag.pred_list g v in
+        List.iter
+          (fun u ->
+            emit (Mp_game.Load { proc = q; v = u });
+            if Cdag.is_input g u then Bitset.add used_input u)
+          preds;
+        emit (Mp_game.Compute { proc = q; v });
+        emit (Mp_game.Store { proc = q; v });
+        List.iter (fun u -> emit (Mp_game.Delete { proc = q; v = u })) preds;
+        emit (Mp_game.Delete { proc = q; v })
+      end)
+    (Topo.order g);
+  List.iter
+    (fun v ->
+      if not (Bitset.mem used_input v) then begin
+        emit (Mp_game.Load { proc = 0; v });
+        emit (Mp_game.Delete { proc = 0; v })
+      end)
+    (Cdag.inputs g);
+  List.rev !moves
+
+let mp_trivial_io = trivial_io
+(* every operand loaded just before use, every result stored once:
+   the count is independent of the processor assignment. *)
+
+(* The partial-computation schedule: each vertex is an accumulator
+   that absorbs its operands one at a time, so only the accumulator
+   and the operand in flight are ever pinned — two red pebbles
+   suffice for any in-degree.  Operand residency is managed by the
+   same policy-driven cache as [schedule]. *)
+let pc_schedule ?budget ?(policy = Belady) ?order g ~s =
+  if s < 2 then invalid_arg "Strategy.pc_schedule: s must be at least 2";
+  Dmc_obs.Span.with_
+    ~attrs:
+      [
+        ("policy", (match policy with Belady -> "belady" | Lru -> "lru"));
+        ("s", string_of_int s);
+      ]
+    "strategy.pc_schedule"
+  @@ fun () ->
+  let order = match order with Some o -> o | None -> default_order g in
+  ignore (check_order g order);
+  let n = Cdag.n_vertices g in
+  let uses = use_positions g order in
+  let cursor = Array.make n 0 in
+  let next_use v =
+    let u = uses.(v) in
+    if cursor.(v) < Array.length u then u.(cursor.(v)) else no_use
+  in
+  let red = Bitset.create n and blue = Bitset.create n in
+  List.iter (Bitset.add blue) (Cdag.inputs g);
+  let loaded = Bitset.create n in
+  let pinned = Bitset.create n in
+  let last_use = Array.make n 0 in
+  let clock = ref 0 in
+  let moves = ref [] in
+  let emit m = moves := m :: !moves in
+  let store_if_needed v ~future =
+    if (future || Cdag.is_output g v) && not (Bitset.mem blue v) then begin
+      emit (Pc_game.Store v);
+      Bitset.add blue v
+    end
+  in
+  let evict_one () =
+    let best = ref (-1) and best_score = ref min_int in
+    Bitset.iter
+      (fun v ->
+        if not (Bitset.mem pinned v) then begin
+          let score =
+            match policy with
+            | Belady ->
+                let nu = next_use v in
+                if nu = no_use then
+                  if Bitset.mem blue v || not (Cdag.is_output g v) then max_int
+                  else max_int - 1
+                else nu
+            | Lru -> -last_use.(v)
+          in
+          if score > !best_score then begin
+            best_score := score;
+            best := v
+          end
+        end)
+      red;
+    if !best < 0 then failwith "Strategy.pc_schedule: S too small";
+    let v = !best in
+    store_if_needed v ~future:(next_use v <> no_use);
+    emit (Pc_game.Delete v);
+    Bitset.remove red v
+  in
+  let make_room () = while Bitset.cardinal red >= s do evict_one () done in
+  let bring_in v =
+    if not (Bitset.mem red v) then begin
+      make_room ();
+      if not (Bitset.mem blue v) then
+        Budget.internal_error ~where:"Strategy.pc_schedule"
+          "operand %d lost (n=%d, s=%d, clock=%d)" v n s !clock;
+      emit (Pc_game.Load v);
+      Bitset.add red v;
+      Bitset.add loaded v
+    end;
+    incr clock;
+    last_use.(v) <- !clock
+  in
+  let release v =
+    if Bitset.mem red v && next_use v = no_use then begin
+      store_if_needed v ~future:false;
+      emit (Pc_game.Delete v);
+      Bitset.remove red v
+    end
+  in
+  Array.iteri
+    (fun i v ->
+      (match budget with None -> () | Some b -> Budget.tick b);
+      make_room ();
+      emit (Pc_game.Begin v);
+      Bitset.add red v;
+      Bitset.add pinned v;
+      let preds = Cdag.pred_list g v in
+      List.iter
+        (fun u ->
+          bring_in u;
+          Bitset.add pinned u;
+          emit (Pc_game.Absorb { v; pred = u });
+          Dmc_obs.Counter.incr c_pc_absorbs;
+          Bitset.remove pinned u)
+        preds;
+      emit (Pc_game.Finish v);
+      incr clock;
+      last_use.(v) <- !clock;
+      Bitset.remove pinned v;
+      List.iter
+        (fun u ->
+          let us = uses.(u) in
+          while cursor.(u) < Array.length us && us.(cursor.(u)) <= i do
+            cursor.(u) <- cursor.(u) + 1
+          done)
+        preds;
+      List.iter release preds;
+      release v)
+    order;
+  List.iter
+    (fun v ->
+      if Bitset.mem red v && not (Bitset.mem blue v) then begin
+        emit (Pc_game.Store v);
+        Bitset.add blue v
+      end)
+    (Cdag.outputs g);
+  List.iter
+    (fun v ->
+      if not (Bitset.mem loaded v) then begin
+        make_room ();
+        emit (Pc_game.Load v);
+        Bitset.add red v;
+        emit (Pc_game.Delete v);
+        Bitset.remove red v
+      end)
+    (Cdag.inputs g);
+  List.rev !moves
+
+let pc_io ?budget ?policy ?order g ~s =
+  List.fold_left
+    (fun acc m ->
+      match (m : Pc_game.move) with
+      | Pc_game.Load _ | Pc_game.Store _ -> acc + 1
+      | _ -> acc)
+    0
+    (pc_schedule ?budget ?policy ?order g ~s)
+
 let spmd g hier ~owner ?order () =
   if Hierarchy.n_levels hier <> 2 then
     invalid_arg "Strategy.spmd: hierarchy must have exactly two levels";

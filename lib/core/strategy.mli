@@ -113,6 +113,70 @@ val smp_hierarchy : cores:int -> s1:int -> s2:int -> Hierarchy.t
 (** [cores x s1] register files over one [s2]-word cache over one
     unbounded memory. *)
 
+val mp_schedule :
+  ?budget:Budget.t ->
+  ?policy:policy ->
+  ?order:Cdag.vertex array ->
+  Cdag.t ->
+  p:int ->
+  s:int ->
+  Mp_game.move list
+(** A [p]-processor execution with private [s]-word fast memories for
+    the multi-processor game: compute vertices are assigned round-robin
+    over the processors in [order]; a value produced on one processor
+    and consumed on another is published through slow memory (store at
+    the producer, load at the consumer), so the emitted game's I/O
+    count is the execution's communication volume.  Per-processor
+    eviction mirrors {!schedule} (policy-driven victims, live victims
+    stored first, dead values dropped eagerly, unused inputs read once
+    at the end).  At [p = 1] the emitted game is move-for-move
+    {!schedule}'s, so measured I/O agrees exactly with the
+    single-processor upper bound.  Every emitted game replays cleanly
+    through {!Mp_game.run}.  Raises [Failure] when some vertex needs
+    more than [s - 1] operands. *)
+
+val mp_io :
+  ?budget:Budget.t ->
+  ?policy:policy ->
+  ?order:Cdag.vertex array ->
+  Cdag.t ->
+  p:int ->
+  s:int ->
+  int
+(** I/O cost (= communication volume) of {!mp_schedule}. *)
+
+val mp_trivial : Cdag.t -> p:int -> Mp_game.move list
+(** The no-reuse multi-processor baseline: operands loaded just before
+    each use, every result stored immediately, vertices round-robin
+    over the processors.  Valid whenever [s >= max indegree + 1]. *)
+
+val mp_trivial_io : Cdag.t -> int
+(** I/O cost of {!mp_trivial} — independent of [p]. *)
+
+val pc_schedule :
+  ?budget:Budget.t ->
+  ?policy:policy ->
+  ?order:Cdag.vertex array ->
+  Cdag.t ->
+  s:int ->
+  Pc_game.move list
+(** A partial-computation execution: each vertex is begun as an
+    accumulator, absorbs its operands one at a time (so only the
+    accumulator and the operand in flight are pinned — any in-degree
+    fits in two red pebbles), and is finished before its consumers
+    run.  Operand residency is managed by the same policy-driven cache
+    as {!schedule}.  Every emitted game replays cleanly through
+    {!Pc_game.run}.  Raises [Invalid_argument] when [s < 2]. *)
+
+val pc_io :
+  ?budget:Budget.t ->
+  ?policy:policy ->
+  ?order:Cdag.vertex array ->
+  Cdag.t ->
+  s:int ->
+  int
+(** I/O cost of {!pc_schedule}. *)
+
 val spmd :
   Cdag.t ->
   Hierarchy.t ->

@@ -60,3 +60,59 @@ let connected_dag rng ~n ~extra_edges =
     end
   done;
   B.freeze b
+
+(* A daggen-style generator (after the daggen task-graph suite): the
+   task count [n] is fixed and three knobs shape the graph.  [fat]
+   drives width against depth — the mean layer width is
+   [fat * 2 * sqrt n], so 0 degenerates towards a chain and 1 towards
+   a two-level fan; [density] is the parent-edge probability; [ccr]
+   (0-3) is daggen's task-class knob, adapted to unit-weight CDAGs as
+   the level-jump reach: a level-[l] vertex may draw parents from
+   levels [l - 1 .. l - 1 - ccr], with the edge probability decaying
+   with the distance jumped. *)
+let daggen rng ~n ~fat ~density ~ccr =
+  if n <= 0 then invalid_arg "Random_dag.daggen";
+  if fat < 0.0 || fat > 1.0 then
+    invalid_arg "Random_dag.daggen: fat out of range";
+  if density < 0.0 || density > 1.0 then
+    invalid_arg "Random_dag.daggen: density out of range";
+  if ccr < 0 || ccr > 3 then invalid_arg "Random_dag.daggen: ccr out of range";
+  let b = B.create ~hint:n () in
+  let mean_width = Float.max 1.0 (fat *. 2.0 *. sqrt (float_of_int n)) in
+  let levels = ref [] and made = ref 0 in
+  while !made < n do
+    (* daggen perturbs each level's width uniformly around the mean *)
+    let w =
+      int_of_float (mean_width *. (0.8 +. Rng.float rng 0.4)) |> max 1
+      |> min (n - !made)
+    in
+    let row =
+      Array.init w (fun i ->
+          B.add_vertex
+            ~label:(Printf.sprintf "d%d_%d" (List.length !levels) i)
+            b)
+    in
+    made := !made + w;
+    levels := row :: !levels
+  done;
+  let levels = Array.of_list (List.rev !levels) in
+  for l = 1 to Array.length levels - 1 do
+    Array.iter
+      (fun dst ->
+        let connected = ref false in
+        for jump = 1 to min l (1 + ccr) do
+          let prob = density /. float_of_int jump in
+          Array.iter
+            (fun src ->
+              if Rng.float rng 1.0 < prob then begin
+                B.add_edge b src dst;
+                connected := true
+              end)
+            levels.(l - jump)
+        done;
+        (* one forced parent, so no compute vertex is an accidental
+           source — same convention as {!layered} *)
+        if not !connected then B.add_edge b (Rng.pick rng levels.(l - 1)) dst)
+      levels.(l)
+  done;
+  B.freeze b

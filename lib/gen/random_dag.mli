@@ -20,3 +20,15 @@ val gnp : Rng.t -> n:int -> edge_prob:float -> Cdag.t
 val connected_dag : Rng.t -> n:int -> extra_edges:int -> Cdag.t
 (** A random arborescence over [n] vertices (so the DAG is connected as
     an undirected graph) plus [extra_edges] random forward edges. *)
+
+val daggen :
+  Rng.t -> n:int -> fat:float -> density:float -> ccr:int -> Cdag.t
+(** A daggen-style random task graph on exactly [n] vertices.  [fat]
+    (in [0, 1]) trades width for depth: the mean layer width is
+    [fat * 2 * sqrt n], uniformly perturbed per layer.  [density]
+    (in [0, 1]) is the parent-edge probability within reach.  [ccr]
+    (0-3, daggen's task-class knob, adapted to unit-weight CDAGs) is
+    the level-jump reach: parents may come from up to [1 + ccr] levels
+    back, with probability decaying in the distance.  Every non-first
+    layer vertex gets at least one parent from the previous layer;
+    Hong–Kung tagging as in {!layered}. *)

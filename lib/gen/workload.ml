@@ -159,6 +159,21 @@ let all =
          | _ -> assert false);
     };
     {
+      name = "daggen";
+      params = [ "SEED"; "N"; "FAT"; "DENS"; "CCR" ];
+      doc =
+        "daggen-style random task graph: N tasks, FAT/DENS in percent, \
+         CCR 0-3 level-jump reach";
+      build =
+        (function
+         | [ seed; n; fat; dens; ccr ] ->
+             Random_dag.daggen (Dmc_util.Rng.create seed) ~n
+               ~fat:(float_of_int fat /. 100.0)
+               ~density:(float_of_int dens /. 100.0)
+               ~ccr
+         | _ -> assert false);
+    };
+    {
       name = "layered";
       params = [ "SEED"; "L"; "W" ];
       doc = "random layered DAG: L layers of width W, seeded";

@@ -280,6 +280,7 @@ let serve cfg =
                       Engine_job.engine = q.engine;
                       graph;
                       s = q.s;
+                      p = 1;
                       timeout = q.timeout;
                       node_budget = q.node_budget;
                       samples = q.samples;

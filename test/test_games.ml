@@ -363,6 +363,309 @@ let prop_embed_any_schedule =
       | Ok _ -> true
       | Error _ -> false)
 
+
+(* ------------------------------------------------------------------ *)
+(* Multi-processor game (Mp_game)                                      *)
+
+module Mp = Dmc_core.Mp_game
+module Pc = Dmc_core.Pc_game
+module Strategy = Dmc_core.Strategy
+
+let expect_mp_error ~step ~substr result =
+  match result with
+  | Ok _ -> Alcotest.fail "expected an invalid game"
+  | Error (e : Mp.error) ->
+      check "failing step" step e.Mp.step;
+      let contains needle hay =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      if not (contains substr e.Mp.reason) then
+        Alcotest.fail (Printf.sprintf "reason %S lacks %S" e.Mp.reason substr)
+
+let expect_pc_error ~step ~substr result =
+  match result with
+  | Ok _ -> Alcotest.fail "expected an invalid game"
+  | Error (e : Pc.error) ->
+      check "failing step" step e.Pc.step;
+      let contains needle hay =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      if not (contains substr e.Pc.reason) then
+        Alcotest.fail (Printf.sprintf "reason %S lacks %S" e.Pc.reason substr)
+
+(* A value crossing processors must travel through slow memory:
+   proc 0 computes the middle of the chain, proc 1 finishes it. *)
+let test_mp_valid_cross_proc () =
+  let g = chain3 () in
+  match
+    Mp.run g ~p:2 ~s:2
+      [
+        Mp.Load { proc = 0; v = 0 };
+        Mp.Compute { proc = 0; v = 1 };
+        Mp.Store { proc = 0; v = 1 };
+        Mp.Load { proc = 1; v = 1 };
+        Mp.Compute { proc = 1; v = 2 };
+        Mp.Store { proc = 1; v = 2 };
+      ]
+  with
+  | Ok stats ->
+      check "loads" 2 stats.Mp.loads;
+      check "stores" 2 stats.Mp.stores;
+      check "io" 4 stats.Mp.io;
+      check "proc 0 io" 2 stats.Mp.per_proc_io.(0);
+      check "proc 1 io" 2 stats.Mp.per_proc_io.(1);
+      check "proc 0 computes" 1 stats.Mp.per_proc_computes.(0);
+      check "proc 1 computes" 1 stats.Mp.per_proc_computes.(1);
+      check "peak red on one proc" 2 stats.Mp.max_red;
+      (* proc 0: load(1) compute(2) store(3); proc 1 waits for the
+         store's availability time: load lands at 4, compute 5, store 6 *)
+      check "makespan" 6 stats.Mp.makespan
+  | Error e -> Alcotest.fail e.Mp.reason
+
+let test_mp_capacity_per_proc () =
+  let g = chain3 () in
+  expect_mp_error ~step:1 ~substr:"no free red pebble on processor 0"
+    (Mp.run g ~p:2 ~s:1
+       [ Mp.Load { proc = 0; v = 0 }; Mp.Compute { proc = 0; v = 1 } ])
+
+let test_mp_load_needs_communication () =
+  let g = chain3 () in
+  (* proc 0 computed vertex 1 but never stored it: proc 1 cannot read
+     a value that was never communicated *)
+  expect_mp_error ~step:2 ~substr:"never communicated"
+    (Mp.run g ~p:2 ~s:2
+       [
+         Mp.Load { proc = 0; v = 0 };
+         Mp.Compute { proc = 0; v = 1 };
+         Mp.Load { proc = 1; v = 1 };
+       ])
+
+let test_mp_no_recompute () =
+  let g = chain3 () in
+  expect_mp_error ~step:2 ~substr:"recomputation forbidden"
+    (Mp.run g ~p:2 ~s:3
+       [
+         Mp.Load { proc = 0; v = 0 };
+         Mp.Compute { proc = 0; v = 1 };
+         Mp.Compute { proc = 0; v = 1 };
+       ])
+
+let test_mp_compute_needs_local_preds () =
+  let g = chain3 () in
+  (* the operand is red on proc 0, not on proc 1 where the compute fires *)
+  expect_mp_error ~step:2 ~substr:"not red on processor 1"
+    (Mp.run g ~p:2 ~s:2
+       [
+         Mp.Load { proc = 0; v = 0 };
+         Mp.Compute { proc = 0; v = 1 };
+         Mp.Compute { proc = 1; v = 2 };
+       ])
+
+let test_mp_proc_out_of_range () =
+  let g = chain3 () in
+  expect_mp_error ~step:0 ~substr:"processor 5 out of range"
+    (Mp.run g ~p:2 ~s:2 [ Mp.Load { proc = 5; v = 0 } ])
+
+let test_mp_store_needs_local_red () =
+  let g = chain3 () in
+  expect_mp_error ~step:1 ~substr:"no red pebble on processor 1"
+    (Mp.run g ~p:2 ~s:2
+       [ Mp.Load { proc = 0; v = 0 }; Mp.Store { proc = 1; v = 0 } ])
+
+let test_mp_unused_input_must_be_read () =
+  (* 0 -> 2 with 1 an input nothing consumes: the white-pebble
+     completion convention still demands it be loaded once, keeping
+     the io floor a sound lower bound for the game *)
+  let b = Cdag.Builder.create () in
+  let v0 = Cdag.Builder.add_vertex b in
+  let v1 = Cdag.Builder.add_vertex b in
+  let v2 = Cdag.Builder.add_vertex b in
+  Cdag.Builder.add_edge b v0 v2;
+  let g = Cdag.Builder.freeze ~inputs:[ v0; v1 ] ~outputs:[ v2 ] b in
+  expect_mp_error ~step:3 ~substr:"never loaded"
+    (Mp.run g ~p:2 ~s:2
+       [
+         Mp.Load { proc = 0; v = v0 };
+         Mp.Compute { proc = 0; v = v2 };
+         Mp.Store { proc = 0; v = v2 };
+       ])
+
+let test_mp_schedule_roundtrip () =
+  let g = Dmc_gen.Workload.parse_exn "jacobi1d:16,4" in
+  List.iter
+    (fun p ->
+      let moves = Strategy.mp_schedule g ~p ~s:6 in
+      match Mp.run g ~p ~s:6 moves with
+      | Ok stats ->
+          check
+            (Printf.sprintf "mp_io agrees with the replay at p=%d" p)
+            stats.Mp.io
+            (Strategy.mp_io g ~p ~s:6)
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "p=%d rejected at step %d: %s" p e.Mp.step
+               e.Mp.reason))
+    [ 1; 2; 3; 4 ]
+
+let test_mp_p1_matches_sequential () =
+  let g = Dmc_gen.Workload.parse_exn "fft:4" in
+  check "p=1 io equals the sequential schedule's"
+    (Dmc_core.Strategy.io g ~s:6)
+    (Strategy.mp_io g ~p:1 ~s:6)
+
+(* ------------------------------------------------------------------ *)
+(* Partial-computation game (Pc_game)                                  *)
+
+let tree2 () = Dmc_gen.Shapes.reduction_tree 2
+
+let test_pc_valid_accumulate () =
+  let g = tree2 () in
+  match
+    Pc.run g ~s:2
+      [
+        Pc.Load 0;
+        Pc.Begin 2;
+        Pc.Absorb { v = 2; pred = 0 };
+        Pc.Delete 0;
+        Pc.Load 1;
+        Pc.Absorb { v = 2; pred = 1 };
+        Pc.Finish 2;
+        Pc.Store 2;
+      ]
+  with
+  | Ok stats ->
+      check "loads" 2 stats.Pc.loads;
+      check "stores" 1 stats.Pc.stores;
+      check "absorbs" 2 stats.Pc.absorbs;
+      check "finishes" 1 stats.Pc.finishes;
+      (* the paper's point: in-degree 2 fired with only 2 red pebbles *)
+      check "two red pebbles sufficed" 2 stats.Pc.max_red
+  | Error e -> Alcotest.fail e.Pc.reason
+
+let test_pc_store_partial_forbidden () =
+  let g = tree2 () in
+  expect_pc_error ~step:2 ~substr:"partial values cannot be stored"
+    (Pc.run g ~s:3 [ Pc.Load 0; Pc.Begin 2; Pc.Store 2 ])
+
+let test_pc_absorb_rules () =
+  let g = tree2 () in
+  (* not a predecessor: absorbing 1 into an accumulator for... itself *)
+  expect_pc_error ~step:3 ~substr:"already absorbed"
+    (Pc.run g ~s:3
+       [
+         Pc.Load 0;
+         Pc.Begin 2;
+         Pc.Absorb { v = 2; pred = 0 };
+         Pc.Absorb { v = 2; pred = 0 };
+       ]);
+  expect_pc_error ~step:2 ~substr:"operand not red"
+    (Pc.run g ~s:3 [ Pc.Load 0; Pc.Begin 2; Pc.Absorb { v = 2; pred = 1 } ])
+
+let test_pc_finish_needs_all_preds () =
+  let g = tree2 () in
+  expect_pc_error ~step:3 ~substr:"only 1 of 2 predecessors absorbed"
+    (Pc.run g ~s:3
+       [ Pc.Load 0; Pc.Begin 2; Pc.Absorb { v = 2; pred = 0 }; Pc.Finish 2 ])
+
+let test_pc_no_recompute () =
+  let g = tree2 () in
+  expect_pc_error ~step:8 ~substr:"recomputation forbidden"
+    (Pc.run g ~s:3
+       [
+         Pc.Load 0;
+         Pc.Load 1;
+         Pc.Begin 2;
+         Pc.Absorb { v = 2; pred = 0 };
+         Pc.Absorb { v = 2; pred = 1 };
+         Pc.Finish 2;
+         Pc.Store 2;
+         Pc.Delete 2;
+         Pc.Begin 2;
+       ])
+
+let test_pc_delete_resets_accumulator () =
+  let g = tree2 () in
+  (* deleting an in-progress accumulator discards its partial sums;
+     beginning again from scratch is legal and must re-absorb *)
+  match
+    Pc.run g ~s:3
+      [
+        Pc.Load 0;
+        Pc.Load 1;
+        Pc.Begin 2;
+        Pc.Absorb { v = 2; pred = 0 };
+        Pc.Delete 2;
+        Pc.Begin 2;
+        Pc.Absorb { v = 2; pred = 0 };
+        Pc.Absorb { v = 2; pred = 1 };
+        Pc.Finish 2;
+        Pc.Store 2;
+      ]
+  with
+  | Ok stats -> check "absorbs counted across both attempts" 3 stats.Pc.absorbs
+  | Error e -> Alcotest.fail e.Pc.reason
+
+let test_pc_any_indegree_with_two_pebbles () =
+  (* a 6-ary accumulation: the classic R3 would need 7 red pebbles *)
+  let b = Cdag.Builder.create () in
+  let ins = Array.init 6 (fun _ -> Cdag.Builder.add_vertex b) in
+  let acc = Cdag.Builder.add_vertex b in
+  Array.iter (fun i -> Cdag.Builder.add_edge b i acc) ins;
+  let g =
+    Cdag.Builder.freeze ~inputs:(Array.to_list ins) ~outputs:[ acc ] b
+  in
+  let moves =
+    Pc.Begin acc
+    :: (Array.to_list ins
+       |> List.concat_map (fun i ->
+              [ Pc.Load i; Pc.Absorb { v = acc; pred = i }; Pc.Delete i ]))
+    @ [ Pc.Finish acc; Pc.Store acc ]
+  in
+  match Pc.run g ~s:2 moves with
+  | Ok stats -> check "peak red" 2 stats.Pc.max_red
+  | Error e -> Alcotest.fail e.Pc.reason
+
+let test_pc_schedule_roundtrip () =
+  let g = Dmc_gen.Workload.parse_exn "tree:16" in
+  let moves = Strategy.pc_schedule g ~s:3 in
+  match Pc.run g ~s:3 moves with
+  | Ok stats ->
+      check "pc_io agrees with the replay" stats.Pc.io
+        (Strategy.pc_io g ~s:3)
+  | Error e ->
+      Alcotest.fail
+        (Printf.sprintf "rejected at step %d: %s" e.Pc.step e.Pc.reason)
+
+let prop_mp_schedule_valid =
+  QCheck.Test.make ~name:"mp schedules replay cleanly at any p" ~count:30
+    QCheck.(pair (int_bound 100_000) (int_range 1 4))
+    (fun (seed, p) ->
+      let rng = Dmc_util.Rng.create seed in
+      let g = Dmc_gen.Random_dag.layered rng ~layers:4 ~width:3 ~edge_prob:0.5 in
+      let max_indeg =
+        Cdag.fold_vertices g (fun acc v -> max acc (Cdag.in_degree g v)) 0
+      in
+      let s = max_indeg + 2 in
+      match Mp.run g ~p ~s (Strategy.mp_schedule g ~p ~s) with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let prop_pc_schedule_valid =
+  QCheck.Test.make ~name:"pc schedules replay cleanly" ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Dmc_util.Rng.create seed in
+      let g =
+        Dmc_gen.Random_dag.daggen rng ~n:40 ~fat:0.5 ~density:0.4 ~ccr:2
+      in
+      match Pc.run g ~s:4 (Strategy.pc_schedule g ~s:4) with
+      | Ok _ -> true
+      | Error _ -> false)
+
 let qsuite name tests =
   (* fixed qcheck seed so runs are reproducible *)
   ( name,
@@ -416,5 +719,44 @@ let () =
         ] );
       qsuite "mutation-props"
         [ prop_dropping_a_compute_invalidates; prop_dropping_a_load_invalidates ];
+      ( "mp",
+        [
+          Alcotest.test_case "valid cross-processor game" `Quick
+            test_mp_valid_cross_proc;
+          Alcotest.test_case "per-processor capacity" `Quick
+            test_mp_capacity_per_proc;
+          Alcotest.test_case "load needs prior communication" `Quick
+            test_mp_load_needs_communication;
+          Alcotest.test_case "no recomputation" `Quick test_mp_no_recompute;
+          Alcotest.test_case "compute needs local operands" `Quick
+            test_mp_compute_needs_local_preds;
+          Alcotest.test_case "processor out of range" `Quick
+            test_mp_proc_out_of_range;
+          Alcotest.test_case "store needs local red" `Quick
+            test_mp_store_needs_local_red;
+          Alcotest.test_case "unused inputs must be read" `Quick
+            test_mp_unused_input_must_be_read;
+          Alcotest.test_case "schedule round-trip" `Quick
+            test_mp_schedule_roundtrip;
+          Alcotest.test_case "p=1 matches sequential" `Quick
+            test_mp_p1_matches_sequential;
+        ] );
+      ( "pc",
+        [
+          Alcotest.test_case "valid accumulation" `Quick test_pc_valid_accumulate;
+          Alcotest.test_case "partial values cannot be stored" `Quick
+            test_pc_store_partial_forbidden;
+          Alcotest.test_case "absorb rules" `Quick test_pc_absorb_rules;
+          Alcotest.test_case "finish needs all predecessors" `Quick
+            test_pc_finish_needs_all_preds;
+          Alcotest.test_case "no recomputation" `Quick test_pc_no_recompute;
+          Alcotest.test_case "delete resets the accumulator" `Quick
+            test_pc_delete_resets_accumulator;
+          Alcotest.test_case "any in-degree with two pebbles" `Quick
+            test_pc_any_indegree_with_two_pebbles;
+          Alcotest.test_case "schedule round-trip" `Quick
+            test_pc_schedule_roundtrip;
+        ] );
       qsuite "prbw-props" [ prop_embed_any_schedule ];
+      qsuite "mp-pc-props" [ prop_mp_schedule_valid; prop_pc_schedule_valid ];
     ]

@@ -71,6 +71,7 @@ let test_json_roundtrip_synthetic () =
             {
               Doc.curve = "curve";
               shape = "O(n)";
+              xlabel = "S";
               points =
                 [ { Doc.x = 8; lb = 1.25; ub = 3 }; { Doc.x = 16; lb = 0.1; ub = 1 } ];
             };

@@ -26,6 +26,7 @@ let job ?(engine = "wavefront") ?(s = 4) ?timeout ?node_budget ?(samples = 64)
     Dmc_core.Engine_job.engine;
     graph;
     s;
+    p = 1;
     timeout;
     node_budget;
     samples;
