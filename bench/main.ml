@@ -366,6 +366,39 @@ let micro_benchmarks () =
         keep (fun () -> Dmc_core.Strategy.pc_io tree ~s:4) );
       ( "mp-comm-lb-fft32-p4",
         keep (fun () -> Dmc_core.Mp_bounds.row fft ~p:4 ~s:6 "mp-comm-lb") );
+      ( "serve-cache-lru-churn",
+        keep (fun () ->
+            (* The daemon's result cache under deterministic churn: 96
+               distinct keys through a 64-entry LRU, then one re-read
+               pass.  Drives only serve.cache.* counters and gauges —
+               32 evictions, 64 hits, 32 misses every run — so the
+               baseline diff can gate on them like any work metric.
+               The closing gauges mirror the live daemon's exposition:
+               hit ratio from the counters, queue depth as the misses
+               a daemon would queue to recompute. *)
+            let cache = Dmc_serve.Result_cache.create ~capacity:64 () in
+            for i = 0 to 95 do
+              Dmc_serve.Result_cache.add cache (string_of_int i)
+                (Dmc_util.Json.Int i)
+            done;
+            let hits = ref 0 in
+            for i = 0 to 95 do
+              match Dmc_serve.Result_cache.find cache (string_of_int i) with
+              | Some _ -> incr hits
+              | None -> ()
+            done;
+            let module R = Dmc_obs.Registry in
+            let h = (R.counter "serve.cache.hit").R.c_value in
+            let m = (R.counter "serve.cache.miss").R.c_value in
+            let total = h + m in
+            Dmc_obs.Gauge.set
+              (Dmc_obs.Gauge.make "serve.cache.hit_ratio")
+              (if total = 0 then 0.
+               else float_of_int h /. float_of_int total);
+            Dmc_obs.Gauge.set
+              (Dmc_obs.Gauge.make "serve.queue.depth")
+              (float_of_int (96 - !hits));
+            !hits) );
       ( "symbolic-parse-eval",
         keep (fun () ->
             match Dmc_symbolic.Expr.parse "n^d * T / (4 * P * (2 * S)^(1 / d))" with

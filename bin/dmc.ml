@@ -1195,13 +1195,14 @@ let query_with_retries ~socket ~retries ~retry_delay request =
 
 let query_cmd =
   let run socket spec file engine s timeout node_budget samples count ping
-      stats shutdown retries retry_delay =
+      stats metrics shutdown retries retry_delay =
     setup_logs ();
     guarded @@ fun () ->
     let module P = Dmc_serve.Protocol in
     let request =
       if ping then P.Ping
       else if stats then P.Stats
+      else if metrics then P.Metrics
       else if shutdown then P.Shutdown
       else
         let source =
@@ -1221,6 +1222,17 @@ let query_cmd =
     let transport_failures = ref 0 in
     for _ = 1 to count do
       match query_with_retries ~socket ~retries ~retry_delay request with
+      | Ok reply when metrics -> (
+          (* Print the Prometheus-style text exposition the daemon
+             embeds in the snapshot; fall back to the raw reply line
+             if an older daemon answered something else. *)
+          let module J = Dmc_util.Json in
+          match
+            Option.bind (J.mem reply "metrics") (fun m ->
+                Option.bind (J.mem m "text") J.as_string)
+          with
+          | Some text -> print_string text
+          | None -> print_endline (J.to_string ~indent:false reply))
       | Ok reply ->
           print_endline (Dmc_util.Json.to_string ~indent:false reply)
       | Error msg ->
@@ -1255,6 +1267,14 @@ let query_cmd =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Fetch the daemon's counter/gauge snapshot instead of a query.")
   in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Fetch the daemon's full metrics exposition instead of a \
+                 query and print it as Prometheus-style text: counters, \
+                 latency-histogram quantiles (request / queue-wait / \
+                 engine / cache-lookup), gauges including the cache hit \
+                 ratio, and uptime.")
+  in
   let shutdown =
     Arg.(value & flag & info [ "shutdown" ]
            ~doc:"Ask the daemon to drain gracefully and exit.")
@@ -1278,7 +1298,7 @@ let query_cmd =
        ~doc:"Query a running dmc serve daemon (one reply line per request)")
     Term.(const run $ socket_arg $ spec_arg $ file_arg $ engine $ s_arg
           $ timeout_arg $ node_budget_arg $ samples $ count $ ping $ stats
-          $ shutdown $ retries $ retry_delay)
+          $ metrics $ shutdown $ retries $ retry_delay)
 
 (* ------------------------------------------------------------------ *)
 (* dmc worker — the remote end of a Command transport.  Internal: the
@@ -1333,11 +1353,14 @@ let host_arg =
 let sweep_cmd =
   let run specs sizes seeds ss ps engines json md timeout node_budget hosts
       checkpoint resume jobs job_timeout retries fault trace profile progress
-      =
+      postmortem host_health =
     setup_logs ();
     guarded @@ fun () ->
     install_interrupt_handlers ();
     setup_obs ~trace ~profile;
+    (* The flight recorder rides the registry; a postmortem dir must
+       arm it even when no trace/profile sink was asked for. *)
+    if postmortem <> None then Dmc_obs.Registry.set_enabled true;
     if json && md then failwith "--json and --md are mutually exclusive";
     let module Sweep = Dmc_analysis.Sweep in
     let module Pool = Dmc_runtime.Pool in
@@ -1391,7 +1414,11 @@ let sweep_cmd =
           (Ok []) hosts
       with
       | Error e -> failwith e
-      | Ok [] -> [] (* Pool defaults to a local host of capacity jobs *)
+      | Ok [] ->
+          (* Pool defaults to a local host of capacity jobs; the
+             host-health section needs the ledger records, so build
+             the same default explicitly when asked to report on it. *)
+          if host_health then Host.normalize ~jobs [] else []
       | Ok hs -> Host.normalize ~jobs (List.rev hs)
     in
     let rows = Sweep.rows grid in
@@ -1452,8 +1479,10 @@ let sweep_cmd =
         should_stop = (fun () -> !interrupted <> None);
         on_progress =
           (if progress then Some Dmc_runtime.Progress.draw else None);
+        postmortem_dir = postmortem;
       }
     in
+    let run_started = Unix.gettimeofday () in
     let on_result i outcome =
       let gi = n_completed + i in
       let payload =
@@ -1500,6 +1529,32 @@ let sweep_cmd =
         exit (interrupt_exit_code ())
     | None -> ());
     let doc = Sweep.doc grid ~results:(Array.to_list results) in
+    let doc =
+      if not host_health then doc
+      else
+        let stats =
+          List.map
+            (fun h ->
+              {
+                Sweep.h_name = h.Host.name;
+                h_remote = Host.is_remote h;
+                h_verdict = Host.verdict_to_string h.Host.verdict;
+                h_dispatched = h.Host.dispatched;
+                h_completed = h.Host.completed;
+                h_failures = h.Host.failures_total;
+                h_resharded = h.Host.resharded;
+                h_quarantines = h.Host.quarantines;
+                h_quarantine_log = h.Host.quarantine_log;
+              })
+            hosts
+        in
+        {
+          doc with
+          Dmc_analysis.Doc.blocks =
+            doc.Dmc_analysis.Doc.blocks
+            @ Sweep.host_health_doc ~run_started stats;
+        }
+    in
     let ok = Dmc_analysis.Doc.ok doc in
     (match (json, md) with
     | true, _ ->
@@ -1579,6 +1634,24 @@ let sweep_cmd =
                  file.  The final report is byte-identical to an \
                  uninterrupted run.")
   in
+  let postmortem =
+    Arg.(value & opt (some string) None & info [ "postmortem" ] ~docv:"DIR"
+           ~doc:"Arm the crash flight recorder: every attempt that ends \
+                 crashed, timed-out or protocol-broken dumps the recent \
+                 span/dispatch/verdict event ring, counters and gauges to \
+                 a timestamped $(b,postmortem-*.json) in $(docv) (created \
+                 if needed).  Best-effort — a failed dump warns on stderr \
+                 and never perturbs supervision or the report bytes.")
+  in
+  let host_health =
+    Arg.(value & flag & info [ "host-health" ]
+           ~doc:"Append a per-host health timeline section to the report: \
+                 dispatched/completed/failure/reshard counts, final \
+                 verdicts and quarantine intervals relative to run start.  \
+                 Off by default because its contents are run-dependent \
+                 (wall-clock intervals, host placement) — the flag-less \
+                 report keeps the byte-identity contract.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run a workload/S/p/engine/seed parameter grid across a \
@@ -1586,7 +1659,7 @@ let sweep_cmd =
     Term.(const run $ specs $ sizes $ seeds $ ss $ ps_axis $ engines $ json_arg
           $ md_arg $ timeout_arg $ node_budget_arg $ host_arg $ checkpoint
           $ resume $ jobs_arg $ job_timeout_arg $ retries_arg $ fault_arg
-          $ trace_arg $ profile_arg $ progress_arg)
+          $ trace_arg $ profile_arg $ progress_arg $ postmortem $ host_health)
 
 let () =
   let info =

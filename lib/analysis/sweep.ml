@@ -298,6 +298,80 @@ let restore t json =
   | _ -> Error ("not a " ^ kind_tag ^ " checkpoint")
 
 (* ------------------------------------------------------------------ *)
+(* Host health timeline                                                *)
+
+(* A fleet snapshot the report can render without this library seeing
+   dmc_runtime: the driver converts its [Host.t] ledger into these
+   neutral records after the run. *)
+type host_stat = {
+  h_name : string;
+  h_remote : bool;  (** command transport (vs. the local fork backend) *)
+  h_verdict : string;  (** final health verdict, e.g. ["alive"] *)
+  h_dispatched : int;
+  h_completed : int;
+  h_failures : int;
+  h_resharded : int;
+  h_quarantines : int;
+  h_quarantine_log : (float * float) list;
+      (** [(entered, until)] absolute times, newest first; [until] is
+          [infinity] for a poisoning *)
+}
+
+let host_health_doc ~run_started stats =
+  let rel ts =
+    if ts = infinity then "inf"
+    else Printf.sprintf "+%.1fs" (ts -. run_started)
+  in
+  let timeline st =
+    match List.rev st.h_quarantine_log with
+    | [] -> "-"
+    | log ->
+        String.concat "; "
+          (List.map
+             (fun (entered, until_) ->
+               Printf.sprintf "%s..%s" (rel entered) (rel until_))
+             log)
+  in
+  let table =
+    Table.create
+      ~headers:
+        [ "host"; "kind"; "verdict"; "dispatched"; "completed"; "failures";
+          "resharded"; "quarantines"; "quarantine timeline" ]
+  in
+  Table.set_align table
+    [ Table.Left; Table.Left; Table.Left; Table.Right; Table.Right;
+      Table.Right; Table.Right; Table.Right; Table.Left ];
+  List.iter
+    (fun st ->
+      Table.add_row table
+        [
+          st.h_name;
+          (if st.h_remote then "command" else "fork");
+          st.h_verdict;
+          string_of_int st.h_dispatched;
+          string_of_int st.h_completed;
+          string_of_int st.h_failures;
+          string_of_int st.h_resharded;
+          string_of_int st.h_quarantines;
+          timeline st;
+        ])
+    stats;
+  let quarantined =
+    List.length (List.filter (fun st -> st.h_quarantine_log <> []) stats)
+  in
+  [
+    Doc.Section "host health";
+    Doc.Facts
+      [
+        [
+          Doc.fact "hosts" (string_of_int (List.length stats));
+          Doc.fact "quarantined" (string_of_int quarantined);
+        ];
+      ];
+    Doc.Table table;
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Merged report                                                       *)
 
 (* Only value-deterministic row fields may appear: values, rungs and

@@ -88,6 +88,32 @@ val restore : t -> Dmc_util.Json.t -> (Dmc_util.Json.t list, string) result
     committed payload prefix.  [Error] on a foreign kind/version, a
     signature mismatch, or more payloads than the grid has rows. *)
 
+type host_stat = {
+  h_name : string;
+  h_remote : bool;  (** command transport (vs. the local fork backend) *)
+  h_verdict : string;  (** final health verdict, e.g. ["alive"] *)
+  h_dispatched : int;
+  h_completed : int;
+  h_failures : int;
+  h_resharded : int;
+  h_quarantines : int;
+  h_quarantine_log : (float * float) list;
+      (** [(entered, until)] absolute times, newest first; [until] is
+          [infinity] for a poisoning *)
+}
+(** One host's run ledger, as neutral data: the [dmc sweep] driver
+    converts its {!Dmc_runtime.Host.t} records into these after the
+    run (this library never sees the runtime). *)
+
+val host_health_doc : run_started:float -> host_stat list -> Doc.block list
+(** The opt-in ([dmc sweep --host-health]) fleet timeline: a section
+    with per-host dispatch/completion/failure/reshard counts and the
+    quarantine intervals relative to [run_started] ([+12.3s..+14.3s],
+    [inf] for a poisoning).  Everything here is {e run}-dependent —
+    wall-clock intervals, host placement — which is exactly why it
+    rides behind a flag: the flag-less report keeps the byte-identity
+    contract {!doc} documents. *)
+
 val doc : t -> results:(Dmc_util.Json.t option) list -> Doc.t
 (** The merged report: one payload per row in row order ([None] =
     the row never committed — cancelled run), rendered as a status

@@ -36,7 +36,21 @@ let cpu_model () =
         scan ())
   with _ -> "unknown"
 
-let hostname () = try Unix.gethostname () with _ -> "unknown"
+(* A silently-"unknown" host makes two baselines from different
+   machines look comparable in [bench-diff]; warn once so the
+   provenance gap is at least explainable. *)
+let warned_hostname = ref false
+
+let hostname () =
+  try Unix.gethostname ()
+  with _ ->
+    if not !warned_hostname then begin
+      warned_hostname := true;
+      prerr_endline
+        "dmc: warning: gethostname failed; baseline provenance records host \
+         \"unknown\""
+    end;
+    "unknown"
 
 let meta ~argv () =
   Json.Obj

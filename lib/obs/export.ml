@@ -155,54 +155,142 @@ let to_json () =
       ("dropped", Int (Registry.dropped ()));
     ]
 
+(* Prometheus text exposition (version 0.0.4): every metric name is
+   sanitized into [a-zA-Z0-9_:] and prefixed [dmc_], counters render as
+   [counter], gauges as [gauge], histograms as [summary] with
+   quantile-labelled series plus [_sum]/[_count].  Scrapers sit behind
+   [dmc query --metrics]; the rendering is deterministic (name order,
+   fixed formats) so two snapshots of the same registry diff cleanly. *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 4) in
+  Buffer.add_string b "dmc_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prometheus () =
+  let b = Buffer.create 4096 in
+  let _ =
+    Registry.fold_counters
+      (fun () c ->
+        let n = prom_name c.Registry.c_name in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+        Buffer.add_string b (Printf.sprintf "%s %d\n" n c.Registry.c_value))
+      ()
+  in
+  let _ =
+    Registry.fold_histograms
+      (fun () h ->
+        if h.Registry.h_n > 0 then begin
+          let n = prom_name h.Registry.h_name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" n);
+          List.iter
+            (fun (q, p) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n q
+                   (prom_float (Histogram.percentile h p))))
+            [ ("0.5", 50.0); ("0.9", 90.0); ("0.99", 99.0) ];
+          Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n h.Registry.h_sum);
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.Registry.h_n)
+        end)
+      ()
+  in
+  let _ =
+    Registry.fold_gauges
+      (fun () g ->
+        if g.Registry.g_set then begin
+          let n = prom_name g.Registry.g_name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string b
+            (Printf.sprintf "%s %s\n" n (prom_float g.Registry.g_value))
+        end)
+      ()
+  in
+  Buffer.contents b
+
 (* Chrome trace-event format: one complete ("ph":"X") slice per span,
-   microsecond timestamps, one pid, tid 0 for the supervisor and
-   [job+1] for spans merged from pool workers.  Loadable directly in
-   chrome://tracing and Perfetto. *)
+   microsecond timestamps, one pid *lane* per source (0 = this
+   process, one per remote host for merged fleet snapshots), tid 0 for
+   the supervisor and [job+1] for spans merged from pool workers.
+   Events carrying the attr [("ph", "i")] — lease grants, quarantines,
+   re-shards — render as process-scoped instant events instead of
+   slices.  Loadable directly in chrome://tracing and Perfetto. *)
 let chrome_trace () =
   let open Json in
-  let tids = Hashtbl.create 8 in
+  let lanes = Hashtbl.create 8 in
   let slices = ref [] in
   Registry.iter_events (fun e ->
-      Hashtbl.replace tids e.Registry.ev_tid ();
-      slices :=
+      let src = e.Registry.ev_src in
+      Hashtbl.replace lanes (src, e.Registry.ev_tid) ();
+      let instant = List.mem_assoc "ph" e.Registry.ev_attrs in
+      let args =
+        List.filter (fun (k, _) -> k <> "ph") e.Registry.ev_attrs
+        |> List.map (fun (k, v) -> (k, String v))
+      in
+      let common =
+        [
+          ("name", String e.Registry.ev_name);
+          ("cat", String "dmc");
+          ("ts", Float e.Registry.ev_ts);
+          ("pid", Int src);
+          ("tid", Int e.Registry.ev_tid);
+          ("args", Obj args);
+        ]
+      in
+      let ev =
+        if instant then
+          Obj (("ph", String "i") :: ("s", String "p") :: common)
+        else Obj (("ph", String "X") :: ("dur", Float e.Registry.ev_dur) :: common)
+      in
+      slices := ev :: !slices);
+  let pids =
+    Hashtbl.fold (fun (src, _) () acc -> src :: acc) lanes []
+    |> List.sort_uniq compare
+  in
+  let pids = if List.mem 0 pids then pids else 0 :: pids in
+  let proc_meta =
+    List.map
+      (fun pid ->
+        let pname =
+          match Registry.source_name pid with
+          | Some n -> n
+          | None -> Printf.sprintf "lane %d" pid
+        in
         Obj
           [
-            ("name", String e.Registry.ev_name);
-            ("cat", String "dmc");
-            ("ph", String "X");
-            ("ts", Float e.Registry.ev_ts);
-            ("dur", Float e.Registry.ev_dur);
-            ("pid", Int 0);
-            ("tid", Int e.Registry.ev_tid);
-            ( "args",
-              Obj (List.map (fun (k, v) -> (k, String v)) e.Registry.ev_attrs) );
-          ]
-        :: !slices);
-  let meta =
-    Obj
-      [
-        ("name", String "process_name");
-        ("ph", String "M");
-        ("pid", Int 0);
-        ("args", Obj [ ("name", String "dmc") ]);
-      ]
-    :: (Hashtbl.fold (fun tid () acc -> tid :: acc) tids []
-       |> List.sort compare
-       |> List.map (fun tid ->
-              let label = if tid = 0 then "main" else Printf.sprintf "job %d" (tid - 1) in
-              Obj
-                [
-                  ("name", String "thread_name");
-                  ("ph", String "M");
-                  ("pid", Int 0);
-                  ("tid", Int tid);
-                  ("args", Obj [ ("name", String label) ]);
-                ]))
+            ("name", String "process_name");
+            ("ph", String "M");
+            ("pid", Int pid);
+            ("args", Obj [ ("name", String pname) ]);
+          ])
+      pids
+  in
+  let thread_meta =
+    Hashtbl.fold (fun lane () acc -> lane :: acc) lanes []
+    |> List.sort compare
+    |> List.map (fun (src, tid) ->
+           let label = if tid = 0 then "main" else Printf.sprintf "job %d" (tid - 1) in
+           Obj
+             [
+               ("name", String "thread_name");
+               ("ph", String "M");
+               ("pid", Int src);
+               ("tid", Int tid);
+               ("args", Obj [ ("name", String label) ]);
+             ])
   in
   Obj
     [
-      ("traceEvents", List (meta @ List.rev !slices));
+      ("traceEvents", List (proc_meta @ thread_meta @ List.rev !slices));
       ("displayTimeUnit", String "ms");
     ]
 

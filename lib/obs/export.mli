@@ -35,9 +35,21 @@ val profile : unit -> string
 
 val to_json : unit -> Dmc_util.Json.t
 
+val prometheus : unit -> string
+(** Prometheus text exposition (format 0.0.4) of the registry: every
+    name sanitized into [[a-zA-Z0-9_:]] and prefixed [dmc_]; counters
+    as [counter], gauges as [gauge], histograms as [summary] with
+    [quantile]-labelled p50/p90/p99 series plus [_sum]/[_count].
+    Deterministic rendering (name order, fixed number formats) — what
+    [dmc query --metrics] prints for scrapers. *)
+
 val chrome_trace : unit -> Dmc_util.Json.t
 (** The [{"traceEvents": [...]}] document, including process/thread
-    name metadata ([tid 0] = supervisor, [tid j+1] = pool job [j]). *)
+    name metadata.  Each registered {!Registry.source} is a [pid]
+    lane — 0 for this process, one per remote host in a merged fleet
+    trace ([tid 0] = supervisor, [tid j+1] = pool job [j]); events
+    whose attrs carry [("ph", "i")] render as process-scoped instant
+    events. *)
 
 val write_chrome_trace : string -> unit
 (** Write {!chrome_trace} compactly to a file. *)

@@ -1,0 +1,80 @@
+(* Postmortem dumps of the registry's flight-recorder ring.
+
+   The ring itself lives in [Registry] (it is fed from span closes on
+   the instrumentation hot path); this module is only the dump side:
+   shape the ring plus a counter/gauge snapshot into one JSON document
+   and write it to a timestamped file next to whatever other artefacts
+   the caller keeps (fuzz reproducers, checkpoints).  Dumping is
+   best-effort by design — a postmortem that fails to write must never
+   take the supervisor down with it. *)
+
+open Dmc_util
+
+let version = 1
+
+let dump ~reason ~attrs () =
+  let open Json in
+  let entries =
+    List.map
+      (fun e ->
+        Obj
+          [
+            ("ts_us", Float e.Registry.fl_ts);
+            ("kind", String e.Registry.fl_kind);
+            ("name", String e.Registry.fl_name);
+            ("detail", String e.Registry.fl_detail);
+          ])
+      (Registry.flight_entries ())
+  in
+  let counters =
+    List.rev
+      (Registry.fold_counters
+         (fun acc c ->
+           if c.Registry.c_value = 0 then acc
+           else (c.Registry.c_name, Int c.Registry.c_value) :: acc)
+         [])
+  in
+  let gauges =
+    List.rev
+      (Registry.fold_gauges
+         (fun acc g ->
+           if g.Registry.g_set then (g.Registry.g_name, Float g.Registry.g_value) :: acc
+           else acc)
+         [])
+  in
+  Obj
+    [
+      ("kind", String "dmc-postmortem");
+      ("v", Int version);
+      ("reason", String reason);
+      ("wall_time", Float (Unix.gettimeofday ()));
+      ("attrs", Obj (List.map (fun (k, v) -> (k, String v)) attrs));
+      ("flight", List entries);
+      ("flight_total", Int (Registry.flight_count ()));
+      ("counters", Obj counters);
+      ("gauges", Obj gauges);
+      ("dropped_spans", Int (Registry.dropped ()));
+    ]
+
+let sanitize_slug s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    s
+
+let write ~dir ~slug ~reason ~attrs () =
+  try
+    (try Unix.mkdir dir 0o755
+     with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+    let stamp_ms = Int64.of_float (Unix.gettimeofday () *. 1e3) in
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "postmortem-%Ld-%s.json" stamp_ms (sanitize_slug slug))
+    in
+    Checkpoint.write path (dump ~reason ~attrs ());
+    Ok path
+  with
+  | Sys_error msg -> Error msg
+  | Unix.Unix_error (e, fn, _) -> Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))

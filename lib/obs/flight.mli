@@ -1,0 +1,32 @@
+(** Postmortem dumps of the flight-recorder ring.
+
+    The crash side of fleet telemetry: when a pool attempt ends
+    crashed, timed out or protocol-broken, the supervisor dumps the
+    registry's bounded ring of recent moments ({!Registry.flight_note})
+    plus a counter/gauge snapshot to a timestamped JSON file, so a
+    quarantine can be diagnosed after the fleet has moved on.  The
+    file shape is [{"kind": "dmc-postmortem", "v": 1, "reason", ...,
+    "attrs": {...}, "flight": [{ts_us, kind, name, detail}...],
+    "flight_total", "counters", "gauges", "dropped_spans"}]. *)
+
+val version : int
+
+val dump :
+  reason:string -> attrs:(string * string) list -> unit -> Dmc_util.Json.t
+(** The postmortem document for the registry's current state.
+    [reason] is the verdict that triggered it (e.g.
+    ["crashed: SIGKILL"]); [attrs] carries attempt context (job,
+    attempt, host). *)
+
+val write :
+  dir:string ->
+  slug:string ->
+  reason:string ->
+  attrs:(string * string) list ->
+  unit ->
+  (string, string) result
+(** Write {!dump} atomically to
+    [dir/postmortem-<unix_ms>-<slug>.json], creating [dir] if needed
+    ([slug] is sanitized to filename-safe characters).  Returns the
+    path, or [Error] with the failure — callers warn and carry on;
+    a postmortem must never kill the supervisor. *)

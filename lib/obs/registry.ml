@@ -9,9 +9,10 @@ type counter = { c_name : string; mutable c_value : int }
 type event = {
   ev_name : string;
   mutable ev_attrs : (string * string) list;
-  ev_ts : float; (* microseconds since the registry epoch *)
+  mutable ev_ts : float; (* microseconds since the registry epoch *)
   mutable ev_dur : float; (* microseconds *)
   mutable ev_tid : int;
+  mutable ev_src : int; (* lane: 0 = this process, else a registered source *)
   ev_depth : int;
 }
 
@@ -38,6 +39,37 @@ let now_us () = (now () -. !epoch) *. 1e6
 let set_enabled b =
   if b && !epoch = 0.0 then epoch := now ();
   enabled := b
+
+(* Sources are the trace's process lanes: lane 0 is always this
+   process (the supervisor), and every remote/forked origin a snapshot
+   is merged from gets a stable id in first-registration order.  Like
+   counters, registrations are idempotent and survive [clear], so a
+   host keeps its lane across checkpointed resumes within one run. *)
+let sources : (string, int) Hashtbl.t = Hashtbl.create 8
+let source_names : (int, string) Hashtbl.t = Hashtbl.create 8
+let next_source = ref 1
+
+let register_source name id =
+  Hashtbl.replace sources name id;
+  Hashtbl.replace source_names id name
+
+let () = register_source "dmc" 0
+
+let source name =
+  match Hashtbl.find_opt sources name with
+  | Some id -> id
+  | None ->
+      let id = !next_source in
+      incr next_source;
+      register_source name id;
+      id
+
+let source_name id = Hashtbl.find_opt source_names id
+
+let fold_sources f acc =
+  let all = Hashtbl.fold (fun id name l -> (id, name) :: l) source_names [] in
+  let all = List.sort compare all in
+  List.fold_left (fun acc (id, name) -> f acc id name) acc all
 
 (* Counters are registered once (typically at module initialisation in
    the instrumented library) and found by name thereafter, so merging a
@@ -187,6 +219,58 @@ let iter_events f =
 let event_count () = !n_events
 let dropped () = !dropped_events
 
+(* Flight recorder: a small bounded ring of the most recent notable
+   moments (span closes, pool dispatches, verdicts).  Unlike the span
+   buffer above — which keeps the *oldest* events and drops the tail —
+   the ring keeps the *newest*, because a postmortem wants what
+   happened just before the crash.  Kept deliberately tiny: it is
+   always on once the registry is enabled, even when nobody ever dumps
+   it. *)
+type flight_entry = {
+  fl_ts : float; (* microseconds since the registry epoch *)
+  fl_kind : string; (* "span" | "dispatch" | "verdict" | ... *)
+  fl_name : string;
+  fl_detail : string;
+}
+
+let default_flight_capacity = 256
+let flight_cap = ref default_flight_capacity
+let flight_buf : flight_entry option array ref = ref [||]
+let flight_next = ref 0 (* next write slot *)
+let flight_seen = ref 0 (* total notes ever pushed *)
+
+let set_flight_capacity n =
+  flight_cap := max 1 n;
+  flight_buf := [||];
+  flight_next := 0
+
+let flight_note ~kind ~name ~detail =
+  if !enabled then begin
+    (if Array.length !flight_buf <> !flight_cap then begin
+       flight_buf := Array.make !flight_cap None;
+       flight_next := 0
+     end);
+    !flight_buf.(!flight_next) <-
+      Some { fl_ts = now_us (); fl_kind = kind; fl_name = name; fl_detail = detail };
+    flight_next := (!flight_next + 1) mod !flight_cap;
+    incr flight_seen
+  end
+
+let flight_entries () =
+  let cap = Array.length !flight_buf in
+  if cap = 0 then []
+  else begin
+    let out = ref [] in
+    for i = cap - 1 downto 0 do
+      match !flight_buf.((!flight_next + i) mod cap) with
+      | Some e -> out := e :: !out
+      | None -> ()
+    done;
+    !out
+  end
+
+let flight_count () = !flight_seen
+
 (* Stack of open spans for the current thread of control.  The pool
    supervisor and each forked worker are single-threaded with respect to
    spans, so one stack suffices; [cur_tid] is what distinguishes merged
@@ -202,6 +286,7 @@ let open_span ~name ~attrs =
       ev_ts = now_us ();
       ev_dur = 0.0;
       ev_tid = !cur_tid;
+      ev_src = 0;
       ev_depth = List.length !stack;
     }
   in
@@ -220,11 +305,14 @@ let close_span e =
   | _ -> stack := List.filter (fun x -> x != e) !stack);
   push_event e;
   sample_gc ();
+  flight_note ~kind:"span" ~name:e.ev_name
+    ~detail:(Printf.sprintf "%.3fms depth=%d" (e.ev_dur /. 1e3) e.ev_depth);
   match !on_span_close with Some f -> f e.ev_name | None -> ()
 
 let innermost () = match !stack with [] -> None | e :: _ -> Some e
 
-let add_event ~name ?(attrs = []) ~ts_us ~dur_us ?(tid = 0) ?(depth = 0) () =
+let add_event ~name ?(attrs = []) ~ts_us ~dur_us ?(tid = 0) ?(src = 0) ?(depth = 0)
+    () =
   push_event
     {
       ev_name = name;
@@ -232,6 +320,7 @@ let add_event ~name ?(attrs = []) ~ts_us ~dur_us ?(tid = 0) ?(depth = 0) () =
       ev_ts = ts_us;
       ev_dur = dur_us;
       ev_tid = tid;
+      ev_src = src;
       ev_depth = depth;
     }
 
@@ -251,6 +340,9 @@ let clear () =
   n_events := 0;
   events := [||];
   dropped_events := 0;
+  flight_buf := [||];
+  flight_next := 0;
+  flight_seen := 0;
   stack := []
 
 let reset () =
@@ -324,7 +416,7 @@ let snapshot_json () =
       ("events", List evs);
     ]
 
-let merge_snapshot ?(tid = 0) json =
+let merge_snapshot ?(tid = 0) ?(src = 0) ?(shift_us = 0.0) json =
   let open Dmc_util.Json in
   match json with
   | Obj _ ->
@@ -400,8 +492,8 @@ let merge_snapshot ?(tid = 0) json =
                           kvs
                     | _ -> []
                   in
-                  add_event ~name ~attrs ~ts_us:(num ts) ~dur_us:(num dur) ~tid
-                    ~depth ()
+                  add_event ~name ~attrs ~ts_us:(num ts +. shift_us)
+                    ~dur_us:(num dur) ~tid ~src ~depth ()
               | _ -> ())
             evs
       | _ -> ())

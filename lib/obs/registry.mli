@@ -21,11 +21,14 @@ type counter = { c_name : string; mutable c_value : int }
 type event = {
   ev_name : string;
   mutable ev_attrs : (string * string) list;
-  ev_ts : float;  (** microseconds since the registry epoch *)
+  mutable ev_ts : float;  (** microseconds since the registry epoch *)
   mutable ev_dur : float;  (** microseconds *)
   mutable ev_tid : int;
       (** 0 in-process; [job index + 1] for spans merged from a pool
           worker *)
+  mutable ev_src : int;
+      (** trace lane ({!source} id): 0 for spans recorded in this
+          process, the origin host's lane for merged snapshots *)
   ev_depth : int;  (** nesting depth at the time the span opened *)
 }
 (** A completed span. *)
@@ -48,6 +51,19 @@ val now : unit -> float
 
 val now_us : unit -> float
 (** Microseconds since the epoch, on the clamped clock. *)
+
+val source : string -> int
+(** Find or create the trace lane registered under [name].  Lane 0 is
+    always this process (registered as ["dmc"]); every other name gets
+    the next id in first-registration order, so a fleet's lanes are
+    stable within a run.  Like {!counter}, registration is idempotent
+    and survives {!reset}. *)
+
+val source_name : int -> string option
+(** The name a lane id was registered under. *)
+
+val fold_sources : ('a -> int -> string -> 'a) -> 'a -> 'a
+(** Fold over registered lanes in id order (deterministic). *)
 
 val counter : string -> counter
 (** Find or create the counter registered under [name].  Creation is
@@ -126,6 +142,34 @@ val iter_events : (event -> unit) -> unit
 val event_count : unit -> int
 val dropped : unit -> int
 
+type flight_entry = {
+  fl_ts : float;  (** microseconds since the registry epoch *)
+  fl_kind : string;  (** ["span"], ["dispatch"], ["verdict"], ... *)
+  fl_name : string;
+  fl_detail : string;
+}
+(** One flight-recorder moment.  The recorder is a small bounded ring
+    of the {e most recent} notes — the opposite retention policy from
+    the span buffer, because a postmortem wants what happened just
+    before a crash, not what happened first. *)
+
+val default_flight_capacity : int
+(** [256]. *)
+
+val set_flight_capacity : int -> unit
+(** Resize (and clear) the ring.  Clamped to [>= 1]. *)
+
+val flight_note : kind:string -> name:string -> detail:string -> unit
+(** Append a note (no-op while the registry is disabled).  Span closes
+    note themselves automatically; the pool supervisor notes
+    dispatches, heartbeat phases and verdicts. *)
+
+val flight_entries : unit -> flight_entry list
+(** The ring's contents, oldest first. *)
+
+val flight_count : unit -> int
+(** Total notes ever pushed (≥ the ring length once it wraps). *)
+
 val open_span : name:string -> attrs:(string * string) list -> event
 (** Used by {!Dmc_obs.Span}; callers outside the library should prefer
     [Span.with_]. *)
@@ -139,11 +183,15 @@ val add_event :
   ts_us:float ->
   dur_us:float ->
   ?tid:int ->
+  ?src:int ->
   ?depth:int ->
   unit ->
   unit
 (** Append an already-timed span — how the pool supervisor records the
-    synthetic ["pool.job"] span around each worker attempt. *)
+    synthetic ["pool.job"] span around each worker attempt.  An attr
+    [("ph", "i")] marks the event as an {e instant} (a lease grant, a
+    quarantine) rather than a duration slice; the Chrome exporter
+    renders those with [ph:"i"]. *)
 
 val reset : unit -> unit
 (** Zero every counter, discard all spans and re-arm the epoch.  The
@@ -161,9 +209,15 @@ val snapshot_json : unit -> Dmc_util.Json.t
     and all completed spans — the payload a pool worker appends to its
     {!Dmc_util.Ipc} result frame. *)
 
-val merge_snapshot : ?tid:int -> Dmc_util.Json.t -> unit
+val merge_snapshot :
+  ?tid:int -> ?src:int -> ?shift_us:float -> Dmc_util.Json.t -> unit
 (** Fold a worker snapshot into this registry: counters and histogram
     buckets add (commutes, so completion order cannot affect the merged
     profile), gauges max-merge, spans append with [ev_tid] forced to
-    [tid].  Malformed sub-structures are skipped — observability must
-    never turn a good result into a protocol error. *)
+    [tid] and [ev_src] to [src] (the origin host's trace lane).
+    [shift_us] translates the snapshot's timestamps onto this
+    registry's timeline — a remote [dmc worker] is a fresh process
+    whose epoch is its own start, so the supervisor shifts by the
+    attempt's dispatch time.  Malformed sub-structures are skipped —
+    observability must never turn a good result into a protocol
+    error. *)

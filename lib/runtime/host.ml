@@ -38,6 +38,9 @@ type t = {
   mutable completed : int;
   mutable failures_total : int;
   mutable resharded : int;
+  mutable quarantine_log : (float * float) list;
+      (* (entered, until) per quarantine, newest first — the health
+         timeline's raw intervals *)
 }
 
 (* Counter.make is idempotent (find-or-create by name), so per-event
@@ -69,6 +72,7 @@ let make ~name ~transport ~capacity ~policy =
     completed = 0;
     failures_total = 0;
     resharded = 0;
+    quarantine_log = [];
   }
 
 let local ?(name = "local") ~capacity () =
@@ -136,6 +140,7 @@ let enter_quarantine h ~now ~until_ =
   h.verdict <- Dead;
   h.until <- until_;
   h.quarantines <- h.quarantines + 1;
+  h.quarantine_log <- (now, until_) :: h.quarantine_log;
   h.probing <- false;
   if was then `Fine else `Quarantined
 

@@ -62,6 +62,10 @@ type t = {
   mutable completed : int;
   mutable failures_total : int;
   mutable resharded : int;
+  mutable quarantine_log : (float * float) list;
+      (** [(entered, until)] per quarantine, newest first ([until] is
+          [infinity] for a poisoning) — the raw intervals behind the
+          sweep report's host-health timeline *)
 }
 
 val local : ?name:string -> capacity:int -> unit -> t

@@ -26,6 +26,7 @@ type config = {
   should_stop : unit -> bool;
   accept_more : unit -> bool;
   on_progress : (Progress.t -> unit) option;
+  postmortem_dir : string option;
 }
 
 let default =
@@ -39,6 +40,7 @@ let default =
     should_stop = (fun () -> false);
     accept_more = (fun () -> true);
     on_progress = None;
+    postmortem_dir = None;
   }
 
 let is_transient = function
@@ -96,6 +98,21 @@ let verdict_failure = function
   | Engine_failure f -> Some f
   | Worker_protocol_error msg ->
       Some (Budget.Internal ("worker protocol error: " ^ msg))
+
+(* Fleet telemetry: every host is a trace lane (a Chrome-trace [pid]);
+   lease grants, quarantines and re-shards land on that lane as
+   instant events, and the same moments feed the flight-recorder ring
+   so a postmortem shows what the fleet was doing just before a crash.
+   All of it is span-side — wall-clock, outside the determinism
+   contract — and gated on the registry being enabled. *)
+let instant ~name ~host attrs =
+  if Dmc_obs.Registry.is_enabled () then
+    Dmc_obs.Registry.add_event ~name
+      ~attrs:(("ph", "i") :: ("host", host.Host.name) :: attrs)
+      ~ts_us:(Dmc_obs.Registry.now_us ())
+      ~dur_us:0.
+      ~src:(Dmc_obs.Registry.source host.Host.name)
+      ()
 
 (* ------------------------------------------------------------------ *)
 (* Child side (fork transport)                                         *)
@@ -161,6 +178,9 @@ type job_rec = {
    classification, fault injection). *)
 type 'a t = {
   cfg : config;
+  run_id : string;
+      (* trace-context run id: ties a remote worker's frames to this
+         pool instance; wall-clock domain, outside determinism *)
   worker : int -> 'a -> (Json.t, Budget.failure) result;
   encode : ('a -> Json.t) option;
   hosts : Host.t list;
@@ -221,7 +241,15 @@ let spawn t ~host ~job ~attempt =
         in
         let payload = encode (Hashtbl.find t.payloads job) in
         let envelope =
-          Transport.envelope ~hb:(cfg.on_progress <> None) ~fault payload
+          Transport.envelope ~hb:(cfg.on_progress <> None)
+            ~obs:(Dmc_obs.Registry.is_enabled ())
+            ~trace:
+              {
+                Transport.run = t.run_id;
+                host = host.Host.name;
+                lease = Printf.sprintf "%d:%d" job attempt;
+              }
+            ~fault payload
         in
         let proc = Transport.spawn_command ~argv ~envelope in
         (proc.Transport.pid, proc.Transport.fd)
@@ -280,8 +308,20 @@ let record_attempt slot verdict obs =
     | Some c -> Dmc_obs.Counter.incr c
     | None -> ());
     (match obs with
-    | Some snap -> Dmc_obs.Registry.merge_snapshot ~tid snap
+    | Some snap ->
+        (* The worker's spans land on its host's lane.  A fork child
+           shares the supervisor's epoch, so its timestamps are already
+           on our timeline; a command worker is a fresh process whose
+           epoch is its own start — shift by the dispatch instant. *)
+        let shift_us = if Host.is_remote slot.shost then slot.started else 0. in
+        Dmc_obs.Registry.merge_snapshot ~tid
+          ~src:(Dmc_obs.Registry.source slot.shost.Host.name)
+          ~shift_us snap
     | None -> ());
+    Dmc_obs.Registry.flight_note ~kind:"verdict" ~name:(verdict_to_string verdict)
+      ~detail:
+        (Printf.sprintf "job %d attempt %d @%s" slot.job slot.attempt
+           slot.shost.Host.name);
     Dmc_obs.Registry.add_event ~name:"pool.job"
       ~attrs:
         [
@@ -323,7 +363,12 @@ let consume_frames slot =
                 (match json with
                 | Json.Obj [ ("hb", Json.Obj hb) ] -> (
                     match List.assoc_opt "phase" hb with
-                    | Some (Json.String p) -> slot.phase <- p
+                    | Some (Json.String p) ->
+                        slot.phase <- p;
+                        Dmc_obs.Registry.flight_note ~kind:"hb" ~name:p
+                          ~detail:
+                            (Printf.sprintf "job %d @%s" slot.job
+                               slot.shost.Host.name)
                     | _ -> ())
                 | other -> slot.result <- Some other)
           end
@@ -368,7 +413,11 @@ let classify slot =
           match decoded with
           | Ok (Json.Obj fields) -> (
               let obs = List.assoc_opt "obs" fields in
-              match List.filter (fun (k, _) -> k <> "obs") fields with
+              (* "obs" and the echoed "trace" context ride the result
+                 frame but are not part of the result proper *)
+              match
+                List.filter (fun (k, _) -> k <> "obs" && k <> "trace") fields
+              with
               | [ ("ok", payload) ] -> (Done payload, Host.Ok_result, obs)
               | [ ("err", Json.String f) ] -> (
                   match Budget.failure_of_string f with
@@ -419,6 +468,9 @@ let create ?(ordered = true) ?(hosts = []) ?encode (cfg : config) ~worker
     invalid_arg "Pool.create: remote hosts require ~encode";
   {
     cfg;
+    run_id =
+      Printf.sprintf "%08x"
+        (Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) land 0xffffffff);
     worker;
     encode;
     hosts;
@@ -513,6 +565,10 @@ let finalize t r verdict =
 let reshard t r host =
   Dmc_obs.Counter.incr c_reshard;
   Host.note_reshard host;
+  instant ~name:"host.reshard" ~host [ ("job", string_of_int r.jid) ];
+  Dmc_obs.Registry.flight_note ~kind:"reshard"
+    ~name:(Printf.sprintf "job %d" r.jid)
+    ~detail:(Printf.sprintf "lease taken back from %s" host.Host.name);
   r.jreshards <- r.jreshards + 1;
   r.jattempts <- max 0 (r.jattempts - 1);
   r.jstate <- Queued;
@@ -536,6 +592,19 @@ let settle t slot (verdict, hevent) =
     (match Host.record host ~now hevent with
     | `Fine -> ()
     | `Quarantined ->
+        instant ~name:"host.quarantine" ~host
+          [
+            ("verdict", Host.verdict_to_string host.Host.verdict);
+            ( "until",
+              if host.Host.until = infinity then "inf"
+              else Printf.sprintf "+%.1fs" (host.Host.until -. now) );
+            ("quarantines", string_of_int host.Host.quarantines);
+          ];
+        Dmc_obs.Registry.flight_note ~kind:"quarantine" ~name:host.Host.name
+          ~detail:
+            (Printf.sprintf "%s, quarantine %d"
+               (Host.verdict_to_string host.Host.verdict)
+               host.Host.quarantines);
         List.iter
           (fun s ->
             if s.shost == host && not s.resharded && s.status = None then begin
@@ -543,6 +612,30 @@ let settle t slot (verdict, hevent) =
               kill_quietly s.pid
             end)
           t.in_flight);
+    (* Crash flight recorder: a crashed / timed-out / protocol-broken
+       attempt dumps the ring (plus counters and host context) to a
+       timestamped postmortem file.  Best-effort by contract — a failed
+       dump warns and never perturbs supervision. *)
+    (match (t.cfg.postmortem_dir, verdict) with
+    | Some dir, (Timed_out | Crashed _ | Worker_protocol_error _) -> (
+        match
+          Dmc_obs.Flight.write ~dir
+            ~slug:(Printf.sprintf "job%d-attempt%d" slot.job slot.attempt)
+            ~reason:(verdict_to_string verdict)
+            ~attrs:
+              [
+                ("run", t.run_id);
+                ("job", string_of_int slot.job);
+                ("attempt", string_of_int slot.attempt);
+                ("host", host.Host.name);
+                ("host_verdict", Host.verdict_to_string host.Host.verdict);
+              ]
+            ()
+        with
+        | Ok _ -> ()
+        | Error msg ->
+            Printf.eprintf "dmc: warning: postmortem dump failed: %s\n%!" msg)
+    | _ -> ());
     let host_fault =
       Host.is_remote host
       &&
@@ -597,6 +690,11 @@ let dispatch t host id =
   if Float.is_nan r.jfirst then r.jfirst <- Budget.now ();
   r.jstate <- Running;
   Host.lease host ~now:(Budget.now ());
+  instant ~name:"host.lease" ~host
+    [ ("job", string_of_int id); ("attempt", string_of_int r.jattempts) ];
+  Dmc_obs.Registry.flight_note ~kind:"dispatch"
+    ~name:(Printf.sprintf "job %d" id)
+    ~detail:(Printf.sprintf "attempt %d @%s" r.jattempts host.Host.name);
   let slot = spawn t ~host ~job:id ~attempt:r.jattempts in
   t.in_flight <- slot :: t.in_flight
 

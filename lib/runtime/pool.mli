@@ -84,6 +84,13 @@ type config = {
           innermost closing span name as a rate-limited phase tick
           over the result pipe.  [None] (the default) keeps the wire
           protocol exactly one result frame per attempt. *)
+  postmortem_dir : string option;
+      (** when set, every attempt that ends crashed / timed-out /
+          protocol-broken dumps the flight-recorder ring to a
+          timestamped [postmortem-*.json] in this directory (created
+          if needed) via {!Dmc_obs.Flight.write}.  Best-effort: a
+          failed dump warns on stderr and never perturbs
+          supervision. *)
 }
 
 val default : config

@@ -14,18 +14,44 @@ let is_remote = function Fork -> false | Command _ -> true
 
 let call_version = 1
 
-let envelope ~hb ~fault payload =
+(* The trace context a supervisor threads through a remote call: which
+   run, which host lane, which lease.  Pure telemetry — absent on old
+   supervisors, ignored by old workers, and never consulted by
+   classification — so it rides v1 envelopes as optional fields. *)
+type trace = { run : string; host : string; lease : string }
+
+let trace_json tr =
   Json.Obj
     [
-      ("kind", Json.String "dmc-worker-call");
-      ("v", Json.Int call_version);
-      ("job", payload);
-      ("hb", Json.Bool hb);
-      ( "fault",
-        match fault with
-        | None -> Json.Null
-        | Some k -> Json.String (Fault.kind_to_string k) );
+      ("run", Json.String tr.run);
+      ("host", Json.String tr.host);
+      ("lease", Json.String tr.lease);
     ]
+
+type call = {
+  job : Json.t;
+  hb : bool;
+  obs : bool;
+  trace : trace option;
+  fault : Fault.kind option;
+}
+
+let envelope ~hb ?(obs = false) ?trace ~fault payload =
+  Json.Obj
+    ([
+       ("kind", Json.String "dmc-worker-call");
+       ("v", Json.Int call_version);
+       ("job", payload);
+       ("hb", Json.Bool hb);
+     ]
+    @ (if obs then [ ("obs", Json.Bool true) ] else [])
+    @ (match trace with None -> [] | Some tr -> [ ("trace", trace_json tr) ])
+    @ [
+        ( "fault",
+          match fault with
+          | None -> Json.Null
+          | Some k -> Json.String (Fault.kind_to_string k) );
+      ])
 
 let parse_envelope json =
   let str field = Option.bind (Json.mem json field) Json.as_string in
@@ -34,17 +60,26 @@ let parse_envelope json =
       match Json.mem json "job" with
       | None -> Error "dmc-worker-call has no job"
       | Some job ->
-          let hb =
-            match Option.bind (Json.mem json "hb") Json.as_bool with
+          let flag field =
+            match Option.bind (Json.mem json field) Json.as_bool with
             | Some b -> b
             | None -> false
+          in
+          let trace =
+            match Json.mem json "trace" with
+            | Some tr -> (
+                let f field = Option.bind (Json.mem tr field) Json.as_string in
+                match (f "run", f "host", f "lease") with
+                | Some run, Some host, Some lease -> Some { run; host; lease }
+                | _ -> None)
+            | None -> None
           in
           let fault =
             Option.bind (str "fault") Fault.kind_of_string
             |> Option.map (fun k -> if Fault.is_worker_kind k then Some k else None)
             |> Option.join
           in
-          Ok (job, hb, fault))
+          Ok { job; hb = flag "hb"; obs = flag "obs"; trace; fault })
   | Some "dmc-worker-call", Some v ->
       Error (Printf.sprintf "dmc-worker-call v%d, this build speaks v%d" v call_version)
   | _ -> Error "not a dmc-worker-call frame"
@@ -117,7 +152,7 @@ let spawn_command ~argv ~envelope =
 (* ------------------------------------------------------------------ *)
 (* Worker side                                                         *)
 
-let attempt_body ~fault ~hb ~output run =
+let attempt_body ~fault ~hb ?(obs = false) ?trace ~output run =
   match fault with
   | Some Fault.Hang ->
       (* Non-cooperative by construction: only the supervisor's
@@ -132,13 +167,22 @@ let attempt_body ~fault ~hb ~output run =
       try ignore (Unix.write_substring output "*** not an ipc frame ***" 0 24)
       with Unix.Unix_error _ -> ())
   | Some (Fault.Drop | Fault.Truncate | Fault.Slow) | None ->
+      (* [obs] is the supervisor saying "I am profiling — snapshot even
+         without heartbeats"; a plain [dmc sweep --trace] over a
+         command fleet sets it so remote spans and counters come home. *)
+      if hb || obs then Dmc_obs.Registry.set_enabled true;
       (if hb then begin
          (* Heartbeats ride the result channel as extra frames ahead of
             the result: span closes in the engines become rate-limited
             phase ticks.  Spans only record when the registry is on, so
             heartbeating implies an enabled registry; the supervisor
             ignores the resulting snapshot unless it is profiling. *)
-         Dmc_obs.Registry.set_enabled true;
+         let ctx =
+           match trace with
+           | None -> []
+           | Some tr ->
+               [ ("host", Json.String tr.host); ("lease", Json.String tr.lease) ]
+         in
          let last_hb = ref neg_infinity in
          let send phase =
            let t = Unix.gettimeofday () in
@@ -146,7 +190,8 @@ let attempt_body ~fault ~hb ~output run =
              last_hb := t;
              try
                Ipc.write_frame output
-                 (Json.Obj [ ("hb", Json.Obj [ ("phase", Json.String phase) ]) ])
+                 (Json.Obj
+                    [ ("hb", Json.Obj (("phase", Json.String phase) :: ctx)) ])
              with Unix.Unix_error _ -> ()
            end
          in
@@ -171,10 +216,17 @@ let attempt_body ~fault ~hb ~output run =
         (* The span/counter snapshot rides in the same result frame; the
            supervisor merges it under this job's tid.  Engine failures
            keep their snapshot too — failed rungs must still appear in
-           the trace. *)
+           the trace.  The trace context is echoed back so the frame is
+           self-describing to anything recording the wire. *)
         match frame with
         | Json.Obj fields when Dmc_obs.Registry.is_enabled () ->
-            Json.Obj (fields @ [ ("obs", Dmc_obs.Registry.snapshot_json ()) ])
+            let ctx =
+              match trace with
+              | None -> []
+              | Some tr -> [ ("trace", trace_json tr) ]
+            in
+            Json.Obj
+              (fields @ (("obs", Dmc_obs.Registry.snapshot_json ()) :: ctx))
         | other -> other
       in
       (try Ipc.write_frame output frame with Unix.Unix_error _ -> ())
@@ -198,6 +250,6 @@ let run_call ~input ~output ~dispatch () =
   | Ok json -> (
       match parse_envelope json with
       | Error msg -> refuse msg
-      | Ok (job, hb, fault) ->
-          attempt_body ~fault ~hb ~output (fun () -> dispatch job);
+      | Ok { job; hb; obs; trace; fault } ->
+          attempt_body ~fault ~hb ~obs ?trace ~output (fun () -> dispatch job);
           0)

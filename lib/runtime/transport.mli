@@ -39,19 +39,43 @@ val is_remote : t -> bool
 
 val call_version : int
 
-val envelope : hb:bool -> fault:Fault.kind option -> Dmc_util.Json.t -> Dmc_util.Json.t
+type trace = { run : string; host : string; lease : string }
+(** The trace context a supervisor threads through a remote call: run
+    id, the host lane the lease was granted on, and the lease id
+    ([job:attempt]).  Pure telemetry — optional on the wire, ignored
+    by classification — so it rides v{!call_version} envelopes without
+    a version bump. *)
+
+val envelope :
+  hb:bool ->
+  ?obs:bool ->
+  ?trace:trace ->
+  fault:Fault.kind option ->
+  Dmc_util.Json.t ->
+  Dmc_util.Json.t
 (** Wrap a serialized job payload into the one call frame a [Command]
     worker reads from stdin:
     [{"kind": "dmc-worker-call", "v": 1, "job": payload, "hb": bool,
+      "obs": bool?, "trace": {run, host, lease}?,
       "fault": "hang" | null}].  [fault] ships worker-side fault
     injection to the remote end, so chaos schedules reach every
-    transport. *)
+    transport; [obs] (default false) asks the worker to enable its
+    registry and attach a snapshot even when heartbeats are off — how
+    a profiling supervisor gets remote counters home. *)
 
-val parse_envelope :
-  Dmc_util.Json.t ->
-  (Dmc_util.Json.t * bool * Fault.kind option, string) result
-(** [(job, hb, fault)] from a call frame; [Error] on anything that is
-    not a v{!call_version} [dmc-worker-call]. *)
+type call = {
+  job : Dmc_util.Json.t;
+  hb : bool;
+  obs : bool;
+  trace : trace option;
+  fault : Fault.kind option;
+}
+(** A parsed call frame.  [obs]/[trace] default to off/absent, so old
+    supervisors' envelopes still parse. *)
+
+val parse_envelope : Dmc_util.Json.t -> (call, string) result
+(** [Error] on anything that is not a v{!call_version}
+    [dmc-worker-call]. *)
 
 val spawn_command : argv:string array -> envelope:Dmc_util.Json.t -> proc
 (** Start [argv] and write the call frame to its stdin (bounded: a
@@ -63,16 +87,21 @@ val spawn_command : argv:string array -> envelope:Dmc_util.Json.t -> proc
 val attempt_body :
   fault:Fault.kind option ->
   hb:bool ->
+  ?obs:bool ->
+  ?trace:trace ->
   output:Unix.file_descr ->
   (unit -> (Dmc_util.Json.t, Dmc_util.Budget.failure) result) ->
   unit
 (** The worker side of one attempt, shared by the fork child and the
     [dmc worker] process: honour a worker-kind fault (hang / abort /
-    garbage), optionally stream rate-limited heartbeat phase frames
-    from span closes, run the thunk with the standard exception
-    mapping ([Budget.Exhausted] / [Internal_error] / [Stack_overflow]
-    / anything else), attach the obs snapshot when the registry is
-    enabled, and write the single result frame.  Never raises. *)
+    garbage), enable the registry when [hb] or [obs] asks for
+    telemetry, optionally stream rate-limited heartbeat phase frames
+    from span closes (tagged with the trace context's host/lease when
+    present), run the thunk with the standard exception mapping
+    ([Budget.Exhausted] / [Internal_error] / [Stack_overflow] /
+    anything else), attach the obs snapshot (and echo the trace
+    context) when the registry is enabled, and write the single result
+    frame.  Never raises. *)
 
 val run_call :
   input:Unix.file_descr ->

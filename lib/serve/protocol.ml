@@ -12,13 +12,14 @@ type query = {
   samples : int;
 }
 
-type request = Ping | Stats | Shutdown | Query of query
+type request = Ping | Stats | Metrics | Shutdown | Query of query
 
 type reject = Overloaded | Draining | Protocol of string
 
 type reply =
   | Pong
   | Stats_snapshot of Json.t
+  | Metrics_snapshot of Json.t
   | Bye
   | Result of { cached : bool; row : Json.t }
   | Failed of Budget.failure
@@ -30,6 +31,7 @@ let query ?timeout ?node_budget ?(samples = 64) source ~engine ~s =
 let request_to_json = function
   | Ping -> Json.Obj [ ("req", Json.String "ping") ]
   | Stats -> Json.Obj [ ("req", Json.String "stats") ]
+  | Metrics -> Json.Obj [ ("req", Json.String "metrics") ]
   | Shutdown -> Json.Obj [ ("req", Json.String "shutdown") ]
   | Query q ->
       let source =
@@ -52,6 +54,7 @@ let request_of_json json =
   match Json.mem json "req" with
   | Some (Json.String "ping") -> Ok Ping
   | Some (Json.String "stats") -> Ok Stats
+  | Some (Json.String "metrics") -> Ok Metrics
   | Some (Json.String "shutdown") -> Ok Shutdown
   | Some (Json.String "query") -> (
       let field name = Json.mem json name in
@@ -99,6 +102,8 @@ let reply_to_json = function
   | Pong -> Json.Obj [ ("reply", Json.String "pong") ]
   | Stats_snapshot stats ->
       Json.Obj [ ("reply", Json.String "stats"); ("stats", stats) ]
+  | Metrics_snapshot m ->
+      Json.Obj [ ("reply", Json.String "metrics"); ("metrics", m) ]
   | Bye -> Json.Obj [ ("reply", Json.String "bye") ]
   | Result { cached; row } ->
       Json.Obj
@@ -130,6 +135,10 @@ let reply_of_json json =
       match Json.mem json "stats" with
       | Some stats -> Ok (Stats_snapshot stats)
       | None -> Error "stats reply without \"stats\"")
+  | Some (Json.String "metrics") -> (
+      match Json.mem json "metrics" with
+      | Some m -> Ok (Metrics_snapshot m)
+      | None -> Error "metrics reply without \"metrics\"")
   | Some (Json.String "result") -> (
       match
         (Option.bind (Json.mem json "cached") Json.as_bool, Json.mem json "row")

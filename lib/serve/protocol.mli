@@ -30,6 +30,11 @@ type query = {
 type request =
   | Ping  (** liveness probe; answered from the event loop *)
   | Stats  (** counter/gauge snapshot, for monitoring and the CI smoke *)
+  | Metrics
+      (** the full registry exposition: counters, histogram
+          percentiles, gauges, cache hit ratio, uptime — as structured
+          JSON plus a Prometheus-style text rendering ([dmc query
+          --metrics] prints the text for scrapers) *)
   | Shutdown  (** begin a graceful drain, as if SIGTERMed *)
   | Query of query
 
@@ -47,6 +52,9 @@ type reject =
 type reply =
   | Pong
   | Stats_snapshot of Dmc_util.Json.t
+  | Metrics_snapshot of Dmc_util.Json.t
+      (** [{"uptime_s", "cache": {hits, misses, ratio}, "registry":
+          <Export.to_json>, "text": <Export.prometheus>}] *)
   | Bye  (** shutdown acknowledged; drain has begun *)
   | Result of { cached : bool; row : Dmc_util.Json.t }
       (** a bound row ({!Dmc_core.Bounds.row_to_json} shape);

@@ -71,6 +71,7 @@ let put t key row =
 
 let add t key row =
   put t key row;
+  Dmc_obs.Gauge.set g_size (float_of_int (size t));
   save t
 
 let find t key =

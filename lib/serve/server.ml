@@ -6,6 +6,7 @@ module Fault = Dmc_runtime.Fault
 module Engine_job = Dmc_core.Engine_job
 module Counter = Dmc_obs.Counter
 module Gauge = Dmc_obs.Gauge
+module Histogram = Dmc_obs.Histogram
 module Registry = Dmc_obs.Registry
 
 type config = {
@@ -52,6 +53,41 @@ let c_fault_truncate = Counter.make "serve.fault.truncate"
 let c_fault_slow = Counter.make "serve.fault.slow"
 let g_queue = Gauge.make "serve.queue.depth"
 let g_inflight = Gauge.make "serve.inflight"
+let g_hit_ratio = Gauge.make "serve.cache.hit_ratio"
+
+(* Per-request latency, split so queue-wait, engine time and cache
+   lookups are separable in the exposition: microsecond histograms
+   (percentiles ride the registry's log buckets) plus matching spans in
+   the trace. *)
+let h_request = Histogram.make "serve.lat.request_us"
+let h_queue_wait = Histogram.make "serve.lat.queue_wait_us"
+let h_engine = Histogram.make "serve.lat.engine_us"
+let h_cache_lookup = Histogram.make "serve.lat.cache_lookup_us"
+
+let cache_ratio () =
+  let hits = (Registry.counter "serve.cache.hit").Registry.c_value in
+  let misses = (Registry.counter "serve.cache.miss").Registry.c_value in
+  let total = hits + misses in
+  ( hits,
+    misses,
+    if total = 0 then 0. else float_of_int hits /. float_of_int total )
+
+let metrics_json ~started () =
+  let hits, misses, ratio = cache_ratio () in
+  Gauge.set g_hit_ratio ratio;
+  Json.Obj
+    [
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. started));
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int hits);
+            ("misses", Json.Int misses);
+            ("ratio", Json.Float ratio);
+          ] );
+      ("registry", Dmc_obs.Export.to_json ());
+      ("text", Json.String (Dmc_obs.Export.prometheus ()));
+    ]
 
 let stats_json () =
   let counters =
@@ -81,6 +117,7 @@ type conn = {
   cid : int;  (** 1-based accept index — the fault-injection handle *)
   buf : Buffer.t;
   deadline : float;
+  accepted_at : float;  (** registry clock, microseconds *)
   slow : bool;
   truncate : bool;
   mutable state : conn_state;
@@ -136,6 +173,7 @@ let bind_listen path =
 
 let serve cfg =
   Registry.set_enabled true;
+  let started = Unix.gettimeofday () in
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* Own the cache directory before touching the socket or the cache
      file: a second daemon on the same --cache-dir must fail fast with
@@ -161,7 +199,8 @@ let serve cfg =
         Result_cache.create ?dir:cfg.cache_dir ~capacity:cfg.cache_entries ()
       in
       let conns = ref [] in
-      let jobs : (int, conn * string) Hashtbl.t = Hashtbl.create 64 in
+      (* job id -> (connection, cache key, submit instant µs) *)
+      let jobs : (int, conn * string * float) Hashtbl.t = Hashtbl.create 64 in
       let draining = ref false in
       let listen_open = ref true in
       let accepted = ref 0 in
@@ -185,11 +224,17 @@ let serve cfg =
       let send_reply c reply =
         if not c.closed then begin
           (match reply with
-          | Protocol.Pong | Protocol.Stats_snapshot _ | Protocol.Bye
-          | Protocol.Result _ ->
+          | Protocol.Pong | Protocol.Stats_snapshot _
+          | Protocol.Metrics_snapshot _ | Protocol.Bye | Protocol.Result _ ->
               Counter.incr c_reply_ok
           | Protocol.Failed _ | Protocol.Rejected _ ->
               Counter.incr c_reply_error);
+          (let dur = Registry.now_us () -. c.accepted_at in
+           Histogram.observe h_request (int_of_float dur);
+           if Registry.is_enabled () then
+             Registry.add_event ~name:"serve.request"
+               ~attrs:[ ("cid", string_of_int c.cid) ]
+               ~ts_us:c.accepted_at ~dur_us:dur ());
           let bytes = Ipc.encode_frame (Protocol.reply_to_json reply) in
           let bytes =
             if c.truncate then begin
@@ -229,8 +274,26 @@ let serve cfg =
       let on_commit id (outcome : Pool.outcome) =
         match Hashtbl.find_opt jobs id with
         | None -> ()
-        | Some (c, key) -> (
+        | Some (c, key, submitted_us) -> (
             Hashtbl.remove jobs id;
+            (* Separate queue-wait from engine time: the outcome's
+               [elapsed] covers dispatch-to-verdict, so the remainder of
+               submit-to-commit is time spent queued (plus settle
+               overhead). *)
+            (let total_us = Registry.now_us () -. submitted_us in
+             let engine_us = outcome.elapsed *. 1e6 in
+             let queue_us = Float.max 0. (total_us -. engine_us) in
+             Histogram.observe h_queue_wait (int_of_float queue_us);
+             Histogram.observe h_engine (int_of_float engine_us);
+             if Registry.is_enabled () then begin
+               Registry.add_event ~name:"serve.queue_wait"
+                 ~attrs:[ ("job", string_of_int id) ]
+                 ~ts_us:submitted_us ~dur_us:queue_us ();
+               Registry.add_event ~name:"serve.engine"
+                 ~attrs:[ ("job", string_of_int id) ]
+                 ~ts_us:(submitted_us +. queue_us)
+                 ~dur_us:engine_us ()
+             end);
             match outcome.verdict with
             | Pool.Done row ->
                 (* cache before replying: once a client has seen a row,
@@ -265,7 +328,13 @@ let serve cfg =
         | Protocol.Stats ->
             Gauge.set g_queue (float_of_int (Pool.unfinished pool));
             Gauge.set g_inflight (float_of_int (Pool.running pool));
+            let _, _, ratio = cache_ratio () in
+            Gauge.set g_hit_ratio ratio;
             send_reply c (Protocol.Stats_snapshot (stats_json ()))
+        | Protocol.Metrics ->
+            Gauge.set g_queue (float_of_int (Pool.unfinished pool));
+            Gauge.set g_inflight (float_of_int (Pool.running pool));
+            send_reply c (Protocol.Metrics_snapshot (metrics_json ~started ()))
         | Protocol.Shutdown ->
             send_reply c Protocol.Bye;
             begin_drain ()
@@ -287,7 +356,15 @@ let serve cfg =
                     }
                   in
                   let key = Cache_key.of_job job in
-                  match Result_cache.find cache key with
+                  let lookup_t0 = Registry.now_us () in
+                  let found = Result_cache.find cache key in
+                  (let dur = Registry.now_us () -. lookup_t0 in
+                   Histogram.observe h_cache_lookup (int_of_float dur);
+                   if Registry.is_enabled () then
+                     Registry.add_event ~name:"serve.cache_lookup"
+                       ~attrs:[ ("cid", string_of_int c.cid) ]
+                       ~ts_us:lookup_t0 ~dur_us:dur ());
+                  match found with
                   | Some row ->
                       send_reply c (Protocol.Result { cached = true; row })
                   | None ->
@@ -298,7 +375,7 @@ let serve cfg =
                       else begin
                         Counter.incr c_compute;
                         let id = Pool.submit pool job in
-                        Hashtbl.replace jobs id (c, key);
+                        Hashtbl.replace jobs id (c, key, Registry.now_us ());
                         c.state <- Computing
                       end))
       in
@@ -358,6 +435,7 @@ let serve cfg =
                     cid;
                     buf = Buffer.create 256;
                     deadline = Budget.now () +. cfg.read_timeout;
+                    accepted_at = Registry.now_us ();
                     slow;
                     truncate = sf = Some Fault.Truncate;
                     state = Reading;

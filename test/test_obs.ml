@@ -182,6 +182,247 @@ let test_chrome_trace_failed_rung =
       check_bool "at least one rung span with an outcome" true !found)
 
 (* ------------------------------------------------------------------ *)
+(* Source lanes and instant events (the fleet-trace machinery)         *)
+
+let test_source_lanes =
+  with_registry (fun () ->
+      check "lane 0 is this process" 0 (Registry.source "dmc");
+      let a = Registry.source "hostA" in
+      let b = Registry.source "hostB" in
+      check_bool "fresh lanes are distinct and nonzero" true
+        (a <> b && a > 0 && b > 0);
+      check "registration is idempotent" a (Registry.source "hostA");
+      check_string "lane name round-trips" "hostA"
+        (Option.get (Registry.source_name a));
+      (* a local span stays on lane 0; a merged worker span lands on
+         its host's lane, and the Chrome export gives each lane its
+         own pid with process_name metadata *)
+      Span.with_ "local.work" (fun () -> ());
+      (* merging this registry's own snapshot under [~src:a] plants a
+         copy of the span on the host lane while the original stays on
+         lane 0 — the fork boundary without the fork *)
+      Registry.merge_snapshot ~tid:1 ~src:a (Registry.snapshot_json ());
+      let doc =
+        match Json.parse (Json.to_string (Export.chrome_trace ())) with
+        | Ok d -> d
+        | Error m -> Alcotest.failf "chrome trace is not valid JSON: %s" m
+      in
+      let events =
+        match Json.mem doc "traceEvents" with
+        | Some (Json.List es) -> es
+        | _ -> Alcotest.fail "traceEvents missing"
+      in
+      let pids_of ph_kind =
+        List.filter_map
+          (fun e ->
+            match (Json.mem e "ph", Json.mem e "pid") with
+            | Some (Json.String k), Some (Json.Int pid) when k = ph_kind ->
+                Some pid
+            | _ -> None)
+          events
+      in
+      let slice_pids = List.sort_uniq compare (pids_of "X") in
+      check_bool "slices appear on lane 0 and the host lane" true
+        (List.mem 0 slice_pids && List.mem a slice_pids);
+      let proc_names =
+        List.filter_map
+          (fun e ->
+            match (Json.mem e "ph", Json.mem e "name") with
+            | Some (Json.String "M"), Some (Json.String "process_name") ->
+                Option.bind (Json.mem e "args") (fun args ->
+                    match (Json.mem args "name", Json.mem e "pid") with
+                    | Some (Json.String n), Some (Json.Int pid) ->
+                        Some (pid, n)
+                    | _ -> None)
+            | _ -> None)
+          events
+      in
+      check_string "lane 0 named dmc" "dmc"
+        (Option.get (List.assoc_opt 0 proc_names));
+      check_string "host lane named after the host" "hostA"
+        (Option.get (List.assoc_opt a proc_names)))
+
+let test_instant_events =
+  with_registry (fun () ->
+      Registry.add_event ~name:"host.quarantine"
+        ~attrs:[ ("ph", "i"); ("verdict", "dead") ]
+        ~ts_us:10.0 ~dur_us:0.0
+        ~src:(Registry.source "hostX") ();
+      let doc =
+        match Json.parse (Json.to_string (Export.chrome_trace ())) with
+        | Ok d -> d
+        | Error m -> Alcotest.failf "chrome trace is not valid JSON: %s" m
+      in
+      let events =
+        match Json.mem doc "traceEvents" with
+        | Some (Json.List es) -> es
+        | _ -> Alcotest.fail "traceEvents missing"
+      in
+      let inst =
+        List.find_opt
+          (fun e ->
+            match (Json.mem e "ph", Json.mem e "name") with
+            | Some (Json.String "i"), Some (Json.String "host.quarantine") ->
+                true
+            | _ -> false)
+          events
+      in
+      match inst with
+      | None -> Alcotest.fail "instant event missing from the trace"
+      | Some e ->
+          check_bool "instants carry no dur" true (Json.mem e "dur" = None);
+          (match Json.mem e "s" with
+          | Some (Json.String "p") -> ()
+          | _ -> Alcotest.fail "instant scope must be process");
+          (match Json.mem e "args" with
+          | Some args ->
+              check_bool "ph marker stripped from args" true
+                (Json.mem args "ph" = None);
+              check_bool "real attrs survive" true
+                (Json.mem args "verdict" <> None)
+          | None -> Alcotest.fail "instant lost its args"))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+
+let test_flight_ring =
+  with_registry (fun () ->
+      let restore = Registry.default_flight_capacity in
+      Fun.protect
+        ~finally:(fun () -> Registry.set_flight_capacity restore)
+        (fun () ->
+          Registry.set_flight_capacity 4;
+          for i = 1 to 7 do
+            Registry.flight_note ~kind:"test" ~name:(Printf.sprintf "n%d" i)
+              ~detail:""
+          done;
+          check "total pushed" 7 (Registry.flight_count ());
+          let names =
+            List.map (fun e -> e.Registry.fl_name) (Registry.flight_entries ())
+          in
+          Alcotest.(check (list string))
+            "ring keeps the most recent, oldest first"
+            [ "n4"; "n5"; "n6"; "n7" ] names;
+          let ts = List.map (fun e -> e.Registry.fl_ts) (Registry.flight_entries ()) in
+          check_bool "timestamps non-decreasing" true
+            (List.sort compare ts = ts)))
+
+let test_flight_disabled () =
+  Registry.reset ();
+  Registry.set_enabled false;
+  Registry.flight_note ~kind:"test" ~name:"off" ~detail:"";
+  check "disabled recorder stays empty" 0 (Registry.flight_count ())
+
+let test_flight_span_autonote =
+  with_registry (fun () ->
+      Span.with_ "work.unit" (fun () -> ());
+      let spans =
+        List.filter
+          (fun e -> e.Registry.fl_kind = "span")
+          (Registry.flight_entries ())
+      in
+      match spans with
+      | [ e ] -> check_string "span close auto-noted" "work.unit" e.Registry.fl_name
+      | l -> Alcotest.failf "expected 1 span note, got %d" (List.length l))
+
+let test_flight_dump_and_write =
+  with_registry (fun () ->
+      Counter.add (Counter.make "test.flight.counter") 3;
+      Registry.flight_note ~kind:"verdict" ~name:"job0" ~detail:"crashed";
+      let doc =
+        Dmc_obs.Flight.dump ~reason:"crashed: SIGKILL"
+          ~attrs:[ ("job", "0") ] ()
+      in
+      (match Json.mem doc "kind" with
+      | Some (Json.String "dmc-postmortem") -> ()
+      | _ -> Alcotest.fail "dump kind tag");
+      (match Json.mem doc "reason" with
+      | Some (Json.String "crashed: SIGKILL") -> ()
+      | _ -> Alcotest.fail "dump reason");
+      (match Json.mem doc "flight" with
+      | Some (Json.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail "dump flight ring empty");
+      (match Json.mem doc "counters" with
+      | Some (Json.Obj cs) ->
+          check_bool "non-zero counters dumped" true
+            (List.mem_assoc "test.flight.counter" cs)
+      | _ -> Alcotest.fail "dump counters");
+      let dir = Filename.temp_file "dmc-flight" "" in
+      Sys.remove dir;
+      match
+        Dmc_obs.Flight.write ~dir ~slug:"job0-attempt1"
+          ~reason:"crashed: SIGKILL" ~attrs:[] ()
+      with
+      | Error m -> Alcotest.failf "flight write failed: %s" m
+      | Ok path ->
+          check_bool "file lands in dir" true
+            (Filename.dirname path = dir && Sys.file_exists path);
+          (match Dmc_util.Checkpoint.load path with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "postmortem is not valid JSON: %s" m);
+          Sys.remove path;
+          Unix.rmdir dir)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+
+let test_prometheus_text =
+  with_registry (fun () ->
+      Counter.add (Counter.make "serve.cache.hit") 3;
+      List.iter
+        (Dmc_obs.Histogram.observe
+           (Dmc_obs.Histogram.make "serve.lat.request_us"))
+        [ 10; 100; 1000 ];
+      Dmc_obs.Gauge.set (Dmc_obs.Gauge.make "serve.queue.depth") 2.0;
+      let text = Export.prometheus () in
+      let lines =
+        String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+      in
+      check_bool "non-empty exposition" true (lines <> []);
+      List.iter
+        (fun line ->
+          if String.length line > 0 && line.[0] <> '#' then begin
+            (* every sample line is exactly "name[{labels}] value" *)
+            match String.index_opt line ' ' with
+            | None -> Alcotest.failf "sample line without a value: %S" line
+            | Some i ->
+                let value = String.sub line (i + 1) (String.length line - i - 1) in
+                check_bool
+                  (Printf.sprintf "value parses as float: %S" line)
+                  true
+                  (float_of_string_opt value <> None);
+                String.iter
+                  (fun c ->
+                    let name_char =
+                      (c >= 'a' && c <= 'z')
+                      || (c >= 'A' && c <= 'Z')
+                      || (c >= '0' && c <= '9')
+                      || c = '_' || c = ':' || c = '{' || c = '}'
+                      || c = '"' || c = '=' || c = '.' || c = ','
+                    in
+                    if not name_char then
+                      Alcotest.failf "bad metric name byte %C in %S" c line)
+                  (String.sub line 0 i)
+          end)
+        lines;
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun needle -> check_bool needle true (contains text needle))
+        [
+          "# TYPE dmc_serve_cache_hit counter";
+          "dmc_serve_cache_hit 3";
+          "# TYPE dmc_serve_lat_request_us summary";
+          "quantile=\"0.5\"";
+          "dmc_serve_lat_request_us_count 3";
+          "# TYPE dmc_serve_queue_depth gauge";
+          "dmc_serve_queue_depth 2";
+        ])
+
+(* ------------------------------------------------------------------ *)
 (* Snapshot / merge round-trip (the fork boundary without the fork)    *)
 
 let test_snapshot_merge =
@@ -201,6 +442,30 @@ let test_snapshot_merge =
       match !merged with
       | None -> Alcotest.fail "merged span not found"
       | Some e -> check "merged span carries worker tid" 3 e.Registry.ev_tid)
+
+let test_merge_shift =
+  with_registry (fun () ->
+      (* Command workers live in their own epoch; the supervisor
+         rebases their spans by the dispatch instant.  The shift must
+         move timestamps and nothing else. *)
+      Span.with_ "child.work" (fun () -> ());
+      let ts0 = ref nan in
+      Registry.iter_events (fun e ->
+          if e.Registry.ev_name = "child.work" then ts0 := e.Registry.ev_ts);
+      let snap = Registry.snapshot_json () in
+      Registry.reset ();
+      Registry.merge_snapshot ~tid:2 ~shift_us:5000.0 snap;
+      let merged = ref None in
+      Registry.iter_events (fun e ->
+          if e.Registry.ev_name = "child.work" then merged := Some e);
+      match !merged with
+      | None -> Alcotest.fail "shifted span not found"
+      | Some e ->
+          Alcotest.(check (float 1e-6))
+            "timestamp rebased by the shift" (!ts0 +. 5000.0)
+            e.Registry.ev_ts;
+          check "unshifted merge defaults to src 0... tid still set" 2
+            e.Registry.ev_tid)
 
 let test_merge_malformed =
   with_registry (fun () ->
@@ -489,7 +754,28 @@ let () =
       ( "merge",
         [
           Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_merge;
+          Alcotest.test_case "epoch shift rebases spans" `Quick test_merge_shift;
           Alcotest.test_case "malformed snapshot ignored" `Quick test_merge_malformed;
+        ] );
+      ( "lanes",
+        [
+          Alcotest.test_case "per-host lanes in the chrome trace" `Quick
+            test_source_lanes;
+          Alcotest.test_case "instant events render as ph:i" `Quick
+            test_instant_events;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "bounded ring keeps the tail" `Quick test_flight_ring;
+          Alcotest.test_case "disabled is free" `Quick test_flight_disabled;
+          Alcotest.test_case "span close auto-notes" `Quick
+            test_flight_span_autonote;
+          Alcotest.test_case "postmortem dump and write" `Quick
+            test_flight_dump_and_write;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "text exposition parses" `Quick test_prometheus_text;
         ] );
       ( "ipc",
         [ Alcotest.test_case "length cap precedes allocation" `Quick test_ipc_oversized_cap ] );

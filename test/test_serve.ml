@@ -74,6 +74,7 @@ let test_protocol_roundtrips () =
     [
       Protocol.Ping;
       Protocol.Stats;
+      Protocol.Metrics;
       Protocol.Shutdown;
       Protocol.query (Protocol.Spec "diamond:4,4") ~engine:"wavefront" ~s:8;
       Protocol.query ~timeout:2.5 ~node_budget:100 ~samples:16
@@ -84,6 +85,8 @@ let test_protocol_roundtrips () =
       Protocol.Pong;
       Protocol.Bye;
       Protocol.Stats_snapshot (Json.Obj [ ("counters", Json.Obj []) ]);
+      Protocol.Metrics_snapshot
+        (Json.Obj [ ("uptime_s", Json.Float 1.5); ("text", Json.String "x 1") ]);
       Protocol.Result { cached = true; row = Json.Obj [ ("value", Json.Int 6) ] };
       Protocol.Failed Budget.Timeout;
       Protocol.Failed (Budget.Invalid_input "nope");
@@ -327,6 +330,70 @@ let test_server_query_and_cache () =
   | _ -> Alcotest.fail "stats");
   shutdown_server socket pid
 
+let test_server_metrics () =
+  let socket = temp_sock () in
+  let pid = fork_server ~socket () in
+  (match rpc socket (graph_query ()) with
+  | Protocol.Result { cached = false; _ } -> ()
+  | _ -> Alcotest.fail "first query should compute");
+  (match rpc socket (graph_query ()) with
+  | Protocol.Result { cached = true; _ } -> ()
+  | _ -> Alcotest.fail "second query should hit the cache");
+  (match rpc socket Protocol.Metrics with
+  | Protocol.Metrics_snapshot m ->
+      (match Option.bind (Json.mem m "uptime_s") Json.as_float with
+      | Some up -> check_bool "uptime non-negative" true (up >= 0.)
+      | None -> Alcotest.fail "metrics missing uptime_s");
+      let cache_field name =
+        Option.bind (Json.mem m "cache") (fun c -> Json.mem c name)
+      in
+      check_bool "one hit, one miss" true
+        (Option.bind (cache_field "hits") Json.as_int = Some 1
+        && Option.bind (cache_field "misses") Json.as_int = Some 1);
+      (match Option.bind (cache_field "ratio") Json.as_float with
+      | Some r -> check_bool "ratio is hits/total" true (abs_float (r -. 0.5) < 1e-9)
+      | None -> Alcotest.fail "metrics missing cache ratio");
+      (match Json.mem m "registry" with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.fail "metrics missing registry snapshot");
+      let text =
+        match Option.bind (Json.mem m "text") Json.as_string with
+        | Some t -> t
+        | None -> Alcotest.fail "metrics missing text exposition"
+      in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun needle ->
+          check_bool ("exposition has " ^ needle) true (contains text needle))
+        [
+          "# TYPE dmc_serve_cache_hit counter";
+          "# TYPE dmc_serve_lat_request_us summary";
+          "# TYPE dmc_serve_cache_hit_ratio gauge";
+          "dmc_serve_cache_hit_ratio 0.5";
+        ];
+      (* every non-comment line must be exactly "name value" with a
+         float-parseable value — the contract a scraper relies on *)
+      List.iter
+        (fun line ->
+          if line <> "" && line.[0] <> '#' then
+            match String.index_opt line ' ' with
+            | None -> Alcotest.failf "sample line without a value: %S" line
+            | Some i ->
+                let v = String.sub line (i + 1) (String.length line - i - 1) in
+                check_bool
+                  (Printf.sprintf "value parses: %S" line)
+                  true
+                  (float_of_string_opt v <> None))
+        (String.split_on_char '\n' text)
+  | _ -> Alcotest.fail "metrics request should return a snapshot");
+  shutdown_server socket pid
+
 let test_server_typed_errors () =
   let socket = temp_sock () in
   let pid = fork_server ~socket ~read_timeout:0.4 () in
@@ -480,6 +547,7 @@ let () =
         [
           Alcotest.test_case "query, cache, stats" `Quick
             test_server_query_and_cache;
+          Alcotest.test_case "metrics exposition" `Quick test_server_metrics;
           Alcotest.test_case "typed errors, daemon survives" `Quick
             test_server_typed_errors;
           Alcotest.test_case "bounded admission" `Quick test_server_overload;

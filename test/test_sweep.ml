@@ -168,11 +168,22 @@ let test_envelope_roundtrip () =
   (match
      Transport.parse_envelope (Transport.envelope ~hb:true ~fault:None job)
    with
-  | Ok (j, hb, fault) ->
+  | Ok { Transport.job = j; hb; obs; trace; fault } ->
       check_bool "job survives" true (j = job);
       check_bool "hb survives" true hb;
+      check_bool "obs defaults off" false obs;
+      check_bool "no trace by default" true (trace = None);
       check_bool "no fault" true (fault = None)
   | Error e -> Alcotest.fail e);
+  (let tr = { Transport.run = "r1"; host = "h"; lease = "0:1" } in
+   match
+     Transport.parse_envelope
+       (Transport.envelope ~hb:false ~obs:true ~trace:tr ~fault:None job)
+   with
+   | Ok { Transport.obs; trace; _ } ->
+       check_bool "obs survives" true obs;
+       check_bool "trace survives" true (trace = Some tr)
+   | Error e -> Alcotest.fail e);
   must_error "non-envelope refused"
     (Transport.parse_envelope (Json.Obj [ ("kind", Json.String "x") ]));
   must_error "wrong version refused"
@@ -476,6 +487,60 @@ let test_pool_all_hosts_poisoned () =
          | _ -> false)
        outcomes)
 
+let test_pool_postmortem_dump () =
+  (* A garbage host poisons itself; with the flight recorder armed,
+     every protocol-broken attempt must leave a postmortem file, and
+     the quarantine must land in the span buffer as an instant event
+     on the host's lane. *)
+  let dir = temp_dir () in
+  let script = garbage_worker dir in
+  let pm_dir = Filename.concat dir "pm" in
+  let bad =
+    Host.remote ~policy:fast_policy ~name:"liar-pm" ~capacity:1
+      ~argv:[ "/bin/sh"; script ] ()
+  in
+  let local = Host.local ~capacity:2 () in
+  Dmc_obs.Registry.reset ();
+  Dmc_obs.Registry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Dmc_obs.Registry.set_enabled false)
+    (fun () ->
+      let (_ : Pool.outcome array) =
+        Pool.run ~hosts:[ bad; local ]
+          ~encode:(fun j -> j)
+          { fast_cfg with postmortem_dir = Some pm_dir }
+          ~worker:(fun i _ -> Ok (Json.Int i))
+          (jobs 4)
+      in
+      let dumps =
+        Sys.readdir pm_dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f >= 11 && String.sub f 0 11 = "postmortem-")
+      in
+      check_bool "at least one postmortem dump" true (dumps <> []);
+      (match
+         Dmc_util.Checkpoint.load (Filename.concat pm_dir (List.hd dumps))
+       with
+      | Error m -> Alcotest.failf "postmortem unreadable: %s" m
+      | Ok doc ->
+          (match Json.mem doc "kind" with
+          | Some (Json.String "dmc-postmortem") -> ()
+          | _ -> Alcotest.fail "postmortem kind tag");
+          (match Json.mem doc "flight" with
+          | Some (Json.List (_ :: _)) -> ()
+          | _ -> Alcotest.fail "postmortem flight ring empty"));
+      let quarantine_instant = ref false in
+      Dmc_obs.Registry.iter_events (fun e ->
+          if
+            e.Dmc_obs.Registry.ev_name = "host.quarantine"
+            && List.assoc_opt "ph" e.Dmc_obs.Registry.ev_attrs = Some "i"
+            && e.Dmc_obs.Registry.ev_src = Dmc_obs.Registry.source "liar-pm"
+          then quarantine_instant := true);
+      check_bool "quarantine instant on the host's lane" true
+        !quarantine_instant;
+      check_bool "quarantine interval logged on the host" true
+        (bad.Host.quarantine_log <> []))
+
 (* ------------------------------------------------------------------ *)
 (* Determinism through the real worker binary                          *)
 
@@ -527,6 +592,78 @@ let test_remote_report_matches_local () =
   check_str "remote fleet report is byte-identical to local" local_report
     remote_report
 
+let test_remote_obs_counters_match_local () =
+  (* The obs snapshot crosses the command transport inside the result
+     frame; merged engine counters must come out byte-identical to a
+     local-fork run.  Scheduling counters ([pool.] prefix) and
+     per-host attribution ([sweep.host.] prefix) are run-shape, not
+     work, so they are stripped before the comparison. *)
+  if not (Sys.file_exists dmc_exe) then
+    Alcotest.fail ("worker binary missing: " ^ dmc_exe);
+  let grid =
+    fail_result
+      (Sweep.make
+         ~specs:[ "jacobi1d:{n},3" ]
+         ~sizes:[ 6; 8 ] ~ss:[ 4 ]
+         ~engines:[ "floor"; "lru" ]
+         ())
+  in
+  let rows = Sweep.rows grid in
+  let counters_with hosts =
+    let pool_jobs = List.map (fun r -> fail_result (Sweep.job grid r)) rows in
+    Dmc_obs.Registry.reset ();
+    Dmc_obs.Registry.set_enabled true;
+    Fun.protect
+      ~finally:(fun () -> Dmc_obs.Registry.set_enabled false)
+      (fun () ->
+        let (_ : Pool.outcome array) =
+          Pool.run ~hosts
+            ~encode:Dmc_core.Engine_job.to_json
+            { fast_cfg with max_retries = 2 }
+            ~worker:(fun _ j -> Dmc_core.Engine_job.run j)
+            pool_jobs
+        in
+        let work_sum =
+          Dmc_obs.Registry.fold_counters
+            (fun acc c ->
+              let name = c.Dmc_obs.Registry.c_name in
+              let prefixed p =
+                String.length name >= String.length p
+                && String.sub name 0 (String.length p) = p
+              in
+              if prefixed "pool." || prefixed "sweep.host." then acc
+              else acc + c.Dmc_obs.Registry.c_value)
+            0
+        in
+        (Dmc_obs.Export.counters_table (), work_sum))
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let strip_run_shape table =
+    String.split_on_char '\n' table
+    |> List.filter (fun line ->
+           not (contains line "pool." || contains line "sweep.host."))
+    |> String.concat "\n"
+  in
+  let local_table, local_work =
+    counters_with [ Host.local ~capacity:2 () ]
+  in
+  let remote_table, remote_work =
+    counters_with
+      [
+        Host.remote ~policy:fast_policy ~name:"w1" ~capacity:2
+          ~argv:[ dmc_exe; "worker" ] ();
+      ]
+  in
+  check_bool "workers actually counted engine work" true
+    (local_work > 0 && remote_work > 0);
+  check_str "merged work counters are byte-identical across transports"
+    (strip_run_shape local_table)
+    (strip_run_shape remote_table)
+
 let () =
   Alcotest.run "dmc_sweep"
     [
@@ -567,11 +704,15 @@ let () =
             test_pool_failover_to_local;
           Alcotest.test_case "garbage host poisoned" `Quick
             test_pool_garbage_host_poisoned;
+          Alcotest.test_case "postmortem dump and quarantine instant" `Quick
+            test_pool_postmortem_dump;
           Alcotest.test_case "all hosts poisoned" `Quick
             test_pool_all_hosts_poisoned;
         ] );
       ( "determinism",
         [
+          Alcotest.test_case "remote obs counters match local" `Quick
+            test_remote_obs_counters_match_local;
           Alcotest.test_case "remote report matches local" `Quick
             test_remote_report_matches_local;
         ] );
