@@ -399,6 +399,29 @@ let micro_benchmarks () =
               (Dmc_obs.Gauge.make "serve.queue.depth")
               (float_of_int (96 - !hits));
             !hits) );
+      ( "cdag-build-1m-underhinted",
+        keep (fun () ->
+            (* a million-vertex chain through a 16-slot hint: the
+               amortized-doubling growth path from first push to
+               freeze, tracking the materialization cost the implicit
+               layer avoids *)
+            let b = Dmc_cdag.Cdag.Builder.create ~hint:16 () in
+            let n = 1_000_000 in
+            let first = Dmc_cdag.Cdag.Builder.add_vertex b in
+            let prev = ref first in
+            for _ = 2 to n do
+              let v = Dmc_cdag.Cdag.Builder.add_vertex b in
+              Dmc_cdag.Cdag.Builder.add_edge b !prev v;
+              prev := v
+            done;
+            Dmc_cdag.Cdag.Builder.freeze b) );
+      ( "implicit-materialize-window-1m",
+        (let imp = Dmc_gen.Implicit_gen.jacobi_1d ~n:125_000 ~steps:7 in
+         keep (fun () ->
+             (* a 64k-vertex window out of a million-vertex implicit
+               jacobi: the tile-sized bridge the symbolic engine and
+               the streaming sweeps pay per window *)
+             Dmc_cdag.Implicit.window imp ~lo:500_000 ~hi:565_536)) );
       ( "symbolic-parse-eval",
         keep (fun () ->
             match Dmc_symbolic.Expr.parse "n^d * T / (4 * P * (2 * S)^(1 / d))" with

@@ -112,7 +112,8 @@ let file_arg =
          ~doc:"Read the CDAG from a text-format file (see Dmc_cdag.Serialize).")
 
 let s_arg =
-  Arg.(value & opt int 8 & info [ "s" ] ~docv:"S" ~doc:"Fast-memory capacity in words.")
+  Arg.(value & opt int 8
+       & info [ "s"; "S" ] ~docv:"S" ~doc:"Fast-memory capacity in words.")
 
 let timeout_arg =
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
@@ -273,9 +274,28 @@ let print_engine_list () =
       Format.printf "  %-12s %-6s %s@." e.name (kind_str e.kind) e.doc)
     Dmc_core.Mp_bounds.engines
 
+let print_symbolic_bound (b : Dmc_core.Symbolic_bounds.t) =
+  let module Sb = Dmc_core.Symbolic_bounds in
+  Format.printf "symbolic lower bound for %s (S=%d, tile=%d):@." b.Sb.spec
+    b.Sb.s b.Sb.tile;
+  Format.printf "  instance: n=%d, %d vertices (never materialized)@."
+    b.Sb.size b.Sb.n_vertices;
+  Format.printf "  LB(n) = %s@." (Dmc_symbolic.Expr.to_string b.Sb.formula);
+  Format.printf "  LB    = %d@." b.Sb.value;
+  List.iter
+    (fun c ->
+      Format.printf "  class %-14s x %-10d bound=%-8d count(n)=%s@."
+        c.Sb.cls_name c.Sb.cls_count_now c.Sb.cls_bound
+        (Dmc_symbolic.Expr.to_string c.Sb.cls_count))
+    b.Sb.classes;
+  match b.Sb.dropped with
+  | Some d -> Format.printf "  dropped: %s@." d
+  | None -> ()
+
 let bounds_cmd =
   let run spec file s optimal certify json timeout node_budget governed jobs
-      job_timeout retries fault trace profile progress list_engines p =
+      job_timeout retries fault trace profile progress list_engines p symbolic
+      tile stream window =
     setup_logs ();
     guarded @@ fun () ->
     if list_engines then begin
@@ -284,6 +304,67 @@ let bounds_cmd =
     end;
     install_interrupt_handlers ();
     setup_obs ~trace ~profile;
+    if symbolic then begin
+      (* the whole point is never materializing, so only --gen specs
+         make sense here; the spec is parsed, not built *)
+      let spec =
+        match (spec, file) with
+        | Some sp, None -> sp
+        | _ ->
+            failwith
+              "--symbolic requires --gen SPEC (and no --file): the instance \
+               is never materialized"
+      in
+      (match Dmc_core.Symbolic_bounds.bound ?tile ~spec ~s () with
+      | Error m -> failwith m
+      | Ok b ->
+          if json then
+            print_endline
+              (Dmc_util.Json.to_string (Dmc_core.Symbolic_bounds.to_json b))
+          else print_symbolic_bound b);
+      emit_obs ~trace ~profile;
+      exit 0
+    end;
+    if stream then begin
+      let spec =
+        match (spec, file) with
+        | Some sp, None -> sp
+        | _ ->
+            failwith
+              "--stream requires --gen SPEC (and no --file): the graph is \
+               enumerated window by window, never held whole"
+      in
+      let imp =
+        match Dmc_gen.Workload.parse_implicit spec with
+        | Ok imp -> imp
+        | Error m -> failwith m
+      in
+      let r =
+        if jobs > 1 then
+          Dmc_core.Streaming.wavefront_sum_pooled ?window ?timeout ~jobs imp ~s
+        else Dmc_core.Streaming.wavefront_sum ?window imp ~s
+      in
+      (if json then
+         print_endline
+           (Dmc_util.Json.to_string
+              (Dmc_util.Json.Obj
+                 [
+                   ("kind", Dmc_util.Json.String "dmc-stream-bound");
+                   ("spec", Dmc_util.Json.String spec);
+                   ("s", Dmc_util.Json.Int s);
+                   ("total", Dmc_util.Json.Int r.Dmc_core.Streaming.total);
+                   ("windows", Dmc_util.Json.Int r.Dmc_core.Streaming.n_windows);
+                   ("degraded", Dmc_util.Json.Int r.Dmc_core.Streaming.degraded);
+                 ]))
+       else
+         Format.printf
+           "streamed wavefront bound for %s (S=%d):@.  LB >= %d  (%d windows, \
+            %d degraded)@."
+           spec s r.Dmc_core.Streaming.total r.Dmc_core.Streaming.n_windows
+           r.Dmc_core.Streaming.degraded);
+      emit_obs ~trace ~profile;
+      exit 0
+    end;
     let faults = parse_faults fault in
     let g = load_cdag ~spec ~file in
     (* A resource budget switches to the governed path: every engine
@@ -391,11 +472,41 @@ let bounds_cmd =
                  processors (per-processor capacity -s) instead of the \
                  sequential engines.")
   in
+  let symbolic =
+    Arg.(value & flag & info [ "symbolic" ]
+           ~doc:"Symbolic recombination: split the (regular) generator into \
+                 isomorphism classes of tiles, bound one representative per \
+                 class with the wavefront engine, and recombine the counts \
+                 into a closed form in n.  The instance is never \
+                 materialized, so billion-node specs return in seconds.  \
+                 Requires $(b,--gen); supports chain, tree, diamond \
+                 (square), fft and jacobi1d/2d/3d.  The value agrees \
+                 exactly with the materialized engine wherever both run.")
+  in
+  let tile_arg =
+    Arg.(value & opt (some int) None & info [ "tile" ] ~docv:"W"
+           ~doc:"Tile width for $(b,--symbolic) (butterfly stages per band \
+                 for fft).  Defaults scale with -s.")
+  in
+  let stream =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Streamed Theorem-2 sweep: enumerate the (implicit) \
+                 generator window by window, bound each window with the \
+                 wavefront engine, and sum.  Memory stays proportional to \
+                 one window; $(b,--jobs) fans the windows over fork \
+                 workers with byte-identical totals at any width.  \
+                 Requires $(b,--gen).")
+  in
+  let window_arg =
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"N"
+           ~doc:"Window size in vertices for $(b,--stream) (default 4096).")
+  in
   Cmd.v (Cmd.info "bounds" ~doc:"Lower/upper-bound analysis of a CDAG")
     Term.(const run $ spec_arg $ file_arg $ s_arg $ optimal $ certify $ json
           $ timeout_arg $ node_budget_arg $ governed $ jobs_arg
           $ job_timeout_arg $ retries_arg $ fault_arg $ trace_arg
-          $ profile_arg $ progress_arg $ list_engines $ p_arg)
+          $ profile_arg $ progress_arg $ list_engines $ p_arg $ symbolic
+          $ tile_arg $ stream $ window_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dmc game                                                           *)

@@ -51,6 +51,11 @@ let experiments : Experiment.t list =
       doc_of_parts = Tradeoff.doc_of_parts;
     };
     {
+      name = "symscale";
+      parts = Symscale.parts;
+      doc_of_parts = Symscale.doc_of_parts;
+    };
+    {
       name = "validate";
       parts = Validate.validate_parts;
       doc_of_parts = Validate.validate_doc_of_parts;

@@ -1,0 +1,12 @@
+(** E-SYMSCALE: closed-form lower-bound curves from symbolic
+    recombination, extending to n = 10^9 (jacobi1d) and 2^30 rows
+    (fft) — sizes no frozen-CSR engine can touch — cross-validated
+    exactly against the materialized numeric reference wherever both
+    paths run, plus a windowed implicit-wavefront liveness check.
+
+    Deterministic end to end: the document is byte-stable across runs,
+    worker shardings and checkpoint reloads. *)
+
+val parts : Experiment.part list
+
+val doc_of_parts : Dmc_util.Json.t list -> Doc.t

@@ -120,25 +120,35 @@ let check_acyclic n succ_off succ pred_off =
   if !seen <> n then invalid_arg "Cdag: edge relation has a cycle"
 
 module Builder = struct
+  (* [hint] is advisory: every store — the parallel edge lists and the
+     label table — grows by doubling when the hint undershoots, so a
+     build with a wrong (or default) hint stays amortized O(1) per
+     vertex/edge instead of degrading to repeated full copies. *)
   type t = {
     mutable nv : int;
     srcs : Intvec.t;  (* parallel edge lists *)
     dsts : Intvec.t;
-    mutable labels : string list; (* reversed *)
+    mutable labels : string array;  (* first [nv] entries valid *)
   }
 
   let create ?(hint = 16) () =
+    let hint = max 1 hint in
     {
       nv = 0;
       srcs = Intvec.create ~initial_capacity:(4 * hint) ();
       dsts = Intvec.create ~initial_capacity:(4 * hint) ();
-      labels = [];
+      labels = Array.make hint "";
     }
 
   let add_vertex ?(label = "") b =
     let v = b.nv in
+    if v = Array.length b.labels then begin
+      let bigger = Array.make (2 * v) "" in
+      Array.blit b.labels 0 bigger 0 v;
+      b.labels <- bigger
+    end;
+    b.labels.(v) <- label;
     b.nv <- v + 1;
-    b.labels <- label :: b.labels;
     v
 
   let add_edge b u v =
@@ -231,6 +241,6 @@ module Builder = struct
     in
     tag "input" input_set inputs;
     tag "output" output_set outputs;
-    let labels = Array.of_list (List.rev b.labels) in
+    let labels = Array.sub b.labels 0 n in
     { n; succ_off; succ; pred_off; pred; input_set; output_set; labels }
 end

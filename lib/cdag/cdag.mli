@@ -29,7 +29,11 @@ module Builder : sig
   type t
 
   val create : ?hint:int -> unit -> t
-  (** Fresh builder; [hint] pre-sizes internal storage. *)
+  (** Fresh builder; [hint] pre-sizes internal storage (the label table
+      for [hint] vertices, the edge lists for [4 * hint] edges).  The
+      hint is advisory: under-hinted builders grow all storage by
+      amortized doubling, so construction stays linear even when the
+      final size exceeds the hint by orders of magnitude. *)
 
   val add_vertex : ?label:string -> t -> vertex
   (** Append a vertex and return its id (ids are consecutive from 0). *)

@@ -1,0 +1,48 @@
+(** Implicit (never-materialized) forms of the regular generators.
+
+    Each function here describes the same CDAG as its namesake in
+    {!Shapes}, {!Fft}, {!Linalg} or {!Stencil} — identical vertex ids,
+    edges, input/output tagging and labels — but as a
+    {!Dmc_cdag.Implicit.t} whose adjacency is pure index arithmetic.
+    Construction is O(1) (plus O(log n) tables for the reduction tree),
+    so sizes far beyond what a frozen CSR can hold (n = 10^9 and up)
+    cost nothing until a consumer actually walks or windows the graph.
+
+    All generators are id-monotone: every edge goes from a lower id to
+    a higher one, and iterators emit neighbors in ascending id order —
+    the contract streaming consumers and {!Dmc_cdag.Implicit.window}
+    rely on.  Sizes that would overflow the OCaml integer range raise
+    [Invalid_argument]. *)
+
+val chain : int -> Dmc_cdag.Implicit.t
+(** Same graph as [Shapes.chain]. *)
+
+val reduction_tree : int -> Dmc_cdag.Implicit.t
+(** Same graph as [Shapes.reduction_tree] (pairwise reduction with odd
+    carry-over); per-level id tables are O(log leaves). *)
+
+val diamond : rows:int -> cols:int -> Dmc_cdag.Implicit.t
+(** Same graph as [Shapes.diamond]. *)
+
+val butterfly : int -> Dmc_cdag.Implicit.t
+(** Same graph as [Fft.butterfly], without its materialization-driven
+    [k <= 24] cap (any [k <= 55] is accepted). *)
+
+val jacobi :
+  ?shape:Stencil.shape ->
+  dims:int list ->
+  steps:int ->
+  unit ->
+  Dmc_cdag.Implicit.t
+(** Same graph as [Stencil.jacobi] (default shape [Star]). *)
+
+val jacobi_1d : n:int -> steps:int -> Dmc_cdag.Implicit.t
+
+val jacobi_2d : n:int -> steps:int -> Dmc_cdag.Implicit.t
+(** Box (9-point) neighborhood, matching [Stencil.jacobi_2d]'s default. *)
+
+val jacobi_3d : n:int -> steps:int -> Dmc_cdag.Implicit.t
+
+val matmul : int -> Dmc_cdag.Implicit.t
+(** Same graph as [Linalg.matmul]: A and B entries, then per-(i,j)
+    multiply/accumulate chains of 2n-1 vertices. *)

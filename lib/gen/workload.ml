@@ -243,3 +243,139 @@ let build_exn name args =
 
 let parse_exn spec =
   match parse spec with Ok g -> g | Error msg -> failwith msg
+
+(* -- implicit registry ------------------------------------------- *)
+
+type implicit_w = {
+  iname : string;
+  iparams : string list;
+  idefaults : int list;
+  idoc : string;
+  ibuild : int list -> Dmc_cdag.Implicit.t;
+}
+
+let implicit_all =
+  [
+    {
+      iname = "chain";
+      iparams = [ "N" ];
+      idefaults = [];
+      idoc = "linear chain of N dependent operations";
+      ibuild = (function [ n ] -> Implicit_gen.chain n | _ -> assert false);
+    };
+    {
+      iname = "tree";
+      iparams = [ "N" ];
+      idefaults = [];
+      idoc = "binary reduction tree over N leaves";
+      ibuild =
+        (function [ n ] -> Implicit_gen.reduction_tree n | _ -> assert false);
+    };
+    {
+      iname = "diamond";
+      iparams = [ "R"; "C" ];
+      idefaults = [];
+      idoc = "R-by-C diamond lattice (fan-out then fan-in)";
+      ibuild =
+        (function
+         | [ r; c ] -> Implicit_gen.diamond ~rows:r ~cols:c | _ -> assert false);
+    };
+    {
+      iname = "fft";
+      iparams = [ "K" ];
+      idefaults = [];
+      idoc = "radix-2 FFT butterfly network on 2^K inputs";
+      ibuild = (function [ k ] -> Implicit_gen.butterfly k | _ -> assert false);
+    };
+    {
+      iname = "matmul";
+      iparams = [ "N" ];
+      idefaults = [];
+      idoc = "classic N^3 dense matrix-multiply DAG";
+      ibuild = (function [ n ] -> Implicit_gen.matmul n | _ -> assert false);
+    };
+    {
+      iname = "jacobi1d";
+      iparams = [ "N"; "T" ];
+      idefaults = [ 8 ];
+      idoc = "1-D 3-point Jacobi stencil, N points, T time steps (default 8)";
+      ibuild =
+        (function
+         | [ n; t ] -> Implicit_gen.jacobi_1d ~n ~steps:t | _ -> assert false);
+    };
+    {
+      iname = "jacobi2d";
+      iparams = [ "N"; "T" ];
+      idefaults = [ 4 ];
+      idoc = "2-D 9-point Jacobi stencil, N^2 points, T time steps (default 4)";
+      ibuild =
+        (function
+         | [ n; t ] -> Implicit_gen.jacobi_2d ~n ~steps:t | _ -> assert false);
+    };
+    {
+      iname = "jacobi3d";
+      iparams = [ "N"; "T" ];
+      idefaults = [ 2 ];
+      idoc = "3-D 7-point Jacobi stencil, N^3 points, T time steps (default 2)";
+      ibuild =
+        (function
+         | [ n; t ] -> Implicit_gen.jacobi_3d ~n ~steps:t | _ -> assert false);
+    };
+  ]
+
+let find_implicit name = List.find_opt (fun w -> w.iname = name) implicit_all
+
+let implicit_names = List.map (fun w -> w.iname) implicit_all
+
+let implicit_signature w = w.iname ^ ":" ^ String.concat "," w.iparams
+
+let build_implicit name args =
+  match find_implicit name with
+  | None ->
+      Error
+        (Printf.sprintf
+           "unknown implicit generator '%s'; known implicit generators: %s"
+           name
+           (String.concat ", " implicit_names))
+  | Some w ->
+      let want = List.length w.iparams
+      and ndef = List.length w.idefaults
+      and got = List.length args in
+      if got > want || got < want - ndef then
+        Error
+          (Printf.sprintf
+             "implicit generator '%s' expects %d-%d parameters (%s), got %d"
+             name (want - ndef) want (implicit_signature w) got)
+      else
+        (* pad missing trailing parameters from the defaults suffix *)
+        let missing = want - got in
+        let pad =
+          let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+          drop (ndef - missing) w.idefaults
+        in
+        (try Ok (w.ibuild (args @ pad))
+         with Invalid_argument msg -> Error msg)
+
+let parse_implicit spec =
+  let name, raw_args =
+    match String.index_opt spec ':' with
+    | None -> (spec, [])
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.split_on_char ','
+            (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  let rec ints acc = function
+    | [] -> Ok (List.rev acc)
+    | a :: rest -> (
+        match int_of_string_opt a with
+        | Some n -> ints (n :: acc) rest
+        | None ->
+            Error
+              (Printf.sprintf
+                 "implicit generator '%s': parameter '%s' is not an integer"
+                 name a))
+  in
+  match ints [] raw_args with
+  | Error _ as e -> e
+  | Ok args -> build_implicit name args

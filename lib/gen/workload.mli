@@ -43,3 +43,36 @@ val build_exn : string -> int list -> Dmc_cdag.Cdag.t
 
 val parse_exn : string -> Dmc_cdag.Cdag.t
 (** {!parse}, raising [Failure] on error. *)
+
+(** {1 Implicit registry}
+
+    The regular generator families are also available in implicit form
+    (see {!Implicit_gen}): same specs, same graphs, no materialization.
+    Trailing parameters may be omitted when the entry declares
+    defaults — e.g. ["jacobi1d:1000000000"] means T = 8 — so
+    billion-point specs read naturally on the CLI. *)
+
+type implicit_w = {
+  iname : string;
+  iparams : string list;
+  idefaults : int list;
+      (** defaults for a suffix of [iparams]; omitted trailing
+          arguments are filled from here *)
+  idoc : string;
+  ibuild : int list -> Dmc_cdag.Implicit.t;  (** full-arity only *)
+}
+
+val implicit_all : implicit_w list
+
+val implicit_names : string list
+
+val find_implicit : string -> implicit_w option
+
+val implicit_signature : implicit_w -> string
+
+val build_implicit : string -> int list -> (Dmc_cdag.Implicit.t, string) result
+(** Arity-checked build with trailing-default padding; generator size
+    errors ([Invalid_argument]) are returned as [Error]. *)
+
+val parse_implicit : string -> (Dmc_cdag.Implicit.t, string) result
+(** Parse a ["name:1,2"] spec against the implicit registry. *)

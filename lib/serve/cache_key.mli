@@ -13,6 +13,26 @@ val version : string
     the key material changes shape: old persisted entries then miss
     instead of replaying a stale format. *)
 
+val spec_version : string
+(** Separate version tag for the spec-keyed space below; bumping either
+    tag invalidates only its own key space. *)
+
+val of_spec :
+  engine:string ->
+  s:int ->
+  timeout:float option ->
+  node_budget:int option ->
+  samples:int ->
+  string ->
+  string
+(** Key for a workload-spec query, digesting the (trimmed) spec string
+    itself plus the engine parameters — the graph is never built, so a
+    repeat query for a named workload is answered from cache without
+    paying materialization.  Spec keys live in their own version space
+    ({!spec_version}): they can never collide with {!of_job} keys, and
+    a spec and its materialized graph are deliberately cached as two
+    entries — the price of never building the graph on the hot path. *)
+
 val of_job : Dmc_core.Engine_job.t -> string
 (** The hex digest naming [job]'s result.  The graph text is
     canonicalized first (parsed and re-serialized) so formatting

@@ -340,34 +340,53 @@ let serve cfg =
             begin_drain ()
         | Protocol.Query q -> (
             if !draining then send_reply c (Protocol.Rejected Protocol.Draining)
-            else
-              match resolve_graph q.source with
-              | Error f -> send_reply c (Protocol.Failed f)
-              | Ok graph -> (
-                  let job =
-                    {
-                      Engine_job.engine = q.engine;
-                      graph;
-                      s = q.s;
-                      p = 1;
-                      timeout = q.timeout;
-                      node_budget = q.node_budget;
-                      samples = q.samples;
-                    }
-                  in
-                  let key = Cache_key.of_job job in
-                  let lookup_t0 = Registry.now_us () in
-                  let found = Result_cache.find cache key in
-                  (let dur = Registry.now_us () -. lookup_t0 in
-                   Histogram.observe h_cache_lookup (int_of_float dur);
-                   if Registry.is_enabled () then
-                     Registry.add_event ~name:"serve.cache_lookup"
-                       ~attrs:[ ("cid", string_of_int c.cid) ]
-                       ~ts_us:lookup_t0 ~dur_us:dur ());
-                  match found with
-                  | Some row ->
-                      send_reply c (Protocol.Result { cached = true; row })
-                  | None ->
+            else begin
+              (* spec-sourced queries are keyed by the spec string, so
+                 the cache is consulted before any graph is built;
+                 inline graphs keep their canonicalized-graph keys *)
+              let key =
+                match q.source with
+                | Protocol.Spec spec ->
+                    Cache_key.of_spec ~engine:q.engine ~s:q.s
+                      ~timeout:q.timeout ~node_budget:q.node_budget
+                      ~samples:q.samples spec
+                | Protocol.Graph graph ->
+                    Cache_key.of_job
+                      {
+                        Engine_job.engine = q.engine;
+                        graph;
+                        s = q.s;
+                        p = 1;
+                        timeout = q.timeout;
+                        node_budget = q.node_budget;
+                        samples = q.samples;
+                      }
+              in
+              let lookup_t0 = Registry.now_us () in
+              let found = Result_cache.find cache key in
+              (let dur = Registry.now_us () -. lookup_t0 in
+               Histogram.observe h_cache_lookup (int_of_float dur);
+               if Registry.is_enabled () then
+                 Registry.add_event ~name:"serve.cache_lookup"
+                   ~attrs:[ ("cid", string_of_int c.cid) ]
+                   ~ts_us:lookup_t0 ~dur_us:dur ());
+              match found with
+              | Some row -> send_reply c (Protocol.Result { cached = true; row })
+              | None -> (
+                  match resolve_graph q.source with
+                  | Error f -> send_reply c (Protocol.Failed f)
+                  | Ok graph ->
+                      let job =
+                        {
+                          Engine_job.engine = q.engine;
+                          graph;
+                          s = q.s;
+                          p = 1;
+                          timeout = q.timeout;
+                          node_budget = q.node_budget;
+                          samples = q.samples;
+                        }
+                      in
                       if Pool.unfinished pool >= cfg.max_inflight then begin
                         Counter.incr c_reject_overloaded;
                         send_reply c (Protocol.Rejected Protocol.Overloaded)
@@ -377,7 +396,8 @@ let serve cfg =
                         let id = Pool.submit pool job in
                         Hashtbl.replace jobs id (c, key, Registry.now_us ());
                         c.state <- Computing
-                      end))
+                      end)
+            end)
       in
       (* Try to complete (and answer) the request frame in [c.buf]. *)
       let feed c =

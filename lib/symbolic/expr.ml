@@ -9,12 +9,14 @@ type t =
   | Neg of t
   | Sqrt of t
   | Log2 of t
+  | Floor of t
   | Min of t * t
   | Max of t * t
 
 let const x = Const x
 let int n = Const (float_of_int n)
 let var s = Var s
+let floor_ e = Floor e
 let ( + ) a b = Add (a, b)
 let ( - ) a b = Sub (a, b)
 let ( * ) a b = Mul (a, b)
@@ -41,6 +43,7 @@ let rec eval ~env e =
   | Neg a -> -.ev a
   | Sqrt a -> sqrt (ev a)
   | Log2 a -> log (ev a) /. log 2.0
+  | Floor a -> Float.floor (ev a)
   | Min (a, b) -> Float.min (ev a) (ev b)
   | Max (a, b) -> Float.max (ev a) (ev b)
 
@@ -51,7 +54,7 @@ let vars e =
     | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Pow (a, b)
     | Min (a, b) | Max (a, b) ->
         go (go acc a) b
-    | Neg a | Sqrt a | Log2 a -> go acc a
+    | Neg a | Sqrt a | Log2 a | Floor a -> go acc a
   in
   List.sort_uniq compare (go [] e)
 
@@ -68,6 +71,7 @@ let rec subst ~env e =
   | Neg a -> Neg (s a)
   | Sqrt a -> Sqrt (s a)
   | Log2 a -> Log2 (s a)
+  | Floor a -> Floor (s a)
   | Min (a, b) -> Min (s a, s b)
   | Max (a, b) -> Max (s a, s b)
 
@@ -83,6 +87,7 @@ let rec simplify e =
     | Neg a -> Neg (simplify a)
     | Sqrt a -> Sqrt (simplify a)
     | Log2 a -> Log2 (simplify a)
+    | Floor a -> Floor (simplify a)
     | Min (a, b) -> Min (simplify a, simplify b)
     | Max (a, b) -> Max (simplify a, simplify b)
   in
@@ -105,6 +110,8 @@ let rec simplify e =
   | Neg (Neg x) -> x
   | Sqrt (Const a) when a >= 0.0 -> Const (sqrt a)
   | Log2 (Const a) when a > 0.0 -> Const (log a /. log 2.0)
+  | Floor (Const a) -> Const (Float.floor a)
+  | Floor (Floor x) -> Floor x
   | Min (Const a, Const b) -> Const (Float.min a b)
   | Max (Const a, Const b) -> Const (Float.max a b)
   | e -> e
@@ -143,6 +150,10 @@ let to_string e =
         add ")"
     | Log2 a ->
         add "log2(";
+        go 0 a;
+        add ")"
+    | Floor a ->
+        add "floor(";
         go 0 a;
         add ")"
     | Min (a, b) ->
@@ -308,6 +319,9 @@ let parse text =
               | "log2", Some Trparen ->
                   advance ();
                   Log2 a
+              | "floor", Some Trparen ->
+                  advance ();
+                  Floor a
               | ("min" | "max"), Some Tcomma ->
                   advance ();
                   let b = expr () in

@@ -17,6 +17,9 @@ type t =
   | Neg of t
   | Sqrt of t
   | Log2 of t
+  | Floor of t
+      (** integer part; the decomposition calculus counts whole tiles,
+          so closed forms are full of [floor(n / w)] factors *)
   | Min of t * t
   | Max of t * t
 
@@ -25,6 +28,7 @@ type t =
 val const : float -> t
 val int : int -> t
 val var : string -> t
+val floor_ : t -> t
 val ( + ) : t -> t -> t
 val ( - ) : t -> t -> t
 val ( * ) : t -> t -> t
@@ -63,6 +67,6 @@ val pp : Format.formatter -> t -> unit
 
 val parse : string -> (t, string) result
 (** Parse the {!to_string} syntax: numbers, identifiers, [+ - * / ^],
-    parentheses, and the functions [sqrt], [log2], [min], [max] (the
-    latter two with two comma-separated arguments).  [^] is
+    parentheses, and the functions [sqrt], [log2], [floor], [min],
+    [max] (the latter two with two comma-separated arguments).  [^] is
     right-associative; unary minus is supported. *)

@@ -204,7 +204,7 @@ let test_validation_suites () =
 let test_report_registry () =
   let names = List.map fst Dmc_analysis.Report.names in
   Alcotest.(check (list string)) "registry"
-    [ "summary"; "table1"; "sec3"; "cg"; "gmres"; "jacobi"; "scaling"; "fft"; "curves"; "multigrid"; "reductions"; "tradeoff"; "validate"; "sim" ]
+    [ "summary"; "table1"; "sec3"; "cg"; "gmres"; "jacobi"; "scaling"; "fft"; "curves"; "multigrid"; "reductions"; "tradeoff"; "symscale"; "validate"; "sim" ]
     names
 
 let () =

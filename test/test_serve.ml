@@ -56,6 +56,29 @@ let test_key_discrimination () =
   differs "samples" (job ~samples:8 text);
   differs "graph" (job (Dmc_cdag.Serialize.to_string (Dmc_gen.Workload.parse_exn "chain:9")))
 
+let spec_key ?(engine = "wavefront") ?(s = 4) ?timeout ?node_budget
+    ?(samples = 64) spec =
+  Cache_key.of_spec ~engine ~s ~timeout ~node_budget ~samples spec
+
+let test_key_spec () =
+  let k = spec_key "diamond:4,4" in
+  check_string "stable" k (spec_key "diamond:4,4");
+  check_string "whitespace trimmed" k (spec_key " diamond:4,4\n");
+  (* the spec key space never collides with the inline-graph space,
+     even for the graph the spec would build *)
+  check_bool "disjoint from of_job" true
+    (k <> Cache_key.of_job (job (Dmc_cdag.Serialize.to_string diamond)));
+  List.iter
+    (fun (name, k') -> check_bool name true (k' <> k))
+    [
+      ("spec", spec_key "diamond:4,5");
+      ("engine", spec_key ~engine:"lru" "diamond:4,4");
+      ("s", spec_key ~s:5 "diamond:4,4");
+      ("timeout", spec_key ~timeout:1.5 "diamond:4,4");
+      ("node budget", spec_key ~node_budget:1000 "diamond:4,4");
+      ("samples", spec_key ~samples:8 "diamond:4,4");
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Protocol codecs                                                     *)
 
@@ -310,22 +333,27 @@ let test_server_query_and_cache () =
   (match rpc socket (graph_query ()) with
   | Protocol.Result { cached = true; _ } -> ()
   | _ -> Alcotest.fail "second query should hit the cache");
-  (* equivalent inline graph joins the same entry *)
+  (* spec and inline-graph queries live in disjoint key spaces: the spec
+     key is computed from the spec string alone (no materialization), so
+     an equivalent inline graph is a separate entry, not a hit *)
   let inline =
     Protocol.query
       (Protocol.Graph (Dmc_cdag.Serialize.to_string diamond))
       ~engine:"wavefront" ~s:4
   in
   (match rpc socket inline with
+  | Protocol.Result { cached = false; _ } -> ()
+  | _ -> Alcotest.fail "inline graph must not hit the spec-keyed entry");
+  (match rpc socket inline with
   | Protocol.Result { cached = true; _ } -> ()
-  | _ -> Alcotest.fail "inline graph should hit the spec's cache entry");
+  | _ -> Alcotest.fail "repeated inline graph should hit its own entry");
   (match rpc socket Protocol.Stats with
   | Protocol.Stats_snapshot stats ->
       let counter name =
         Option.bind (Json.mem stats "counters") (fun c ->
             Option.bind (Json.mem c name) Json.as_int)
       in
-      check_bool "one compute" true (counter "serve.compute" = Some 1);
+      check_bool "two computes" true (counter "serve.compute" = Some 2);
       check_bool "two hits" true (counter "serve.cache.hit" = Some 2)
   | _ -> Alcotest.fail "stats");
   shutdown_server socket pid
@@ -527,6 +555,8 @@ let () =
             test_key_identity;
           Alcotest.test_case "discriminates every input" `Quick
             test_key_discrimination;
+          Alcotest.test_case "spec keys: no materialization, own space"
+            `Quick test_key_spec;
         ] );
       ( "protocol",
         [

@@ -76,18 +76,83 @@ let gen_expr rng =
   in
   go (Stdlib.( + ) 2 (Rng.int rng 3))
 
+(* the full grammar, unary nodes included — what the closed forms from
+   Symbolic_bounds actually exercise *)
+let gen_expr_full rng =
+  let open Expr in
+  let rec go depth =
+    if Stdlib.( = ) depth 0 then
+      match Rng.int rng 3 with
+      | 0 -> var "x"
+      | 1 -> var "y"
+      | _ -> int (Stdlib.( + ) 1 (Rng.int rng 5))
+    else begin
+      let a = go (Stdlib.( - ) depth 1) in
+      match Rng.int rng 11 with
+      | 0 -> a + go (Stdlib.( - ) depth 1)
+      | 1 -> a - go (Stdlib.( - ) depth 1)
+      | 2 -> a * go (Stdlib.( - ) depth 1)
+      | 3 -> a / go (Stdlib.( - ) depth 1)
+      | 4 -> Max (a, go (Stdlib.( - ) depth 1))
+      | 5 -> Min (a, go (Stdlib.( - ) depth 1))
+      | 6 -> Neg a
+      | 7 -> Sqrt a
+      | 8 -> Log2 a
+      | 9 -> Floor a
+      | _ -> Pow (a, int (Stdlib.( + ) 1 (Rng.int rng 3)))
+    end
+  in
+  go (Stdlib.( + ) 2 (Rng.int rng 3))
+
+let probe_envs =
+  [
+    [ ("x", 2.5); ("y", 4.0) ];
+    [ ("x", 1.0); ("y", 1.0) ];
+    [ ("x", -3.5); ("y", 0.25) ];
+    [ ("x", 0.0); ("y", -1.0) ];
+    [ ("x", 1024.0); ("y", 3.0) ];
+  ]
+
+(* NaN-aware comparison: both NaN, equal infinities, or close *)
+let agree v v' =
+  (Float.is_nan v && Float.is_nan v')
+  || v = v'
+  || Float.abs (v -. v') <= 1e-9 *. Float.max 1.0 (Float.abs v)
+
 let prop_simplify_preserves_value =
-  QCheck.Test.make ~name:"simplify preserves values" ~count:200
+  QCheck.Test.make ~name:"simplify preserves values (all envs)" ~count:500
     QCheck.(int_bound 1_000_000)
     (fun seed ->
       let rng = Rng.create seed in
-      let e = gen_expr rng in
-      let env = [ ("x", 2.5); ("y", 4.0) ] in
-      match Expr.eval ~env e with
-      | v ->
-          let v' = Expr.eval ~env (Expr.simplify e) in
-          Float.abs (v -. v') <= 1e-9 *. Float.max 1.0 (Float.abs v)
-      | exception Division_by_zero -> true)
+      let e = gen_expr_full rng in
+      let e' = Expr.simplify e in
+      List.for_all
+        (fun env ->
+          match Expr.eval ~env e with
+          | v -> (
+              match Expr.eval ~env e' with
+              | v' -> agree v v'
+              | exception Division_by_zero -> false)
+          | exception Division_by_zero -> true)
+        probe_envs)
+
+let prop_simplify_no_new_div_zero =
+  QCheck.Test.make ~name:"simplify introduces no Division_by_zero" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let e = gen_expr_full rng in
+      let e' = Expr.simplify e in
+      List.for_all
+        (fun env ->
+          match Expr.eval ~env e with
+          | (_ : float) -> (
+              (* the original evaluates: the simplified form must too *)
+              match Expr.eval ~env e' with
+              | (_ : float) -> true
+              | exception Division_by_zero -> false)
+          | exception Division_by_zero -> true)
+        probe_envs)
 
 let prop_parse_print_roundtrip =
   QCheck.Test.make ~name:"parse (to_string e) evaluates like e" ~count:200
@@ -132,7 +197,7 @@ let prop_simplify_idempotent =
     QCheck.(int_bound 1_000_000)
     (fun seed ->
       let rng = Rng.create seed in
-      let e = Expr.simplify (gen_expr rng) in
+      let e = Expr.simplify (gen_expr_full rng) in
       Expr.simplify e = e)
 
 let test_formulas_match_analytic () =
@@ -179,6 +244,107 @@ let test_formula_registry () =
       | Error m -> Alcotest.fail (name ^ ": " ^ m))
     Formulas.all
 
+(* ------------------------------------------------------------------ *)
+(* Symbolic recombination vs. the materialized numeric reference       *)
+
+module Sb = Dmc_core.Symbolic_bounds
+
+(* The exactness contract: at any materializable size, the symbolic
+   recombination (one engine run per isomorphism class, counts as
+   closed forms) must equal the numeric reference (same partition over
+   the materialized graph, same engine on every piece) EXACTLY. *)
+let check_agreement ~spec ~s ~tile () =
+  match Sb.bound ~tile ~spec ~s () with
+  | Error m -> Alcotest.fail (spec ^ ": symbolic failed: " ^ m)
+  | Ok b -> (
+      match Sb.numeric_reference ~tile ~spec ~s () with
+      | Error m -> Alcotest.fail (spec ^ ": numeric failed: " ^ m)
+      | Ok reference ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s s=%d tile=%d" spec s tile)
+            reference b.Sb.value;
+          (* the closed form reproduces the value at this instance *)
+          let at_n =
+            Expr.eval ~env:[ ("n", float_of_int b.Sb.size) ] b.Sb.formula
+          in
+          Alcotest.(check (float 0.5))
+            (spec ^ ": formula(n) = value")
+            (float_of_int b.Sb.value) at_n;
+          (* sanity: counts in the classes cover positive copies *)
+          List.iter
+            (fun c ->
+              if c.Sb.cls_count_now <= 0 then
+                Alcotest.fail (spec ^ ": non-positive class count " ^ c.Sb.cls_name))
+            b.Sb.classes)
+
+let test_agreement_chain () =
+  List.iter
+    (fun (spec, s, tile) -> check_agreement ~spec ~s ~tile ())
+    [
+      ("chain:300", 4, 32);
+      ("chain:97", 3, 16);
+      ("chain:8", 4, 32);
+      (* tile >= n: single whole-graph class *)
+      ("chain:20", 2, 64);
+    ]
+
+let test_agreement_tree () =
+  List.iter
+    (fun (spec, s, tile) -> check_agreement ~spec ~s ~tile ())
+    [
+      ("tree:256", 4, 16);
+      ("tree:100", 4, 16);
+      ("tree:37", 3, 8);
+      ("tree:8", 2, 16);
+    ]
+
+let test_agreement_diamond () =
+  List.iter
+    (fun (spec, s, tile) -> check_agreement ~spec ~s ~tile ())
+    [
+      ("diamond:24,24", 4, 8);
+      ("diamond:20,20", 4, 6);
+      ("diamond:7,7", 3, 16);
+    ]
+
+let test_agreement_fft () =
+  List.iter
+    (fun (spec, s, tile) -> check_agreement ~spec ~s ~tile ())
+    [ ("fft:6", 4, 2); ("fft:8", 4, 3); ("fft:5", 4, 10); ("fft:1", 2, 1) ]
+
+let test_agreement_jacobi () =
+  List.iter
+    (fun (spec, s, tile) -> check_agreement ~spec ~s ~tile ())
+    [
+      ("jacobi1d:60,3", 4, 16);
+      ("jacobi1d:45,2", 4, 8);
+      ("jacobi2d:12,2", 4, 5);
+      ("jacobi3d:6,2", 4, 3);
+    ]
+
+let test_symbolic_unsupported () =
+  (match Sb.bound ~spec:"matmul:64" ~s:16 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "matmul should be unsupported");
+  (match Sb.bound ~spec:"diamond:4,9" ~s:16 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-square diamond should be unsupported");
+  check_bool "supports chain" true (Sb.supports "chain");
+  check_bool "no matmul" false (Sb.supports "matmul")
+
+(* The headline: a billion-node instance bounds in well under the
+   10-second CLI budget, with no materialization. *)
+let test_symbolic_billion () =
+  let t0 = Unix.gettimeofday () in
+  (match Sb.bound ~spec:"jacobi1d:1000000000" ~s:1024 () with
+  | Error m -> Alcotest.fail m
+  | Ok b ->
+      check_bool "positive bound" true (b.Sb.value > 0);
+      Alcotest.(check int) "n_vertices" 9_000_000_000 b.Sb.n_vertices;
+      check_bool "formula mentions n" true (List.mem "n" (Expr.vars b.Sb.formula)));
+  let dt = Unix.gettimeofday () -. t0 in
+  check_bool "fast enough (<10s)" true (dt < 10.0)
+
 let qsuite name tests =
   (* fixed qcheck seed so runs are reproducible *)
   ( name,
@@ -197,7 +363,12 @@ let () =
         ] );
       ( "simplify",
         [ Alcotest.test_case "identities" `Quick test_simplify_identities ] );
-      qsuite "simplify-props" [ prop_simplify_preserves_value; prop_simplify_idempotent ];
+      qsuite "simplify-props"
+        [
+          prop_simplify_preserves_value;
+          prop_simplify_no_new_div_zero;
+          prop_simplify_idempotent;
+        ];
       ( "parse",
         [
           Alcotest.test_case "precedence" `Quick test_parse_precedence;
@@ -208,5 +379,15 @@ let () =
         [
           Alcotest.test_case "match analytic" `Quick test_formulas_match_analytic;
           Alcotest.test_case "registry" `Quick test_formula_registry;
+        ] );
+      ( "symbolic-bounds",
+        [
+          Alcotest.test_case "chain agreement" `Quick test_agreement_chain;
+          Alcotest.test_case "tree agreement" `Quick test_agreement_tree;
+          Alcotest.test_case "diamond agreement" `Quick test_agreement_diamond;
+          Alcotest.test_case "fft agreement" `Quick test_agreement_fft;
+          Alcotest.test_case "jacobi agreement" `Quick test_agreement_jacobi;
+          Alcotest.test_case "unsupported families" `Quick test_symbolic_unsupported;
+          Alcotest.test_case "billion-node jacobi" `Quick test_symbolic_billion;
         ] );
     ]
